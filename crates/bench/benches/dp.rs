@@ -1,0 +1,85 @@
+//! Benchmarks the DP optimizer: the default grid, a finer grid, and the
+//! Exact-vs-Greedy time-handling ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_common::units::Meters;
+use velopt_core::dp::{DpConfig, DpOptimizer, TimeHandling};
+use velopt_core::windows::green_only_constraints;
+use velopt_ev_energy::{EnergyModel, VehicleParams};
+use velopt_road::Road;
+
+fn optimizer(cfg: DpConfig) -> DpOptimizer {
+    DpOptimizer::new(EnergyModel::new(VehicleParams::spark_ev()), cfg).unwrap()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let road = Road::us25();
+    let constraints = green_only_constraints(&road, DpConfig::default().horizon);
+
+    let mut group = c.benchmark_group("dp");
+    group.sample_size(10);
+
+    group.bench_function("exact_default_grid_us25", |b| {
+        let opt = optimizer(DpConfig::default());
+        b.iter(|| opt.optimize(black_box(&road), &constraints).unwrap())
+    });
+
+    group.bench_function("exact_fine_space_grid_us25", |b| {
+        let opt = optimizer(DpConfig {
+            ds: Meters::new(10.0),
+            ..DpConfig::default()
+        });
+        b.iter(|| opt.optimize(black_box(&road), &constraints).unwrap())
+    });
+
+    group.bench_function("greedy_ablation_us25", |b| {
+        let opt = optimizer(DpConfig {
+            time_handling: TimeHandling::Greedy,
+            ..DpConfig::default()
+        });
+        b.iter(|| opt.optimize(black_box(&road), &constraints).unwrap())
+    });
+
+    group.bench_function("exact_unconstrained_us25", |b| {
+        let opt = optimizer(DpConfig::default());
+        b.iter(|| opt.optimize(black_box(&road), &[]).unwrap())
+    });
+
+    // Mid-trip replanning is cheaper than a full plan: the state space
+    // shrinks with the remaining distance.
+    group.bench_function("replan_from_halfway", |b| {
+        let opt = optimizer(DpConfig::default());
+        let start = velopt_core::dp::StartState {
+            position: velopt_common::units::Meters::new(2100.0),
+            speed: velopt_common::units::MetersPerSecond::new(14.0),
+            time: velopt_common::units::Seconds::new(140.0),
+        };
+        b.iter(|| {
+            opt.optimize_from(black_box(&road), &constraints, start)
+                .unwrap()
+        })
+    });
+
+    // Robustness sweep over generated corridors (one optimize per corridor).
+    group.bench_function("corridor_sweep_4_random", |b| {
+        let opt = optimizer(DpConfig::default());
+        let corridors: Vec<_> = (0..4)
+            .map(|seed| {
+                velopt_road::CorridorTemplate::default()
+                    .generate(seed)
+                    .unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            for road in &corridors {
+                let c = green_only_constraints(road, DpConfig::default().horizon);
+                black_box(opt.optimize(road, &c).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

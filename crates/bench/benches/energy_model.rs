@@ -1,0 +1,41 @@
+//! Benchmarks the EV energy model: instantaneous rate queries, segment
+//! integration, and the Fig. 3 surface generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Radians};
+use velopt_ev_energy::{map::EnergyMap, EnergyModel, VehicleParams};
+
+fn bench_energy_model(c: &mut Criterion) {
+    let model = EnergyModel::new(VehicleParams::spark_ev());
+
+    c.bench_function("charge_rate", |b| {
+        b.iter(|| {
+            model.charge_rate(
+                black_box(MetersPerSecond::new(15.0)),
+                black_box(MetersPerSecondSq::new(1.0)),
+                black_box(Radians::from_grade_percent(2.0)),
+            )
+        })
+    });
+
+    c.bench_function("segment_energy_20m", |b| {
+        b.iter(|| {
+            model
+                .segment_energy(
+                    black_box(MetersPerSecond::new(12.0)),
+                    black_box(MetersPerSecondSq::new(0.5)),
+                    black_box(Meters::new(20.0)),
+                    Radians::ZERO,
+                )
+                .unwrap()
+        })
+    });
+
+    c.bench_function("fig3_surface_25x17", |b| {
+        b.iter(|| EnergyMap::generate(black_box(&model), 25, 17).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_energy_model);
+criterion_main!(benches);

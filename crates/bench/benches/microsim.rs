@@ -1,0 +1,47 @@
+//! Benchmarks the microscopic simulator's stepping throughput under
+//! signalized commuter traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_common::units::{Meters, Seconds, VehiclesPerHour};
+use velopt_microsim::{SimConfig, Simulation};
+use velopt_road::Road;
+
+fn bench_microsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microsim");
+    group.sample_size(10);
+
+    group.bench_function("warm_600s_at_800vph", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(120.0));
+            sim.add_entry_point(Meters::new(600.0), VehiclesPerHour::new(680.0))
+                .unwrap();
+            sim.run_until(Seconds::new(600.0)).unwrap();
+            black_box(sim.vehicle_count())
+        })
+    });
+
+    group.bench_function("step_with_40_vehicles", |b| {
+        let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(120.0));
+        sim.add_entry_point(Meters::new(600.0), VehiclesPerHour::new(680.0))
+            .unwrap();
+        sim.run_until(Seconds::new(600.0)).unwrap();
+        b.iter(|| {
+            sim.step();
+            black_box(sim.time())
+        })
+    });
+
+    group.bench_function("queue_probe", |b| {
+        let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(800.0));
+        sim.run_until(Seconds::new(400.0)).unwrap();
+        b.iter(|| black_box(sim.queue_at_light(0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_microsim);
+criterion_main!(benches);

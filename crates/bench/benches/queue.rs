@@ -1,0 +1,42 @@
+//! Benchmarks the queue models: clear-time solving, multi-cycle simulation
+//! and T_q window generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_common::units::{Meters, Seconds, VehiclesPerHour};
+use velopt_queue::{QueueModel, QueueParams};
+use velopt_road::TrafficLight;
+
+fn bench_queue(c: &mut Criterion) {
+    let params = QueueParams {
+        arrival_rate: VehiclesPerHour::new(700.0),
+        ..QueueParams::us25_probe()
+    };
+    let model = QueueModel::new(params).unwrap();
+    let light = TrafficLight::new(
+        Meters::new(1800.0),
+        Seconds::new(30.0),
+        Seconds::new(30.0),
+        Seconds::new(42.0),
+    )
+    .unwrap();
+
+    c.bench_function("clear_time", |b| {
+        b.iter(|| model.clear_time_with_initial(black_box(2.5)))
+    });
+
+    c.bench_function("queue_simulate_10_cycles", |b| {
+        b.iter(|| model.simulate(black_box(10), Seconds::new(0.5)).unwrap())
+    });
+
+    c.bench_function("empty_windows_900s", |b| {
+        b.iter(|| {
+            model
+                .empty_windows(black_box(&light), Seconds::ZERO, Seconds::new(900.0))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmarks SAE training and inference on the synthetic volume feed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_traffic::nn::SgdConfig;
+use velopt_traffic::{SaeConfig, SaePredictor, SaePredictorConfig, VolumeGenerator};
+
+fn bench_sae(c: &mut Criterion) {
+    let feed = VolumeGenerator::us25_station(1).generate_weeks(2).unwrap();
+    // A scaled-down training config so the benchmark iterates in seconds.
+    let quick = SaePredictorConfig {
+        lags: 24,
+        sae: SaeConfig {
+            hidden_layers: vec![12],
+            pretrain: SgdConfig {
+                epochs: 3,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+            finetune: SgdConfig {
+                epochs: 10,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+            ..SaeConfig::default()
+        },
+    };
+
+    let mut group = c.benchmark_group("sae");
+    group.sample_size(10);
+    group.bench_function("train_2_weeks_quick", |b| {
+        b.iter(|| SaePredictor::train(black_box(&feed), &quick).unwrap())
+    });
+
+    let predictor = SaePredictor::train(&feed, &quick).unwrap();
+    let history: Vec<f64> = feed.samples()[..24].to_vec();
+    group.bench_function("predict_next_hour", |b| {
+        b.iter(|| predictor.predict_next(black_box(&history), 24).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sae);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks the TraCI wire protocol (encode/decode) and a live
+//! client-server command round trip over localhost TCP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use velopt_microsim::{SimConfig, Simulation};
+use velopt_road::Road;
+use velopt_traci::protocol::{decode_message_body, encode_message, Command, TraciValue};
+use velopt_traci::{TraciClient, TraciServer};
+
+fn bench_traci(c: &mut Criterion) {
+    // Pure wire-format throughput.
+    let value = TraciValue::Compound(vec![
+        TraciValue::Integer(42),
+        TraciValue::String("veh0".into()),
+        TraciValue::Position2D(1800.0, 0.0),
+        TraciValue::Double(13.9),
+    ]);
+    let mut buf = bytes::BytesMut::new();
+    value.encode(&mut buf);
+    let encoded = buf.freeze();
+
+    c.bench_function("value_decode", |b| {
+        b.iter(|| {
+            let mut bytes = encoded.clone();
+            TraciValue::decode(black_box(&mut bytes)).unwrap()
+        })
+    });
+
+    let msg = encode_message(&[
+        Command::new(0x02, vec![0u8; 8]),
+        Command::new(0xA4, vec![0u8; 32]),
+    ]);
+    c.bench_function("message_round_trip", |b| {
+        b.iter(|| decode_message_body(black_box(msg.slice(4..))).unwrap())
+    });
+
+    // Live loopback round trip: one simulation_time query.
+    let sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+    let server = TraciServer::spawn(sim).unwrap();
+    let mut client = TraciClient::connect(server.addr()).unwrap();
+    let mut group = c.benchmark_group("traci_tcp");
+    group.sample_size(20);
+    group.bench_function("simulation_time_query", |b| {
+        b.iter(|| black_box(client.simulation_time().unwrap()))
+    });
+    group.finish();
+    client.close().unwrap();
+}
+
+criterion_group!(benches, bench_traci);
+criterion_main!(benches);

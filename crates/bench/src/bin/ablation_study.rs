@@ -1,0 +1,171 @@
+//! Ablations over the design choices DESIGN.md calls out.
+//!
+//! 1. **Time handling** — exact time-expanded DP vs the paper-literal
+//!    greedy DP: violation counts and runtime class.
+//! 2. **Time weight β** — how the energy/time trade moves the free-cruise
+//!    speed and the plan's slack for hitting `T_q`.
+//! 3. **Stop dwell** — arrival-time error at the lights when sign service
+//!    is (not) modeled.
+//! 4. **Penalty form** — additive `+M` vs the paper's multiplicative `M·ζ`
+//!    (emulated by scaling): why the multiplicative form breaks under
+//!    regeneration.
+//!
+//! ```sh
+//! cargo run --release -p velopt-bench --bin ablation_study
+//! ```
+
+use velopt_bench::{col, tsv};
+use velopt_common::units::Seconds;
+use velopt_core::dp::{DpConfig, DpOptimizer, TimeHandling};
+use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
+use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+
+fn energy_model() -> EnergyModel {
+    EnergyModel::with_regen(
+        VehicleParams::spark_ev(),
+        RegenPolicy::Limited {
+            efficiency: 0.6,
+            cutoff: velopt_common::units::MetersPerSecond::new(1.5),
+        },
+    )
+}
+
+fn main() {
+    let base_system =
+        VelocityOptimizationSystem::new(SystemConfig::us25_rush()).expect("preset valid");
+    let road = base_system.config().road.clone();
+    let windows = base_system.queue_windows().expect("windows");
+
+    // ---- 1. Exact vs greedy time handling. -------------------------------
+    println!("## time handling");
+    let mut rows = Vec::new();
+    for (name, mode) in [("exact", TimeHandling::Exact), ("greedy", TimeHandling::Greedy)] {
+        let opt = DpOptimizer::new(
+            energy_model(),
+            DpConfig {
+                time_handling: mode,
+                ..DpConfig::default()
+            },
+        )
+        .expect("config valid");
+        let t0 = std::time::Instant::now();
+        let plan = opt.optimize(&road, &windows).expect("feasible");
+        let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+        rows.push(vec![
+            name.to_string(),
+            plan.window_violations.to_string(),
+            col(plan.total_energy.to_milliamp_hours()),
+            col(plan.trip_time.value()),
+            col(elapsed),
+        ]);
+    }
+    print!(
+        "{}",
+        tsv(
+            &["mode", "violations", "energy_mAh", "trip_s", "runtime_ms"],
+            &rows,
+        )
+    );
+
+    // ---- 2. Time-weight sweep. --------------------------------------------
+    println!("\n## time weight (beta)");
+    let mut rows = Vec::new();
+    for beta in [0.0, 0.001, 0.003, 0.01, 0.03] {
+        let opt = DpOptimizer::new(
+            energy_model(),
+            DpConfig {
+                time_weight: beta,
+                ..DpConfig::default()
+            },
+        )
+        .expect("config valid");
+        let plan = opt.optimize(&road, &windows).expect("feasible");
+        // Cruise speed proxy: median of the nonzero station speeds.
+        let mut speeds: Vec<f64> = plan
+            .speeds
+            .iter()
+            .map(|v| v.value())
+            .filter(|v| *v > 1.0)
+            .collect();
+        speeds.sort_by(f64::total_cmp);
+        let median = speeds.get(speeds.len() / 2).copied().unwrap_or(0.0);
+        rows.push(vec![
+            col(beta),
+            col(median * 3.6),
+            col(plan.trip_time.value()),
+            col(plan.total_energy.to_milliamp_hours()),
+            plan.window_violations.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        tsv(
+            &[
+                "beta_Ah_per_s",
+                "median_cruise_kmh",
+                "trip_s",
+                "energy_mAh",
+                "violations",
+            ],
+            &rows,
+        )
+    );
+
+    // ---- 3. Stop-dwell sweep. ----------------------------------------------
+    println!("\n## stop dwell");
+    let mut rows = Vec::new();
+    for dwell in [0.0, 2.5, 5.5, 8.0] {
+        let opt = DpOptimizer::new(
+            energy_model(),
+            DpConfig {
+                stop_dwell: Seconds::new(dwell),
+                ..DpConfig::default()
+            },
+        )
+        .expect("config valid");
+        let plan = opt.optimize(&road, &windows).expect("feasible");
+        let arrival1 = plan.arrival_time_at(velopt_common::units::Meters::new(1800.0));
+        rows.push(vec![
+            col(dwell),
+            col(arrival1.value()),
+            col(plan.trip_time.value()),
+            plan.window_violations.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        tsv(&["dwell_s", "arrival_light1_s", "trip_s", "violations"], &rows)
+    );
+    eprintln!(
+        "# note: the light-1 arrival barely moves across the sweep — the\n\
+         # T_q windows pin it, and the DP re-times the launch instead. The\n\
+         # dwell's real effect is *alignment with the simulator*: without it\n\
+         # the replayed EV runs ~5.5 s behind its plan (the open-loop drift\n\
+         # measured in the Fig. 6 experiment), landing in the wrong part of\n\
+         # the window."
+    );
+
+    // ---- 4. Penalty form. ---------------------------------------------------
+    println!("\n## penalty form (why additive, not multiplicative)");
+    // Demonstrate on a raw transition: braking from 17 to 10 m/s over 20 m.
+    let em = EnergyModel::new(VehicleParams::spark_ev());
+    let seg = em
+        .segment_energy(
+            velopt_common::units::MetersPerSecond::new(17.0),
+            velopt_common::units::MetersPerSecondSq::new(
+                (10.0f64 * 10.0 - 17.0 * 17.0) / (2.0 * 20.0),
+            ),
+            velopt_common::units::Meters::new(20.0),
+            velopt_common::units::Radians::ZERO,
+        )
+        .expect("feasible segment");
+    let zeta = seg.charge.value();
+    let m = 1.0e6;
+    println!("braking transition cost (paper-literal regen): {zeta:.6} Ah");
+    println!("multiplicative penalty M*zeta = {:.1} Ah (NEGATIVE: a reward!)", m * zeta);
+    println!("additive penalty zeta + M    = {:.1} Ah (a deterrent)", zeta + m);
+    eprintln!(
+        "# Eq. 12's multiplicative form inverts for regenerative transitions;\n\
+         # the additive form preserves its intent for all cost signs."
+    );
+}

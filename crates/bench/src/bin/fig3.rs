@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 3**: the energy-consumption-rate surface ζ(v, a) of a
+//! pure EV at zero grade, showing steep growth with acceleration and a
+//! negative (regenerative) region under deceleration.
+//!
+//! ```sh
+//! cargo run -p velopt-bench --bin fig3
+//! ```
+
+use velopt_bench::{col, tsv};
+use velopt_ev_energy::{map::EnergyMap, EnergyModel, VehicleParams};
+
+fn main() {
+    // The paper-literal Eq. 3 model (no auxiliary load in ζ, symmetric
+    // efficiency) — exactly what Fig. 3 plots.
+    let model = EnergyModel::new(VehicleParams::spark_ev());
+    let map = EnergyMap::generate(&model, 25, 17).expect("grid is valid");
+
+    let rows: Vec<Vec<String>> = map
+        .iter()
+        .map(|(speed_kmh, accel, rate_amps)| {
+            vec![col(speed_kmh), col(accel), col(rate_amps * 1000.0 / 3600.0)]
+        })
+        .collect();
+    print!(
+        "{}",
+        tsv(&["speed_kmh", "accel_ms2", "rate_mAh_per_s"], &rows)
+    );
+
+    eprintln!(
+        "# surface: min {:.3} A (regen), max {:.3} A; ζ = 0 along v = 0",
+        map.min_rate(),
+        map.max_rate()
+    );
+    eprintln!(
+        "# paper shape check: consumption grows with acceleration: {}; negative under braking: {}",
+        map.rate_at(12, 16) > map.rate_at(12, 8),
+        map.min_rate() < 0.0
+    );
+}

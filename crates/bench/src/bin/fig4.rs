@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 4**: (a) one week of hourly traffic volume and (b)
+//! the SAE predictor's MRE/RMSE per weekday after training on 13 weeks.
+//!
+//! ```sh
+//! cargo run --release -p velopt-bench --bin fig4
+//! ```
+
+use velopt_bench::{col, tsv};
+use velopt_traffic::{HourlyVolume, SaePredictor, SaePredictorConfig, VolumeGenerator};
+
+fn main() {
+    // §III-A-2: three months of training data, one week of testing.
+    let feed = VolumeGenerator::us25_station(2016)
+        .generate_weeks(14)
+        .expect("weeks >= 1");
+    let (train, test) = feed.split_at_week(13).expect("cut inside the feed");
+
+    eprintln!("# training SAE on {} hours...", train.len());
+    let predictor =
+        SaePredictor::train(&train, &SaePredictorConfig::default()).expect("training succeeds");
+    let report = predictor.evaluate(&test).expect("evaluation succeeds");
+
+    // Fig. 4(a): the test week's volumes alongside the predictions.
+    let rows: Vec<Vec<String>> = (0..test.len())
+        .map(|h| {
+            vec![
+                h.to_string(),
+                HourlyVolume::day_of_week(h).to_string(),
+                col(report.actuals[h]),
+                col(report.predictions[h]),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        tsv(&["hour", "day_of_week", "volume_vph", "predicted_vph"], &rows)
+    );
+
+    // Fig. 4(b): MRE and RMSE per weekday.
+    println!();
+    let days = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    let rows: Vec<Vec<String>> = report
+        .per_day
+        .iter()
+        .map(|d| {
+            vec![
+                days[d.day_of_week].to_string(),
+                col(100.0 * d.mre),
+                col(d.rmse),
+            ]
+        })
+        .collect();
+    print!("{}", tsv(&["day", "MRE_percent", "RMSE_vph"], &rows));
+
+    eprintln!(
+        "# overall MRE {:.1}% (paper: < 10% each day), RMSE {:.1} veh/h",
+        100.0 * report.overall.mre,
+        report.overall.rmse
+    );
+    let worst = report
+        .per_day
+        .iter()
+        .map(|d| d.mre)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "# worst day MRE {:.1}% -> paper claim {}",
+        100.0 * worst,
+        if worst < 0.10 { "HOLDS" } else { "VIOLATED" }
+    );
+}

@@ -1,0 +1,155 @@
+//! The in-vehicle client side of the vehicular cloud.
+
+use crate::protocol::{decode_profile, read_frame, tags, write_frame, TripRequest};
+use std::net::{TcpStream, ToSocketAddrs};
+use velopt_common::{Error, Result};
+use velopt_core::dp::OptimizedProfile;
+
+/// A blocking cloud client ("the EV's modem").
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct CloudClient {
+    stream: TcpStream,
+}
+
+impl CloudClient {
+    /// Connects to a [`CloudServer`](crate::CloudServer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Uploads a trip and waits for the optimized profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] carrying the server's message when the
+    /// request is rejected (bad geometry, infeasible trip), and
+    /// [`Error::Io`] on transport failures.
+    pub fn request(&mut self, trip: &TripRequest) -> Result<OptimizedProfile> {
+        write_frame(&mut self.stream, tags::REQ_TRIP, &trip.encode())?;
+        let (tag, mut payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        match tag {
+            tags::RESP_PROFILE => decode_profile(&mut payload),
+            tags::RESP_ERROR => Err(Error::protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(Error::protocol(format!("unexpected response tag {other}"))),
+        }
+    }
+
+    /// Fetches the server's `(served, cache hits)` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn stats(&mut self) -> Result<(u64, u64)> {
+        write_frame(&mut self.stream, tags::REQ_STATS, &[])?;
+        let (tag, payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        if tag != tags::RESP_STATS || payload.len() != 16 {
+            return Err(Error::protocol("malformed stats response"));
+        }
+        let served = u64::from_be_bytes(payload[0..8].try_into().expect("8 bytes"));
+        let hits = u64::from_be_bytes(payload[8..16].try_into().expect("8 bytes"));
+        Ok((served, hits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CloudServer;
+    use velopt_common::units::Seconds;
+
+    #[test]
+    fn end_to_end_profile_request() {
+        let server = CloudServer::spawn(2).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let profile = client.request(&TripRequest::us25_at(0.0)).unwrap();
+        assert_eq!(profile.window_violations, 0);
+        assert!(profile.trip_time.value() > 100.0);
+        // Departure time shifts the absolute clock of the plan.
+        let later = client.request(&TripRequest::us25_at(60.0)).unwrap();
+        assert!((later.times[0] - Seconds::new(60.0)).abs().value() < 1e-9);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_for_identical_trips() {
+        let server = CloudServer::spawn(2).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let a = client.request(&TripRequest::us25_at(0.0)).unwrap();
+        let b = client.request(&TripRequest::us25_at(0.0)).unwrap();
+        assert_eq!(a, b);
+        let (served, hits) = client.stats().unwrap();
+        assert_eq!(served, 2);
+        assert_eq!(hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_trip_returns_error_frame() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let mut trip = TripRequest::us25_at(0.0);
+        trip.rates.pop(); // arity mismatch
+        let err = client.request(&trip).unwrap_err();
+        assert!(err.to_string().contains("rates"), "{err}");
+        // The connection survives an error response.
+        assert!(client.request(&TripRequest::us25_at(0.0)).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_vehicles_are_served() {
+        let server = CloudServer::spawn(4).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = CloudClient::connect(addr).unwrap();
+                    // Distinct departures, so several are real optimizations.
+                    let trip = TripRequest::us25_at((i % 3) as f64 * 60.0);
+                    client.request(&trip).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let profile = h.join().expect("vehicle thread panicked");
+            assert_eq!(profile.window_violations, 0);
+        }
+        assert_eq!(server.stats().served(), 6);
+        // Concurrent identical requests may stampede past the cache (both
+        // miss before either inserts), so no lower bound holds on the first
+        // wave — but a second wave of the same trips must hit every time.
+        let hits_before = server.stats().cache_hits();
+        let mut client = CloudClient::connect(addr).unwrap();
+        for i in 0..3 {
+            client
+                .request(&TripRequest::us25_at(i as f64 * 60.0))
+                .unwrap();
+        }
+        assert_eq!(server.stats().cache_hits(), hits_before + 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn baseline_requests_use_green_windows() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let mut trip = TripRequest::us25_at(0.0);
+        trip.queue_aware = false;
+        let baseline = client.request(&trip).unwrap();
+        let ours = client.request(&TripRequest::us25_at(0.0)).unwrap();
+        assert_ne!(baseline, ours, "the two methods should differ under rush demand");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,44 @@
+//! The **vehicular cloud** optimization service.
+//!
+//! The paper's introduction frames deployment through the vehicular-cloud
+//! computing model of [6], [7]: velocity-profile optimization is too heavy
+//! for in-vehicle hardware, so *"each vehicle uploads its state (starting
+//! time and route) to the cloud through wireless communication, and then
+//! the cloud calculates the optimal velocity profile for the vehicle"*.
+//! This crate implements that service:
+//!
+//! * [`protocol`] — a compact binary wire format (length-prefixed frames,
+//!   explicit field encoding; no self-describing serialization on the wire)
+//!   carrying the trip request — corridor geometry, departure time,
+//!   per-light arrival rates, queue parameters — and the optimized profile
+//!   back,
+//! * [`CloudServer`] — a TCP service with a crossbeam worker pool: an
+//!   acceptor thread queues connections, N workers run the DP, and a
+//!   request-keyed **plan cache** (identical trips are common: every EV
+//!   entering the corridor in the same signal cycle with the same demand
+//!   gets the same plan) short-circuits repeated optimizations,
+//! * [`CloudClient`] — the in-vehicle side: connect, upload the trip,
+//!   receive the profile.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> velopt_common::Result<()> {
+//! use velopt_cloud::{CloudClient, CloudServer, TripRequest};
+//!
+//! let server = CloudServer::spawn(2)?;
+//! let mut client = CloudClient::connect(server.addr())?;
+//! let profile = client.request(&TripRequest::us25_at(0.0))?;
+//! assert_eq!(profile.window_violations, 0);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::CloudClient;
+pub use protocol::{CloudResponse, TripRequest};
+pub use server::{CloudServer, ServerStats};

@@ -1,0 +1,432 @@
+//! The vehicular-cloud wire format.
+//!
+//! Frames are length-prefixed: a 4-byte big-endian payload length, a 1-byte
+//! message type, then the payload. All multi-byte integers and floats are
+//! big-endian; sequences are a 4-byte count followed by the elements. The
+//! format is explicit field-by-field encoding (like the TraCI layer) so the
+//! wire is stable, compact, and independent of any serialization framework.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use velopt_common::units::{
+    Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour,
+};
+use velopt_common::{Error, Result};
+use velopt_core::dp::OptimizedProfile;
+use velopt_queue::QueueParams;
+use velopt_road::{Road, RoadBuilder, SpeedZone};
+
+/// Message type tags.
+pub mod tags {
+    /// Vehicle → cloud: optimize this trip.
+    pub const REQ_TRIP: u8 = 1;
+    /// Cloud → vehicle: the optimized profile.
+    pub const RESP_PROFILE: u8 = 2;
+    /// Cloud → vehicle: the request failed; payload is a message string.
+    pub const RESP_ERROR: u8 = 3;
+    /// Vehicle/operator → cloud: report serving statistics.
+    pub const REQ_STATS: u8 = 4;
+    /// Cloud → requester: `(served, cache_hits)` counters.
+    pub const RESP_STATS: u8 = 5;
+}
+
+/// A trip uploaded by an EV: corridor geometry plus traffic state.
+///
+/// Departure time is on the corridor's signal clock (the same clock the
+/// lights' offsets are defined on), so two EVs departing one full cycle
+/// apart produce byte-identical requests — which is what makes the cloud's
+/// plan cache effective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripRequest {
+    /// The corridor to drive.
+    pub road: Road,
+    /// Departure time on the signal clock.
+    pub departure: Seconds,
+    /// Predicted arrival rate per traffic light.
+    pub rates: Vec<VehiclesPerHour>,
+    /// Queue-model parameters (signal timing is taken from each light).
+    pub queue: QueueParams,
+    /// `true` = the paper's queue-aware windows; `false` = the prior
+    /// green-only DP [2].
+    pub queue_aware: bool,
+}
+
+impl TripRequest {
+    /// The canonical US-25 rush-hour trip departing at `t` on the signal
+    /// clock.
+    pub fn us25_at(t: f64) -> Self {
+        Self {
+            road: Road::us25(),
+            departure: Seconds::new(t),
+            rates: vec![
+                VehiclesPerHour::new(800.0),
+                VehiclesPerHour::new(800.0 * 0.7636),
+            ],
+            queue: QueueParams::us25_probe(),
+            queue_aware: true,
+        }
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on a rate/light arity mismatch or
+    /// invalid queue parameters.
+    pub fn validated(&self) -> Result<()> {
+        if self.rates.len() != self.road.traffic_lights().len() {
+            return Err(Error::invalid_input(format!(
+                "{} rates for {} lights",
+                self.rates.len(),
+                self.road.traffic_lights().len()
+            )));
+        }
+        self.queue.validated()?;
+        if self.departure.value() < 0.0 {
+            return Err(Error::invalid_input("departure must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Encodes the request payload (without the frame header).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        encode_road(&self.road, &mut buf);
+        buf.put_f64(self.departure.value());
+        buf.put_u32(self.rates.len() as u32);
+        for r in &self.rates {
+            buf.put_f64(r.value());
+        }
+        encode_queue(&self.queue, &mut buf);
+        buf.put_u8(u8::from(self.queue_aware));
+        buf.freeze()
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or malformed geometry.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let road = decode_road(buf)?;
+        let departure = Seconds::new(take_f64(buf)?);
+        let n = take_u32(buf)? as usize;
+        if n > buf.remaining() / 8 {
+            return Err(Error::protocol("implausible rate count"));
+        }
+        let mut rates = Vec::with_capacity(n);
+        for _ in 0..n {
+            rates.push(VehiclesPerHour::new(take_f64(buf)?));
+        }
+        let queue = decode_queue(buf)?;
+        let queue_aware = take_u8(buf)? != 0;
+        Ok(Self {
+            road,
+            departure,
+            rates,
+            queue,
+            queue_aware,
+        })
+    }
+}
+
+/// The cloud's answer to a trip request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudResponse {
+    /// The optimized profile.
+    Profile(OptimizedProfile),
+    /// The request could not be served.
+    Error(String),
+    /// Serving statistics `(requests served, cache hits)`.
+    Stats(u64, u64),
+}
+
+/// Encodes a profile payload.
+pub fn encode_profile(profile: &OptimizedProfile, buf: &mut BytesMut) {
+    buf.put_u32(profile.stations.len() as u32);
+    for i in 0..profile.stations.len() {
+        buf.put_f64(profile.stations[i].value());
+        buf.put_f64(profile.speeds[i].value());
+        buf.put_f64(profile.times[i].value());
+    }
+    buf.put_f64(profile.total_energy.value());
+    buf.put_f64(profile.trip_time.value());
+    buf.put_u32(profile.window_violations as u32);
+}
+
+/// Decodes a profile payload.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] on truncation or implausible lengths.
+pub fn decode_profile(buf: &mut Bytes) -> Result<OptimizedProfile> {
+    let n = take_u32(buf)? as usize;
+    if n == 0 || n > buf.remaining() / 24 + 1 {
+        return Err(Error::protocol("implausible station count"));
+    }
+    let mut stations = Vec::with_capacity(n);
+    let mut speeds = Vec::with_capacity(n);
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        stations.push(Meters::new(take_f64(buf)?));
+        speeds.push(MetersPerSecond::new(take_f64(buf)?));
+        times.push(Seconds::new(take_f64(buf)?));
+    }
+    let total_energy = velopt_common::units::AmpereHours::new(take_f64(buf)?);
+    let trip_time = Seconds::new(take_f64(buf)?);
+    let window_violations = take_u32(buf)? as usize;
+    Ok(OptimizedProfile {
+        stations,
+        speeds,
+        times,
+        total_energy,
+        trip_time,
+        window_violations,
+    })
+}
+
+/// Writes one frame (`type` + payload) to a blocking writer.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on write failures.
+pub fn write_frame(writer: &mut impl std::io::Write, tag: u8, payload: &[u8]) -> Result<()> {
+    let mut header = BytesMut::with_capacity(5);
+    header.put_u32(payload.len() as u32 + 1);
+    header.put_u8(tag);
+    writer.write_all(&header)?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame; returns `(type, payload)`, or `None` on a clean EOF at
+/// a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`]/[`Error::Protocol`] on failures.
+pub fn read_frame(reader: &mut impl std::io::Read) -> Result<Option<(u8, Bytes)>> {
+    let mut header = [0u8; 4];
+    match reader.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len == 0 || len > 64 * 1024 * 1024 {
+        return Err(Error::protocol(format!("implausible frame length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let mut bytes = Bytes::from(body);
+    let tag = take_u8(&mut bytes)?;
+    Ok(Some((tag, bytes)))
+}
+
+fn encode_road(road: &Road, buf: &mut BytesMut) {
+    buf.put_f64(road.length().value());
+    let (lo, hi) = road.default_limits();
+    buf.put_f64(lo.value());
+    buf.put_f64(hi.value());
+    buf.put_u32(road.speed_zones().len() as u32);
+    for z in road.speed_zones() {
+        buf.put_f64(z.start.value());
+        buf.put_f64(z.end.value());
+        buf.put_f64(z.min.value());
+        buf.put_f64(z.max.value());
+    }
+    buf.put_u32(road.stop_signs().len() as u32);
+    for s in road.stop_signs() {
+        buf.put_f64(s.position.value());
+    }
+    buf.put_u32(road.traffic_lights().len() as u32);
+    for l in road.traffic_lights() {
+        buf.put_f64(l.position().value());
+        buf.put_f64(l.red().value());
+        buf.put_f64(l.green().value());
+        buf.put_f64(l.offset().value());
+    }
+    let knots = road.grade_percent_profile().knots();
+    buf.put_u32(knots.len() as u32);
+    for &(x, g) in knots {
+        buf.put_f64(x);
+        buf.put_f64(g);
+    }
+}
+
+fn decode_road(buf: &mut Bytes) -> Result<Road> {
+    let length = take_f64(buf)?;
+    let lo = take_f64(buf)?;
+    let hi = take_f64(buf)?;
+    let mut builder = RoadBuilder::new(Meters::new(length));
+    builder.default_limits(MetersPerSecond::new(lo), MetersPerSecond::new(hi));
+
+    let zones = bounded_count(buf, 32)?;
+    for _ in 0..zones {
+        builder.speed_zone(SpeedZone {
+            start: Meters::new(take_f64(buf)?),
+            end: Meters::new(take_f64(buf)?),
+            min: MetersPerSecond::new(take_f64(buf)?),
+            max: MetersPerSecond::new(take_f64(buf)?),
+        });
+    }
+    let signs = bounded_count(buf, 8)?;
+    for _ in 0..signs {
+        builder.stop_sign(Meters::new(take_f64(buf)?));
+    }
+    let lights = bounded_count(buf, 32)?;
+    for _ in 0..lights {
+        builder.traffic_light(
+            Meters::new(take_f64(buf)?),
+            Seconds::new(take_f64(buf)?),
+            Seconds::new(take_f64(buf)?),
+            Seconds::new(take_f64(buf)?),
+        );
+    }
+    let knots = bounded_count(buf, 256)?;
+    for _ in 0..knots {
+        let x = take_f64(buf)?;
+        let g = take_f64(buf)?;
+        builder.grade_knot(Meters::new(x), g);
+    }
+    builder
+        .build()
+        .map_err(|e| Error::protocol(format!("road rejected: {e}")))
+}
+
+fn encode_queue(queue: &QueueParams, buf: &mut BytesMut) {
+    buf.put_f64(queue.arrival_rate.value());
+    buf.put_f64(queue.spacing.value());
+    buf.put_f64(queue.straight_ratio);
+    buf.put_f64(queue.v_min.value());
+    buf.put_f64(queue.a_max.value());
+    buf.put_f64(queue.red.value());
+    buf.put_f64(queue.green.value());
+}
+
+fn decode_queue(buf: &mut Bytes) -> Result<QueueParams> {
+    Ok(QueueParams {
+        arrival_rate: VehiclesPerHour::new(take_f64(buf)?),
+        spacing: Meters::new(take_f64(buf)?),
+        straight_ratio: take_f64(buf)?,
+        v_min: MetersPerSecond::new(take_f64(buf)?),
+        a_max: MetersPerSecondSq::new(take_f64(buf)?),
+        red: Seconds::new(take_f64(buf)?),
+        green: Seconds::new(take_f64(buf)?),
+    })
+}
+
+fn bounded_count(buf: &mut Bytes, max: usize) -> Result<usize> {
+    let n = take_u32(buf)? as usize;
+    if n > max {
+        return Err(Error::protocol(format!("count {n} exceeds bound {max}")));
+    }
+    Ok(n)
+}
+
+fn take_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(Error::protocol("unexpected end of frame"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(Error::protocol("unexpected end of frame"));
+    }
+    Ok(buf.get_u32())
+}
+
+fn take_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(Error::protocol("unexpected end of frame"));
+    }
+    Ok(buf.get_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_road::CorridorTemplate;
+
+    #[test]
+    fn request_round_trip_us25() {
+        let req = TripRequest::us25_at(60.0);
+        let encoded = req.encode();
+        let mut bytes = encoded.clone();
+        let back = TripRequest::decode(&mut bytes).unwrap();
+        assert_eq!(back, req);
+        assert!(bytes.is_empty(), "decoder must consume the whole payload");
+    }
+
+    #[test]
+    fn request_round_trip_generated_corridors() {
+        for seed in 0..10 {
+            let road = CorridorTemplate::default().generate(seed).unwrap();
+            let rates = vec![VehiclesPerHour::new(250.0); road.traffic_lights().len()];
+            let req = TripRequest {
+                road,
+                departure: Seconds::new(12.5),
+                rates,
+                queue: QueueParams::us25_probe(),
+                queue_aware: false,
+            };
+            let mut bytes = req.encode();
+            assert_eq!(TripRequest::decode(&mut bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn validation_catches_arity() {
+        let mut req = TripRequest::us25_at(0.0);
+        req.rates.pop();
+        assert!(req.validated().is_err());
+        let mut req = TripRequest::us25_at(0.0);
+        req.departure = Seconds::new(-1.0);
+        assert!(req.validated().is_err());
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let encoded = TripRequest::us25_at(0.0).encode();
+        let mut truncated = encoded.slice(0..encoded.len() / 2);
+        assert!(TripRequest::decode(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn frame_round_trip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tags::REQ_STATS, &[1, 2, 3]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (tag, payload) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(tag, tags::REQ_STATS);
+        assert_eq!(&payload[..], &[1, 2, 3]);
+        // Clean EOF at the frame boundary -> None.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn hostile_counts_rejected() {
+        // A zone count of 10^9 must not allocate.
+        let mut buf = BytesMut::new();
+        buf.put_f64(1000.0);
+        buf.put_f64(10.0);
+        buf.put_f64(20.0);
+        buf.put_u32(1_000_000_000);
+        let mut bytes = buf.freeze();
+        assert!(decode_road(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn profile_round_trip() {
+        use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let profile = system.optimize().unwrap();
+        let mut buf = BytesMut::new();
+        encode_profile(&profile, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_profile(&mut bytes).unwrap();
+        assert_eq!(back, profile);
+    }
+}

@@ -1,0 +1,322 @@
+//! The cloud service: acceptor + crossbeam worker pool + plan cache.
+
+use crate::protocol::{encode_profile, tags, write_frame, TripRequest};
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use velopt_common::{Error, Result};
+use velopt_core::dp::{DpConfig, DpOptimizer, StartState};
+use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
+use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+
+/// Serving counters, exposed over the wire via `REQ_STATS`.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    served: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl ServerStats {
+    /// Requests answered with a profile so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// How many of those came straight from the plan cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+}
+
+type PlanCache = RwLock<HashMap<Vec<u8>, velopt_core::dp::OptimizedProfile>>;
+
+/// The vehicular-cloud optimization server.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct CloudServer {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CloudServer {
+    /// Binds an ephemeral localhost port and spawns `workers` optimization
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for zero workers and [`Error::Io`]
+    /// if the port cannot be bound.
+    pub fn spawn(workers: usize) -> Result<Self> {
+        if workers == 0 {
+            return Err(Error::invalid_input("need at least one worker"));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let cache: Arc<PlanCache> = Arc::new(RwLock::new(HashMap::new()));
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(64);
+        let stop_acceptor = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_acceptor.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let stats = Arc::clone(&stats);
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        let _ = serve_connection(stream, &stats, &cache, &stop);
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            addr,
+            stats,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor's blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // The acceptor owned the only Sender; once it exits, workers drain
+        // the channel and see Err on the next recv.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CloudServer {
+    fn drop(&mut self) {
+        // Signal but do not block (C-DTOR-BLOCK); `shutdown()` joins.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Reads one frame with a polling timeout so an idle connection cannot
+/// wedge server shutdown; returns `None` on EOF or a stop request observed
+/// between frames.
+fn read_frame_stoppable(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<Option<(u8, bytes::Bytes)>> {
+    use std::io::Read;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .ok();
+    // Poll for the 4-byte length header; once any byte has arrived, finish
+    // the frame even if a stop lands mid-read (never desync the stream).
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        if filled == 0 && stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => return Ok(None), // EOF
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len == 0 || len > 64 * 1024 * 1024 {
+        return Err(Error::protocol(format!("implausible frame length {len}")));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(Error::protocol("truncated frame")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut bytes = bytes::Bytes::from(body);
+    let tag = bytes[0];
+    bytes::Buf::advance(&mut bytes, 1);
+    Ok(Some((tag, bytes)))
+}
+
+/// Handles every request on one connection until the client disconnects or
+/// the server is stopped.
+fn serve_connection(
+    mut stream: TcpStream,
+    stats: &ServerStats,
+    cache: &PlanCache,
+    stop: &AtomicBool,
+) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let Some((tag, mut payload)) = read_frame_stoppable(&mut stream, stop)? else {
+            return Ok(()); // client done (or server stopping)
+        };
+        match tag {
+            tags::REQ_TRIP => {
+                let key = payload.to_vec();
+                match handle_trip(&mut payload, &key, stats, cache) {
+                    Ok(profile) => {
+                        let mut buf = BytesMut::new();
+                        encode_profile(&profile, &mut buf);
+                        write_frame(&mut stream, tags::RESP_PROFILE, &buf)?;
+                    }
+                    Err(e) => {
+                        write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
+                    }
+                }
+            }
+            tags::REQ_STATS => {
+                let mut buf = BytesMut::new();
+                bytes::BufMut::put_u64(&mut buf, stats.served());
+                bytes::BufMut::put_u64(&mut buf, stats.cache_hits());
+                write_frame(&mut stream, tags::RESP_STATS, &buf)?;
+            }
+            other => {
+                write_frame(
+                    &mut stream,
+                    tags::RESP_ERROR,
+                    format!("unknown request tag {other}").as_bytes(),
+                )?;
+            }
+        }
+    }
+}
+
+fn handle_trip(
+    payload: &mut bytes::Bytes,
+    key: &[u8],
+    stats: &ServerStats,
+    cache: &PlanCache,
+) -> Result<velopt_core::dp::OptimizedProfile> {
+    if let Some(hit) = cache.read().get(key) {
+        stats.served.fetch_add(1, Ordering::Relaxed);
+        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit.clone());
+    }
+    let request = TripRequest::decode(payload)?;
+    request.validated()?;
+
+    // The same physically-grounded model the local pipeline plans with.
+    let energy = EnergyModel::with_regen(
+        VehicleParams::spark_ev(),
+        RegenPolicy::Limited {
+            efficiency: 0.6,
+            cutoff: velopt_common::units::MetersPerSecond::new(1.5),
+        },
+    );
+    let config = DpConfig::default();
+    let optimizer = DpOptimizer::new(energy, config)?;
+    let constraints = if request.queue_aware {
+        queue_aware_constraints(&request.road, &request.rates, request.queue, config.horizon)?
+    } else {
+        green_only_constraints(&request.road, config.horizon)
+    };
+    let profile = optimizer.optimize_from(
+        &request.road,
+        &constraints,
+        StartState {
+            time: request.departure,
+            ..StartState::default()
+        },
+    )?;
+    cache.write().insert(key.to_vec(), profile.clone());
+    stats.served.fetch_add(1, Ordering::Relaxed);
+    Ok(profile)
+}
+
+// Integration-style tests live with the client (`client.rs`) so they
+// exercise the full wire path; protocol unit tests live in `protocol.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(CloudServer::spawn(0).is_err());
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let server = CloudServer::spawn(1).unwrap();
+        assert_eq!(server.stats().served(), 0);
+        assert_eq!(server.stats().cache_hits(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn trip_handler_caches_by_request_bytes() {
+        let stats = ServerStats::default();
+        let cache: PlanCache = RwLock::new(HashMap::new());
+        let req = TripRequest::us25_at(0.0);
+        let encoded = req.encode();
+        let key = encoded.to_vec();
+
+        let mut payload = encoded.clone();
+        let first = handle_trip(&mut payload, &key, &stats, &cache).unwrap();
+        assert_eq!(stats.served(), 1);
+        assert_eq!(stats.cache_hits(), 0);
+
+        let mut payload = encoded.clone();
+        let second = handle_trip(&mut payload, &key, &stats, &cache).unwrap();
+        assert_eq!(stats.served(), 2);
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(first, second);
+    }
+}

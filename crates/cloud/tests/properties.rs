@@ -1,0 +1,64 @@
+//! Property-based tests for the vehicular-cloud wire format.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use velopt_cloud::protocol::{read_frame, write_frame, TripRequest};
+use velopt_common::units::{Seconds, VehiclesPerHour};
+use velopt_queue::QueueParams;
+use velopt_road::CorridorTemplate;
+
+proptest! {
+    /// Requests over arbitrary generated corridors round-trip losslessly.
+    #[test]
+    fn trip_request_round_trip(
+        seed in any::<u64>(),
+        departure in 0.0f64..600.0,
+        rate in 10.0f64..1500.0,
+        queue_aware in any::<bool>(),
+    ) {
+        let road = CorridorTemplate::default().generate(seed).unwrap();
+        let rates = vec![VehiclesPerHour::new(rate); road.traffic_lights().len()];
+        let req = TripRequest {
+            road,
+            departure: Seconds::new(departure),
+            rates,
+            queue: QueueParams::us25_probe(),
+            queue_aware,
+        };
+        let mut bytes = req.encode();
+        let back = TripRequest::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, req);
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Arbitrary frames round-trip through the stream helpers.
+    #[test]
+    fn frame_round_trip(tag in any::<u8>(), payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, tag, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (t, p) = read_frame(&mut cursor).unwrap().unwrap();
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(&p[..], &payload[..]);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// Garbage bytes never panic the request decoder (errors are fine).
+    #[test]
+    fn decoder_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut bytes = Bytes::from(garbage);
+        let _ = TripRequest::decode(&mut bytes);
+    }
+
+    /// Truncating a valid request at any point yields an error, not a panic
+    /// or a silently-wrong value.
+    #[test]
+    fn truncation_is_detected(cut_fraction in 0.01f64..0.99) {
+        let req = TripRequest::us25_at(30.0);
+        let encoded = req.encode();
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < encoded.len());
+        let mut truncated = encoded.slice(0..cut);
+        prop_assert!(TripRequest::decode(&mut truncated).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public API in the `velopt` crates returns
+//! [`Result<T>`](Result) with this [`Error`]. The variants are deliberately
+//! coarse: this is a research library, and the useful signal is *which layer*
+//! rejected the input, carried in a human-readable message.
+
+use std::fmt;
+
+/// A specialized result type for `velopt` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the `velopt` crates.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::{Error, Result};
+///
+/// fn check(dt: f64) -> Result<()> {
+///     if dt <= 0.0 {
+///         return Err(Error::invalid_input("time step must be positive"));
+///     }
+///     Ok(())
+/// }
+/// assert!(check(-1.0).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An argument failed validation (wrong range, inconsistent combination).
+    InvalidInput(String),
+    /// A model was used outside of its domain (e.g. querying a road position
+    /// past the end of the corridor).
+    OutOfDomain(String),
+    /// An optimization problem has no feasible solution under the supplied
+    /// constraints (e.g. no velocity profile can hit every green window).
+    Infeasible(String),
+    /// A numeric routine failed to converge or produced a non-finite value.
+    Numeric(String),
+    /// A wire-protocol message was malformed or truncated.
+    Protocol(String),
+    /// An underlying I/O operation failed (TraCI sockets).
+    Io(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidInput`].
+    pub fn invalid_input(msg: impl Into<String>) -> Self {
+        Error::InvalidInput(msg.into())
+    }
+
+    /// Builds an [`Error::OutOfDomain`].
+    pub fn out_of_domain(msg: impl Into<String>) -> Self {
+        Error::OutOfDomain(msg.into())
+    }
+
+    /// Builds an [`Error::Infeasible`].
+    pub fn infeasible(msg: impl Into<String>) -> Self {
+        Error::Infeasible(msg.into())
+    }
+
+    /// Builds an [`Error::Numeric`].
+    pub fn numeric(msg: impl Into<String>) -> Self {
+        Error::Numeric(msg.into())
+    }
+
+    /// Builds an [`Error::Protocol`].
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        Error::Protocol(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::OutOfDomain(m) => write!(f, "out of domain: {m}"),
+            Error::Infeasible(m) => write!(f, "infeasible: {m}"),
+            Error::Numeric(m) => write!(f, "numeric failure: {m}"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = Error::invalid_input("bad step");
+        assert_eq!(e.to_string(), "invalid input: bad step");
+        let e = Error::infeasible("no profile");
+        assert_eq!(e.to_string(), "infeasible: no profile");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("pipe"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn equality_on_variants() {
+        assert_eq!(Error::numeric("x"), Error::numeric("x"));
+        assert_ne!(Error::numeric("x"), Error::protocol("x"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Linear interpolation and piecewise-linear curves.
+//!
+//! Road grade profiles and speed-limit envelopes are represented as
+//! piecewise-linear functions of distance; the DP optimizer evaluates them at
+//! every station. [`PiecewiseLinear`] is the shared implementation.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Linear interpolation between `(x0, y0)` and `(x1, y1)` evaluated at `x`.
+///
+/// `x` is clamped to the segment, so the result never extrapolates.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(velopt_common::interp::lerp(0.0, 0.0, 10.0, 100.0, 2.5), 25.0);
+/// assert_eq!(velopt_common::interp::lerp(0.0, 0.0, 10.0, 100.0, 20.0), 100.0);
+/// ```
+pub fn lerp(x0: f64, y0: f64, x1: f64, y1: f64, x: f64) -> f64 {
+    if x1 == x0 {
+        return y0;
+    }
+    let t = ((x - x0) / (x1 - x0)).clamp(0.0, 1.0);
+    y0 + t * (y1 - y0)
+}
+
+/// A piecewise-linear curve defined by knots with strictly increasing `x`.
+///
+/// Evaluation outside the knot range clamps to the boundary values, which is
+/// the natural behaviour for grade and limit profiles (the road is flat
+/// beyond the surveyed section).
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::interp::PiecewiseLinear;
+///
+/// let grade = PiecewiseLinear::new(vec![(0.0, 0.0), (100.0, 2.0), (200.0, 0.0)]).unwrap();
+/// assert_eq!(grade.eval(50.0), 1.0);
+/// assert_eq!(grade.eval(-10.0), 0.0);
+/// assert_eq!(grade.eval(500.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a curve from `(x, y)` knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if fewer than one knot is supplied or
+    /// the `x` values are not strictly increasing and finite.
+    pub fn new(knots: Vec<(f64, f64)>) -> Result<Self> {
+        if knots.is_empty() {
+            return Err(Error::invalid_input("piecewise curve needs >= 1 knot"));
+        }
+        for w in knots.windows(2) {
+            if !(w[0].0 < w[1].0) {
+                return Err(Error::invalid_input(
+                    "piecewise curve knots must have strictly increasing x",
+                ));
+            }
+        }
+        if knots.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(Error::invalid_input("piecewise curve knots must be finite"));
+        }
+        Ok(Self { knots })
+    }
+
+    /// A constant curve.
+    pub fn constant(y: f64) -> Self {
+        Self {
+            knots: vec![(0.0, y)],
+        }
+    }
+
+    /// Evaluates the curve at `x`, clamping outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let ks = &self.knots;
+        if x <= ks[0].0 {
+            return ks[0].1;
+        }
+        if x >= ks[ks.len() - 1].0 {
+            return ks[ks.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = ks.partition_point(|&(kx, _)| kx <= x);
+        let (x0, y0) = ks[idx - 1];
+        let (x1, y1) = ks[idx];
+        lerp(x0, y0, x1, y1, x)
+    }
+
+    /// The knots of the curve.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Minimum `y` over the knots (exact for piecewise-linear curves).
+    pub fn min_y(&self) -> f64 {
+        self.knots.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum `y` over the knots.
+    pub fn max_y(&self) -> f64 {
+        self.knots
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_degenerate_segment() {
+        assert_eq!(lerp(1.0, 5.0, 1.0, 9.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_knots() {
+        assert!(PiecewiseLinear::new(vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(1.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(f64::NAN, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let c = PiecewiseLinear::new(vec![(5.0, 3.0)]).unwrap();
+        assert_eq!(c.eval(0.0), 3.0);
+        assert_eq!(c.eval(100.0), 3.0);
+    }
+
+    #[test]
+    fn constant_constructor() {
+        let c = PiecewiseLinear::constant(-2.0);
+        assert_eq!(c.eval(123.0), -2.0);
+        assert_eq!(c.min_y(), -2.0);
+        assert_eq!(c.max_y(), -2.0);
+    }
+
+    #[test]
+    fn eval_on_knots_and_between() {
+        let pl = PiecewiseLinear::new(vec![(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)]).unwrap();
+        assert_eq!(pl.eval(0.0), 0.0);
+        assert_eq!(pl.eval(10.0), 10.0);
+        assert_eq!(pl.eval(15.0), 5.0);
+        assert_eq!(pl.eval(20.0), 0.0);
+    }
+
+    #[test]
+    fn extrema() {
+        let pl = PiecewiseLinear::new(vec![(0.0, -1.0), (1.0, 4.0), (2.0, 2.0)]).unwrap();
+        assert_eq!(pl.min_y(), -1.0);
+        assert_eq!(pl.max_y(), 4.0);
+        assert_eq!(pl.knots().len(), 3);
+    }
+}

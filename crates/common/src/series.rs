@@ -1,0 +1,297 @@
+//! Uniformly-sampled time series.
+//!
+//! Velocity profiles, queue-length traces and traffic-volume feeds are all
+//! functions of time sampled on a fixed grid. [`TimeSeries`] stores the grid
+//! spacing once and the samples contiguously, and offers the interpolating
+//! accessors the optimizer and the analysis code need.
+
+use crate::error::{Error, Result};
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// A series of `f64` samples on a uniform time grid starting at `t = start`.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::series::TimeSeries;
+/// use velopt_common::units::Seconds;
+///
+/// let ts = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![0.0, 10.0, 20.0])
+///     .unwrap();
+/// assert_eq!(ts.sample_at(Seconds::new(0.5)), Some(5.0));
+/// assert_eq!(ts.duration(), Seconds::new(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: Seconds,
+    step: Seconds,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a time series from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `step` is not strictly positive or
+    /// `samples` is empty.
+    pub fn from_samples(start: Seconds, step: Seconds, samples: Vec<f64>) -> Result<Self> {
+        if step.value() <= 0.0 || !step.is_finite() {
+            return Err(Error::invalid_input("time series step must be positive"));
+        }
+        if samples.is_empty() {
+            return Err(Error::invalid_input("time series needs at least 1 sample"));
+        }
+        Ok(Self {
+            start,
+            step,
+            samples,
+        })
+    }
+
+    /// Samples a function on `[start, start + n*step]` (inclusive endpoints,
+    /// `n + 1` samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `step` is not positive.
+    pub fn sample_fn(
+        start: Seconds,
+        step: Seconds,
+        n: usize,
+        mut f: impl FnMut(Seconds) -> f64,
+    ) -> Result<Self> {
+        if step.value() <= 0.0 {
+            return Err(Error::invalid_input("time series step must be positive"));
+        }
+        let samples = (0..=n)
+            .map(|i| f(start + step * i as f64))
+            .collect::<Vec<_>>();
+        Self::from_samples(start, step, samples)
+    }
+
+    /// First sample instant.
+    pub fn start(&self) -> Seconds {
+        self.start
+    }
+
+    /// Grid spacing.
+    pub fn step(&self) -> Seconds {
+        self.step
+    }
+
+    /// Time of the last sample.
+    pub fn end(&self) -> Seconds {
+        self.start + self.step * (self.samples.len() - 1) as f64
+    }
+
+    /// Time covered from the first to the last sample.
+    pub fn duration(&self) -> Seconds {
+        self.end() - self.start
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty (never true for a constructed series).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Time of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn time_of(&self, i: usize) -> Seconds {
+        assert!(i < self.samples.len(), "sample index out of bounds");
+        self.start + self.step * i as f64
+    }
+
+    /// Linearly-interpolated value at time `t`, or `None` outside the domain.
+    pub fn sample_at(&self, t: Seconds) -> Option<f64> {
+        let rel = (t - self.start).value() / self.step.value();
+        if rel < 0.0 || rel > (self.samples.len() - 1) as f64 {
+            return None;
+        }
+        let lo = rel.floor() as usize;
+        if lo + 1 >= self.samples.len() {
+            return Some(self.samples[self.samples.len() - 1]);
+        }
+        let frac = rel - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[lo + 1] * frac)
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start + self.step * i as f64, v))
+    }
+
+    /// Trapezoidal integral of the series over its whole domain.
+    ///
+    /// For a velocity profile this is the distance traveled; for an energy
+    /// rate it is total energy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::series::TimeSeries;
+    /// use velopt_common::units::Seconds;
+    ///
+    /// // Constant 10 m/s for 2 s -> 20 m.
+    /// let v = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![10.0; 3]).unwrap();
+    /// assert_eq!(v.integrate(), 20.0);
+    /// ```
+    pub fn integrate(&self) -> f64 {
+        let dt = self.step.value();
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (w[0] + w[1]) * dt)
+            .sum()
+    }
+
+    /// Trapezoidal integral of `f(value)` over the domain.
+    pub fn integrate_map(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        let dt = self.step.value();
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (f(w[0]) + f(w[1])) * dt)
+            .sum()
+    }
+
+    /// Element-wise map producing a new series on the same grid.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> Self {
+        Self {
+            start: self.start,
+            step: self.step,
+            samples: self.samples.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Maximum sample value (the series is never empty).
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sample value.
+    pub fn min_value(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Resamples the series onto a new grid spacing via linear interpolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `new_step` is not positive.
+    pub fn resample(&self, new_step: Seconds) -> Result<Self> {
+        if new_step.value() <= 0.0 {
+            return Err(Error::invalid_input("resample step must be positive"));
+        }
+        let n = (self.duration().value() / new_step.value()).floor() as usize;
+        let samples = (0..=n)
+            .map(|i| {
+                let t = self.start + new_step * i as f64;
+                self.sample_at(t).expect("resample stays inside the domain")
+            })
+            .collect();
+        Self::from_samples(self.start, new_step, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![0.0, 1.0, 2.0, 3.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TimeSeries::from_samples(Seconds::ZERO, Seconds::ZERO, vec![1.0]).is_err());
+        assert!(TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![]).is_err());
+        assert!(TimeSeries::from_samples(Seconds::ZERO, Seconds::new(-1.0), vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn endpoints_and_duration() {
+        let ts = ramp();
+        assert_eq!(ts.start(), Seconds::ZERO);
+        assert_eq!(ts.end(), Seconds::new(3.0));
+        assert_eq!(ts.duration(), Seconds::new(3.0));
+        assert_eq!(ts.len(), 4);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.time_of(2), Seconds::new(2.0));
+    }
+
+    #[test]
+    fn interpolation_inside_and_outside() {
+        let ts = ramp();
+        assert_eq!(ts.sample_at(Seconds::new(1.5)), Some(1.5));
+        assert_eq!(ts.sample_at(Seconds::new(3.0)), Some(3.0));
+        assert_eq!(ts.sample_at(Seconds::new(-0.1)), None);
+        assert_eq!(ts.sample_at(Seconds::new(3.1)), None);
+    }
+
+    #[test]
+    fn integral_of_ramp() {
+        // Integral of t over [0, 3] = 4.5.
+        assert!((ramp().integrate() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_map_squares() {
+        // Trapezoid of t^2 on unit grid: 0.5*(0+1) + 0.5*(1+4) + 0.5*(4+9) = 9.5.
+        assert!((ramp().integrate_map(|x| x * x) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_fn_inclusive() {
+        let ts = TimeSeries::sample_fn(Seconds::ZERO, Seconds::new(0.5), 4, |t| t.value()).unwrap();
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts.end(), Seconds::new(2.0));
+    }
+
+    #[test]
+    fn map_and_extrema() {
+        let ts = ramp().map(|x| -x);
+        assert_eq!(ts.max_value(), 0.0);
+        assert_eq!(ts.min_value(), -3.0);
+    }
+
+    #[test]
+    fn resample_halves_grid() {
+        let ts = ramp().resample(Seconds::new(0.5)).unwrap();
+        assert_eq!(ts.len(), 7);
+        assert_eq!(ts.sample_at(Seconds::new(2.5)), Some(2.5));
+        assert!(ramp().resample(Seconds::ZERO).is_err());
+    }
+
+    #[test]
+    fn iter_yields_times() {
+        let ts = ramp();
+        let pts: Vec<_> = ts.iter().collect();
+        assert_eq!(pts[3], (Seconds::new(3.0), 3.0));
+    }
+
+    #[test]
+    fn nonzero_start() {
+        let ts =
+            TimeSeries::from_samples(Seconds::new(10.0), Seconds::new(2.0), vec![5.0, 7.0]).unwrap();
+        assert_eq!(ts.sample_at(Seconds::new(11.0)), Some(6.0));
+        assert_eq!(ts.sample_at(Seconds::new(9.9)), None);
+        assert_eq!(ts.end(), Seconds::new(12.0));
+    }
+}

@@ -1,0 +1,290 @@
+//! Descriptive statistics and the error metrics used in the paper.
+//!
+//! The paper evaluates its stacked-autoencoder traffic predictor with **Mean
+//! Relative Error** (MRE) and **Root Mean Squared Error** (RMSE), and its
+//! queue-length model by visual RMSE against collected data (Fig. 4–5). The
+//! functions here implement those metrics plus the handful of descriptive
+//! statistics the benches report.
+
+use crate::error::{Error, Result};
+
+/// Arithmetic mean of a slice.
+///
+/// Returns `0.0` for an empty slice, which is the convention used throughout
+/// the workload reports (an empty day contributes zero volume).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(velopt_common::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(velopt_common::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice (division by `n`).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root Mean Squared Error between predictions and ground truth.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] if the slices differ in length or are
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// let rmse = velopt_common::stats::rmse(&[1.0, 2.0], &[1.0, 4.0])?;
+/// assert!((rmse - 2.0_f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    paired(predicted, actual)?;
+    let mse = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean Relative Error between predictions and ground truth, as a fraction.
+///
+/// Pairs whose actual value is zero are skipped (relative error is undefined
+/// there); this matches how hourly traffic-volume MRE is computed in the
+/// traffic-forecasting literature the paper cites, where night hours with
+/// zero counts are excluded.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] if the slices differ in length, are empty,
+/// or if *every* actual value is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// let mre = velopt_common::stats::mre(&[110.0, 90.0], &[100.0, 100.0])?;
+/// assert!((mre - 0.1).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mre(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    paired(predicted, actual)?;
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (p, a) in predicted.iter().zip(actual) {
+        if *a != 0.0 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(Error::invalid_input(
+            "mre undefined: every actual value is zero",
+        ));
+    }
+    Ok(total / n as f64)
+}
+
+/// Mean Absolute Error between predictions and ground truth.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] if the slices differ in length or are
+/// empty.
+pub fn mae(predicted: &[f64], actual: &[f64]) -> Result<f64> {
+    paired(predicted, actual)?;
+    Ok(predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64)
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of a slice.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] for an empty slice or `q` outside `[0,1]`.
+pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::invalid_input("percentile of empty slice"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(Error::invalid_input("percentile q must be in [0, 1]"));
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite value in percentile"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Online accumulator for mean/min/max over a stream of samples.
+///
+/// Used by the microscopic simulator to aggregate per-step telemetry without
+/// storing every sample.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::stats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 6.0] {
+///     acc.add(x);
+/// }
+/// assert_eq!(acc.count(), 3);
+/// assert_eq!(acc.mean(), 3.0);
+/// assert_eq!(acc.min(), Some(1.0));
+/// assert_eq!(acc.max(), Some(6.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (zero if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+fn paired(predicted: &[f64], actual: &[f64]) -> Result<()> {
+    if predicted.len() != actual.len() {
+        return Err(Error::invalid_input(format!(
+            "length mismatch: {} predictions vs {} actuals",
+            predicted.len(),
+            actual.len()
+        )));
+    }
+    if predicted.is_empty() {
+        return Err(Error::invalid_input("empty metric input"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_prediction() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_rejects_mismatched_lengths() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mre_skips_zero_actuals() {
+        let mre = mre(&[10.0, 50.0], &[0.0, 100.0]).unwrap();
+        assert!((mre - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_all_zero_actuals_is_error() {
+        assert!(mre(&[1.0, 2.0], &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 3.0], &[2.0, 1.0]).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn percentile_median_and_bounds() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.5).unwrap(), 2.0);
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 3.0);
+        assert!(percentile(&xs, 1.5).is_err());
+        assert!(percentile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 0.25).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn accumulator_empty() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+}

@@ -1,0 +1,553 @@
+//! Newtype wrappers for the physical quantities used across the workspace.
+//!
+//! Every unit is a thin wrapper around `f64` with:
+//!
+//! * a `new` constructor and a `value` accessor,
+//! * arithmetic operators that are dimensionally meaningful (e.g.
+//!   `Meters / Seconds -> MetersPerSecond`),
+//! * [`Display`](std::fmt::Display) with the SI suffix.
+//!
+//! Using distinct types for distance, time, speed and acceleration prevents
+//! the classic unit-mixup bugs in the dynamic-programming optimizer, where
+//! positions, arrival times and speeds flow through the same state tuples.
+//!
+//! # Examples
+//!
+//! ```
+//! use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+//!
+//! let gap = Meters::new(30.0);
+//! let speed = MetersPerSecond::new(10.0);
+//! let time_to_cover: Seconds = gap / speed;
+//! assert_eq!(time_to_cover, Seconds::new(3.0));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` as this unit.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use velopt_common::units::", stringify!($name), ";")]
+            #[doc = concat!("let q = ", stringify!($name), "::new(1.5);")]
+            /// assert_eq!(q.value(), 1.5);
+            /// ```
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the underlying `f64`.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the quantity is a finite number.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(p) = f.precision() {
+                    write!(f, "{:.*} {}", p, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// A distance in meters.
+    Meters,
+    "m"
+);
+unit!(
+    /// A duration or instant in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// A speed in meters per second.
+    MetersPerSecond,
+    "m/s"
+);
+unit!(
+    /// An acceleration in meters per second squared.
+    MetersPerSecondSq,
+    "m/s^2"
+);
+unit!(
+    /// A speed in kilometers per hour (display/UI convenience).
+    KilometersPerHour,
+    "km/h"
+);
+unit!(
+    /// An electrical potential in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Electrical charge in ampere-hours; the paper reports EV energy use in
+    /// milliampere-hours drawn from the 399 V pack.
+    AmpereHours,
+    "Ah"
+);
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// A traffic flow rate in vehicles per hour.
+    VehiclesPerHour,
+    "veh/h"
+);
+unit!(
+    /// An electrical current in amperes — the unit of the paper's charge
+    /// consumption rate ζ (Eq. 3).
+    Amperes,
+    "A"
+);
+unit!(
+    /// An angle in radians (used for road grade).
+    Radians,
+    "rad"
+);
+
+impl Meters {
+    /// Builds a distance from kilometers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::units::Meters;
+    /// assert_eq!(Meters::from_kilometers(4.2), Meters::new(4200.0));
+    /// ```
+    #[inline]
+    pub fn from_kilometers(km: f64) -> Self {
+        Self::new(km * 1000.0)
+    }
+}
+
+impl Seconds {
+    /// Builds a duration from whole hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * 3600.0)
+    }
+
+    /// Expresses the duration in hours.
+    #[inline]
+    pub fn to_hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Builds a duration from minutes.
+    #[inline]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+}
+
+impl MetersPerSecond {
+    /// Converts to kilometers per hour.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::units::MetersPerSecond;
+    /// let v = MetersPerSecond::new(15.0).to_kilometers_per_hour();
+    /// assert_eq!(v.value(), 54.0);
+    /// ```
+    #[inline]
+    pub fn to_kilometers_per_hour(self) -> KilometersPerHour {
+        KilometersPerHour::new(self.value() * 3.6)
+    }
+}
+
+impl KilometersPerHour {
+    /// Converts to meters per second.
+    #[inline]
+    pub fn to_meters_per_second(self) -> MetersPerSecond {
+        MetersPerSecond::new(self.value() / 3.6)
+    }
+}
+
+impl Radians {
+    /// Builds an angle from degrees.
+    #[inline]
+    pub fn from_degrees(deg: f64) -> Self {
+        Self::new(deg.to_radians())
+    }
+
+    /// Builds the grade angle from a slope percentage (rise/run * 100).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::units::Radians;
+    /// let theta = Radians::from_grade_percent(5.0);
+    /// assert!((theta.value() - 0.05_f64.atan()).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_grade_percent(percent: f64) -> Self {
+        Self::new((percent / 100.0).atan())
+    }
+
+    /// The sine of the angle.
+    #[inline]
+    pub fn sin(self) -> f64 {
+        self.value().sin()
+    }
+
+    /// The cosine of the angle.
+    #[inline]
+    pub fn cos(self) -> f64 {
+        self.value().cos()
+    }
+}
+
+impl AmpereHours {
+    /// Builds a charge from milliampere-hours.
+    #[inline]
+    pub fn from_milliamp_hours(mah: f64) -> Self {
+        Self::new(mah / 1000.0)
+    }
+
+    /// Expresses the charge in milliampere-hours (the unit of Fig. 3/7 in the
+    /// paper).
+    #[inline]
+    pub fn to_milliamp_hours(self) -> f64 {
+        self.value() * 1000.0
+    }
+}
+
+// Dimensional cross-type operators.
+
+impl Div<Seconds> for Meters {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn div(self, rhs: Seconds) -> MetersPerSecond {
+        MetersPerSecond::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<MetersPerSecond> for Meters {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: MetersPerSecond) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for MetersPerSecond {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Meters {
+        Meters::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<MetersPerSecond> for Seconds {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, rhs: MetersPerSecond) -> Meters {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for MetersPerSecond {
+    type Output = MetersPerSecondSq;
+    #[inline]
+    fn div(self, rhs: Seconds) -> MetersPerSecondSq {
+        MetersPerSecondSq::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for MetersPerSecondSq {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> MetersPerSecond {
+        MetersPerSecond::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<MetersPerSecondSq> for MetersPerSecond {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: MetersPerSecondSq) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = f64;
+    /// Energy in joules.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+impl Amperes {
+    /// The charge accumulated by this current over a duration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::units::{Amperes, Seconds};
+    /// let q = Amperes::new(2.0).over(Seconds::new(1800.0));
+    /// assert_eq!(q.value(), 1.0); // 2 A for half an hour = 1 Ah
+    /// ```
+    #[inline]
+    pub fn over(self, duration: Seconds) -> AmpereHours {
+        AmpereHours::new(self.value() * duration.value() / 3600.0)
+    }
+}
+
+impl VehiclesPerHour {
+    /// The flow expressed in vehicles per second.
+    #[inline]
+    pub fn per_second(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Builds a flow rate from a vehicles-per-second figure.
+    #[inline]
+    pub fn from_per_second(vps: f64) -> Self {
+        Self::new(vps * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmh_mps_round_trip() {
+        let v = KilometersPerHour::new(72.0);
+        let back = v.to_meters_per_second().to_kilometers_per_hour();
+        assert!((back.value() - 72.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_over_time_is_speed() {
+        assert_eq!(
+            Meters::new(100.0) / Seconds::new(4.0),
+            MetersPerSecond::new(25.0)
+        );
+    }
+
+    #[test]
+    fn distance_over_speed_is_time() {
+        assert_eq!(
+            Meters::new(100.0) / MetersPerSecond::new(25.0),
+            Seconds::new(4.0)
+        );
+    }
+
+    #[test]
+    fn accel_times_time_is_speed() {
+        assert_eq!(
+            MetersPerSecondSq::new(2.5) * Seconds::new(4.0),
+            MetersPerSecond::new(10.0)
+        );
+    }
+
+    #[test]
+    fn speed_over_accel_is_time() {
+        // The VM model's ramp-up time v_min / a_max.
+        let t = MetersPerSecond::new(11.18) / MetersPerSecondSq::new(2.5);
+        assert!((t.value() - 4.472).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let v = MetersPerSecond::new(40.0);
+        assert_eq!(
+            v.clamp(MetersPerSecond::ZERO, MetersPerSecond::new(30.0)),
+            MetersPerSecond::new(30.0)
+        );
+        assert_eq!(v.min(MetersPerSecond::new(10.0)).value(), 10.0);
+        assert_eq!(v.max(MetersPerSecond::new(50.0)).value(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_panics_on_inverted_bounds() {
+        let _ = Meters::new(1.0).clamp(Meters::new(2.0), Meters::new(1.0));
+    }
+
+    #[test]
+    fn grade_percent_angle() {
+        let theta = Radians::from_grade_percent(0.0);
+        assert_eq!(theta.sin(), 0.0);
+        assert_eq!(theta.cos(), 1.0);
+    }
+
+    #[test]
+    fn ampere_hours_milliamp_round_trip() {
+        let q = AmpereHours::from_milliamp_hours(460.0);
+        assert!((q.value() - 0.46).abs() < 1e-12);
+        assert!((q.to_milliamp_hours() - 460.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vehicles_per_hour_per_second() {
+        let rate = VehiclesPerHour::new(3600.0);
+        assert_eq!(rate.per_second(), 1.0);
+        assert_eq!(VehiclesPerHour::from_per_second(0.5).value(), 1800.0);
+    }
+
+    #[test]
+    fn sum_of_distances() {
+        let total: Meters = [Meters::new(1.0), Meters::new(2.5)].into_iter().sum();
+        assert_eq!(total, Meters::new(3.5));
+    }
+
+    #[test]
+    fn display_has_suffix_and_precision() {
+        assert_eq!(format!("{:.2}", Meters::new(1.234)), "1.23 m");
+        assert_eq!(format!("{}", Seconds::new(3.0)), "3 s");
+    }
+
+    #[test]
+    fn hours_minutes_conversions() {
+        assert_eq!(Seconds::from_hours(1.5).value(), 5400.0);
+        assert_eq!(Seconds::from_minutes(2.0).value(), 120.0);
+        assert!((Seconds::new(1800.0).to_hours() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negation_and_sub_assign() {
+        let mut a = MetersPerSecondSq::new(1.5);
+        a -= MetersPerSecondSq::new(3.0);
+        assert_eq!(a, MetersPerSecondSq::new(-1.5));
+        assert_eq!(-a, MetersPerSecondSq::new(1.5));
+    }
+}

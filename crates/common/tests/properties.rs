@@ -1,0 +1,107 @@
+//! Property-based tests for the shared foundations.
+
+use proptest::prelude::*;
+use velopt_common::interp::PiecewiseLinear;
+use velopt_common::rng::SplitMix64;
+use velopt_common::series::TimeSeries;
+use velopt_common::stats;
+use velopt_common::units::{KilometersPerHour, Meters, MetersPerSecond, Seconds};
+
+proptest! {
+    #[test]
+    fn unit_conversion_round_trip(v in -500.0f64..500.0) {
+        let kmh = KilometersPerHour::new(v);
+        let back = kmh.to_meters_per_second().to_kilometers_per_hour();
+        prop_assert!((back.value() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_times_time_matches_distance(v in 0.0f64..60.0, t in 0.0f64..1000.0) {
+        let d = MetersPerSecond::new(v) * Seconds::new(t);
+        prop_assert!((d.value() - v * t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_is_nonnegative_and_zero_iff_equal(xs in prop::collection::vec(-1e3f64..1e3, 1..64)) {
+        let r = stats::rmse(&xs, &xs).unwrap();
+        prop_assert_eq!(r, 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        let r2 = stats::rmse(&shifted, &xs).unwrap();
+        prop_assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mre_scale_invariant(
+        xs in prop::collection::vec(1.0f64..1e3, 1..64),
+        scale in 0.1f64..10.0,
+    ) {
+        // MRE is invariant to multiplying both series by the same factor.
+        let pred: Vec<f64> = xs.iter().map(|x| x * 1.1).collect();
+        let m1 = stats::mre(&pred, &xs).unwrap();
+        let xs2: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let pred2: Vec<f64> = pred.iter().map(|x| x * scale).collect();
+        let m2 = stats::mre(&pred2, &xs2).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_range(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        let p = stats::percentile(&xs, q).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn piecewise_eval_within_knot_extrema(
+        ys in prop::collection::vec(-100.0f64..100.0, 2..16),
+        x in -50.0f64..250.0,
+    ) {
+        let knots: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64 * 10.0, y)).collect();
+        let pl = PiecewiseLinear::new(knots).unwrap();
+        let v = pl.eval(x);
+        prop_assert!(v >= pl.min_y() - 1e-9 && v <= pl.max_y() + 1e-9);
+    }
+
+    #[test]
+    fn time_series_integral_bounded_by_extrema(
+        samples in prop::collection::vec(-10.0f64..10.0, 2..128),
+        step in 0.01f64..2.0,
+    ) {
+        let n = samples.len();
+        let ts = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(step), samples).unwrap();
+        let integral = ts.integrate();
+        let span = step * (n - 1) as f64;
+        prop_assert!(integral <= ts.max_value() * span + 1e-9);
+        prop_assert!(integral >= ts.min_value() * span - 1e-9);
+    }
+
+    #[test]
+    fn time_series_resample_preserves_endpoints(
+        samples in prop::collection::vec(0.0f64..10.0, 2..64),
+    ) {
+        let ts = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), samples).unwrap();
+        let rs = ts.resample(Seconds::new(0.25)).unwrap();
+        prop_assert!((rs.samples()[0] - ts.samples()[0]).abs() < 1e-12);
+        // The resampled end lands exactly on the original end for step 0.25.
+        let end = rs.sample_at(ts.end()).unwrap();
+        prop_assert!((end - *ts.samples().last().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splitmix_uniform_in_bounds(seed in any::<u64>(), lo in -10.0f64..0.0, width in 0.0f64..10.0) {
+        let mut rng = SplitMix64::new(seed);
+        let x = rng.uniform(lo, lo + width);
+        prop_assert!(x >= lo && x <= lo + width);
+    }
+
+    #[test]
+    fn distance_div_speed_consistent(d in 1.0f64..1e4, v in 0.1f64..60.0) {
+        let t = Meters::new(d) / MetersPerSecond::new(v);
+        prop_assert!((MetersPerSecond::new(v) * t).value() - d < 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Trip metrics and profile comparison (the numbers behind Fig. 7b/8).
+
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{AmpereHours, Meters, Radians, Seconds};
+use velopt_common::{Result, TimeSeries};
+use velopt_ev_energy::EnergyModel;
+use velopt_road::Road;
+
+/// Metrics of one velocity profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileMetrics {
+    /// Label used in reports ("proposed", "fast driving", ...).
+    pub name: String,
+    /// Net battery charge drawn.
+    pub energy: AmpereHours,
+    /// Trip duration (first to last sample).
+    pub trip_time: Seconds,
+    /// Distance covered.
+    pub distance: Meters,
+    /// Number of full stops after departure (zero-speed clusters).
+    pub stops: usize,
+    /// The largest deceleration observed, in m/s² (positive number).
+    pub max_decel: f64,
+}
+
+impl ProfileMetrics {
+    /// Computes metrics for a speed-vs-time profile on `road`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates energy-model failures (e.g. negative speeds).
+    pub fn from_speed_series(
+        name: impl Into<String>,
+        series: &TimeSeries,
+        road: &Road,
+        energy_model: &EnergyModel,
+    ) -> Result<Self> {
+        let energy = energy_model.profile_energy(series, |x| grade_on(road, x))?;
+        let vs = series.samples();
+        let dt = series.step().value();
+
+        // Count zero-speed clusters strictly inside the trip (the departure
+        // and terminal stops are not "stops experienced en route").
+        let moving_threshold = 0.3;
+        let mut stops = 0usize;
+        let mut in_stop = false;
+        let mut started_moving = false;
+        for (i, &v) in vs.iter().enumerate() {
+            let is_last = i + 1 == vs.len();
+            if v > moving_threshold {
+                started_moving = true;
+                in_stop = false;
+            } else if started_moving && !in_stop && !is_last {
+                in_stop = true;
+                stops += 1;
+            }
+        }
+        // If the profile's final samples are the terminal stop, the loop
+        // above may have counted it; drop it when the stop runs to the end.
+        if in_stop {
+            stops = stops.saturating_sub(1);
+        }
+
+        let mut max_decel: f64 = 0.0;
+        for w in vs.windows(2) {
+            max_decel = max_decel.max((w[0] - w[1]) / dt);
+        }
+
+        Ok(Self {
+            name: name.into(),
+            energy,
+            trip_time: series.duration(),
+            distance: Meters::new(series.integrate()),
+            stops,
+            max_decel,
+        })
+    }
+
+    /// Energy in the paper's reporting unit (mAh).
+    pub fn energy_mah(&self) -> f64 {
+        self.energy.to_milliamp_hours()
+    }
+}
+
+fn grade_on(road: &Road, x: Meters) -> Radians {
+    if road.contains(x) {
+        road.grade_at(x)
+    } else {
+        Radians::ZERO
+    }
+}
+
+/// A side-by-side comparison of several profiles against a reference
+/// (Fig. 7b's "reduces total energy consumption by X% compared with ...").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripComparison {
+    /// Metrics per profile, reference first.
+    pub profiles: Vec<ProfileMetrics>,
+}
+
+impl TripComparison {
+    /// Builds a comparison; the first profile is the reference the savings
+    /// are computed for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn new(profiles: Vec<ProfileMetrics>) -> Self {
+        assert!(!profiles.is_empty(), "comparison needs >= 1 profile");
+        Self { profiles }
+    }
+
+    /// The reference profile (the proposed method).
+    pub fn reference(&self) -> &ProfileMetrics {
+        &self.profiles[0]
+    }
+
+    /// Energy saved by the reference relative to the named profile, as a
+    /// fraction (`0.175` = the paper's 17.5 % against fast driving).
+    pub fn savings_vs(&self, name: &str) -> Option<f64> {
+        let other = self.profiles.iter().find(|p| p.name == name)?;
+        if other.energy.value() == 0.0 {
+            return None;
+        }
+        Some(1.0 - self.reference().energy.value() / other.energy.value())
+    }
+
+    /// TSV rows: `name, energy_mAh, trip_time_s, stops, max_decel`.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("profile\tenergy_mAh\ttrip_time_s\tstops\tmax_decel_ms2\n");
+        for p in &self.profiles {
+            out.push_str(&format!(
+                "{}\t{:.2}\t{:.1}\t{}\t{:.2}\n",
+                p.name,
+                p.energy_mah(),
+                p.trip_time.value(),
+                p.stops,
+                p.max_decel
+            ));
+        }
+        out
+    }
+}
+
+/// Integrates a speed series into a distance-vs-time curve (Fig. 8).
+pub fn distance_time_curve(speed: &TimeSeries) -> TimeSeries {
+    let dt = speed.step().value();
+    let vs = speed.samples();
+    let mut pos = Vec::with_capacity(vs.len());
+    let mut x = 0.0;
+    pos.push(0.0);
+    for w in vs.windows(2) {
+        x += 0.5 * (w[0] + w[1]) * dt;
+        pos.push(x);
+    }
+    TimeSeries::from_samples(speed.start(), speed.step(), pos)
+        .expect("same grid as a valid input series")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::MetersPerSecond;
+    use velopt_ev_energy::VehicleParams;
+
+    fn road() -> Road {
+        Road::us25()
+    }
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(VehicleParams::spark_ev())
+    }
+
+    fn series(samples: Vec<f64>) -> TimeSeries {
+        TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), samples).unwrap()
+    }
+
+    #[test]
+    fn stop_counting_ignores_departure_and_terminal() {
+        // 0 (departure) -> cruise -> stop -> cruise -> 0 (terminal).
+        let s = series(vec![
+            0.0, 5.0, 10.0, 10.0, 5.0, 0.0, 0.0, 5.0, 10.0, 5.0, 0.0,
+        ]);
+        let m = ProfileMetrics::from_speed_series("x", &s, &road(), &model()).unwrap();
+        assert_eq!(m.stops, 1);
+    }
+
+    #[test]
+    fn no_stops_for_smooth_profile() {
+        let s = series(vec![0.0, 4.0, 8.0, 12.0, 12.0, 8.0, 4.0, 0.0]);
+        let m = ProfileMetrics::from_speed_series("x", &s, &road(), &model()).unwrap();
+        assert_eq!(m.stops, 0);
+        assert!((m.max_decel - 4.0).abs() < 1e-9);
+        assert!((m.distance.value() - s.integrate()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_math() {
+        let s_cheap = series(vec![0.0, 5.0, 5.0, 0.0]);
+        let s_dear = series(vec![0.0, 12.0, 12.0, 0.0]);
+        let cheap = ProfileMetrics::from_speed_series("ours", &s_cheap, &road(), &model()).unwrap();
+        let dear = ProfileMetrics::from_speed_series("fast", &s_dear, &road(), &model()).unwrap();
+        let cmp = TripComparison::new(vec![cheap, dear]);
+        let saving = cmp.savings_vs("fast").unwrap();
+        assert!(saving > 0.0 && saving < 1.0);
+        assert!(cmp.savings_vs("nonexistent").is_none());
+        let tsv = cmp.to_tsv();
+        assert!(tsv.contains("ours") && tsv.contains("fast"));
+    }
+
+    #[test]
+    fn distance_curve_is_monotone() {
+        let s = series(vec![0.0, 5.0, 10.0, 0.0, 0.0, 10.0]);
+        let d = distance_time_curve(&s);
+        assert_eq!(d.len(), s.len());
+        for w in d.samples().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!((d.samples().last().unwrap() - s.integrate()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "comparison needs >= 1 profile")]
+    fn empty_comparison_panics() {
+        TripComparison::new(vec![]);
+    }
+}

@@ -1,0 +1,1018 @@
+//! The space–velocity(–time) dynamic program (Eq. 7–12).
+//!
+//! The road is discretized into equal-distance stations `s_i` (Eq. 7's
+//! setup). A profile is a speed per station; between stations the vehicle
+//! holds the constant acceleration implied by the kinematic relation
+//! `v_{i+1}² = v_i² + 2·a·Δs`. The DP searches over discrete speeds at each
+//! station for the assignment minimizing total charge consumption.
+//!
+//! ## Time handling
+//!
+//! Eq. 10 makes the penalty of Eq. 11 depend on the *arrival time* at a
+//! signal station, which depends on the entire path prefix — so a pure
+//! (station × speed) DP is not Markovian. The paper glosses over this; we
+//! implement both resolutions:
+//!
+//! * [`TimeHandling::Exact`] *(default)* — the state space is expanded with
+//!   a discretized arrival time `(station, v, t-bin)`. This restores the
+//!   Markov property at the cost of a larger (still tractable) state space
+//!   and is what the headline results use.
+//! * [`TimeHandling::Greedy`] — paper-literal: a `(station, v)` DP where
+//!   each state remembers the arrival time of its current-best path and the
+//!   penalty is evaluated against that single estimate. Cheaper, but the
+//!   kept path can be window-infeasible when a slightly costlier prefix
+//!   would have hit the window. Offered as an ablation (`bench dp`).
+//!
+//! ## Penalty form
+//!
+//! Eq. 12 multiplies the transition cost by a large constant `M` outside
+//! `T_q`. With regenerative braking the transition cost can be *negative*,
+//! and multiplying a negative cost by `M` would reward violations; we apply
+//! the penalty additively (`cost + M`) instead, which preserves Eq. 12's
+//! intent for all cost signs. (Documented deviation; see DESIGN.md.)
+
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{
+    AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Seconds,
+};
+use velopt_common::{Error, Result, TimeSeries};
+use velopt_ev_energy::EnergyModel;
+use velopt_queue::TimeWindow;
+use velopt_road::Road;
+
+/// How arrival times are tracked for the queue-window penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeHandling {
+    /// Time-expanded state space `(station, v, t-bin)` — exact.
+    Exact,
+    /// Paper-literal `(station, v)` with greedy per-state arrival times.
+    Greedy,
+}
+
+/// Discretization and penalty settings for the DP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Station spacing Δs.
+    pub ds: Meters,
+    /// Speed grid resolution.
+    pub dv: MetersPerSecond,
+    /// Arrival-time bin width (Exact mode only).
+    pub dt_bin: Seconds,
+    /// Planning horizon: arrival times beyond this are pruned.
+    pub horizon: Seconds,
+    /// Comfort deceleration bound (negative).
+    pub a_min: MetersPerSecondSq,
+    /// Comfort acceleration bound (positive).
+    pub a_max: MetersPerSecondSq,
+    /// The additive window penalty `M` (must dominate any trip energy).
+    pub penalty_m: f64,
+    /// Time spent serving an interior stop sign (come to rest, check,
+    /// launch), added to the arrival clock at every stop-sign station. The
+    /// DP's kinematic profile touches `v = 0` only instantaneously; real
+    /// sign service (and the microscopic simulator's) costs several
+    /// seconds, and arrival-time accuracy at downstream lights depends on
+    /// accounting for it.
+    pub stop_dwell: Seconds,
+    /// Value of time in the blended objective, in Ah per second.
+    ///
+    /// With a pure-physics energy model the slowest legal speed is always
+    /// the cheapest, which would (a) weld the optimum to `v_min` leaving no
+    /// slack to *delay* an arrival into a queue-free window and (b)
+    /// contradict the paper's own profiles (Fig. 6 cruises around 60 km/h,
+    /// and §III-B-3 reports the optimized trip matching the fast driver's
+    /// time). The default of 3 mAh/s places the free-cruise optimum near
+    /// 60 km/h for the Spark EV. Reported energies are always the raw
+    /// charge, never the blended cost.
+    pub time_weight: f64,
+    /// Time-tracking mode.
+    pub time_handling: TimeHandling,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        Self {
+            ds: Meters::new(20.0),
+            dv: MetersPerSecond::new(1.0),
+            dt_bin: Seconds::new(1.0),
+            horizon: Seconds::new(900.0),
+            a_min: MetersPerSecondSq::new(-1.5),
+            a_max: MetersPerSecondSq::new(2.5),
+            penalty_m: 1.0e6,
+            stop_dwell: Seconds::new(5.5),
+            time_weight: 0.003,
+            time_handling: TimeHandling::Exact,
+        }
+    }
+}
+
+impl DpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any resolution is non-positive,
+    /// the acceleration interval is empty or mis-signed, or the penalty is
+    /// not positive.
+    pub fn validated(self) -> Result<Self> {
+        if self.ds.value() <= 0.0 || self.dv.value() <= 0.0 || self.dt_bin.value() <= 0.0 {
+            return Err(Error::invalid_input("DP resolutions must be positive"));
+        }
+        if self.horizon.value() <= 0.0 {
+            return Err(Error::invalid_input("horizon must be positive"));
+        }
+        if self.a_min.value() >= 0.0 || self.a_max.value() <= 0.0 {
+            return Err(Error::invalid_input(
+                "need a_min < 0 < a_max for a drivable profile",
+            ));
+        }
+        if self.penalty_m <= 0.0 {
+            return Err(Error::invalid_input("penalty M must be positive"));
+        }
+        if self.time_weight < 0.0 {
+            return Err(Error::invalid_input("time weight must be non-negative"));
+        }
+        if self.stop_dwell.value() < 0.0 {
+            return Err(Error::invalid_input("stop dwell must be non-negative"));
+        }
+        Ok(self)
+    }
+}
+
+/// Arrival-time windows attached to a position on the road (a traffic
+/// light's stop line). The DP penalizes arriving at the nearest station
+/// outside every window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalConstraint {
+    /// Stop-line position.
+    pub position: Meters,
+    /// Allowed arrival windows (queue-free greens for our method, whole
+    /// greens for the baseline DP).
+    pub windows: Vec<TimeWindow>,
+}
+
+impl SignalConstraint {
+    /// Whether an arrival at `t` satisfies the constraint.
+    pub fn admits(&self, t: Seconds) -> bool {
+        self.windows.iter().any(|w| w.contains(t))
+    }
+}
+
+/// Where (and how fast, and when) the optimization starts.
+///
+/// The default is the paper's setting: at the corridor origin, at rest, at
+/// `t = 0`. A mid-trip state enables **closed-loop replanning**: after the
+/// EV has been perturbed (a slow platoon, an unexpected queue), re-run the
+/// DP from its live state against the same absolute-time windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StartState {
+    /// Current position along the corridor.
+    pub position: Meters,
+    /// Current speed.
+    pub speed: MetersPerSecond,
+    /// Current absolute time (the windows' clock).
+    pub time: Seconds,
+}
+
+impl Default for StartState {
+    fn default() -> Self {
+        Self {
+            position: Meters::ZERO,
+            speed: MetersPerSecond::ZERO,
+            time: Seconds::ZERO,
+        }
+    }
+}
+
+/// The optimizer output: a station-indexed speed/time profile plus summary
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedProfile {
+    /// Station positions (first = 0, last = road length).
+    pub stations: Vec<Meters>,
+    /// Speed at each station.
+    pub speeds: Vec<MetersPerSecond>,
+    /// Arrival time at each station.
+    pub times: Vec<Seconds>,
+    /// Net charge drawn over the whole trip.
+    pub total_energy: AmpereHours,
+    /// Trip duration (arrival time at the last station).
+    pub trip_time: Seconds,
+    /// Number of signal stations whose arrival fell outside every window
+    /// (0 = fully feasible plan).
+    pub window_violations: usize,
+}
+
+impl OptimizedProfile {
+    /// Speed as a function of position (linear interpolation of `v²`, which
+    /// is exact for constant-acceleration segments).
+    ///
+    /// Positions outside the road clamp to the endpoint speeds.
+    pub fn speed_at_position(&self, x: Meters) -> MetersPerSecond {
+        let xs = &self.stations;
+        if x <= xs[0] {
+            return self.speeds[0];
+        }
+        if x >= xs[xs.len() - 1] {
+            return self.speeds[self.speeds.len() - 1];
+        }
+        let idx = xs.partition_point(|&s| s <= x);
+        let (x0, x1) = (xs[idx - 1].value(), xs[idx].value());
+        let (v0, v1) = (self.speeds[idx - 1].value(), self.speeds[idx].value());
+        let f = ((x.value() - x0) / (x1 - x0)).clamp(0.0, 1.0);
+        MetersPerSecond::new((v0 * v0 + f * (v1 * v1 - v0 * v0)).max(0.0).sqrt())
+    }
+
+    /// The profile as a uniform speed-vs-time series (speed is linear in
+    /// time on constant-acceleration segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `dt` is non-positive.
+    pub fn to_time_series(&self, dt: Seconds) -> Result<TimeSeries> {
+        if dt.value() <= 0.0 {
+            return Err(Error::invalid_input("sample step must be positive"));
+        }
+        let n = (self.trip_time.value() / dt.value()).ceil() as usize;
+        TimeSeries::sample_fn(Seconds::ZERO, dt, n, |t| {
+            let t = t.min(self.trip_time);
+            // Find the segment containing t.
+            let idx = self.times.partition_point(|&u| u <= t);
+            if idx == 0 {
+                return self.speeds[0].value();
+            }
+            if idx >= self.times.len() {
+                return self.speeds[self.speeds.len() - 1].value();
+            }
+            let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+            let (v0, v1) = (self.speeds[idx - 1].value(), self.speeds[idx].value());
+            let span = (t1 - t0).value();
+            if span <= 0.0 {
+                return v1;
+            }
+            let f = ((t - t0).value() / span).clamp(0.0, 1.0);
+            v0 + f * (v1 - v0)
+        })
+    }
+
+    /// Arrival time at the station nearest to `x`.
+    pub fn arrival_time_at(&self, x: Meters) -> Seconds {
+        let idx = nearest_index(&self.stations, x);
+        self.times[idx]
+    }
+}
+
+fn nearest_index(stations: &[Meters], x: Meters) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, s) in stations.iter().enumerate() {
+        let d = (*s - x).abs().value();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The DP optimizer.
+///
+/// See the crate-level example; the full pipeline that builds the
+/// [`SignalConstraint`]s lives in [`crate::pipeline`].
+#[derive(Debug, Clone)]
+pub struct DpOptimizer {
+    energy: EnergyModel,
+    config: DpConfig,
+}
+
+#[derive(Clone, Copy)]
+struct Node {
+    cost: f64,
+    /// Continuous arrival time carried alongside the bin to avoid drift.
+    time: f64,
+    prev_v: u32,
+    prev_t: u32,
+    violations: u32,
+}
+
+impl DpOptimizer {
+    /// Creates an optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the configuration is invalid.
+    pub fn new(energy: EnergyModel, config: DpConfig) -> Result<Self> {
+        Ok(Self {
+            energy,
+            config: config.validated()?,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DpConfig {
+        &self.config
+    }
+
+    /// Runs the optimization over `road` with the given per-signal arrival
+    /// windows, from the corridor origin at rest at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if no profile satisfies the hard
+    /// kinematic constraints (window violations are soft: they surface as
+    /// `window_violations > 0`, not an error).
+    pub fn optimize(
+        &self,
+        road: &Road,
+        signals: &[SignalConstraint],
+    ) -> Result<OptimizedProfile> {
+        self.optimize_from(road, signals, StartState::default())
+    }
+
+    /// Runs the optimization from an arbitrary mid-trip state (closed-loop
+    /// replanning). Window times stay on the absolute clock `start.time`
+    /// lives on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the start state lies outside the
+    /// corridor or the planning horizon, and [`Error::Infeasible`] if no
+    /// profile satisfies the hard kinematic constraints from that state.
+    pub fn optimize_from(
+        &self,
+        road: &Road,
+        signals: &[SignalConstraint],
+        start: StartState,
+    ) -> Result<OptimizedProfile> {
+        if !road.contains(start.position) || start.position >= road.length() {
+            return Err(Error::invalid_input(
+                "start position must lie strictly inside the corridor",
+            ));
+        }
+        if start.speed.value() < 0.0 {
+            return Err(Error::invalid_input("start speed must be non-negative"));
+        }
+        if start.time.value() < 0.0 || start.time >= self.config.horizon {
+            return Err(Error::invalid_input(
+                "start time must be within [0, horizon)",
+            ));
+        }
+        let stations = build_stations_from(road, start.position, self.config.ds);
+        let n_stations = stations.len();
+        let v_max_global = road.max_speed_limit();
+        let n_speeds = (v_max_global.value() / self.config.dv.value()).floor() as usize + 1;
+        let start_vi = ((start.speed.value() / self.config.dv.value()).round() as usize)
+            .min(n_speeds - 1);
+
+        // Mandatory stop stations: stop signs still ahead, the destination,
+        // and — only when departing from rest at the origin — the source.
+        let mut must_stop = vec![false; n_stations];
+        for stop in road.mandatory_stops() {
+            if stop > start.position {
+                must_stop[nearest_index(&stations, stop)] = true;
+            }
+        }
+        if start.position == Meters::ZERO && start_vi == 0 {
+            must_stop[0] = true;
+        }
+
+        // Signal windows snapped to stations (only lights still ahead).
+        let mut station_windows: Vec<Option<&SignalConstraint>> = vec![None; n_stations];
+        for sc in signals {
+            if sc.position > start.position {
+                station_windows[nearest_index(&stations, sc.position)] = Some(sc);
+            }
+        }
+
+        // Minimum-speed lower bound (Eq. 7a). Near a mandatory stop the hard
+        // bound `v >= v_min(s)` is physically impossible (the EV must launch
+        // from and brake to rest), so the bound tapers with the distance δ
+        // to the nearest stop as `min(v_min, sqrt(2·a_floor·δ))`: the EV must
+        // make at least gentle (0.5 m/s²) average progress away from stops.
+        // Without this taper-floor the energy objective degenerates into
+        // crawling (slower is always cheaper when time is unpriced).
+        const LAUNCH_FLOOR: f64 = 0.5;
+        let mut stop_positions: Vec<f64> = (0..n_stations)
+            .filter(|&i| must_stop[i])
+            .map(|i| stations[i].value())
+            .collect();
+        // The start is a taper anchor too: a replanning call may begin at
+        // any speed, and the profile must be allowed to recover from it.
+        stop_positions.push(start.position.value());
+
+        let allowed: Vec<Vec<bool>> = (0..n_stations)
+            .map(|i| {
+                let x = stations[i];
+                let (lim_min, lim_max) = road.speed_limits_at(x);
+                let delta = stop_positions
+                    .iter()
+                    .map(|&p| (p - x.value()).abs())
+                    .fold(f64::INFINITY, f64::min);
+                let floor = lim_min
+                    .value()
+                    .min((2.0 * LAUNCH_FLOOR * delta).sqrt());
+                (0..n_speeds)
+                    .map(|vi| {
+                        let v = self.config.dv.value() * vi as f64;
+                        if must_stop[i] {
+                            return vi == 0;
+                        }
+                        if v > lim_max.value() + 1e-9 {
+                            return false;
+                        }
+                        // One grid cell of tolerance below the taper floor so
+                        // a coarse grid cannot render the corridor infeasible.
+                        if v + self.config.dv.value() + 1e-9 < floor {
+                            return false;
+                        }
+                        true
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Interior mandatory stops (stop signs) cost service time; the
+        // source and destination do not.
+        let dwell: Vec<f64> = (0..n_stations)
+            .map(|i| {
+                if must_stop[i] && i != 0 && i != n_stations - 1 {
+                    self.config.stop_dwell.value()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        match self.config.time_handling {
+            TimeHandling::Exact => self.solve_exact(
+                road,
+                &stations,
+                &allowed,
+                &station_windows,
+                &dwell,
+                n_speeds,
+                start_vi,
+                start.time.value(),
+            ),
+            TimeHandling::Greedy => self.solve_greedy(
+                road,
+                &stations,
+                &allowed,
+                &station_windows,
+                &dwell,
+                n_speeds,
+                start_vi,
+                start.time.value(),
+            ),
+        }
+    }
+
+    /// Energy and duration of one transition, or `None` if kinematically
+    /// infeasible.
+    fn transition(
+        &self,
+        road: &Road,
+        x0: Meters,
+        ds: Meters,
+        v0: f64,
+        v1: f64,
+    ) -> Option<(f64, f64)> {
+        let d = ds.value();
+        let a = (v1 * v1 - v0 * v0) / (2.0 * d);
+        if a < self.config.a_min.value() - 1e-9 || a > self.config.a_max.value() + 1e-9 {
+            return None;
+        }
+        if v0 <= 0.0 && v1 <= 0.0 {
+            return None; // cannot cross a segment without moving
+        }
+        let grade = road.grade_at(x0 + ds * 0.5);
+        let seg = self
+            .energy
+            .segment_energy(
+                MetersPerSecond::new(v0),
+                MetersPerSecondSq::new(a),
+                ds,
+                grade,
+            )
+            .ok()?;
+        Some((seg.charge.value(), seg.duration.value()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_exact(
+        &self,
+        road: &Road,
+        stations: &[Meters],
+        allowed: &[Vec<bool>],
+        station_windows: &[Option<&SignalConstraint>],
+        dwell: &[f64],
+        n_speeds: usize,
+        start_vi: usize,
+        start_time: f64,
+    ) -> Result<OptimizedProfile> {
+        let n_stations = stations.len();
+        let n_bins = (self.config.horizon.value() / self.config.dt_bin.value()).ceil() as usize + 1;
+        let idx = |vi: usize, ti: usize| vi * n_bins + ti;
+
+        let mut layers: Vec<Vec<Option<Node>>> = Vec::with_capacity(n_stations);
+        let mut first = vec![None; n_speeds * n_bins];
+        let start_ti = ((start_time / self.config.dt_bin.value()).round() as usize).min(n_bins - 1);
+        first[idx(start_vi, start_ti)] = Some(Node {
+            cost: 0.0,
+            time: start_time,
+            prev_v: start_vi as u32,
+            prev_t: start_ti as u32,
+            violations: 0,
+        });
+        layers.push(first);
+
+        for i in 1..n_stations {
+            let ds = stations[i] - stations[i - 1];
+            let mut layer: Vec<Option<Node>> = vec![None; n_speeds * n_bins];
+            let prev_layer = &layers[i - 1];
+            for vi in 0..n_speeds {
+                let v0 = self.config.dv.value() * vi as f64;
+                // The start layer is pinned by occupancy, not by `allowed`.
+                if i > 1 && !allowed[i - 1][vi] {
+                    continue;
+                }
+                // Feasible target-speed band from the acceleration bounds.
+                let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds.value();
+                let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds.value();
+                let vj_lo =
+                    (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor() as usize;
+                let vj_hi = ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil() as usize)
+                    .min(n_speeds - 1);
+                for vj in vj_lo..=vj_hi {
+                    if !allowed[i][vj] {
+                        continue;
+                    }
+                    let v1 = self.config.dv.value() * vj as f64;
+                    let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
+                    else {
+                        continue;
+                    };
+                    for ti in 0..n_bins {
+                        let Some(node) = prev_layer[idx(vi, ti)] else {
+                            continue;
+                        };
+                        let t1 = node.time + dur + dwell[i];
+                        if t1 > self.config.horizon.value() {
+                            continue;
+                        }
+                        let tj = (t1 / self.config.dt_bin.value()).round() as usize;
+                        if tj >= n_bins {
+                            continue;
+                        }
+                        let (penalty, violation) = match station_windows[i] {
+                            Some(sc) if !sc.admits(Seconds::new(t1)) => {
+                                (self.config.penalty_m, 1)
+                            }
+                            _ => (0.0, 0),
+                        };
+                        let cand = Node {
+                            cost: node.cost + charge + self.config.time_weight * dur + penalty,
+                            time: t1,
+                            prev_v: vi as u32,
+                            prev_t: ti as u32,
+                            violations: node.violations + violation,
+                        };
+                        let slot = &mut layer[idx(vj, tj)];
+                        if slot.map_or(true, |s| cand.cost < s.cost) {
+                            *slot = Some(cand);
+                        }
+                    }
+                }
+            }
+            layers.push(layer);
+        }
+
+        // Pick the cheapest terminal state at v = 0.
+        let last = &layers[n_stations - 1];
+        let mut best: Option<(usize, Node)> = None;
+        for ti in 0..n_bins {
+            if let Some(node) = last[idx(0, ti)] {
+                if best.map_or(true, |(_, b)| node.cost < b.cost) {
+                    best = Some((ti, node));
+                }
+            }
+        }
+        let (mut ti, terminal) =
+            best.ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
+
+        // Backtrack.
+        let mut speeds_idx = vec![0usize; n_stations];
+        let mut times = vec![0.0f64; n_stations];
+        let mut vi = 0usize;
+        times[n_stations - 1] = terminal.time;
+        for i in (1..n_stations).rev() {
+            let node = layers[i][idx(vi, ti)].expect("backtrack follows stored parents");
+            times[i] = node.time;
+            let pv = node.prev_v as usize;
+            let pt = node.prev_t as usize;
+            speeds_idx[i] = vi;
+            vi = pv;
+            ti = pt;
+        }
+        speeds_idx[0] = start_vi;
+        times[0] = start_time;
+
+        self.assemble(road, stations, &speeds_idx, &times, terminal.violations as usize)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_greedy(
+        &self,
+        road: &Road,
+        stations: &[Meters],
+        allowed: &[Vec<bool>],
+        station_windows: &[Option<&SignalConstraint>],
+        dwell: &[f64],
+        n_speeds: usize,
+        start_vi: usize,
+        start_time: f64,
+    ) -> Result<OptimizedProfile> {
+        let n_stations = stations.len();
+        #[derive(Clone, Copy)]
+        struct GNode {
+            cost: f64,
+            time: f64,
+            prev_v: u32,
+            violations: u32,
+        }
+        let mut layers: Vec<Vec<Option<GNode>>> = Vec::with_capacity(n_stations);
+        let mut first = vec![None; n_speeds];
+        first[start_vi] = Some(GNode {
+            cost: 0.0,
+            time: start_time,
+            prev_v: start_vi as u32,
+            violations: 0,
+        });
+        layers.push(first);
+
+        for i in 1..n_stations {
+            let ds = stations[i] - stations[i - 1];
+            let mut layer: Vec<Option<GNode>> = vec![None; n_speeds];
+            for vi in 0..n_speeds {
+                if i > 1 && !allowed[i - 1][vi] {
+                    continue;
+                }
+                let Some(node) = layers[i - 1][vi] else {
+                    continue;
+                };
+                let v0 = self.config.dv.value() * vi as f64;
+                for (vj, a) in allowed[i].iter().enumerate() {
+                    if !a {
+                        continue;
+                    }
+                    let v1 = self.config.dv.value() * vj as f64;
+                    let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
+                    else {
+                        continue;
+                    };
+                    let t1 = node.time + dur + dwell[i];
+                    if t1 > self.config.horizon.value() {
+                        continue;
+                    }
+                    let (penalty, violation) = match station_windows[i] {
+                        Some(sc) if !sc.admits(Seconds::new(t1)) => (self.config.penalty_m, 1),
+                        _ => (0.0, 0),
+                    };
+                    let cand = GNode {
+                        cost: node.cost + charge + self.config.time_weight * dur + penalty,
+                        time: t1,
+                        prev_v: vi as u32,
+                        violations: node.violations + violation,
+                    };
+                    if layer[vj].map_or(true, |s| cand.cost < s.cost) {
+                        layer[vj] = Some(cand);
+                    }
+                }
+            }
+            layers.push(layer);
+        }
+
+        let terminal = layers[n_stations - 1][0]
+            .ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
+        let mut speeds_idx = vec![0usize; n_stations];
+        let mut times = vec![0.0f64; n_stations];
+        let mut vi = 0usize;
+        times[n_stations - 1] = terminal.time;
+        for i in (1..n_stations).rev() {
+            let node = layers[i][vi].expect("backtrack follows stored parents");
+            times[i] = node.time;
+            speeds_idx[i] = vi;
+            vi = node.prev_v as usize;
+        }
+        speeds_idx[0] = start_vi;
+        times[0] = start_time;
+        self.assemble(road, stations, &speeds_idx, &times, terminal.violations as usize)
+    }
+
+    fn assemble(
+        &self,
+        road: &Road,
+        stations: &[Meters],
+        speeds_idx: &[usize],
+        times: &[f64],
+        window_violations: usize,
+    ) -> Result<OptimizedProfile> {
+        let speeds: Vec<MetersPerSecond> = speeds_idx
+            .iter()
+            .map(|&vi| MetersPerSecond::new(self.config.dv.value() * vi as f64))
+            .collect();
+        // Recompute energy cleanly (without penalties) along the chosen path.
+        let mut total = 0.0;
+        for i in 1..stations.len() {
+            let ds = stations[i] - stations[i - 1];
+            let (charge, _) = self
+                .transition(
+                    road,
+                    stations[i - 1],
+                    ds,
+                    speeds[i - 1].value(),
+                    speeds[i].value(),
+                )
+                .ok_or_else(|| Error::numeric("assembled profile has an infeasible segment"))?;
+            total += charge;
+        }
+        Ok(OptimizedProfile {
+            stations: stations.to_vec(),
+            speeds,
+            times: times.iter().map(|&t| Seconds::new(t)).collect(),
+            total_energy: AmpereHours::new(total),
+            trip_time: Seconds::new(times[times.len() - 1] - times[0]),
+            window_violations,
+        })
+    }
+}
+
+/// Builds the station grid from `from` in steps of Δs plus the exact road
+/// end. A regular station closer than Δs/2 to the end is dropped so the
+/// final segment is never degenerately short (a near-zero segment makes any
+/// speed change there kinematically impossible).
+fn build_stations_from(road: &Road, from: Meters, ds: Meters) -> Vec<Meters> {
+    let mut stations = Vec::new();
+    let mut x = from.value();
+    while x < road.length().value() - 1e-9 {
+        stations.push(Meters::new(x));
+        x += ds.value();
+    }
+    if stations.len() > 1
+        && (road.length() - stations[stations.len() - 1]).value() < ds.value() / 2.0
+    {
+        stations.pop();
+    }
+    stations.push(road.length());
+    stations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::KilometersPerHour;
+    use velopt_ev_energy::VehicleParams;
+    use velopt_road::RoadBuilder;
+
+    fn optimizer() -> DpOptimizer {
+        DpOptimizer::new(
+            EnergyModel::new(VehicleParams::spark_ev()),
+            DpConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn simple_road(length: f64) -> Road {
+        RoadBuilder::new(Meters::new(length))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DpConfig {
+            ds: Meters::ZERO,
+            ..DpConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(DpConfig {
+            a_min: MetersPerSecondSq::new(0.5),
+            ..DpConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(DpConfig {
+            penalty_m: 0.0,
+            ..DpConfig::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn free_road_profile_is_feasible_and_smooth() {
+        let road = simple_road(1000.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        assert_eq!(profile.window_violations, 0);
+        assert_eq!(profile.speeds[0], MetersPerSecond::ZERO);
+        assert_eq!(*profile.speeds.last().unwrap(), MetersPerSecond::ZERO);
+        // Accelerations stay within comfort bounds.
+        for i in 1..profile.stations.len() {
+            let ds = (profile.stations[i] - profile.stations[i - 1]).value();
+            let a = (profile.speeds[i].value().powi(2)
+                - profile.speeds[i - 1].value().powi(2))
+                / (2.0 * ds);
+            assert!(a <= 2.5 + 1e-6 && a >= -1.5 - 1e-6, "a = {a}");
+        }
+        // Times are strictly increasing.
+        for w in profile.times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(profile.total_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn respects_max_speed_limit() {
+        let road = simple_road(2000.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        let vmax = road.max_speed_limit().value();
+        for v in &profile.speeds {
+            assert!(v.value() <= vmax + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stop_sign_forces_zero_speed() {
+        let road = RoadBuilder::new(Meters::new(1500.0))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .stop_sign(Meters::new(700.0))
+            .build()
+            .unwrap();
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        // Station nearest the sign is at 700 (multiple of 20) — speed 0.
+        let idx = profile
+            .stations
+            .iter()
+            .position(|&s| (s.value() - 700.0).abs() < 1e-9)
+            .unwrap();
+        assert_eq!(profile.speeds[idx], MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    fn window_constraint_shifts_arrival() {
+        let road = simple_road(1000.0);
+        // Free-run arrival at 500 m.
+        let free = optimizer().optimize(&road, &[]).unwrap();
+        let t_free = free.arrival_time_at(Meters::new(500.0));
+        // Constrain arrival at 500 m to a window well after the free time.
+        let w0 = t_free + Seconds::new(15.0);
+        let constraint = SignalConstraint {
+            position: Meters::new(500.0),
+            windows: vec![TimeWindow {
+                start: w0,
+                end: w0 + Seconds::new(10.0),
+            }],
+        };
+        let constrained = optimizer().optimize(&road, &[constraint.clone()]).unwrap();
+        assert_eq!(constrained.window_violations, 0);
+        let t_c = constrained.arrival_time_at(Meters::new(500.0));
+        assert!(
+            constraint.admits(t_c),
+            "arrival {t_c} must fall in [{w0}, +10s)"
+        );
+    }
+
+    #[test]
+    fn impossible_window_reports_violation_not_panic() {
+        let road = simple_road(600.0);
+        // A window that is long past: the EV cannot be that slow within the
+        // horizon... use a window before any feasible arrival instead.
+        let constraint = SignalConstraint {
+            position: Meters::new(400.0),
+            windows: vec![TimeWindow {
+                start: Seconds::ZERO,
+                end: Seconds::new(1.0),
+            }],
+        };
+        let profile = optimizer().optimize(&road, &[constraint]).unwrap();
+        assert!(profile.window_violations > 0);
+    }
+
+    #[test]
+    fn greedy_mode_also_produces_profiles() {
+        let road = simple_road(1000.0);
+        let opt = DpOptimizer::new(
+            EnergyModel::new(VehicleParams::spark_ev()),
+            DpConfig {
+                time_handling: TimeHandling::Greedy,
+                ..DpConfig::default()
+            },
+        )
+        .unwrap();
+        let profile = opt.optimize(&road, &[]).unwrap();
+        assert_eq!(profile.speeds[0], MetersPerSecond::ZERO);
+        assert!(profile.trip_time.value() > 0.0);
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy_under_windows() {
+        let road = simple_road(1000.0);
+        let mk = |th| {
+            DpOptimizer::new(
+                EnergyModel::new(VehicleParams::spark_ev()),
+                DpConfig {
+                    time_handling: th,
+                    ..DpConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let free = mk(TimeHandling::Exact).optimize(&road, &[]).unwrap();
+        let t_free = free.arrival_time_at(Meters::new(600.0));
+        let constraint = SignalConstraint {
+            position: Meters::new(600.0),
+            windows: vec![TimeWindow {
+                start: t_free + Seconds::new(20.0),
+                end: t_free + Seconds::new(28.0),
+            }],
+        };
+        let exact = mk(TimeHandling::Exact)
+            .optimize(&road, &[constraint.clone()])
+            .unwrap();
+        let greedy = mk(TimeHandling::Greedy)
+            .optimize(&road, &[constraint])
+            .unwrap();
+        assert!(exact.window_violations <= greedy.window_violations);
+    }
+
+    #[test]
+    fn profile_sampling_helpers() {
+        let road = simple_road(1000.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        // Position sampling.
+        assert_eq!(profile.speed_at_position(Meters::new(-5.0)), profile.speeds[0]);
+        let mid = profile.speed_at_position(Meters::new(500.0));
+        assert!(mid.value() > 0.0);
+        // Time series export covers the trip and ends at rest.
+        let series = profile.to_time_series(Seconds::new(0.5)).unwrap();
+        assert!(series.duration() >= profile.trip_time - Seconds::new(0.5));
+        assert!(series.samples().last().unwrap() < &0.5);
+        assert!(profile.to_time_series(Seconds::ZERO).is_err());
+        // Distance covered by the series matches the road length.
+        let dist = series.integrate();
+        assert!(
+            (dist - 1000.0).abs() < 30.0,
+            "time-series distance {dist} should be ~1000 m"
+        );
+    }
+
+    #[test]
+    fn energy_is_less_than_naive_fast_profile() {
+        // The DP should never do worse than a crude bang-bang profile's
+        // energy on the same road (it could pick that profile itself).
+        let road = simple_road(1500.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        // A crude comparison: max accel to vmax, cruise, max brake.
+        let e = EnergyModel::new(VehicleParams::spark_ev());
+        let vmax = road.max_speed_limit();
+        let d_up = vmax.value().powi(2) / (2.0 * 2.5);
+        let d_down = vmax.value().powi(2) / (2.0 * 1.5);
+        let up = e
+            .segment_energy(
+                MetersPerSecond::ZERO,
+                MetersPerSecondSq::new(2.5),
+                Meters::new(d_up),
+                road.grade_at(Meters::ZERO),
+            )
+            .unwrap();
+        let cruise = e
+            .segment_energy(
+                vmax,
+                MetersPerSecondSq::ZERO,
+                Meters::new(1500.0 - d_up - d_down),
+                road.grade_at(Meters::new(750.0)),
+            )
+            .unwrap();
+        let down = e
+            .segment_energy(
+                vmax,
+                MetersPerSecondSq::new(-1.5),
+                Meters::new(d_down),
+                road.grade_at(Meters::new(1400.0)),
+            )
+            .unwrap();
+        let naive = up.charge.value() + cruise.charge.value() + down.charge.value();
+        assert!(
+            profile.total_energy.value() <= naive + 1e-6,
+            "DP {} vs naive {naive}",
+            profile.total_energy.value()
+        );
+    }
+}

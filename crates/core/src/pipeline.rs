@@ -1,0 +1,304 @@
+//! The end-to-end velocity-optimization system.
+//!
+//! Mirrors the paper's system design (§II): predict the per-light vehicle
+//! arrival rates (fixed probe values or the SAE predictor), run the QL
+//! model to obtain the queue-free windows `T_q`, and feed those windows to
+//! the DP optimizer. The queue-oblivious prior DP [2] shares the same code
+//! path with whole-green windows.
+
+use crate::dp::{DpConfig, DpOptimizer, OptimizedProfile};
+use crate::windows::{green_only_constraints, queue_aware_constraints};
+use serde::{Deserialize, Serialize};
+use velopt_common::units::VehiclesPerHour;
+use velopt_common::{Error, Result};
+use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+use velopt_queue::QueueParams;
+use velopt_road::Road;
+use velopt_traffic::SaePredictor;
+
+/// Where the per-light arrival rates come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalRates {
+    /// Fixed measured rates, one per traffic light (the paper's probe:
+    /// 153 veh/h at the second light).
+    Fixed(Vec<VehiclesPerHour>),
+}
+
+/// Configuration of the full system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The corridor to optimize over.
+    pub road: Road,
+    /// EV parameters for the energy model.
+    pub vehicle: VehicleParams,
+    /// Queue-model parameters shared by all lights (signal timing is taken
+    /// from each light; the arrival rate from `rates`).
+    pub queue: QueueParams,
+    /// Arrival-rate source.
+    pub rates: ArrivalRates,
+    /// DP discretization.
+    pub dp: DpConfig,
+}
+
+impl SystemConfig {
+    /// The paper's US-25 experiment configuration: Spark EV, probe queue
+    /// parameters, 153 veh/h at both lights (the 1 PM probe measurement).
+    pub fn us25() -> Self {
+        Self {
+            road: Road::us25(),
+            vehicle: VehicleParams::spark_ev(),
+            queue: QueueParams::us25_probe(),
+            rates: ArrivalRates::Fixed(vec![
+                VehiclesPerHour::new(153.0),
+                VehiclesPerHour::new(153.0),
+            ]),
+            dp: DpConfig::default(),
+        }
+    }
+
+    /// The US-25 corridor under commuter-hour demand (≈800 veh/h reaching
+    /// the first light; the second sees the `γ`-thinned 611 veh/h). This is
+    /// the regime the Fig. 6–8 simulation comparisons run in: queues of
+    /// 4–7 vehicles build each red and need 6–8 s of green to discharge, so
+    /// the queue-oblivious DP visibly meets them (the Fig. 6a stop/hard
+    /// deceleration) while the queue-aware plan glides through.
+    pub fn us25_rush() -> Self {
+        let base = Self::us25();
+        Self {
+            rates: ArrivalRates::Fixed(vec![
+                VehiclesPerHour::new(800.0),
+                VehiclesPerHour::new(800.0 * 0.7636),
+            ]),
+            ..base
+        }
+    }
+}
+
+/// Builds the physically-grounded energy model used for trips: limited
+/// regeneration instead of the super-unity paper-literal form (Eq. 3
+/// divides negative wheel power by `η₁·η₂`, *crediting* more charge than
+/// the braking energy — fine for the Fig. 3 surface, wrong for trip
+/// totals).
+fn physical_model(vehicle: &VehicleParams) -> EnergyModel {
+    EnergyModel::with_regen(
+        vehicle.clone(),
+        RegenPolicy::Limited {
+            efficiency: 0.6,
+            cutoff: velopt_common::units::MetersPerSecond::new(1.5),
+        },
+    )
+}
+
+/// The queue-aware velocity-optimization system (and its baseline).
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct VelocityOptimizationSystem {
+    config: SystemConfig,
+    optimizer: DpOptimizer,
+}
+
+impl VelocityOptimizationSystem {
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the configuration is inconsistent
+    /// (rate/light arity mismatch, invalid DP or queue parameters).
+    pub fn new(config: SystemConfig) -> Result<Self> {
+        let ArrivalRates::Fixed(rates) = &config.rates;
+        if rates.len() != config.road.traffic_lights().len() {
+            return Err(Error::invalid_input(format!(
+                "{} arrival rates for {} lights",
+                rates.len(),
+                config.road.traffic_lights().len()
+            )));
+        }
+        config.queue.validated()?;
+        let optimizer = DpOptimizer::new(physical_model(&config.vehicle), config.dp)?;
+        Ok(Self { config, optimizer })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The underlying DP optimizer (for mid-trip replanning and ablations).
+    pub fn optimizer(&self) -> &DpOptimizer {
+        &self.optimizer
+    }
+
+    /// The energy model used for planning costs and trip evaluation: the
+    /// physical regeneration policy (60% recovery above 1.5 m/s) plus the
+    /// vehicle's auxiliary load. The paper-literal Eq. 3 model (used for
+    /// Fig. 3) is available directly via [`EnergyModel::new`].
+    pub fn energy_model(&self) -> EnergyModel {
+        physical_model(&self.config.vehicle)
+    }
+
+    /// The arrival rates currently in effect.
+    pub fn arrival_rates(&self) -> &[VehiclesPerHour] {
+        let ArrivalRates::Fixed(rates) = &self.config.rates;
+        rates
+    }
+
+    /// Replaces the arrival rates with SAE predictions for the hour the
+    /// trip departs: `history` holds the most recent `predictor.lags()`
+    /// hourly volumes and `hour_index` the global hour of departure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor failures (wrong history length).
+    pub fn predict_rates(
+        &mut self,
+        predictor: &SaePredictor,
+        history: &[f64],
+        hour_index: usize,
+    ) -> Result<()> {
+        let rate = predictor.predict_next(history, hour_index)?;
+        let n = self.config.road.traffic_lights().len();
+        self.config.rates = ArrivalRates::Fixed(vec![rate; n]);
+        Ok(())
+    }
+
+    /// Runs the queue-aware optimization (the paper's method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if no kinematically-valid profile
+    /// exists.
+    pub fn optimize(&self) -> Result<OptimizedProfile> {
+        let constraints = queue_aware_constraints(
+            &self.config.road,
+            self.arrival_rates(),
+            self.config.queue,
+            self.config.dp.horizon,
+        )?;
+        self.optimizer.optimize(&self.config.road, &constraints)
+    }
+
+    /// Runs the queue-oblivious baseline DP [2] (whole greens admissible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if no kinematically-valid profile
+    /// exists.
+    pub fn optimize_baseline(&self) -> Result<OptimizedProfile> {
+        let constraints = green_only_constraints(&self.config.road, self.config.dp.horizon);
+        self.optimizer.optimize(&self.config.road, &constraints)
+    }
+
+    /// Runs the DP with *no* signal awareness at all (pure eco-driving over
+    /// distance — useful as a lower-bound ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if no kinematically-valid profile
+    /// exists.
+    pub fn optimize_unconstrained(&self) -> Result<OptimizedProfile> {
+        self.optimizer.optimize(&self.config.road, &[])
+    }
+
+    /// The queue-free windows `T_q` the optimizer would use, per light
+    /// (exposed for diagnostics and the figure harnesses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-model failures.
+    pub fn queue_windows(&self) -> Result<Vec<crate::dp::SignalConstraint>> {
+        queue_aware_constraints(
+            &self.config.road,
+            self.arrival_rates(),
+            self.config.queue,
+            self.config.dp.horizon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::Meters;
+
+    #[test]
+    fn us25_system_builds_and_optimizes() {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let ours = system.optimize().unwrap();
+        assert_eq!(ours.window_violations, 0, "T_q windows must be hit");
+        // Both light stations are passed at speed (no stop at a light).
+        for light in system.config().road.traffic_lights() {
+            let v = ours.speed_at_position(light.position());
+            assert!(
+                v.value() > 1.0,
+                "ego should glide through the light at {} with v={}",
+                light.position(),
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_hits_greens_but_not_necessarily_queues() {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let baseline = system.optimize_baseline().unwrap();
+        assert_eq!(baseline.window_violations, 0);
+        // Verify against the queue-aware windows: the baseline's arrival may
+        // fall outside T_q (that is exactly the paper's criticism of it) —
+        // we only require that our method's arrivals are inside.
+        let ours = system.optimize().unwrap();
+        let windows = system.queue_windows().unwrap();
+        for w in &windows {
+            let t = ours.arrival_time_at(w.position);
+            assert!(w.admits(t), "ours must arrive inside T_q at {}", w.position);
+        }
+        // And ours costs no more than baseline evaluated on raw energy when
+        // both are feasible for their own constraint sets... (their energies
+        // are close; the big difference appears in simulation, Fig. 6).
+        assert!(ours.total_energy.value() > 0.0);
+        assert!(baseline.total_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn rate_arity_checked() {
+        let cfg = SystemConfig {
+            rates: ArrivalRates::Fixed(vec![VehiclesPerHour::new(100.0)]),
+            ..SystemConfig::us25()
+        };
+        assert!(VelocityOptimizationSystem::new(cfg).is_err());
+    }
+
+    #[test]
+    fn unconstrained_has_lowest_blended_cost() {
+        // Signal constraints can only restrict the feasible set, so the
+        // blended (energy + time) objective of the unconstrained run lower-
+        // bounds the constrained ones. (Raw energy alone can go either way:
+        // slowing down to hit a later window *saves* charge.)
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let beta = system.config().dp.time_weight;
+        let blended = |p: &crate::dp::OptimizedProfile| {
+            p.total_energy.value() + beta * p.trip_time.value()
+        };
+        let free = system.optimize_unconstrained().unwrap();
+        let ours = system.optimize().unwrap();
+        let baseline = system.optimize_baseline().unwrap();
+        assert_eq!(free.window_violations, 0);
+        assert!(blended(&free) <= blended(&ours) + 1e-9);
+        assert!(blended(&free) <= blended(&baseline) + 1e-9);
+    }
+
+    #[test]
+    fn stop_sign_still_respected_with_windows() {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let ours = system.optimize().unwrap();
+        let v = ours.speed_at_position(Meters::new(480.0));
+        // Nearest station to the 490 m stop sign is pinned to zero.
+        let idx = ours
+            .stations
+            .iter()
+            .position(|s| (s.value() - 480.0).abs() < 1e-6)
+            .unwrap();
+        assert_eq!(ours.speeds[idx].value(), 0.0);
+        drop(v);
+    }
+}

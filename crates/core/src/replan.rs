@@ -1,0 +1,234 @@
+//! Closed-loop replanning (an extension beyond the paper).
+//!
+//! The paper's protocol is open-loop: optimize once, replay via TraCI, and
+//! accept the simulator's perturbations (Fig. 6 shows the plans drifting).
+//! With [`StartState`](crate::dp::StartState)-capable optimization, the
+//! plan can instead be *refreshed* from the EV's live state whenever it has
+//! drifted too far — an MPC-style loop that keeps the arrival times locked
+//! onto the queue-free windows even after disturbances (a slow platoon, an
+//! unexpected stop, a longer-than-modeled sign service).
+
+use crate::dp::{OptimizedProfile, SignalConstraint, StartState};
+use crate::pipeline::VelocityOptimizationSystem;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+use velopt_common::{Error, Result};
+
+/// Replanning policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplanConfig {
+    /// Re-optimize when the EV's actual arrival clock has drifted from the
+    /// active plan by more than this.
+    pub drift_threshold: Seconds,
+    /// Never replan more often than this (planning is not free).
+    pub min_interval: Seconds,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        Self {
+            drift_threshold: Seconds::new(3.0),
+            min_interval: Seconds::new(5.0),
+        }
+    }
+}
+
+/// An MPC-style wrapper around the velocity-optimization system.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+/// use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
+/// use velopt_core::replan::{ReplanConfig, Replanner};
+///
+/// let system = VelocityOptimizationSystem::new(SystemConfig::us25())?;
+/// let mut replanner = Replanner::new(system, ReplanConfig::default())?;
+/// // The EV reports its live state; the replanner returns the speed to
+/// // command and refreshes the plan when drift demands it.
+/// let cmd = replanner.command(
+///     Meters::new(900.0),
+///     MetersPerSecond::new(12.0),
+///     Seconds::new(70.0),
+/// )?;
+/// assert!(cmd.value() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replanner {
+    system: VelocityOptimizationSystem,
+    config: ReplanConfig,
+    windows: Vec<SignalConstraint>,
+    plan: OptimizedProfile,
+    last_replan_at: Seconds,
+    replans: usize,
+}
+
+impl Replanner {
+    /// Builds the replanner and computes the initial (origin) plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-construction and optimization failures.
+    pub fn new(system: VelocityOptimizationSystem, config: ReplanConfig) -> Result<Self> {
+        if config.drift_threshold.value() <= 0.0 || config.min_interval.value() < 0.0 {
+            return Err(Error::invalid_input("replan thresholds must be positive"));
+        }
+        let windows = system.queue_windows()?;
+        let plan = system.optimize()?;
+        Ok(Self {
+            system,
+            config,
+            windows,
+            plan,
+            last_replan_at: Seconds::ZERO,
+            replans: 0,
+        })
+    }
+
+    /// The currently-active plan.
+    pub fn plan(&self) -> &OptimizedProfile {
+        &self.plan
+    }
+
+    /// How many times the plan has been refreshed.
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Time drift of the live state against the active plan (positive =
+    /// running late).
+    pub fn drift(&self, position: Meters, time: Seconds) -> Seconds {
+        time - self.plan.arrival_time_at(position)
+    }
+
+    /// Returns the speed to command for the live state, replanning first if
+    /// the drift exceeds the threshold (and the cool-down allows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates replanning failures; the previous plan stays active if a
+    /// refresh fails because the live state is infeasible (e.g. stopped in
+    /// a spot the grid cannot launch from), so control degrades gracefully.
+    pub fn command(
+        &mut self,
+        position: Meters,
+        speed: MetersPerSecond,
+        time: Seconds,
+    ) -> Result<MetersPerSecond> {
+        let drift = self.drift(position, time).abs();
+        let cooled = (time - self.last_replan_at) >= self.config.min_interval;
+        // Replanning only makes sense strictly inside the corridor and the
+        // planning horizon; outside, serve the stale plan (it is about to
+        // end anyway).
+        let road = &self.system.config().road;
+        let plannable = position.value() > 0.0
+            && position < road.length() - Meters::new(1.0)
+            && time.value() >= 0.0
+            && time < self.system.config().dp.horizon;
+        if plannable && drift > self.config.drift_threshold && cooled {
+            let start = StartState {
+                position,
+                speed,
+                time,
+            };
+            match self
+                .system
+                .optimizer()
+                .optimize_from(&self.system.config().road, &self.windows, start)
+            {
+                Ok(plan) => {
+                    self.plan = plan;
+                    self.replans += 1;
+                    self.last_replan_at = time;
+                }
+                Err(Error::Infeasible(_)) => { /* keep the stale plan */ }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.plan.speed_at_position(position))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SystemConfig;
+
+    fn replanner() -> Replanner {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush()).unwrap();
+        Replanner::new(system, ReplanConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        assert!(Replanner::new(
+            system,
+            ReplanConfig {
+                drift_threshold: Seconds::ZERO,
+                ..ReplanConfig::default()
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn on_schedule_state_does_not_replan() {
+        let mut r = replanner();
+        let pos = Meters::new(1000.0);
+        let t = r.plan().arrival_time_at(pos);
+        let v = r.plan().speed_at_position(pos);
+        let cmd = r.command(pos, v, t).unwrap();
+        assert_eq!(r.replans(), 0);
+        assert!((cmd.value() - v.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_state_triggers_replan_and_recovers_windows() {
+        let mut r = replanner();
+        let pos = Meters::new(1000.0);
+        let planned_t = r.plan().arrival_time_at(pos);
+        // The EV shows up 12 s late at reduced speed (was stuck in traffic).
+        let late_t = planned_t + Seconds::new(12.0);
+        let _ = r
+            .command(pos, MetersPerSecond::new(10.0), late_t)
+            .unwrap();
+        assert_eq!(r.replans(), 1, "drift should force a refresh");
+        // The refreshed plan starts at the live state...
+        assert_eq!(r.plan().stations[0], pos);
+        assert!((r.plan().times[0] - late_t).abs().value() < 1e-9);
+        // ...and still threads every remaining light's queue-free window.
+        assert_eq!(r.plan().window_violations, 0);
+    }
+
+    #[test]
+    fn cooldown_limits_replan_rate() {
+        let mut r = replanner();
+        let pos = Meters::new(800.0);
+        let planned_t = r.plan().arrival_time_at(pos);
+        let late = planned_t + Seconds::new(10.0);
+        let _ = r.command(pos, MetersPerSecond::new(12.0), late).unwrap();
+        assert_eq!(r.replans(), 1);
+        // Immediately after: still drifting, but within the cooldown.
+        let _ = r
+            .command(
+                Meters::new(810.0),
+                MetersPerSecond::new(12.0),
+                late + Seconds::new(1.0),
+            )
+            .unwrap();
+        assert_eq!(r.replans(), 1, "cooldown must suppress the second refresh");
+    }
+
+    #[test]
+    fn drift_sign_convention() {
+        let r = replanner();
+        let pos = Meters::new(1500.0);
+        let t = r.plan().arrival_time_at(pos);
+        assert!(r.drift(pos, t + Seconds::new(5.0)).value() > 0.0);
+        assert!(r.drift(pos, t - Seconds::new(5.0)).value() < 0.0);
+    }
+}

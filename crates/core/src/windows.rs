@@ -1,0 +1,194 @@
+//! Builds per-signal arrival windows for the DP.
+//!
+//! * [`queue_aware_constraints`] — our method: each light's windows are the
+//!   queue-free portions of its greens (`T_q`, Eq. 11), predicted by the QL
+//!   model from the arrival rate.
+//! * [`green_only_constraints`] — the prior DP of Ozatay et al. [2]: any
+//!   instant of green is considered passable (queues ignored).
+
+use crate::dp::SignalConstraint;
+use velopt_common::units::{Seconds, VehiclesPerHour};
+use velopt_common::Result;
+use velopt_queue::{QueueModel, QueueParams, TimeWindow};
+use velopt_road::Road;
+
+/// Queue-aware `T_q` windows for every light on `road`.
+///
+/// `arrival_rates` gives the predicted `V_in` per light (e.g. from the SAE
+/// predictor); `base` supplies the remaining queue parameters (spacing,
+/// straight ratio, `v_min`, `a_max` — the signal timing is taken from each
+/// light).
+///
+/// # Errors
+///
+/// Returns an error if `arrival_rates` does not match the number of lights
+/// or the queue parameters are invalid.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{Seconds, VehiclesPerHour};
+/// use velopt_core::windows::queue_aware_constraints;
+/// use velopt_queue::QueueParams;
+/// use velopt_road::Road;
+///
+/// let road = Road::us25();
+/// let constraints = queue_aware_constraints(
+///     &road,
+///     &[VehiclesPerHour::new(153.0), VehiclesPerHour::new(153.0)],
+///     QueueParams::us25_probe(),
+///     Seconds::new(600.0),
+/// )?;
+/// assert_eq!(constraints.len(), 2);
+/// // The first US-25 light turns green at t = 12 s (offset 42 s); the
+/// // queue needs a few seconds to discharge before the window opens.
+/// assert!(constraints[0].windows[0].start > Seconds::new(12.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn queue_aware_constraints(
+    road: &Road,
+    arrival_rates: &[VehiclesPerHour],
+    base: QueueParams,
+    horizon: Seconds,
+) -> Result<Vec<SignalConstraint>> {
+    let lights = road.traffic_lights();
+    if arrival_rates.len() != lights.len() {
+        return Err(velopt_common::Error::invalid_input(format!(
+            "{} arrival rates for {} lights",
+            arrival_rates.len(),
+            lights.len()
+        )));
+    }
+    let mut constraints = Vec::with_capacity(lights.len());
+    for (light, &rate) in lights.iter().zip(arrival_rates) {
+        let params = QueueParams {
+            arrival_rate: rate,
+            red: light.red(),
+            green: light.green(),
+            ..base
+        };
+        let model = QueueModel::new(params)?;
+        let windows = model.empty_windows(light, Seconds::ZERO, horizon)?;
+        constraints.push(SignalConstraint {
+            position: light.position(),
+            windows,
+        });
+    }
+    Ok(constraints)
+}
+
+/// Whole-green windows for every light (the queue-oblivious baseline [2]).
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::units::Seconds;
+/// use velopt_core::windows::green_only_constraints;
+/// use velopt_road::Road;
+///
+/// let constraints = green_only_constraints(&Road::us25(), Seconds::new(300.0));
+/// // Baseline windows start exactly at the green (no discharge delay):
+/// // the first light (offset 42 s) turns green at t = 12 s.
+/// assert_eq!(constraints[0].windows[0].start, Seconds::new(12.0));
+/// ```
+pub fn green_only_constraints(road: &Road, horizon: Seconds) -> Vec<SignalConstraint> {
+    road.traffic_lights()
+        .iter()
+        .map(|light| SignalConstraint {
+            position: light.position(),
+            windows: light
+                .green_windows(Seconds::ZERO, horizon)
+                .into_iter()
+                .map(|(start, end)| TimeWindow { start, end })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_queue::QueueParams;
+
+    #[test]
+    fn queue_windows_are_subsets_of_greens() {
+        let road = Road::us25();
+        let rates = [VehiclesPerHour::new(153.0), VehiclesPerHour::new(300.0)];
+        let ours = queue_aware_constraints(
+            &road,
+            &rates,
+            QueueParams::us25_probe(),
+            Seconds::new(600.0),
+        )
+        .unwrap();
+        let greens = green_only_constraints(&road, Seconds::new(600.0));
+        for (q, g) in ours.iter().zip(&greens) {
+            assert_eq!(q.position, g.position);
+            for w in &q.windows {
+                assert!(
+                    g.windows
+                        .iter()
+                        .any(|gw| gw.start <= w.start && w.end <= gw.end),
+                    "T_q window {w:?} must lie inside a green window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_arrivals_shrink_windows() {
+        let road = Road::us25();
+        let light_traffic = queue_aware_constraints(
+            &road,
+            &[VehiclesPerHour::new(50.0), VehiclesPerHour::new(50.0)],
+            QueueParams::us25_probe(),
+            Seconds::new(300.0),
+        )
+        .unwrap();
+        let heavy_traffic = queue_aware_constraints(
+            &road,
+            &[VehiclesPerHour::new(900.0), VehiclesPerHour::new(900.0)],
+            QueueParams::us25_probe(),
+            Seconds::new(300.0),
+        )
+        .unwrap();
+        let total = |cs: &[SignalConstraint]| -> f64 {
+            cs.iter()
+                .flat_map(|c| &c.windows)
+                .map(|w| w.duration().value())
+                .sum()
+        };
+        assert!(total(&heavy_traffic) < total(&light_traffic));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let road = Road::us25();
+        assert!(queue_aware_constraints(
+            &road,
+            &[VehiclesPerHour::new(153.0)],
+            QueueParams::us25_probe(),
+            Seconds::new(300.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn admits_matches_window_membership() {
+        // Check membership against the light's own phase function rather
+        // than hard-coded instants, so offset tuning cannot break this.
+        let road = Road::us25();
+        let greens = green_only_constraints(&road, Seconds::new(120.0));
+        let light = &road.traffic_lights()[0];
+        for t in 0..119 {
+            let t = Seconds::new(t as f64 + 0.5);
+            assert_eq!(
+                greens[0].admits(t),
+                light.phase_at(t).is_green(),
+                "mismatch at {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests: every DP output satisfies the Eq. 7 constraints.
+
+use proptest::prelude::*;
+use velopt_common::units::{KilometersPerHour, Meters, MetersPerSecond, Seconds};
+use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint};
+use velopt_core::profiles::{DriverProfile, DrivingStyle};
+use velopt_ev_energy::{EnergyModel, VehicleParams};
+use velopt_queue::TimeWindow;
+use velopt_road::{Road, RoadBuilder};
+
+fn optimizer() -> DpOptimizer {
+    DpOptimizer::new(
+        EnergyModel::new(VehicleParams::spark_ev()),
+        DpConfig::default(),
+    )
+    .unwrap()
+}
+
+fn road_with(length: f64, sign_at: Option<f64>) -> Road {
+    let mut b = RoadBuilder::new(Meters::new(length));
+    b.default_limits(
+        KilometersPerHour::new(40.0).to_meters_per_second(),
+        KilometersPerHour::new(70.0).to_meters_per_second(),
+    );
+    if let Some(p) = sign_at {
+        b.stop_sign(Meters::new(p));
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Eq. 7 invariants on arbitrary road lengths with an optional stop
+    /// sign: endpoint stops, acceleration bounds, speed limits, monotone
+    /// time.
+    #[test]
+    fn dp_profile_satisfies_eq7(
+        length in 600.0f64..2500.0,
+        sign_frac in prop::option::of(0.25f64..0.75),
+    ) {
+        let road = road_with(length, sign_frac.map(|f| (f * length).round()));
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        prop_assert_eq!(profile.window_violations, 0);
+        // 7c/7d: rest at source, destination (and the sign's station).
+        prop_assert_eq!(profile.speeds[0].value(), 0.0);
+        prop_assert_eq!(profile.speeds.last().unwrap().value(), 0.0);
+        // 7a: never above the posted limit.
+        for (i, v) in profile.speeds.iter().enumerate() {
+            let (_, hi) = road.speed_limits_at(profile.stations[i]);
+            prop_assert!(v.value() <= hi.value() + 1e-9);
+        }
+        // 7b: acceleration within [-1.5, 2.5] on every segment.
+        for i in 1..profile.stations.len() {
+            let ds = (profile.stations[i] - profile.stations[i - 1]).value();
+            let a = (profile.speeds[i].value().powi(2)
+                - profile.speeds[i - 1].value().powi(2)) / (2.0 * ds);
+            prop_assert!((-1.5 - 1e-6..=2.5 + 1e-6).contains(&a), "a = {a}");
+        }
+        // Eq. 10: arrival times strictly increase.
+        for w in profile.times.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    /// Reachable windows are always hit exactly (violations = 0) and the
+    /// reported arrival admits the constraint.
+    #[test]
+    fn reachable_windows_are_hit(
+        length in 800.0f64..2000.0,
+        frac in 0.3f64..0.7,
+        delay in 0.0f64..10.0,
+        width in 6.0f64..20.0,
+    ) {
+        let road = road_with(length, None);
+        let opt = optimizer();
+        let pos = Meters::new((frac * length / 20.0).round() * 20.0);
+        let free = opt.optimize(&road, &[]).unwrap();
+        let t0 = free.arrival_time_at(pos) + Seconds::new(delay);
+        let constraint = SignalConstraint {
+            position: pos,
+            windows: vec![TimeWindow { start: t0, end: t0 + Seconds::new(width) }],
+        };
+        let profile = opt.optimize(&road, &[constraint.clone()]).unwrap();
+        prop_assert_eq!(profile.window_violations, 0);
+        prop_assert!(constraint.admits(profile.arrival_time_at(pos)));
+    }
+
+    /// The exported time series always reproduces the road length and ends
+    /// at rest.
+    #[test]
+    fn time_series_export_consistent(length in 600.0f64..1800.0) {
+        let road = road_with(length, None);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        let series = profile.to_time_series(Seconds::new(0.2)).unwrap();
+        let dist = series.integrate();
+        prop_assert!((dist - length).abs() < 0.05 * length + 25.0,
+            "distance {dist} vs {length}");
+        prop_assert!(series.samples().last().unwrap() < &1.0);
+        prop_assert!(series.min_value() >= 0.0);
+    }
+
+    /// Driver profiles never exceed limits and always finish, for arbitrary
+    /// corridor lengths.
+    #[test]
+    fn driver_profiles_always_finish(
+        length in 500.0f64..2000.0,
+        style_fast in any::<bool>(),
+    ) {
+        let road = road_with(length, Some((length / 2.0).round()));
+        let style = if style_fast { DrivingStyle::Fast } else { DrivingStyle::Mild };
+        let p = DriverProfile::generate(&road, style, Seconds::new(0.2)).unwrap();
+        prop_assert!(p.speed.max_value() <= road.max_speed_limit().value() + 0.5);
+        let end = *p.position.samples().last().unwrap();
+        prop_assert!((end - length).abs() < 1.0);
+        prop_assert!(p.trip_time.value() > 0.0);
+    }
+}
+
+mod random_corridors {
+    use super::*;
+    use velopt_common::units::VehiclesPerHour;
+    use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
+    use velopt_queue::QueueParams;
+    use velopt_road::CorridorTemplate;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The optimizer produces hard-constraint-satisfying profiles on
+        /// arbitrary generated corridors (grades, multiple uncoordinated
+        /// lights, optional stop sign), and its reported violation count
+        /// agrees with a recount from the arrival times. (Zero violations
+        /// is NOT guaranteed on arbitrary geometry — a corridor can be
+        /// genuinely un-threadable within the speed envelope, which is
+        /// exactly why Eq. 11 is a soft penalty.)
+        #[test]
+        fn dp_is_robust_on_generated_corridors(seed in 0u64..500) {
+            let road = CorridorTemplate::default().generate(seed).unwrap();
+            let opt = optimizer();
+            let constraints =
+                green_only_constraints(&road, opt.config().horizon);
+            let profile = opt.optimize(&road, &constraints).unwrap();
+            // Hard constraints hold everywhere.
+            prop_assert_eq!(profile.speeds[0].value(), 0.0);
+            prop_assert_eq!(profile.speeds.last().unwrap().value(), 0.0);
+            for i in 1..profile.stations.len() {
+                let ds = (profile.stations[i] - profile.stations[i - 1]).value();
+                let a = (profile.speeds[i].value().powi(2)
+                    - profile.speeds[i - 1].value().powi(2)) / (2.0 * ds);
+                prop_assert!((-1.5 - 1e-6..=2.5 + 1e-6).contains(&a));
+            }
+            // The reported violation count matches a recount from the
+            // plan's own arrival times (up to t-bin rounding at window
+            // edges, which can flip an arrival across a boundary by less
+            // than one bin).
+            let recount = constraints
+                .iter()
+                .filter(|c| !c.admits(profile.arrival_time_at(c.position)))
+                .count();
+            prop_assert!(
+                recount.abs_diff(profile.window_violations) <= 1,
+                "reported {} vs recounted {recount}",
+                profile.window_violations
+            );
+        }
+
+        /// Queue-aware windows on generated corridors: whenever the DP
+        /// reports a violation-free plan, every arrival really lies inside
+        /// its T_q window.
+        #[test]
+        fn queue_windows_report_is_sound(seed in 0u64..500) {
+            let road = CorridorTemplate::default().generate(seed).unwrap();
+            let opt = optimizer();
+            let rates = vec![VehiclesPerHour::new(300.0); road.traffic_lights().len()];
+            let constraints = queue_aware_constraints(
+                &road,
+                &rates,
+                QueueParams::us25_probe(),
+                opt.config().horizon,
+            )
+            .unwrap();
+            let profile = opt.optimize(&road, &constraints).unwrap();
+            if profile.window_violations == 0 {
+                for c in &constraints {
+                    prop_assert!(c.admits(profile.arrival_time_at(c.position)));
+                }
+            }
+            // Queue-aware windows are subsets of greens, so the queue-aware
+            // plan can never have fewer options than green-only: its
+            // violation count is at least the green-only one.
+            let greens = green_only_constraints(&road, opt.config().horizon);
+            let green_plan = opt.optimize(&road, &greens).unwrap();
+            prop_assert!(profile.window_violations >= green_plan.window_violations);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Battery-pack aggregation and state-of-charge tracking.
+//!
+//! The paper's pack (§III-A-1) is built from Sony VTC4 18650 lithium-ion
+//! cells (2.1 Ah rated capacity) with 96 cell groups in series, giving a pack
+//! voltage of 399 V and total capacity of 46.2 Ah — i.e. 22 cells in
+//! parallel per group (22 × 2.1 Ah = 46.2 Ah). The printed text loses digits
+//! ("P X95S … 9 cells"); we anchor on the explicitly stated pack totals.
+
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{AmpereHours, Volts};
+use velopt_common::{Error, Result};
+
+/// Cell-level configuration of a pack: `parallel`P `series`S of identical
+/// cells.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{AmpereHours, Volts};
+/// use velopt_ev_energy::PackConfig;
+///
+/// let cfg = PackConfig::new(22, 96, AmpereHours::new(2.1), Volts::new(4.15625))?;
+/// let pack = cfg.build();
+/// assert!((pack.capacity().value() - 46.2).abs() < 1e-9);
+/// assert!((pack.voltage().value() - 399.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackConfig {
+    parallel: u32,
+    series: u32,
+    cell_capacity: AmpereHours,
+    cell_voltage: Volts,
+}
+
+impl PackConfig {
+    /// Creates a pack configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if a count is zero or a cell rating is
+    /// non-positive.
+    pub fn new(
+        parallel: u32,
+        series: u32,
+        cell_capacity: AmpereHours,
+        cell_voltage: Volts,
+    ) -> Result<Self> {
+        if parallel == 0 || series == 0 {
+            return Err(Error::invalid_input("pack needs >= 1 cell in each axis"));
+        }
+        if cell_capacity.value() <= 0.0 || cell_voltage.value() <= 0.0 {
+            return Err(Error::invalid_input("cell ratings must be positive"));
+        }
+        Ok(Self {
+            parallel,
+            series,
+            cell_capacity,
+            cell_voltage,
+        })
+    }
+
+    /// Total number of cells in the pack.
+    pub fn cell_count(&self) -> u32 {
+        self.parallel * self.series
+    }
+
+    /// Builds a fully-charged [`BatteryPack`] from this configuration.
+    pub fn build(self) -> BatteryPack {
+        BatteryPack {
+            config: self,
+            drawn: AmpereHours::ZERO,
+        }
+    }
+}
+
+/// A battery pack with state-of-charge tracking.
+///
+/// Charge drawn from the pack is accumulated in ampere-hours; regeneration
+/// (negative draws) restores charge but can never exceed the rated capacity.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::units::AmpereHours;
+/// use velopt_ev_energy::BatteryPack;
+///
+/// let mut pack = BatteryPack::spark_ev();
+/// assert_eq!(pack.state_of_charge(), 1.0);
+/// pack.draw(AmpereHours::new(4.62));
+/// assert!((pack.state_of_charge() - 0.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatteryPack {
+    config: PackConfig,
+    drawn: AmpereHours,
+}
+
+impl BatteryPack {
+    /// The paper's Spark EV pack: 22P96S of 2.1 Ah cells → 46.2 Ah @ 399 V.
+    pub fn spark_ev() -> Self {
+        PackConfig::new(
+            22,
+            96,
+            AmpereHours::new(2.1),
+            Volts::new(399.0 / 96.0),
+        )
+        .expect("spark pack constants are valid")
+        .build()
+    }
+
+    /// The cell-level configuration.
+    pub fn config(&self) -> PackConfig {
+        self.config
+    }
+
+    /// Pack terminal voltage `U` (series cells).
+    pub fn voltage(&self) -> Volts {
+        Volts::new(self.config.cell_voltage.value() * self.config.series as f64)
+    }
+
+    /// Rated pack capacity (parallel cells).
+    pub fn capacity(&self) -> AmpereHours {
+        AmpereHours::new(self.config.cell_capacity.value() * self.config.parallel as f64)
+    }
+
+    /// Net charge drawn since full (negative if over-regenerated to full).
+    pub fn drawn(&self) -> AmpereHours {
+        self.drawn
+    }
+
+    /// Remaining charge.
+    pub fn remaining(&self) -> AmpereHours {
+        self.capacity() - self.drawn
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn state_of_charge(&self) -> f64 {
+        ((self.capacity() - self.drawn) / self.capacity()).clamp(0.0, 1.0)
+    }
+
+    /// Draws charge from the pack (negative values regenerate).
+    ///
+    /// Regeneration saturates at full charge; draws may take the pack below
+    /// empty (the caller can detect this via [`is_depleted`](Self::is_depleted)),
+    /// mirroring how a trip plan is evaluated before being declared
+    /// infeasible.
+    pub fn draw(&mut self, charge: AmpereHours) {
+        self.drawn += charge;
+        if self.drawn.value() < 0.0 {
+            self.drawn = AmpereHours::ZERO;
+        }
+    }
+
+    /// Whether more charge has been drawn than the rated capacity.
+    pub fn is_depleted(&self) -> bool {
+        self.drawn.value() > self.capacity().value()
+    }
+
+    /// Resets the pack to full charge.
+    pub fn reset(&mut self) {
+        self.drawn = AmpereHours::ZERO;
+    }
+
+    /// The energy (in joules) corresponding to a given charge at pack
+    /// voltage, per Eq. (2) with unit efficiencies.
+    pub fn energy_of_charge(&self, charge: AmpereHours) -> f64 {
+        charge.value() * 3600.0 * self.voltage().value()
+    }
+
+    /// Open-circuit voltage of the pack at a given state of charge.
+    ///
+    /// The per-cell curve is the canonical Li-ion shape — a steep knee
+    /// below ~10% SoC, a long flat plateau, and a rise toward full charge —
+    /// scaled so that 100% SoC matches the pack's rated [`voltage`]
+    /// (`Self::voltage`). Eq. (2)–(3) use the constant rated voltage (the
+    /// paper's simplification); this curve quantifies the error of that
+    /// simplification over a trip (see [`discharge_log`]).
+    ///
+    /// `soc` is clamped into `[0, 1]`.
+    ///
+    /// [`discharge_log`]: Self::discharge_log
+    pub fn ocv_at(&self, soc: f64) -> Volts {
+        // Normalized per-cell OCV knots (fraction of the full-charge OCV).
+        const KNOTS: [(f64, f64); 6] = [
+            (0.00, 0.714), // deep discharge knee (~3.0 V for a 4.2 V cell)
+            (0.10, 0.857), // ~3.6 V
+            (0.50, 0.881), // ~3.7 V plateau
+            (0.80, 0.929), // ~3.9 V
+            (0.95, 0.976), // ~4.1 V
+            (1.00, 1.000),
+        ];
+        let soc = soc.clamp(0.0, 1.0);
+        let full = self.voltage().value();
+        let mut frac = KNOTS[KNOTS.len() - 1].1;
+        for w in KNOTS.windows(2) {
+            let ((s0, f0), (s1, f1)) = (w[0], w[1]);
+            if soc <= s1 {
+                let t = if s1 > s0 { (soc - s0) / (s1 - s0) } else { 1.0 };
+                frac = f0 + t.clamp(0.0, 1.0) * (f1 - f0);
+                break;
+            }
+        }
+        Volts::new(full * frac)
+    }
+
+    /// Simulates a discharge: draws `charges` sequentially (one entry per
+    /// trip segment) and records `(state of charge, open-circuit voltage)`
+    /// after each draw.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use velopt_common::units::AmpereHours;
+    /// use velopt_ev_energy::BatteryPack;
+    ///
+    /// let pack = BatteryPack::spark_ev();
+    /// let log = pack.discharge_log(&[AmpereHours::new(9.24); 4]);
+    /// assert_eq!(log.len(), 4);
+    /// assert!((log[3].0 - 0.2).abs() < 1e-9); // 80% drawn
+    /// assert!(log[3].1 < log[0].1); // voltage sags as SoC falls
+    /// ```
+    pub fn discharge_log(&self, charges: &[AmpereHours]) -> Vec<(f64, Volts)> {
+        let mut pack = self.clone();
+        charges
+            .iter()
+            .map(|&q| {
+                pack.draw(q);
+                let soc = pack.state_of_charge();
+                (soc, pack.ocv_at(soc))
+            })
+            .collect()
+    }
+}
+
+impl Default for BatteryPack {
+    fn default() -> Self {
+        Self::spark_ev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_pack_totals_match_paper() {
+        let pack = BatteryPack::spark_ev();
+        assert!((pack.capacity().value() - 46.2).abs() < 1e-9);
+        assert!((pack.voltage().value() - 399.0).abs() < 1e-9);
+        assert_eq!(pack.config().cell_count(), 22 * 96);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PackConfig::new(0, 96, AmpereHours::new(2.1), Volts::new(4.2)).is_err());
+        assert!(PackConfig::new(22, 0, AmpereHours::new(2.1), Volts::new(4.2)).is_err());
+        assert!(PackConfig::new(22, 96, AmpereHours::ZERO, Volts::new(4.2)).is_err());
+        assert!(PackConfig::new(22, 96, AmpereHours::new(2.1), Volts::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn soc_decreases_with_draw() {
+        let mut pack = BatteryPack::spark_ev();
+        pack.draw(AmpereHours::new(23.1));
+        assert!((pack.state_of_charge() - 0.5).abs() < 1e-9);
+        assert!((pack.remaining().value() - 23.1).abs() < 1e-9);
+        assert!(!pack.is_depleted());
+    }
+
+    #[test]
+    fn regen_saturates_at_full() {
+        let mut pack = BatteryPack::spark_ev();
+        pack.draw(AmpereHours::new(-5.0));
+        assert_eq!(pack.state_of_charge(), 1.0);
+        assert_eq!(pack.drawn(), AmpereHours::ZERO);
+    }
+
+    #[test]
+    fn depletion_detected() {
+        let mut pack = BatteryPack::spark_ev();
+        pack.draw(AmpereHours::new(50.0));
+        assert!(pack.is_depleted());
+        assert_eq!(pack.state_of_charge(), 0.0);
+        pack.reset();
+        assert_eq!(pack.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn ocv_curve_is_monotone_and_anchored() {
+        let pack = BatteryPack::spark_ev();
+        assert!((pack.ocv_at(1.0).value() - 399.0).abs() < 1e-9);
+        let mut prev = pack.ocv_at(0.0);
+        for i in 1..=20 {
+            let v = pack.ocv_at(i as f64 / 20.0);
+            assert!(v >= prev, "OCV must be monotone in SoC");
+            prev = v;
+        }
+        // Deep-discharge knee: well below the plateau.
+        assert!(pack.ocv_at(0.0).value() < 0.75 * 399.0);
+        // Out-of-range SoC clamps.
+        assert_eq!(pack.ocv_at(2.0), pack.ocv_at(1.0));
+        assert_eq!(pack.ocv_at(-1.0), pack.ocv_at(0.0));
+    }
+
+    #[test]
+    fn discharge_log_tracks_soc() {
+        let pack = BatteryPack::spark_ev();
+        let log = pack.discharge_log(&[AmpereHours::new(23.1), AmpereHours::new(23.1)]);
+        assert!((log[0].0 - 0.5).abs() < 1e-9);
+        assert!((log[1].0 - 0.0).abs() < 1e-9);
+        assert!(log[1].1 < log[0].1);
+        // Regenerative entries raise SoC (clamped at full).
+        let log = pack.discharge_log(&[AmpereHours::new(-5.0)]);
+        assert_eq!(log[0].0, 1.0);
+    }
+
+    #[test]
+    fn energy_of_charge_is_joules() {
+        let pack = BatteryPack::spark_ev();
+        // 1 Ah at 399 V = 3600 s * 399 W = 1,436,400 J.
+        assert!((pack.energy_of_charge(AmpereHours::new(1.0)) - 1_436_400.0).abs() < 1e-6);
+    }
+}

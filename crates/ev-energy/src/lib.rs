@@ -1,0 +1,68 @@
+//! Electric-vehicle energy-consumption model (paper §II-A).
+//!
+//! Implements the longitudinal-dynamics force model of Eq. (1), the
+//! battery-referred energy expression of Eq. (2) and the instantaneous
+//! electrical-charge consumption rate ζ of Eq. (3):
+//!
+//! ```text
+//! F_drive = m·dv/dt + ½·ρ·A_f·C_d·v² + m·g·sinθ + μ·m·g·cosθ        (1)
+//! E       = U·Q·η₁·η₂                                               (2)
+//! ζ       = F_drive·v / (U·η₁·η₂)                                   (3)
+//! ```
+//!
+//! where `m` is gross mass, `ρ` air density, `A_f` frontal area, `C_d` drag
+//! coefficient, `θ` road grade, `μ` rolling resistance, `U` pack voltage and
+//! `η₁`, `η₂` the battery and powertrain efficiencies. ζ is a *current*
+//! (amperes); integrating it over a trip yields the ampere-hours that the
+//! paper reports (Fig. 3 and Fig. 7 are in mAh).
+//!
+//! The crate provides:
+//!
+//! * [`VehicleParams`] — the physical constants, with a builder and a
+//!   [`VehicleParams::spark_ev`] preset matching the paper's Chevrolet
+//!   Spark EV setup,
+//! * [`BatteryPack`] — series/parallel cell aggregation (the paper's 96-series
+//!   pack of Sony VTC4 2.1 Ah cells: 46.2 Ah, 399 V) and state-of-charge
+//!   tracking,
+//! * [`EnergyModel`] — force/power/charge-rate queries plus charge
+//!   integration along constant-acceleration segments and whole velocity
+//!   profiles,
+//! * [`map`] — the ζ(v, a) surface of Fig. 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use velopt_common::units::{MetersPerSecond, MetersPerSecondSq, Radians};
+//! use velopt_ev_energy::{EnergyModel, VehicleParams};
+//!
+//! let model = EnergyModel::new(VehicleParams::spark_ev());
+//! // Cruising at 15 m/s on a flat road draws a positive current...
+//! let cruise = model.charge_rate(
+//!     MetersPerSecond::new(15.0),
+//!     MetersPerSecondSq::ZERO,
+//!     Radians::ZERO,
+//! );
+//! assert!(cruise.value() > 0.0);
+//! // ...while braking regenerates (negative rate), as in Fig. 3.
+//! let braking = model.charge_rate(
+//!     MetersPerSecond::new(15.0),
+//!     MetersPerSecondSq::new(-1.5),
+//!     Radians::ZERO,
+//! );
+//! assert!(braking.value() < 0.0);
+//! ```
+
+mod battery;
+pub mod map;
+mod model;
+mod params;
+
+pub use battery::{BatteryPack, PackConfig};
+pub use model::{EnergyModel, RegenPolicy, SegmentEnergy};
+pub use params::{VehicleParams, VehicleParamsBuilder};
+
+/// Standard gravity, m/s².
+pub const GRAVITY: f64 = 9.81;
+
+/// Average air density at sea level, kg/m³.
+pub const AIR_DENSITY: f64 = 1.2041;

@@ -1,0 +1,197 @@
+//! The ζ(v, a) consumption surface of Fig. 3.
+//!
+//! Fig. 3 plots the instantaneous charge-consumption rate of the Spark EV
+//! over a speed × acceleration grid at zero grade, showing that consumption
+//! grows steeply with acceleration and goes negative under deceleration
+//! (regenerative braking). [`EnergyMap::generate`] reproduces that surface
+//! for any [`EnergyModel`].
+
+use crate::model::EnergyModel;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{KilometersPerHour, MetersPerSecondSq, Radians};
+use velopt_common::{Error, Result};
+
+/// A sampled consumption-rate surface over speed × acceleration.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_ev_energy::{map::EnergyMap, EnergyModel, VehicleParams};
+///
+/// let model = EnergyModel::new(VehicleParams::spark_ev());
+/// let map = EnergyMap::generate(&model, 12, 8)?;
+/// // Max consumption is at max speed + max acceleration ...
+/// let peak = map.rate_at(11, 7);
+/// // ... and braking at speed regenerates.
+/// let regen = map.rate_at(11, 0);
+/// assert!(peak > 0.0 && regen < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMap {
+    speeds_kmh: Vec<f64>,
+    accels: Vec<f64>,
+    /// Row-major: `rates[speed_idx][accel_idx]`, in amperes.
+    rates: Vec<Vec<f64>>,
+}
+
+impl EnergyMap {
+    /// Paper axis limits: speed 0–120 km/h, acceleration −1.5 … +2.5 m/s².
+    pub const SPEED_MAX_KMH: f64 = 120.0;
+    /// Comfort/safety deceleration bound from §III-A-1.
+    pub const ACCEL_MIN: f64 = -1.5;
+    /// Comfort/safety acceleration bound from §III-A-1.
+    pub const ACCEL_MAX: f64 = 2.5;
+
+    /// Samples the surface on an `n_speeds × n_accels` grid at zero grade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if either grid dimension is below 2.
+    pub fn generate(model: &EnergyModel, n_speeds: usize, n_accels: usize) -> Result<Self> {
+        if n_speeds < 2 || n_accels < 2 {
+            return Err(Error::invalid_input("energy map grid must be >= 2x2"));
+        }
+        let speeds_kmh: Vec<f64> = (0..n_speeds)
+            .map(|i| Self::SPEED_MAX_KMH * i as f64 / (n_speeds - 1) as f64)
+            .collect();
+        let accels: Vec<f64> = (0..n_accels)
+            .map(|j| {
+                Self::ACCEL_MIN
+                    + (Self::ACCEL_MAX - Self::ACCEL_MIN) * j as f64 / (n_accels - 1) as f64
+            })
+            .collect();
+        let rates = speeds_kmh
+            .iter()
+            .map(|&kmh| {
+                let v = KilometersPerHour::new(kmh).to_meters_per_second();
+                accels
+                    .iter()
+                    .map(|&a| {
+                        model
+                            .charge_rate(v, MetersPerSecondSq::new(a), Radians::ZERO)
+                            .value()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            speeds_kmh,
+            accels,
+            rates,
+        })
+    }
+
+    /// The speed axis in km/h.
+    pub fn speeds_kmh(&self) -> &[f64] {
+        &self.speeds_kmh
+    }
+
+    /// The acceleration axis in m/s².
+    pub fn accels(&self) -> &[f64] {
+        &self.accels
+    }
+
+    /// Rate at grid cell `(speed_idx, accel_idx)` in amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn rate_at(&self, speed_idx: usize, accel_idx: usize) -> f64 {
+        self.rates[speed_idx][accel_idx]
+    }
+
+    /// Iterator over `(speed_kmh, accel, rate_amps)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.speeds_kmh.iter().enumerate().flat_map(move |(i, &v)| {
+            self.accels
+                .iter()
+                .enumerate()
+                .map(move |(j, &a)| (v, a, self.rates[i][j]))
+        })
+    }
+
+    /// The largest rate on the surface.
+    pub fn max_rate(&self) -> f64 {
+        self.rates
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The smallest (most regenerative) rate on the surface.
+    pub fn min_rate(&self) -> f64 {
+        self.rates
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VehicleParams;
+
+    fn map() -> EnergyMap {
+        let model = EnergyModel::new(VehicleParams::spark_ev());
+        EnergyMap::generate(&model, 25, 17).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_grids() {
+        let model = EnergyModel::new(VehicleParams::spark_ev());
+        assert!(EnergyMap::generate(&model, 1, 5).is_err());
+        assert!(EnergyMap::generate(&model, 5, 1).is_err());
+    }
+
+    #[test]
+    fn axes_cover_paper_ranges() {
+        let m = map();
+        assert_eq!(m.speeds_kmh().first(), Some(&0.0));
+        assert_eq!(m.speeds_kmh().last(), Some(&120.0));
+        assert_eq!(m.accels().first(), Some(&-1.5));
+        assert_eq!(m.accels().last(), Some(&2.5));
+    }
+
+    #[test]
+    fn rate_increases_with_acceleration_at_fixed_speed() {
+        let m = map();
+        let i = 12; // mid speed
+        for j in 1..m.accels().len() {
+            assert!(
+                m.rate_at(i, j) > m.rate_at(i, j - 1),
+                "rate should be monotone in acceleration"
+            );
+        }
+    }
+
+    #[test]
+    fn regen_region_exists_and_peak_is_positive() {
+        let m = map();
+        assert!(m.min_rate() < 0.0, "Fig. 3 shows a negative regen region");
+        assert!(m.max_rate() > 0.0);
+        // The most regenerative point is at max speed, max deceleration.
+        let last_speed = m.speeds_kmh().len() - 1;
+        assert_eq!(m.rate_at(last_speed, 0), m.min_rate());
+    }
+
+    #[test]
+    fn zero_speed_consumes_nothing() {
+        // ζ = F·v/(Uη) is zero at v = 0 regardless of acceleration.
+        let m = map();
+        for j in 0..m.accels().len() {
+            assert_eq!(m.rate_at(0, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn iter_yields_full_grid() {
+        let m = map();
+        assert_eq!(m.iter().count(), 25 * 17);
+    }
+}

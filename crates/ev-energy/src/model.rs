@@ -1,0 +1,478 @@
+//! The force / power / charge-rate model and trip-energy integration.
+
+use crate::params::VehicleParams;
+use crate::GRAVITY;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{
+    Amperes, AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Radians, Seconds, Watts,
+};
+use velopt_common::{Error, Result, TimeSeries};
+
+/// How regenerative braking is converted into battery charge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RegenPolicy {
+    /// Eq. (3) applied literally for both signs of the drive force:
+    /// `ζ = F·v / (U·η₁·η₂)`. This is what produces the negative region of
+    /// Fig. 3 and is the default.
+    PaperLiteral,
+    /// A more physical model: when the wheel power is negative, only
+    /// `efficiency` of it charges the battery, and no regeneration occurs
+    /// below `cutoff` (motor-generators cannot recuperate at crawl speeds).
+    Limited {
+        /// Fraction of braking power recovered, in `[0, 1]`.
+        efficiency: f64,
+        /// Speed below which no energy is recovered.
+        cutoff: MetersPerSecond,
+    },
+}
+
+impl Default for RegenPolicy {
+    fn default() -> Self {
+        RegenPolicy::PaperLiteral
+    }
+}
+
+/// Charge, time and exit speed of one constant-acceleration segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentEnergy {
+    /// Net charge drawn from the pack over the segment (negative = regen).
+    pub charge: AmpereHours,
+    /// Time taken to cover the segment.
+    pub duration: Seconds,
+    /// Speed at the end of the segment.
+    pub exit_speed: MetersPerSecond,
+}
+
+/// The EV energy-consumption model of §II-A.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::units::{MetersPerSecond, MetersPerSecondSq, Radians};
+/// use velopt_ev_energy::{EnergyModel, VehicleParams};
+///
+/// let model = EnergyModel::new(VehicleParams::spark_ev());
+/// let f = model.drive_force(
+///     MetersPerSecond::new(20.0),
+///     MetersPerSecondSq::ZERO,
+///     Radians::ZERO,
+/// );
+/// // At constant 20 m/s on flat ground only drag + rolling resistance act.
+/// assert!(f > 0.0 && f < 1000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    params: VehicleParams,
+    regen: RegenPolicy,
+    quadrature_steps: usize,
+}
+
+impl EnergyModel {
+    /// Creates a model with the paper-literal regeneration policy.
+    pub fn new(params: VehicleParams) -> Self {
+        Self {
+            params,
+            regen: RegenPolicy::PaperLiteral,
+            quadrature_steps: 16,
+        }
+    }
+
+    /// Creates a model with an explicit regeneration policy.
+    pub fn with_regen(params: VehicleParams, regen: RegenPolicy) -> Self {
+        Self {
+            params,
+            regen,
+            quadrature_steps: 16,
+        }
+    }
+
+    /// The vehicle parameters.
+    pub fn params(&self) -> &VehicleParams {
+        &self.params
+    }
+
+    /// The active regeneration policy.
+    pub fn regen_policy(&self) -> RegenPolicy {
+        self.regen
+    }
+
+    /// The constant auxiliary current `P_aux / U` drawn for the whole trip.
+    ///
+    /// [`charge_rate`](Self::charge_rate) deliberately excludes it (Eq. 3
+    /// and Fig. 3 are pure-traction quantities); the trip integrators
+    /// ([`segment_energy`](Self::segment_energy),
+    /// [`profile_energy`](Self::profile_energy)) include it.
+    pub fn aux_current(&self) -> Amperes {
+        Amperes::new(self.params.aux_power_w() / self.params.battery().voltage().value())
+    }
+
+    /// Required drive force `F_drive` in newtons, Eq. (1).
+    pub fn drive_force(
+        &self,
+        v: MetersPerSecond,
+        a: MetersPerSecondSq,
+        grade: Radians,
+    ) -> f64 {
+        let p = &self.params;
+        let inertial = p.mass_kg() * a.value();
+        let drag = 0.5 * p.air_density() * p.frontal_area_m2() * p.drag_coefficient()
+            * v.value() * v.value();
+        let climb = p.mass_kg() * GRAVITY * grade.sin();
+        let roll = p.rolling_resistance() * p.mass_kg() * GRAVITY * grade.cos();
+        inertial + drag + climb + roll
+    }
+
+    /// Mechanical power at the wheels, `F_drive · v`.
+    pub fn wheel_power(
+        &self,
+        v: MetersPerSecond,
+        a: MetersPerSecondSq,
+        grade: Radians,
+    ) -> Watts {
+        Watts::new(self.drive_force(v, a, grade) * v.value())
+    }
+
+    /// Instantaneous charge-consumption rate ζ in amperes, Eq. (3).
+    ///
+    /// Positive values discharge the pack; negative values (possible when the
+    /// drive force is negative, i.e. braking or descending) regenerate.
+    pub fn charge_rate(
+        &self,
+        v: MetersPerSecond,
+        a: MetersPerSecondSq,
+        grade: Radians,
+    ) -> Amperes {
+        let p_wheel = self.wheel_power(v, a, grade).value();
+        let u = self.params.battery().voltage().value();
+        let eta = self.params.total_efficiency();
+        let current = match self.regen {
+            RegenPolicy::PaperLiteral => p_wheel / (u * eta),
+            RegenPolicy::Limited { efficiency, cutoff } => {
+                if p_wheel >= 0.0 {
+                    p_wheel / (u * eta)
+                } else if v < cutoff {
+                    0.0
+                } else {
+                    p_wheel * efficiency / u
+                }
+            }
+        };
+        Amperes::new(current)
+    }
+
+    /// Integrates the charge drawn over one constant-acceleration segment of
+    /// length `distance`, entered at speed `v0`, on constant `grade`.
+    ///
+    /// The exit speed follows the kinematic relation `v₁² = v₀² + 2·a·d`.
+    /// (The paper's Eq. between (7) and (8) writes `v₁ = v₀ + a·d`, which is
+    /// dimensionally inconsistent; the kinematic form is the standard
+    /// spatial-DP transition and is what we implement.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfDomain`] if the vehicle would stop before
+    /// covering the segment (deceleration too strong) or if it never moves
+    /// (`v0 = 0` with `a <= 0`), and [`Error::InvalidInput`] for a
+    /// non-positive distance.
+    pub fn segment_energy(
+        &self,
+        v0: MetersPerSecond,
+        a: MetersPerSecondSq,
+        distance: Meters,
+        grade: Radians,
+    ) -> Result<SegmentEnergy> {
+        if distance.value() <= 0.0 {
+            return Err(Error::invalid_input("segment distance must be positive"));
+        }
+        if v0.value() < 0.0 {
+            return Err(Error::invalid_input("entry speed must be non-negative"));
+        }
+        let v1_sq = v0.value() * v0.value() + 2.0 * a.value() * distance.value();
+        if v1_sq < -1e-12 {
+            return Err(Error::out_of_domain(
+                "vehicle stops before the end of the segment",
+            ));
+        }
+        let v1 = v1_sq.max(0.0).sqrt();
+        let duration = if a.value().abs() > 1e-12 {
+            (v1 - v0.value()) / a.value()
+        } else if v0.value() > 0.0 {
+            distance.value() / v0.value()
+        } else {
+            return Err(Error::out_of_domain(
+                "vehicle at rest with zero acceleration never covers the segment",
+            ));
+        };
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(Error::out_of_domain(
+                "segment cannot be traversed with the given kinematics",
+            ));
+        }
+
+        // Trapezoidal quadrature of ζ(v(t)) over the segment duration.
+        let n = self.quadrature_steps;
+        let dt = duration / n as f64;
+        let mut amp_seconds = 0.0;
+        let mut prev = self.charge_rate(v0, a, grade).value();
+        for i in 1..=n {
+            let v = MetersPerSecond::new(v0.value() + a.value() * dt * i as f64);
+            let cur = self.charge_rate(v.max(MetersPerSecond::ZERO), a, grade).value();
+            amp_seconds += 0.5 * (prev + cur) * dt;
+            prev = cur;
+        }
+        amp_seconds += self.aux_current().value() * duration;
+        Ok(SegmentEnergy {
+            charge: AmpereHours::new(amp_seconds / 3600.0),
+            duration: Seconds::new(duration),
+            exit_speed: MetersPerSecond::new(v1),
+        })
+    }
+
+    /// Total charge drawn over a velocity profile sampled in time.
+    ///
+    /// Acceleration is estimated by central finite differences; the position
+    /// is accumulated by trapezoidal integration and fed to `grade_at` so
+    /// that grade-dependent terms act at the right place on the road.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the profile contains negative
+    /// speeds.
+    pub fn profile_energy(
+        &self,
+        velocity: &TimeSeries,
+        grade_at: impl Fn(Meters) -> Radians,
+    ) -> Result<AmpereHours> {
+        let vs = velocity.samples();
+        if vs.iter().any(|&v| v < 0.0) {
+            return Err(Error::invalid_input("velocity profile has negative speeds"));
+        }
+        let dt = velocity.step().value();
+        let mut x = 0.0;
+        let mut amp_seconds = 0.0;
+        let mut rates = Vec::with_capacity(vs.len());
+        for i in 0..vs.len() {
+            let a = if vs.len() == 1 {
+                0.0
+            } else if i == 0 {
+                (vs[1] - vs[0]) / dt
+            } else if i == vs.len() - 1 {
+                (vs[i] - vs[i - 1]) / dt
+            } else {
+                (vs[i + 1] - vs[i - 1]) / (2.0 * dt)
+            };
+            if i > 0 {
+                x += 0.5 * (vs[i - 1] + vs[i]) * dt;
+            }
+            let rate = self.charge_rate(
+                MetersPerSecond::new(vs[i]),
+                MetersPerSecondSq::new(a),
+                grade_at(Meters::new(x)),
+            );
+            rates.push(rate.value());
+        }
+        for w in rates.windows(2) {
+            amp_seconds += 0.5 * (w[0] + w[1]) * dt;
+        }
+        amp_seconds += self.aux_current().value() * velocity.duration().value();
+        Ok(AmpereHours::new(amp_seconds / 3600.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::Seconds;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(VehicleParams::spark_ev())
+    }
+
+    #[test]
+    fn force_components_at_rest_flat() {
+        // At v=0, a=0, θ=0 only rolling resistance acts.
+        let f = model().drive_force(MetersPerSecond::ZERO, MetersPerSecondSq::ZERO, Radians::ZERO);
+        let expected = 0.018 * 1300.0 * GRAVITY;
+        assert!((f - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drag_grows_quadratically() {
+        let m = model();
+        let f = |v: f64| {
+            m.drive_force(MetersPerSecond::new(v), MetersPerSecondSq::ZERO, Radians::ZERO)
+        };
+        let roll = f(0.0);
+        let d10 = f(10.0) - roll;
+        let d20 = f(20.0) - roll;
+        assert!((d20 / d10 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uphill_costs_more_than_flat() {
+        let m = model();
+        let flat = m.charge_rate(
+            MetersPerSecond::new(15.0),
+            MetersPerSecondSq::ZERO,
+            Radians::ZERO,
+        );
+        let hill = m.charge_rate(
+            MetersPerSecond::new(15.0),
+            MetersPerSecondSq::ZERO,
+            Radians::from_grade_percent(5.0),
+        );
+        assert!(hill.value() > flat.value());
+    }
+
+    #[test]
+    fn hard_braking_regenerates_paper_literal() {
+        let rate = model().charge_rate(
+            MetersPerSecond::new(20.0),
+            MetersPerSecondSq::new(-1.5),
+            Radians::ZERO,
+        );
+        assert!(rate.value() < 0.0);
+    }
+
+    #[test]
+    fn limited_regen_cuts_off_at_low_speed() {
+        let m = EnergyModel::with_regen(
+            VehicleParams::spark_ev(),
+            RegenPolicy::Limited {
+                efficiency: 0.6,
+                cutoff: MetersPerSecond::new(2.0),
+            },
+        );
+        let slow = m.charge_rate(
+            MetersPerSecond::new(1.0),
+            MetersPerSecondSq::new(-1.5),
+            Radians::ZERO,
+        );
+        assert_eq!(slow.value(), 0.0);
+        let fastish = m.charge_rate(
+            MetersPerSecond::new(20.0),
+            MetersPerSecondSq::new(-1.5),
+            Radians::ZERO,
+        );
+        assert!(fastish.value() < 0.0);
+        // Limited regen recovers less than the paper-literal formula.
+        let literal = model().charge_rate(
+            MetersPerSecond::new(20.0),
+            MetersPerSecondSq::new(-1.5),
+            Radians::ZERO,
+        );
+        assert!(fastish.value() > literal.value());
+    }
+
+    #[test]
+    fn segment_constant_speed_matches_closed_form() {
+        let m = model();
+        let seg = m
+            .segment_energy(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSq::ZERO,
+                Meters::new(100.0),
+                Radians::ZERO,
+            )
+            .unwrap();
+        assert!((seg.duration.value() - 10.0).abs() < 1e-9);
+        assert!((seg.exit_speed.value() - 10.0).abs() < 1e-9);
+        let rate = m
+            .charge_rate(MetersPerSecond::new(10.0), MetersPerSecondSq::ZERO, Radians::ZERO)
+            .value()
+            + m.aux_current().value();
+        assert!((seg.charge.value() - rate * 10.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_kinematics_exit_speed() {
+        let seg = model()
+            .segment_energy(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSq::new(2.0),
+                Meters::new(75.0),
+                Radians::ZERO,
+            )
+            .unwrap();
+        // v1 = sqrt(100 + 2*2*75) = 20.
+        assert!((seg.exit_speed.value() - 20.0).abs() < 1e-9);
+        assert!((seg.duration.value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segment_rejects_stopping_mid_segment() {
+        let err = model()
+            .segment_energy(
+                MetersPerSecond::new(5.0),
+                MetersPerSecondSq::new(-1.5),
+                Meters::new(100.0),
+                Radians::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::OutOfDomain(_)));
+    }
+
+    #[test]
+    fn segment_rejects_rest_with_no_accel() {
+        assert!(model()
+            .segment_energy(
+                MetersPerSecond::ZERO,
+                MetersPerSecondSq::ZERO,
+                Meters::new(10.0),
+                Radians::ZERO,
+            )
+            .is_err());
+        assert!(model()
+            .segment_energy(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSq::ZERO,
+                Meters::ZERO,
+                Radians::ZERO,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn profile_energy_matches_segment_for_constant_speed() {
+        let m = model();
+        let profile =
+            TimeSeries::from_samples(Seconds::ZERO, Seconds::new(0.5), vec![10.0; 21]).unwrap();
+        let q = m.profile_energy(&profile, |_| Radians::ZERO).unwrap();
+        let seg = m
+            .segment_energy(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSq::ZERO,
+                Meters::new(100.0),
+                Radians::ZERO,
+            )
+            .unwrap();
+        assert!((q.value() - seg.charge.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_energy_rejects_negative_speed() {
+        let profile =
+            TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![1.0, -0.5]).unwrap();
+        assert!(model().profile_energy(&profile, |_| Radians::ZERO).is_err());
+    }
+
+    #[test]
+    fn accel_decel_round_trip_costs_net_energy_paper_literal() {
+        // Even with full paper-literal regen, drag and rolling losses make a
+        // speed-up/slow-down cycle net-positive.
+        let m = model();
+        let up = m
+            .segment_energy(
+                MetersPerSecond::new(5.0),
+                MetersPerSecondSq::new(1.0),
+                Meters::new(100.0),
+                Radians::ZERO,
+            )
+            .unwrap();
+        let down = m
+            .segment_energy(up.exit_speed, MetersPerSecondSq::new(-1.0), Meters::new(100.0), Radians::ZERO)
+            .unwrap();
+        assert!((down.exit_speed.value() - 5.0).abs() < 1e-6);
+        assert!(up.charge.value() + down.charge.value() > 0.0);
+    }
+}

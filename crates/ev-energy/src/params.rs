@@ -1,0 +1,321 @@
+//! Vehicle physical parameters (the constants of Eq. 1–3).
+
+use crate::battery::BatteryPack;
+use crate::AIR_DENSITY;
+use serde::{Deserialize, Serialize};
+use velopt_common::{Error, Result};
+
+/// Physical constants of the modeled EV.
+///
+/// Construct via [`VehicleParams::builder`] or use the paper's
+/// [`VehicleParams::spark_ev`] preset (§III-A-1):
+/// `m = 1300 kg`, `A_f = 2.0 m²`, `C_d = 0.33`, `μ = 0.018`, `η₁ = 0.95`,
+/// `η₂ = 0.9`, pack `46.2 Ah @ 399 V`.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_ev_energy::VehicleParams;
+///
+/// let spark = VehicleParams::spark_ev();
+/// assert_eq!(spark.mass_kg(), 1300.0);
+/// assert!((spark.battery().voltage().value() - 399.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VehicleParams {
+    mass_kg: f64,
+    frontal_area_m2: f64,
+    drag_coefficient: f64,
+    rolling_resistance: f64,
+    air_density: f64,
+    battery_efficiency: f64,
+    powertrain_efficiency: f64,
+    aux_power_w: f64,
+    battery: BatteryPack,
+}
+
+impl VehicleParams {
+    /// Starts a builder with the Spark EV defaults.
+    pub fn builder() -> VehicleParamsBuilder {
+        VehicleParamsBuilder::default()
+    }
+
+    /// The Chevrolet Spark EV configuration used throughout the paper's
+    /// evaluation.
+    pub fn spark_ev() -> Self {
+        VehicleParamsBuilder::default()
+            .build()
+            .expect("spark EV preset is valid")
+    }
+
+    /// Gross vehicle mass `m` in kilograms.
+    pub fn mass_kg(&self) -> f64 {
+        self.mass_kg
+    }
+
+    /// Frontal area `A_f` in square meters.
+    pub fn frontal_area_m2(&self) -> f64 {
+        self.frontal_area_m2
+    }
+
+    /// Aerodynamic drag coefficient `C_d`.
+    pub fn drag_coefficient(&self) -> f64 {
+        self.drag_coefficient
+    }
+
+    /// Rolling resistance coefficient `μ`.
+    pub fn rolling_resistance(&self) -> f64 {
+        self.rolling_resistance
+    }
+
+    /// Air density `ρ` in kg/m³.
+    pub fn air_density(&self) -> f64 {
+        self.air_density
+    }
+
+    /// Battery energy-transforming efficiency `η₁`.
+    pub fn battery_efficiency(&self) -> f64 {
+        self.battery_efficiency
+    }
+
+    /// Powertrain working efficiency `η₂`.
+    pub fn powertrain_efficiency(&self) -> f64 {
+        self.powertrain_efficiency
+    }
+
+    /// Constant auxiliary (hotel) load in watts: electronics, pumps,
+    /// climate control. Drawn for the whole trip duration regardless of
+    /// motion, it is what makes very slow trips expensive for a real EV.
+    pub fn aux_power_w(&self) -> f64 {
+        self.aux_power_w
+    }
+
+    /// The battery pack.
+    pub fn battery(&self) -> &BatteryPack {
+        &self.battery
+    }
+
+    /// Product `η₁·η₂` appearing in Eq. (2)–(3).
+    pub fn total_efficiency(&self) -> f64 {
+        self.battery_efficiency * self.powertrain_efficiency
+    }
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        Self::spark_ev()
+    }
+}
+
+/// Builder for [`VehicleParams`].
+///
+/// All setters take and return `&mut self`; finish with
+/// [`build`](VehicleParamsBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_ev_energy::VehicleParams;
+///
+/// let heavy = VehicleParams::builder().mass_kg(1800.0).build()?;
+/// assert_eq!(heavy.mass_kg(), 1800.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VehicleParamsBuilder {
+    mass_kg: f64,
+    frontal_area_m2: f64,
+    drag_coefficient: f64,
+    rolling_resistance: f64,
+    air_density: f64,
+    battery_efficiency: f64,
+    powertrain_efficiency: f64,
+    aux_power_w: f64,
+    battery: BatteryPack,
+}
+
+impl Default for VehicleParamsBuilder {
+    fn default() -> Self {
+        Self {
+            mass_kg: 1300.0,
+            frontal_area_m2: 2.0,
+            drag_coefficient: 0.33,
+            rolling_resistance: 0.018,
+            air_density: AIR_DENSITY,
+            battery_efficiency: 0.95,
+            powertrain_efficiency: 0.9,
+            aux_power_w: 1000.0,
+            battery: BatteryPack::spark_ev(),
+        }
+    }
+}
+
+impl VehicleParamsBuilder {
+    /// Sets the gross vehicle mass in kilograms.
+    pub fn mass_kg(&mut self, m: f64) -> &mut Self {
+        self.mass_kg = m;
+        self
+    }
+
+    /// Sets the frontal area in square meters.
+    pub fn frontal_area_m2(&mut self, a: f64) -> &mut Self {
+        self.frontal_area_m2 = a;
+        self
+    }
+
+    /// Sets the drag coefficient.
+    pub fn drag_coefficient(&mut self, cd: f64) -> &mut Self {
+        self.drag_coefficient = cd;
+        self
+    }
+
+    /// Sets the rolling resistance coefficient.
+    pub fn rolling_resistance(&mut self, mu: f64) -> &mut Self {
+        self.rolling_resistance = mu;
+        self
+    }
+
+    /// Sets the ambient air density in kg/m³.
+    pub fn air_density(&mut self, rho: f64) -> &mut Self {
+        self.air_density = rho;
+        self
+    }
+
+    /// Sets the battery efficiency `η₁`.
+    pub fn battery_efficiency(&mut self, eta1: f64) -> &mut Self {
+        self.battery_efficiency = eta1;
+        self
+    }
+
+    /// Sets the powertrain efficiency `η₂`.
+    pub fn powertrain_efficiency(&mut self, eta2: f64) -> &mut Self {
+        self.powertrain_efficiency = eta2;
+        self
+    }
+
+    /// Sets the constant auxiliary (hotel) load in watts.
+    pub fn aux_power_w(&mut self, watts: f64) -> &mut Self {
+        self.aux_power_w = watts;
+        self
+    }
+
+    /// Sets the battery pack.
+    pub fn battery(&mut self, pack: BatteryPack) -> &mut Self {
+        self.battery = pack;
+        self
+    }
+
+    /// Validates the configuration and builds [`VehicleParams`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any physical constant is
+    /// non-positive or an efficiency lies outside `(0, 1]`.
+    pub fn build(&self) -> Result<VehicleParams> {
+        let positive = [
+            ("mass", self.mass_kg),
+            ("frontal area", self.frontal_area_m2),
+            ("drag coefficient", self.drag_coefficient),
+            ("rolling resistance", self.rolling_resistance),
+            ("air density", self.air_density),
+        ];
+        for (name, v) in positive {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(Error::invalid_input(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if !(self.aux_power_w >= 0.0 && self.aux_power_w.is_finite()) {
+            return Err(Error::invalid_input(format!(
+                "auxiliary power must be non-negative and finite, got {}",
+                self.aux_power_w
+            )));
+        }
+        for (name, v) in [
+            ("battery efficiency", self.battery_efficiency),
+            ("powertrain efficiency", self.powertrain_efficiency),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(Error::invalid_input(format!(
+                    "{name} must be in (0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(VehicleParams {
+            aux_power_w: self.aux_power_w,
+            mass_kg: self.mass_kg,
+            frontal_area_m2: self.frontal_area_m2,
+            drag_coefficient: self.drag_coefficient,
+            rolling_resistance: self.rolling_resistance,
+            air_density: self.air_density,
+            battery_efficiency: self.battery_efficiency,
+            powertrain_efficiency: self.powertrain_efficiency,
+            battery: self.battery.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spark_preset_matches_paper_constants() {
+        let p = VehicleParams::spark_ev();
+        assert_eq!(p.mass_kg(), 1300.0);
+        assert_eq!(p.frontal_area_m2(), 2.0);
+        assert_eq!(p.drag_coefficient(), 0.33);
+        assert_eq!(p.rolling_resistance(), 0.018);
+        assert_eq!(p.battery_efficiency(), 0.95);
+        assert_eq!(p.powertrain_efficiency(), 0.9);
+        assert!((p.total_efficiency() - 0.855).abs() < 1e-12);
+        assert_eq!(p.aux_power_w(), 1000.0);
+    }
+
+    #[test]
+    fn aux_power_validated_and_overridable() {
+        assert!(VehicleParams::builder().aux_power_w(-1.0).build().is_err());
+        let quiet = VehicleParams::builder().aux_power_w(0.0).build().unwrap();
+        assert_eq!(quiet.aux_power_w(), 0.0);
+    }
+
+    #[test]
+    fn default_equals_spark() {
+        assert_eq!(VehicleParams::default(), VehicleParams::spark_ev());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = VehicleParams::builder()
+            .mass_kg(1500.0)
+            .drag_coefficient(0.28)
+            .build()
+            .unwrap();
+        assert_eq!(p.mass_kg(), 1500.0);
+        assert_eq!(p.drag_coefficient(), 0.28);
+        // Untouched fields keep the preset values.
+        assert_eq!(p.frontal_area_m2(), 2.0);
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive() {
+        assert!(VehicleParams::builder().mass_kg(0.0).build().is_err());
+        assert!(VehicleParams::builder().mass_kg(-1.0).build().is_err());
+        assert!(VehicleParams::builder().air_density(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_efficiency() {
+        assert!(VehicleParams::builder()
+            .battery_efficiency(1.2)
+            .build()
+            .is_err());
+        assert!(VehicleParams::builder()
+            .powertrain_efficiency(0.0)
+            .build()
+            .is_err());
+    }
+}

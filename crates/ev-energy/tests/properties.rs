@@ -1,0 +1,126 @@
+//! Property-based tests for the EV energy model invariants.
+
+use proptest::prelude::*;
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Radians};
+use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+
+fn model() -> EnergyModel {
+    EnergyModel::new(VehicleParams::spark_ev())
+}
+
+proptest! {
+    /// ζ has the sign of the wheel power: positive when accelerating hard,
+    /// negative when the braking force dominates, zero exactly at v = 0.
+    #[test]
+    fn rate_sign_matches_wheel_power(v in 0.0f64..40.0, a in -1.5f64..2.5, g in -5.0f64..5.0) {
+        let m = model();
+        let grade = Radians::from_grade_percent(g);
+        let p = m.wheel_power(MetersPerSecond::new(v), MetersPerSecondSq::new(a), grade);
+        let z = m.charge_rate(MetersPerSecond::new(v), MetersPerSecondSq::new(a), grade);
+        prop_assert_eq!(p.value() > 0.0, z.value() > 0.0);
+        prop_assert_eq!(p.value() < 0.0, z.value() < 0.0);
+    }
+
+    /// At fixed speed and grade the rate is strictly increasing in
+    /// acceleration (the shape of Fig. 3).
+    #[test]
+    fn rate_monotone_in_acceleration(v in 0.5f64..40.0, a in -1.5f64..2.4) {
+        let m = model();
+        let z1 = m.charge_rate(
+            MetersPerSecond::new(v),
+            MetersPerSecondSq::new(a),
+            Radians::ZERO,
+        );
+        let z2 = m.charge_rate(
+            MetersPerSecond::new(v),
+            MetersPerSecondSq::new(a + 0.1),
+            Radians::ZERO,
+        );
+        prop_assert!(z2.value() > z1.value());
+    }
+
+    /// Steeper climbs always cost more at the same kinematic state.
+    #[test]
+    fn rate_monotone_in_grade(v in 0.5f64..40.0, a in -1.5f64..2.5, g in 0.0f64..8.0) {
+        let m = model();
+        let z_flat = m.charge_rate(
+            MetersPerSecond::new(v),
+            MetersPerSecondSq::new(a),
+            Radians::from_grade_percent(g),
+        );
+        let z_steep = m.charge_rate(
+            MetersPerSecond::new(v),
+            MetersPerSecondSq::new(a),
+            Radians::from_grade_percent(g + 1.0),
+        );
+        prop_assert!(z_steep.value() > z_flat.value());
+    }
+
+    /// Limited regen never recovers more than the paper-literal formula and
+    /// never discharges during braking.
+    #[test]
+    fn limited_regen_bounded(v in 0.0f64..40.0, a in -1.5f64..-0.01, eff in 0.0f64..1.0) {
+        let literal = model();
+        let limited = EnergyModel::with_regen(
+            VehicleParams::spark_ev(),
+            RegenPolicy::Limited { efficiency: eff, cutoff: MetersPerSecond::new(1.0) },
+        );
+        let zl = literal.charge_rate(
+            MetersPerSecond::new(v), MetersPerSecondSq::new(a), Radians::ZERO);
+        let zr = limited.charge_rate(
+            MetersPerSecond::new(v), MetersPerSecondSq::new(a), Radians::ZERO);
+        if zl.value() < 0.0 {
+            prop_assert!(zr.value() <= 0.0);
+            prop_assert!(zr.value() >= zl.value() - 1e-12);
+        }
+    }
+
+    /// Segment integration: duration and exit speed always satisfy the
+    /// kinematic identities, and charge scales with distance for cruise.
+    #[test]
+    fn segment_kinematics_consistent(v0 in 1.0f64..30.0, a in -0.5f64..2.0, d in 10.0f64..500.0) {
+        let m = model();
+        let result = m.segment_energy(
+            MetersPerSecond::new(v0),
+            MetersPerSecondSq::new(a),
+            Meters::new(d),
+            Radians::ZERO,
+        );
+        let v1_sq = v0 * v0 + 2.0 * a * d;
+        if v1_sq <= 0.0 {
+            prop_assert!(result.is_err());
+        } else {
+            let seg = result.unwrap();
+            prop_assert!((seg.exit_speed.value() - v1_sq.sqrt()).abs() < 1e-9);
+            // d = (v0 + v1)/2 * t for constant acceleration.
+            let mean_v = 0.5 * (v0 + seg.exit_speed.value());
+            prop_assert!((mean_v * seg.duration.value() - d).abs() < 1e-6);
+        }
+    }
+
+    /// Cruise charge is linear in distance.
+    #[test]
+    fn cruise_charge_linear_in_distance(v in 2.0f64..35.0, d in 50.0f64..400.0) {
+        let m = model();
+        let q1 = m.segment_energy(
+            MetersPerSecond::new(v), MetersPerSecondSq::ZERO, Meters::new(d), Radians::ZERO,
+        ).unwrap().charge.value();
+        let q2 = m.segment_energy(
+            MetersPerSecond::new(v), MetersPerSecondSq::ZERO, Meters::new(2.0 * d), Radians::ZERO,
+        ).unwrap().charge.value();
+        prop_assert!((q2 - 2.0 * q1).abs() < 1e-9);
+    }
+
+    /// Heavier vehicles never consume less in traction.
+    #[test]
+    fn heavier_vehicle_costs_more(v in 1.0f64..30.0, extra in 1.0f64..800.0) {
+        let light = model();
+        let heavy = EnergyModel::new(
+            VehicleParams::builder().mass_kg(1300.0 + extra).build().unwrap());
+        let zl = light.charge_rate(
+            MetersPerSecond::new(v), MetersPerSecondSq::new(1.0), Radians::ZERO);
+        let zh = heavy.charge_rate(
+            MetersPerSecond::new(v), MetersPerSecondSq::new(1.0), Radians::ZERO);
+        prop_assert!(zh.value() > zl.value());
+    }
+}

@@ -1,0 +1,361 @@
+//! Simulator and car-following configuration.
+
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Seconds};
+use velopt_common::{Error, Result};
+
+/// Which longitudinal car-following law a vehicle drives with.
+///
+/// SUMO ships several; we implement the two most common. Both read their
+/// parameters from the surrounding [`KraussParams`] (`accel`, `decel`,
+/// `reaction` — doubling as IDM's desired time headway `T` — and
+/// `min_gap` as IDM's standstill distance `s₀`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FollowingModel {
+    /// Krauss safe-speed model (SUMO's default; speed-based).
+    #[default]
+    Krauss,
+    /// Intelligent Driver Model (acceleration-based):
+    /// `a = a_max·[1 − (v/v₀)⁴ − (s*/s)²]` with
+    /// `s* = s₀ + v·T + v·Δv / (2·√(a_max·b))`.
+    Idm,
+}
+
+/// Krauss car-following parameters for one vehicle.
+///
+/// The safe-speed rule is the classic Krauss formulation: a follower may not
+/// exceed
+///
+/// ```text
+/// v_safe = −b·τ + sqrt(b²·τ² + v_leader² + 2·b·gap)
+/// ```
+///
+/// which guarantees it can always stop behind the leader's worst-case
+/// stopping point given reaction time `τ` and comfortable deceleration `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KraussParams {
+    /// Maximum acceleration.
+    pub accel: MetersPerSecondSq,
+    /// Comfortable deceleration (braking), positive.
+    pub decel: MetersPerSecondSq,
+    /// Dawdling factor `σ ∈ [0, 1]`: random speed reduction per step.
+    pub sigma: f64,
+    /// Driver reaction time `τ`.
+    pub reaction: Seconds,
+    /// Minimum standstill gap to the leader.
+    pub min_gap: Meters,
+    /// Vehicle length.
+    pub length: Meters,
+    /// Desired (free-flow) speed cap; the road's limit also applies.
+    pub desired_speed: MetersPerSecond,
+    /// The car-following law this vehicle drives with.
+    pub model: FollowingModel,
+}
+
+impl KraussParams {
+    /// SUMO-like defaults for background passenger cars.
+    pub fn passenger() -> Self {
+        Self {
+            accel: MetersPerSecondSq::new(2.0),
+            decel: MetersPerSecondSq::new(4.5),
+            sigma: 0.3,
+            reaction: Seconds::new(1.0),
+            min_gap: Meters::new(2.5),
+            length: Meters::new(5.0),
+            desired_speed: MetersPerSecond::new(19.4),
+            model: FollowingModel::Krauss,
+        }
+    }
+
+    /// Passenger-car defaults driving with the Intelligent Driver Model.
+    pub fn passenger_idm() -> Self {
+        Self {
+            model: FollowingModel::Idm,
+            // IDM uses `reaction` as the desired time headway T.
+            reaction: Seconds::new(1.2),
+            ..Self::passenger()
+        }
+    }
+
+    /// A heavy truck: longer, slower to launch, lower free-flow speed.
+    pub fn truck() -> Self {
+        Self {
+            accel: MetersPerSecondSq::new(1.0),
+            decel: MetersPerSecondSq::new(3.5),
+            sigma: 0.2,
+            reaction: Seconds::new(1.3),
+            min_gap: Meters::new(3.5),
+            length: Meters::new(12.0),
+            desired_speed: MetersPerSecond::new(16.5),
+            model: FollowingModel::Krauss,
+        }
+    }
+
+    /// The controlled EV: comfort limits from the paper (`a ∈ [−1.5, 2.5]`)
+    /// and no dawdling.
+    pub fn ego() -> Self {
+        Self {
+            accel: MetersPerSecondSq::new(2.5),
+            decel: MetersPerSecondSq::new(4.5),
+            sigma: 0.0,
+            reaction: Seconds::new(1.0),
+            min_gap: Meters::new(2.5),
+            length: Meters::new(5.0),
+            desired_speed: MetersPerSecond::new(19.4),
+            model: FollowingModel::Krauss,
+        }
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any kinematic parameter is
+    /// non-positive, `σ` is outside `[0, 1]`, or the standstill gap is
+    /// negative.
+    pub fn validated(self) -> Result<Self> {
+        if self.accel.value() <= 0.0 || self.decel.value() <= 0.0 {
+            return Err(Error::invalid_input("accel and decel must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.sigma) {
+            return Err(Error::invalid_input("sigma must be in [0, 1]"));
+        }
+        if self.reaction.value() <= 0.0 {
+            return Err(Error::invalid_input("reaction time must be positive"));
+        }
+        if self.min_gap.value() < 0.0 || self.length.value() <= 0.0 {
+            return Err(Error::invalid_input("gap/length must be non-negative"));
+        }
+        if self.desired_speed.value() <= 0.0 {
+            return Err(Error::invalid_input("desired speed must be positive"));
+        }
+        Ok(self)
+    }
+
+    /// The IDM acceleration toward `free_speed` with an optional
+    /// constraint `(gap, leader_speed)` ahead.
+    ///
+    /// Uses exponent δ = 4 (the canonical choice), `reaction` as the
+    /// desired time headway and `min_gap` as the standstill distance.
+    pub fn idm_acceleration(
+        &self,
+        v: MetersPerSecond,
+        free_speed: MetersPerSecond,
+        constraint: Option<(Meters, MetersPerSecond)>,
+    ) -> MetersPerSecondSq {
+        let a = self.accel.value();
+        let b = self.decel.value();
+        let v0 = free_speed.value().max(0.1);
+        let vv = v.value();
+        let free_term = 1.0 - (vv / v0).powi(4);
+        let interaction = match constraint {
+            Some((gap, leader_speed)) => {
+                let s = gap.value().max(0.1);
+                let dv = vv - leader_speed.value();
+                let s_star = self.min_gap.value()
+                    + vv * self.reaction.value()
+                    + vv * dv / (2.0 * (a * b).sqrt());
+                (s_star.max(0.0) / s).powi(2)
+            }
+            None => 0.0,
+        };
+        MetersPerSecondSq::new(a * (free_term - interaction))
+    }
+
+    /// The Krauss safe speed with respect to a leader `gap` meters ahead
+    /// travelling at `leader_speed`.
+    pub fn safe_speed(&self, gap: Meters, leader_speed: MetersPerSecond) -> MetersPerSecond {
+        let b = self.decel.value();
+        let tau = self.reaction.value();
+        let g = gap.value().max(0.0);
+        let vl = leader_speed.value();
+        let v = -b * tau + (b * b * tau * tau + vl * vl + 2.0 * b * g).sqrt();
+        MetersPerSecond::new(v.max(0.0))
+    }
+}
+
+/// Global simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Integration step (SUMO default is 1 s; we default to 0.1 s for
+    /// smoother ego profiles).
+    pub dt: Seconds,
+    /// Seed for arrivals, dawdling and turn decisions.
+    pub seed: u64,
+    /// Background-vehicle car-following parameters.
+    pub background: KraussParams,
+    /// Ego car-following parameters.
+    pub ego: KraussParams,
+    /// Fraction of background vehicles that go straight at each light
+    /// (the queue model's `γ`); the rest turn off and leave the corridor.
+    pub straight_ratio: f64,
+    /// Truck parameters for the heavy-vehicle share of the background mix.
+    pub truck: KraussParams,
+    /// Fraction of background arrivals that are trucks, in `[0, 1]`.
+    pub truck_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            dt: Seconds::new(0.1),
+            seed: 0xC0FFEE,
+            background: KraussParams::passenger(),
+            ego: KraussParams::ego(),
+            straight_ratio: 0.7636,
+            truck: KraussParams::truck(),
+            truck_fraction: 0.0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the step is non-positive, either
+    /// parameter set is invalid, or the straight ratio is outside `(0, 1]`.
+    pub fn validated(self) -> Result<Self> {
+        if self.dt.value() <= 0.0 {
+            return Err(Error::invalid_input("dt must be positive"));
+        }
+        self.background.validated()?;
+        self.ego.validated()?;
+        self.truck.validated()?;
+        if !(self.straight_ratio > 0.0 && self.straight_ratio <= 1.0) {
+            return Err(Error::invalid_input("straight ratio must be in (0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.truck_fraction) {
+            return Err(Error::invalid_input("truck fraction must be in [0, 1]"));
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(KraussParams::passenger().validated().is_ok());
+        assert!(KraussParams::passenger_idm().validated().is_ok());
+        assert!(KraussParams::truck().validated().is_ok());
+        assert!(KraussParams::ego().validated().is_ok());
+        assert!(SimConfig::default().validated().is_ok());
+        assert!(SimConfig {
+            truck_fraction: 1.5,
+            ..SimConfig::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let p = KraussParams::passenger();
+        assert!(KraussParams {
+            accel: MetersPerSecondSq::ZERO,
+            ..p
+        }
+        .validated()
+        .is_err());
+        assert!(KraussParams { sigma: 1.5, ..p }.validated().is_err());
+        assert!(KraussParams {
+            reaction: Seconds::ZERO,
+            ..p
+        }
+        .validated()
+        .is_err());
+        assert!(KraussParams {
+            length: Meters::ZERO,
+            ..p
+        }
+        .validated()
+        .is_err());
+        let c = SimConfig::default();
+        assert!(SimConfig {
+            dt: Seconds::ZERO,
+            ..c
+        }
+        .validated()
+        .is_err());
+        assert!(SimConfig {
+            straight_ratio: 0.0,
+            ..c
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn safe_speed_zero_gap_stopped_leader_is_zero() {
+        let p = KraussParams::passenger();
+        let v = p.safe_speed(Meters::ZERO, MetersPerSecond::ZERO);
+        assert_eq!(v, MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    fn safe_speed_grows_with_gap_and_leader_speed() {
+        let p = KraussParams::passenger();
+        let v1 = p.safe_speed(Meters::new(10.0), MetersPerSecond::ZERO);
+        let v2 = p.safe_speed(Meters::new(50.0), MetersPerSecond::ZERO);
+        let v3 = p.safe_speed(Meters::new(50.0), MetersPerSecond::new(10.0));
+        assert!(v2 > v1);
+        assert!(v3 > v2);
+    }
+
+    #[test]
+    fn idm_free_road_accelerates_then_settles() {
+        let p = KraussParams::passenger_idm();
+        // From rest with no obstacle: near-maximal acceleration.
+        let a0 = p.idm_acceleration(MetersPerSecond::ZERO, MetersPerSecond::new(19.4), None);
+        assert!((a0.value() - p.accel.value()).abs() < 1e-9);
+        // At the desired speed: zero acceleration.
+        let a_eq = p.idm_acceleration(
+            MetersPerSecond::new(19.4),
+            MetersPerSecond::new(19.4),
+            None,
+        );
+        assert!(a_eq.value().abs() < 1e-9);
+        // Above the desired speed: deceleration.
+        let a_over = p.idm_acceleration(
+            MetersPerSecond::new(25.0),
+            MetersPerSecond::new(19.4),
+            None,
+        );
+        assert!(a_over.value() < 0.0);
+    }
+
+    #[test]
+    fn idm_brakes_for_close_stopped_leader() {
+        let p = KraussParams::passenger_idm();
+        let a = p.idm_acceleration(
+            MetersPerSecond::new(15.0),
+            MetersPerSecond::new(19.4),
+            Some((Meters::new(20.0), MetersPerSecond::ZERO)),
+        );
+        assert!(a.value() < -1.0, "should brake hard, got {a:?}");
+        // A distant leader barely matters.
+        let far = p.idm_acceleration(
+            MetersPerSecond::new(15.0),
+            MetersPerSecond::new(19.4),
+            Some((Meters::new(500.0), MetersPerSecond::ZERO)),
+        );
+        assert!(far.value() > 0.5);
+    }
+
+    #[test]
+    fn safe_speed_allows_stopping_within_gap() {
+        // Starting at v_safe and braking at b after one reaction time must
+        // not cover more than the gap (leader stopped).
+        let p = KraussParams::passenger();
+        let gap = 37.0;
+        let v = p.safe_speed(Meters::new(gap), MetersPerSecond::ZERO).value();
+        let b = p.decel.value();
+        let tau = p.reaction.value();
+        let stopping = v * tau + v * v / (2.0 * b);
+        assert!(stopping <= gap + 1e-6, "stopping {stopping} vs gap {gap}");
+    }
+}

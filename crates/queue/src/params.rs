@@ -1,0 +1,156 @@
+//! Shared parameters of the queue models.
+
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{
+    KilometersPerHour, Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour,
+};
+use velopt_common::{Error, Result};
+
+/// Parameters of a signalized approach, as used by Eq. 4–6.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_queue::QueueParams;
+///
+/// let p = QueueParams::us25_probe();
+/// assert_eq!(p.arrival_rate.value(), 153.0);
+/// assert_eq!(p.spacing.value(), 8.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueParams {
+    /// Vehicle arrival rate `V_in` at the stop line.
+    pub arrival_rate: VehiclesPerHour,
+    /// Average intra-queue inter-vehicle spacing `d̄` (assumed constant,
+    /// following [14]).
+    pub spacing: Meters,
+    /// Fraction `γ` of queued vehicles that go straight through.
+    pub straight_ratio: f64,
+    /// Minimum speed limit `v_min` the discharging queue accelerates to.
+    pub v_min: MetersPerSecond,
+    /// Maximum comfortable acceleration `a_max`.
+    pub a_max: MetersPerSecondSq,
+    /// Red period `t_red` of the cycle (the cycle starts red).
+    pub red: Seconds,
+    /// Green period `t_green` of the cycle.
+    pub green: Seconds,
+}
+
+impl QueueParams {
+    /// The paper's probe measurement at the second US-25 light (§III-B-2):
+    /// `d̄ = 8.5 m`, `γ = 76.36 %`, `V_in = 153 veh/h`, `t_red = t_green =
+    /// 30 s`, with `v_min = 40 km/h` and `a_max = 2.5 m/s²` from the road
+    /// and comfort settings.
+    pub fn us25_probe() -> Self {
+        Self {
+            arrival_rate: VehiclesPerHour::new(153.0),
+            spacing: Meters::new(8.5),
+            straight_ratio: 0.7636,
+            v_min: KilometersPerHour::new(40.0).to_meters_per_second(),
+            a_max: MetersPerSecondSq::new(2.5),
+            red: Seconds::new(30.0),
+            green: Seconds::new(30.0),
+        }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any rate, spacing, speed,
+    /// acceleration or period is non-positive, or `γ` is outside `(0, 1]`.
+    pub fn validated(self) -> Result<Self> {
+        if self.arrival_rate.value() < 0.0 {
+            return Err(Error::invalid_input("arrival rate must be non-negative"));
+        }
+        if self.spacing.value() <= 0.0 {
+            return Err(Error::invalid_input("spacing must be positive"));
+        }
+        if !(self.straight_ratio > 0.0 && self.straight_ratio <= 1.0) {
+            return Err(Error::invalid_input("straight ratio must be in (0, 1]"));
+        }
+        if self.v_min.value() <= 0.0 || self.a_max.value() <= 0.0 {
+            return Err(Error::invalid_input(
+                "v_min and a_max must be strictly positive",
+            ));
+        }
+        if self.red.value() <= 0.0 || self.green.value() <= 0.0 {
+            return Err(Error::invalid_input("signal periods must be positive"));
+        }
+        Ok(self)
+    }
+
+    /// Arrival rate in vehicles per second.
+    pub fn lambda(&self) -> f64 {
+        self.arrival_rate.per_second()
+    }
+
+    /// Full cycle duration.
+    pub fn cycle(&self) -> Seconds {
+        self.red + self.green
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_preset_is_valid() {
+        assert!(QueueParams::us25_probe().validated().is_ok());
+        let p = QueueParams::us25_probe();
+        assert!((p.lambda() - 153.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(p.cycle(), Seconds::new(60.0));
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let good = QueueParams::us25_probe();
+        let cases = [
+            QueueParams {
+                arrival_rate: VehiclesPerHour::new(-1.0),
+                ..good
+            },
+            QueueParams {
+                spacing: Meters::ZERO,
+                ..good
+            },
+            QueueParams {
+                straight_ratio: 0.0,
+                ..good
+            },
+            QueueParams {
+                straight_ratio: 1.5,
+                ..good
+            },
+            QueueParams {
+                v_min: MetersPerSecond::ZERO,
+                ..good
+            },
+            QueueParams {
+                a_max: MetersPerSecondSq::new(-2.0),
+                ..good
+            },
+            QueueParams {
+                red: Seconds::ZERO,
+                ..good
+            },
+            QueueParams {
+                green: Seconds::new(-1.0),
+                ..good
+            },
+        ];
+        for bad in cases {
+            assert!(bad.validated().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn zero_arrivals_are_allowed() {
+        let p = QueueParams {
+            arrival_rate: VehiclesPerHour::ZERO,
+            ..QueueParams::us25_probe()
+        };
+        assert!(p.validated().is_ok());
+    }
+}

@@ -1,0 +1,516 @@
+//! The queue-length (QL) model (Eq. 6) and the queue-free windows `T_q`.
+
+use crate::params::QueueParams;
+use crate::vm::VmModel;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{Meters, Seconds, VehiclesPerHour};
+use velopt_common::{Error, Result, TimeSeries};
+use velopt_road::{Phase, TrafficLight};
+
+/// A half-open time interval `[start, end)` in absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Window start (inclusive).
+    pub start: Seconds,
+    /// Window end (exclusive).
+    pub end: Seconds,
+}
+
+impl TimeWindow {
+    /// Whether `t` lies inside the window.
+    pub fn contains(&self, t: Seconds) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Window duration.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// One sample of the queue state over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSample {
+    /// Absolute time of the sample.
+    pub time: Seconds,
+    /// Queue length in vehicles.
+    pub vehicles: f64,
+    /// Instantaneous leaving rate.
+    pub leaving_rate: VehiclesPerHour,
+}
+
+/// The paper's queue-length model: arrivals at `V_in` build a queue through
+/// red; from the start of green the VM-model discharge front releases it
+/// (Eq. 6). All single-cycle queries use cycle-relative time `t ∈ [0,
+/// red+green)` with the red phase first, matching Eq. 6's convention.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::Seconds;
+/// use velopt_queue::{QueueModel, QueueParams};
+///
+/// let model = QueueModel::new(QueueParams::us25_probe())?;
+/// let at_green_start = model.queue_vehicles(Seconds::new(30.0));
+/// // 153 veh/h for 30 s ≈ 1.275 vehicles.
+/// assert!((at_green_start - 1.275).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueModel {
+    params: QueueParams,
+    vm: VmModel,
+}
+
+impl QueueModel {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the parameters fail validation.
+    pub fn new(params: QueueParams) -> Result<Self> {
+        let params = params.validated()?;
+        let vm = VmModel::from_params(&params)?;
+        Ok(Self { params, vm })
+    }
+
+    /// The approach parameters.
+    pub fn params(&self) -> &QueueParams {
+        &self.params
+    }
+
+    /// The underlying VM model.
+    pub fn vm(&self) -> &VmModel {
+        &self.vm
+    }
+
+    /// Queue-discharge capacity `v_min / (d̄·γ)` in vehicles per second —
+    /// the saturation value of Eq. 5.
+    pub fn capacity_per_second(&self) -> f64 {
+        self.params.v_min.value() / (self.params.spacing.value() * self.params.straight_ratio)
+    }
+
+    /// Vehicles discharged `τ` seconds into green (the VM front's travel
+    /// distance divided by the effective spacing `d̄·γ`).
+    fn discharged_vehicles(&self, tau: Seconds) -> f64 {
+        self.vm.discharge_distance(tau).value()
+            / (self.params.spacing.value() * self.params.straight_ratio)
+    }
+
+    /// Queue length in vehicles at cycle-relative time `t`, starting the
+    /// cycle with `initial` queued vehicles (Eq. 6 generalized with a
+    /// carry-over term; Eq. 6 itself is the `initial = 0` case).
+    pub fn queue_vehicles_with_initial(&self, t: Seconds, initial: f64) -> f64 {
+        let lambda = self.params.lambda();
+        let arrived = initial + lambda * t.value().max(0.0);
+        if t <= self.params.red {
+            return arrived;
+        }
+        let tau = t - self.params.red;
+        (arrived - self.discharged_vehicles(tau)).max(0.0)
+    }
+
+    /// Queue length in vehicles at cycle-relative time `t` for a cycle that
+    /// starts empty (Eq. 6).
+    pub fn queue_vehicles(&self, t: Seconds) -> f64 {
+        self.queue_vehicles_with_initial(t, 0.0)
+    }
+
+    /// Queue length expressed in meters of stacked vehicles.
+    pub fn queue_meters(&self, t: Seconds) -> Meters {
+        Meters::new(self.queue_vehicles(t) * self.params.spacing.value())
+    }
+
+    /// Cycle-relative instant `t̄` at which the queue first reaches zero,
+    /// starting the cycle with `initial` vehicles, or `None` when the cycle
+    /// is oversaturated (the queue outlives the green).
+    pub fn clear_time_with_initial(&self, initial: f64) -> Option<Seconds> {
+        let lambda = self.params.lambda();
+        let red = self.params.red.value();
+        let dg = self.params.spacing.value() * self.params.straight_ratio;
+        let backlog0 = initial + lambda * red; // queue at the start of green
+        if backlog0 <= 0.0 {
+            return Some(self.params.red);
+        }
+
+        // Phase A — the discharge front is still ramping up:
+        //   backlog0 + λ·τ = a·τ² / (2·d̄γ)
+        let a = self.params.a_max.value();
+        let k = a / (2.0 * dg);
+        let disc = lambda * lambda + 4.0 * k * backlog0;
+        let tau_a = (lambda + disc.sqrt()) / (2.0 * k);
+        let ramp = self.vm.ramp_duration().value();
+        let tau = if tau_a <= ramp {
+            tau_a
+        } else {
+            // Phase B — the front cruises at v_min (capacity c = v_min/d̄γ):
+            //   backlog0 + λ·τ = [ramp_dist + v_min·(τ − ramp)] / d̄γ
+            let c = self.capacity_per_second();
+            if c <= lambda {
+                return None; // oversaturated: the queue can never drain
+            }
+            let ramp_veh = self.discharged_vehicles(Seconds::new(ramp));
+            (backlog0 - ramp_veh + c * ramp) / (c - lambda)
+        };
+        if tau > self.params.green.value() {
+            return None; // does not clear within this green
+        }
+        Some(Seconds::new(red + tau))
+    }
+
+    /// Cycle-relative clear instant `t̄` for an initially-empty cycle
+    /// (the `L_q(t) = 0` root of Eq. 6).
+    pub fn clear_time(&self) -> Option<Seconds> {
+        self.clear_time_with_initial(0.0)
+    }
+
+    /// Residual queue carried into the next cycle.
+    pub fn residual_after_cycle(&self, initial: f64) -> f64 {
+        self.queue_vehicles_with_initial(self.params.cycle(), initial)
+    }
+
+    /// Instantaneous leaving rate at cycle-relative `t` (Eq. 5, saturating
+    /// at the arrival rate once the queue is empty — the plateau of
+    /// Fig. 5a).
+    pub fn leaving_rate_with_initial(&self, t: Seconds, initial: f64) -> VehiclesPerHour {
+        if t <= self.params.red {
+            return VehiclesPerHour::ZERO;
+        }
+        let tau = t - self.params.red;
+        if self.queue_vehicles_with_initial(t, initial) > 0.0 {
+            let dg = self.params.spacing.value() * self.params.straight_ratio;
+            VehiclesPerHour::from_per_second(self.vm.discharge_speed(tau).value() / dg)
+        } else {
+            self.params.arrival_rate
+        }
+    }
+
+    /// Leaving rate for an initially-empty cycle.
+    pub fn leaving_rate(&self, t: Seconds) -> VehiclesPerHour {
+        self.leaving_rate_with_initial(t, 0.0)
+    }
+
+    /// Simulates the queue over `cycles` consecutive cycles with residual
+    /// carry-over, sampling every `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `dt` is non-positive or `cycles`
+    /// is zero.
+    pub fn simulate(&self, cycles: usize, dt: Seconds) -> Result<Vec<QueueSample>> {
+        if cycles == 0 {
+            return Err(Error::invalid_input("need at least one cycle"));
+        }
+        if dt.value() <= 0.0 {
+            return Err(Error::invalid_input("sample step must be positive"));
+        }
+        let cycle = self.params.cycle();
+        let mut samples = Vec::new();
+        let mut initial = 0.0;
+        for k in 0..cycles {
+            let cycle_start = cycle * k as f64;
+            let n = (cycle.value() / dt.value()).round() as usize;
+            for i in 0..n {
+                let t_rel = dt * i as f64;
+                samples.push(QueueSample {
+                    time: cycle_start + t_rel,
+                    vehicles: self.queue_vehicles_with_initial(t_rel, initial),
+                    leaving_rate: self.leaving_rate_with_initial(t_rel, initial),
+                });
+            }
+            initial = self.residual_after_cycle(initial);
+        }
+        Ok(samples)
+    }
+
+    /// Queue length as a [`TimeSeries`] (for plots and RMSE comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`simulate`](Self::simulate).
+    pub fn queue_series(&self, cycles: usize, dt: Seconds) -> Result<TimeSeries> {
+        let samples = self.simulate(cycles, dt)?;
+        TimeSeries::from_samples(
+            Seconds::ZERO,
+            dt,
+            samples.iter().map(|s| s.vehicles).collect(),
+        )
+    }
+
+    /// The queue-free green windows `T_q` (Eq. 11) of a specific traffic
+    /// light over `[from, from + horizon)`.
+    ///
+    /// For each signal cycle the queue is empty from the clear instant `t̄`
+    /// until the end of green; residual queues are carried across
+    /// oversaturated cycles. The model's red/green periods must match the
+    /// light's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the light's timing differs from
+    /// the model parameters or the horizon is non-positive.
+    pub fn empty_windows(
+        &self,
+        light: &TrafficLight,
+        from: Seconds,
+        horizon: Seconds,
+    ) -> Result<Vec<TimeWindow>> {
+        if (light.red() - self.params.red).abs().value() > 1e-9
+            || (light.green() - self.params.green).abs().value() > 1e-9
+        {
+            return Err(Error::invalid_input(
+                "traffic light timing does not match queue model parameters",
+            ));
+        }
+        if horizon.value() <= 0.0 {
+            return Err(Error::invalid_input("horizon must be positive"));
+        }
+        let end = from + horizon;
+        let mut windows = Vec::new();
+        let mut cycle_start = light.cycle_start_at(from);
+        let mut initial = 0.0;
+        while cycle_start < end {
+            let cycle_end = cycle_start + self.params.cycle();
+            if let Some(clear_rel) = self.clear_time_with_initial(initial) {
+                let w = TimeWindow {
+                    start: (cycle_start + clear_rel).max(from),
+                    end: cycle_end.min(end),
+                };
+                if w.start < w.end {
+                    windows.push(w);
+                }
+            }
+            initial = self.residual_after_cycle(initial);
+            cycle_start = cycle_end;
+        }
+        Ok(windows)
+    }
+
+    /// Checks that the light would actually show green for the whole of each
+    /// returned window (sanity invariant used by tests and debug builds).
+    pub fn window_is_green(&self, light: &TrafficLight, window: &TimeWindow) -> bool {
+        let mid = Seconds::new(0.5 * (window.start.value() + window.end.value()));
+        light.phase_at(mid) == Phase::Green
+            && light.phase_at(window.start + Seconds::new(1e-6)) == Phase::Green
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineQueueModel;
+    use velopt_common::units::{MetersPerSecond, MetersPerSecondSq};
+
+    fn model() -> QueueModel {
+        QueueModel::new(QueueParams::us25_probe()).unwrap()
+    }
+
+    fn probe_light() -> TrafficLight {
+        TrafficLight::new(
+            Meters::new(3460.0),
+            Seconds::new(30.0),
+            Seconds::new(30.0),
+            Seconds::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn queue_grows_linearly_through_red() {
+        let m = model();
+        let lambda = 153.0 / 3600.0;
+        for t in [0.0, 10.0, 20.0, 30.0] {
+            assert!((m.queue_vehicles(Seconds::new(t)) - lambda * t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn queue_clears_during_green_and_stays_zero() {
+        let m = model();
+        let clear = m.clear_time().expect("probe cycle is undersaturated");
+        assert!(clear > Seconds::new(30.0));
+        assert!(clear < Seconds::new(60.0));
+        // Just before the clear instant the queue is positive...
+        assert!(m.queue_vehicles(clear - Seconds::new(0.5)) > 0.0);
+        // ...at it the queue is (numerically) zero, and it stays zero.
+        assert!(m.queue_vehicles(clear).abs() < 1e-9);
+        assert!(m.queue_vehicles(clear + Seconds::new(5.0)) == 0.0);
+    }
+
+    #[test]
+    fn clear_time_solves_eq6_root() {
+        // The clear instant really is a root of the queue-length function.
+        let m = model();
+        let clear = m.clear_time().unwrap();
+        let before = m.queue_vehicles(clear - Seconds::new(1e-3));
+        assert!(before > 0.0 && before < 1e-3);
+    }
+
+    #[test]
+    fn zero_arrivals_clear_at_green_start() {
+        let m = QueueModel::new(QueueParams {
+            arrival_rate: VehiclesPerHour::ZERO,
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        assert_eq!(m.clear_time(), Some(Seconds::new(30.0)));
+        assert_eq!(m.queue_vehicles(Seconds::new(45.0)), 0.0);
+    }
+
+    #[test]
+    fn oversaturated_cycle_never_clears() {
+        // Capacity with v_min=11.11, d̄γ=6.49 is ~1.71 veh/s; push arrivals
+        // above it.
+        let m = QueueModel::new(QueueParams {
+            arrival_rate: VehiclesPerHour::from_per_second(2.0),
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        assert_eq!(m.clear_time(), None);
+        assert!(m.residual_after_cycle(0.0) > 0.0);
+    }
+
+    #[test]
+    fn queue_that_cannot_clear_within_green_carries_residual() {
+        // High-but-undersaturated arrivals with a very short green.
+        let m = QueueModel::new(QueueParams {
+            arrival_rate: VehiclesPerHour::new(1800.0),
+            green: Seconds::new(2.0),
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        assert_eq!(m.clear_time(), None);
+        let r1 = m.residual_after_cycle(0.0);
+        let r2 = m.residual_after_cycle(r1);
+        assert!(r2 > r1, "residual should compound: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn leaving_rate_is_zero_red_ramp_green_then_arrival_plateau() {
+        let m = model();
+        assert_eq!(m.leaving_rate(Seconds::new(10.0)), VehiclesPerHour::ZERO);
+        // 1 s into green: v = 2.5 m/s, rate = v/(d̄γ).
+        let r = m.leaving_rate(Seconds::new(31.0));
+        let expected = 2.5 / (8.5 * 0.7636);
+        assert!((r.per_second() - expected).abs() < 1e-9);
+        // After the clear instant: plateau at V_in.
+        let clear = m.clear_time().unwrap();
+        assert_eq!(
+            m.leaving_rate(clear + Seconds::new(1.0)),
+            VehiclesPerHour::new(153.0)
+        );
+    }
+
+    #[test]
+    fn vm_model_reaches_saturation_slower_than_baseline_shape() {
+        // The headline of Fig. 5a: with acceleration modeled, the leaving
+        // rate needs longer to reach its saturation value.
+        let m = model();
+        let tau_sat_vm = m.vm().ramp_duration();
+        assert!(tau_sat_vm.value() > 4.0, "ramp should take several seconds");
+        // While the queue is still draining, the VM rate is a rising ramp:
+        // the baseline would already be at full capacity here.
+        let clear = m.clear_time().unwrap();
+        let early = m.leaving_rate(Seconds::new(30.5));
+        let late = m.leaving_rate(clear - Seconds::new(0.1));
+        assert!(early < late, "rate ramps up during discharge");
+        let base = BaselineQueueModel::new(QueueParams::us25_probe()).unwrap();
+        assert!(early.per_second() < base.capacity_per_second());
+    }
+
+    #[test]
+    fn simulate_carries_residual_and_samples_uniformly() {
+        let m = model();
+        let samples = m.simulate(3, Seconds::new(0.5)).unwrap();
+        assert_eq!(samples.len(), 3 * 120);
+        assert!((samples[1].time - samples[0].time).value() - 0.5 < 1e-12);
+        // Undersaturated: each cycle starts from an empty queue.
+        let cycle2_start = &samples[120];
+        assert!(cycle2_start.vehicles < 1e-9);
+        assert!(m.simulate(0, Seconds::new(0.5)).is_err());
+        assert!(m.simulate(1, Seconds::ZERO).is_err());
+    }
+
+    #[test]
+    fn queue_series_matches_simulation() {
+        let m = model();
+        let series = m.queue_series(2, Seconds::new(1.0)).unwrap();
+        assert_eq!(series.len(), 120);
+        assert!((series.samples()[30] - m.queue_vehicles(Seconds::new(30.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_windows_are_green_and_after_clear() {
+        let m = model();
+        let light = probe_light();
+        let windows = m
+            .empty_windows(&light, Seconds::ZERO, Seconds::new(180.0))
+            .unwrap();
+        assert_eq!(windows.len(), 3);
+        for w in &windows {
+            assert!(m.window_is_green(&light, w), "window {w:?} must be green");
+            assert!(w.duration().value() > 0.0);
+        }
+        // Each window ends exactly at the end of its green.
+        assert_eq!(windows[0].end, Seconds::new(60.0));
+        assert_eq!(windows[1].end, Seconds::new(120.0));
+    }
+
+    #[test]
+    fn empty_windows_validate_inputs() {
+        let m = model();
+        let light = probe_light();
+        assert!(m.empty_windows(&light, Seconds::ZERO, Seconds::ZERO).is_err());
+        let wrong = TrafficLight::new(
+            Meters::ZERO,
+            Seconds::new(25.0),
+            Seconds::new(30.0),
+            Seconds::ZERO,
+        )
+        .unwrap();
+        assert!(m.empty_windows(&wrong, Seconds::ZERO, Seconds::new(60.0)).is_err());
+    }
+
+    #[test]
+    fn oversaturated_approach_has_no_windows() {
+        let m = QueueModel::new(QueueParams {
+            arrival_rate: VehiclesPerHour::from_per_second(2.0),
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        let windows = m
+            .empty_windows(&probe_light(), Seconds::ZERO, Seconds::new(300.0))
+            .unwrap();
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn time_window_contains_and_duration() {
+        let w = TimeWindow {
+            start: Seconds::new(10.0),
+            end: Seconds::new(20.0),
+        };
+        assert!(w.contains(Seconds::new(10.0)));
+        assert!(w.contains(Seconds::new(19.999)));
+        assert!(!w.contains(Seconds::new(20.0)));
+        assert!(!w.contains(Seconds::new(5.0)));
+        assert_eq!(w.duration(), Seconds::new(10.0));
+    }
+
+    #[test]
+    fn capacity_formula() {
+        let m = model();
+        let expected = (40.0 / 3.6) / (8.5 * 0.7636);
+        assert!((m.capacity_per_second() - expected).abs() < 1e-9);
+        // Sanity relative to the VM speed model.
+        let m2 = QueueModel::new(QueueParams {
+            v_min: MetersPerSecond::new(10.0),
+            a_max: MetersPerSecondSq::new(2.0),
+            ..QueueParams::us25_probe()
+        })
+        .unwrap();
+        assert!(m2.capacity_per_second() < m.capacity_per_second());
+    }
+}

@@ -1,0 +1,185 @@
+//! The vehicle-movement (VM) model: queue-discharge kinematics (Eq. 4).
+
+use crate::params::QueueParams;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Seconds};
+use velopt_common::{Error, Result};
+
+/// Discharge kinematics of a queue released by a green light.
+///
+/// From the start of green the discharge front accelerates from rest at
+/// `a_max` until it reaches `v_min`, then holds `v_min` (Eq. 4 cases ii and
+/// iii). Driver response delay is explicitly out of scope in the paper.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{MetersPerSecond, MetersPerSecondSq, Seconds};
+/// use velopt_queue::VmModel;
+///
+/// let vm = VmModel::new(MetersPerSecond::new(10.0), MetersPerSecondSq::new(2.5))?;
+/// assert_eq!(vm.ramp_duration(), Seconds::new(4.0));
+/// assert_eq!(vm.discharge_speed(Seconds::new(2.0)), MetersPerSecond::new(5.0));
+/// assert_eq!(vm.discharge_speed(Seconds::new(100.0)), MetersPerSecond::new(10.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmModel {
+    v_min: MetersPerSecond,
+    a_max: MetersPerSecondSq,
+}
+
+impl VmModel {
+    /// Creates a VM model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] unless both `v_min` and `a_max` are
+    /// strictly positive.
+    pub fn new(v_min: MetersPerSecond, a_max: MetersPerSecondSq) -> Result<Self> {
+        if v_min.value() <= 0.0 || a_max.value() <= 0.0 {
+            return Err(Error::invalid_input(
+                "v_min and a_max must be strictly positive",
+            ));
+        }
+        Ok(Self { v_min, a_max })
+    }
+
+    /// Builds the VM model from approach parameters.
+    pub fn from_params(params: &QueueParams) -> Result<Self> {
+        Self::new(params.v_min, params.a_max)
+    }
+
+    /// The target discharge speed `v_min`.
+    pub fn v_min(&self) -> MetersPerSecond {
+        self.v_min
+    }
+
+    /// The discharge acceleration `a_max`.
+    pub fn a_max(&self) -> MetersPerSecondSq {
+        self.a_max
+    }
+
+    /// Time to accelerate from rest to `v_min` (`v_min / a_max`; the paper's
+    /// `t₁` is this plus `t_red`).
+    pub fn ramp_duration(&self) -> Seconds {
+        self.v_min / self.a_max
+    }
+
+    /// Discharge-front speed `τ` seconds after the light turned green
+    /// (Eq. 4 cases ii–iii). Negative `τ` (still red) gives zero.
+    pub fn discharge_speed(&self, tau: Seconds) -> MetersPerSecond {
+        if tau.value() <= 0.0 {
+            MetersPerSecond::ZERO
+        } else if tau < self.ramp_duration() {
+            self.a_max * tau
+        } else {
+            self.v_min
+        }
+    }
+
+    /// Distance the discharge front has travelled `τ` seconds into green:
+    /// `a_max·τ²/2` during the ramp, then linear at `v_min`.
+    pub fn discharge_distance(&self, tau: Seconds) -> Meters {
+        if tau.value() <= 0.0 {
+            return Meters::ZERO;
+        }
+        let ramp = self.ramp_duration();
+        if tau <= ramp {
+            Meters::new(0.5 * self.a_max.value() * tau.value() * tau.value())
+        } else {
+            let ramp_dist = 0.5 * self.v_min.value() * ramp.value();
+            Meters::new(ramp_dist + self.v_min.value() * (tau - ramp).value())
+        }
+    }
+
+    /// Inverse of [`discharge_distance`](Self::discharge_distance): the time
+    /// into green at which the front has covered `dist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for a negative distance.
+    pub fn time_to_cover(&self, dist: Meters) -> Result<Seconds> {
+        if dist.value() < 0.0 {
+            return Err(Error::invalid_input("distance must be non-negative"));
+        }
+        let ramp = self.ramp_duration();
+        let ramp_dist = 0.5 * self.v_min.value() * ramp.value();
+        if dist.value() <= ramp_dist {
+            Ok(Seconds::new((2.0 * dist.value() / self.a_max.value()).sqrt()))
+        } else {
+            Ok(ramp + Seconds::new((dist.value() - ramp_dist) / self.v_min.value()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> VmModel {
+        VmModel::new(MetersPerSecond::new(11.0), MetersPerSecondSq::new(2.5)).unwrap()
+    }
+
+    #[test]
+    fn rejects_nonpositive_inputs() {
+        assert!(VmModel::new(MetersPerSecond::ZERO, MetersPerSecondSq::new(1.0)).is_err());
+        assert!(VmModel::new(MetersPerSecond::new(1.0), MetersPerSecondSq::ZERO).is_err());
+    }
+
+    #[test]
+    fn speed_profile_is_ramp_then_plateau() {
+        let vm = vm();
+        assert_eq!(vm.discharge_speed(Seconds::new(-5.0)), MetersPerSecond::ZERO);
+        assert_eq!(vm.discharge_speed(Seconds::ZERO), MetersPerSecond::ZERO);
+        assert_eq!(
+            vm.discharge_speed(Seconds::new(2.0)),
+            MetersPerSecond::new(5.0)
+        );
+        assert_eq!(
+            vm.discharge_speed(Seconds::new(4.4)),
+            MetersPerSecond::new(11.0)
+        );
+        assert_eq!(
+            vm.discharge_speed(Seconds::new(100.0)),
+            MetersPerSecond::new(11.0)
+        );
+    }
+
+    #[test]
+    fn distance_matches_closed_forms() {
+        let vm = vm();
+        // During ramp: ½·a·τ².
+        assert!((vm.discharge_distance(Seconds::new(2.0)).value() - 5.0).abs() < 1e-12);
+        // Ramp covers v²/(2a) = 121/5 = 24.2 m in 4.4 s; then +11 m/s.
+        let after = vm.discharge_distance(Seconds::new(6.4));
+        assert!((after.value() - (24.2 + 2.0 * 11.0)).abs() < 1e-9);
+        assert_eq!(vm.discharge_distance(Seconds::new(-1.0)), Meters::ZERO);
+    }
+
+    #[test]
+    fn time_to_cover_inverts_distance() {
+        let vm = vm();
+        for tau in [0.0, 1.0, 3.0, 4.4, 7.0, 20.0] {
+            let d = vm.discharge_distance(Seconds::new(tau));
+            let back = vm.time_to_cover(d).unwrap();
+            assert!(
+                (back.value() - tau).abs() < 1e-9,
+                "tau {tau} -> d {d} -> {back}"
+            );
+        }
+        assert!(vm.time_to_cover(Meters::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn from_params_uses_v_min_and_a_max() {
+        let p = crate::QueueParams::us25_probe();
+        let vm = VmModel::from_params(&p).unwrap();
+        assert_eq!(vm.v_min(), p.v_min);
+        assert_eq!(vm.a_max(), p.a_max);
+        // Paper's t₁ - t_red = v_min/a_max ≈ 4.44 s for 40 km/h at 2.5 m/s².
+        assert!((vm.ramp_duration().value() - 11.111 / 2.5).abs() < 1e-2);
+    }
+}

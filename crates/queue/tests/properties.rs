@@ -1,0 +1,137 @@
+//! Property-based tests for the queue-model invariants.
+
+use proptest::prelude::*;
+use velopt_common::units::{
+    Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour,
+};
+use velopt_queue::{BaselineQueueModel, QueueModel, QueueParams};
+use velopt_road::TrafficLight;
+
+fn arb_params() -> impl Strategy<Value = QueueParams> {
+    (
+        0.0f64..1500.0,  // arrival veh/h
+        4.0f64..15.0,    // spacing m
+        0.2f64..1.0,     // gamma
+        5.0f64..20.0,    // v_min m/s
+        1.0f64..3.0,     // a_max
+        10.0f64..90.0,   // red s
+        10.0f64..90.0,   // green s
+    )
+        .prop_map(|(vin, d, g, vmin, amax, red, green)| QueueParams {
+            arrival_rate: VehiclesPerHour::new(vin),
+            spacing: Meters::new(d),
+            straight_ratio: g,
+            v_min: MetersPerSecond::new(vmin),
+            a_max: MetersPerSecondSq::new(amax),
+            red: Seconds::new(red),
+            green: Seconds::new(green),
+        })
+}
+
+proptest! {
+    /// Queue length is never negative anywhere in the cycle.
+    #[test]
+    fn queue_never_negative(p in arb_params(), t in 0.0f64..200.0) {
+        let m = QueueModel::new(p).unwrap();
+        prop_assert!(m.queue_vehicles(Seconds::new(t)) >= 0.0);
+        prop_assert!(m.queue_meters(Seconds::new(t)).value() >= 0.0);
+    }
+
+    /// The clear instant, when it exists, really zeroes the queue and lies
+    /// inside the green phase.
+    #[test]
+    fn clear_time_is_consistent(p in arb_params()) {
+        let m = QueueModel::new(p).unwrap();
+        if let Some(clear) = m.clear_time() {
+            prop_assert!(clear >= p.red);
+            prop_assert!(clear <= p.cycle() + Seconds::new(1e-9));
+            prop_assert!(m.queue_vehicles(clear) < 1e-6);
+            // And the queue stays empty for the rest of the green.
+            let later = clear + (p.cycle() - clear) * 0.5;
+            prop_assert!(m.queue_vehicles(later) < 1e-6);
+        } else {
+            // No clear: the queue at the end of the cycle is positive.
+            prop_assert!(m.queue_vehicles(p.cycle()) > 0.0);
+        }
+    }
+
+    /// The queue is monotonically non-increasing during discharge once the
+    /// front moves (sampled coarsely).
+    #[test]
+    fn queue_monotone_decreasing_in_green_when_undersaturated(p in arb_params()) {
+        prop_assume!(p.arrival_rate.per_second() < p.v_min.value() / (p.spacing.value() * p.straight_ratio) * 0.8);
+        let m = QueueModel::new(p).unwrap();
+        // After the ramp finishes, queue decreases (or is zero).
+        let ramp_end = p.red + (p.v_min / p.a_max);
+        let mut prev = m.queue_vehicles(ramp_end);
+        let step = (p.cycle() - ramp_end) * 0.1;
+        if step.value() <= 0.0 { return Ok(()); }
+        for i in 1..=10 {
+            let t = ramp_end + step * i as f64;
+            let cur = m.queue_vehicles(t);
+            prop_assert!(cur <= prev + 1e-9);
+            prev = cur;
+        }
+    }
+
+    /// Our model's queue is always >= the baseline's during discharge
+    /// (the baseline skips the acceleration ramp), and the two agree during
+    /// red.
+    #[test]
+    fn baseline_lower_bounds_ours_when_gamma_is_one(p in arb_params(), t in 0.0f64..200.0) {
+        // Use γ=1 so the only difference is the acceleration ramp.
+        let p = QueueParams { straight_ratio: 1.0, ..p };
+        let ours = QueueModel::new(p).unwrap();
+        let base = BaselineQueueModel::new(p).unwrap();
+        let t = Seconds::new(t);
+        prop_assert!(base.queue_vehicles(t) <= ours.queue_vehicles(t) + 1e-9);
+        if t <= p.red {
+            prop_assert!((base.queue_vehicles(t) - ours.queue_vehicles(t)).abs() < 1e-9);
+        }
+    }
+
+    /// Every T_q window lies strictly inside a green phase and the queue is
+    /// empty at its start.
+    #[test]
+    fn empty_windows_are_sound(p in arb_params(), from in 0.0f64..300.0) {
+        let m = QueueModel::new(p).unwrap();
+        let light = TrafficLight::new(
+            Meters::new(100.0), p.red, p.green, Seconds::ZERO).unwrap();
+        let windows = m.empty_windows(
+            &light, Seconds::new(from), Seconds::new(240.0)).unwrap();
+        for w in &windows {
+            prop_assert!(w.duration().value() > 0.0);
+            prop_assert!(m.window_is_green(&light, w), "window {w:?}");
+            prop_assert!(w.start >= Seconds::new(from));
+        }
+        // Windows are disjoint and ordered.
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    /// Leaving rate is bounded by the saturation capacity and is zero during
+    /// red.
+    #[test]
+    fn leaving_rate_bounds(p in arb_params(), t in 0.0f64..200.0) {
+        let m = QueueModel::new(p).unwrap();
+        let r = m.leaving_rate(Seconds::new(t));
+        prop_assert!(r.value() >= 0.0);
+        let cap = VehiclesPerHour::from_per_second(m.capacity_per_second());
+        prop_assert!(r.value() <= cap.value().max(p.arrival_rate.value()) + 1e-9);
+        if t <= p.red.value() {
+            prop_assert_eq!(r, VehiclesPerHour::ZERO);
+        }
+    }
+
+    /// Residual carry-over is self-consistent: simulating two cycles equals
+    /// composing residuals.
+    #[test]
+    fn residual_composition(p in arb_params()) {
+        let m = QueueModel::new(p).unwrap();
+        let r1 = m.residual_after_cycle(0.0);
+        let direct = m.queue_vehicles_with_initial(p.cycle(), r1);
+        let r2 = m.residual_after_cycle(r1);
+        prop_assert!((direct - r2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Builder for [`Road`] corridors.
+
+use crate::light::TrafficLight;
+use crate::segment::{Road, SpeedZone, StopSign};
+use velopt_common::interp::PiecewiseLinear;
+use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+use velopt_common::{Error, Result};
+
+/// Incrementally configures a [`Road`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+/// use velopt_road::RoadBuilder;
+///
+/// let road = RoadBuilder::new(Meters::new(1000.0))
+///     .default_limits(MetersPerSecond::new(8.0), MetersPerSecond::new(20.0))
+///     .stop_sign(Meters::new(300.0))
+///     .traffic_light(Meters::new(700.0), Seconds::new(25.0), Seconds::new(35.0), Seconds::ZERO)
+///     .grade_knot(Meters::ZERO, 0.0)
+///     .grade_knot(Meters::new(1000.0), 2.0)
+///     .build()?;
+/// assert_eq!(road.traffic_lights().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoadBuilder {
+    length: Meters,
+    default_min: MetersPerSecond,
+    default_max: MetersPerSecond,
+    zones: Vec<SpeedZone>,
+    stop_signs: Vec<StopSign>,
+    lights: Vec<(Meters, Seconds, Seconds, Seconds)>,
+    grade_knots: Vec<(f64, f64)>,
+}
+
+impl RoadBuilder {
+    /// Starts a builder for a corridor of the given length.
+    pub fn new(length: Meters) -> Self {
+        Self {
+            length,
+            default_min: MetersPerSecond::ZERO,
+            default_max: MetersPerSecond::new(120.0 / 3.6),
+            zones: Vec::new(),
+            stop_signs: Vec::new(),
+            lights: Vec::new(),
+            grade_knots: Vec::new(),
+        }
+    }
+
+    /// Sets the default `(min, max)` speed limits outside explicit zones.
+    pub fn default_limits(&mut self, min: MetersPerSecond, max: MetersPerSecond) -> &mut Self {
+        self.default_min = min;
+        self.default_max = max;
+        self
+    }
+
+    /// Adds an explicit speed zone.
+    pub fn speed_zone(&mut self, zone: SpeedZone) -> &mut Self {
+        self.zones.push(zone);
+        self
+    }
+
+    /// Adds a stop sign.
+    pub fn stop_sign(&mut self, position: Meters) -> &mut Self {
+        self.stop_signs.push(StopSign { position });
+        self
+    }
+
+    /// Adds a fixed-time traffic light.
+    pub fn traffic_light(
+        &mut self,
+        position: Meters,
+        red: Seconds,
+        green: Seconds,
+        offset: Seconds,
+    ) -> &mut Self {
+        self.lights.push((position, red, green, offset));
+        self
+    }
+
+    /// Adds a grade knot: at `position` the road grade is `percent`
+    /// (rise/run × 100). Knots must be added in increasing position order.
+    pub fn grade_knot(&mut self, position: Meters, percent: f64) -> &mut Self {
+        self.grade_knots.push((position.value(), percent));
+        self
+    }
+
+    /// Validates and builds the road.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the length is non-positive, any
+    /// feature lies outside the corridor, speed zones overlap, default
+    /// limits are inverted, or grade knots are not strictly increasing.
+    pub fn build(&self) -> Result<Road> {
+        if self.length.value() <= 0.0 {
+            return Err(Error::invalid_input("road length must be positive"));
+        }
+        if self.default_min.value() < 0.0 || self.default_max < self.default_min {
+            return Err(Error::invalid_input("default speed limits inverted"));
+        }
+
+        let mut zones = Vec::with_capacity(self.zones.len());
+        for z in &self.zones {
+            let z = z.validated()?;
+            if z.end > self.length {
+                return Err(Error::invalid_input("speed zone extends past the road end"));
+            }
+            zones.push(z);
+        }
+        zones.sort_by(|a, b| a.start.value().total_cmp(&b.start.value()));
+        for w in zones.windows(2) {
+            if w[1].start < w[0].end {
+                return Err(Error::invalid_input("speed zones overlap"));
+            }
+        }
+
+        let mut stop_signs = self.stop_signs.clone();
+        stop_signs.sort_by(|a, b| a.position.value().total_cmp(&b.position.value()));
+        for s in &stop_signs {
+            if s.position.value() <= 0.0 || s.position >= self.length {
+                return Err(Error::invalid_input(
+                    "stop sign must lie strictly inside the corridor",
+                ));
+            }
+        }
+
+        let mut lights = Vec::with_capacity(self.lights.len());
+        for &(pos, red, green, offset) in &self.lights {
+            if pos.value() <= 0.0 || pos >= self.length {
+                return Err(Error::invalid_input(
+                    "traffic light must lie strictly inside the corridor",
+                ));
+            }
+            lights.push(TrafficLight::new(pos, red, green, offset)?);
+        }
+        lights.sort_by(|a, b| a.position().value().total_cmp(&b.position().value()));
+
+        let grade_percent = if self.grade_knots.is_empty() {
+            PiecewiseLinear::constant(0.0)
+        } else {
+            PiecewiseLinear::new(self.grade_knots.clone())?
+        };
+
+        Ok(Road {
+            length: self.length,
+            default_min: self.default_min,
+            default_max: self.default_max,
+            zones,
+            stop_signs,
+            lights,
+            grade_percent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_length() {
+        assert!(RoadBuilder::new(Meters::ZERO).build().is_err());
+    }
+
+    #[test]
+    fn rejects_features_outside_corridor() {
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.stop_sign(Meters::new(150.0));
+        assert!(b.build().is_err());
+
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.traffic_light(
+            Meters::new(100.0),
+            Seconds::new(30.0),
+            Seconds::new(30.0),
+            Seconds::ZERO,
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_overlapping_zones() {
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.speed_zone(SpeedZone {
+            start: Meters::ZERO,
+            end: Meters::new(60.0),
+            min: MetersPerSecond::new(5.0),
+            max: MetersPerSecond::new(15.0),
+        });
+        b.speed_zone(SpeedZone {
+            start: Meters::new(50.0),
+            end: Meters::new(100.0),
+            min: MetersPerSecond::new(5.0),
+            max: MetersPerSecond::new(15.0),
+        });
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn sorts_features_by_position() {
+        let road = RoadBuilder::new(Meters::new(1000.0))
+            .stop_sign(Meters::new(800.0))
+            .stop_sign(Meters::new(200.0))
+            .traffic_light(
+                Meters::new(900.0),
+                Seconds::new(10.0),
+                Seconds::new(10.0),
+                Seconds::ZERO,
+            )
+            .traffic_light(
+                Meters::new(300.0),
+                Seconds::new(10.0),
+                Seconds::new(10.0),
+                Seconds::ZERO,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(road.stop_signs()[0].position, Meters::new(200.0));
+        assert_eq!(road.traffic_lights()[0].position(), Meters::new(300.0));
+    }
+
+    #[test]
+    fn zone_limits_override_defaults() {
+        let road = RoadBuilder::new(Meters::new(1000.0))
+            .default_limits(MetersPerSecond::new(10.0), MetersPerSecond::new(20.0))
+            .speed_zone(SpeedZone {
+                start: Meters::new(100.0),
+                end: Meters::new(200.0),
+                min: MetersPerSecond::new(3.0),
+                max: MetersPerSecond::new(8.0),
+            })
+            .build()
+            .unwrap();
+        assert_eq!(
+            road.speed_limits_at(Meters::new(150.0)),
+            (MetersPerSecond::new(3.0), MetersPerSecond::new(8.0))
+        );
+        assert_eq!(
+            road.speed_limits_at(Meters::new(250.0)),
+            (MetersPerSecond::new(10.0), MetersPerSecond::new(20.0))
+        );
+        assert_eq!(road.min_speed_limit(), MetersPerSecond::new(3.0));
+        assert_eq!(road.max_speed_limit(), MetersPerSecond::new(20.0));
+    }
+
+    #[test]
+    fn grade_profile_interpolates() {
+        let road = RoadBuilder::new(Meters::new(1000.0))
+            .grade_knot(Meters::ZERO, 0.0)
+            .grade_knot(Meters::new(1000.0), 4.0)
+            .build()
+            .unwrap();
+        let theta = road.grade_at(Meters::new(500.0));
+        assert!((theta.value() - (0.02f64).atan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_inverted_defaults() {
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.default_limits(MetersPerSecond::new(20.0), MetersPerSecond::new(10.0));
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Seeded random corridor generation.
+//!
+//! The paper evaluates on a single hand-surveyed road section. To test the
+//! optimizer's robustness beyond one geometry — and to drive the
+//! corridor-sweep benchmarks — this module generates plausible arterial
+//! corridors: several uncoordinated fixed-time signals, an optional stop
+//! sign, rolling grade, and consistent speed limits, all deterministically
+//! from a seed.
+
+use crate::builder::RoadBuilder;
+use crate::segment::Road;
+use serde::{Deserialize, Serialize};
+use velopt_common::rng::SplitMix64;
+use velopt_common::units::{KilometersPerHour, Meters, Seconds};
+use velopt_common::{Error, Result};
+
+/// Parameters of the corridor distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorridorTemplate {
+    /// Corridor length range in meters.
+    pub length: (f64, f64),
+    /// Number of traffic lights (inclusive range).
+    pub lights: (usize, usize),
+    /// Red and green period range in seconds (each drawn independently).
+    pub phase: (f64, f64),
+    /// Probability of one stop sign in the first third of the corridor.
+    pub stop_sign_probability: f64,
+    /// Maximum absolute grade in percent (piecewise-linear rolling profile).
+    pub max_grade_percent: f64,
+    /// Speed limits in km/h (min, max).
+    pub limits_kmh: (f64, f64),
+}
+
+impl Default for CorridorTemplate {
+    fn default() -> Self {
+        Self {
+            length: (2000.0, 6000.0),
+            lights: (1, 4),
+            phase: (20.0, 45.0),
+            stop_sign_probability: 0.5,
+            max_grade_percent: 4.0,
+            limits_kmh: (40.0, 70.0),
+        }
+    }
+}
+
+impl CorridorTemplate {
+    /// Validates the template ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on inverted or non-physical ranges.
+    pub fn validated(self) -> Result<Self> {
+        if self.length.0 <= 0.0 || self.length.1 < self.length.0 {
+            return Err(Error::invalid_input("length range inverted"));
+        }
+        if self.lights.1 < self.lights.0 {
+            return Err(Error::invalid_input("light count range inverted"));
+        }
+        if self.phase.0 <= 0.0 || self.phase.1 < self.phase.0 {
+            return Err(Error::invalid_input("phase range inverted"));
+        }
+        if !(0.0..=1.0).contains(&self.stop_sign_probability) {
+            return Err(Error::invalid_input("stop-sign probability not in [0,1]"));
+        }
+        if self.max_grade_percent < 0.0 {
+            return Err(Error::invalid_input("max grade must be non-negative"));
+        }
+        if self.limits_kmh.0 <= 0.0 || self.limits_kmh.1 < self.limits_kmh.0 {
+            return Err(Error::invalid_input("speed-limit range inverted"));
+        }
+        Ok(self)
+    }
+
+    /// Generates one corridor from the template with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the template is invalid.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> velopt_common::Result<()> {
+    /// use velopt_road::CorridorTemplate;
+    ///
+    /// let road = CorridorTemplate::default().generate(7)?;
+    /// assert!(road.traffic_lights().len() >= 1);
+    /// assert_eq!(road, CorridorTemplate::default().generate(7)?); // deterministic
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn generate(&self, seed: u64) -> Result<Road> {
+        let t = self.validated()?;
+        let mut rng = SplitMix64::new(seed);
+        let length = rng.uniform(t.length.0, t.length.1).round();
+        let mut builder = RoadBuilder::new(Meters::new(length));
+        builder.default_limits(
+            KilometersPerHour::new(t.limits_kmh.0).to_meters_per_second(),
+            KilometersPerHour::new(t.limits_kmh.1).to_meters_per_second(),
+        );
+
+        // Lights spread over the middle 80% of the corridor with a minimum
+        // spacing, each with its own phase lengths and offset.
+        let n_lights = t.lights.0
+            + (rng.next_u64() as usize) % (t.lights.1 - t.lights.0 + 1);
+        let usable = 0.8 * length;
+        let spacing = usable / n_lights as f64;
+        for i in 0..n_lights {
+            let base = 0.1 * length + i as f64 * spacing;
+            let pos = rng.uniform(base + 0.2 * spacing, base + 0.8 * spacing).round();
+            let red = rng.uniform(t.phase.0, t.phase.1).round();
+            let green = rng.uniform(t.phase.0, t.phase.1).round();
+            let offset = rng.uniform(0.0, red + green).round();
+            builder.traffic_light(
+                Meters::new(pos),
+                Seconds::new(red),
+                Seconds::new(green),
+                Seconds::new(offset),
+            );
+        }
+
+        if rng.chance(t.stop_sign_probability) {
+            let pos = rng.uniform(0.05 * length, 0.3 * length).round();
+            builder.stop_sign(Meters::new(pos));
+        }
+
+        // Rolling grade: knots every ~500 m, zero at both ends.
+        if t.max_grade_percent > 0.0 {
+            let knots = (length / 500.0).floor() as usize;
+            builder.grade_knot(Meters::ZERO, 0.0);
+            for k in 1..knots {
+                let x = k as f64 * 500.0;
+                let g = rng.uniform(-t.max_grade_percent, t.max_grade_percent);
+                builder.grade_knot(Meters::new(x), g);
+            }
+            builder.grade_knot(Meters::new(length), 0.0);
+        }
+
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_validation() {
+        let good = CorridorTemplate::default();
+        assert!(good.validated().is_ok());
+        assert!(CorridorTemplate {
+            length: (100.0, 50.0),
+            ..good
+        }
+        .validated()
+        .is_err());
+        assert!(CorridorTemplate {
+            lights: (3, 1),
+            ..good
+        }
+        .validated()
+        .is_err());
+        assert!(CorridorTemplate {
+            stop_sign_probability: 1.5,
+            ..good
+        }
+        .validated()
+        .is_err());
+        assert!(CorridorTemplate {
+            limits_kmh: (0.0, 50.0),
+            ..good
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_varies_by_seed() {
+        let t = CorridorTemplate::default();
+        let a = t.generate(1).unwrap();
+        let b = t.generate(1).unwrap();
+        let c = t.generate(2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_roads_respect_template_bounds() {
+        let t = CorridorTemplate::default();
+        for seed in 0..25 {
+            let road = t.generate(seed).unwrap();
+            assert!(road.length().value() >= 2000.0 && road.length().value() <= 6000.0);
+            let n = road.traffic_lights().len();
+            assert!((1..=4).contains(&n), "{n} lights");
+            for light in road.traffic_lights() {
+                assert!(light.red().value() >= 20.0 && light.red().value() <= 45.0);
+                assert!(light.green().value() >= 20.0 && light.green().value() <= 45.0);
+                assert!(light.position().value() > 0.0);
+                assert!(light.position() < road.length());
+            }
+            assert!(road.stop_signs().len() <= 1);
+        }
+    }
+
+    #[test]
+    fn lights_are_spaced_apart() {
+        let t = CorridorTemplate {
+            lights: (4, 4),
+            ..CorridorTemplate::default()
+        };
+        for seed in 0..10 {
+            let road = t.generate(seed).unwrap();
+            for w in road.traffic_lights().windows(2) {
+                assert!(
+                    (w[1].position() - w[0].position()).value() > 100.0,
+                    "lights too close on seed {seed}"
+                );
+            }
+        }
+    }
+}

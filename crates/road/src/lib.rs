@@ -1,0 +1,39 @@
+//! One-dimensional road corridor model.
+//!
+//! The paper's evaluation road is a 4.2 km section of US-25 near Greenville,
+//! SC with a stop sign at 490 m and two fixed-time traffic lights at 1800 m
+//! and 3460 m (§III-A; the printed text drops digits — see `DESIGN.md` for
+//! the reconstruction). This crate models such corridors as ordered features
+//! on a line:
+//!
+//! * [`SpeedZone`] — minimum/maximum speed limits over a distance interval
+//!   (the `v_min(s_i)`/`v_max(s_i)` bounds of Eq. 7a),
+//! * [`StopSign`] — a mandatory `v = 0` point (Eq. 7c),
+//! * [`TrafficLight`] — a fixed-cycle signal (red period `t_red`, green
+//!   period `t_green`, per §II-B),
+//! * a piecewise-linear grade profile feeding the `θ` term of Eq. (1).
+//!
+//! # Examples
+//!
+//! ```
+//! use velopt_common::units::{Meters, Seconds};
+//! use velopt_road::{Phase, Road};
+//!
+//! let road = Road::us25();
+//! assert_eq!(road.length(), Meters::new(4200.0));
+//! // Each light cycles 30 s red then 30 s green from its offset.
+//! let light = &road.traffic_lights()[0];
+//! let red_starts = light.offset();
+//! assert_eq!(light.phase_at(red_starts + Seconds::new(1.0)), Phase::Red);
+//! assert_eq!(light.phase_at(red_starts + Seconds::new(31.0)), Phase::Green);
+//! ```
+
+mod builder;
+mod generator;
+mod light;
+mod segment;
+
+pub use builder::RoadBuilder;
+pub use generator::CorridorTemplate;
+pub use light::{Phase, TrafficLight};
+pub use segment::{Road, SpeedZone, StopSign};

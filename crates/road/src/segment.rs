@@ -1,0 +1,273 @@
+//! The [`Road`] corridor type and its passive features.
+
+use crate::light::TrafficLight;
+use serde::{Deserialize, Serialize};
+use velopt_common::interp::PiecewiseLinear;
+use velopt_common::units::{KilometersPerHour, Meters, MetersPerSecond, Radians};
+use velopt_common::{Error, Result};
+
+/// A speed-limit zone `[start, end)` with the paper's two-sided bound
+/// (`v_min(s_i) ≤ v(s_i) ≤ v_max(s_i)`, Eq. 7a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedZone {
+    /// Zone start position (inclusive).
+    pub start: Meters,
+    /// Zone end position (exclusive).
+    pub end: Meters,
+    /// Minimum cruising speed expected in the zone.
+    pub min: MetersPerSecond,
+    /// Posted maximum speed.
+    pub max: MetersPerSecond,
+}
+
+impl SpeedZone {
+    /// Validates the zone geometry and limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the interval is empty or the
+    /// limits are inverted/negative.
+    pub fn validated(self) -> Result<Self> {
+        if self.start.value() < 0.0 || self.end <= self.start {
+            return Err(Error::invalid_input("speed zone interval is empty"));
+        }
+        if self.min.value() < 0.0 || self.max < self.min {
+            return Err(Error::invalid_input("speed zone limits inverted"));
+        }
+        Ok(self)
+    }
+
+    /// Whether `x` lies inside the zone.
+    pub fn contains(&self, x: Meters) -> bool {
+        self.start <= x && x < self.end
+    }
+}
+
+/// A stop sign: the velocity at this point must be zero (Eq. 7c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopSign {
+    /// Stop-line position.
+    pub position: Meters,
+}
+
+/// A 1-D road corridor with speed zones, stop signs, traffic lights and a
+/// grade profile.
+///
+/// Build with [`RoadBuilder`](crate::RoadBuilder); the canonical test
+/// corridor is [`Road::us25`].
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::units::Meters;
+/// use velopt_road::Road;
+///
+/// let road = Road::us25();
+/// assert_eq!(road.stop_signs()[0].position, Meters::new(490.0));
+/// assert_eq!(road.traffic_lights().len(), 2);
+/// let (min, max) = road.speed_limits_at(Meters::new(1000.0));
+/// assert!(min.value() > 0.0 && max > min);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Road {
+    pub(crate) length: Meters,
+    pub(crate) default_min: MetersPerSecond,
+    pub(crate) default_max: MetersPerSecond,
+    pub(crate) zones: Vec<SpeedZone>,
+    pub(crate) stop_signs: Vec<StopSign>,
+    pub(crate) lights: Vec<TrafficLight>,
+    /// Grade in percent as a function of distance.
+    pub(crate) grade_percent: PiecewiseLinear,
+}
+
+impl Road {
+    /// The paper's 4.2 km US-25 section: stop sign at 490 m, lights at
+    /// 1800 m and 3460 m (30 s red / 30 s green each), flat grade, limits
+    /// 40–70 km/h.
+    ///
+    /// The signal offsets (42 s and 22 s) are calibrated so that an
+    /// unconstrained energy-optimal cruise departing at `t = 0` reaches each
+    /// light right at the start of a green — the regime Fig. 6 illustrates:
+    /// the queue-oblivious prior DP plans straight into the still-
+    /// discharging queue, while the queue-aware DP delays to `T_q`.
+    pub fn us25() -> Self {
+        crate::RoadBuilder::new(Meters::new(4200.0))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .stop_sign(Meters::new(490.0))
+            .traffic_light(
+                Meters::new(1800.0),
+                velopt_common::units::Seconds::new(30.0),
+                velopt_common::units::Seconds::new(30.0),
+                velopt_common::units::Seconds::new(42.0),
+            )
+            .traffic_light(
+                Meters::new(3460.0),
+                velopt_common::units::Seconds::new(30.0),
+                velopt_common::units::Seconds::new(30.0),
+                velopt_common::units::Seconds::new(22.0),
+            )
+            .build()
+            .expect("us25 preset is valid")
+    }
+
+    /// Corridor length.
+    pub fn length(&self) -> Meters {
+        self.length
+    }
+
+    /// Stop signs ordered by position.
+    pub fn stop_signs(&self) -> &[StopSign] {
+        &self.stop_signs
+    }
+
+    /// Traffic lights ordered by position.
+    pub fn traffic_lights(&self) -> &[TrafficLight] {
+        &self.lights
+    }
+
+    /// Explicit speed zones (positions not covered fall back to the default
+    /// limits).
+    pub fn speed_zones(&self) -> &[SpeedZone] {
+        &self.zones
+    }
+
+    /// `(v_min, v_max)` limits at position `x`.
+    ///
+    /// The minimum limit is *advisory* away from signals: the optimizer must
+    /// still allow `v = 0` at stop signs and during queue build-up. The DP
+    /// applies it only where the paper does (cruising bounds of Eq. 7a).
+    pub fn speed_limits_at(&self, x: Meters) -> (MetersPerSecond, MetersPerSecond) {
+        for z in &self.zones {
+            if z.contains(x) {
+                return (z.min, z.max);
+            }
+        }
+        (self.default_min, self.default_max)
+    }
+
+    /// Road grade angle at position `x`.
+    pub fn grade_at(&self, x: Meters) -> Radians {
+        Radians::from_grade_percent(self.grade_percent.eval(x.value()))
+    }
+
+    /// The grade profile in percent as a piecewise-linear curve of distance
+    /// (exposed so roads can be serialized over the vehicular-cloud wire).
+    pub fn grade_percent_profile(&self) -> &PiecewiseLinear {
+        &self.grade_percent
+    }
+
+    /// The `(min, max)` limits applying outside explicit speed zones.
+    pub fn default_limits(&self) -> (MetersPerSecond, MetersPerSecond) {
+        (self.default_min, self.default_max)
+    }
+
+    /// The smallest minimum speed limit over the corridor — the `v_min` used
+    /// by the VM model for queue discharge (§II-B-2).
+    pub fn min_speed_limit(&self) -> MetersPerSecond {
+        self.zones
+            .iter()
+            .map(|z| z.min)
+            .fold(self.default_min, MetersPerSecond::min)
+    }
+
+    /// The largest maximum speed limit over the corridor.
+    pub fn max_speed_limit(&self) -> MetersPerSecond {
+        self.zones
+            .iter()
+            .map(|z| z.max)
+            .fold(self.default_max, MetersPerSecond::max)
+    }
+
+    /// Positions where the velocity is constrained to zero: the source, every
+    /// stop sign, and the destination (Eq. 7c–7d exclude traffic lights,
+    /// which are handled by the green-window penalty instead).
+    pub fn mandatory_stops(&self) -> Vec<Meters> {
+        let mut stops = vec![Meters::ZERO];
+        stops.extend(self.stop_signs.iter().map(|s| s.position));
+        stops.push(self.length);
+        stops
+    }
+
+    /// Whether `x` is within the corridor.
+    pub fn contains(&self, x: Meters) -> bool {
+        x.value() >= 0.0 && x <= self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::Seconds;
+
+    #[test]
+    fn us25_layout_matches_paper() {
+        let road = Road::us25();
+        assert_eq!(road.length(), Meters::new(4200.0));
+        assert_eq!(road.stop_signs().len(), 1);
+        assert_eq!(road.stop_signs()[0].position, Meters::new(490.0));
+        let lights = road.traffic_lights();
+        assert_eq!(lights.len(), 2);
+        assert_eq!(lights[0].position(), Meters::new(1800.0));
+        assert_eq!(lights[1].position(), Meters::new(3460.0));
+        assert_eq!(lights[0].red(), Seconds::new(30.0));
+        assert_eq!(lights[0].green(), Seconds::new(30.0));
+    }
+
+    #[test]
+    fn us25_grade_is_flat() {
+        let road = Road::us25();
+        assert_eq!(road.grade_at(Meters::new(2000.0)), Radians::ZERO);
+    }
+
+    #[test]
+    fn mandatory_stops_are_ordered_endpoints_and_signs() {
+        let road = Road::us25();
+        assert_eq!(
+            road.mandatory_stops(),
+            vec![Meters::ZERO, Meters::new(490.0), Meters::new(4200.0)]
+        );
+    }
+
+    #[test]
+    fn default_limits_apply_everywhere_without_zones() {
+        let road = Road::us25();
+        let (lo, hi) = road.speed_limits_at(Meters::new(100.0));
+        assert!((lo.to_kilometers_per_hour().value() - 40.0).abs() < 1e-9);
+        assert!((hi.to_kilometers_per_hour().value() - 70.0).abs() < 1e-9);
+        assert_eq!(road.min_speed_limit(), lo);
+        assert_eq!(road.max_speed_limit(), hi);
+    }
+
+    #[test]
+    fn speed_zone_validation() {
+        let ok = SpeedZone {
+            start: Meters::ZERO,
+            end: Meters::new(10.0),
+            min: MetersPerSecond::new(5.0),
+            max: MetersPerSecond::new(10.0),
+        };
+        assert!(ok.validated().is_ok());
+        let empty = SpeedZone {
+            end: Meters::ZERO,
+            ..ok
+        };
+        assert!(empty.validated().is_err());
+        let inverted = SpeedZone {
+            min: MetersPerSecond::new(20.0),
+            ..ok
+        };
+        assert!(inverted.validated().is_err());
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let road = Road::us25();
+        assert!(road.contains(Meters::ZERO));
+        assert!(road.contains(Meters::new(4200.0)));
+        assert!(!road.contains(Meters::new(4200.1)));
+        assert!(!road.contains(Meters::new(-0.1)));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for signal-phase arithmetic.
+
+use proptest::prelude::*;
+use velopt_common::units::{Meters, Seconds};
+use velopt_road::{Phase, Road, TrafficLight};
+
+proptest! {
+    /// The phase function is periodic with the cycle length.
+    #[test]
+    fn phase_is_cycle_periodic(
+        red in 5.0f64..120.0,
+        green in 5.0f64..120.0,
+        offset in -100.0f64..100.0,
+        t in 0.0f64..10_000.0,
+        k in 1u32..20,
+    ) {
+        let light = TrafficLight::new(
+            Meters::new(10.0), Seconds::new(red), Seconds::new(green), Seconds::new(offset),
+        ).unwrap();
+        let cycle = red + green;
+        let p1 = light.phase_at(Seconds::new(t));
+        let p2 = light.phase_at(Seconds::new(t + cycle * k as f64));
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// Green windows cover exactly green/(red+green) of a whole number of
+    /// cycles.
+    #[test]
+    fn green_window_coverage_fraction(
+        red in 5.0f64..90.0,
+        green in 5.0f64..90.0,
+        cycles in 1u32..12,
+    ) {
+        let light = TrafficLight::new(
+            Meters::ZERO, Seconds::new(red), Seconds::new(green), Seconds::ZERO,
+        ).unwrap();
+        let horizon = (red + green) * cycles as f64;
+        let windows = light.green_windows(Seconds::ZERO, Seconds::new(horizon));
+        let total: f64 = windows.iter().map(|(a, b)| (*b - *a).value()).sum();
+        prop_assert!((total - green * cycles as f64).abs() < 1e-6);
+    }
+
+    /// Every instant inside a reported green window really is green.
+    #[test]
+    fn windows_are_green_inside(
+        red in 5.0f64..90.0,
+        green in 5.0f64..90.0,
+        offset in 0.0f64..50.0,
+        from in 0.0f64..500.0,
+    ) {
+        let light = TrafficLight::new(
+            Meters::ZERO, Seconds::new(red), Seconds::new(green), Seconds::new(offset),
+        ).unwrap();
+        for (a, b) in light.green_windows(Seconds::new(from), Seconds::new(400.0)) {
+            let mid = Seconds::new(0.5 * (a.value() + b.value()));
+            prop_assert_eq!(light.phase_at(mid), Phase::Green);
+            prop_assert!(a >= Seconds::new(from));
+        }
+    }
+
+    /// `next_green_start` returns a green instant no earlier than the query.
+    #[test]
+    fn next_green_is_green_and_not_before(
+        red in 5.0f64..90.0,
+        green in 5.0f64..90.0,
+        t in 0.0f64..1000.0,
+    ) {
+        let light = TrafficLight::new(
+            Meters::ZERO, Seconds::new(red), Seconds::new(green), Seconds::ZERO,
+        ).unwrap();
+        let g = light.next_green_start(Seconds::new(t));
+        prop_assert!(g >= Seconds::new(t));
+        // Sample just past the boundary to dodge f64 rounding in the modular
+        // cycle arithmetic.
+        prop_assert_eq!(light.phase_at(g + Seconds::new(1e-6)), Phase::Green);
+        // It is the *first* green instant: a moment before is red (when g > t).
+        if g > Seconds::new(t) + Seconds::new(1e-6) {
+            prop_assert_eq!(light.phase_at(g - Seconds::new(1e-6)), Phase::Red);
+        }
+    }
+
+    /// Speed limits on the canonical road are always ordered.
+    #[test]
+    fn us25_limits_ordered(x in 0.0f64..4200.0) {
+        let road = Road::us25();
+        let (lo, hi) = road.speed_limits_at(Meters::new(x));
+        prop_assert!(lo <= hi);
+        prop_assert!(lo.value() >= 0.0);
+    }
+}

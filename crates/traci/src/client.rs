@@ -1,0 +1,300 @@
+//! The TraCI client.
+
+use crate::protocol::{
+    self, ids, put_string, read_message, take_string, take_u8, write_message, Command, Status,
+    TraciValue,
+};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::{TcpStream, ToSocketAddrs};
+use velopt_common::{Error, Result};
+
+/// One subscription's values delivered with a simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionResult {
+    /// The subscribed object's id.
+    pub object: String,
+    /// `(variable id, value)` pairs in subscription order.
+    pub values: Vec<(u8, TraciValue)>,
+}
+
+impl SubscriptionResult {
+    /// The value of a specific variable, if present.
+    pub fn value_of(&self, variable: u8) -> Option<&TraciValue> {
+        self.values
+            .iter()
+            .find(|(v, _)| *v == variable)
+            .map(|(_, val)| val)
+    }
+}
+
+/// The version information returned by `CMD_GETVERSION`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// TraCI API level.
+    pub api: i32,
+    /// Human-readable simulator identity.
+    pub software: String,
+}
+
+/// A blocking TraCI client over TCP.
+///
+/// Every request sends one command message and reads the paired
+/// status/result message, exactly like SUMO's own client libraries. See the
+/// crate-level example.
+#[derive(Debug)]
+pub struct TraciClient {
+    stream: TcpStream,
+}
+
+impl TraciClient {
+    /// Connects to a TraCI server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Requests the server's version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on malformed responses and [`Error::Io`]
+    /// on socket failures.
+    pub fn get_version(&mut self) -> Result<Version> {
+        let responses = self.request(Command::new(ids::CMD_GETVERSION, Vec::<u8>::new()))?;
+        let result = responses
+            .first()
+            .ok_or_else(|| Error::protocol("missing version result"))?;
+        let mut payload = result.payload.clone();
+        let api = protocol::take_i32(&mut payload)?;
+        let software = take_string(&mut payload)?;
+        Ok(Version { api, software })
+    }
+
+    /// Advances the simulation to `target_time` seconds (0 = one step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn simulation_step(&mut self, target_time: f64) -> Result<()> {
+        self.simulation_step_collect(target_time)?;
+        Ok(())
+    }
+
+    /// Advances the simulation and returns the values of every live
+    /// variable subscription (see
+    /// [`subscribe_vehicle`](Self::subscribe_vehicle)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn simulation_step_collect(
+        &mut self,
+        target_time: f64,
+    ) -> Result<Vec<SubscriptionResult>> {
+        let mut buf = BytesMut::new();
+        buf.put_f64(target_time);
+        let responses = self.request(Command::new(ids::CMD_SIMSTEP, buf.freeze()))?;
+        let mut results = Vec::new();
+        for cmd in &responses {
+            if cmd.id != ids::RESPONSE_SUBSCRIBE_VEHICLE_VARIABLE {
+                continue;
+            }
+            let mut payload: Bytes = cmd.payload.clone();
+            let object = take_string(&mut payload)?;
+            let count = take_u8(&mut payload)? as usize;
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                let var = take_u8(&mut payload)?;
+                let status = take_u8(&mut payload)?;
+                let value = TraciValue::decode(&mut payload)?;
+                if status == ids::RTYPE_OK {
+                    values.push((var, value));
+                }
+            }
+            results.push(SubscriptionResult { object, values });
+        }
+        Ok(results)
+    }
+
+    /// Subscribes to vehicle variables for `[begin, end)`; their values
+    /// arrive with every subsequent
+    /// [`simulation_step_collect`](Self::simulation_step_collect). An empty
+    /// variable list cancels the object's subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the server rejects a variable.
+    pub fn subscribe_vehicle(
+        &mut self,
+        vehicle: &str,
+        variables: &[u8],
+        begin: f64,
+        end: f64,
+    ) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_f64(begin);
+        buf.put_f64(end);
+        put_string(&mut buf, vehicle);
+        buf.put_u8(variables.len() as u8);
+        for &v in variables {
+            buf.put_u8(v);
+        }
+        self.request(Command::new(ids::CMD_SUBSCRIBE_VEHICLE_VARIABLE, buf.freeze()))?;
+        Ok(())
+    }
+
+    /// Reads the current simulation time in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn simulation_time(&mut self) -> Result<f64> {
+        self.get_variable(ids::CMD_GET_SIM_VARIABLE, ids::VAR_TIME, "")?
+            .as_double()
+    }
+
+    /// Reads a vehicle's speed in m/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] with the server's message if the vehicle
+    /// does not exist.
+    pub fn vehicle_speed(&mut self, vehicle: &str) -> Result<f64> {
+        self.get_variable(ids::CMD_GET_VEHICLE_VARIABLE, ids::VAR_SPEED, vehicle)?
+            .as_double()
+    }
+
+    /// Reads a vehicle's 2-D position (corridor offset, 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] with the server's message if the vehicle
+    /// does not exist.
+    pub fn vehicle_position(&mut self, vehicle: &str) -> Result<(f64, f64)> {
+        match self.get_variable(ids::CMD_GET_VEHICLE_VARIABLE, ids::VAR_POSITION, vehicle)? {
+            TraciValue::Position2D(x, y) => Ok((x, y)),
+            other => Err(Error::protocol(format!("expected position, got {other:?}"))),
+        }
+    }
+
+    /// Lists the ids of all vehicles currently in the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn vehicle_ids(&mut self) -> Result<Vec<String>> {
+        match self.get_variable(ids::CMD_GET_VEHICLE_VARIABLE, ids::ID_LIST, "")? {
+            TraciValue::StringList(list) => Ok(list),
+            other => Err(Error::protocol(format!("expected id list, got {other:?}"))),
+        }
+    }
+
+    /// Commands a vehicle's speed (TraCI `setSpeed`). A negative value
+    /// returns control to the car-following model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] with the server's message if the vehicle
+    /// does not exist or is not externally controllable.
+    pub fn set_vehicle_speed(&mut self, vehicle: &str, speed: f64) -> Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(ids::VAR_SPEED);
+        put_string(&mut buf, vehicle);
+        TraciValue::Double(speed).encode(&mut buf);
+        self.request(Command::new(ids::CMD_SET_VEHICLE_VARIABLE, buf.freeze()))?;
+        Ok(())
+    }
+
+    /// Reads a traffic light's state string (`"G"` during green, `"r"`
+    /// during red).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the light does not exist.
+    pub fn traffic_light_state(&mut self, light: &str) -> Result<String> {
+        Ok(self
+            .get_variable(ids::CMD_GET_TL_VARIABLE, ids::TL_RED_YELLOW_GREEN_STATE, light)?
+            .as_string()?
+            .to_owned())
+    }
+
+    /// Reads the number of vehicles that crossed an induction loop during
+    /// the last simulation step window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the loop does not exist.
+    pub fn induction_loop_count(&mut self, loop_id: &str) -> Result<i32> {
+        self.get_variable(
+            ids::CMD_GET_INDUCTIONLOOP_VARIABLE,
+            ids::LAST_STEP_VEHICLE_NUMBER,
+            loop_id,
+        )?
+        .as_integer()
+    }
+
+    /// Closes the session; the server tears down after acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on socket failures.
+    pub fn close(&mut self) -> Result<()> {
+        self.request(Command::new(ids::CMD_CLOSE, Vec::<u8>::new()))?;
+        Ok(())
+    }
+
+    /// Issues a "get variable" command and decodes the typed result value.
+    fn get_variable(&mut self, command: u8, variable: u8, object: &str) -> Result<TraciValue> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(variable);
+        put_string(&mut buf, object);
+        let responses = self.request(Command::new(command, buf.freeze()))?;
+        let result = responses
+            .first()
+            .ok_or_else(|| Error::protocol("missing get-variable result"))?;
+        if result.id != command.wrapping_add(ids::RESPONSE_OFFSET) {
+            return Err(Error::protocol(format!(
+                "unexpected result command 0x{:02x}",
+                result.id
+            )));
+        }
+        let mut payload: Bytes = result.payload.clone();
+        let var = take_u8(&mut payload)?;
+        if var != variable {
+            return Err(Error::protocol("result variable mismatch"));
+        }
+        let _object = take_string(&mut payload)?;
+        TraciValue::decode(&mut payload)
+    }
+
+    /// Sends one command, checks its status, and returns any further result
+    /// commands.
+    fn request(&mut self, command: Command) -> Result<Vec<Command>> {
+        let command_id = command.id;
+        write_message(&mut self.stream, &[command])?;
+        let mut responses = read_message(&mut self.stream)?;
+        if responses.is_empty() {
+            return Err(Error::protocol("empty response message"));
+        }
+        let status = Status::from_command(&responses[0])?;
+        if status.command != command_id {
+            return Err(Error::protocol(format!(
+                "status for wrong command: 0x{:02x} vs 0x{:02x}",
+                status.command, command_id
+            )));
+        }
+        if status.result != ids::RTYPE_OK {
+            return Err(Error::protocol(format!(
+                "server rejected command 0x{command_id:02x}: {}",
+                status.description
+            )));
+        }
+        responses.remove(0);
+        Ok(responses)
+    }
+}

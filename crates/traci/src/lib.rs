@@ -1,0 +1,49 @@
+//! A hand-rolled implementation of SUMO's **TraCI** wire protocol.
+//!
+//! The paper applies its optimized velocity profiles "in SUMO using [the]
+//! TraCI interface" (§III-B-3): an external controller connects to the
+//! simulator over TCP and, every step, reads the ego vehicle's state and
+//! commands its speed. This crate reproduces that control path against
+//! [`velopt_microsim`] with the *real* TraCI message format, so the client
+//! side is a faithful TraCI client:
+//!
+//! * [`protocol`] — message framing (4-byte big-endian message length,
+//!   1-byte or `0x00` + 4-byte command lengths), typed values
+//!   ([`TraciValue`]), command/status/result encoding, and the command and
+//!   variable identifier constants from SUMO's `TraCIConstants`.
+//! * [`TraciClient`] — a typed client over any TCP stream:
+//!   `get_version`, `simulation_step`, vehicle speed/position get,
+//!   `set_speed`, traffic-light state, induction-loop counts, simulation
+//!   time, and `close`.
+//! * [`TraciServer`] — serves one client per connection, translating TraCI
+//!   commands into [`velopt_microsim::Simulation`] calls. Vehicles are
+//!   exposed as `veh<N>`, traffic lights as `tl<N>`, induction loops as
+//!   `loop<N>`.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> velopt_common::Result<()> {
+//! use velopt_microsim::{SimConfig, Simulation};
+//! use velopt_road::Road;
+//! use velopt_traci::{TraciClient, TraciServer};
+//!
+//! let sim = Simulation::new(Road::us25(), SimConfig::default())?;
+//! let server = TraciServer::spawn(sim)?;
+//! let mut client = TraciClient::connect(server.addr())?;
+//! let version = client.get_version()?;
+//! assert!(version.api >= 20);
+//! client.simulation_step(0.0)?; // advance one step
+//! assert!(client.simulation_time()? > 0.0);
+//! client.close()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{SubscriptionResult, TraciClient, Version};
+pub use protocol::TraciValue;
+pub use server::TraciServer;

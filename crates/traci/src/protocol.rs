@@ -1,0 +1,586 @@
+//! TraCI wire format: framing, typed values, commands and constants.
+//!
+//! The format follows SUMO's TraCI specification:
+//!
+//! * A **message** is a 4-byte big-endian total length (including itself)
+//!   followed by one or more commands.
+//! * A **command** starts with its length — one byte if the whole command
+//!   fits in 255 bytes, otherwise a `0x00` byte followed by a 4-byte length
+//!   — then a 1-byte command identifier and the payload.
+//! * Values are **typed**: a 1-byte type code followed by the big-endian
+//!   payload.
+//! * The server answers every command with a **status** response (command
+//!   id, result code, description string), optionally followed by a result
+//!   command whose id is `command id + 0x10` for "get variable" commands.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use velopt_common::{Error, Result};
+
+/// Command and variable identifiers (the subset of SUMO's `TraCIConstants`
+/// this reproduction needs).
+pub mod ids {
+    /// Retrieve the TraCI API version and simulator identity.
+    pub const CMD_GETVERSION: u8 = 0x00;
+    /// Advance the simulation (payload: target time as double; 0 = one step).
+    pub const CMD_SIMSTEP: u8 = 0x02;
+    /// Close the connection and tear down the simulation.
+    pub const CMD_CLOSE: u8 = 0x7F;
+    /// Get an induction-loop variable.
+    pub const CMD_GET_INDUCTIONLOOP_VARIABLE: u8 = 0xA0;
+    /// Get a traffic-light variable.
+    pub const CMD_GET_TL_VARIABLE: u8 = 0xA2;
+    /// Get a vehicle variable.
+    pub const CMD_GET_VEHICLE_VARIABLE: u8 = 0xA4;
+    /// Get a simulation variable.
+    pub const CMD_GET_SIM_VARIABLE: u8 = 0xAB;
+    /// Set a vehicle variable.
+    pub const CMD_SET_VEHICLE_VARIABLE: u8 = 0xC4;
+    /// Subscribe to vehicle variables (results arrive with each sim step).
+    pub const CMD_SUBSCRIBE_VEHICLE_VARIABLE: u8 = 0xD4;
+    /// Response carrying one subscription's values.
+    pub const RESPONSE_SUBSCRIBE_VEHICLE_VARIABLE: u8 = 0xE4;
+
+    /// Offset added to a get command's id to form its result command id.
+    pub const RESPONSE_OFFSET: u8 = 0x10;
+
+    /// Variable: list of object ids.
+    pub const ID_LIST: u8 = 0x00;
+    /// Variable: number of vehicles on an induction loop in the last step.
+    pub const LAST_STEP_VEHICLE_NUMBER: u8 = 0x10;
+    /// Variable: traffic-light state string (e.g. `"G"` / `"r"`).
+    pub const TL_RED_YELLOW_GREEN_STATE: u8 = 0x20;
+    /// Variable: vehicle speed (double, m/s). Also the `setSpeed` target.
+    pub const VAR_SPEED: u8 = 0x40;
+    /// Variable: vehicle position (2D).
+    pub const VAR_POSITION: u8 = 0x42;
+    /// Variable: simulation time in seconds (double).
+    pub const VAR_TIME: u8 = 0x66;
+
+    /// Status result: success.
+    pub const RTYPE_OK: u8 = 0x00;
+    /// Status result: command not implemented by this server.
+    pub const RTYPE_NOTIMPLEMENTED: u8 = 0x01;
+    /// Status result: error, see description.
+    pub const RTYPE_ERR: u8 = 0xFF;
+}
+
+/// Type codes for [`TraciValue`].
+mod type_codes {
+    pub const POSITION_2D: u8 = 0x01;
+    pub const TYPE_UBYTE: u8 = 0x07;
+    pub const TYPE_BYTE: u8 = 0x08;
+    pub const TYPE_INTEGER: u8 = 0x09;
+    pub const TYPE_DOUBLE: u8 = 0x0B;
+    pub const TYPE_STRING: u8 = 0x0C;
+    pub const TYPE_STRINGLIST: u8 = 0x0E;
+    pub const TYPE_COMPOUND: u8 = 0x0F;
+}
+
+/// A typed TraCI value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraciValue {
+    /// Unsigned byte.
+    UByte(u8),
+    /// Signed byte.
+    Byte(i8),
+    /// 32-bit integer.
+    Integer(i32),
+    /// 64-bit float.
+    Double(f64),
+    /// Length-prefixed UTF-8 string.
+    String(String),
+    /// List of strings.
+    StringList(Vec<String>),
+    /// 2-D position (x, y).
+    Position2D(f64, f64),
+    /// Compound value: item count followed by nested typed values.
+    Compound(Vec<TraciValue>),
+}
+
+impl TraciValue {
+    /// Encodes the value (type byte + payload) into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            TraciValue::UByte(v) => {
+                buf.put_u8(type_codes::TYPE_UBYTE);
+                buf.put_u8(*v);
+            }
+            TraciValue::Byte(v) => {
+                buf.put_u8(type_codes::TYPE_BYTE);
+                buf.put_i8(*v);
+            }
+            TraciValue::Integer(v) => {
+                buf.put_u8(type_codes::TYPE_INTEGER);
+                buf.put_i32(*v);
+            }
+            TraciValue::Double(v) => {
+                buf.put_u8(type_codes::TYPE_DOUBLE);
+                buf.put_f64(*v);
+            }
+            TraciValue::String(s) => {
+                buf.put_u8(type_codes::TYPE_STRING);
+                put_string(buf, s);
+            }
+            TraciValue::StringList(list) => {
+                buf.put_u8(type_codes::TYPE_STRINGLIST);
+                buf.put_i32(list.len() as i32);
+                for s in list {
+                    put_string(buf, s);
+                }
+            }
+            TraciValue::Position2D(x, y) => {
+                buf.put_u8(type_codes::POSITION_2D);
+                buf.put_f64(*x);
+                buf.put_f64(*y);
+            }
+            TraciValue::Compound(items) => {
+                buf.put_u8(type_codes::TYPE_COMPOUND);
+                buf.put_i32(items.len() as i32);
+                for item in items {
+                    item.encode(buf);
+                }
+            }
+        }
+    }
+
+    /// Decodes one typed value from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or an unknown type code.
+    pub fn decode(buf: &mut Bytes) -> Result<TraciValue> {
+        let code = take_u8(buf)?;
+        Self::decode_payload(code, buf)
+    }
+
+    fn decode_payload(code: u8, buf: &mut Bytes) -> Result<TraciValue> {
+        match code {
+            type_codes::TYPE_UBYTE => Ok(TraciValue::UByte(take_u8(buf)?)),
+            type_codes::TYPE_BYTE => Ok(TraciValue::Byte(take_u8(buf)? as i8)),
+            type_codes::TYPE_INTEGER => Ok(TraciValue::Integer(take_i32(buf)?)),
+            type_codes::TYPE_DOUBLE => Ok(TraciValue::Double(take_f64(buf)?)),
+            type_codes::TYPE_STRING => Ok(TraciValue::String(take_string(buf)?)),
+            type_codes::TYPE_STRINGLIST => {
+                let n = take_i32(buf)?;
+                // Every string needs at least its 4-byte length prefix, so a
+                // count larger than remaining/4 is malformed — reject before
+                // allocating (a hostile length would otherwise OOM us).
+                if n < 0 || n as usize > buf.remaining() / 4 {
+                    return Err(Error::protocol("implausible string-list length"));
+                }
+                let mut list = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    list.push(take_string(buf)?);
+                }
+                Ok(TraciValue::StringList(list))
+            }
+            type_codes::POSITION_2D => {
+                let x = take_f64(buf)?;
+                let y = take_f64(buf)?;
+                Ok(TraciValue::Position2D(x, y))
+            }
+            type_codes::TYPE_COMPOUND => {
+                let n = take_i32(buf)?;
+                // Every item needs at least a type byte; bound the count by
+                // the bytes actually present before allocating.
+                if n < 0 || n as usize > buf.remaining() {
+                    return Err(Error::protocol("implausible compound length"));
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(TraciValue::decode(buf)?);
+                }
+                Ok(TraciValue::Compound(items))
+            }
+            other => Err(Error::protocol(format!("unknown type code 0x{other:02x}"))),
+        }
+    }
+
+    /// Extracts a double, erroring on any other variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the value is not a `Double`.
+    pub fn as_double(&self) -> Result<f64> {
+        match self {
+            TraciValue::Double(v) => Ok(*v),
+            other => Err(Error::protocol(format!("expected double, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a string, erroring on any other variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the value is not a `String`.
+    pub fn as_string(&self) -> Result<&str> {
+        match self {
+            TraciValue::String(s) => Ok(s),
+            other => Err(Error::protocol(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an integer, erroring on any other variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the value is not an `Integer`.
+    pub fn as_integer(&self) -> Result<i32> {
+        match self {
+            TraciValue::Integer(v) => Ok(*v),
+            other => Err(Error::protocol(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+/// One decoded command (or response command) of a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// The command identifier.
+    pub id: u8,
+    /// Raw payload (everything after the id byte).
+    pub payload: Bytes,
+}
+
+impl Command {
+    /// Builds a command from id and payload bytes.
+    pub fn new(id: u8, payload: impl Into<Bytes>) -> Self {
+        Self {
+            id,
+            payload: payload.into(),
+        }
+    }
+
+    /// Encodes the command (length prefix + id + payload) into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        let content_len = 1 + 1 + self.payload.len(); // len byte + id + payload
+        if content_len <= u8::MAX as usize {
+            buf.put_u8(content_len as u8);
+        } else {
+            buf.put_u8(0);
+            buf.put_i32((content_len + 4) as i32);
+        }
+        buf.put_u8(self.id);
+        buf.put_slice(&self.payload);
+    }
+
+    /// Decodes one command from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or inconsistent lengths.
+    pub fn decode(buf: &mut Bytes) -> Result<Command> {
+        let first = take_u8(buf)?;
+        let total = if first != 0 {
+            first as usize
+        } else {
+            let ext = take_i32(buf)?;
+            if ext < 6 {
+                return Err(Error::protocol("extended command length too small"));
+            }
+            // Extended length includes the 1-byte marker and 4-byte length.
+            ext as usize - 4
+        };
+        // `total` now counts: 1 length byte + 1 id byte + payload.
+        if total < 2 {
+            return Err(Error::protocol("command length too small"));
+        }
+        let id = take_u8(buf)?;
+        let payload_len = total - 2;
+        if buf.remaining() < payload_len {
+            return Err(Error::protocol("truncated command payload"));
+        }
+        let payload = buf.split_to(payload_len);
+        Ok(Command { id, payload })
+    }
+}
+
+/// A status response to one command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Status {
+    /// The command this status answers.
+    pub command: u8,
+    /// Result code ([`ids::RTYPE_OK`] on success).
+    pub result: u8,
+    /// Human-readable description (empty on success).
+    pub description: String,
+}
+
+impl Status {
+    /// A success status for `command`.
+    pub fn ok(command: u8) -> Self {
+        Self {
+            command,
+            result: ids::RTYPE_OK,
+            description: String::new(),
+        }
+    }
+
+    /// An error status for `command`.
+    pub fn err(command: u8, description: impl Into<String>) -> Self {
+        Self {
+            command,
+            result: ids::RTYPE_ERR,
+            description: description.into(),
+        }
+    }
+
+    /// Encodes as a command.
+    pub fn to_command(&self) -> Command {
+        let mut buf = BytesMut::new();
+        buf.put_u8(self.result);
+        put_string(&mut buf, &self.description);
+        Command::new(self.command, buf.freeze())
+    }
+
+    /// Decodes from a command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation.
+    pub fn from_command(cmd: &Command) -> Result<Status> {
+        let mut payload = cmd.payload.clone();
+        let result = take_u8(&mut payload)?;
+        let description = take_string(&mut payload)?;
+        Ok(Status {
+            command: cmd.id,
+            result,
+            description,
+        })
+    }
+}
+
+/// Encodes a whole message (length header + commands) ready to write to a
+/// socket.
+pub fn encode_message(commands: &[Command]) -> Bytes {
+    let mut body = BytesMut::new();
+    for c in commands {
+        c.encode(&mut body);
+    }
+    let mut msg = BytesMut::with_capacity(4 + body.len());
+    msg.put_i32((4 + body.len()) as i32);
+    msg.put_slice(&body);
+    msg.freeze()
+}
+
+/// Decodes a message body (after the 4-byte length header has been consumed)
+/// into commands.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] if the body cannot be fully parsed.
+pub fn decode_message_body(mut body: Bytes) -> Result<Vec<Command>> {
+    let mut commands = Vec::new();
+    while body.has_remaining() {
+        commands.push(Command::decode(&mut body)?);
+    }
+    Ok(commands)
+}
+
+/// Reads one full message from a blocking reader.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on socket errors and [`Error::Protocol`] on
+/// malformed lengths.
+pub fn read_message(reader: &mut impl std::io::Read) -> Result<Vec<Command>> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let total = i32::from_be_bytes(header);
+    if total < 4 {
+        return Err(Error::protocol(format!("message length {total} too small")));
+    }
+    let mut body = vec![0u8; (total - 4) as usize];
+    reader.read_exact(&mut body)?;
+    decode_message_body(Bytes::from(body))
+}
+
+/// Writes one full message to a blocking writer.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on socket errors.
+pub fn write_message(writer: &mut impl std::io::Write, commands: &[Command]) -> Result<()> {
+    let msg = encode_message(commands);
+    writer.write_all(&msg)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Writes a TraCI length-prefixed string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_i32(s.len() as i32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads one byte.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] if the buffer is empty.
+pub fn take_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(Error::protocol("unexpected end of buffer"));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Reads a big-endian i32.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] on truncation.
+pub fn take_i32(buf: &mut Bytes) -> Result<i32> {
+    if buf.remaining() < 4 {
+        return Err(Error::protocol("unexpected end of buffer"));
+    }
+    Ok(buf.get_i32())
+}
+
+/// Reads a big-endian f64.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] on truncation.
+pub fn take_f64(buf: &mut Bytes) -> Result<f64> {
+    if buf.remaining() < 8 {
+        return Err(Error::protocol("unexpected end of buffer"));
+    }
+    Ok(buf.get_f64())
+}
+
+/// Reads a TraCI length-prefixed string.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] on truncation or invalid UTF-8.
+pub fn take_string(buf: &mut Bytes) -> Result<String> {
+    let len = take_i32(buf)?;
+    if len < 0 || buf.remaining() < len as usize {
+        return Err(Error::protocol("truncated string"));
+    }
+    let raw = buf.split_to(len as usize);
+    String::from_utf8(raw.to_vec()).map_err(|_| Error::protocol("string is not valid utf-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: TraciValue) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = TraciValue::decode(&mut bytes).unwrap();
+        assert_eq!(back, v);
+        assert!(!bytes.has_remaining(), "decoder must consume everything");
+    }
+
+    #[test]
+    fn value_round_trips() {
+        round_trip(TraciValue::UByte(255));
+        round_trip(TraciValue::Byte(-7));
+        round_trip(TraciValue::Integer(-123456));
+        round_trip(TraciValue::Double(13.25));
+        round_trip(TraciValue::String("hello TraCI".into()));
+        round_trip(TraciValue::StringList(vec!["a".into(), "b".into()]));
+        round_trip(TraciValue::Position2D(1800.0, 0.0));
+        round_trip(TraciValue::Compound(vec![
+            TraciValue::Integer(2),
+            TraciValue::String("nested".into()),
+            TraciValue::Compound(vec![TraciValue::Double(0.5)]),
+        ]));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(TraciValue::Double(2.0).as_double().unwrap(), 2.0);
+        assert!(TraciValue::Double(2.0).as_string().is_err());
+        assert_eq!(TraciValue::String("x".into()).as_string().unwrap(), "x");
+        assert_eq!(TraciValue::Integer(5).as_integer().unwrap(), 5);
+        assert!(TraciValue::Integer(5).as_double().is_err());
+    }
+
+    #[test]
+    fn unknown_type_code_rejected() {
+        let mut bytes = Bytes::from_static(&[0x55, 0, 0]);
+        assert!(TraciValue::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn command_round_trip_short() {
+        let cmd = Command::new(ids::CMD_SIMSTEP, vec![1, 2, 3]);
+        let mut buf = BytesMut::new();
+        cmd.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Command::decode(&mut bytes).unwrap();
+        assert_eq!(back, cmd);
+    }
+
+    #[test]
+    fn command_round_trip_extended_length() {
+        // Payload longer than 253 bytes forces the extended length form.
+        let cmd = Command::new(0xA4, vec![0xAB; 1000]);
+        let mut buf = BytesMut::new();
+        cmd.encode(&mut buf);
+        assert_eq!(buf[0], 0, "extended length marker");
+        let mut bytes = buf.freeze();
+        let back = Command::decode(&mut bytes).unwrap();
+        assert_eq!(back, cmd);
+    }
+
+    #[test]
+    fn truncated_command_rejected() {
+        let cmd = Command::new(0x02, vec![9; 10]);
+        let mut buf = BytesMut::new();
+        cmd.encode(&mut buf);
+        let mut truncated = buf.freeze().slice(0..5);
+        assert!(Command::decode(&mut truncated).is_err());
+    }
+
+    #[test]
+    fn message_round_trip_multiple_commands() {
+        let cmds = vec![
+            Command::new(ids::CMD_GETVERSION, Vec::<u8>::new()),
+            Command::new(ids::CMD_SIMSTEP, vec![0; 9]),
+        ];
+        let msg = encode_message(&cmds);
+        let total = i32::from_be_bytes(msg[0..4].try_into().unwrap());
+        assert_eq!(total as usize, msg.len());
+        let back = decode_message_body(msg.slice(4..)).unwrap();
+        assert_eq!(back, cmds);
+    }
+
+    #[test]
+    fn status_round_trip() {
+        for status in [Status::ok(0x02), Status::err(0xA4, "no such vehicle")] {
+            let cmd = status.to_command();
+            let back = Status::from_command(&cmd).unwrap();
+            assert_eq!(back, status);
+        }
+    }
+
+    #[test]
+    fn read_write_message_over_pipe() {
+        let cmds = vec![Command::new(ids::CMD_CLOSE, Vec::<u8>::new())];
+        let mut buf = Vec::new();
+        write_message(&mut buf, &cmds).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_message(&mut cursor).unwrap();
+        assert_eq!(back, cmds);
+    }
+
+    #[test]
+    fn bad_message_header_rejected() {
+        let mut cursor = std::io::Cursor::new(vec![0, 0, 0, 2]);
+        assert!(read_message(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn string_with_invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_i32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert!(take_string(&mut buf.freeze()).is_err());
+    }
+}

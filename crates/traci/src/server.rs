@@ -1,0 +1,601 @@
+//! The TraCI server fronting a [`velopt_microsim::Simulation`].
+
+use crate::protocol::{
+    ids, put_string, read_message, take_f64, take_string, take_u8, write_message, Command, Status,
+    TraciValue,
+};
+use bytes::{BufMut, BytesMut};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use velopt_common::units::{MetersPerSecond, Seconds};
+use velopt_common::{Error, Result};
+use velopt_microsim::Simulation;
+use velopt_road::Phase;
+
+/// TraCI API level this server implements (matches recent SUMO releases).
+pub const API_LEVEL: i32 = 20;
+
+/// A TCP server exposing a microsim [`Simulation`] through the TraCI
+/// protocol.
+///
+/// Object naming: vehicles are `veh<N>` (the [`VehicleId`] display form),
+/// traffic lights `tl<N>` by corridor order, induction loops `loop<N>` by
+/// insertion order. See the crate-level example.
+///
+/// [`VehicleId`]: velopt_microsim::VehicleId
+#[derive(Debug)]
+pub struct TraciServer {
+    addr: SocketAddr,
+    sim: Arc<Mutex<Simulation>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TraciServer {
+    /// Binds to an ephemeral localhost port and serves clients on a
+    /// background thread (one at a time; the loop ends when a client sends
+    /// `CMD_CLOSE` and no new connection arrives before the listener is
+    /// dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the listener cannot bind.
+    pub fn spawn(sim: Simulation) -> Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let sim = Arc::new(Mutex::new(sim));
+        let sim_for_thread = Arc::clone(&sim);
+        let handle = std::thread::spawn(move || {
+            // Serve connections until the server handle is dropped; each
+            // accept error (listener closed) terminates the loop.
+            while let Ok((stream, _)) = listener.accept() {
+                let keep_going = serve_connection(stream, &sim_for_thread);
+                if !keep_going {
+                    break;
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            sim,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared access to the simulation (for out-of-band inspection in tests
+    /// and harnesses — e.g. reading the ego trace after a run).
+    pub fn simulation(&self) -> Arc<Mutex<Simulation>> {
+        Arc::clone(&self.sim)
+    }
+
+    /// Waits for the serving thread to finish (after a client sent
+    /// `CMD_CLOSE`).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TraciServer {
+    fn drop(&mut self) {
+        // The listener thread exits after the active client closes; we do
+        // not block in drop (C-DTOR-BLOCK): harnesses call `join()` when
+        // they need determinism.
+        if let Some(h) = self.handle.take() {
+            drop(h);
+        }
+    }
+}
+
+/// A registered variable subscription (connection-local state).
+#[derive(Debug, Clone)]
+struct Subscription {
+    object: String,
+    variables: Vec<u8>,
+    begin: f64,
+    end: f64,
+}
+
+/// Serves one client; returns `false` when the server should stop accepting
+/// (client requested close).
+fn serve_connection(mut stream: TcpStream, sim: &Arc<Mutex<Simulation>>) -> bool {
+    stream.set_nodelay(true).ok();
+    let mut subscriptions: Vec<Subscription> = Vec::new();
+    loop {
+        let commands = match read_message(&mut stream) {
+            Ok(c) => c,
+            Err(_) => return true, // client vanished; accept the next one
+        };
+        let mut responses = Vec::new();
+        let mut close_requested = false;
+        for cmd in commands {
+            match handle_command(&cmd, sim, &mut subscriptions) {
+                Ok(mut cmds) => responses.append(&mut cmds),
+                Err(e) => responses.push(Status::err(cmd.id, e.to_string()).to_command()),
+            }
+            if cmd.id == ids::CMD_CLOSE {
+                close_requested = true;
+            }
+        }
+        if write_message(&mut stream, &responses).is_err() {
+            return true;
+        }
+        if close_requested {
+            return false;
+        }
+    }
+}
+
+/// Executes one command against the simulation, returning the response
+/// commands (status first).
+fn handle_command(
+    cmd: &Command,
+    sim: &Arc<Mutex<Simulation>>,
+    subscriptions: &mut Vec<Subscription>,
+) -> Result<Vec<Command>> {
+    match cmd.id {
+        ids::CMD_GETVERSION => {
+            let mut buf = BytesMut::new();
+            buf.put_i32(API_LEVEL);
+            put_string(&mut buf, "velopt-microsim (TraCI-compatible)");
+            Ok(vec![
+                Status::ok(cmd.id).to_command(),
+                Command::new(cmd.id, buf.freeze()),
+            ])
+        }
+        ids::CMD_SIMSTEP => {
+            let mut payload = cmd.payload.clone();
+            let target = take_f64(&mut payload)?;
+            let results = {
+                let mut sim = sim.lock();
+                if target <= 0.0 {
+                    sim.step();
+                } else {
+                    sim.run_until(Seconds::new(target))?;
+                }
+                subscription_results(&sim, subscriptions)
+            };
+            // The simstep result carries the subscription-result count, then
+            // one RESPONSE_SUBSCRIBE command per live subscription.
+            let mut buf = BytesMut::new();
+            buf.put_i32(results.len() as i32);
+            let mut out = vec![
+                Status::ok(cmd.id).to_command(),
+                Command::new(cmd.id, buf.freeze()),
+            ];
+            out.extend(results);
+            Ok(out)
+        }
+        ids::CMD_SUBSCRIBE_VEHICLE_VARIABLE => {
+            let mut payload = cmd.payload.clone();
+            let begin = take_f64(&mut payload)?;
+            let end = take_f64(&mut payload)?;
+            let object = take_string(&mut payload)?;
+            let count = take_u8(&mut payload)? as usize;
+            let mut variables = Vec::with_capacity(count);
+            for _ in 0..count {
+                let var = take_u8(&mut payload)?;
+                if var != ids::VAR_SPEED && var != ids::VAR_POSITION {
+                    return Err(Error::protocol(format!(
+                        "unsupported subscription variable 0x{var:02x}"
+                    )));
+                }
+                variables.push(var);
+            }
+            if variables.is_empty() {
+                // SUMO semantics: an empty list cancels the subscription.
+                subscriptions.retain(|s| s.object != object);
+            } else {
+                subscriptions.retain(|s| s.object != object);
+                subscriptions.push(Subscription {
+                    object,
+                    variables,
+                    begin,
+                    end,
+                });
+            }
+            Ok(vec![Status::ok(cmd.id).to_command()])
+        }
+        ids::CMD_CLOSE => Ok(vec![Status::ok(cmd.id).to_command()]),
+        ids::CMD_GET_SIM_VARIABLE => {
+            let (var, _object, _) = decode_get(cmd)?;
+            let value = match var {
+                ids::VAR_TIME => TraciValue::Double(sim.lock().time().value()),
+                other => {
+                    return Err(Error::protocol(format!(
+                        "unsupported simulation variable 0x{other:02x}"
+                    )))
+                }
+            };
+            Ok(get_response(cmd, var, "", value))
+        }
+        ids::CMD_GET_VEHICLE_VARIABLE => {
+            let (var, object, _) = decode_get(cmd)?;
+            let sim = sim.lock();
+            let value = match var {
+                ids::ID_LIST => TraciValue::StringList(
+                    sim.vehicles().iter().map(|v| v.id().to_string()).collect(),
+                ),
+                ids::VAR_SPEED => {
+                    let v = find_vehicle(&sim, &object)?;
+                    TraciValue::Double(v.speed().value())
+                }
+                ids::VAR_POSITION => {
+                    let v = find_vehicle(&sim, &object)?;
+                    TraciValue::Position2D(v.position().value(), 0.0)
+                }
+                other => {
+                    return Err(Error::protocol(format!(
+                        "unsupported vehicle variable 0x{other:02x}"
+                    )))
+                }
+            };
+            Ok(get_response(cmd, var, &object, value))
+        }
+        ids::CMD_GET_TL_VARIABLE => {
+            let (var, object, _) = decode_get(cmd)?;
+            if var != ids::TL_RED_YELLOW_GREEN_STATE {
+                return Err(Error::protocol(format!(
+                    "unsupported traffic-light variable 0x{var:02x}"
+                )));
+            }
+            let sim = sim.lock();
+            let idx = parse_index(&object, "tl")?;
+            let lights = sim.road().traffic_lights();
+            let light = lights
+                .get(idx)
+                .ok_or_else(|| Error::protocol(format!("no traffic light '{object}'")))?;
+            let state = match light.phase_at(sim.time()) {
+                Phase::Green => "G",
+                Phase::Red => "r",
+            };
+            Ok(get_response(cmd, var, &object, TraciValue::String(state.into())))
+        }
+        ids::CMD_GET_INDUCTIONLOOP_VARIABLE => {
+            let (var, object, _) = decode_get(cmd)?;
+            if var != ids::LAST_STEP_VEHICLE_NUMBER {
+                return Err(Error::protocol(format!(
+                    "unsupported induction-loop variable 0x{var:02x}"
+                )));
+            }
+            let mut sim = sim.lock();
+            let now = sim.time();
+            let idx = parse_index(&object, "loop")?;
+            let det = sim
+                .detector_mut(idx)
+                .ok_or_else(|| Error::protocol(format!("no induction loop '{object}'")))?;
+            let count = det.window_count() as i32;
+            let _ = det.take_window(now);
+            Ok(get_response(cmd, var, &object, TraciValue::Integer(count)))
+        }
+        ids::CMD_SET_VEHICLE_VARIABLE => {
+            let mut payload = cmd.payload.clone();
+            let var = take_u8(&mut payload)?;
+            let object = take_string(&mut payload)?;
+            if var != ids::VAR_SPEED {
+                return Err(Error::protocol(format!(
+                    "unsupported vehicle set-variable 0x{var:02x}"
+                )));
+            }
+            let value = TraciValue::decode(&mut payload)?.as_double()?;
+            let mut sim = sim.lock();
+            let ego_is_target = sim
+                .ego()
+                .is_some()
+                .then(|| {
+                    sim.vehicles()
+                        .iter()
+                        .any(|v| v.id().to_string() == object
+                            && v.kind() == velopt_microsim::VehicleKind::Ego)
+                })
+                .unwrap_or(false);
+            if !ego_is_target {
+                return Err(Error::protocol(format!(
+                    "vehicle '{object}' is not externally controllable"
+                )));
+            }
+            let command = if value < 0.0 {
+                None // negative setSpeed returns control to car-following
+            } else {
+                Some(MetersPerSecond::new(value))
+            };
+            sim.set_ego_command(command)?;
+            Ok(vec![Status::ok(cmd.id).to_command()])
+        }
+        other => Ok(vec![Command::new(
+            other,
+            {
+                let mut buf = BytesMut::new();
+                buf.put_u8(ids::RTYPE_NOTIMPLEMENTED);
+                put_string(&mut buf, "command not implemented");
+                buf.freeze()
+            },
+        )]),
+    }
+}
+
+/// Builds the per-step subscription result commands. Subscriptions whose
+/// vehicle has left the simulation (or whose time window is over) produce
+/// no result.
+fn subscription_results(sim: &Simulation, subscriptions: &[Subscription]) -> Vec<Command> {
+    let now = sim.time().value();
+    let mut out = Vec::new();
+    for sub in subscriptions {
+        if now < sub.begin || now >= sub.end {
+            continue;
+        }
+        let Ok(vehicle) = find_vehicle(sim, &sub.object) else {
+            continue;
+        };
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, &sub.object);
+        buf.put_u8(sub.variables.len() as u8);
+        for &var in &sub.variables {
+            buf.put_u8(var);
+            buf.put_u8(ids::RTYPE_OK);
+            let value = match var {
+                ids::VAR_SPEED => TraciValue::Double(vehicle.speed().value()),
+                ids::VAR_POSITION => {
+                    TraciValue::Position2D(vehicle.position().value(), 0.0)
+                }
+                _ => unreachable!("variables validated at subscription time"),
+            };
+            value.encode(&mut buf);
+        }
+        out.push(Command::new(
+            ids::RESPONSE_SUBSCRIBE_VEHICLE_VARIABLE,
+            buf.freeze(),
+        ));
+    }
+    out
+}
+
+fn decode_get(cmd: &Command) -> Result<(u8, String, ())> {
+    let mut payload = cmd.payload.clone();
+    let var = take_u8(&mut payload)?;
+    let object = take_string(&mut payload)?;
+    Ok((var, object, ()))
+}
+
+fn get_response(cmd: &Command, var: u8, object: &str, value: TraciValue) -> Vec<Command> {
+    let mut buf = BytesMut::new();
+    buf.put_u8(var);
+    put_string(&mut buf, object);
+    value.encode(&mut buf);
+    vec![
+        Status::ok(cmd.id).to_command(),
+        Command::new(cmd.id.wrapping_add(ids::RESPONSE_OFFSET), buf.freeze()),
+    ]
+}
+
+fn find_vehicle<'a>(
+    sim: &'a Simulation,
+    object: &str,
+) -> Result<&'a velopt_microsim::Vehicle> {
+    sim.vehicles()
+        .iter()
+        .find(|v| v.id().to_string() == object)
+        .ok_or_else(|| Error::protocol(format!("no vehicle '{object}'")))
+}
+
+fn parse_index(object: &str, prefix: &str) -> Result<usize> {
+    object
+        .strip_prefix(prefix)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::protocol(format!("malformed object id '{object}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TraciClient;
+    use velopt_common::units::{Meters, VehiclesPerHour};
+    use velopt_microsim::SimConfig;
+    use velopt_road::Road;
+
+    fn server() -> TraciServer {
+        let sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+        TraciServer::spawn(sim).unwrap()
+    }
+
+    #[test]
+    fn version_handshake() {
+        let server = server();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        let v = client.get_version().unwrap();
+        assert_eq!(v.api, API_LEVEL);
+        assert!(v.software.contains("velopt"));
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn step_advances_time_and_targets_work() {
+        let server = server();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        assert_eq!(client.simulation_time().unwrap(), 0.0);
+        client.simulation_step(0.0).unwrap();
+        let t1 = client.simulation_time().unwrap();
+        assert!((t1 - 0.1).abs() < 1e-9);
+        client.simulation_step(5.0).unwrap();
+        assert!(client.simulation_time().unwrap() >= 5.0);
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn vehicle_queries_and_ego_control() {
+        let sim = {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(300.0));
+            sim.spawn_ego(MetersPerSecond::new(5.0)).unwrap();
+            sim
+        };
+        let server = TraciServer::spawn(sim).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+
+        let ids = client.vehicle_ids().unwrap();
+        assert!(ids.contains(&"veh0".to_string()));
+        let speed = client.vehicle_speed("veh0").unwrap();
+        assert!((speed - 5.0).abs() < 1e-9);
+        let (x, y) = client.vehicle_position("veh0").unwrap();
+        assert_eq!((x, y), (0.0, 0.0));
+
+        // Command the ego and verify after stepping.
+        client.set_vehicle_speed("veh0", 3.0).unwrap();
+        for _ in 0..100 {
+            client.simulation_step(0.0).unwrap();
+        }
+        let speed = client.vehicle_speed("veh0").unwrap();
+        assert!((speed - 3.0).abs() < 0.05, "speed {speed}");
+
+        // Releasing control lets it accelerate again.
+        client.set_vehicle_speed("veh0", -1.0).unwrap();
+        for _ in 0..100 {
+            client.simulation_step(0.0).unwrap();
+        }
+        assert!(client.vehicle_speed("veh0").unwrap() > 3.5);
+
+        // Unknown vehicle errors cleanly.
+        assert!(client.vehicle_speed("veh99").is_err());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn traffic_light_state_follows_phases() {
+        let server = server();
+        let lights = Road::us25().traffic_lights().to_vec();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        // Drive the clock through one full cycle and check both heads
+        // against the ground-truth phase function.
+        let mut t = 0.0;
+        for _ in 0..12 {
+            t += 5.0;
+            client.simulation_step(t).unwrap();
+            let now = Seconds::new(client.simulation_time().unwrap());
+            for (i, light) in lights.iter().enumerate() {
+                let expected = match light.phase_at(now) {
+                    velopt_road::Phase::Green => "G",
+                    velopt_road::Phase::Red => "r",
+                };
+                let got = client.traffic_light_state(&format!("tl{i}")).unwrap();
+                assert_eq!(got, expected, "tl{i} at {now}");
+            }
+        }
+        assert!(client.traffic_light_state("tl9").is_err());
+        assert!(client.traffic_light_state("bogus").is_err());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn induction_loop_counts_over_traci() {
+        let sim = {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.add_detector(Meters::new(100.0)).unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+            sim
+        };
+        let server = TraciServer::spawn(sim).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        client.simulation_step(120.0).unwrap();
+        let count = client.induction_loop_count("loop0").unwrap();
+        assert!(count > 5, "saw {count} crossings");
+        // The window resets after a read.
+        let again = client.induction_loop_count("loop0").unwrap();
+        assert!(again <= count);
+        assert!(client.induction_loop_count("loop7").is_err());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn subscriptions_deliver_values_each_step() {
+        let sim = {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.spawn_ego(MetersPerSecond::new(5.0)).unwrap();
+            sim
+        };
+        let server = TraciServer::spawn(sim).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+
+        client
+            .subscribe_vehicle("veh0", &[ids::VAR_SPEED, ids::VAR_POSITION], 0.0, 1e9)
+            .unwrap();
+        let results = client.simulation_step_collect(0.0).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].object, "veh0");
+        let speed = results[0]
+            .value_of(ids::VAR_SPEED)
+            .unwrap()
+            .as_double()
+            .unwrap();
+        assert!(speed > 0.0);
+        assert!(matches!(
+            results[0].value_of(ids::VAR_POSITION),
+            Some(crate::TraciValue::Position2D(_, _))
+        ));
+
+        // Unsupported variables are rejected at subscription time.
+        assert!(client.subscribe_vehicle("veh0", &[0x7E], 0.0, 1e9).is_err());
+
+        // An empty variable list cancels the subscription.
+        client.subscribe_vehicle("veh0", &[], 0.0, 1e9).unwrap();
+        let results = client.simulation_step_collect(0.0).unwrap();
+        assert!(results.is_empty());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn expired_or_vanished_subscriptions_produce_no_results() {
+        let sim = {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.spawn_ego(MetersPerSecond::new(5.0)).unwrap();
+            sim
+        };
+        let server = TraciServer::spawn(sim).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        // Window already over at subscription time.
+        client
+            .subscribe_vehicle("veh0", &[ids::VAR_SPEED], 0.0, 0.05)
+            .unwrap();
+        client.simulation_step(1.0).unwrap();
+        let results = client.simulation_step_collect(0.0).unwrap();
+        assert!(results.is_empty(), "window [0, 0.05) is long over");
+        // Subscribing to a vehicle that never exists yields no results
+        // either (it may enter later in SUMO semantics).
+        client
+            .subscribe_vehicle("veh99", &[ids::VAR_SPEED], 0.0, 1e9)
+            .unwrap();
+        let results = client.simulation_step_collect(0.0).unwrap();
+        assert!(results.is_empty());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn set_speed_on_background_vehicle_is_rejected() {
+        let sim = {
+            let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(1200.0));
+            sim.run_until(Seconds::new(30.0)).unwrap();
+            sim
+        };
+        assert!(sim.vehicle_count() > 0);
+        let background_id = sim.vehicles()[0].id().to_string();
+        let server = TraciServer::spawn(sim).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+        assert!(client.set_vehicle_speed(&background_id, 5.0).is_err());
+        client.close().unwrap();
+        server.join();
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests: the wire format round-trips arbitrary values.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use velopt_traci::protocol::{decode_message_body, encode_message, Command, Status, TraciValue};
+
+/// Strategy for arbitrary (bounded-depth) TraCI values.
+fn arb_value() -> impl Strategy<Value = TraciValue> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(TraciValue::UByte),
+        any::<i8>().prop_map(TraciValue::Byte),
+        any::<i32>().prop_map(TraciValue::Integer),
+        (-1e12f64..1e12).prop_map(TraciValue::Double),
+        "[a-zA-Z0-9_ ]{0,32}".prop_map(TraciValue::String),
+        prop::collection::vec("[a-z0-9]{0,8}", 0..5).prop_map(TraciValue::StringList),
+        ((-1e6f64..1e6), (-1e6f64..1e6)).prop_map(|(x, y)| TraciValue::Position2D(x, y)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(TraciValue::Compound)
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_round_trip(v in arb_value()) {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = TraciValue::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn command_round_trip(id in any::<u8>(), payload in prop::collection::vec(any::<u8>(), 0..600)) {
+        let cmd = Command::new(id, payload);
+        let mut buf = BytesMut::new();
+        cmd.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Command::decode(&mut bytes).unwrap();
+        prop_assert_eq!(back, cmd);
+        prop_assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn message_round_trip(
+        cmds in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(any::<u8>(), 0..300)),
+            0..6,
+        )
+    ) {
+        let cmds: Vec<Command> = cmds.into_iter().map(|(id, p)| Command::new(id, p)).collect();
+        let msg = encode_message(&cmds);
+        let back = decode_message_body(msg.slice(4..)).unwrap();
+        prop_assert_eq!(back, cmds);
+    }
+
+    #[test]
+    fn status_round_trip(id in any::<u8>(), result in any::<u8>(), desc in "[ -~]{0,64}") {
+        let status = Status { command: id, result, description: desc };
+        let back = Status::from_command(&status.to_command()).unwrap();
+        prop_assert_eq!(back, status);
+    }
+
+    /// Arbitrary byte soup never panics the decoder (it may error).
+    #[test]
+    fn decoder_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message_body(bytes::Bytes::from(garbage.clone()));
+        let mut b = bytes::Bytes::from(garbage);
+        let _ = TraciValue::decode(&mut b);
+    }
+}

@@ -1,0 +1,137 @@
+//! CSV import/export for hourly volume feeds.
+//!
+//! The paper trained on South Carolina DoT hourly counts; users with access
+//! to a real detector export can feed it in here instead of the synthetic
+//! generator. The format is deliberately minimal: an optional header, then
+//! one row per hour as `hour_index,volume` (or just `volume`), starting on
+//! a Monday at 00:00 like every [`HourlyVolume`].
+
+use crate::volume::HourlyVolume;
+use std::io::{BufRead, BufReader, Read, Write};
+use velopt_common::{Error, Result};
+
+/// Reads an hourly volume feed from CSV.
+///
+/// Accepts `volume` or `hour,volume` rows; a first line that does not parse
+/// as numbers is treated as a header. When an hour column is present, rows
+/// must be consecutive from 0 (gaps would silently misalign the calendar
+/// features, so they are rejected).
+///
+/// Pass `&mut` references freely: any `R: Read` works
+/// (`read_csv(&mut file)?`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] on malformed rows, non-consecutive hour
+/// indices, or an empty file, and [`Error::Io`] on read failures.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_traffic::dataset::read_csv;
+///
+/// let csv = "hour,volume\n0,120.5\n1,98.0\n2,75.25\n";
+/// let feed = read_csv(csv.as_bytes())?;
+/// assert_eq!(feed.samples(), &[120.5, 98.0, 75.25]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_csv<R: Read>(reader: R) -> Result<HourlyVolume> {
+    let reader = BufReader::new(reader);
+    let mut samples = Vec::new();
+    let mut expected_hour = 0usize;
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line.map_err(Error::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Option<(Option<usize>, f64)> = match fields.as_slice() {
+            [v] => v.parse::<f64>().ok().map(|x| (None, x)),
+            [h, v] => match (h.parse::<usize>(), v.parse::<f64>()) {
+                (Ok(h), Ok(v)) => Some((Some(h), v)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match parsed {
+            Some((hour, volume)) => {
+                if let Some(h) = hour {
+                    if h != expected_hour {
+                        return Err(Error::invalid_input(format!(
+                            "line {}: hour {} out of order (expected {})",
+                            line_no + 1,
+                            h,
+                            expected_hour
+                        )));
+                    }
+                }
+                samples.push(volume);
+                expected_hour += 1;
+            }
+            None if line_no == 0 => { /* header */ }
+            None => {
+                return Err(Error::invalid_input(format!(
+                    "line {}: cannot parse '{trimmed}'",
+                    line_no + 1
+                )))
+            }
+        }
+    }
+    HourlyVolume::new(samples)
+}
+
+/// Writes a feed as `hour,volume` CSV with a header.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] on write failures.
+pub fn write_csv<W: Write>(feed: &HourlyVolume, mut writer: W) -> Result<()> {
+    writeln!(writer, "hour,volume").map_err(Error::from)?;
+    for (h, v) in feed.samples().iter().enumerate() {
+        writeln!(writer, "{h},{v}").map_err(Error::from)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::VolumeGenerator;
+
+    #[test]
+    fn round_trip_preserves_feed() {
+        let feed = VolumeGenerator::us25_station(5).generate_weeks(1).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&feed, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, feed);
+    }
+
+    #[test]
+    fn accepts_headerless_single_column() {
+        let feed = read_csv("10.0\n20.0\n30.0\n".as_bytes()).unwrap();
+        assert_eq!(feed.samples(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let feed = read_csv("volume\n10\n\n20\n".as_bytes()).unwrap();
+        assert_eq!(feed.len(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_order_hours() {
+        let err = read_csv("hour,volume\n0,10\n2,20\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        assert!(read_csv("volume\n10\nnot-a-number\n".as_bytes()).is_err());
+        assert!(read_csv("header only\n".as_bytes()).is_err()); // empty feed
+        assert!(read_csv("volume\n-5\n".as_bytes()).is_err()); // negative
+    }
+}

@@ -1,0 +1,470 @@
+//! A small, from-scratch dense neural network.
+//!
+//! This is the substrate for the stacked autoencoder of [`crate::Sae`]. It
+//! deliberately supports exactly what the SAE recipe needs — fully-connected
+//! layers with sigmoid or linear activations, mean-squared-error loss, and
+//! per-sample stochastic gradient descent with momentum — and nothing more.
+//!
+//! # Examples
+//!
+//! Learn the 2-input XOR function (a classic non-linearly-separable task):
+//!
+//! ```
+//! use velopt_common::rng::SplitMix64;
+//! use velopt_traffic::nn::{Activation, Dense, Network, SgdConfig};
+//!
+//! let mut rng = SplitMix64::new(1);
+//! let mut net = Network::new(vec![
+//!     Dense::random(2, 4, Activation::Sigmoid, &mut rng),
+//!     Dense::random(4, 1, Activation::Sigmoid, &mut rng),
+//! ]);
+//! let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+//! let ys = [[0.0], [1.0], [1.0], [0.0]];
+//! let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+//! let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+//! let cfg = SgdConfig { epochs: 4000, learning_rate: 0.9, momentum: 0.9 };
+//! net.train(&inputs, &targets, &cfg, &mut rng).unwrap();
+//! assert!(net.forward(&[0.0, 1.0])[0] > 0.8);
+//! assert!(net.forward(&[1.0, 1.0])[0] < 0.2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use velopt_common::rng::SplitMix64;
+use velopt_common::{Error, Result};
+
+/// Layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid, used for all hidden (encoder) layers.
+    Sigmoid,
+    /// Identity, used for regression outputs and autoencoder decoders.
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the activation *output* `y`.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// A fully-connected layer `y = act(W·x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Creates a layer with small random weights (uniform in ±1/√in_dim, the
+    /// classic "Xavier-ish" range that keeps sigmoids out of saturation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn random(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let scale = 1.0 / (in_dim as f64).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.uniform(-scale, scale))
+            .collect();
+        let biases = vec![0.0; out_dim];
+        Self {
+            in_dim,
+            out_dim,
+            weights,
+            biases,
+            activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward pass for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.biases[o];
+            out.push(self.activation.apply(z));
+        }
+        out
+    }
+}
+
+/// SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Step size.
+    pub learning_rate: f64,
+    /// Classical momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 50,
+            learning_rate: 0.05,
+            momentum: 0.9,
+        }
+    }
+}
+
+/// A feed-forward stack of [`Dense`] layers trained with MSE loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Dense>,
+    velocity_w: Vec<Vec<f64>>,
+    velocity_b: Vec<Vec<f64>>,
+}
+
+impl Network {
+    /// Builds a network from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer dimensions do not chain or `layers` is
+    /// empty.
+    pub fn new(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim, w[1].in_dim,
+                "layer dimensions must chain: {} -> {}",
+                w[0].out_dim, w[1].in_dim
+            );
+        }
+        let velocity_w = layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
+        let velocity_b = layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        Self {
+            layers,
+            velocity_w,
+            velocity_b,
+        }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Consumes the network and returns its layers (used to harvest
+    /// pre-trained encoder layers).
+    pub fn into_layers(self) -> Vec<Dense> {
+        self.layers
+    }
+
+    /// Input dimension of the first layer.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension of the last layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Mean squared error over a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the dataset is empty or ragged.
+    pub fn mse(&self, inputs: &[&[f64]], targets: &[&[f64]]) -> Result<f64> {
+        validate_dataset(inputs, targets, self.in_dim(), self.out_dim())?;
+        let mut total = 0.0;
+        for (x, t) in inputs.iter().zip(targets) {
+            let y = self.forward(x);
+            total += y
+                .iter()
+                .zip(*t)
+                .map(|(yi, ti)| (yi - ti).powi(2))
+                .sum::<f64>();
+        }
+        Ok(total / inputs.len() as f64)
+    }
+
+    /// Trains the network with per-sample SGD + momentum, shuffling the
+    /// sample order every epoch.
+    ///
+    /// Returns the final training MSE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on an empty/ragged dataset and
+    /// [`Error::Numeric`] if the loss diverges to a non-finite value.
+    pub fn train(
+        &mut self,
+        inputs: &[&[f64]],
+        targets: &[&[f64]],
+        cfg: &SgdConfig,
+        rng: &mut SplitMix64,
+    ) -> Result<f64> {
+        validate_dataset(inputs, targets, self.in_dim(), self.out_dim())?;
+        let n = inputs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..cfg.epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                self.step(inputs[idx], targets[idx], cfg);
+            }
+        }
+        let mse = self.mse(inputs, targets)?;
+        if !mse.is_finite() {
+            return Err(Error::numeric("training diverged to non-finite loss"));
+        }
+        Ok(mse)
+    }
+
+    /// One SGD update on a single sample.
+    fn step(&mut self, x: &[f64], target: &[f64], cfg: &SgdConfig) {
+        // Forward pass, caching activations per layer (including the input).
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("nonempty"));
+            activations.push(next);
+        }
+
+        // Backward pass: delta = dL/dz for each layer, starting at the output.
+        let output = activations.last().expect("nonempty");
+        let last = self.layers.len() - 1;
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .map(|(y, t)| {
+                (y - t) * self.layers[last].activation.derivative_from_output(*y)
+            })
+            .collect();
+
+        for l in (0..self.layers.len()).rev() {
+            let input = &activations[l];
+            // Pre-compute the delta to propagate before mutating weights.
+            let prev_delta: Option<Vec<f64>> = if l > 0 {
+                let layer = &self.layers[l];
+                let mut pd = vec![0.0; layer.in_dim];
+                for o in 0..layer.out_dim {
+                    let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (i, w) in row.iter().enumerate() {
+                        pd[i] += w * delta[o];
+                    }
+                }
+                let act = self.layers[l - 1].activation;
+                for (i, d) in pd.iter_mut().enumerate() {
+                    *d *= act.derivative_from_output(activations[l][i]);
+                }
+                Some(pd)
+            } else {
+                None
+            };
+
+            // Momentum update for weights and biases.
+            let layer = &mut self.layers[l];
+            let vw = &mut self.velocity_w[l];
+            let vb = &mut self.velocity_b[l];
+            for o in 0..layer.out_dim {
+                for i in 0..layer.in_dim {
+                    let g = delta[o] * input[i];
+                    let idx = o * layer.in_dim + i;
+                    vw[idx] = cfg.momentum * vw[idx] - cfg.learning_rate * g;
+                    layer.weights[idx] += vw[idx];
+                }
+                vb[o] = cfg.momentum * vb[o] - cfg.learning_rate * delta[o];
+                layer.biases[o] += vb[o];
+            }
+
+            if let Some(pd) = prev_delta {
+                delta = pd;
+            }
+        }
+    }
+}
+
+fn validate_dataset(
+    inputs: &[&[f64]],
+    targets: &[&[f64]],
+    in_dim: usize,
+    out_dim: usize,
+) -> Result<()> {
+    if inputs.is_empty() || inputs.len() != targets.len() {
+        return Err(Error::invalid_input(format!(
+            "dataset must be non-empty and paired: {} inputs vs {} targets",
+            inputs.len(),
+            targets.len()
+        )));
+    }
+    if inputs.iter().any(|x| x.len() != in_dim) {
+        return Err(Error::invalid_input("input dimension mismatch"));
+    }
+    if targets.iter().any(|t| t.len() != out_dim) {
+        return Err(Error::invalid_input("target dimension mismatch"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations() {
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+        assert_eq!(Activation::Linear.apply(-3.0), -3.0);
+        assert_eq!(Activation::Sigmoid.derivative_from_output(0.5), 0.25);
+        assert_eq!(Activation::Linear.derivative_from_output(123.0), 1.0);
+    }
+
+    #[test]
+    fn dense_forward_known_weights() {
+        let mut rng = SplitMix64::new(0);
+        let mut layer = Dense::random(2, 1, Activation::Linear, &mut rng);
+        layer.weights = vec![2.0, -1.0];
+        layer.biases = vec![0.5];
+        assert_eq!(layer.forward(&[3.0, 4.0]), vec![2.0 * 3.0 - 4.0 + 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn dense_forward_rejects_wrong_dim() {
+        let mut rng = SplitMix64::new(0);
+        let layer = Dense::random(3, 1, Activation::Linear, &mut rng);
+        layer.forward(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer dimensions must chain")]
+    fn network_rejects_mismatched_layers() {
+        let mut rng = SplitMix64::new(0);
+        Network::new(vec![
+            Dense::random(2, 3, Activation::Sigmoid, &mut rng),
+            Dense::random(4, 1, Activation::Linear, &mut rng),
+        ]);
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 2x1 - x2 + 1 should be learnable exactly by a linear layer.
+        let mut rng = SplitMix64::new(42);
+        let mut net = Network::new(vec![Dense::random(2, 1, Activation::Linear, &mut rng)]);
+        let xs: Vec<[f64; 2]> = (0..50)
+            .map(|_| [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)])
+            .collect();
+        let ys: Vec<[f64; 1]> = xs.iter().map(|x| [2.0 * x[0] - x[1] + 1.0]).collect();
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let cfg = SgdConfig {
+            epochs: 400,
+            learning_rate: 0.05,
+            momentum: 0.9,
+        };
+        let mse = net.train(&inputs, &targets, &cfg, &mut rng).unwrap();
+        assert!(mse < 1e-6, "linear fit should be near-exact, mse={mse}");
+    }
+
+    #[test]
+    fn training_reduces_loss_on_nonlinear_target() {
+        let mut rng = SplitMix64::new(7);
+        let mut net = Network::new(vec![
+            Dense::random(1, 6, Activation::Sigmoid, &mut rng),
+            Dense::random(6, 1, Activation::Linear, &mut rng),
+        ]);
+        let xs: Vec<[f64; 1]> = (0..40).map(|i| [i as f64 / 40.0]).collect();
+        let ys: Vec<[f64; 1]> = xs
+            .iter()
+            .map(|x| [(std::f64::consts::TAU * x[0]).sin() * 0.5])
+            .collect();
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let before = net.mse(&inputs, &targets).unwrap();
+        let cfg = SgdConfig {
+            epochs: 300,
+            learning_rate: 0.1,
+            momentum: 0.9,
+        };
+        let after = net.train(&inputs, &targets, &cfg, &mut rng).unwrap();
+        assert!(after < before * 0.2, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn dataset_validation() {
+        let mut rng = SplitMix64::new(0);
+        let mut net = Network::new(vec![Dense::random(2, 1, Activation::Linear, &mut rng)]);
+        let cfg = SgdConfig::default();
+        let x: &[f64] = &[1.0, 2.0];
+        let t: &[f64] = &[1.0];
+        assert!(net.train(&[], &[], &cfg, &mut rng).is_err());
+        assert!(net.train(&[x], &[], &cfg, &mut rng).is_err());
+        let bad_x: &[f64] = &[1.0];
+        assert!(net.train(&[bad_x], &[t], &cfg, &mut rng).is_err());
+        let bad_t: &[f64] = &[1.0, 2.0];
+        assert!(net.train(&[x], &[bad_t], &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let build = || {
+            let mut rng = SplitMix64::new(5);
+            let mut net = Network::new(vec![Dense::random(1, 3, Activation::Sigmoid, &mut rng)
+                ]);
+            let xs: Vec<[f64; 1]> = (0..10).map(|i| [i as f64 / 10.0]).collect();
+            let ys: Vec<[f64; 3]> = xs.iter().map(|x| [x[0], x[0] * 0.5, 0.2]).collect();
+            let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+            let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+            net.train(&inputs, &targets, &SgdConfig::default(), &mut rng)
+                .unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,260 @@
+//! Stacked autoencoder: greedy layer-wise pretraining + supervised
+//! fine-tuning (Huang et al. [10], as used by the paper in §II-B-1).
+//!
+//! The recipe:
+//!
+//! 1. For each hidden layer, train a one-hidden-layer autoencoder
+//!    (sigmoid encoder, linear decoder) to reconstruct its *input*
+//!    representation; keep the encoder, discard the decoder.
+//! 2. Feed the training set through the encoder to obtain the next layer's
+//!    input representation and repeat.
+//! 3. Stack the pre-trained encoders, append a linear regression output
+//!    layer, and fine-tune the whole network on the supervised target with
+//!    backpropagation.
+
+use crate::nn::{Activation, Dense, Network, SgdConfig};
+use serde::{Deserialize, Serialize};
+use velopt_common::rng::SplitMix64;
+use velopt_common::{Error, Result};
+
+/// Hyper-parameters for [`Sae::train`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaeConfig {
+    /// Sizes of the hidden (encoder) layers, e.g. `[24, 12]`.
+    pub hidden_layers: Vec<usize>,
+    /// SGD settings for each autoencoder pretraining stage.
+    pub pretrain: SgdConfig,
+    /// SGD settings for supervised fine-tuning.
+    pub finetune: SgdConfig,
+    /// Seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for SaeConfig {
+    fn default() -> Self {
+        Self {
+            hidden_layers: vec![24, 12],
+            pretrain: SgdConfig {
+                epochs: 20,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+            finetune: SgdConfig {
+                epochs: 200,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+            seed: 0x5AE,
+        }
+    }
+}
+
+/// A trained stacked autoencoder regressor.
+///
+/// # Examples
+///
+/// Learn `y = mean(x)` from 8-dimensional inputs:
+///
+/// ```
+/// use velopt_common::rng::SplitMix64;
+/// use velopt_traffic::{Sae, SaeConfig};
+///
+/// let mut rng = SplitMix64::new(3);
+/// let xs: Vec<Vec<f64>> = (0..80)
+///     .map(|_| (0..8).map(|_| rng.uniform(0.0, 1.0)).collect())
+///     .collect();
+/// let ys: Vec<Vec<f64>> =
+///     xs.iter().map(|x| vec![x.iter().sum::<f64>() / 8.0]).collect();
+/// let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+/// let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+///
+/// let cfg = SaeConfig { hidden_layers: vec![6], ..SaeConfig::default() };
+/// let sae = Sae::train(&inputs, &targets, &cfg).unwrap();
+/// let pred = sae.predict(&inputs[0]);
+/// assert!((pred[0] - targets[0][0]).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sae {
+    network: Network,
+    pretrain_losses: Vec<f64>,
+    finetune_loss: f64,
+}
+
+impl Sae {
+    /// Pretrains and fine-tunes an SAE on `(inputs, targets)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the dataset is empty/ragged or no
+    /// hidden layer is configured, and [`Error::Numeric`] if training
+    /// diverges.
+    pub fn train(inputs: &[&[f64]], targets: &[&[f64]], cfg: &SaeConfig) -> Result<Self> {
+        if cfg.hidden_layers.is_empty() {
+            return Err(Error::invalid_input("SAE needs at least one hidden layer"));
+        }
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(Error::invalid_input("dataset must be non-empty and paired"));
+        }
+        let in_dim = inputs[0].len();
+        let out_dim = targets[0].len();
+        if in_dim == 0 || out_dim == 0 {
+            return Err(Error::invalid_input("zero-dimensional samples"));
+        }
+
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut encoders: Vec<Dense> = Vec::with_capacity(cfg.hidden_layers.len());
+        let mut pretrain_losses = Vec::with_capacity(cfg.hidden_layers.len());
+
+        // Greedy layer-wise pretraining.
+        let mut representation: Vec<Vec<f64>> = inputs.iter().map(|x| x.to_vec()).collect();
+        let mut cur_dim = in_dim;
+        for &hidden in &cfg.hidden_layers {
+            if hidden == 0 {
+                return Err(Error::invalid_input("hidden layer size must be positive"));
+            }
+            let mut auto = Network::new(vec![
+                Dense::random(cur_dim, hidden, Activation::Sigmoid, &mut rng),
+                Dense::random(hidden, cur_dim, Activation::Linear, &mut rng),
+            ]);
+            let refs: Vec<&[f64]> = representation.iter().map(|r| r.as_slice()).collect();
+            let loss = auto.train(&refs, &refs, &cfg.pretrain, &mut rng)?;
+            pretrain_losses.push(loss);
+            let mut layers = auto.into_layers();
+            let decoder = layers.pop().expect("autoencoder has two layers");
+            drop(decoder);
+            let encoder = layers.pop().expect("autoencoder has two layers");
+            representation = representation
+                .iter()
+                .map(|r| encoder.forward(r))
+                .collect();
+            encoders.push(encoder);
+            cur_dim = hidden;
+        }
+
+        // Stack encoders + linear head, fine-tune end to end.
+        let mut layers = encoders;
+        layers.push(Dense::random(cur_dim, out_dim, Activation::Linear, &mut rng));
+        let mut network = Network::new(layers);
+        let finetune_loss = network.train(inputs, targets, &cfg.finetune, &mut rng)?;
+
+        Ok(Self {
+            network,
+            pretrain_losses,
+            finetune_loss,
+        })
+    }
+
+    /// Runs the regressor on one input.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.network.forward(x)
+    }
+
+    /// Reconstruction MSE of each pretraining stage.
+    pub fn pretrain_losses(&self) -> &[f64] {
+        &self.pretrain_losses
+    }
+
+    /// Final supervised training MSE.
+    pub fn finetune_loss(&self) -> f64 {
+        self.finetune_loss
+    }
+
+    /// The underlying network (encoders + linear head).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = SplitMix64::new(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..6).map(|_| rng.uniform(0.0, 1.0)).collect())
+            .collect();
+        // A smooth nonlinear target.
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![0.5 * x[0] + 0.3 * x[1] * x[2] + 0.1])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let (xs, ys) = toy_dataset(10, 0);
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let no_hidden = SaeConfig {
+            hidden_layers: vec![],
+            ..SaeConfig::default()
+        };
+        assert!(Sae::train(&inputs, &targets, &no_hidden).is_err());
+        let zero_hidden = SaeConfig {
+            hidden_layers: vec![0],
+            ..SaeConfig::default()
+        };
+        assert!(Sae::train(&inputs, &targets, &zero_hidden).is_err());
+        assert!(Sae::train(&[], &[], &SaeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pretraining_produces_one_loss_per_layer() {
+        let (xs, ys) = toy_dataset(40, 1);
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let cfg = SaeConfig {
+            hidden_layers: vec![5, 3],
+            ..SaeConfig::default()
+        };
+        let sae = Sae::train(&inputs, &targets, &cfg).unwrap();
+        assert_eq!(sae.pretrain_losses().len(), 2);
+        assert_eq!(sae.network().layers().len(), 3); // 2 encoders + head
+        assert!(sae.finetune_loss().is_finite());
+    }
+
+    #[test]
+    fn fits_smooth_target() {
+        let (xs, ys) = toy_dataset(120, 2);
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let cfg = SaeConfig {
+            hidden_layers: vec![8],
+            finetune: SgdConfig {
+                epochs: 150,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+            ..SaeConfig::default()
+        };
+        let sae = Sae::train(&inputs, &targets, &cfg).unwrap();
+        assert!(
+            sae.finetune_loss() < 1e-3,
+            "loss too high: {}",
+            sae.finetune_loss()
+        );
+        // Generalizes to unseen points from the same distribution.
+        let (xs2, ys2) = toy_dataset(20, 99);
+        let mut worst: f64 = 0.0;
+        for (x, y) in xs2.iter().zip(&ys2) {
+            worst = worst.max((sae.predict(x)[0] - y[0]).abs());
+        }
+        assert!(worst < 0.15, "worst holdout error {worst}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = toy_dataset(30, 3);
+        let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();
+        let targets: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        let cfg = SaeConfig {
+            hidden_layers: vec![4],
+            ..SaeConfig::default()
+        };
+        let a = Sae::train(&inputs, &targets, &cfg).unwrap();
+        let b = Sae::train(&inputs, &targets, &cfg).unwrap();
+        assert_eq!(a.predict(&xs[0]), b.predict(&xs[0]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the traffic substrate.
+
+use proptest::prelude::*;
+use velopt_traffic::dataset::{read_csv, write_csv};
+use velopt_traffic::{HourlyVolume, VolumeGenerator, HOURS_PER_WEEK};
+
+proptest! {
+    /// Generated feeds are always non-negative, finite, and exactly
+    /// `weeks * 168` hours long, for any seed and noise level.
+    #[test]
+    fn generated_feeds_are_wellformed(
+        seed in any::<u64>(),
+        weeks in 1usize..5,
+        noise in 0.0f64..0.5,
+    ) {
+        let feed = VolumeGenerator::us25_station(seed)
+            .noise_fraction(noise)
+            .generate_weeks(weeks)
+            .unwrap();
+        prop_assert_eq!(feed.len(), weeks * HOURS_PER_WEEK);
+        prop_assert!(feed.samples().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// Weekday commuter peaks survive any reasonable noise level on
+    /// average: the 17:00 mean across weekdays dominates the 03:00 mean.
+    #[test]
+    fn peaks_survive_noise(seed in any::<u64>(), noise in 0.0f64..0.3) {
+        let feed = VolumeGenerator::us25_station(seed)
+            .noise_fraction(noise)
+            .generate_weeks(4)
+            .unwrap();
+        let mut peak = 0.0;
+        let mut night = 0.0;
+        let mut n = 0.0;
+        for day in 0..28 {
+            if day % 7 >= 5 {
+                continue; // weekends excluded
+            }
+            peak += feed.at(day, 17).unwrap();
+            night += feed.at(day, 3).unwrap();
+            n += 1.0;
+        }
+        prop_assert!(peak / n > 2.0 * night / n);
+    }
+
+    /// CSV round trip is lossless for arbitrary valid feeds.
+    #[test]
+    fn csv_round_trip(samples in prop::collection::vec(0.0f64..2000.0, 1..200)) {
+        let feed = HourlyVolume::new(samples).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&feed, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, feed);
+    }
+
+    /// Calendar helpers are consistent with each other.
+    #[test]
+    fn calendar_helpers_consistent(hour in 0usize..100_000) {
+        let dow = HourlyVolume::day_of_week(hour);
+        let hod = HourlyVolume::hour_of_day(hour);
+        prop_assert!(dow < 7);
+        prop_assert!(hod < 24);
+        // Reconstructing the hour modulo a week agrees.
+        let week_hour = hour % HOURS_PER_WEEK;
+        prop_assert_eq!(week_hour, dow * 24 + hod);
+    }
+
+    /// Splitting and re-concatenating a feed is the identity.
+    #[test]
+    fn split_concat_identity(weeks in 2usize..6, cut in 1usize..5) {
+        prop_assume!(cut < weeks);
+        let feed = VolumeGenerator::us25_station(9).generate_weeks(weeks).unwrap();
+        let (a, b) = feed.split_at_week(cut).unwrap();
+        let mut joined = a.samples().to_vec();
+        joined.extend_from_slice(b.samples());
+        prop_assert_eq!(joined, feed.samples().to_vec());
+    }
+}

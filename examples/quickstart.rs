@@ -1,0 +1,63 @@
+//! Quickstart: optimize an EV's velocity profile over the paper's US-25
+//! corridor and print the plan.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use velopt::optimizer::analysis::ProfileMetrics;
+use velopt::optimizer::pipeline::{SystemConfig, VelocityOptimizationSystem};
+use velopt::Result;
+use velopt_common::units::Seconds;
+
+fn main() -> Result<()> {
+    // The paper's setup: a 4.2 km section of US-25 with one stop sign
+    // (490 m) and two 30s/30s traffic lights (1800 m, 3460 m); Chevrolet
+    // Spark EV; 153 veh/h measured arrival rate.
+    let system = VelocityOptimizationSystem::new(SystemConfig::us25())?;
+
+    println!("Queue-free windows (T_q) per light:");
+    for constraint in system.queue_windows()? {
+        let windows: Vec<String> = constraint
+            .windows
+            .iter()
+            .take(4)
+            .map(|w| format!("[{:.1}s, {:.1}s)", w.start.value(), w.end.value()))
+            .collect();
+        println!("  light @ {:>6}: {}", constraint.position, windows.join(" "));
+    }
+
+    let profile = system.optimize()?;
+    println!(
+        "\noptimized trip: {:.1} s, {:.1} mAh, {} window violations",
+        profile.trip_time.value(),
+        profile.total_energy.to_milliamp_hours(),
+        profile.window_violations
+    );
+
+    println!("\nstation profile (every 200 m):");
+    for (i, (s, v)) in profile.stations.iter().zip(&profile.speeds).enumerate() {
+        if i % 10 == 0 {
+            println!(
+                "  {:>7} {:>6.1} km/h  t={:>6.1}s",
+                s.to_string(),
+                v.to_kilometers_per_hour().value(),
+                profile.times[i].value()
+            );
+        }
+    }
+
+    // Full metrics via the analysis module.
+    let series = profile.to_time_series(Seconds::new(0.1))?;
+    let metrics = ProfileMetrics::from_speed_series(
+        "proposed",
+        &series,
+        &system.config().road,
+        &system.energy_model(),
+    )?;
+    println!(
+        "\nmetrics: {} stops, max decel {:.2} m/s^2, distance {:.0}",
+        metrics.stops, metrics.max_decel, metrics.distance
+    );
+    Ok(())
+}

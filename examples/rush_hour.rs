@@ -1,0 +1,58 @@
+//! Sweep the arrival rate from free-flow to saturation and watch the
+//! queue-free windows shrink — and the optimizer adapt.
+//!
+//! This is the scenario the paper's introduction motivates: traffic volume
+//! is "highly unpredictable and dependent on different times", so the same
+//! corridor needs different plans at 6 AM and 5 PM.
+//!
+//! ```sh
+//! cargo run --release --example rush_hour
+//! ```
+
+use velopt::optimizer::pipeline::{ArrivalRates, SystemConfig, VelocityOptimizationSystem};
+use velopt::Result;
+use velopt_common::units::VehiclesPerHour;
+
+fn main() -> Result<()> {
+    println!("arrival  T_q/light  windows(1st light)           trip    energy  viol");
+    println!("(veh/h)  (s/cycle)                               (s)     (mAh)");
+    for rate in [50.0, 153.0, 400.0, 800.0, 1200.0, 2000.0] {
+        let mut config = SystemConfig::us25();
+        config.rates = ArrivalRates::Fixed(vec![
+            VehiclesPerHour::new(rate),
+            VehiclesPerHour::new(rate),
+        ]);
+        let system = VelocityOptimizationSystem::new(config)?;
+        let windows = system.queue_windows()?;
+
+        // Average queue-free seconds per 60 s cycle at the first light.
+        let total: f64 = windows[0].windows.iter().map(|w| w.duration().value()).sum();
+        let cycles = system.config().dp.horizon.value() / 60.0;
+        let per_cycle = total / cycles;
+
+        let first: Vec<String> = windows[0]
+            .windows
+            .iter()
+            .take(2)
+            .map(|w| format!("[{:.1},{:.1})", w.start.value(), w.end.value()))
+            .collect();
+
+        match system.optimize() {
+            Ok(profile) => println!(
+                "{rate:>7.0}  {per_cycle:>9.1}  {:<28} {:>6.1}  {:>7.1}  {:>4}",
+                first.join(" "),
+                profile.trip_time.value(),
+                profile.total_energy.to_milliamp_hours(),
+                profile.window_violations
+            ),
+            Err(e) => println!("{rate:>7.0}  {per_cycle:>9.1}  {:<28} {e}", first.join(" ")),
+        }
+    }
+    println!(
+        "\nAs V_in grows the queue needs longer to discharge, the usable\n\
+         green shrinks, and past saturation (capacity ≈ {:.0} veh/h) no\n\
+         queue-free instant remains: window violations become unavoidable.",
+        3600.0 * (40.0 / 3.6) / (8.5 * 0.7636)
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Creates placeholder lib.rs for crates that don't have one yet, so the
+# workspace builds while crates are being implemented one at a time.
+for f in crates/road crates/traffic crates/queue crates/microsim crates/traci crates/core crates/bench .; do
+  if [ ! -f "$f/src/lib.rs" ]; then echo '//! placeholder' > "$f/src/lib.rs"; fi
+done

@@ -1,0 +1,120 @@
+//! The Fig. 5 experiment: validate the VM-aware QL model against the
+//! microscopic simulator's measured queues, and show it beats the
+//! instant-discharge baseline of [9].
+
+use velopt_common::stats;
+use velopt_common::units::{Meters, Seconds, VehiclesPerHour};
+use velopt_microsim::{SimConfig, Simulation};
+use velopt_queue::{BaselineQueueModel, QueueModel, QueueParams};
+use velopt_road::{Road, RoadBuilder};
+
+/// Builds an isolated signalized approach matching the probe parameters and
+/// measures the average queue trajectory over many cycles.
+fn measured_queue(arrival: f64, cycles_to_avg: usize) -> Vec<f64> {
+    let road = RoadBuilder::new(Meters::new(2000.0))
+        .default_limits(
+            velopt_common::units::KilometersPerHour::new(40.0).to_meters_per_second(),
+            velopt_common::units::KilometersPerHour::new(70.0).to_meters_per_second(),
+        )
+        .traffic_light(
+            Meters::new(1500.0),
+            Seconds::new(30.0),
+            Seconds::new(30.0),
+            Seconds::ZERO,
+        )
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(road, SimConfig::default()).unwrap();
+    sim.set_arrival_rate(VehiclesPerHour::new(arrival));
+    // Warm up.
+    sim.run_until(Seconds::new(300.0)).unwrap();
+    // Sample the queue each second, folding cycles together (cycle = 60 s,
+    // offset 0: red at [0, 30), green at [30, 60)).
+    let mut folded = vec![0.0f64; 60];
+    let mut counts = vec![0usize; 60];
+    for c in 0..cycles_to_avg {
+        for s in 0..60 {
+            let t = 300.0 + (c * 60 + s) as f64;
+            sim.run_until(Seconds::new(t)).unwrap();
+            folded[s] += sim.queue_at_light(0) as f64;
+            counts[s] += 1;
+        }
+    }
+    folded
+        .iter()
+        .zip(&counts)
+        .map(|(sum, n)| sum / *n as f64)
+        .collect()
+}
+
+#[test]
+fn fig5b_our_ql_model_tracks_simulated_queue_better_than_baseline() {
+    let arrival = 700.0;
+    let real = measured_queue(arrival, 12);
+
+    let params = QueueParams {
+        arrival_rate: VehiclesPerHour::new(arrival),
+        straight_ratio: 1.0, // the probe road has no turners
+        ..QueueParams::us25_probe()
+    };
+    let ours = QueueModel::new(params).unwrap();
+    let baseline = BaselineQueueModel::new(params).unwrap();
+
+    let ours_pred: Vec<f64> = (0..60)
+        .map(|s| ours.queue_vehicles(Seconds::new(s as f64)))
+        .collect();
+    let base_pred: Vec<f64> = (0..60)
+        .map(|s| baseline.queue_vehicles(Seconds::new(s as f64)))
+        .collect();
+
+    let rmse_ours = stats::rmse(&ours_pred, &real).unwrap();
+    let rmse_base = stats::rmse(&base_pred, &real).unwrap();
+    assert!(
+        rmse_ours < rmse_base,
+        "VM-aware QL model (rmse {rmse_ours:.2}) must beat the instant-\
+         discharge baseline (rmse {rmse_base:.2}); real peak {:.1}",
+        real.iter().cloned().fold(0.0, f64::max),
+    );
+    // And it must be a genuinely useful fit: error below half of the peak.
+    let peak = real.iter().cloned().fold(0.0, f64::max);
+    assert!(rmse_ours < 0.5 * peak, "rmse {rmse_ours:.2} vs peak {peak:.1}");
+}
+
+#[test]
+fn fig5a_leaving_rate_ramps_then_plateaus_at_arrival_rate() {
+    let model = QueueModel::new(QueueParams::us25_probe()).unwrap();
+    // Red phase: nothing leaves.
+    assert_eq!(model.leaving_rate(Seconds::new(15.0)).value(), 0.0);
+    // Early green: the VM ramp is below saturation.
+    let early = model.leaving_rate(Seconds::new(30.5));
+    let later = model.leaving_rate(Seconds::new(32.0));
+    assert!(early < later);
+    // After the clear instant the observable rate equals V_in — the plateau
+    // both curves of Fig. 5a share.
+    let clear = model.clear_time().unwrap();
+    assert_eq!(
+        model.leaving_rate(clear + Seconds::new(1.0)),
+        VehiclesPerHour::new(153.0)
+    );
+    // The baseline jumps to capacity instantly (no ramp) — that is the
+    // difference Fig. 5a draws.
+    let baseline = BaselineQueueModel::new(QueueParams::us25_probe()).unwrap();
+    let b_early = baseline.leaving_rate(Seconds::new(30.5));
+    assert!(b_early.per_second() > early.per_second());
+}
+
+#[test]
+fn queue_probe_matches_paper_configuration() {
+    // d̄ = 8.5 m, γ = 0.7636, V_in = 153 veh/h, t_red = t_green = 30 s.
+    let p = QueueParams::us25_probe();
+    assert_eq!(p.spacing, Meters::new(8.5));
+    assert!((p.straight_ratio - 0.7636).abs() < 1e-12);
+    assert_eq!(p.arrival_rate, VehiclesPerHour::new(153.0));
+    assert_eq!(p.red, Seconds::new(30.0));
+    assert_eq!(p.green, Seconds::new(30.0));
+    // And the US-25 road uses the same signal timing.
+    for light in Road::us25().traffic_lights() {
+        assert_eq!(light.red(), p.red);
+        assert_eq!(light.green(), p.green);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's Fig. 4 experiment end-to-end: 13 weeks of training data, one
+//! week of testing, MRE below 10% every day.
+
+use velopt_traffic::{SaePredictor, SaePredictorConfig, VolumeGenerator};
+
+#[test]
+fn sae_beats_paper_accuracy_bar_on_13_week_training() {
+    // §III-A-2: "three-month long traffic data ... to train [the] SAE model
+    // and one-week long traffic data in June for performance verification".
+    let feed = VolumeGenerator::us25_station(2016).generate_weeks(14).unwrap();
+    let (train, test) = feed.split_at_week(13).unwrap();
+    let predictor = SaePredictor::train(&train, &SaePredictorConfig::default()).unwrap();
+    let report = predictor.evaluate(&test).unwrap();
+
+    assert_eq!(report.per_day.len(), 7, "Mon..Sun all evaluated");
+    for day in &report.per_day {
+        assert!(
+            day.mre < 0.10,
+            "day {} MRE {:.3} breaches the paper's 10% bar",
+            day.day_of_week,
+            day.mre
+        );
+        assert!(day.rmse > 0.0);
+    }
+    // RMSE "relatively small compared with real traffic volume data": under
+    // 10% of the peak volume.
+    let peak = test.max_volume();
+    assert!(
+        report.overall.rmse < 0.1 * peak,
+        "rmse {:.1} vs peak {peak:.1}",
+        report.overall.rmse
+    );
+}
+
+#[test]
+fn predictor_feeds_the_planner() {
+    use velopt::optimizer::pipeline::{SystemConfig, VelocityOptimizationSystem};
+
+    let feed = VolumeGenerator::us25_station(7).generate_weeks(5).unwrap();
+    let (train, test) = feed.split_at_week(4).unwrap();
+    let predictor = SaePredictor::train(&train, &SaePredictorConfig::default()).unwrap();
+
+    let mut system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+    let hour = 24 + 17; // Tuesday 5 PM
+    let history = &test.samples()[hour - predictor.lags()..hour];
+    system.predict_rates(&predictor, history, hour).unwrap();
+    // Rush-hour prediction should be well above the night floor.
+    assert!(system.arrival_rates()[0].value() > 150.0);
+    let profile = system.optimize().unwrap();
+    assert_eq!(profile.window_violations, 0);
+}
