@@ -39,7 +39,10 @@ fn main() {
     // ---- 1. Exact vs greedy time handling. -------------------------------
     println!("## time handling");
     let mut rows = Vec::new();
-    for (name, mode) in [("exact", TimeHandling::Exact), ("greedy", TimeHandling::Greedy)] {
+    for (name, mode) in [
+        ("exact", TimeHandling::Exact),
+        ("greedy", TimeHandling::Greedy),
+    ] {
         let opt = DpOptimizer::new(
             energy_model(),
             DpConfig {
@@ -134,7 +137,10 @@ fn main() {
     }
     print!(
         "{}",
-        tsv(&["dwell_s", "arrival_light1_s", "trip_s", "violations"], &rows)
+        tsv(
+            &["dwell_s", "arrival_light1_s", "trip_s", "violations"],
+            &rows
+        )
     );
     eprintln!(
         "# note: the light-1 arrival barely moves across the sweep — the\n\
@@ -162,8 +168,14 @@ fn main() {
     let zeta = seg.charge.value();
     let m = 1.0e6;
     println!("braking transition cost (paper-literal regen): {zeta:.6} Ah");
-    println!("multiplicative penalty M*zeta = {:.1} Ah (NEGATIVE: a reward!)", m * zeta);
-    println!("additive penalty zeta + M    = {:.1} Ah (a deterrent)", zeta + m);
+    println!(
+        "multiplicative penalty M*zeta = {:.1} Ah (NEGATIVE: a reward!)",
+        m * zeta
+    );
+    println!(
+        "additive penalty zeta + M    = {:.1} Ah (a deterrent)",
+        zeta + m
+    );
     eprintln!(
         "# Eq. 12's multiplicative form inverts for regenerative transitions;\n\
          # the additive form preserves its intent for all cost signs."

@@ -42,10 +42,11 @@ fn main() {
 
     // ---- Fig. 4: SAE accuracy. ------------------------------------------
     eprintln!("# training SAE (13 weeks)...");
-    let feed = VolumeGenerator::us25_station(2016).generate_weeks(14).expect("feed");
+    let feed = VolumeGenerator::us25_station(2016)
+        .generate_weeks(14)
+        .expect("feed");
     let (train, test) = feed.split_at_week(13).expect("cut");
-    let predictor =
-        SaePredictor::train(&train, &SaePredictorConfig::default()).expect("training");
+    let predictor = SaePredictor::train(&train, &SaePredictorConfig::default()).expect("training");
     let report = predictor.evaluate(&test).expect("evaluation");
     let worst = report.per_day.iter().map(|d| d.mre).fold(0.0f64, f64::max);
     row(
@@ -86,8 +87,7 @@ fn main() {
 
     // ---- Fig. 6: simulator-derived profiles. -----------------------------
     eprintln!("# optimizing and replaying through the simulator...");
-    let system =
-        VelocityOptimizationSystem::new(SystemConfig::us25_rush()).expect("preset valid");
+    let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush()).expect("preset valid");
     let ours_plan = system.optimize().expect("feasible");
     let base_plan = system.optimize_baseline().expect("feasible");
     let ours_sim = replay_through_traci(&ours_plan).expect("replay");
@@ -196,10 +196,10 @@ fn fig5b_rmse() -> (f64, f64) {
     let mut real = vec![0.0f64; 60];
     let cycles = 12;
     for c in 0..cycles {
-        for s in 0..60 {
+        for (s, bucket) in real.iter_mut().enumerate() {
             sim.run_until(Seconds::new(300.0 + (c * 60 + s) as f64))
                 .expect("time forward");
-            real[s] += sim.queue_at_light(0) as f64;
+            *bucket += sim.queue_at_light(0) as f64;
         }
     }
     for q in &mut real {

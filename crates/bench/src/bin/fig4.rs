@@ -33,7 +33,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        tsv(&["hour", "day_of_week", "volume_vph", "predicted_vph"], &rows)
+        tsv(
+            &["hour", "day_of_week", "volume_vph", "predicted_vph"],
+            &rows
+        )
     );
 
     // Fig. 4(b): MRE and RMSE per weekday.
@@ -57,11 +60,7 @@ fn main() {
         100.0 * report.overall.mre,
         report.overall.rmse
     );
-    let worst = report
-        .per_day
-        .iter()
-        .map(|d| d.mre)
-        .fold(0.0f64, f64::max);
+    let worst = report.per_day.iter().map(|d| d.mre).fold(0.0f64, f64::max);
     eprintln!(
         "# worst day MRE {:.1}% -> paper claim {}",
         100.0 * worst,

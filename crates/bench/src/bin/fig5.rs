@@ -30,10 +30,10 @@ fn measured_queue(params: &QueueParams, cycles: usize) -> Vec<f64> {
     let cycle = params.cycle().value() as usize;
     let mut folded = vec![0.0; cycle];
     for c in 0..cycles {
-        for s in 0..cycle {
+        for (s, bucket) in folded.iter_mut().enumerate() {
             sim.run_until(Seconds::new(300.0 + (c * cycle + s) as f64))
                 .expect("forward in time");
-            folded[s] += sim.queue_at_light(0) as f64;
+            *bucket += sim.queue_at_light(0) as f64;
         }
     }
     folded.iter().map(|q| q / cycles as f64).collect()
@@ -103,6 +103,10 @@ fn main() {
     eprintln!(
         "# queue RMSE vs real: ours {rmse_ours:.2} veh, current [9] {rmse_base:.2} veh -> \
          paper claim (ours more accurate) {}",
-        if rmse_ours < rmse_base { "HOLDS" } else { "VIOLATED" }
+        if rmse_ours < rmse_base {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -23,7 +23,9 @@ fn main() {
     let plan_base = baseline
         .to_time_series(Seconds::new(1.0))
         .expect("positive step");
-    let plan_ours = ours.to_time_series(Seconds::new(1.0)).expect("positive step");
+    let plan_ours = ours
+        .to_time_series(Seconds::new(1.0))
+        .expect("positive step");
     let sim_base = downsample_1hz(&derived_base.derived_speed).expect("long enough");
     let sim_ours = downsample_1hz(&derived_ours.derived_speed).expect("long enough");
 
@@ -97,6 +99,10 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     eprintln!(
         "# paper shape (Fig. 6a stop/hard-deceleration for the current DP, none for ours): {}",
-        if base_min < 0.6 * ours_min { "HOLDS" } else { "VIOLATED" }
+        if base_min < 0.6 * ours_min {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

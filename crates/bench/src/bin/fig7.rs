@@ -91,7 +91,11 @@ fn main() {
             eprintln!(
                 "# proposed saves {:+.1}% vs {name} (paper: {paper}%) -> {}",
                 100.0 * saving,
-                if saving > 0.0 { "HOLDS (direction)" } else { "VIOLATED" }
+                if saving > 0.0 {
+                    "HOLDS (direction)"
+                } else {
+                    "VIOLATED"
+                }
             );
         }
     }

@@ -41,12 +41,7 @@ fn main() {
         .map(|i| {
             let mut row = vec![col(i as f64 * step)];
             for (_, c) in &curves {
-                row.push(
-                    c.samples()
-                        .get(i)
-                        .map(|d| col(*d))
-                        .unwrap_or_default(),
-                );
+                row.push(c.samples().get(i).map(|d| col(*d)).unwrap_or_default());
             }
             row
         })
@@ -71,10 +66,18 @@ fn main() {
     let ratio = ours.trip.value() / fast.trip_time.value();
     eprintln!(
         "# proposed/fast trip ratio {ratio:.2} (paper: ~1.0) -> {}",
-        if (0.8..=1.25).contains(&ratio) { "HOLDS" } else { "VIOLATED" }
+        if (0.8..=1.25).contains(&ratio) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     eprintln!(
         "# proposed beats mild ({}) as in the paper",
-        if ours.trip.value() < mild.trip_time.value() { "yes" } else { "no" }
+        if ours.trip.value() < mild.trip_time.value() {
+            "yes"
+        } else {
+            "no"
+        }
     );
 }

@@ -160,8 +160,7 @@ mod tests {
     fn downsample_requires_duration() {
         let s = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(0.1), vec![0.0; 4]).unwrap();
         assert!(downsample_1hz(&s).is_err());
-        let s =
-            TimeSeries::from_samples(Seconds::ZERO, Seconds::new(0.5), vec![1.0; 9]).unwrap();
+        let s = TimeSeries::from_samples(Seconds::ZERO, Seconds::new(0.5), vec![1.0; 9]).unwrap();
         let d = downsample_1hz(&s).unwrap();
         assert_eq!(d.step(), Seconds::new(1.0));
     }

@@ -1,6 +1,8 @@
 //! The in-vehicle client side of the vehicular cloud.
 
-use crate::protocol::{decode_profile, read_frame, tags, write_frame, TripRequest};
+use crate::protocol::{
+    decode_profile, read_frame, tags, write_frame, BatchPlanRequest, BatchPlanResponse, TripRequest,
+};
 use std::net::{TcpStream, ToSocketAddrs};
 use velopt_common::{Error, Result};
 use velopt_core::dp::OptimizedProfile;
@@ -38,6 +40,45 @@ impl CloudClient {
             .ok_or_else(|| Error::protocol("server closed the connection"))?;
         match tag {
             tags::RESP_PROFILE => decode_profile(&mut payload),
+            tags::RESP_ERROR => Err(Error::protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(Error::protocol(format!("unexpected response tag {other}"))),
+        }
+    }
+
+    /// Uploads a whole batch of trips in one frame (the fleet-gateway
+    /// path) and waits for the per-trip results, in request order. A trip
+    /// the cloud could not plan comes back as an `Err` entry carrying the
+    /// server's message; it does not fail the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the server rejects the batch frame
+    /// itself or answers with a malformed or wrongly-sized response, and
+    /// [`Error::Io`] on transport failures.
+    pub fn plan_batch(
+        &mut self,
+        trips: &[TripRequest],
+    ) -> Result<Vec<std::result::Result<OptimizedProfile, String>>> {
+        let batch = BatchPlanRequest {
+            trips: trips.to_vec(),
+        };
+        write_frame(&mut self.stream, tags::REQ_BATCH, &batch.encode())?;
+        let (tag, mut payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        match tag {
+            tags::RESP_BATCH => {
+                let response = BatchPlanResponse::decode(&mut payload)?;
+                if response.results.len() != trips.len() {
+                    return Err(Error::protocol(format!(
+                        "batch answered {} of {} trips",
+                        response.results.len(),
+                        trips.len()
+                    )));
+                }
+                Ok(response.results)
+            }
             tags::RESP_ERROR => Err(Error::protocol(
                 String::from_utf8_lossy(&payload).into_owned(),
             )),
@@ -142,6 +183,55 @@ mod tests {
     }
 
     #[test]
+    fn batch_round_trip_matches_single_requests() {
+        let server = CloudServer::spawn(2).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let trips = [
+            TripRequest::us25_at(0.0),
+            TripRequest::us25_at(60.0),
+            TripRequest::us25_at(120.0),
+        ];
+        let singles: Vec<_> = trips.iter().map(|t| client.request(t).unwrap()).collect();
+        let batched = client.plan_batch(&trips).unwrap();
+        assert_eq!(batched.len(), trips.len());
+        for (single, result) in singles.iter().zip(&batched) {
+            assert_eq!(result.as_ref().unwrap(), single);
+        }
+        // Profiles over the wire carry their solver metrics.
+        assert!(batched[0].as_ref().unwrap().metrics.threads_used >= 1);
+        // The three singles warmed the cache; the whole batch hit it.
+        let (served, hits) = client.stats().unwrap();
+        assert_eq!(served, 6);
+        assert_eq!(hits, 3);
+        assert_eq!(server.stats().batches(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_with_bad_member_still_plans_the_rest() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let mut bad = TripRequest::us25_at(30.0);
+        bad.rates.pop();
+        let trips = [TripRequest::us25_at(0.0), bad, TripRequest::us25_at(60.0)];
+        let results = client.plan_batch(&trips).unwrap();
+        assert!(results[0].is_ok());
+        assert!(results[1].as_ref().unwrap_err().contains("rates"));
+        assert!(results[2].is_ok());
+        // The connection survives and keeps serving.
+        assert!(client.request(&TripRequest::us25_at(0.0)).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_is_answered() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        assert!(client.plan_batch(&[]).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
     fn baseline_requests_use_green_windows() {
         let server = CloudServer::spawn(1).unwrap();
         let mut client = CloudClient::connect(server.addr()).unwrap();
@@ -149,7 +239,10 @@ mod tests {
         trip.queue_aware = false;
         let baseline = client.request(&trip).unwrap();
         let ours = client.request(&TripRequest::us25_at(0.0)).unwrap();
-        assert_ne!(baseline, ours, "the two methods should differ under rush demand");
+        assert_ne!(
+            baseline, ours,
+            "the two methods should differ under rush demand"
+        );
         server.shutdown();
     }
 }

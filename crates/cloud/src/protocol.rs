@@ -7,11 +7,10 @@
 //! wire is stable, compact, and independent of any serialization framework.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use velopt_common::units::{
-    Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour,
-};
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour};
 use velopt_common::{Error, Result};
 use velopt_core::dp::OptimizedProfile;
+use velopt_core::metrics::SolverMetrics;
 use velopt_queue::QueueParams;
 use velopt_road::{Road, RoadBuilder, SpeedZone};
 
@@ -27,6 +26,10 @@ pub mod tags {
     pub const REQ_STATS: u8 = 4;
     /// Cloud → requester: `(served, cache_hits)` counters.
     pub const RESP_STATS: u8 = 5;
+    /// Fleet gateway → cloud: optimize a batch of independent trips.
+    pub const REQ_BATCH: u8 = 6;
+    /// Cloud → gateway: per-trip profiles/errors, in request order.
+    pub const RESP_BATCH: u8 = 7;
 }
 
 /// A trip uploaded by an EV: corridor geometry plus traffic state.
@@ -140,7 +143,8 @@ pub enum CloudResponse {
     Stats(u64, u64),
 }
 
-/// Encodes a profile payload.
+/// Encodes a profile payload (including its solver metrics, so the vehicle
+/// can see what the cloud's solve cost).
 pub fn encode_profile(profile: &OptimizedProfile, buf: &mut BytesMut) {
     buf.put_u32(profile.stations.len() as u32);
     for i in 0..profile.stations.len() {
@@ -151,6 +155,15 @@ pub fn encode_profile(profile: &OptimizedProfile, buf: &mut BytesMut) {
     buf.put_f64(profile.total_energy.value());
     buf.put_f64(profile.trip_time.value());
     buf.put_u32(profile.window_violations as u32);
+    let m = &profile.metrics;
+    buf.put_u64(m.states_expanded);
+    buf.put_u64(m.states_pruned);
+    buf.put_f64(m.setup_seconds);
+    buf.put_f64(m.relax_seconds);
+    buf.put_f64(m.backtrack_seconds);
+    buf.put_u64(m.arena_reuse_hits);
+    buf.put_u64(m.arena_allocations);
+    buf.put_u32(m.threads_used as u32);
 }
 
 /// Decodes a profile payload.
@@ -174,6 +187,16 @@ pub fn decode_profile(buf: &mut Bytes) -> Result<OptimizedProfile> {
     let total_energy = velopt_common::units::AmpereHours::new(take_f64(buf)?);
     let trip_time = Seconds::new(take_f64(buf)?);
     let window_violations = take_u32(buf)? as usize;
+    let metrics = SolverMetrics {
+        states_expanded: take_u64(buf)?,
+        states_pruned: take_u64(buf)?,
+        setup_seconds: take_f64(buf)?,
+        relax_seconds: take_f64(buf)?,
+        backtrack_seconds: take_f64(buf)?,
+        arena_reuse_hits: take_u64(buf)?,
+        arena_allocations: take_u64(buf)?,
+        threads_used: take_u32(buf)? as usize,
+    };
     Ok(OptimizedProfile {
         stations,
         speeds,
@@ -181,7 +204,108 @@ pub fn decode_profile(buf: &mut Bytes) -> Result<OptimizedProfile> {
         total_energy,
         trip_time,
         window_violations,
+        metrics,
     })
+}
+
+/// A batch of independent trip uploads planned in one round trip — the
+/// fleet-gateway path: one frame in, one frame out, the cloud fans the
+/// plans out across its cores.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchPlanRequest {
+    /// The trips to plan, each exactly as it would appear in a `REQ_TRIP`.
+    pub trips: Vec<TripRequest>,
+}
+
+/// Per-trip ceiling on batch size (keeps a hostile count from allocating).
+pub const MAX_BATCH_TRIPS: usize = 1024;
+
+impl BatchPlanRequest {
+    /// Encodes the batch payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.trips.len() as u32);
+        for trip in &self.trips {
+            buf.extend_from_slice(&trip.encode());
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a batch payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation, a malformed trip, or an
+    /// implausible trip count.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let n = bounded_count(buf, MAX_BATCH_TRIPS)?;
+        let mut trips = Vec::with_capacity(n);
+        for _ in 0..n {
+            trips.push(TripRequest::decode(buf)?);
+        }
+        Ok(Self { trips })
+    }
+}
+
+/// The cloud's per-trip answers to a [`BatchPlanRequest`], in request
+/// order: a profile where planning succeeded, the error message where it
+/// did not (one bad trip never sinks its batch-mates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlanResponse {
+    /// One entry per requested trip, in order.
+    pub results: Vec<std::result::Result<OptimizedProfile, String>>,
+}
+
+impl BatchPlanResponse {
+    /// Encodes the batch-response payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.results.len() as u32);
+        for result in &self.results {
+            match result {
+                Ok(profile) => {
+                    buf.put_u8(1);
+                    encode_profile(profile, &mut buf);
+                }
+                Err(message) => {
+                    buf.put_u8(0);
+                    let raw = message.as_bytes();
+                    buf.put_u32(raw.len() as u32);
+                    buf.extend_from_slice(raw);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a batch-response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or malformed entries.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let n = bounded_count(buf, MAX_BATCH_TRIPS)?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            match take_u8(buf)? {
+                1 => results.push(Ok(decode_profile(buf)?)),
+                0 => {
+                    let len = take_u32(buf)? as usize;
+                    if len > buf.remaining() {
+                        return Err(Error::protocol("truncated batch error message"));
+                    }
+                    let raw = buf.split_to(len);
+                    results.push(Err(String::from_utf8_lossy(&raw).into_owned()));
+                }
+                other => {
+                    return Err(Error::protocol(format!(
+                        "unknown batch entry marker {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Self { results })
+    }
 }
 
 /// Writes one frame (`type` + payload) to a blocking writer.
@@ -338,6 +462,13 @@ fn take_u32(buf: &mut Bytes) -> Result<u32> {
     Ok(buf.get_u32())
 }
 
+fn take_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(Error::protocol("unexpected end of frame"));
+    }
+    Ok(buf.get_u64())
+}
+
 fn take_f64(buf: &mut Bytes) -> Result<f64> {
     if buf.remaining() < 8 {
         return Err(Error::protocol("unexpected end of frame"));
@@ -428,5 +559,60 @@ mod tests {
         let mut bytes = buf.freeze();
         let back = decode_profile(&mut bytes).unwrap();
         assert_eq!(back, profile);
+        // Metrics travel too (equality above deliberately ignores them).
+        assert_eq!(back.metrics, profile.metrics);
+        assert!(bytes.is_empty(), "decoder must consume the whole payload");
+    }
+
+    #[test]
+    fn batch_request_round_trip() {
+        let batch = BatchPlanRequest {
+            trips: vec![
+                TripRequest::us25_at(0.0),
+                TripRequest::us25_at(60.0),
+                TripRequest::us25_at(120.0),
+            ],
+        };
+        let mut bytes = batch.encode();
+        let back = BatchPlanRequest::decode(&mut bytes).unwrap();
+        assert_eq!(back, batch);
+        assert!(bytes.is_empty());
+        // Empty batch is legal on the wire.
+        let mut empty = BatchPlanRequest::default().encode();
+        assert!(BatchPlanRequest::decode(&mut empty)
+            .unwrap()
+            .trips
+            .is_empty());
+    }
+
+    #[test]
+    fn batch_response_round_trip_mixes_profiles_and_errors() {
+        use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
+        let profile = system.optimize().unwrap();
+        let response = BatchPlanResponse {
+            results: vec![
+                Ok(profile.clone()),
+                Err("2 rates for 3 lights".to_string()),
+                Ok(profile),
+            ],
+        };
+        let mut bytes = response.encode();
+        let back = BatchPlanResponse::decode(&mut bytes).unwrap();
+        assert_eq!(back, response);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn hostile_batch_count_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1_000_000_000);
+        let mut bytes = buf.freeze();
+        assert!(BatchPlanRequest::decode(&mut bytes).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u32(2);
+        buf.put_u8(9); // unknown entry marker
+        let mut bytes = buf.freeze();
+        assert!(BatchPlanResponse::decode(&mut bytes).is_err());
     }
 }

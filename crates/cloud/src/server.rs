@@ -1,6 +1,8 @@
 //! The cloud service: acceptor + crossbeam worker pool + plan cache.
 
-use crate::protocol::{encode_profile, tags, write_frame, TripRequest};
+use crate::protocol::{
+    encode_profile, tags, write_frame, BatchPlanRequest, BatchPlanResponse, TripRequest,
+};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -10,7 +12,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use velopt_common::{Error, Result};
-use velopt_core::dp::{DpConfig, DpOptimizer, StartState};
+use velopt_core::batch::PlanRequest;
+use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint, StartState};
 use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
 use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
 
@@ -19,10 +22,14 @@ use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
 pub struct ServerStats {
     served: AtomicU64,
     cache_hits: AtomicU64,
+    batches: AtomicU64,
+    solver_states_expanded: AtomicU64,
+    solver_states_pruned: AtomicU64,
 }
 
 impl ServerStats {
-    /// Requests answered with a profile so far.
+    /// Trips answered with a profile so far (batch members count
+    /// individually).
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
     }
@@ -30,6 +37,29 @@ impl ServerStats {
     /// How many of those came straight from the plan cache.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Batch frames handled so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated [`SolverMetrics`](velopt_core::metrics::SolverMetrics)
+    /// counters over every fresh (non-cached) solve: `(states expanded,
+    /// states pruned)`. An operator watching these spot a pruning
+    /// regression without attaching a profiler.
+    pub fn solver_states(&self) -> (u64, u64) {
+        (
+            self.solver_states_expanded.load(Ordering::Relaxed),
+            self.solver_states_pruned.load(Ordering::Relaxed),
+        )
+    }
+
+    fn record_solve(&self, metrics: &velopt_core::metrics::SolverMetrics) {
+        self.solver_states_expanded
+            .fetch_add(metrics.states_expanded, Ordering::Relaxed);
+        self.solver_states_pruned
+            .fetch_add(metrics.states_pruned, Ordering::Relaxed);
     }
 }
 
@@ -222,6 +252,14 @@ fn serve_connection(
                     }
                 }
             }
+            tags::REQ_BATCH => match handle_batch(&mut payload, stats, cache) {
+                Ok(response) => {
+                    write_frame(&mut stream, tags::RESP_BATCH, &response.encode())?;
+                }
+                Err(e) => {
+                    write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
+                }
+            },
             tags::REQ_STATS => {
                 let mut buf = BytesMut::new();
                 bytes::BufMut::put_u64(&mut buf, stats.served());
@@ -239,6 +277,29 @@ fn serve_connection(
     }
 }
 
+/// The optimizer every connection plans with: the same physically-grounded
+/// model the local pipeline uses.
+fn corridor_optimizer() -> Result<DpOptimizer> {
+    let energy = EnergyModel::with_regen(
+        VehicleParams::spark_ev(),
+        RegenPolicy::Limited {
+            efficiency: 0.6,
+            cutoff: velopt_common::units::MetersPerSecond::new(1.5),
+        },
+    );
+    DpOptimizer::new(energy, DpConfig::default())
+}
+
+/// Validates a trip and builds its per-signal arrival windows.
+fn trip_constraints(trip: &TripRequest, config: &DpConfig) -> Result<Vec<SignalConstraint>> {
+    trip.validated()?;
+    if trip.queue_aware {
+        queue_aware_constraints(&trip.road, &trip.rates, trip.queue, config.horizon)
+    } else {
+        Ok(green_only_constraints(&trip.road, config.horizon))
+    }
+}
+
 fn handle_trip(
     payload: &mut bytes::Bytes,
     key: &[u8],
@@ -251,23 +312,8 @@ fn handle_trip(
         return Ok(hit.clone());
     }
     let request = TripRequest::decode(payload)?;
-    request.validated()?;
-
-    // The same physically-grounded model the local pipeline plans with.
-    let energy = EnergyModel::with_regen(
-        VehicleParams::spark_ev(),
-        RegenPolicy::Limited {
-            efficiency: 0.6,
-            cutoff: velopt_common::units::MetersPerSecond::new(1.5),
-        },
-    );
-    let config = DpConfig::default();
-    let optimizer = DpOptimizer::new(energy, config)?;
-    let constraints = if request.queue_aware {
-        queue_aware_constraints(&request.road, &request.rates, request.queue, config.horizon)?
-    } else {
-        green_only_constraints(&request.road, config.horizon)
-    };
+    let optimizer = corridor_optimizer()?;
+    let constraints = trip_constraints(&request, optimizer.config())?;
     let profile = optimizer.optimize_from(
         &request.road,
         &constraints,
@@ -276,9 +322,82 @@ fn handle_trip(
             ..StartState::default()
         },
     )?;
+    stats.record_solve(&profile.metrics);
     cache.write().insert(key.to_vec(), profile.clone());
     stats.served.fetch_add(1, Ordering::Relaxed);
     Ok(profile)
+}
+
+/// Plans a whole batch in one go: cached trips are answered immediately,
+/// the misses fan out over the cores via
+/// [`DpOptimizer::optimize_batch`], and per-trip failures come back as
+/// error entries in request order (they never sink the batch).
+fn handle_batch(
+    payload: &mut bytes::Bytes,
+    stats: &ServerStats,
+    cache: &PlanCache,
+) -> Result<BatchPlanResponse> {
+    let batch = BatchPlanRequest::decode(payload)?;
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    let n = batch.trips.len();
+    let mut results: Vec<Option<std::result::Result<velopt_core::dp::OptimizedProfile, String>>> =
+        (0..n).map(|_| None).collect();
+
+    // Cache pass first — a batch member's key is its canonical encoding,
+    // the same bytes a single `REQ_TRIP` for that trip would carry.
+    let keys: Vec<Vec<u8>> = batch.trips.iter().map(|t| t.encode().to_vec()).collect();
+    {
+        let cache = cache.read();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(hit) = cache.get(key) {
+                stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                results[i] = Some(Ok(hit.clone()));
+            }
+        }
+    }
+
+    // Validate the misses and build their arrival windows; invalid trips
+    // become error entries right here.
+    let optimizer = corridor_optimizer()?;
+    let mut prepared: Vec<(usize, Vec<SignalConstraint>)> = Vec::new();
+    for (i, trip) in batch.trips.iter().enumerate() {
+        if results[i].is_some() {
+            continue;
+        }
+        match trip_constraints(trip, optimizer.config()) {
+            Ok(constraints) => prepared.push((i, constraints)),
+            Err(e) => results[i] = Some(Err(e.to_string())),
+        }
+    }
+
+    let requests: Vec<PlanRequest<'_>> = prepared
+        .iter()
+        .map(|(i, constraints)| PlanRequest {
+            road: &batch.trips[*i].road,
+            signals: constraints,
+            start: StartState {
+                time: batch.trips[*i].departure,
+                ..StartState::default()
+            },
+        })
+        .collect();
+    for ((i, _), planned) in prepared.iter().zip(optimizer.optimize_batch(&requests)) {
+        match planned {
+            Ok(profile) => {
+                stats.record_solve(&profile.metrics);
+                cache.write().insert(keys[*i].clone(), profile.clone());
+                results[*i] = Some(Ok(profile));
+            }
+            Err(e) => results[*i] = Some(Err(e.to_string())),
+        }
+    }
+    stats.served.fetch_add(n as u64, Ordering::Relaxed);
+    Ok(BatchPlanResponse {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every batch member answered"))
+            .collect(),
+    })
 }
 
 // Integration-style tests live with the client (`client.rs`) so they
@@ -318,5 +437,73 @@ mod tests {
         assert_eq!(stats.served(), 2);
         assert_eq!(stats.cache_hits(), 1);
         assert_eq!(first, second);
+        // Only the fresh solve contributed solver counters.
+        let (expanded, _) = stats.solver_states();
+        assert_eq!(expanded, first.metrics.states_expanded);
+    }
+
+    #[test]
+    fn batch_handler_mixes_cache_fresh_and_errors() {
+        let stats = ServerStats::default();
+        let cache: PlanCache = RwLock::new(HashMap::new());
+
+        // Prime the cache with the t=0 trip through the single-trip path.
+        let seed = TripRequest::us25_at(0.0);
+        let encoded = seed.encode();
+        let cached_profile =
+            handle_trip(&mut encoded.clone(), &encoded.to_vec(), &stats, &cache).unwrap();
+
+        let mut invalid = TripRequest::us25_at(30.0);
+        invalid.rates.pop(); // arity mismatch
+        let batch = BatchPlanRequest {
+            trips: vec![
+                TripRequest::us25_at(0.0),
+                invalid,
+                TripRequest::us25_at(60.0),
+            ],
+        };
+        let mut payload = batch.encode();
+        let response = handle_batch(&mut payload, &stats, &cache).unwrap();
+        assert_eq!(response.results.len(), 3);
+        // Member 0 came from the cache (same plan, one more hit).
+        assert_eq!(response.results[0].as_ref().unwrap(), &cached_profile);
+        assert_eq!(stats.cache_hits(), 1);
+        // Member 1 failed alone.
+        assert!(response.results[1].as_ref().unwrap_err().contains("rates"));
+        // Member 2 was solved fresh and is now cached.
+        assert!(response.results[2].is_ok());
+        assert_eq!(stats.served(), 1 + 3);
+        assert_eq!(stats.batches(), 1);
+        let key = TripRequest::us25_at(60.0).encode().to_vec();
+        assert!(cache.read().contains_key(&key));
+    }
+
+    #[test]
+    fn batch_equals_sequential_trip_requests() {
+        let stats = ServerStats::default();
+        let cache: PlanCache = RwLock::new(HashMap::new());
+        let trips = vec![TripRequest::us25_at(0.0), TripRequest::us25_at(45.0)];
+
+        let singles: Vec<_> = trips
+            .iter()
+            .map(|t| {
+                let fresh_cache: PlanCache = RwLock::new(HashMap::new());
+                let encoded = t.encode();
+                handle_trip(
+                    &mut encoded.clone(),
+                    &encoded.to_vec(),
+                    &stats,
+                    &fresh_cache,
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let batch = BatchPlanRequest { trips };
+        let mut payload = batch.encode();
+        let response = handle_batch(&mut payload, &stats, &cache).unwrap();
+        for (single, batched) in singles.iter().zip(&response.results) {
+            assert_eq!(batched.as_ref().unwrap(), single);
+        }
     }
 }

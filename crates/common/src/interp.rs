@@ -57,15 +57,15 @@ impl PiecewiseLinear {
         if knots.is_empty() {
             return Err(Error::invalid_input("piecewise curve needs >= 1 knot"));
         }
+        if knots.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(Error::invalid_input("piecewise curve knots must be finite"));
+        }
         for w in knots.windows(2) {
-            if !(w[0].0 < w[1].0) {
+            if w[0].0 >= w[1].0 {
                 return Err(Error::invalid_input(
                     "piecewise curve knots must have strictly increasing x",
                 ));
             }
-        }
-        if knots.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
-            return Err(Error::invalid_input("piecewise curve knots must be finite"));
         }
         Ok(Self { knots })
     }
@@ -100,7 +100,10 @@ impl PiecewiseLinear {
 
     /// Minimum `y` over the knots (exact for piecewise-linear curves).
     pub fn min_y(&self) -> f64 {
-        self.knots.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min)
+        self.knots
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum `y` over the knots.

@@ -36,6 +36,6 @@ pub mod units;
 pub use error::{Error, Result};
 pub use series::TimeSeries;
 pub use units::{
-    Amperes, AmpereHours, KilometersPerHour, Meters, MetersPerSecond, MetersPerSecondSq, Radians,
+    AmpereHours, Amperes, KilometersPerHour, Meters, MetersPerSecond, MetersPerSecondSq, Radians,
     Seconds, VehiclesPerHour, Volts, Watts,
 };

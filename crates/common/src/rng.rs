@@ -139,7 +139,10 @@ mod tests {
         let rate = 2.0;
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
-        assert!((mean - 0.5).abs() < 0.02, "exponential mean drifted: {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "exponential mean drifted: {mean}"
+        );
     }
 
     #[test]

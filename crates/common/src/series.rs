@@ -181,7 +181,10 @@ impl TimeSeries {
 
     /// Maximum sample value (the series is never empty).
     pub fn max_value(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample value.
@@ -288,8 +291,8 @@ mod tests {
 
     #[test]
     fn nonzero_start() {
-        let ts =
-            TimeSeries::from_samples(Seconds::new(10.0), Seconds::new(2.0), vec![5.0, 7.0]).unwrap();
+        let ts = TimeSeries::from_samples(Seconds::new(10.0), Seconds::new(2.0), vec![5.0, 7.0])
+            .unwrap();
         assert_eq!(ts.sample_at(Seconds::new(11.0)), Some(6.0));
         assert_eq!(ts.sample_at(Seconds::new(9.9)), None);
         assert_eq!(ts.end(), Seconds::new(12.0));

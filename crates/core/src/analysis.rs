@@ -160,7 +160,6 @@ pub fn distance_time_curve(speed: &TimeSeries) -> TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use velopt_common::units::MetersPerSecond;
     use velopt_ev_energy::VehicleParams;
 
     fn road() -> Road {

@@ -1,0 +1,118 @@
+//! Reusable DP layer storage.
+//!
+//! A replanning loop calls `optimize_from` every few simulated seconds, and
+//! each call used to allocate a fresh `n_stations × n_speeds × n_bins`
+//! layer stack — by far the solver's largest allocation. [`LayerPool`]
+//! keeps those buffers alive between solves: a pooled buffer whose
+//! capacity already covers the requested size is cleared and reused
+//! instead of reallocated. The pool also counts reuse hits vs. fresh
+//! allocations so [`SolverMetrics`](crate::metrics::SolverMetrics) can
+//! report whether the arena is actually paying off.
+
+/// Per-call accounting returned by [`LayerPool::take_layers`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Buffers served from existing capacity.
+    pub reuse_hits: u64,
+    /// Buffers that had to grow (or be created).
+    pub allocations: u64,
+}
+
+/// A pool of equally-shaped scratch buffers (one per DP layer).
+#[derive(Clone, Default)]
+pub struct LayerPool<T> {
+    buffers: Vec<Vec<T>>,
+}
+
+impl<T: Clone> LayerPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self {
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Returns `count` buffers of length `len`, every element reset to
+    /// `fill`, reusing pooled capacity where possible.
+    pub fn take_layers(
+        &mut self,
+        count: usize,
+        len: usize,
+        fill: T,
+    ) -> (&mut [Vec<T>], LeaseStats) {
+        let mut stats = LeaseStats::default();
+        while self.buffers.len() < count {
+            self.buffers.push(Vec::new());
+        }
+        for buf in &mut self.buffers[..count] {
+            if buf.capacity() >= len {
+                stats.reuse_hits += 1;
+            } else {
+                stats.allocations += 1;
+            }
+            buf.clear();
+            buf.resize(len, fill.clone());
+        }
+        (&mut self.buffers[..count], stats)
+    }
+}
+
+impl<T> std::fmt::Debug for LayerPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LayerPool({} buffers)", self.buffers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_lease_allocates_second_reuses() {
+        let mut pool: LayerPool<Option<u32>> = LayerPool::new();
+        let (layers, stats) = pool.take_layers(3, 8, None);
+        assert_eq!(layers.len(), 3);
+        assert!(layers.iter().all(|l| l.len() == 8));
+        assert_eq!(
+            stats,
+            LeaseStats {
+                reuse_hits: 0,
+                allocations: 3
+            }
+        );
+
+        layers[0][0] = Some(7);
+        let (layers, stats) = pool.take_layers(3, 8, None);
+        assert_eq!(
+            stats,
+            LeaseStats {
+                reuse_hits: 3,
+                allocations: 0
+            }
+        );
+        // Reused buffers come back reset.
+        assert!(layers[0][0].is_none());
+    }
+
+    #[test]
+    fn growth_counts_as_allocation() {
+        let mut pool: LayerPool<u8> = LayerPool::new();
+        let _ = pool.take_layers(2, 4, 0);
+        let (_, stats) = pool.take_layers(4, 16, 0);
+        assert_eq!(stats.reuse_hits, 0);
+        assert_eq!(stats.allocations, 4);
+        // And once grown, everything reuses.
+        let (_, stats) = pool.take_layers(4, 16, 0);
+        assert_eq!(stats.reuse_hits, 4);
+    }
+
+    #[test]
+    fn shrinking_lease_reuses_capacity() {
+        let mut pool: LayerPool<u8> = LayerPool::new();
+        let _ = pool.take_layers(2, 100, 0);
+        let (layers, stats) = pool.take_layers(1, 10, 9);
+        assert_eq!(stats.reuse_hits, 1);
+        assert_eq!(layers[0].len(), 10);
+        assert!(layers[0].iter().all(|&x| x == 9));
+    }
+}

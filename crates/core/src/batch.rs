@@ -1,0 +1,238 @@
+//! Batch planning: many independent trips through one optimizer.
+//!
+//! The vehicular cloud receives bursts of uploads (every EV entering the
+//! corridor asks for a plan), and each plan is independent of the others —
+//! an embarrassingly parallel workload. [`DpOptimizer::optimize_batch`]
+//! fans the requests out over scoped worker threads, one
+//! [`SolverArena`] per worker so consecutive plans on the same worker
+//! recycle layer buffers, and returns results **in request order**.
+//!
+//! Per-plan layer parallelism is disabled inside a batch (each plan runs
+//! the sequential relaxation) so a batch of N on C cores uses exactly
+//! `min(N, C)` threads instead of oversubscribing with N×C workers. The
+//! solved profiles are bit-identical either way — see the determinism
+//! notes in [`crate::dp`] — so a batch of N equals N sequential
+//! [`optimize_from`](DpOptimizer::optimize_from) calls profile-for-profile.
+
+use crate::dp::{DpOptimizer, OptimizedProfile, SignalConstraint, SolverArena, StartState};
+use crate::par;
+use velopt_common::Result;
+use velopt_road::Road;
+
+/// One trip in a batch: the corridor, its per-signal arrival windows, and
+/// the EV's start state.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    /// The corridor to drive.
+    pub road: &'a Road,
+    /// Arrival windows for the signals still ahead.
+    pub signals: &'a [SignalConstraint],
+    /// Where the plan starts (origin-at-rest for a fresh trip).
+    pub start: StartState,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// A fresh-trip request: from the corridor origin, at rest, at `t = 0`.
+    pub fn fresh(road: &'a Road, signals: &'a [SignalConstraint]) -> Self {
+        Self {
+            road,
+            signals,
+            start: StartState::default(),
+        }
+    }
+}
+
+impl DpOptimizer {
+    /// Plans every request concurrently; results come back in request
+    /// order. Individual infeasible trips surface as `Err` entries without
+    /// failing the rest of the batch.
+    pub fn optimize_batch(&self, requests: &[PlanRequest<'_>]) -> Vec<Result<OptimizedProfile>> {
+        let threads = par::effective_threads(self.config().threads).min(requests.len().max(1));
+        let solo = self.single_threaded();
+        if threads <= 1 || requests.len() <= 1 {
+            let mut arena = SolverArena::new();
+            return requests
+                .iter()
+                .map(|r| solo.optimize_from_with(r.road, r.signals, r.start, &mut arena))
+                .collect();
+        }
+
+        // Round-robin the requests over the workers; each worker keeps one
+        // arena across its share of the batch.
+        let mut results: Vec<Option<Result<OptimizedProfile>>> =
+            (0..requests.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let solo = &solo;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut arena = SolverArena::new();
+                        requests
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(threads)
+                            .map(|(i, r)| {
+                                (
+                                    i,
+                                    solo.optimize_from_with(r.road, r.signals, r.start, &mut arena),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, res) in handle.join().expect("batch worker thread panicked") {
+                    results[i] = Some(res);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every request planned"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{DpConfig, TimeHandling};
+    use velopt_common::units::{KilometersPerHour, Meters, MetersPerSecond, Seconds};
+    use velopt_ev_energy::{EnergyModel, VehicleParams};
+    use velopt_queue::TimeWindow;
+    use velopt_road::RoadBuilder;
+
+    fn optimizer(threads: usize) -> DpOptimizer {
+        DpOptimizer::new(
+            EnergyModel::new(VehicleParams::spark_ev()),
+            DpConfig {
+                threads,
+                ..DpConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn simple_road(length: f64) -> velopt_road::Road {
+        RoadBuilder::new(Meters::new(length))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_calls_profile_for_profile() {
+        let roads: Vec<_> = [600.0, 800.0, 1000.0, 1200.0]
+            .iter()
+            .map(|&l| simple_road(l))
+            .collect();
+        let constraint = SignalConstraint {
+            position: Meters::new(400.0),
+            windows: vec![TimeWindow {
+                start: Seconds::new(40.0),
+                end: Seconds::new(55.0),
+            }],
+        };
+        let signals = [constraint];
+        let requests: Vec<PlanRequest<'_>> = roads
+            .iter()
+            .enumerate()
+            .map(|(i, road)| PlanRequest {
+                road,
+                signals: if i % 2 == 0 { &signals } else { &[] },
+                start: StartState {
+                    time: Seconds::new(i as f64 * 5.0),
+                    ..StartState::default()
+                },
+            })
+            .collect();
+
+        let opt = optimizer(4);
+        let batched = opt.optimize_batch(&requests);
+        for (req, got) in requests.iter().zip(&batched) {
+            let solo = opt.optimize_from(req.road, req.signals, req.start).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &solo);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_failures() {
+        let good = simple_road(800.0);
+        // Far too long for a 2-minute horizon: infeasible.
+        let bad = simple_road(30_000.0);
+        let opt = DpOptimizer::new(
+            EnergyModel::new(VehicleParams::spark_ev()),
+            DpConfig {
+                horizon: Seconds::new(120.0),
+                threads: 2,
+                ..DpConfig::default()
+            },
+        )
+        .unwrap();
+        let requests = [
+            PlanRequest::fresh(&good, &[]),
+            PlanRequest::fresh(&bad, &[]),
+            PlanRequest::fresh(&good, &[]),
+        ];
+        let results = opt.optimize_batch(&requests);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        // The two good plans are for the same trip — identical.
+        assert_eq!(results[0].as_ref().unwrap(), results[2].as_ref().unwrap());
+    }
+
+    #[test]
+    fn batch_arena_reuse_shows_in_metrics() {
+        let road = simple_road(700.0);
+        // Single worker (threads = 1): one arena across the whole batch, so
+        // every plan after the first must reuse its layers.
+        let opt = optimizer(1);
+        let requests: Vec<PlanRequest<'_>> = (0..3)
+            .map(|i| PlanRequest {
+                road: &road,
+                signals: &[],
+                start: StartState {
+                    time: Seconds::new(i as f64),
+                    ..StartState::default()
+                },
+            })
+            .collect();
+        let results = opt.optimize_batch(&requests);
+        let later = results[2].as_ref().unwrap();
+        assert_eq!(later.metrics.arena_allocations, 0);
+        assert!(later.metrics.arena_reuse_hits > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(optimizer(0).optimize_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_batch_works_too() {
+        let road = simple_road(900.0);
+        let opt = DpOptimizer::new(
+            EnergyModel::new(VehicleParams::spark_ev()),
+            DpConfig {
+                time_handling: TimeHandling::Greedy,
+                threads: 2,
+                ..DpConfig::default()
+            },
+        )
+        .unwrap();
+        let requests = [
+            PlanRequest::fresh(&road, &[]),
+            PlanRequest::fresh(&road, &[]),
+        ];
+        let results = opt.optimize_batch(&requests);
+        let a = results[0].as_ref().unwrap();
+        assert_eq!(a.speeds[0], MetersPerSecond::ZERO);
+        assert_eq!(a, results[1].as_ref().unwrap());
+    }
+}

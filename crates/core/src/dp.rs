@@ -30,11 +30,23 @@
 //! and multiplying a negative cost by `M` would reward violations; we apply
 //! the penalty additively (`cost + M`) instead, which preserves Eq. 12's
 //! intent for all cost signs. (Documented deviation; see DESIGN.md.)
+//!
+//! ## Parallelism and determinism
+//!
+//! Layer relaxation is parallelized across the target-speed rows of the
+//! speed×time-bin grid ([`DpConfig::threads`]). Each worker owns a
+//! disjoint contiguous slice of the layer and visits candidates in the
+//! same order as the sequential loop (source speed ascending, then time
+//! bin ascending), with ties broken by the same strict `<`, so the solved
+//! profile is **bit-identical** for every thread count. See
+//! [`crate::par`] for the scheduling contract.
 
+use crate::arena::LayerPool;
+use crate::metrics::SolverMetrics;
+use crate::par;
 use serde::{Deserialize, Serialize};
-use velopt_common::units::{
-    AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Seconds,
-};
+use std::time::Instant;
+use velopt_common::units::{AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Seconds};
 use velopt_common::{Error, Result, TimeSeries};
 use velopt_ev_energy::EnergyModel;
 use velopt_queue::TimeWindow;
@@ -86,6 +98,10 @@ pub struct DpConfig {
     pub time_weight: f64,
     /// Time-tracking mode.
     pub time_handling: TimeHandling,
+    /// Worker threads for layer relaxation: `0` = one per available core,
+    /// `1` = sequential. The solved profile is bit-identical for every
+    /// value (see the module docs), so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for DpConfig {
@@ -101,6 +117,7 @@ impl Default for DpConfig {
             stop_dwell: Seconds::new(5.5),
             time_weight: 0.003,
             time_handling: TimeHandling::Exact,
+            threads: 0,
         }
     }
 }
@@ -185,7 +202,7 @@ impl Default for StartState {
 
 /// The optimizer output: a station-indexed speed/time profile plus summary
 /// metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OptimizedProfile {
     /// Station positions (first = 0, last = road length).
     pub stations: Vec<Meters>,
@@ -200,6 +217,23 @@ pub struct OptimizedProfile {
     /// Number of signal stations whose arrival fell outside every window
     /// (0 = fully feasible plan).
     pub window_violations: usize,
+    /// How the solver got here: state counts, phase timings, arena reuse.
+    /// Excluded from equality — see the `PartialEq` impl below.
+    pub metrics: SolverMetrics,
+}
+
+/// Equality is over the *plan*, not the solve: two profiles describing the
+/// same trajectory compare equal even if one came from the cache (or a
+/// different thread count) and has different timings in `metrics`.
+impl PartialEq for OptimizedProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.stations == other.stations
+            && self.speeds == other.speeds
+            && self.times == other.times
+            && self.total_energy == other.total_energy
+            && self.trip_time == other.trip_time
+            && self.window_violations == other.window_violations
+    }
 }
 
 impl OptimizedProfile {
@@ -261,17 +295,26 @@ impl OptimizedProfile {
     }
 }
 
+/// Index of the station nearest to `x` by binary search (stations are
+/// sorted ascending). Exact midpoints resolve to the lower station — the
+/// same winner the old linear scan's strict `<` produced.
 fn nearest_index(stations: &[Meters], x: Meters) -> usize {
-    let mut best = 0;
-    let mut best_d = f64::INFINITY;
-    for (i, s) in stations.iter().enumerate() {
-        let d = (*s - x).abs().value();
-        if d < best_d {
-            best_d = d;
-            best = i;
-        }
+    debug_assert!(!stations.is_empty());
+    let hi = stations.partition_point(|&s| s < x);
+    if hi == 0 {
+        return 0;
     }
-    best
+    if hi == stations.len() {
+        return stations.len() - 1;
+    }
+    let lo = hi - 1;
+    let d_lo = (x - stations[lo]).abs().value();
+    let d_hi = (stations[hi] - x).abs().value();
+    if d_hi < d_lo {
+        hi
+    } else {
+        lo
+    }
 }
 
 /// The DP optimizer.
@@ -284,7 +327,7 @@ pub struct DpOptimizer {
     config: DpConfig,
 }
 
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 struct Node {
     cost: f64,
     /// Continuous arrival time carried alongside the bin to avoid drift.
@@ -292,6 +335,38 @@ struct Node {
     prev_v: u32,
     prev_t: u32,
     violations: u32,
+}
+
+/// Greedy-mode state: like [`Node`] without the time-bin dimension.
+#[derive(Debug, Clone, Copy)]
+struct GNode {
+    cost: f64,
+    time: f64,
+    prev_v: u32,
+    violations: u32,
+}
+
+/// Reusable solver scratch: the DP layer stacks and backtrack buffers.
+///
+/// `optimize_from` allocates these afresh on every call; a caller that
+/// solves repeatedly (the [`Replanner`](crate::replan::Replanner) tick
+/// loop, [batch planning](crate::batch)) should hold one arena and use
+/// [`DpOptimizer::optimize_from_with`] so the second and later solves
+/// reuse the first solve's buffers. The resulting profile is identical
+/// either way; only [`SolverMetrics::arena_reuse_hits`] differs.
+#[derive(Debug, Clone, Default)]
+pub struct SolverArena {
+    exact: LayerPool<Option<Node>>,
+    greedy: LayerPool<Option<GNode>>,
+    speeds_idx: Vec<usize>,
+    times: Vec<f64>,
+}
+
+impl SolverArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl DpOptimizer {
@@ -320,11 +395,7 @@ impl DpOptimizer {
     /// Returns [`Error::Infeasible`] if no profile satisfies the hard
     /// kinematic constraints (window violations are soft: they surface as
     /// `window_violations > 0`, not an error).
-    pub fn optimize(
-        &self,
-        road: &Road,
-        signals: &[SignalConstraint],
-    ) -> Result<OptimizedProfile> {
+    pub fn optimize(&self, road: &Road, signals: &[SignalConstraint]) -> Result<OptimizedProfile> {
         self.optimize_from(road, signals, StartState::default())
     }
 
@@ -343,6 +414,27 @@ impl DpOptimizer {
         signals: &[SignalConstraint],
         start: StartState,
     ) -> Result<OptimizedProfile> {
+        let mut arena = SolverArena::new();
+        self.optimize_from_with(road, signals, start, &mut arena)
+    }
+
+    /// [`optimize_from`](Self::optimize_from) with caller-owned scratch
+    /// storage, for hot loops that solve repeatedly: layer buffers are
+    /// recycled across calls instead of reallocated. The profile is
+    /// identical to the arena-less call; only the arena counters in its
+    /// [`metrics`](OptimizedProfile::metrics) differ.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`optimize_from`](Self::optimize_from).
+    pub fn optimize_from_with(
+        &self,
+        road: &Road,
+        signals: &[SignalConstraint],
+        start: StartState,
+        arena: &mut SolverArena,
+    ) -> Result<OptimizedProfile> {
+        let setup_started = Instant::now();
         if !road.contains(start.position) || start.position >= road.length() {
             return Err(Error::invalid_input(
                 "start position must lie strictly inside the corridor",
@@ -360,8 +452,8 @@ impl DpOptimizer {
         let n_stations = stations.len();
         let v_max_global = road.max_speed_limit();
         let n_speeds = (v_max_global.value() / self.config.dv.value()).floor() as usize + 1;
-        let start_vi = ((start.speed.value() / self.config.dv.value()).round() as usize)
-            .min(n_speeds - 1);
+        let start_vi =
+            ((start.speed.value() / self.config.dv.value()).round() as usize).min(n_speeds - 1);
 
         // Mandatory stop stations: stop signs still ahead, the destination,
         // and — only when departing from rest at the origin — the source.
@@ -407,9 +499,7 @@ impl DpOptimizer {
                     .iter()
                     .map(|&p| (p - x.value()).abs())
                     .fold(f64::INFINITY, f64::min);
-                let floor = lim_min
-                    .value()
-                    .min((2.0 * LAUNCH_FLOOR * delta).sqrt());
+                let floor = lim_min.value().min((2.0 * LAUNCH_FLOOR * delta).sqrt());
                 (0..n_speeds)
                     .map(|vi| {
                         let v = self.config.dv.value() * vi as f64;
@@ -442,6 +532,10 @@ impl DpOptimizer {
             })
             .collect();
 
+        let mut metrics = SolverMetrics {
+            setup_seconds: setup_started.elapsed().as_secs_f64(),
+            ..SolverMetrics::default()
+        };
         match self.config.time_handling {
             TimeHandling::Exact => self.solve_exact(
                 road,
@@ -452,6 +546,8 @@ impl DpOptimizer {
                 n_speeds,
                 start_vi,
                 start.time.value(),
+                arena,
+                &mut metrics,
             ),
             TimeHandling::Greedy => self.solve_greedy(
                 road,
@@ -462,6 +558,8 @@ impl DpOptimizer {
                 n_speeds,
                 start_vi,
                 start.time.value(),
+                arena,
+                &mut metrics,
             ),
         }
     }
@@ -508,47 +606,76 @@ impl DpOptimizer {
         n_speeds: usize,
         start_vi: usize,
         start_time: f64,
+        arena: &mut SolverArena,
+        metrics: &mut SolverMetrics,
     ) -> Result<OptimizedProfile> {
+        let relax_started = Instant::now();
         let n_stations = stations.len();
         let n_bins = (self.config.horizon.value() / self.config.dt_bin.value()).ceil() as usize + 1;
         let idx = |vi: usize, ti: usize| vi * n_bins + ti;
+        let threads = par::effective_threads(self.config.threads);
+        metrics.threads_used = threads;
 
-        let mut layers: Vec<Vec<Option<Node>>> = Vec::with_capacity(n_stations);
-        let mut first = vec![None; n_speeds * n_bins];
+        let (layers, lease) = arena.exact.take_layers(n_stations, n_speeds * n_bins, None);
+        metrics.arena_reuse_hits += lease.reuse_hits;
+        metrics.arena_allocations += lease.allocations;
+
         let start_ti = ((start_time / self.config.dt_bin.value()).round() as usize).min(n_bins - 1);
-        first[idx(start_vi, start_ti)] = Some(Node {
+        layers[0][idx(start_vi, start_ti)] = Some(Node {
             cost: 0.0,
             time: start_time,
             prev_v: start_vi as u32,
             prev_t: start_ti as u32,
             violations: 0,
         });
-        layers.push(first);
 
         for i in 1..n_stations {
             let ds = stations[i] - stations[i - 1];
-            let mut layer: Vec<Option<Node>> = vec![None; n_speeds * n_bins];
-            let prev_layer = &layers[i - 1];
-            for vi in 0..n_speeds {
-                let v0 = self.config.dv.value() * vi as f64;
-                // The start layer is pinned by occupancy, not by `allowed`.
-                if i > 1 && !allowed[i - 1][vi] {
-                    continue;
+            let (done, rest) = layers.split_at_mut(i);
+            let prev_layer: &[Option<Node>] = &done[i - 1];
+            let layer: &mut Vec<Option<Node>> = &mut rest[0];
+
+            // Per-source-speed data shared read-only by every worker: the
+            // feasible target band from the acceleration bounds (the exact
+            // float expressions of the sequential formulation) and whether
+            // the source row holds any state at all.
+            let bands: Vec<(usize, usize, bool, f64)> = (0..n_speeds)
+                .map(|vi| {
+                    let v0 = self.config.dv.value() * vi as f64;
+                    // The start layer is pinned by occupancy, not `allowed`.
+                    let active = (i <= 1 || allowed[i - 1][vi])
+                        && prev_layer[idx(vi, 0)..idx(vi + 1, 0)]
+                            .iter()
+                            .any(Option::is_some);
+                    let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds.value();
+                    let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds.value();
+                    let vj_lo = (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor() as usize;
+                    let vj_hi = ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil() as usize)
+                        .min(n_speeds - 1);
+                    (vj_lo, vj_hi, active, v0)
+                })
+                .collect();
+
+            // Relax the layer one target-speed row per chunk. For a fixed
+            // slot (vj, tj) candidates still arrive in (vi asc, ti asc)
+            // order exactly as in the sequential loop, so the strict `<`
+            // keeps the same winner regardless of the thread count.
+            let counters = par::map_chunks(layer.as_mut_slice(), n_bins, threads, |offset, row| {
+                let vj = offset / n_bins;
+                let mut expanded = 0u64;
+                let mut pruned = 0u64;
+                if !allowed[i][vj] {
+                    return (expanded, pruned);
                 }
-                // Feasible target-speed band from the acceleration bounds.
-                let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds.value();
-                let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds.value();
-                let vj_lo =
-                    (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor() as usize;
-                let vj_hi = ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil() as usize)
-                    .min(n_speeds - 1);
-                for vj in vj_lo..=vj_hi {
-                    if !allowed[i][vj] {
+                let v1 = self.config.dv.value() * vj as f64;
+                for vi in 0..n_speeds {
+                    let (vj_lo, vj_hi, active, v0) = bands[vi];
+                    if !active || vj < vj_lo || vj > vj_hi {
                         continue;
                     }
-                    let v1 = self.config.dv.value() * vj as f64;
                     let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
                     else {
+                        pruned += 1;
                         continue;
                     };
                     for ti in 0..n_bins {
@@ -557,16 +684,16 @@ impl DpOptimizer {
                         };
                         let t1 = node.time + dur + dwell[i];
                         if t1 > self.config.horizon.value() {
+                            pruned += 1;
                             continue;
                         }
                         let tj = (t1 / self.config.dt_bin.value()).round() as usize;
                         if tj >= n_bins {
+                            pruned += 1;
                             continue;
                         }
                         let (penalty, violation) = match station_windows[i] {
-                            Some(sc) if !sc.admits(Seconds::new(t1)) => {
-                                (self.config.penalty_m, 1)
-                            }
+                            Some(sc) if !sc.admits(Seconds::new(t1)) => (self.config.penalty_m, 1),
                             _ => (0.0, 0),
                         };
                         let cand = Node {
@@ -576,22 +703,29 @@ impl DpOptimizer {
                             prev_t: ti as u32,
                             violations: node.violations + violation,
                         };
-                        let slot = &mut layer[idx(vj, tj)];
-                        if slot.map_or(true, |s| cand.cost < s.cost) {
+                        expanded += 1;
+                        let slot = &mut row[tj];
+                        if slot.is_none_or(|s| cand.cost < s.cost) {
                             *slot = Some(cand);
                         }
                     }
                 }
+                (expanded, pruned)
+            });
+            for (expanded, pruned) in counters {
+                metrics.states_expanded += expanded;
+                metrics.states_pruned += pruned;
             }
-            layers.push(layer);
         }
+        metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
 
         // Pick the cheapest terminal state at v = 0.
+        let backtrack_started = Instant::now();
         let last = &layers[n_stations - 1];
         let mut best: Option<(usize, Node)> = None;
         for ti in 0..n_bins {
             if let Some(node) = last[idx(0, ti)] {
-                if best.map_or(true, |(_, b)| node.cost < b.cost) {
+                if best.is_none_or(|(_, b)| node.cost < b.cost) {
                     best = Some((ti, node));
                 }
             }
@@ -600,12 +734,18 @@ impl DpOptimizer {
             best.ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
 
         // Backtrack.
-        let mut speeds_idx = vec![0usize; n_stations];
-        let mut times = vec![0.0f64; n_stations];
+        let speeds_idx = &mut arena.speeds_idx;
+        let times = &mut arena.times;
+        speeds_idx.clear();
+        speeds_idx.resize(n_stations, 0);
+        times.clear();
+        times.resize(n_stations, 0.0);
         let mut vi = 0usize;
         times[n_stations - 1] = terminal.time;
         for i in (1..n_stations).rev() {
-            let node = layers[i][idx(vi, ti)].expect("backtrack follows stored parents");
+            let node = layers[i][idx(vi, ti)].ok_or_else(|| {
+                Error::infeasible("backtrack lost its parent state (inconsistent DP layers)")
+            })?;
             times[i] = node.time;
             let pv = node.prev_v as usize;
             let pt = node.prev_t as usize;
@@ -615,8 +755,16 @@ impl DpOptimizer {
         }
         speeds_idx[0] = start_vi;
         times[0] = start_time;
+        metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
 
-        self.assemble(road, stations, &speeds_idx, &times, terminal.violations as usize)
+        self.assemble(
+            road,
+            stations,
+            &arena.speeds_idx,
+            &arena.times,
+            terminal.violations as usize,
+            *metrics,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -630,47 +778,57 @@ impl DpOptimizer {
         n_speeds: usize,
         start_vi: usize,
         start_time: f64,
+        arena: &mut SolverArena,
+        metrics: &mut SolverMetrics,
     ) -> Result<OptimizedProfile> {
+        let relax_started = Instant::now();
         let n_stations = stations.len();
-        #[derive(Clone, Copy)]
-        struct GNode {
-            cost: f64,
-            time: f64,
-            prev_v: u32,
-            violations: u32,
-        }
-        let mut layers: Vec<Vec<Option<GNode>>> = Vec::with_capacity(n_stations);
-        let mut first = vec![None; n_speeds];
-        first[start_vi] = Some(GNode {
+        let threads = par::effective_threads(self.config.threads);
+        metrics.threads_used = threads;
+
+        let (layers, lease) = arena.greedy.take_layers(n_stations, n_speeds, None);
+        metrics.arena_reuse_hits += lease.reuse_hits;
+        metrics.arena_allocations += lease.allocations;
+
+        layers[0][start_vi] = Some(GNode {
             cost: 0.0,
             time: start_time,
             prev_v: start_vi as u32,
             violations: 0,
         });
-        layers.push(first);
 
         for i in 1..n_stations {
             let ds = stations[i] - stations[i - 1];
-            let mut layer: Vec<Option<GNode>> = vec![None; n_speeds];
-            for vi in 0..n_speeds {
-                if i > 1 && !allowed[i - 1][vi] {
-                    continue;
+            let (done, rest) = layers.split_at_mut(i);
+            let prev_layer: &[Option<GNode>] = &done[i - 1];
+            let layer: &mut Vec<Option<GNode>> = &mut rest[0];
+
+            // One target speed per chunk; for a fixed slot vj candidates
+            // arrive in source-speed-ascending order exactly as in the
+            // sequential loop (same winners under the strict `<`).
+            let counters = par::map_chunks(layer.as_mut_slice(), 1, threads, |vj, slot| {
+                let mut expanded = 0u64;
+                let mut pruned = 0u64;
+                if !allowed[i][vj] {
+                    return (expanded, pruned);
                 }
-                let Some(node) = layers[i - 1][vi] else {
-                    continue;
-                };
-                let v0 = self.config.dv.value() * vi as f64;
-                for (vj, a) in allowed[i].iter().enumerate() {
-                    if !a {
+                let v1 = self.config.dv.value() * vj as f64;
+                for vi in 0..n_speeds {
+                    if i > 1 && !allowed[i - 1][vi] {
                         continue;
                     }
-                    let v1 = self.config.dv.value() * vj as f64;
+                    let Some(node) = prev_layer[vi] else {
+                        continue;
+                    };
+                    let v0 = self.config.dv.value() * vi as f64;
                     let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
                     else {
+                        pruned += 1;
                         continue;
                     };
                     let t1 = node.time + dur + dwell[i];
                     if t1 > self.config.horizon.value() {
+                        pruned += 1;
                         continue;
                     }
                     let (penalty, violation) = match station_windows[i] {
@@ -683,29 +841,60 @@ impl DpOptimizer {
                         prev_v: vi as u32,
                         violations: node.violations + violation,
                     };
-                    if layer[vj].map_or(true, |s| cand.cost < s.cost) {
-                        layer[vj] = Some(cand);
+                    expanded += 1;
+                    if slot[0].is_none_or(|s| cand.cost < s.cost) {
+                        slot[0] = Some(cand);
                     }
                 }
+                (expanded, pruned)
+            });
+            for (expanded, pruned) in counters {
+                metrics.states_expanded += expanded;
+                metrics.states_pruned += pruned;
             }
-            layers.push(layer);
         }
+        metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
 
+        let backtrack_started = Instant::now();
         let terminal = layers[n_stations - 1][0]
             .ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
-        let mut speeds_idx = vec![0usize; n_stations];
-        let mut times = vec![0.0f64; n_stations];
+        let speeds_idx = &mut arena.speeds_idx;
+        let times = &mut arena.times;
+        speeds_idx.clear();
+        speeds_idx.resize(n_stations, 0);
+        times.clear();
+        times.resize(n_stations, 0.0);
         let mut vi = 0usize;
         times[n_stations - 1] = terminal.time;
         for i in (1..n_stations).rev() {
-            let node = layers[i][vi].expect("backtrack follows stored parents");
+            let node = layers[i][vi].ok_or_else(|| {
+                Error::infeasible("backtrack lost its parent state (inconsistent DP layers)")
+            })?;
             times[i] = node.time;
             speeds_idx[i] = vi;
             vi = node.prev_v as usize;
         }
         speeds_idx[0] = start_vi;
         times[0] = start_time;
-        self.assemble(road, stations, &speeds_idx, &times, terminal.violations as usize)
+        metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
+
+        self.assemble(
+            road,
+            stations,
+            &arena.speeds_idx,
+            &arena.times,
+            terminal.violations as usize,
+            *metrics,
+        )
+    }
+
+    /// A clone forced to sequential relaxation. Batch planning parallelizes
+    /// across plans and must not oversubscribe the cores with per-plan
+    /// workers on top.
+    pub(crate) fn single_threaded(&self) -> Self {
+        let mut solo = self.clone();
+        solo.config.threads = 1;
+        solo
     }
 
     fn assemble(
@@ -715,6 +904,7 @@ impl DpOptimizer {
         speeds_idx: &[usize],
         times: &[f64],
         window_violations: usize,
+        metrics: SolverMetrics,
     ) -> Result<OptimizedProfile> {
         let speeds: Vec<MetersPerSecond> = speeds_idx
             .iter()
@@ -742,6 +932,7 @@ impl DpOptimizer {
             total_energy: AmpereHours::new(total),
             trip_time: Seconds::new(times[times.len() - 1] - times[0]),
             window_violations,
+            metrics,
         })
     }
 }
@@ -823,10 +1014,9 @@ mod tests {
         // Accelerations stay within comfort bounds.
         for i in 1..profile.stations.len() {
             let ds = (profile.stations[i] - profile.stations[i - 1]).value();
-            let a = (profile.speeds[i].value().powi(2)
-                - profile.speeds[i - 1].value().powi(2))
+            let a = (profile.speeds[i].value().powi(2) - profile.speeds[i - 1].value().powi(2))
                 / (2.0 * ds);
-            assert!(a <= 2.5 + 1e-6 && a >= -1.5 - 1e-6, "a = {a}");
+            assert!((-1.5 - 1e-6..=2.5 + 1e-6).contains(&a), "a = {a}");
         }
         // Times are strictly increasing.
         for w in profile.times.windows(2) {
@@ -880,7 +1070,9 @@ mod tests {
                 end: w0 + Seconds::new(10.0),
             }],
         };
-        let constrained = optimizer().optimize(&road, &[constraint.clone()]).unwrap();
+        let constrained = optimizer()
+            .optimize(&road, std::slice::from_ref(&constraint))
+            .unwrap();
         assert_eq!(constrained.window_violations, 0);
         let t_c = constrained.arrival_time_at(Meters::new(500.0));
         assert!(
@@ -944,7 +1136,7 @@ mod tests {
             }],
         };
         let exact = mk(TimeHandling::Exact)
-            .optimize(&road, &[constraint.clone()])
+            .optimize(&road, std::slice::from_ref(&constraint))
             .unwrap();
         let greedy = mk(TimeHandling::Greedy)
             .optimize(&road, &[constraint])
@@ -957,7 +1149,10 @@ mod tests {
         let road = simple_road(1000.0);
         let profile = optimizer().optimize(&road, &[]).unwrap();
         // Position sampling.
-        assert_eq!(profile.speed_at_position(Meters::new(-5.0)), profile.speeds[0]);
+        assert_eq!(
+            profile.speed_at_position(Meters::new(-5.0)),
+            profile.speeds[0]
+        );
         let mid = profile.speed_at_position(Meters::new(500.0));
         assert!(mid.value() > 0.0);
         // Time series export covers the trip and ends at rest.
@@ -1014,5 +1209,198 @@ mod tests {
             "DP {} vs naive {naive}",
             profile.total_energy.value()
         );
+    }
+
+    fn optimizer_with(config: DpConfig) -> DpOptimizer {
+        DpOptimizer::new(EnergyModel::new(VehicleParams::spark_ev()), config).unwrap()
+    }
+
+    fn bitwise_equal(a: &OptimizedProfile, b: &OptimizedProfile) -> bool {
+        a.stations.len() == b.stations.len()
+            && a.stations
+                .iter()
+                .zip(&b.stations)
+                .all(|(x, y)| x.value().to_bits() == y.value().to_bits())
+            && a.speeds
+                .iter()
+                .zip(&b.speeds)
+                .all(|(x, y)| x.value().to_bits() == y.value().to_bits())
+            && a.times
+                .iter()
+                .zip(&b.times)
+                .all(|(x, y)| x.value().to_bits() == y.value().to_bits())
+            && a.total_energy.value().to_bits() == b.total_energy.value().to_bits()
+            && a.trip_time.value().to_bits() == b.trip_time.value().to_bits()
+            && a.window_violations == b.window_violations
+    }
+
+    #[test]
+    fn parallel_exact_is_bit_identical_to_sequential() {
+        let road = simple_road(1200.0);
+        let t_free = optimizer().optimize(&road, &[]).unwrap();
+        let constraint = SignalConstraint {
+            position: Meters::new(600.0),
+            windows: vec![TimeWindow {
+                start: t_free.arrival_time_at(Meters::new(600.0)) + Seconds::new(12.0),
+                end: t_free.arrival_time_at(Meters::new(600.0)) + Seconds::new(20.0),
+            }],
+        };
+        let sequential = optimizer_with(DpConfig {
+            threads: 1,
+            ..DpConfig::default()
+        })
+        .optimize(&road, std::slice::from_ref(&constraint))
+        .unwrap();
+        for threads in [2, 3, 7] {
+            let parallel = optimizer_with(DpConfig {
+                threads,
+                ..DpConfig::default()
+            })
+            .optimize(&road, std::slice::from_ref(&constraint))
+            .unwrap();
+            assert!(
+                bitwise_equal(&sequential, &parallel),
+                "profile diverged at {threads} threads"
+            );
+            assert_eq!(parallel.metrics.threads_used, threads);
+            // Same search space, same pruning decisions.
+            assert_eq!(
+                parallel.metrics.states_expanded,
+                sequential.metrics.states_expanded
+            );
+            assert_eq!(
+                parallel.metrics.states_pruned,
+                sequential.metrics.states_pruned
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_greedy_is_bit_identical_to_sequential() {
+        let road = simple_road(1000.0);
+        let mk = |threads| {
+            optimizer_with(DpConfig {
+                time_handling: TimeHandling::Greedy,
+                threads,
+                ..DpConfig::default()
+            })
+        };
+        let sequential = mk(1).optimize(&road, &[]).unwrap();
+        for threads in [2, 5] {
+            let parallel = mk(threads).optimize(&road, &[]).unwrap();
+            assert!(
+                bitwise_equal(&sequential, &parallel),
+                "greedy profile diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_reuse_kicks_in_on_second_solve() {
+        let road = simple_road(800.0);
+        let opt = optimizer();
+        let mut arena = SolverArena::new();
+        let first = opt
+            .optimize_from_with(&road, &[], StartState::default(), &mut arena)
+            .unwrap();
+        assert_eq!(first.metrics.arena_reuse_hits, 0);
+        assert!(first.metrics.arena_allocations > 0);
+        let second = opt
+            .optimize_from_with(&road, &[], StartState::default(), &mut arena)
+            .unwrap();
+        assert_eq!(second.metrics.arena_allocations, 0);
+        assert!(second.metrics.arena_reuse_hits > 0);
+        // Scratch reuse must not change the plan.
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let road = simple_road(1000.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        let m = profile.metrics;
+        assert!(m.states_expanded > 0);
+        assert!(m.threads_used >= 1);
+        assert!(m.relax_seconds >= 0.0 && m.total_seconds() >= m.relax_seconds);
+        assert!(m.expansion_ratio() > 0.0 && m.expansion_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn profiles_with_different_metrics_compare_equal() {
+        let road = simple_road(800.0);
+        let a = optimizer().optimize(&road, &[]).unwrap();
+        let mut b = a.clone();
+        b.metrics.relax_seconds += 100.0;
+        b.metrics.states_expanded += 1;
+        assert_eq!(a, b);
+        b.window_violations += 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nearest_index_boundary_behavior() {
+        let stations: Vec<Meters> = [0.0, 20.0, 40.0, 60.0]
+            .iter()
+            .map(|&x| Meters::new(x))
+            .collect();
+        // Below the first and past the last station clamp.
+        assert_eq!(nearest_index(&stations, Meters::new(-5.0)), 0);
+        assert_eq!(nearest_index(&stations, Meters::new(1000.0)), 3);
+        // Exact hits.
+        for (i, &s) in stations.iter().enumerate() {
+            assert_eq!(nearest_index(&stations, s), i);
+        }
+        // Interior points round to the closer neighbor; exact midpoints
+        // resolve to the lower station (the linear scan's tie rule).
+        assert_eq!(nearest_index(&stations, Meters::new(24.0)), 1);
+        assert_eq!(nearest_index(&stations, Meters::new(36.0)), 2);
+        assert_eq!(nearest_index(&stations, Meters::new(30.0)), 1);
+        // Single-station degenerate case.
+        assert_eq!(nearest_index(&[Meters::new(7.0)], Meters::new(99.0)), 0);
+    }
+
+    #[test]
+    fn nearest_index_matches_linear_scan() {
+        let stations = build_stations_from(&simple_road(1000.0), Meters::ZERO, Meters::new(20.0));
+        for k in 0..200 {
+            let x = Meters::new(-10.0 + k as f64 * 5.3);
+            let linear = stations
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (**a - x)
+                        .abs()
+                        .value()
+                        .partial_cmp(&(**b - x).abs().value())
+                        .unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(nearest_index(&stations, x), linear, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn greedy_infeasible_backtrack_is_an_error_not_a_panic() {
+        // A corridor far too long for the horizon: no terminal state exists
+        // and the solver must report infeasibility.
+        let road = simple_road(30_000.0);
+        let opt = optimizer_with(DpConfig {
+            time_handling: TimeHandling::Greedy,
+            horizon: Seconds::new(120.0),
+            ..DpConfig::default()
+        });
+        assert!(matches!(
+            opt.optimize(&road, &[]),
+            Err(Error::Infeasible(_))
+        ));
+        let opt = optimizer_with(DpConfig {
+            horizon: Seconds::new(120.0),
+            ..DpConfig::default()
+        });
+        assert!(matches!(
+            opt.optimize(&road, &[]),
+            Err(Error::Infeasible(_))
+        ));
     }
 }

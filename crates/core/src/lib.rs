@@ -51,14 +51,24 @@
 //! ```
 
 pub mod analysis;
+pub mod arena;
+pub mod batch;
 pub mod dp;
+pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod profiles;
 pub mod replan;
 pub mod windows;
 
 pub use analysis::{ProfileMetrics, TripComparison};
-pub use dp::{DpConfig, DpOptimizer, OptimizedProfile, SignalConstraint, StartState, TimeHandling};
+pub use arena::{LayerPool, LeaseStats};
+pub use batch::PlanRequest;
+pub use dp::{
+    DpConfig, DpOptimizer, OptimizedProfile, SignalConstraint, SolverArena, StartState,
+    TimeHandling,
+};
+pub use metrics::SolverMetrics;
 pub use pipeline::{SystemConfig, VelocityOptimizationSystem};
 pub use profiles::{DriverProfile, DrivingStyle};
 pub use replan::{ReplanConfig, Replanner};

@@ -1,0 +1,109 @@
+//! Lightweight solver instrumentation.
+//!
+//! Every [`OptimizedProfile`](crate::dp::OptimizedProfile) carries a
+//! [`SolverMetrics`] describing the work the DP did to produce it: how many
+//! states were relaxed, how many candidate transitions were pruned, where
+//! the wall time went, and whether the layer arena was able to recycle
+//! buffers from a previous solve. The cloud server forwards these over the
+//! wire and the DP benchmarks print them, so a regression in pruning or
+//! arena reuse is visible without a profiler.
+//!
+//! Metrics are *observability, not semantics*: two profiles that differ
+//! only in metrics compare equal (see `OptimizedProfile`'s `PartialEq`),
+//! because wall times vary run to run while the planned trajectory must
+//! not.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and timings for one `optimize_from` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverMetrics {
+    /// Candidate states written into a DP layer (relaxations that passed
+    /// every feasibility filter).
+    pub states_expanded: u64,
+    /// Candidate transitions discarded before becoming states: outside the
+    /// kinematic envelope, past the horizon, or beyond the last time bin.
+    pub states_pruned: u64,
+    /// Wall time building the station grid, speed masks, and windows.
+    pub setup_seconds: f64,
+    /// Wall time in the layer-relaxation loops (the DP itself).
+    pub relax_seconds: f64,
+    /// Wall time backtracking and assembling the profile.
+    pub backtrack_seconds: f64,
+    /// Layer buffers recycled from the arena without allocating.
+    pub arena_reuse_hits: u64,
+    /// Layer buffers that required a fresh allocation.
+    pub arena_allocations: u64,
+    /// Worker threads used for layer relaxation (1 = sequential).
+    pub threads_used: usize,
+}
+
+impl SolverMetrics {
+    /// Total wall time across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.setup_seconds + self.relax_seconds + self.backtrack_seconds
+    }
+
+    /// Fraction of considered transitions that survived into states, in
+    /// `[0, 1]`; `1.0` for an empty solve.
+    pub fn expansion_ratio(&self) -> f64 {
+        let considered = self.states_expanded + self.states_pruned;
+        if considered == 0 {
+            return 1.0;
+        }
+        self.states_expanded as f64 / considered as f64
+    }
+
+    /// Accumulates another solve's metrics into this one (counters add,
+    /// times add, thread count takes the maximum). Used to aggregate a
+    /// batch.
+    pub fn absorb(&mut self, other: &SolverMetrics) {
+        self.states_expanded += other.states_expanded;
+        self.states_pruned += other.states_pruned;
+        self.setup_seconds += other.setup_seconds;
+        self.relax_seconds += other.relax_seconds;
+        self.backtrack_seconds += other.backtrack_seconds;
+        self.arena_reuse_hits += other.arena_reuse_hits;
+        self.arena_allocations += other.arena_allocations;
+        self.threads_used = self.threads_used.max(other.threads_used);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = SolverMetrics {
+            states_expanded: 10,
+            states_pruned: 5,
+            setup_seconds: 0.1,
+            relax_seconds: 0.2,
+            backtrack_seconds: 0.05,
+            arena_reuse_hits: 1,
+            arena_allocations: 2,
+            threads_used: 1,
+        };
+        let b = SolverMetrics {
+            states_expanded: 3,
+            threads_used: 4,
+            ..SolverMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.states_expanded, 13);
+        assert_eq!(a.threads_used, 4);
+        assert!((a.total_seconds() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_ratio_bounds() {
+        assert_eq!(SolverMetrics::default().expansion_ratio(), 1.0);
+        let m = SolverMetrics {
+            states_expanded: 1,
+            states_pruned: 3,
+            ..SolverMetrics::default()
+        };
+        assert!((m.expansion_ratio() - 0.25).abs() < 1e-12);
+    }
+}

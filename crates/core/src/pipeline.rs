@@ -276,9 +276,8 @@ mod tests {
         // slowing down to hit a later window *saves* charge.)
         let system = VelocityOptimizationSystem::new(SystemConfig::us25()).unwrap();
         let beta = system.config().dp.time_weight;
-        let blended = |p: &crate::dp::OptimizedProfile| {
-            p.total_energy.value() + beta * p.trip_time.value()
-        };
+        let blended =
+            |p: &crate::dp::OptimizedProfile| p.total_energy.value() + beta * p.trip_time.value();
         let free = system.optimize_unconstrained().unwrap();
         let ours = system.optimize().unwrap();
         let baseline = system.optimize_baseline().unwrap();
@@ -299,6 +298,6 @@ mod tests {
             .position(|s| (s.value() - 480.0).abs() < 1e-6)
             .unwrap();
         assert_eq!(ours.speeds[idx].value(), 0.0);
-        drop(v);
+        let _ = v;
     }
 }

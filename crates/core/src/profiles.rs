@@ -130,10 +130,9 @@ impl DriverProfile {
             // deterministic sinusoid so profiles stay reproducible.
             let wobble = style.wobble_amplitude()
                 * (std::f64::consts::TAU * t.value() / style.wobble_period().value()).sin();
-            let target = MetersPerSecond::new(
-                (style.target_speed(road, x).value() + wobble).max(0.0),
-            )
-            .min(road.speed_limits_at(x).1);
+            let target =
+                MetersPerSecond::new((style.target_speed(road, x).value() + wobble).max(0.0))
+                    .min(road.speed_limits_at(x).1);
             let b = style.decel().value();
             let mut a = if v < target {
                 style.accel().value()

@@ -8,7 +8,7 @@
 //! onto the queue-free windows even after disturbances (a slow platoon, an
 //! unexpected stop, a longer-than-modeled sign service).
 
-use crate::dp::{OptimizedProfile, SignalConstraint, StartState};
+use crate::dp::{OptimizedProfile, SignalConstraint, SolverArena, StartState};
 use crate::pipeline::VelocityOptimizationSystem;
 use serde::{Deserialize, Serialize};
 use velopt_common::units::{Meters, MetersPerSecond, Seconds};
@@ -64,6 +64,9 @@ pub struct Replanner {
     plan: OptimizedProfile,
     last_replan_at: Seconds,
     replans: usize,
+    /// Solver scratch kept across ticks so every refresh after the first
+    /// reuses the previous refresh's DP layer buffers.
+    arena: SolverArena,
 }
 
 impl Replanner {
@@ -85,6 +88,7 @@ impl Replanner {
             plan,
             last_replan_at: Seconds::ZERO,
             replans: 0,
+            arena: SolverArena::new(),
         })
     }
 
@@ -134,11 +138,12 @@ impl Replanner {
                 speed,
                 time,
             };
-            match self
-                .system
-                .optimizer()
-                .optimize_from(&self.system.config().road, &self.windows, start)
-            {
+            match self.system.optimizer().optimize_from_with(
+                &self.system.config().road,
+                &self.windows,
+                start,
+                &mut self.arena,
+            ) {
                 Ok(plan) => {
                     self.plan = plan;
                     self.replans += 1;
@@ -193,9 +198,7 @@ mod tests {
         let planned_t = r.plan().arrival_time_at(pos);
         // The EV shows up 12 s late at reduced speed (was stuck in traffic).
         let late_t = planned_t + Seconds::new(12.0);
-        let _ = r
-            .command(pos, MetersPerSecond::new(10.0), late_t)
-            .unwrap();
+        let _ = r.command(pos, MetersPerSecond::new(10.0), late_t).unwrap();
         assert_eq!(r.replans(), 1, "drift should force a refresh");
         // The refreshed plan starts at the live state...
         assert_eq!(r.plan().stations[0], pos);
@@ -221,6 +224,28 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.replans(), 1, "cooldown must suppress the second refresh");
+    }
+
+    #[test]
+    fn second_replan_reuses_the_arena() {
+        let mut r = replanner();
+        let pos = Meters::new(800.0);
+        let late = r.plan().arrival_time_at(pos) + Seconds::new(10.0);
+        let _ = r.command(pos, MetersPerSecond::new(12.0), late).unwrap();
+        assert_eq!(r.replans(), 1);
+        // First refresh had to allocate its layers.
+        assert!(r.plan().metrics.arena_allocations > 0);
+
+        // Past the cooldown, drifting again further down the corridor: the
+        // refreshed solve is no larger than the first, so every layer comes
+        // from the arena.
+        let pos2 = Meters::new(1200.0);
+        let late2 =
+            (r.plan().arrival_time_at(pos2) + Seconds::new(10.0)).max(late + Seconds::new(6.0));
+        let _ = r.command(pos2, MetersPerSecond::new(12.0), late2).unwrap();
+        assert_eq!(r.replans(), 2);
+        assert_eq!(r.plan().metrics.arena_allocations, 0);
+        assert!(r.plan().metrics.arena_reuse_hits > 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests: every DP output satisfies the Eq. 7 constraints.
 
 use proptest::prelude::*;
-use velopt_common::units::{KilometersPerHour, Meters, MetersPerSecond, Seconds};
+use velopt_common::units::{KilometersPerHour, Meters, Seconds};
 use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint};
 use velopt_core::profiles::{DriverProfile, DrivingStyle};
 use velopt_ev_energy::{EnergyModel, VehicleParams};
@@ -81,7 +81,7 @@ proptest! {
             position: pos,
             windows: vec![TimeWindow { start: t0, end: t0 + Seconds::new(width) }],
         };
-        let profile = opt.optimize(&road, &[constraint.clone()]).unwrap();
+        let profile = opt.optimize(&road, std::slice::from_ref(&constraint)).unwrap();
         prop_assert_eq!(profile.window_violations, 0);
         prop_assert!(constraint.admits(profile.arrival_time_at(pos)));
     }

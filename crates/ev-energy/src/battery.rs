@@ -101,14 +101,9 @@ pub struct BatteryPack {
 impl BatteryPack {
     /// The paper's Spark EV pack: 22P96S of 2.1 Ah cells → 46.2 Ah @ 399 V.
     pub fn spark_ev() -> Self {
-        PackConfig::new(
-            22,
-            96,
-            AmpereHours::new(2.1),
-            Volts::new(399.0 / 96.0),
-        )
-        .expect("spark pack constants are valid")
-        .build()
+        PackConfig::new(22, 96, AmpereHours::new(2.1), Volts::new(399.0 / 96.0))
+            .expect("spark pack constants are valid")
+            .build()
     }
 
     /// The cell-level configuration.

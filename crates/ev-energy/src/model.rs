@@ -4,16 +4,17 @@ use crate::params::VehicleParams;
 use crate::GRAVITY;
 use serde::{Deserialize, Serialize};
 use velopt_common::units::{
-    Amperes, AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Radians, Seconds, Watts,
+    AmpereHours, Amperes, Meters, MetersPerSecond, MetersPerSecondSq, Radians, Seconds, Watts,
 };
 use velopt_common::{Error, Result, TimeSeries};
 
 /// How regenerative braking is converted into battery charge.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum RegenPolicy {
     /// Eq. (3) applied literally for both signs of the drive force:
     /// `ζ = F·v / (U·η₁·η₂)`. This is what produces the negative region of
     /// Fig. 3 and is the default.
+    #[default]
     PaperLiteral,
     /// A more physical model: when the wheel power is negative, only
     /// `efficiency` of it charges the battery, and no regeneration occurs
@@ -24,12 +25,6 @@ pub enum RegenPolicy {
         /// Speed below which no energy is recovered.
         cutoff: MetersPerSecond,
     },
-}
-
-impl Default for RegenPolicy {
-    fn default() -> Self {
-        RegenPolicy::PaperLiteral
-    }
 }
 
 /// Charge, time and exit speed of one constant-acceleration segment.
@@ -107,28 +102,22 @@ impl EnergyModel {
     }
 
     /// Required drive force `F_drive` in newtons, Eq. (1).
-    pub fn drive_force(
-        &self,
-        v: MetersPerSecond,
-        a: MetersPerSecondSq,
-        grade: Radians,
-    ) -> f64 {
+    pub fn drive_force(&self, v: MetersPerSecond, a: MetersPerSecondSq, grade: Radians) -> f64 {
         let p = &self.params;
         let inertial = p.mass_kg() * a.value();
-        let drag = 0.5 * p.air_density() * p.frontal_area_m2() * p.drag_coefficient()
-            * v.value() * v.value();
+        let drag = 0.5
+            * p.air_density()
+            * p.frontal_area_m2()
+            * p.drag_coefficient()
+            * v.value()
+            * v.value();
         let climb = p.mass_kg() * GRAVITY * grade.sin();
         let roll = p.rolling_resistance() * p.mass_kg() * GRAVITY * grade.cos();
         inertial + drag + climb + roll
     }
 
     /// Mechanical power at the wheels, `F_drive · v`.
-    pub fn wheel_power(
-        &self,
-        v: MetersPerSecond,
-        a: MetersPerSecondSq,
-        grade: Radians,
-    ) -> Watts {
+    pub fn wheel_power(&self, v: MetersPerSecond, a: MetersPerSecondSq, grade: Radians) -> Watts {
         Watts::new(self.drive_force(v, a, grade) * v.value())
     }
 
@@ -136,12 +125,7 @@ impl EnergyModel {
     ///
     /// Positive values discharge the pack; negative values (possible when the
     /// drive force is negative, i.e. braking or descending) regenerate.
-    pub fn charge_rate(
-        &self,
-        v: MetersPerSecond,
-        a: MetersPerSecondSq,
-        grade: Radians,
-    ) -> Amperes {
+    pub fn charge_rate(&self, v: MetersPerSecond, a: MetersPerSecondSq, grade: Radians) -> Amperes {
         let p_wheel = self.wheel_power(v, a, grade).value();
         let u = self.params.battery().voltage().value();
         let eta = self.params.total_efficiency();
@@ -216,7 +200,9 @@ impl EnergyModel {
         let mut prev = self.charge_rate(v0, a, grade).value();
         for i in 1..=n {
             let v = MetersPerSecond::new(v0.value() + a.value() * dt * i as f64);
-            let cur = self.charge_rate(v.max(MetersPerSecond::ZERO), a, grade).value();
+            let cur = self
+                .charge_rate(v.max(MetersPerSecond::ZERO), a, grade)
+                .value();
             amp_seconds += 0.5 * (prev + cur) * dt;
             prev = cur;
         }
@@ -291,7 +277,11 @@ mod tests {
     #[test]
     fn force_components_at_rest_flat() {
         // At v=0, a=0, θ=0 only rolling resistance acts.
-        let f = model().drive_force(MetersPerSecond::ZERO, MetersPerSecondSq::ZERO, Radians::ZERO);
+        let f = model().drive_force(
+            MetersPerSecond::ZERO,
+            MetersPerSecondSq::ZERO,
+            Radians::ZERO,
+        );
         let expected = 0.018 * 1300.0 * GRAVITY;
         assert!((f - expected).abs() < 1e-9);
     }
@@ -300,7 +290,11 @@ mod tests {
     fn drag_grows_quadratically() {
         let m = model();
         let f = |v: f64| {
-            m.drive_force(MetersPerSecond::new(v), MetersPerSecondSq::ZERO, Radians::ZERO)
+            m.drive_force(
+                MetersPerSecond::new(v),
+                MetersPerSecondSq::ZERO,
+                Radians::ZERO,
+            )
         };
         let roll = f(0.0);
         let d10 = f(10.0) - roll;
@@ -378,7 +372,11 @@ mod tests {
         assert!((seg.duration.value() - 10.0).abs() < 1e-9);
         assert!((seg.exit_speed.value() - 10.0).abs() < 1e-9);
         let rate = m
-            .charge_rate(MetersPerSecond::new(10.0), MetersPerSecondSq::ZERO, Radians::ZERO)
+            .charge_rate(
+                MetersPerSecond::new(10.0),
+                MetersPerSecondSq::ZERO,
+                Radians::ZERO,
+            )
             .value()
             + m.aux_current().value();
         assert!((seg.charge.value() - rate * 10.0 / 3600.0).abs() < 1e-9);
@@ -470,7 +468,12 @@ mod tests {
             )
             .unwrap();
         let down = m
-            .segment_energy(up.exit_speed, MetersPerSecondSq::new(-1.0), Meters::new(100.0), Radians::ZERO)
+            .segment_energy(
+                up.exit_speed,
+                MetersPerSecondSq::new(-1.0),
+                Meters::new(100.0),
+                Radians::ZERO,
+            )
             .unwrap();
         assert!((down.exit_speed.value() - 5.0).abs() < 1e-6);
         assert!(up.charge.value() + down.charge.value() > 0.0);

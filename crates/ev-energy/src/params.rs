@@ -304,7 +304,10 @@ mod tests {
     fn builder_rejects_nonpositive() {
         assert!(VehicleParams::builder().mass_kg(0.0).build().is_err());
         assert!(VehicleParams::builder().mass_kg(-1.0).build().is_err());
-        assert!(VehicleParams::builder().air_density(f64::NAN).build().is_err());
+        assert!(VehicleParams::builder()
+            .air_density(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]

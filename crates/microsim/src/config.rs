@@ -313,18 +313,11 @@ mod tests {
         let a0 = p.idm_acceleration(MetersPerSecond::ZERO, MetersPerSecond::new(19.4), None);
         assert!((a0.value() - p.accel.value()).abs() < 1e-9);
         // At the desired speed: zero acceleration.
-        let a_eq = p.idm_acceleration(
-            MetersPerSecond::new(19.4),
-            MetersPerSecond::new(19.4),
-            None,
-        );
+        let a_eq = p.idm_acceleration(MetersPerSecond::new(19.4), MetersPerSecond::new(19.4), None);
         assert!(a_eq.value().abs() < 1e-9);
         // Above the desired speed: deceleration.
-        let a_over = p.idm_acceleration(
-            MetersPerSecond::new(25.0),
-            MetersPerSecond::new(19.4),
-            None,
-        );
+        let a_over =
+            p.idm_acceleration(MetersPerSecond::new(25.0), MetersPerSecond::new(19.4), None);
         assert!(a_over.value() < 0.0);
     }
 
@@ -352,7 +345,9 @@ mod tests {
         // not cover more than the gap (leader stopped).
         let p = KraussParams::passenger();
         let gap = 37.0;
-        let v = p.safe_speed(Meters::new(gap), MetersPerSecond::ZERO).value();
+        let v = p
+            .safe_speed(Meters::new(gap), MetersPerSecond::ZERO)
+            .value();
         let b = p.decel.value();
         let tau = p.reaction.value();
         let stopping = v * tau + v * v / (2.0 * b);

@@ -92,6 +92,9 @@ mod tests {
         assert_eq!(loop_.window_count(), 0);
         assert_eq!(loop_.total(), 5);
         // Zero-length window yields zero flow, not a division by zero.
-        assert_eq!(loop_.take_window(Seconds::new(100.0)), VehiclesPerHour::ZERO);
+        assert_eq!(
+            loop_.take_window(Seconds::new(100.0)),
+            VehiclesPerHour::ZERO
+        );
     }
 }

@@ -308,9 +308,8 @@ impl Simulation {
                 continue; // past the light
             }
             let gap = front - v.position;
-            let allowance = v.params.length.value()
-                + 3.0 * v.params.min_gap.value()
-                + 1.5 * v.speed.value();
+            let allowance =
+                v.params.length.value() + 3.0 * v.params.min_gap.value() + 1.5 * v.speed.value();
             if gap.value() <= allowance && v.speed.value() < 10.0 {
                 count += 1;
                 front = v.rear();
@@ -347,8 +346,7 @@ impl Simulation {
             for light in self.road.traffic_lights() {
                 if light.position() > v.position {
                     if light.phase_at(self.time) == Phase::Red {
-                        constraints
-                            .push((light.position() - v.position, MetersPerSecond::ZERO));
+                        constraints.push((light.position() - v.position, MetersPerSecond::ZERO));
                     }
                     break; // only the nearest light ahead can bind
                 }
@@ -390,7 +388,9 @@ impl Simulation {
                     let a = v.params.idm_acceleration(v.speed, free, binding);
                     // Limit braking to a hard emergency bound so a single
                     // step cannot produce absurd decelerations.
-                    let a = a.value().clamp(-2.0 * v.params.decel.value(), v.params.accel.value());
+                    let a = a
+                        .value()
+                        .clamp(-2.0 * v.params.decel.value(), v.params.accel.value());
                     MetersPerSecond::new((v.speed.value() + a * dt.value()).max(0.0))
                 }
             };
@@ -400,8 +400,8 @@ impl Simulation {
                 && v.params.sigma > 0.0
                 && v.params.model == crate::config::FollowingModel::Krauss
             {
-                let dawdle = v.params.sigma * v.params.accel.value() * dt.value()
-                    * self.rng.next_f64();
+                let dawdle =
+                    v.params.sigma * v.params.accel.value() * dt.value() * self.rng.next_f64();
                 next = MetersPerSecond::new((next.value() - dawdle).max(0.0));
             }
             new_speeds.push(next);
@@ -532,9 +532,7 @@ impl Simulation {
     fn insert_vehicle(&mut self, v: Vehicle) {
         // Vehicles are sorted front-most first; new arrivals enter at the
         // back (position 0).
-        let idx = self
-            .vehicles
-            .partition_point(|u| u.position >= v.position);
+        let idx = self.vehicles.partition_point(|u| u.position >= v.position);
         self.vehicles.insert(idx, v);
     }
 
@@ -640,11 +638,14 @@ mod tests {
     fn ego_respects_commanded_speed() {
         let mut sim = quick_sim(free_road());
         sim.spawn_ego(MetersPerSecond::ZERO).unwrap();
-        sim.set_ego_command(Some(MetersPerSecond::new(7.0))).unwrap();
+        sim.set_ego_command(Some(MetersPerSecond::new(7.0)))
+            .unwrap();
         sim.run_until(Seconds::new(20.0)).unwrap();
         let ego = sim.ego().unwrap();
         assert!((ego.speed.value() - 7.0).abs() < 0.1);
-        assert!(sim.set_ego_command(Some(MetersPerSecond::new(-1.0))).is_err());
+        assert!(sim
+            .set_ego_command(Some(MetersPerSecond::new(-1.0)))
+            .is_err());
     }
 
     #[test]
@@ -687,7 +688,10 @@ mod tests {
             }
         }
         assert!(stopped_near_sign, "ego must come to a halt at the sign");
-        assert!(sim.ego_finished_at().is_some(), "ego proceeds after stopping");
+        assert!(
+            sim.ego_finished_at().is_some(),
+            "ego proceeds after stopping"
+        );
     }
 
     #[test]
@@ -710,7 +714,8 @@ mod tests {
         sim.run_until(red_end - Seconds::new(2.0)).unwrap();
         let during_red = sim.queue_at_light(0);
         assert!(during_red > 0, "a queue should form during red");
-        sim.run_until(red_end + light.green() - Seconds::new(3.0)).unwrap();
+        sim.run_until(red_end + light.green() - Seconds::new(3.0))
+            .unwrap();
         let late_green = sim.queue_at_light(0);
         assert!(
             late_green < during_red,
@@ -725,7 +730,10 @@ mod tests {
         assert!(sim.add_detector(Meters::new(9999.0)).is_err());
         sim.set_arrival_rate(VehiclesPerHour::new(720.0));
         sim.run_until(Seconds::new(600.0)).unwrap();
-        let flow = sim.detector_mut(det).unwrap().take_window(Seconds::new(600.0));
+        let flow = sim
+            .detector_mut(det)
+            .unwrap()
+            .take_window(Seconds::new(600.0));
         // Expect roughly the injection rate (wide tolerance for Poisson).
         assert!(
             flow.value() > 400.0 && flow.value() < 1000.0,
@@ -848,7 +856,10 @@ mod tests {
         };
         let krauss = mk(crate::config::KraussParams::passenger());
         let idm = mk(crate::config::KraussParams::passenger_idm());
-        assert!(krauss > 0 && idm > 0, "both models build queues: {krauss} vs {idm}");
+        assert!(
+            krauss > 0 && idm > 0,
+            "both models build queues: {krauss} vs {idm}"
+        );
     }
 
     #[test]

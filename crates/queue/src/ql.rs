@@ -462,7 +462,9 @@ mod tests {
     fn empty_windows_validate_inputs() {
         let m = model();
         let light = probe_light();
-        assert!(m.empty_windows(&light, Seconds::ZERO, Seconds::ZERO).is_err());
+        assert!(m
+            .empty_windows(&light, Seconds::ZERO, Seconds::ZERO)
+            .is_err());
         let wrong = TrafficLight::new(
             Meters::ZERO,
             Seconds::new(25.0),
@@ -470,7 +472,9 @@ mod tests {
             Seconds::ZERO,
         )
         .unwrap();
-        assert!(m.empty_windows(&wrong, Seconds::ZERO, Seconds::new(60.0)).is_err());
+        assert!(m
+            .empty_windows(&wrong, Seconds::ZERO, Seconds::new(60.0))
+            .is_err());
     }
 
     #[test]

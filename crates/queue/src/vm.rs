@@ -108,7 +108,9 @@ impl VmModel {
         let ramp = self.ramp_duration();
         let ramp_dist = 0.5 * self.v_min.value() * ramp.value();
         if dist.value() <= ramp_dist {
-            Ok(Seconds::new((2.0 * dist.value() / self.a_max.value()).sqrt()))
+            Ok(Seconds::new(
+                (2.0 * dist.value() / self.a_max.value()).sqrt(),
+            ))
         } else {
             Ok(ramp + Seconds::new((dist.value() - ramp_dist) / self.v_min.value()))
         }
@@ -132,7 +134,10 @@ mod tests {
     #[test]
     fn speed_profile_is_ramp_then_plateau() {
         let vm = vm();
-        assert_eq!(vm.discharge_speed(Seconds::new(-5.0)), MetersPerSecond::ZERO);
+        assert_eq!(
+            vm.discharge_speed(Seconds::new(-5.0)),
+            MetersPerSecond::ZERO
+        );
         assert_eq!(vm.discharge_speed(Seconds::ZERO), MetersPerSecond::ZERO);
         assert_eq!(
             vm.discharge_speed(Seconds::new(2.0)),

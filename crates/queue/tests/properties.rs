@@ -1,21 +1,19 @@
 //! Property-based tests for the queue-model invariants.
 
 use proptest::prelude::*;
-use velopt_common::units::{
-    Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour,
-};
+use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Seconds, VehiclesPerHour};
 use velopt_queue::{BaselineQueueModel, QueueModel, QueueParams};
 use velopt_road::TrafficLight;
 
 fn arb_params() -> impl Strategy<Value = QueueParams> {
     (
-        0.0f64..1500.0,  // arrival veh/h
-        4.0f64..15.0,    // spacing m
-        0.2f64..1.0,     // gamma
-        5.0f64..20.0,    // v_min m/s
-        1.0f64..3.0,     // a_max
-        10.0f64..90.0,   // red s
-        10.0f64..90.0,   // green s
+        0.0f64..1500.0, // arrival veh/h
+        4.0f64..15.0,   // spacing m
+        0.2f64..1.0,    // gamma
+        5.0f64..20.0,   // v_min m/s
+        1.0f64..3.0,    // a_max
+        10.0f64..90.0,  // red s
+        10.0f64..90.0,  // green s
     )
         .prop_map(|(vin, d, g, vmin, amax, red, green)| QueueParams {
             arrival_rate: VehiclesPerHour::new(vin),

@@ -102,13 +102,14 @@ impl CorridorTemplate {
 
         // Lights spread over the middle 80% of the corridor with a minimum
         // spacing, each with its own phase lengths and offset.
-        let n_lights = t.lights.0
-            + (rng.next_u64() as usize) % (t.lights.1 - t.lights.0 + 1);
+        let n_lights = t.lights.0 + (rng.next_u64() as usize) % (t.lights.1 - t.lights.0 + 1);
         let usable = 0.8 * length;
         let spacing = usable / n_lights as f64;
         for i in 0..n_lights {
             let base = 0.1 * length + i as f64 * spacing;
-            let pos = rng.uniform(base + 0.2 * spacing, base + 0.8 * spacing).round();
+            let pos = rng
+                .uniform(base + 0.2 * spacing, base + 0.8 * spacing)
+                .round();
             let red = rng.uniform(t.phase.0, t.phase.1).round();
             let green = rng.uniform(t.phase.0, t.phase.1).round();
             let offset = rng.uniform(0.0, red + green).round();

@@ -187,10 +187,20 @@ mod tests {
 
     #[test]
     fn construction_validation() {
-        assert!(TrafficLight::new(Meters::ZERO, Seconds::ZERO, Seconds::new(1.0), Seconds::ZERO)
-            .is_err());
-        assert!(TrafficLight::new(Meters::ZERO, Seconds::new(1.0), Seconds::ZERO, Seconds::ZERO)
-            .is_err());
+        assert!(TrafficLight::new(
+            Meters::ZERO,
+            Seconds::ZERO,
+            Seconds::new(1.0),
+            Seconds::ZERO
+        )
+        .is_err());
+        assert!(TrafficLight::new(
+            Meters::ZERO,
+            Seconds::new(1.0),
+            Seconds::ZERO,
+            Seconds::ZERO
+        )
+        .is_err());
         assert!(TrafficLight::new(
             Meters::new(-1.0),
             Seconds::new(1.0),

@@ -92,10 +92,7 @@ impl TraciClient {
     /// # Errors
     ///
     /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
-    pub fn simulation_step_collect(
-        &mut self,
-        target_time: f64,
-    ) -> Result<Vec<SubscriptionResult>> {
+    pub fn simulation_step_collect(&mut self, target_time: f64) -> Result<Vec<SubscriptionResult>> {
         let mut buf = BytesMut::new();
         buf.put_f64(target_time);
         let responses = self.request(Command::new(ids::CMD_SIMSTEP, buf.freeze()))?;
@@ -144,7 +141,10 @@ impl TraciClient {
         for &v in variables {
             buf.put_u8(v);
         }
-        self.request(Command::new(ids::CMD_SUBSCRIBE_VEHICLE_VARIABLE, buf.freeze()))?;
+        self.request(Command::new(
+            ids::CMD_SUBSCRIBE_VEHICLE_VARIABLE,
+            buf.freeze(),
+        ))?;
         Ok(())
     }
 
@@ -218,7 +218,11 @@ impl TraciClient {
     /// Returns [`Error::Protocol`] if the light does not exist.
     pub fn traffic_light_state(&mut self, light: &str) -> Result<String> {
         Ok(self
-            .get_variable(ids::CMD_GET_TL_VARIABLE, ids::TL_RED_YELLOW_GREEN_STATE, light)?
+            .get_variable(
+                ids::CMD_GET_TL_VARIABLE,
+                ids::TL_RED_YELLOW_GREEN_STATE,
+                light,
+            )?
             .as_string()?
             .to_owned())
     }

@@ -256,7 +256,12 @@ fn handle_command(
                 Phase::Green => "G",
                 Phase::Red => "r",
             };
-            Ok(get_response(cmd, var, &object, TraciValue::String(state.into())))
+            Ok(get_response(
+                cmd,
+                var,
+                &object,
+                TraciValue::String(state.into()),
+            ))
         }
         ids::CMD_GET_INDUCTIONLOOP_VARIABLE => {
             let (var, object, _) = decode_get(cmd)?;
@@ -286,16 +291,10 @@ fn handle_command(
             }
             let value = TraciValue::decode(&mut payload)?.as_double()?;
             let mut sim = sim.lock();
-            let ego_is_target = sim
-                .ego()
-                .is_some()
-                .then(|| {
-                    sim.vehicles()
-                        .iter()
-                        .any(|v| v.id().to_string() == object
-                            && v.kind() == velopt_microsim::VehicleKind::Ego)
-                })
-                .unwrap_or(false);
+            let ego_is_target = sim.ego().is_some()
+                && sim.vehicles().iter().any(|v| {
+                    v.id().to_string() == object && v.kind() == velopt_microsim::VehicleKind::Ego
+                });
             if !ego_is_target {
                 return Err(Error::protocol(format!(
                     "vehicle '{object}' is not externally controllable"
@@ -309,15 +308,12 @@ fn handle_command(
             sim.set_ego_command(command)?;
             Ok(vec![Status::ok(cmd.id).to_command()])
         }
-        other => Ok(vec![Command::new(
-            other,
-            {
-                let mut buf = BytesMut::new();
-                buf.put_u8(ids::RTYPE_NOTIMPLEMENTED);
-                put_string(&mut buf, "command not implemented");
-                buf.freeze()
-            },
-        )]),
+        other => Ok(vec![Command::new(other, {
+            let mut buf = BytesMut::new();
+            buf.put_u8(ids::RTYPE_NOTIMPLEMENTED);
+            put_string(&mut buf, "command not implemented");
+            buf.freeze()
+        })]),
     }
 }
 
@@ -342,9 +338,7 @@ fn subscription_results(sim: &Simulation, subscriptions: &[Subscription]) -> Vec
             buf.put_u8(ids::RTYPE_OK);
             let value = match var {
                 ids::VAR_SPEED => TraciValue::Double(vehicle.speed().value()),
-                ids::VAR_POSITION => {
-                    TraciValue::Position2D(vehicle.position().value(), 0.0)
-                }
+                ids::VAR_POSITION => TraciValue::Position2D(vehicle.position().value(), 0.0),
                 _ => unreachable!("variables validated at subscription time"),
             };
             value.encode(&mut buf);
@@ -375,10 +369,7 @@ fn get_response(cmd: &Command, var: u8, object: &str, value: TraciValue) -> Vec<
     ]
 }
 
-fn find_vehicle<'a>(
-    sim: &'a Simulation,
-    object: &str,
-) -> Result<&'a velopt_microsim::Vehicle> {
+fn find_vehicle<'a>(sim: &'a Simulation, object: &str) -> Result<&'a velopt_microsim::Vehicle> {
     sim.vehicles()
         .iter()
         .find(|v| v.id().to_string() == object)

@@ -82,7 +82,10 @@ impl Dense {
         activation: Activation,
         rng: &mut SplitMix64,
     ) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let scale = 1.0 / (in_dim as f64).sqrt();
         let weights = (0..in_dim * out_dim)
             .map(|_| rng.uniform(-scale, scale))
@@ -284,9 +287,7 @@ impl Network {
         let mut delta: Vec<f64> = output
             .iter()
             .zip(target)
-            .map(|(y, t)| {
-                (y - t) * self.layers[last].activation.derivative_from_output(*y)
-            })
+            .map(|(y, t)| (y - t) * self.layers[last].activation.derivative_from_output(*y))
             .collect();
 
         for l in (0..self.layers.len()).rev() {
@@ -295,10 +296,10 @@ impl Network {
             let prev_delta: Option<Vec<f64>> = if l > 0 {
                 let layer = &self.layers[l];
                 let mut pd = vec![0.0; layer.in_dim];
-                for o in 0..layer.out_dim {
+                for (o, d) in delta.iter().enumerate().take(layer.out_dim) {
                     let row = &layer.weights[o * layer.in_dim..(o + 1) * layer.in_dim];
                     for (i, w) in row.iter().enumerate() {
-                        pd[i] += w * delta[o];
+                        pd[i] += w * d;
                     }
                 }
                 let act = self.layers[l - 1].activation;
@@ -315,8 +316,8 @@ impl Network {
             let vw = &mut self.velocity_w[l];
             let vb = &mut self.velocity_b[l];
             for o in 0..layer.out_dim {
-                for i in 0..layer.in_dim {
-                    let g = delta[o] * input[i];
+                for (i, x) in input.iter().enumerate().take(layer.in_dim) {
+                    let g = delta[o] * x;
                     let idx = o * layer.in_dim + i;
                     vw[idx] = cfg.momentum * vw[idx] - cfg.learning_rate * g;
                     layer.weights[idx] += vw[idx];
@@ -456,8 +457,7 @@ mod tests {
     fn training_is_deterministic_given_seed() {
         let build = || {
             let mut rng = SplitMix64::new(5);
-            let mut net = Network::new(vec![Dense::random(1, 3, Activation::Sigmoid, &mut rng)
-                ]);
+            let mut net = Network::new(vec![Dense::random(1, 3, Activation::Sigmoid, &mut rng)]);
             let xs: Vec<[f64; 1]> = (0..10).map(|i| [i as f64 / 10.0]).collect();
             let ys: Vec<[f64; 3]> = xs.iter().map(|x| [x[0], x[0] * 0.5, 0.2]).collect();
             let inputs: Vec<&[f64]> = xs.iter().map(|x| x.as_slice()).collect();

@@ -258,7 +258,7 @@ mod tests {
         let feed = VolumeGenerator::us25_station(1).generate_weeks(2).unwrap();
         let p = SaePredictor::train(&feed, &quick_cfg()).unwrap();
         assert!(p.predict_next(&[1.0; 3], 0).is_err());
-        assert!(p.predict_next(&vec![100.0; 24], 0).is_ok());
+        assert!(p.predict_next(&[100.0; 24], 0).is_ok());
     }
 
     #[test]
@@ -266,9 +266,7 @@ mod tests {
         // 5 weeks train / 1 week test with mild noise: the SAE must hit the
         // paper's "< 10% MRE" bar. (The full 13-week run lives in the
         // integration tests and the fig4 harness.)
-        let feed = VolumeGenerator::us25_station(42)
-            .generate_weeks(6)
-            .unwrap();
+        let feed = VolumeGenerator::us25_station(42).generate_weeks(6).unwrap();
         let (train, test) = feed.split_at_week(5).unwrap();
         let p = SaePredictor::train(&train, &quick_cfg()).unwrap();
         let report = p.evaluate(&test).unwrap();

@@ -123,17 +123,19 @@ impl Sae {
             let decoder = layers.pop().expect("autoencoder has two layers");
             drop(decoder);
             let encoder = layers.pop().expect("autoencoder has two layers");
-            representation = representation
-                .iter()
-                .map(|r| encoder.forward(r))
-                .collect();
+            representation = representation.iter().map(|r| encoder.forward(r)).collect();
             encoders.push(encoder);
             cur_dim = hidden;
         }
 
         // Stack encoders + linear head, fine-tune end to end.
         let mut layers = encoders;
-        layers.push(Dense::random(cur_dim, out_dim, Activation::Linear, &mut rng));
+        layers.push(Dense::random(
+            cur_dim,
+            out_dim,
+            Activation::Linear,
+            &mut rng,
+        ));
         let mut network = Network::new(layers);
         let finetune_loss = network.train(inputs, targets, &cfg.finetune, &mut rng)?;
 

@@ -218,8 +218,7 @@ impl VolumeGenerator {
         for week in 0..weeks {
             // Slow seasonal drift: a sinusoid over ~26 weeks.
             let drift = 1.0
-                + self.weekly_drift_fraction
-                    * (std::f64::consts::TAU * week as f64 / 26.0).sin();
+                + self.weekly_drift_fraction * (std::f64::consts::TAU * week as f64 / 26.0).sin();
             for day in 0..7 {
                 for hour in 0..HOURS_PER_DAY {
                     let base = self.base_shape(day, hour) * drift;

@@ -65,8 +65,8 @@ fn main() -> Result<()> {
     );
 
     let departure_hour = 24 + 17; // Tuesday, 17:00 (global hour index)
-    let history: Vec<f64> = test.samples()[departure_hour - predictor.lags()..departure_hour]
-        .to_vec();
+    let history: Vec<f64> =
+        test.samples()[departure_hour - predictor.lags()..departure_hour].to_vec();
     let rate = predictor.predict_next(&history, departure_hour)?;
     println!("  predicted arrival rate at departure: {:.0}", rate);
 

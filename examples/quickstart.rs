@@ -24,7 +24,11 @@ fn main() -> Result<()> {
             .take(4)
             .map(|w| format!("[{:.1}s, {:.1}s)", w.start.value(), w.end.value()))
             .collect();
-        println!("  light @ {:>6}: {}", constraint.position, windows.join(" "));
+        println!(
+            "  light @ {:>6}: {}",
+            constraint.position,
+            windows.join(" ")
+        );
     }
 
     let profile = system.optimize()?;

@@ -18,15 +18,17 @@ fn main() -> Result<()> {
     println!("(veh/h)  (s/cycle)                               (s)     (mAh)");
     for rate in [50.0, 153.0, 400.0, 800.0, 1200.0, 2000.0] {
         let mut config = SystemConfig::us25();
-        config.rates = ArrivalRates::Fixed(vec![
-            VehiclesPerHour::new(rate),
-            VehiclesPerHour::new(rate),
-        ]);
+        config.rates =
+            ArrivalRates::Fixed(vec![VehiclesPerHour::new(rate), VehiclesPerHour::new(rate)]);
         let system = VelocityOptimizationSystem::new(config)?;
         let windows = system.queue_windows()?;
 
         // Average queue-free seconds per 60 s cycle at the first light.
-        let total: f64 = windows[0].windows.iter().map(|w| w.duration().value()).sum();
+        let total: f64 = windows[0]
+            .windows
+            .iter()
+            .map(|w| w.duration().value())
+            .sum();
         let cycles = system.config().dp.horizon.value() / 60.0;
         let per_cycle = total / cycles;
 

@@ -105,17 +105,26 @@ fn main() -> Result<()> {
     let baseline = system.optimize_baseline()?;
     println!(
         "plan arrivals at the lights — ours: {:.1}s/{:.1}s, baseline: {:.1}s/{:.1}s",
-        ours.arrival_time_at(velopt_common::units::Meters::new(1800.0)).value(),
-        ours.arrival_time_at(velopt_common::units::Meters::new(3460.0)).value(),
-        baseline.arrival_time_at(velopt_common::units::Meters::new(1800.0)).value(),
-        baseline.arrival_time_at(velopt_common::units::Meters::new(3460.0)).value(),
+        ours.arrival_time_at(velopt_common::units::Meters::new(1800.0))
+            .value(),
+        ours.arrival_time_at(velopt_common::units::Meters::new(3460.0))
+            .value(),
+        baseline
+            .arrival_time_at(velopt_common::units::Meters::new(1800.0))
+            .value(),
+        baseline
+            .arrival_time_at(velopt_common::units::Meters::new(3460.0))
+            .value(),
     );
 
     let a = drive(&ours, "queue-aware")?;
     let b = drive(&baseline, "baseline")?;
 
     println!("\n                       queue-aware    queue-oblivious [2]");
-    println!("derived trip (s)       {:>10.1}    {:>10.1}", a.trip, b.trip);
+    println!(
+        "derived trip (s)       {:>10.1}    {:>10.1}",
+        a.trip, b.trip
+    );
     println!(
         "stops at lights        {:>10}    {:>10}",
         a.stops_at_lights, b.stops_at_lights

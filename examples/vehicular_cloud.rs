@@ -40,7 +40,10 @@ fn main() -> Result<()> {
     println!("\n ev  depart  trip(s)  energy(mAh)");
     for h in handles {
         let (i, trip, energy) = h.join().expect("vehicle thread panicked")?;
-        println!(" {i:>2}  {:>6.0}  {trip:>7.1}  {energy:>11.1}", (i % 3) as f64 * 60.0);
+        println!(
+            " {i:>2}  {:>6.0}  {trip:>7.1}  {energy:>11.1}",
+            (i % 3) as f64 * 60.0
+        );
     }
 
     let mut client = CloudClient::connect(addr)?;
@@ -50,6 +53,35 @@ fn main() -> Result<()> {
          ({:.0}% — only one real optimization per distinct departure cycle)",
         100.0 * hits as f64 / served as f64
     );
+
+    // The fleet-gateway path: instead of one connection per EV, a gateway
+    // aggregates the next wave into a single batch frame. The cloud plans
+    // the batch concurrently and answers in request order; members whose
+    // trips match earlier singles are served from the same plan cache.
+    let wave: Vec<TripRequest> = (0..6)
+        .map(|i| TripRequest::us25_at((i % 3) as f64 * 60.0 + 30.0))
+        .collect();
+    let results = client.plan_batch(&wave)?;
+    println!("\ngateway batch of {} trips:", wave.len());
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(p) => {
+                let m = &p.metrics;
+                println!(
+                    " {i:>2}  trip {:>5.1} s  energy {:>7.1} mAh  \
+                     (solver: {} states, {:.0} ms relax, {} thread(s))",
+                    p.trip_time.value(),
+                    p.total_energy.to_milliamp_hours(),
+                    m.states_expanded,
+                    m.relax_seconds * 1e3,
+                    m.threads_used
+                );
+            }
+            Err(e) => println!(" {i:>2}  rejected: {e}"),
+        }
+    }
+    let (served, hits) = client.stats()?;
+    println!("cloud totals: served {served}, cache hits {hits}");
     server.shutdown();
     Ok(())
 }

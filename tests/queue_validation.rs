@@ -77,7 +77,10 @@ fn fig5b_our_ql_model_tracks_simulated_queue_better_than_baseline() {
     );
     // And it must be a genuinely useful fit: error below half of the peak.
     let peak = real.iter().cloned().fold(0.0, f64::max);
-    assert!(rmse_ours < 0.5 * peak, "rmse {rmse_ours:.2} vs peak {peak:.1}");
+    assert!(
+        rmse_ours < 0.5 * peak,
+        "rmse {rmse_ours:.2} vs peak {peak:.1}"
+    );
 }
 
 #[test]

@@ -7,7 +7,9 @@ use velopt_traffic::{SaePredictor, SaePredictorConfig, VolumeGenerator};
 fn sae_beats_paper_accuracy_bar_on_13_week_training() {
     // §III-A-2: "three-month long traffic data ... to train [the] SAE model
     // and one-week long traffic data in June for performance verification".
-    let feed = VolumeGenerator::us25_station(2016).generate_weeks(14).unwrap();
+    let feed = VolumeGenerator::us25_station(2016)
+        .generate_weeks(14)
+        .unwrap();
     let (train, test) = feed.split_at_week(13).unwrap();
     let predictor = SaePredictor::train(&train, &SaePredictorConfig::default()).unwrap();
     let report = predictor.evaluate(&test).unwrap();

@@ -1,0 +1,402 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the `bytes` 1.x API this workspace uses:
+//! [`Bytes`] (cheaply cloneable, sliceable, immutable byte buffer),
+//! [`BytesMut`] (growable builder), and the [`Buf`]/[`BufMut`] read/write
+//! traits with big-endian integer and float accessors. Semantics match the
+//! real crate for this subset — including panics on out-of-bounds reads, so
+//! callers' `remaining()` guards behave identically.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable view into shared byte storage.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a static slice without copying semantics concerns.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-view sharing the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self` past
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+
+    /// Copies the view out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self::from(v.to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "{}", std::ascii::escape_default(b))?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer for building frames.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.data.split_off(at);
+        let head = std::mem::replace(&mut self.data, tail);
+        BytesMut { data: head }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self.data)
+    }
+}
+
+/// Read access to a byte cursor, big-endian accessors included.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an exhausted buffer (match `remaining()` first).
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `i8`.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `i32`.
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+
+    /// Copies `dst.len()` bytes out and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    #[doc(hidden)]
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut arr = [0u8; N];
+        self.copy_to_slice(&mut arr);
+        arr
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.start += cnt;
+    }
+}
+
+/// Write access to a growable byte buffer, big-endian writers included.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends an `i8`.
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_i8(-3);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_i32(-42);
+        buf.put_u64(1 << 40);
+        buf.put_f64(3.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_i8(), -3);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_i32(), -42);
+        assert_eq!(b.get_u64(), 1 << 40);
+        assert_eq!(b.get_f64(), 3.5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(&b.slice(1..4)[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+    }
+}

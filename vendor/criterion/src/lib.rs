@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use — `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and reports min/mean/max per iteration.
+//! No statistical analysis, plots, or saved baselines.
+//!
+//! Like real criterion, running a bench binary with `--test` (as
+//! `cargo test` does for `harness = false` bench targets) only smoke-runs
+//! each benchmark once.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported for bench code that imports it from
+/// criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark under the driver's current settings.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&full, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up (untimed).
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench(name: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        test_mode,
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {name}: ok (smoke test)");
+        return;
+    }
+    if b.durations.is_empty() {
+        println!("bench {name}: no samples recorded");
+        return;
+    }
+    let min = b.durations.iter().min().unwrap();
+    let max = b.durations.iter().max().unwrap();
+    let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
+    println!(
+        "bench {name}: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+        min,
+        mean,
+        max,
+        b.durations.len()
+    );
+}
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! Only the `channel` module's bounded MPMC channel is provided — the one
+//! piece this workspace uses (the cloud server's worker pool). It is built
+//! on `std::sync::mpsc::sync_channel` with the receiver shared behind a
+//! mutex so it can be cloned across workers, matching crossbeam's
+//! multi-consumer semantics for this use case.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned when sending on a disconnected channel.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when receiving on an empty, disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued; errors if all receivers are
+        /// gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a bounded channel; cloneable so multiple
+    /// workers can compete for messages.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors once the channel is empty
+        /// and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a bounded MPMC channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn two_workers_drain_the_channel() {
+            let (tx, rx) = bounded::<u32>(8);
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = 0u32;
+                        while let Ok(v) = rx.recv() {
+                            got += v;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 1..=10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 55);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Value-generation strategies for the proptest stub.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe for the `generate` method, so strategies can be boxed and
+/// unioned; combinators are provided methods gated on `Sized`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a bounded-depth recursive strategy: at each level the value
+    /// is either a leaf (this strategy) or one produced by `recurse` from
+    /// the previous level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let rec = recurse(strat.clone()).boxed();
+            strat = Union::new(vec![leaf.clone(), rec]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty integer range strategy");
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+/// `any::<T>()` marker strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces an unconstrained-value strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// `prop::collection::vec`: a vector whose length is drawn from `sizes`
+/// and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+/// Strategy for vectors (see [`vec`]).
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.sizes.end - self.sizes.start).max(1) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::option::of`: `None` half the time, `Some(inner)` otherwise.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy for options (see [`option_of`]).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Character-class string patterns like `"[a-zA-Z0-9_ ]{0,32}"`.
+///
+/// Supports a single bracketed class (literal characters and `c-c` ranges)
+/// followed by an optional `{n}` or `{lo,hi}` repetition; a bare class
+/// generates one character. This covers every pattern used in the
+/// workspace's test suites.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a as u32 > b as u32 {
+                return None;
+            }
+            for c in a as u32..=b as u32 {
+                alphabet.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let reps = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match reps.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let u = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn class_patterns_parse() {
+        let (alpha, lo, hi) = parse_class_pattern("[a-c_]{0,4}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c', '_']);
+        assert_eq!((lo, hi), (0, 4));
+        let (alpha, _, _) = parse_class_pattern("[ -~]{0,64}").unwrap();
+        assert_eq!(alpha.len(), 95);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| vec(inner, 0..4).prop_map(Tree::Node));
+        let mut rng = TestRng::new(42);
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+}

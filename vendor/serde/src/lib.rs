@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde` cannot be resolved. Nothing in the workspace actually
+//! serializes data through serde — the wire formats are hand-rolled
+//! (`velopt-traci`, `velopt-cloud`) — but many types carry
+//! `#[derive(Serialize, Deserialize)]` so downstream users can opt into
+//! serialization when building against the real crate. This stub keeps
+//! those derives compiling: the derive macros expand to nothing and the
+//! traits exist purely as names.
+//!
+//! Swapping the workspace dependency back to the real `serde` requires no
+//! source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait DeserializeMarker<'de> {}
