@@ -1,0 +1,151 @@
+//! `bench-suite` — the continuous-benchmark runner and perf-regression
+//! gate (see [`velopt_bench::suite`]).
+//!
+//! ```text
+//! bench-suite [--quick] [--out PATH]
+//!     Run the scenario matrix and write the report (default BENCH_dp.json).
+//!
+//! bench-suite --check BASELINE [--current PATH] [--tolerance T] [--warn-only]
+//!     Compare a report (a fresh run, or --current PATH) against BASELINE.
+//!     A scenario regresses when its median wall time exceeds the baseline
+//!     median by strictly more than T (default 0.15 = +15%).
+//! ```
+//!
+//! Exit codes: `0` success (or regression under `--warn-only`), `1`
+//! regression, `2` usage or I/O errors.
+
+use std::process::ExitCode;
+use velopt_bench::suite::{compare, run_matrix, BenchReport, MatrixSpec};
+
+struct Args {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+    current: Option<String>,
+    tolerance: f64,
+    warn_only: bool,
+}
+
+const USAGE: &str = "usage: bench-suite [--quick] [--out PATH] \
+     [--check BASELINE [--current PATH] [--tolerance T] [--warn-only]]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_dp.json".to_string(),
+        check: None,
+        current: None,
+        tolerance: 0.15,
+        warn_only: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--warn-only" => args.warn_only = true,
+            "--out" => args.out = value("--out")?,
+            "--check" => args.check = Some(value("--check")?),
+            "--current" => args.current = Some(value("--current")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--tolerance {raw:?} is not a number\n{USAGE}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.current.is_some() && args.check.is_none() {
+        return Err(format!("--current only makes sense with --check\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path:?}: {e}"))
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    // The current report: load it, or run the matrix and persist it.
+    let current = match &args.current {
+        Some(path) => load_report(path)?,
+        None => {
+            let spec = if args.quick {
+                MatrixSpec::quick()
+            } else {
+                MatrixSpec::full()
+            };
+            eprintln!(
+                "running {} scenario matrix...",
+                if args.quick { "quick" } else { "full" }
+            );
+            let report = run_matrix(&spec).map_err(|e| format!("matrix failed: {e}"))?;
+            std::fs::write(&args.out, report.to_json())
+                .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
+            for s in &report.scenarios {
+                eprintln!(
+                    "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  reuse {:>6}",
+                    s.name,
+                    s.wall_seconds.p50,
+                    s.wall_seconds.p90,
+                    s.states_expanded,
+                    s.arena_reuse_hits,
+                );
+            }
+            eprintln!("report written to {}", args.out);
+            report
+        }
+    };
+
+    let Some(baseline_path) = &args.check else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline = load_report(baseline_path)?;
+    let outcome =
+        compare(&current, &baseline, args.tolerance).map_err(|e| format!("compare: {e}"))?;
+    for name in &outcome.missing {
+        eprintln!("warning: scenario {name:?} is not in the baseline (skipped)");
+    }
+    eprintln!(
+        "{} scenario(s) within ±{:.0}% of {}",
+        outcome.passed,
+        args.tolerance * 100.0,
+        baseline_path,
+    );
+    if outcome.is_regression() {
+        for message in &outcome.regressions {
+            eprintln!("REGRESSION {message}");
+        }
+        if args.warn_only {
+            eprintln!("--warn-only: reporting without failing");
+            return Ok(ExitCode::SUCCESS);
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("bench-suite: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

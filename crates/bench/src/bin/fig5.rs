@@ -1,6 +1,6 @@
 //! Regenerates **Fig. 5**: traffic dynamics over one signal cycle at the
 //! probe intersection — (a) the leaving rate of the VM model vs the
-//! instant-discharge method of [9] vs the arrival rate, and (b) the queue
+//! instant-discharge method of \[9\] vs the arrival rate, and (b) the queue
 //! length of our QL model vs the baseline QL model vs the simulator's
 //! measured queue ("real data").
 //!

@@ -1,5 +1,5 @@
 //! Regenerates **Fig. 6**: planned vs simulator-derived velocity profiles
-//! for (a) the existing queue-oblivious DP [2] and (b) the proposed
+//! for (a) the existing queue-oblivious DP \[2\] and (b) the proposed
 //! queue-aware DP, replayed through the microscopic simulator over TraCI.
 //!
 //! ```sh

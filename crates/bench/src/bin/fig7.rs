@@ -1,6 +1,6 @@
 //! Regenerates **Fig. 7**: (a) the mild/fast human velocity profiles with
 //! the speed limit, and (b) the total-energy comparison across the four
-//! profiles — proposed, current DP [2], mild driving, fast driving.
+//! profiles — proposed, current DP \[2\], mild driving, fast driving.
 //!
 //! Paper headline: the proposed profile uses 17.5% less energy than fast
 //! driving, 8.4% less than mild driving and 5.1% less than the current DP.

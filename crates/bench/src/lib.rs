@@ -8,11 +8,13 @@
 //! |---|---|
 //! | `fig3` | ζ(v, a) consumption surface |
 //! | `fig4` | traffic volume week + SAE MRE/RMSE per day |
-//! | `fig5` | leaving-rate and queue-length dynamics vs the baseline [9] |
+//! | `fig5` | leaving-rate and queue-length dynamics vs the baseline \[9\] |
 //! | `fig6` | planned vs simulator-derived velocity profiles |
 //! | `fig7` | collected profiles + total energy comparison |
 //! | `fig8` | distance–time curves and trip times |
 //! | `experiments` | all of the above, summarized as paper-vs-measured rows |
+
+pub mod suite;
 
 use velopt_common::units::{Meters, MetersPerSecond, Seconds, VehiclesPerHour};
 use velopt_common::{Error, Result, TimeSeries};

@@ -1,0 +1,548 @@
+//! The continuous-benchmark suite behind the `bench-suite` binary.
+//!
+//! Criterion answers "how fast is this on my machine, interactively"; this
+//! module answers "did the solver get slower since the committed baseline"
+//! in CI. It runs a fixed, seeded scenario matrix over the DP solver,
+//! summarizes each scenario as wall-time percentiles plus the solver's own
+//! work counters, serializes the report as JSON (`BENCH_dp.json`), and
+//! compares two reports under a relative tolerance so a perf regression
+//! fails the build instead of landing silently.
+//!
+//! Everything here is deterministic: starts are jittered with a fixed
+//! [`SplitMix64`] seed, so two runs of the same build solve bit-identical
+//! problems and only the wall-clock numbers move.
+
+use std::time::Instant;
+use telemetry::json::Json;
+use velopt_common::rng::SplitMix64;
+use velopt_common::stats::Percentiles;
+use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+use velopt_common::{Error, Result};
+use velopt_core::batch::PlanRequest;
+use velopt_core::dp::{DpConfig, DpOptimizer, SolverArena, StartState, TimeHandling};
+use velopt_core::metrics::SolverMetrics;
+use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
+use velopt_core::replan::{ReplanConfig, Replanner};
+use velopt_core::windows::green_only_constraints;
+use velopt_ev_energy::{EnergyModel, VehicleParams};
+use velopt_road::Road;
+
+/// The fixed seed every scenario derives its jitter streams from.
+pub const BENCH_SEED: u64 = 0x9E37_2026;
+
+/// How much work the matrix does per scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixSpec {
+    /// Solves per single-trip scenario.
+    pub trip_iters: usize,
+    /// Trips per batch request.
+    pub batch_size: usize,
+    /// Batch requests timed.
+    pub batch_iters: usize,
+    /// Replanner control ticks timed.
+    pub replan_ticks: usize,
+}
+
+impl MatrixSpec {
+    /// The full matrix (local runs, baseline refreshes).
+    pub fn full() -> Self {
+        Self {
+            trip_iters: 12,
+            batch_size: 64,
+            batch_iters: 4,
+            replan_ticks: 120,
+        }
+    }
+
+    /// The reduced matrix CI's `bench-smoke` job runs on every push.
+    pub fn quick() -> Self {
+        Self {
+            trip_iters: 5,
+            batch_size: 16,
+            batch_iters: 3,
+            replan_ticks: 48,
+        }
+    }
+}
+
+/// One scenario's summary: wall-time spread plus the solver work that
+/// produced it (so a "faster because it searched less" regression is
+/// visible next to the timing win).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Stable scenario name (the comparator joins on it).
+    pub name: String,
+    /// Timed iterations behind the percentiles.
+    pub iterations: u64,
+    /// Seconds per iteration.
+    pub wall_seconds: Percentiles,
+    /// Total DP states relaxed across all iterations.
+    pub states_expanded: u64,
+    /// Total candidate transitions pruned across all iterations.
+    pub states_pruned: u64,
+    /// Layer allocations avoided via arena reuse.
+    pub arena_reuse_hits: u64,
+    /// Layer buffers freshly allocated.
+    pub arena_allocations: u64,
+}
+
+impl ScenarioResult {
+    fn from_samples(name: &str, samples: &[f64], metrics: &SolverMetrics) -> Result<Self> {
+        Ok(Self {
+            name: name.to_string(),
+            iterations: samples.len() as u64,
+            wall_seconds: Percentiles::from_samples(samples)?,
+            states_expanded: metrics.states_expanded,
+            states_pruned: metrics.states_pruned,
+            arena_reuse_hits: metrics.arena_reuse_hits,
+            arena_allocations: metrics.arena_allocations,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let p = &self.wall_seconds;
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("iterations".into(), Json::Num(self.iterations as f64)),
+            (
+                "wall_seconds".into(),
+                Json::Obj(vec![
+                    ("min".into(), Json::Num(p.min)),
+                    ("p50".into(), Json::Num(p.p50)),
+                    ("p90".into(), Json::Num(p.p90)),
+                    ("p99".into(), Json::Num(p.p99)),
+                    ("max".into(), Json::Num(p.max)),
+                ]),
+            ),
+            (
+                "states_expanded".into(),
+                Json::Num(self.states_expanded as f64),
+            ),
+            ("states_pruned".into(), Json::Num(self.states_pruned as f64)),
+            (
+                "arena_reuse_hits".into(),
+                Json::Num(self.arena_reuse_hits as f64),
+            ),
+            (
+                "arena_allocations".into(),
+                Json::Num(self.arena_allocations as f64),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json, index: usize) -> Result<Self> {
+        let field = |key: &str| {
+            value.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                Error::invalid_input(format!("scenario {index}: missing number {key:?}"))
+            })
+        };
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::invalid_input(format!("scenario {index}: missing \"name\"")))?
+            .to_string();
+        let wall = value.get("wall_seconds").ok_or_else(|| {
+            Error::invalid_input(format!("scenario {index}: missing \"wall_seconds\""))
+        })?;
+        let pct = |key: &str| {
+            wall.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                Error::invalid_input(format!("scenario {index}: missing wall_seconds.{key}"))
+            })
+        };
+        Ok(Self {
+            name,
+            iterations: field("iterations")? as u64,
+            wall_seconds: Percentiles {
+                min: pct("min")?,
+                p50: pct("p50")?,
+                p90: pct("p90")?,
+                p99: pct("p99")?,
+                max: pct("max")?,
+            },
+            states_expanded: field("states_expanded")? as u64,
+            states_pruned: field("states_pruned")? as u64,
+            arena_reuse_hits: field("arena_reuse_hits")? as u64,
+            arena_allocations: field("arena_allocations")? as u64,
+        })
+    }
+}
+
+/// A full suite run: every scenario's summary, in matrix order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// One entry per scenario.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Serializes the report (the `BENCH_dp.json` format).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![(
+            "scenarios".into(),
+            Json::Arr(self.scenarios.iter().map(ScenarioResult::to_json).collect()),
+        )])
+        .to_string()
+    }
+
+    /// Parses a report back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] naming the defect — an empty or
+    /// malformed document, a missing `scenarios` array, or a scenario with
+    /// missing fields — never panics.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = Json::parse(text)
+            .map_err(|e| Error::invalid_input(format!("malformed report: {e}")))?;
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| Error::invalid_input("report has no \"scenarios\" array"))?;
+        Ok(Self {
+            scenarios: scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ScenarioResult::from_json(s, i))
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// Looks a scenario up by name.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// What the comparator concluded about `current` vs `baseline`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Human-readable regression messages (non-empty = gate fails).
+    pub regressions: Vec<String>,
+    /// Scenarios in the current report the baseline does not know —
+    /// warnings, not failures, so adding a scenario never blocks a PR.
+    pub missing: Vec<String>,
+    /// Scenarios compared and found within tolerance.
+    pub passed: usize,
+}
+
+impl Comparison {
+    /// `true` when at least one scenario regressed.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Absolute slack added on top of the relative tolerance, so scenarios
+/// whose median is microseconds (the replanner's stale-plan ticks) are not
+/// failed over scheduler noise that is huge relatively but meaningless
+/// absolutely.
+pub const ABSOLUTE_SLACK_SECONDS: f64 = 2e-3;
+
+/// Compares a current report against a baseline: a scenario regresses when
+/// its median wall time exceeds the baseline median by **strictly more**
+/// than `tolerance` (so `tolerance = 0.15` allows up to exactly +15%),
+/// with [`ABSOLUTE_SLACK_SECONDS`] of headroom for sub-millisecond medians.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] for a baseline with no scenarios (an
+/// empty gate would vacuously pass) or a negative/non-finite tolerance.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<Comparison> {
+    if baseline.scenarios.is_empty() {
+        return Err(Error::invalid_input(
+            "baseline contains no scenarios; refusing to compare against an empty gate",
+        ));
+    }
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(Error::invalid_input(format!(
+            "tolerance must be a non-negative finite fraction, got {tolerance}"
+        )));
+    }
+    let mut outcome = Comparison::default();
+    for scenario in &current.scenarios {
+        let Some(base) = baseline.scenario(&scenario.name) else {
+            outcome.missing.push(scenario.name.clone());
+            continue;
+        };
+        let limit = base.wall_seconds.p50 * (1.0 + tolerance) + ABSOLUTE_SLACK_SECONDS;
+        if scenario.wall_seconds.p50 > limit {
+            outcome.regressions.push(format!(
+                "{}: median {:.4}s exceeds baseline {:.4}s by more than {:.0}% (limit {:.4}s)",
+                scenario.name,
+                scenario.wall_seconds.p50,
+                base.wall_seconds.p50,
+                tolerance * 100.0,
+                limit,
+            ));
+        } else {
+            outcome.passed += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+fn spark_optimizer(config: DpConfig) -> Result<DpOptimizer> {
+    DpOptimizer::new(EnergyModel::new(VehicleParams::spark_ev()), config)
+}
+
+/// Times `trip_iters` full-corridor solves with one persistent arena, so
+/// every iteration after the first exercises the reuse path.
+fn single_trip(name: &str, config: DpConfig, iters: usize) -> Result<ScenarioResult> {
+    let road = Road::us25();
+    let constraints = green_only_constraints(&road, config.horizon);
+    let optimizer = spark_optimizer(config)?;
+    let mut arena = SolverArena::new();
+    let mut metrics = SolverMetrics::default();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let profile =
+            optimizer.optimize_from_with(&road, &constraints, StartState::default(), &mut arena)?;
+        samples.push(start.elapsed().as_secs_f64());
+        metrics.absorb(&profile.metrics);
+    }
+    ScenarioResult::from_samples(name, &samples, &metrics)
+}
+
+/// Times the fleet-gateway burst: one `optimize_batch` call over
+/// `batch_size` seeded mid-trip requests per iteration.
+fn batch_burst(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    let road = Road::us25();
+    let config = DpConfig::default();
+    let constraints = green_only_constraints(&road, config.horizon);
+    let optimizer = spark_optimizer(config)?;
+    // The same jittered mid-trip starts the Criterion batch bench uses,
+    // but seeded, so every run solves the identical burst.
+    let mut rng = SplitMix64::new(BENCH_SEED ^ 0xBA7C);
+    let starts: Vec<StartState> = (0..spec.batch_size)
+        .map(|_| StartState {
+            position: Meters::new(rng.uniform(1900.0, 2250.0)),
+            speed: MetersPerSecond::new(rng.uniform(10.0, 15.0)),
+            time: Seconds::new(rng.uniform(120.0, 184.0)),
+        })
+        .collect();
+    let requests: Vec<PlanRequest<'_>> = starts
+        .iter()
+        .map(|&start| PlanRequest {
+            road: &road,
+            signals: &constraints,
+            start,
+        })
+        .collect();
+
+    let mut metrics = SolverMetrics::default();
+    let mut samples = Vec::with_capacity(spec.batch_iters);
+    for _ in 0..spec.batch_iters {
+        let start = Instant::now();
+        let results = optimizer.optimize_batch(&requests);
+        samples.push(start.elapsed().as_secs_f64());
+        for result in results {
+            metrics.absorb(&result?.metrics);
+        }
+    }
+    ScenarioResult::from_samples(&format!("batch_{}", spec.batch_size), &samples, &metrics)
+}
+
+/// Times the MPC loop in steady state: mostly cheap stale-plan ticks with a
+/// forced drift (and therefore a mid-trip re-solve) every eighth tick.
+fn replan_steady_state(ticks: usize) -> Result<ScenarioResult> {
+    let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush())?;
+    let corridor = system.config().road.length().value();
+    let mut replanner = Replanner::new(system, ReplanConfig::default())?;
+    let mut rng = SplitMix64::new(BENCH_SEED ^ 0x4E9);
+    let mut metrics = replanner.plan().metrics;
+    let mut refreshes = replanner.replans();
+    let mut samples = Vec::with_capacity(ticks);
+    for i in 0..ticks {
+        // Sweep the middle 70% of the corridor; the ends are not plannable.
+        let frac = 0.1 + 0.7 * (i as f64 / ticks.max(1) as f64);
+        let position = Meters::new(corridor * frac);
+        let planned = replanner.plan().arrival_time_at(position);
+        let drift = if i % 8 == 7 {
+            // Stuck behind a platoon: late enough to force a refresh.
+            rng.uniform(10.0, 12.0)
+        } else {
+            rng.uniform(-0.5, 0.5)
+        };
+        let speed = MetersPerSecond::new(
+            replanner
+                .plan()
+                .speed_at_position(position)
+                .value()
+                .max(8.0),
+        );
+        let start = Instant::now();
+        replanner.command(position, speed, planned + Seconds::new(drift))?;
+        samples.push(start.elapsed().as_secs_f64());
+        if replanner.replans() > refreshes {
+            refreshes = replanner.replans();
+            metrics.absorb(&replanner.plan().metrics);
+        }
+    }
+    ScenarioResult::from_samples("replan_steady_state", &samples, &metrics)
+}
+
+/// Runs the whole scenario matrix and collects the report.
+///
+/// # Errors
+///
+/// Propagates solver failures — the matrix is seeded, so a scenario that
+/// solves once solves always, and an error here means the build is broken.
+pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
+    let sequential = DpConfig {
+        threads: 1,
+        ..DpConfig::default()
+    };
+    let parallel = DpConfig {
+        threads: 0,
+        ..DpConfig::default()
+    };
+    let greedy = DpConfig {
+        time_handling: TimeHandling::Greedy,
+        threads: 1,
+        ..DpConfig::default()
+    };
+    Ok(BenchReport {
+        scenarios: vec![
+            single_trip("single_trip_sequential", sequential, spec.trip_iters)?,
+            single_trip("single_trip_parallel", parallel, spec.trip_iters)?,
+            single_trip("single_trip_greedy", greedy, spec.trip_iters)?,
+            batch_burst(spec)?,
+            replan_steady_state(spec.replan_ticks)?,
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(name: &str, p50: f64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            iterations: 5,
+            wall_seconds: Percentiles {
+                min: p50 * 0.8,
+                p50,
+                p90: p50 * 1.2,
+                p99: p50 * 1.3,
+                max: p50 * 1.4,
+            },
+            states_expanded: 1000,
+            states_pruned: 400,
+            arena_reuse_hits: 12,
+            arena_allocations: 3,
+        }
+    }
+
+    fn report(entries: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            scenarios: entries.iter().map(|&(n, p)| scenario(n, p)).collect(),
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let original = report(&[("a", 0.125), ("b", 2.5e-3)]);
+        let parsed = BenchReport::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn empty_or_malformed_reports_are_clear_errors() {
+        let err = BenchReport::from_json("").unwrap_err();
+        assert!(err.to_string().contains("malformed report"), "{err}");
+        let err = BenchReport::from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("scenarios"), "{err}");
+        let err = BenchReport::from_json(r#"{"scenarios":[{"name":"x"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("wall_seconds"), "{err}");
+        let err = BenchReport::from_json(r#"{"scenarios":[{"iterations":1}]}"#).unwrap_err();
+        assert!(err.to_string().contains("name"), "{err}");
+    }
+
+    #[test]
+    fn comparator_flags_only_regressions_beyond_tolerance() {
+        let baseline = report(&[("fast", 0.100), ("slow", 0.100)]);
+        let current = report(&[("fast", 0.105), ("slow", 0.114)]);
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.passed, 2);
+
+        let outcome = compare(&current, &baseline, 0.10).unwrap();
+        assert!(outcome.is_regression());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].starts_with("slow:"));
+        assert_eq!(outcome.passed, 1);
+    }
+
+    #[test]
+    fn tolerance_exactly_met_passes() {
+        let baseline = report(&[("s", 0.100)]);
+        // p50 lands exactly on the +15% limit: allowed, not a regression.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].wall_seconds.p50 = 0.100 * 1.15;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn microsecond_medians_get_absolute_slack() {
+        // +300% relatively, but far inside the absolute slack: scheduler
+        // noise on a near-zero median must not fail the gate.
+        let baseline = report(&[("ticks", 2.0e-6)]);
+        let current = report(&[("ticks", 8.0e-6)]);
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn missing_scenario_warns_instead_of_failing() {
+        let baseline = report(&[("old", 0.1)]);
+        let current = report(&[("old", 0.1), ("brand_new", 9.9)]);
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(!outcome.is_regression());
+        assert_eq!(outcome.missing, vec!["brand_new".to_string()]);
+        assert_eq!(outcome.passed, 1);
+    }
+
+    #[test]
+    fn empty_baseline_is_rejected() {
+        let baseline = BenchReport::default();
+        let current = report(&[("s", 0.1)]);
+        let err = compare(&current, &baseline, 0.15).unwrap_err();
+        assert!(err.to_string().contains("no scenarios"), "{err}");
+    }
+
+    #[test]
+    fn bad_tolerance_is_rejected() {
+        let r = report(&[("s", 0.1)]);
+        assert!(compare(&r, &r, -0.1).is_err());
+        assert!(compare(&r, &r, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn tiny_matrix_produces_a_complete_report() {
+        let spec = MatrixSpec {
+            trip_iters: 1,
+            batch_size: 2,
+            batch_iters: 1,
+            replan_ticks: 8,
+        };
+        let report = run_matrix(&spec).unwrap();
+        assert_eq!(report.scenarios.len(), 5);
+        for s in &report.scenarios {
+            assert!(s.iterations > 0, "{}", s.name);
+            assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
+            assert!(s.states_expanded > 0, "{}", s.name);
+        }
+        assert!(report.scenario("batch_2").is_some());
+        // A matrix run is comparable against itself at any tolerance.
+        let outcome = compare(&report, &report, 0.0).unwrap();
+        assert!(!outcome.is_regression());
+        assert_eq!(outcome.passed, 5);
+    }
+}

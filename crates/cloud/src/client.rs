@@ -102,6 +102,25 @@ impl CloudClient {
         let hits = u64::from_be_bytes(payload[8..16].try_into().expect("8 bytes"));
         Ok((served, hits))
     }
+
+    /// Fetches the server's telemetry registry as a JSON document (see
+    /// [`telemetry::snapshot_json`]). When the server was built without the
+    /// `telemetry` feature, this returns the empty snapshot
+    /// `{"counters":[],"histograms":[]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`]/[`Error::Io`] on failures.
+    pub fn telemetry_json(&mut self) -> Result<String> {
+        write_frame(&mut self.stream, tags::REQ_TELEMETRY, &[])?;
+        let (tag, payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        if tag != tags::RESP_TELEMETRY {
+            return Err(Error::protocol("malformed telemetry response"));
+        }
+        String::from_utf8(payload.to_vec())
+            .map_err(|_| Error::protocol("telemetry response is not UTF-8"))
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +247,60 @@ mod tests {
         let server = CloudServer::spawn(1).unwrap();
         let mut client = CloudClient::connect(server.addr()).unwrap();
         assert!(client.plan_batch(&[]).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn frame_counts_track_the_request_mix() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        client.request(&TripRequest::us25_at(0.0)).unwrap();
+        client.request(&TripRequest::us25_at(60.0)).unwrap();
+        client.plan_batch(&[TripRequest::us25_at(0.0)]).unwrap();
+        client.stats().unwrap();
+        client.telemetry_json().unwrap();
+        let counts = server.stats().frame_counts();
+        assert_eq!(counts.trips, 2);
+        assert_eq!(counts.batches, 1);
+        assert_eq!(counts.stats, 1);
+        assert_eq!(counts.telemetry, 1);
+        assert_eq!(counts.unknown, 0);
+        assert_eq!(server.stats().connections(), 1);
+        assert_eq!(server.stats().error_responses(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejected_trips_count_as_error_responses() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let mut trip = TripRequest::us25_at(0.0);
+        trip.rates.pop();
+        let _ = client.request(&trip).unwrap_err();
+        assert_eq!(server.stats().error_responses(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_snapshot_round_trips_over_the_wire() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        client.request(&TripRequest::us25_at(0.0)).unwrap();
+        let json = client.telemetry_json().unwrap();
+        // Whatever the build config, the payload must parse back into a
+        // well-formed snapshot.
+        let snapshot = telemetry::Snapshot::from_json(&json).unwrap();
+        if cfg!(feature = "telemetry") {
+            // Recording is live: this very connection was counted. Other
+            // tests share the process-global registry, so only lower
+            // bounds hold.
+            assert!(snapshot.counter("cloud.connections").unwrap() >= 1);
+            assert!(snapshot.counter("cloud.req.trip").unwrap() >= 1);
+            let plan = snapshot.histogram("cloud.plan_seconds");
+            assert!(plan.is_some_and(|h| h.count >= 1));
+        } else {
+            assert!(snapshot.is_empty());
+        }
         server.shutdown();
     }
 

@@ -1,7 +1,7 @@
 //! The **vehicular cloud** optimization service.
 //!
 //! The paper's introduction frames deployment through the vehicular-cloud
-//! computing model of [6], [7]: velocity-profile optimization is too heavy
+//! computing model of \[6\], \[7\]: velocity-profile optimization is too heavy
 //! for in-vehicle hardware, so *"each vehicle uploads its state (starting
 //! time and route) to the cloud through wireless communication, and then
 //! the cloud calculates the optimal velocity profile for the vehicle"*.

@@ -30,6 +30,12 @@ pub mod tags {
     pub const REQ_BATCH: u8 = 6;
     /// Cloud → gateway: per-trip profiles/errors, in request order.
     pub const RESP_BATCH: u8 = 7;
+    /// Operator → cloud: export the telemetry registry.
+    pub const REQ_TELEMETRY: u8 = 8;
+    /// Cloud → operator: the telemetry snapshot as UTF-8 JSON (empty
+    /// `{"counters":[],"histograms":[]}` when the server was built without
+    /// the `telemetry` feature).
+    pub const RESP_TELEMETRY: u8 = 9;
 }
 
 /// A trip uploaded by an EV: corridor geometry plus traffic state.
@@ -49,7 +55,7 @@ pub struct TripRequest {
     /// Queue-model parameters (signal timing is taken from each light).
     pub queue: QueueParams,
     /// `true` = the paper's queue-aware windows; `false` = the prior
-    /// green-only DP [2].
+    /// green-only DP \[2\].
     pub queue_aware: bool,
 }
 

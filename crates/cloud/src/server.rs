@@ -17,6 +17,22 @@ use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint, StartState};
 use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
 use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
 
+/// Per-frame-type request counters: how the server's inbound traffic is
+/// split across the protocol. Returned by [`ServerStats::frame_counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCounts {
+    /// `REQ_TRIP` frames received.
+    pub trips: u64,
+    /// `REQ_BATCH` frames received.
+    pub batches: u64,
+    /// `REQ_STATS` frames received.
+    pub stats: u64,
+    /// `REQ_TELEMETRY` frames received.
+    pub telemetry: u64,
+    /// Frames carrying an unknown tag.
+    pub unknown: u64,
+}
+
 /// Serving counters, exposed over the wire via `REQ_STATS`.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -25,6 +41,12 @@ pub struct ServerStats {
     batches: AtomicU64,
     solver_states_expanded: AtomicU64,
     solver_states_pruned: AtomicU64,
+    connections: AtomicU64,
+    frames_trip: AtomicU64,
+    frames_stats: AtomicU64,
+    frames_telemetry: AtomicU64,
+    frames_unknown: AtomicU64,
+    error_responses: AtomicU64,
 }
 
 impl ServerStats {
@@ -42,6 +64,61 @@ impl ServerStats {
     /// Batch frames handled so far.
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted and handed to a worker so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Error frames sent back so far (rejected trips, malformed batches,
+    /// unknown tags).
+    pub fn error_responses(&self) -> u64 {
+        self.error_responses.load(Ordering::Relaxed)
+    }
+
+    /// The inbound request mix, split by frame type.
+    pub fn frame_counts(&self) -> FrameCounts {
+        FrameCounts {
+            trips: self.frames_trip.load(Ordering::Relaxed),
+            batches: self.batches(),
+            stats: self.frames_stats.load(Ordering::Relaxed),
+            telemetry: self.frames_telemetry.load(Ordering::Relaxed),
+            unknown: self.frames_unknown.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one inbound frame by tag, mirrored into the telemetry
+    /// registry's `cloud.req.*` counters.
+    fn record_frame(&self, tag: u8) {
+        match tag {
+            tags::REQ_TRIP => {
+                self.frames_trip.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.trip", 1);
+            }
+            tags::REQ_BATCH => {
+                // `batches` itself is counted in `handle_batch` (which unit
+                // tests also call directly, without a connection).
+                telemetry::add("cloud.req.batch", 1);
+            }
+            tags::REQ_STATS => {
+                self.frames_stats.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.stats", 1);
+            }
+            tags::REQ_TELEMETRY => {
+                self.frames_telemetry.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.telemetry", 1);
+            }
+            _ => {
+                self.frames_unknown.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.unknown", 1);
+            }
+        }
+    }
+
+    fn record_error_response(&self) {
+        self.error_responses.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.resp.error", 1);
     }
 
     /// Aggregated [`SolverMetrics`](velopt_core::metrics::SolverMetrics)
@@ -234,29 +311,40 @@ fn serve_connection(
     stop: &AtomicBool,
 ) -> Result<()> {
     stream.set_nodelay(true).ok();
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    telemetry::add("cloud.connections", 1);
     loop {
         let Some((tag, mut payload)) = read_frame_stoppable(&mut stream, stop)? else {
             return Ok(()); // client done (or server stopping)
         };
+        let _request_span = telemetry::span("cloud.request_seconds");
+        stats.record_frame(tag);
         match tag {
             tags::REQ_TRIP => {
                 let key = payload.to_vec();
                 match handle_trip(&mut payload, &key, stats, cache) {
                     Ok(profile) => {
+                        let encode_span = telemetry::span("cloud.encode_seconds");
                         let mut buf = BytesMut::new();
                         encode_profile(&profile, &mut buf);
+                        drop(encode_span);
                         write_frame(&mut stream, tags::RESP_PROFILE, &buf)?;
                     }
                     Err(e) => {
+                        stats.record_error_response();
                         write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
                     }
                 }
             }
             tags::REQ_BATCH => match handle_batch(&mut payload, stats, cache) {
                 Ok(response) => {
-                    write_frame(&mut stream, tags::RESP_BATCH, &response.encode())?;
+                    let encode_span = telemetry::span("cloud.encode_seconds");
+                    let encoded = response.encode();
+                    drop(encode_span);
+                    write_frame(&mut stream, tags::RESP_BATCH, &encoded)?;
                 }
                 Err(e) => {
+                    stats.record_error_response();
                     write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
                 }
             },
@@ -266,7 +354,15 @@ fn serve_connection(
                 bytes::BufMut::put_u64(&mut buf, stats.cache_hits());
                 write_frame(&mut stream, tags::RESP_STATS, &buf)?;
             }
+            tags::REQ_TELEMETRY => {
+                write_frame(
+                    &mut stream,
+                    tags::RESP_TELEMETRY,
+                    telemetry::snapshot_json().as_bytes(),
+                )?;
+            }
             other => {
+                stats.record_error_response();
                 write_frame(
                     &mut stream,
                     tags::RESP_ERROR,
@@ -311,9 +407,12 @@ fn handle_trip(
         stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Ok(hit.clone());
     }
+    let decode_span = telemetry::span("cloud.decode_seconds");
     let request = TripRequest::decode(payload)?;
+    drop(decode_span);
     let optimizer = corridor_optimizer()?;
     let constraints = trip_constraints(&request, optimizer.config())?;
+    let plan_span = telemetry::span("cloud.plan_seconds");
     let profile = optimizer.optimize_from(
         &request.road,
         &constraints,
@@ -322,6 +421,7 @@ fn handle_trip(
             ..StartState::default()
         },
     )?;
+    drop(plan_span);
     stats.record_solve(&profile.metrics);
     cache.write().insert(key.to_vec(), profile.clone());
     stats.served.fetch_add(1, Ordering::Relaxed);
@@ -337,7 +437,9 @@ fn handle_batch(
     stats: &ServerStats,
     cache: &PlanCache,
 ) -> Result<BatchPlanResponse> {
+    let decode_span = telemetry::span("cloud.decode_seconds");
     let batch = BatchPlanRequest::decode(payload)?;
+    drop(decode_span);
     stats.batches.fetch_add(1, Ordering::Relaxed);
     let n = batch.trips.len();
     let mut results: Vec<Option<std::result::Result<velopt_core::dp::OptimizedProfile, String>>> =
@@ -381,7 +483,10 @@ fn handle_batch(
             },
         })
         .collect();
-    for ((i, _), planned) in prepared.iter().zip(optimizer.optimize_batch(&requests)) {
+    let plan_span = telemetry::span("cloud.plan_seconds");
+    let planned_batch = optimizer.optimize_batch(&requests);
+    drop(plan_span);
+    for ((i, _), planned) in prepared.iter().zip(planned_batch) {
         match planned {
             Ok(profile) => {
                 stats.record_solve(&profile.metrics);

@@ -143,6 +143,51 @@ pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
     Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
+/// The percentile spread of a sample set: the five numbers the continuous
+/// benchmarks report per scenario.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// let s = velopt_common::stats::Percentiles::from_samples(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.p50, 2.5);
+/// assert_eq!(s.max, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (linear-interpolated).
+    pub p50: f64,
+    /// 90th percentile (linear-interpolated).
+    pub p90: f64,
+    /// 99th percentile (linear-interpolated).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarizes a sample set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for an empty slice.
+    pub fn from_samples(xs: &[f64]) -> Result<Self> {
+        Ok(Self {
+            min: percentile(xs, 0.0)?,
+            p50: percentile(xs, 0.5)?,
+            p90: percentile(xs, 0.9)?,
+            p99: percentile(xs, 0.99)?,
+            max: percentile(xs, 1.0)?,
+        })
+    }
+}
+
 /// Online accumulator for mean/min/max over a stream of samples.
 ///
 /// Used by the microscopic simulator to aggregate per-step telemetry without
@@ -277,6 +322,17 @@ mod tests {
     fn percentile_interpolates() {
         let xs = [0.0, 10.0];
         assert_eq!(percentile(&xs, 0.25).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentiles_summary() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        let s = Percentiles::from_samples(&xs).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert!(s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(Percentiles::from_samples(&[]).is_err());
     }
 
     #[test]

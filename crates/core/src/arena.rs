@@ -53,6 +53,8 @@ impl<T: Clone> LayerPool<T> {
             buf.clear();
             buf.resize(len, fill.clone());
         }
+        telemetry::add("arena.reuse_hits", stats.reuse_hits);
+        telemetry::add("arena.allocations", stats.allocations);
         (&mut self.buffers[..count], stats)
     }
 }

@@ -47,6 +47,9 @@ impl DpOptimizer {
     /// order. Individual infeasible trips surface as `Err` entries without
     /// failing the rest of the batch.
     pub fn optimize_batch(&self, requests: &[PlanRequest<'_>]) -> Vec<Result<OptimizedProfile>> {
+        let _batch_span = telemetry::span("dp.batch_seconds");
+        telemetry::add("dp.batch.calls", 1);
+        telemetry::add("dp.batch.trips", requests.len() as u64);
         let threads = par::effective_threads(self.config().threads).min(requests.len().max(1));
         let solo = self.single_threaded();
         if threads <= 1 || requests.len() <= 1 {

@@ -434,6 +434,7 @@ impl DpOptimizer {
         start: StartState,
         arena: &mut SolverArena,
     ) -> Result<OptimizedProfile> {
+        let _solve_span = telemetry::span("dp.optimize_seconds");
         let setup_started = Instant::now();
         if !road.contains(start.position) || start.position >= road.length() {
             return Err(Error::invalid_input(
@@ -536,7 +537,7 @@ impl DpOptimizer {
             setup_seconds: setup_started.elapsed().as_secs_f64(),
             ..SolverMetrics::default()
         };
-        match self.config.time_handling {
+        let result = match self.config.time_handling {
             TimeHandling::Exact => self.solve_exact(
                 road,
                 &stations,
@@ -561,7 +562,12 @@ impl DpOptimizer {
                 arena,
                 &mut metrics,
             ),
+        };
+        match &result {
+            Ok(profile) => profile.metrics.publish(),
+            Err(_) => telemetry::add("dp.failed_solves", 1),
         }
+        result
     }
 
     /// Energy and duration of one transition, or `None` if kinematically
@@ -1323,6 +1329,25 @@ mod tests {
         assert!(m.threads_used >= 1);
         assert!(m.relax_seconds >= 0.0 && m.total_seconds() >= m.relax_seconds);
         assert!(m.expansion_ratio() > 0.0 && m.expansion_ratio() <= 1.0);
+    }
+
+    /// With the `telemetry` feature on, every solve publishes its metrics
+    /// to the global registry (counters are monotonic and the registry is
+    /// process-wide, so the assertions are deltas, not absolutes).
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_records_solves() {
+        let road = simple_road(600.0);
+        let before = telemetry::snapshot().counter("dp.solves").unwrap_or(0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        let snap = telemetry::snapshot();
+        assert!(snap.counter("dp.solves").unwrap() > before);
+        assert!(snap.counter("dp.states_expanded").unwrap() >= profile.metrics.states_expanded);
+        assert!(snap.histogram("dp.relax_seconds").unwrap().count >= 1);
+        // The whole-solve span wraps every phase: its histogram fills too.
+        assert!(snap.histogram("dp.optimize_seconds").unwrap().count >= 1);
+        // Arena lease accounting reaches the registry as well.
+        assert!(snap.counter("arena.allocations").unwrap() > 0);
     }
 
     #[test]

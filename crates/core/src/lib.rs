@@ -22,7 +22,7 @@
 //!   exact time-expanded state space and the paper-literal greedy time
 //!   handling as an ablation.
 //! * [`windows`] — builds per-light arrival windows: queue-aware `T_q`
-//!   (ours) or raw green phases (the prior DP of Ozatay et al. [2]).
+//!   (ours) or raw green phases (the prior DP of Ozatay et al. \[2\]).
 //! * [`profiles`] — synthetic **mild** and **fast** human driving profiles,
 //!   substituting for the traces the authors collected on US-25 (Fig. 7a).
 //! * [`pipeline`] — the end-to-end system: SAE arrival prediction → QL

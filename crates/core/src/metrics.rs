@@ -54,6 +54,21 @@ impl SolverMetrics {
         self.states_expanded as f64 / considered as f64
     }
 
+    /// Publishes this solve's counters and phase timings to the global
+    /// [`telemetry`] registry under the `dp.*` namespace. A no-op (and
+    /// free) unless the crate's `telemetry` feature is enabled.
+    pub fn publish(&self) {
+        telemetry::add("dp.solves", 1);
+        telemetry::add("dp.states_expanded", self.states_expanded);
+        telemetry::add("dp.states_pruned", self.states_pruned);
+        telemetry::add("dp.arena_reuse_hits", self.arena_reuse_hits);
+        telemetry::add("dp.arena_allocations", self.arena_allocations);
+        telemetry::observe("dp.setup_seconds", self.setup_seconds);
+        telemetry::observe("dp.relax_seconds", self.relax_seconds);
+        telemetry::observe("dp.backtrack_seconds", self.backtrack_seconds);
+        telemetry::observe("dp.total_seconds", self.total_seconds());
+    }
+
     /// Accumulates another solve's metrics into this one (counters add,
     /// times add, thread count takes the maximum). Used to aggregate a
     /// batch.

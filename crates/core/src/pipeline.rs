@@ -3,7 +3,7 @@
 //! Mirrors the paper's system design (§II): predict the per-light vehicle
 //! arrival rates (fixed probe values or the SAE predictor), run the QL
 //! model to obtain the queue-free windows `T_q`, and feed those windows to
-//! the DP optimizer. The queue-oblivious prior DP [2] shares the same code
+//! the DP optimizer. The queue-oblivious prior DP \[2\] shares the same code
 //! path with whole-green windows.
 
 use crate::dp::{DpConfig, DpOptimizer, OptimizedProfile};
@@ -178,7 +178,7 @@ impl VelocityOptimizationSystem {
         self.optimizer.optimize(&self.config.road, &constraints)
     }
 
-    /// Runs the queue-oblivious baseline DP [2] (whole greens admissible).
+    /// Runs the queue-oblivious baseline DP \[2\] (whole greens admissible).
     ///
     /// # Errors
     ///

@@ -2,7 +2,7 @@
 //!
 //! The paper's protocol is open-loop: optimize once, replay via TraCI, and
 //! accept the simulator's perturbations (Fig. 6 shows the plans drifting).
-//! With [`StartState`](crate::dp::StartState)-capable optimization, the
+//! With [`StartState`]-capable optimization, the
 //! plan can instead be *refreshed* from the EV's live state whenever it has
 //! drifted too far — an MPC-style loop that keeps the arrival times locked
 //! onto the queue-free windows even after disturbances (a slow platoon, an
@@ -122,6 +122,7 @@ impl Replanner {
         speed: MetersPerSecond,
         time: Seconds,
     ) -> Result<MetersPerSecond> {
+        let _tick_span = telemetry::span("replan.tick_seconds");
         let drift = self.drift(position, time).abs();
         let cooled = (time - self.last_replan_at) >= self.config.min_interval;
         // Replanning only makes sense strictly inside the corridor and the
@@ -148,8 +149,12 @@ impl Replanner {
                     self.plan = plan;
                     self.replans += 1;
                     self.last_replan_at = time;
+                    telemetry::add("replan.refreshes", 1);
                 }
-                Err(Error::Infeasible(_)) => { /* keep the stale plan */ }
+                Err(Error::Infeasible(_)) => {
+                    // Keep the stale plan; control degrades gracefully.
+                    telemetry::add("replan.kept_stale", 1);
+                }
                 Err(e) => return Err(e),
             }
         }

@@ -3,7 +3,7 @@
 //! * [`queue_aware_constraints`] — our method: each light's windows are the
 //!   queue-free portions of its greens (`T_q`, Eq. 11), predicted by the QL
 //!   model from the arrival rate.
-//! * [`green_only_constraints`] — the prior DP of Ozatay et al. [2]: any
+//! * [`green_only_constraints`] — the prior DP of Ozatay et al. \[2\]: any
 //!   instant of green is considered passable (queues ignored).
 
 use crate::dp::SignalConstraint;
@@ -79,7 +79,7 @@ pub fn queue_aware_constraints(
     Ok(constraints)
 }
 
-/// Whole-green windows for every light (the queue-oblivious baseline [2]).
+/// Whole-green windows for every light (the queue-oblivious baseline \[2\]).
 ///
 /// # Examples
 ///

@@ -169,8 +169,8 @@ impl BatteryPack {
     ///
     /// The per-cell curve is the canonical Li-ion shape — a steep knee
     /// below ~10% SoC, a long flat plateau, and a rise toward full charge —
-    /// scaled so that 100% SoC matches the pack's rated [`voltage`]
-    /// (`Self::voltage`). Eq. (2)–(3) use the constant rated voltage (the
+    /// scaled so that 100% SoC matches the pack's rated
+    /// [`voltage`](Self::voltage). Eq. (2)–(3) use the constant rated voltage (the
     /// paper's simplification); this curve quantifies the error of that
     /// simplification over a trip (see [`discharge_log`]).
     ///

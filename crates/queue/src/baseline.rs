@@ -1,4 +1,4 @@
-//! The baseline queue model of [9] used for the Fig. 5 comparison.
+//! The baseline queue model of \[9\] used for the Fig. 5 comparison.
 //!
 //! Kang's dissertation model assumes a discharging vehicle reaches the
 //! minimum speed limit *immediately* when the light turns green, so the

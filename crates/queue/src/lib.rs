@@ -23,7 +23,7 @@
 //!    queue-free green intervals `T_q` (Eq. 11) by
 //!    [`QueueModel::empty_windows`].
 //!
-//! The **baseline QL model** of Kang's dissertation [9]
+//! The **baseline QL model** of Kang's dissertation \[9\]
 //! ([`BaselineQueueModel`]) assumes queued vehicles jump to `v_min`
 //! instantly at the start of green (`V_out = v_min/d̄`), which is what the
 //! paper compares against in Fig. 5.

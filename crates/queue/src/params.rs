@@ -22,7 +22,7 @@ pub struct QueueParams {
     /// Vehicle arrival rate `V_in` at the stop line.
     pub arrival_rate: VehiclesPerHour,
     /// Average intra-queue inter-vehicle spacing `d̄` (assumed constant,
-    /// following [14]).
+    /// following \[14\]).
     pub spacing: Meters,
     /// Fraction `γ` of queued vehicles that go straight through.
     pub straight_ratio: f64,

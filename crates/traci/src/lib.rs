@@ -1,6 +1,6 @@
 //! A hand-rolled implementation of SUMO's **TraCI** wire protocol.
 //!
-//! The paper applies its optimized velocity profiles "in SUMO using [the]
+//! The paper applies its optimized velocity profiles "in SUMO using \[the\]
 //! TraCI interface" (§III-B-3): an external controller connects to the
 //! simulator over TCP and, every step, reads the ego vehicle's state and
 //! commands its speed. This crate reproduces that control path against

@@ -1,7 +1,7 @@
 //! Traffic-volume substrate and the stacked-autoencoder (SAE) predictor.
 //!
 //! The paper predicts the **vehicle arrival rate** `V_in` at a traffic light
-//! with the deep-learning SAE traffic-volume model of Huang et al. [10],
+//! with the deep-learning SAE traffic-volume model of Huang et al. \[10\],
 //! trained on three months of hourly loop-detector data from the South
 //! Carolina DoT and tested on one week (§II-B-1, §III-A-2, Fig. 4). That
 //! feed is not publicly archivable, so this crate provides:
@@ -13,7 +13,7 @@
 //! * [`nn`] — a small, from-scratch dense neural network (sigmoid/linear
 //!   layers, per-sample SGD with momentum),
 //! * [`Sae`] — greedy layer-wise autoencoder pretraining followed by
-//!   supervised fine-tuning, exactly the SAE recipe of [10],
+//!   supervised fine-tuning, exactly the SAE recipe of \[10\],
 //! * [`SaePredictor`] — windowed lag features + time-of-day/day-of-week
 //!   encodings over an [`HourlyVolume`] feed, with per-day MRE/RMSE
 //!   evaluation (the Fig. 4b metrics).

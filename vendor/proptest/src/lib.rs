@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset of the proptest 1.x API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map`/`prop_recursive`/
+//! tests use: the [`strategy::Strategy`] trait with `prop_map`/`prop_recursive`/
 //! `boxed`, range and `any::<T>()` leaf strategies, a character-class
 //! string strategy, tuple/vec/option combinators, `prop_oneof!`, and the
 //! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.

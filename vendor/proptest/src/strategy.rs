@@ -232,7 +232,7 @@ pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, sizes }
 }
 
-/// Strategy for vectors (see [`vec`]).
+/// Strategy for vectors (see [`vec()`]).
 pub struct VecStrategy<S> {
     element: S,
     sizes: Range<usize>,

@@ -1,0 +1,244 @@
+//! Zero-dependency runtime telemetry: spans, counters, fixed-bucket
+//! histograms, a process-global registry, and JSON snapshot export.
+//!
+//! The velopt workspace needs a machine-readable performance trajectory —
+//! where solver wall time goes, how often the arena recycles buffers, what
+//! the cloud's request mix looks like — without paying for it on the hot
+//! path when nobody is looking. This crate supplies the thinnest facade
+//! that covers those needs:
+//!
+//! * [`span`] — RAII wall-time measurement; the elapsed seconds land in a
+//!   histogram named after the span when the guard drops.
+//! * [`add`] — monotonically increasing [`Counter`]s.
+//! * [`observe`] / [`observe_with`] — direct histogram observations.
+//! * [`snapshot`] / [`snapshot_json`] — a point-in-time, name-ordered copy
+//!   of every metric, exportable as JSON (and parseable back via
+//!   [`Snapshot::from_json`]).
+//!
+//! # Feature gating and the overhead guarantee
+//!
+//! The global facade is compiled **only** when the `enabled` feature is on.
+//! Off (the default), every facade function is an empty `#[inline(always)]`
+//! body, [`Span`] is a zero-sized type, and no registry exists in the
+//! binary — instrumented code is bit-identical in behavior and within
+//! noise in speed compared to uninstrumented code. Downstream crates
+//! re-export the switch as their own `telemetry` feature.
+//!
+//! The data structures themselves ([`Registry`], [`Counter`],
+//! [`Histogram`], [`Snapshot`], [`json`]) are *always* compiled and fully
+//! functional, so tests and tools (the bench-suite baseline comparator
+//! uses [`json`]) work in every configuration; only the process-global
+//! entry points vanish.
+//!
+//! # Examples
+//!
+//! ```
+//! // Works identically with the feature on or off; with it off the span
+//! // and counter are no-ops and the snapshot is empty.
+//! {
+//!     let _guard = telemetry::span("work.phase");
+//!     telemetry::add("work.items", 3);
+//! }
+//! let snap = telemetry::snapshot();
+//! #[cfg(feature = "enabled")]
+//! assert_eq!(snap.counter("work.items"), Some(3));
+//! #[cfg(not(feature = "enabled"))]
+//! assert!(snap.is_empty());
+//! ```
+
+pub mod json;
+mod registry;
+
+pub use registry::{
+    Counter, CounterSnapshot, Histogram, HistogramSnapshot, Registry, Snapshot, DURATION_BUCKETS,
+};
+
+#[cfg(feature = "enabled")]
+mod facade {
+    use super::registry::{Registry, Snapshot, DURATION_BUCKETS};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+    /// The process-global registry every facade call lands in.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// An RAII guard timing a region of code; on drop, the elapsed seconds
+    /// are recorded into the global histogram named after the span.
+    #[must_use = "a span measures until it is dropped"]
+    #[derive(Debug)]
+    pub struct Span {
+        name: &'static str,
+        start: Instant,
+    }
+
+    impl Span {
+        /// Seconds elapsed since the span started.
+        pub fn elapsed_seconds(&self) -> f64 {
+            self.start.elapsed().as_secs_f64()
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            observe(self.name, self.elapsed_seconds());
+        }
+    }
+
+    /// Starts a span; see [`Span`].
+    pub fn span(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Adds `n` to the global counter `name`.
+    pub fn add(name: &'static str, n: u64) {
+        global().counter(name).add(n);
+    }
+
+    /// Records `value` into the global histogram `name` (default
+    /// duration buckets).
+    pub fn observe(name: &'static str, value: f64) {
+        global().histogram(name, DURATION_BUCKETS).record(value);
+    }
+
+    /// Records `value` into the global histogram `name`, creating it with
+    /// the given bucket bounds on first use.
+    pub fn observe_with(name: &'static str, bounds: &[f64], value: f64) {
+        global().histogram(name, bounds).record(value);
+    }
+
+    /// A point-in-time copy of every global metric.
+    pub fn snapshot() -> Snapshot {
+        global().snapshot()
+    }
+
+    /// Zeroes every global metric (tests and long-lived servers).
+    pub fn reset() {
+        global().reset();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod facade {
+    use super::registry::Snapshot;
+
+    /// The no-op stand-in for the enabled build's RAII timing guard.
+    #[must_use = "a span measures until it is dropped"]
+    #[derive(Debug)]
+    pub struct Span(());
+
+    impl Span {
+        /// Always `0.0` in the disabled build.
+        pub fn elapsed_seconds(&self) -> f64 {
+            0.0
+        }
+    }
+
+    /// No-op; returns a zero-sized guard.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span(())
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(_name: &'static str, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn observe(_name: &'static str, _value: f64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn observe_with(_name: &'static str, _bounds: &[f64], _value: f64) {}
+
+    /// Always the empty snapshot in the disabled build.
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use facade::{add, observe, observe_with, reset, snapshot, span, Span};
+
+#[cfg(feature = "enabled")]
+pub use facade::global;
+
+/// The global snapshot as compact JSON (`{"counters":[],"histograms":[]}`
+/// when the `enabled` feature is off or nothing has been recorded).
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every facade entry point must compile and run in both feature
+    /// configurations; with `enabled` off they are no-ops, which is the
+    /// "telemetry-off call sites still compile" guarantee.
+    #[test]
+    fn facade_compiles_and_runs_in_this_configuration() {
+        {
+            let guard = span("test.span");
+            assert!(guard.elapsed_seconds() >= 0.0);
+        }
+        add("test.counter", 2);
+        observe("test.histogram", 0.5);
+        observe_with("test.custom", &[1.0, 2.0], 1.5);
+        let snap = snapshot();
+        let json = snapshot_json();
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+        reset();
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_facade_records_nothing() {
+        add("ghost", 100);
+        observe("ghost.hist", 1.0);
+        let _s = span("ghost.span");
+        assert!(snapshot().is_empty());
+        assert_eq!(snapshot_json(), r#"{"counters":[],"histograms":[]}"#);
+        assert_eq!(
+            std::mem::size_of::<Span>(),
+            0,
+            "disabled Span is zero-sized"
+        );
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_facade_records_spans_counters_histograms() {
+        reset();
+        {
+            let _guard = span("lib.test.timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        add("lib.test.count", 5);
+        add("lib.test.count", 5);
+        observe_with("lib.test.values", &[10.0], 3.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("lib.test.count"), Some(10));
+        let timed = snap.histogram("lib.test.timed").unwrap();
+        assert_eq!(timed.count, 1);
+        assert!(timed.sum >= 0.002, "span recorded {}s", timed.sum);
+        assert_eq!(
+            snap.histogram("lib.test.values").unwrap().counts,
+            vec![1, 0]
+        );
+        reset();
+        assert_eq!(snapshot().counter("lib.test.count"), Some(0));
+    }
+}

@@ -1,0 +1,503 @@
+//! Counters, fixed-bucket histograms, and the registry that owns them.
+//!
+//! Everything in this module is always compiled and fully functional — the
+//! `enabled` feature only gates the *global* facade in the crate root. That
+//! split keeps the no-op guarantee (call sites vanish when the feature is
+//! off) while letting tests exercise the real data structures in every
+//! build configuration.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The default histogram buckets: wall-clock seconds from 10 µs to 10 s in
+/// a 1–2.5–5 progression, matching the latencies of everything this repo
+/// times (DP phases, replanner ticks, request handling).
+pub const DURATION_BUCKETS: &[f64] = &[
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+];
+
+#[derive(Debug, Clone)]
+struct HistogramState {
+    /// `counts[i]` covers `(bounds[i-1], bounds[i]]`; the final slot is the
+    /// overflow bucket for values above every bound.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A histogram over fixed, caller-chosen bucket upper bounds.
+///
+/// A recorded value lands in the first bucket whose upper bound is **≥**
+/// the value (values exactly on an edge belong to that edge's bucket);
+/// values above the last bound land in a dedicated overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    state: Mutex<HistogramState>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            state: Mutex::new(HistogramState {
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        let mut state = self.state.lock().expect("histogram lock poisoned");
+        state.counts[idx] += 1;
+        state.count += 1;
+        state.sum += value;
+        state.min = state.min.min(value);
+        state.max = state.max.max(value);
+    }
+
+    /// The bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of the histogram's contents under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let state = self.state.lock().expect("histogram lock poisoned");
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.bounds.clone(),
+            counts: state.counts.clone(),
+            count: state.count,
+            sum: state.sum,
+            // Empty histograms report 0 extremes so the JSON stays finite.
+            min: if state.count == 0 { 0.0 } else { state.min },
+            max: if state.count == 0 { 0.0 } else { state.max },
+        }
+    }
+
+    fn reset(&self) {
+        let mut state = self.state.lock().expect("histogram lock poisoned");
+        state.counts.iter_mut().for_each(|c| *c = 0);
+        state.count = 0;
+        state.sum = 0.0;
+        state.min = f64::INFINITY;
+        state.max = f64::NEG_INFINITY;
+    }
+}
+
+/// One counter in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// The counter's registered name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: u64,
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// The histogram's registered name.
+    pub name: String,
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; the extra final slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a registry, ordered by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Every counter, name-ascending.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every histogram, name-ascending.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serializes the snapshot as compact JSON.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(c.name.clone())),
+                    ("value".into(), Json::Num(c.value as f64)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(h.name.clone())),
+                    (
+                        "bounds".into(),
+                        Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                    ),
+                    (
+                        "counts".into(),
+                        Json::Arr(h.counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+                    ),
+                    ("count".into(), Json::Num(h.count as f64)),
+                    ("sum".into(), Json::Num(h.sum)),
+                    ("min".into(), Json::Num(h.min)),
+                    ("max".into(), Json::Num(h.max)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Arr(counters)),
+            ("histograms".into(), Json::Arr(histograms)),
+        ])
+        .to_string()
+    }
+
+    /// Parses a snapshot back from its [`to_json`](Self::to_json) form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on malformed JSON or a missing field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let counters = root
+            .get("counters")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot missing `counters` array")?
+            .iter()
+            .map(|c| {
+                Ok(CounterSnapshot {
+                    name: c
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("counter missing `name`")?
+                        .to_string(),
+                    value: c
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or("counter missing `value`")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = root
+            .get("histograms")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot missing `histograms` array")?
+            .iter()
+            .map(|h| {
+                let nums = |key: &str| -> Result<Vec<f64>, String> {
+                    h.get(key)
+                        .and_then(Json::as_arr)
+                        .ok_or(format!("histogram missing `{key}`"))?
+                        .iter()
+                        .map(|x| x.as_f64().ok_or(format!("non-numeric `{key}` entry")))
+                        .collect()
+                };
+                let num = |key: &str| -> Result<f64, String> {
+                    h.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("histogram missing `{key}`"))
+                };
+                Ok(HistogramSnapshot {
+                    name: h
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("histogram missing `name`")?
+                        .to_string(),
+                    bounds: nums("bounds")?,
+                    counts: nums("counts")?.into_iter().map(|c| c as u64).collect(),
+                    count: num("count")? as u64,
+                    sum: num("sum")?,
+                    min: num("min")?,
+                    max: num("max")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            counters,
+            histograms,
+        })
+    }
+}
+
+/// A collection of named counters and histograms.
+///
+/// Handles are `Arc`s: fetch once, then update lock-free (counters) or
+/// under the histogram's own mutex, without touching the registry map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry lock poisoned");
+        Arc::clone(
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The histogram registered under `name`, created with `bounds` on
+    /// first use (later calls keep the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().expect("registry lock poisoned");
+        Arc::clone(
+            histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// A point-in-time copy of every metric, ordered by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every metric without dropping the registered handles.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+        {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("registry lock poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.counter("a").add(3);
+        reg.counter("b").add(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // Buckets: (-inf,1], (1,2], (2,4], (4,+inf) overflow.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Values exactly on an edge land in that edge's bucket.
+        h.record(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        // Interior values.
+        h.record(0.5);
+        h.record(1.5);
+        // Overflow: strictly above the last bound.
+        h.record(4.000001);
+        h.record(1e9);
+        let s = h.snapshot("edges");
+        assert_eq!(s.counts, vec![2, 2, 1, 2]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 1e9);
+    }
+
+    #[test]
+    fn histogram_below_first_bound_and_mean() {
+        let h = Histogram::new(&[10.0]);
+        h.record(-5.0);
+        h.record(0.0);
+        h.record(10.0);
+        let s = h.snapshot("low");
+        assert_eq!(s.counts, vec![3, 0]);
+        assert!((s.mean() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_extremes() {
+        let s = Histogram::new(&[1.0]).snapshot("empty");
+        assert_eq!((s.count, s.min, s.max), (0, 0.0, 0.0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let reg = Registry::new();
+        reg.counter("dp.solves").add(41);
+        let h = reg.histogram("dp.relax_seconds", DURATION_BUCKETS);
+        h.record(0.0031);
+        h.record(0.25);
+        h.record(99.0); // overflow
+        let snap = reg.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("dp.solves"), Some(41));
+        let hist = back.histogram("dp.relax_seconds").unwrap();
+        assert_eq!(hist.count, 3);
+        assert_eq!(*hist.counts.last().unwrap(), 1, "overflow bucket travels");
+        assert_eq!(hist.max, 99.0);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_snapshots() {
+        assert!(Snapshot::from_json("").is_err());
+        assert!(Snapshot::from_json("{}").unwrap_err().contains("counters"));
+        assert!(
+            Snapshot::from_json(r#"{"counters": [{"value": 1}], "histograms": []}"#)
+                .unwrap_err()
+                .contains("name")
+        );
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        let h = reg.histogram("y", &[1.0]);
+        c.add(7);
+        h.record(0.5);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), Some(0));
+        assert_eq!(snap.histogram("y").unwrap().count, 0);
+        // Pre-reset handles still feed the same metrics.
+        c.add(1);
+        assert_eq!(reg.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let reg = Registry::new();
+        reg.counter("zeta").add(1);
+        reg.counter("alpha").add(1);
+        let names: Vec<_> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}
