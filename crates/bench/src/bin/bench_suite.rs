@@ -8,32 +8,42 @@
 //! bench-suite --check BASELINE [--current PATH] [--tolerance T] [--warn-only]
 //!     Compare a report (a fresh run, or --current PATH) against BASELINE.
 //!     A scenario regresses when its median wall time exceeds the baseline
-//!     median by strictly more than T (default 0.15 = +15%).
+//!     median by strictly more than T (default 0.15 = +15%), or when its
+//!     deterministic work counters (states expanded per iteration, energy
+//!     evaluations) exceed the baseline's by more than T.
+//!
+//! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
+//!     Work counters only, at zero tolerance: wall time is ignored, so the
+//!     gate is immune to runner noise. Pins the solver's states-expanded
+//!     reduction against the committed baseline. Combines with --check.
 //! ```
 //!
 //! Exit codes: `0` success (or regression under `--warn-only`), `1`
 //! regression, `2` usage or I/O errors.
 
 use std::process::ExitCode;
-use velopt_bench::suite::{compare, run_matrix, BenchReport, MatrixSpec};
+use velopt_bench::suite::{compare, compare_work, run_matrix, BenchReport, Comparison, MatrixSpec};
 
 struct Args {
     quick: bool,
     out: String,
     check: Option<String>,
+    check_work: Option<String>,
     current: Option<String>,
     tolerance: f64,
     warn_only: bool,
 }
 
 const USAGE: &str = "usage: bench-suite [--quick] [--out PATH] \
-     [--check BASELINE [--current PATH] [--tolerance T] [--warn-only]]";
+     [--check BASELINE] [--check-work BASELINE] \
+     [--current PATH] [--tolerance T] [--warn-only]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         out: "BENCH_dp.json".to_string(),
         check: None,
+        check_work: None,
         current: None,
         tolerance: 0.15,
         warn_only: false,
@@ -50,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--warn-only" => args.warn_only = true,
             "--out" => args.out = value("--out")?,
             "--check" => args.check = Some(value("--check")?),
+            "--check-work" => args.check_work = Some(value("--check-work")?),
             "--current" => args.current = Some(value("--current")?),
             "--tolerance" => {
                 let raw = value("--tolerance")?;
@@ -61,8 +72,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if args.current.is_some() && args.check.is_none() {
-        return Err(format!("--current only makes sense with --check\n{USAGE}"));
+    if args.current.is_some() && args.check.is_none() && args.check_work.is_none() {
+        return Err(format!(
+            "--current only makes sense with --check/--check-work\n{USAGE}"
+        ));
     }
     Ok(args)
 }
@@ -91,12 +104,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                 .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
             for s in &report.scenarios {
                 eprintln!(
-                    "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  reuse {:>6}",
+                    "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  \
+                     reuse {:>6}  evals {:>7}  memo {:>5.1}%",
                     s.name,
                     s.wall_seconds.p50,
                     s.wall_seconds.p90,
                     s.states_expanded,
                     s.arena_reuse_hits,
+                    s.energy_evals,
+                    s.memo_hit_rate() * 100.0,
                 );
             }
             eprintln!("report written to {}", args.out);
@@ -104,29 +120,39 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
     };
 
-    let Some(baseline_path) = &args.check else {
-        return Ok(ExitCode::SUCCESS);
+    let mut failed = false;
+    let mut gate = |outcome: &Comparison, label: &str, baseline_path: &str| {
+        for name in &outcome.missing {
+            eprintln!("warning: scenario {name:?} is not in the baseline (skipped)");
+        }
+        eprintln!(
+            "{} scenario(s) passed the {label} gate against {baseline_path}",
+            outcome.passed,
+        );
+        if outcome.is_regression() {
+            for message in &outcome.regressions {
+                eprintln!("REGRESSION [{label}] {message}");
+            }
+            if args.warn_only {
+                eprintln!("--warn-only: reporting without failing");
+            } else {
+                failed = true;
+            }
+        }
     };
-    let baseline = load_report(baseline_path)?;
-    let outcome =
-        compare(&current, &baseline, args.tolerance).map_err(|e| format!("compare: {e}"))?;
-    for name in &outcome.missing {
-        eprintln!("warning: scenario {name:?} is not in the baseline (skipped)");
+    if let Some(baseline_path) = &args.check {
+        let baseline = load_report(baseline_path)?;
+        let outcome =
+            compare(&current, &baseline, args.tolerance).map_err(|e| format!("compare: {e}"))?;
+        gate(&outcome, "wall+work", baseline_path);
     }
-    eprintln!(
-        "{} scenario(s) within ±{:.0}% of {}",
-        outcome.passed,
-        args.tolerance * 100.0,
-        baseline_path,
-    );
-    if outcome.is_regression() {
-        for message in &outcome.regressions {
-            eprintln!("REGRESSION {message}");
-        }
-        if args.warn_only {
-            eprintln!("--warn-only: reporting without failing");
-            return Ok(ExitCode::SUCCESS);
-        }
+    if let Some(baseline_path) = &args.check_work {
+        let baseline = load_report(baseline_path)?;
+        let outcome =
+            compare_work(&current, &baseline).map_err(|e| format!("compare-work: {e}"))?;
+        gate(&outcome, "work-only", baseline_path);
+    }
+    if failed {
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

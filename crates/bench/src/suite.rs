@@ -84,6 +84,15 @@ pub struct ScenarioResult {
     pub arena_reuse_hits: u64,
     /// Layer buffers freshly allocated.
     pub arena_allocations: u64,
+    /// Transition-cost tables served from the arena's memo.
+    pub memo_hits: u64,
+    /// Transition-cost tables built from the energy model.
+    pub memo_misses: u64,
+    /// Energy-model segment evaluations across all iterations (zero once
+    /// the memo is warm).
+    pub energy_evals: u64,
+    /// Speed rows the reachability masks proved dead and skipped.
+    pub rows_skipped: u64,
 }
 
 impl ScenarioResult {
@@ -96,7 +105,21 @@ impl ScenarioResult {
             states_pruned: metrics.states_pruned,
             arena_reuse_hits: metrics.arena_reuse_hits,
             arena_allocations: metrics.arena_allocations,
+            memo_hits: metrics.memo_hits,
+            memo_misses: metrics.memo_misses,
+            energy_evals: metrics.energy_evals,
+            rows_skipped: metrics.rows_skipped,
         })
+    }
+
+    /// Fraction of transition-table fetches served from the memo, in
+    /// `[0, 1]`; `1.0` for a scenario that fetched no tables.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let fetches = self.memo_hits + self.memo_misses;
+        if fetches == 0 {
+            return 1.0;
+        }
+        self.memo_hits as f64 / fetches as f64
     }
 
     fn to_json(&self) -> Json {
@@ -127,6 +150,11 @@ impl ScenarioResult {
                 "arena_allocations".into(),
                 Json::Num(self.arena_allocations as f64),
             ),
+            ("memo_hits".into(), Json::Num(self.memo_hits as f64)),
+            ("memo_misses".into(), Json::Num(self.memo_misses as f64)),
+            ("memo_hit_rate".into(), Json::Num(self.memo_hit_rate())),
+            ("energy_evals".into(), Json::Num(self.energy_evals as f64)),
+            ("rows_skipped".into(), Json::Num(self.rows_skipped as f64)),
         ])
     }
 
@@ -163,8 +191,20 @@ impl ScenarioResult {
             states_pruned: field("states_pruned")? as u64,
             arena_reuse_hits: field("arena_reuse_hits")? as u64,
             arena_allocations: field("arena_allocations")? as u64,
+            // Memo counters appeared after the format's first release, so a
+            // pre-memo baseline simply reads as zero.
+            memo_hits: optional(value, "memo_hits"),
+            memo_misses: optional(value, "memo_misses"),
+            energy_evals: optional(value, "energy_evals"),
+            rows_skipped: optional(value, "rows_skipped"),
         })
     }
+}
+
+/// Reads an optional numeric counter, defaulting to zero when the field is
+/// absent (older reports predate the memo counters).
+fn optional(value: &Json, key: &str) -> u64 {
+    value.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64
 }
 
 /// A full suite run: every scenario's summary, in matrix order.
@@ -238,10 +278,32 @@ impl Comparison {
 /// absolutely.
 pub const ABSOLUTE_SLACK_SECONDS: f64 = 2e-3;
 
+/// Absolute slack for the per-iteration states-expanded gate: one state
+/// per iteration absorbs integer rounding when iteration counts differ
+/// between the baseline refresh and the CI run.
+pub const WORK_SLACK_STATES_PER_ITER: f64 = 1.0;
+
+/// Absolute slack for the energy-evaluation gate: roughly one cold
+/// transition-table build (`n_speeds²` lattice points), so a scenario that
+/// legitimately pays one extra cold start does not trip the gate.
+pub const WORK_SLACK_ENERGY_EVALS: f64 = 1024.0;
+
 /// Compares a current report against a baseline: a scenario regresses when
 /// its median wall time exceeds the baseline median by **strictly more**
 /// than `tolerance` (so `tolerance = 0.15` allows up to exactly +15%),
 /// with [`ABSOLUTE_SLACK_SECONDS`] of headroom for sub-millisecond medians.
+///
+/// Work counters are gated too, under the same tolerance, because the
+/// solver is deterministic and a work regression is a real regression even
+/// when the wall clock hides it on a fast machine:
+///
+/// * `states_expanded`, normalized per iteration (every iteration solves
+///   the identical problem, so the per-iteration count is machine- and
+///   iteration-count-invariant), with [`WORK_SLACK_STATES_PER_ITER`];
+/// * `energy_evals`, compared in absolute terms with
+///   [`WORK_SLACK_ENERGY_EVALS`] — with a working memo the total is one
+///   cold build regardless of iteration count, and a broken memo scales it
+///   by the iteration count, which is exactly what the gate should catch.
 ///
 /// # Errors
 ///
@@ -268,6 +330,7 @@ pub fn compare(
             outcome.missing.push(scenario.name.clone());
             continue;
         };
+        let before = outcome.regressions.len();
         let limit = base.wall_seconds.p50 * (1.0 + tolerance) + ABSOLUTE_SLACK_SECONDS;
         if scenario.wall_seconds.p50 > limit {
             outcome.regressions.push(format!(
@@ -278,7 +341,76 @@ pub fn compare(
                 tolerance * 100.0,
                 limit,
             ));
-        } else {
+        }
+        work_regressions(scenario, base, tolerance, &mut outcome.regressions);
+        if outcome.regressions.len() == before {
+            outcome.passed += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Appends work-counter regression messages for one scenario pair.
+fn work_regressions(
+    scenario: &ScenarioResult,
+    base: &ScenarioResult,
+    tolerance: f64,
+    regressions: &mut Vec<String>,
+) {
+    let per_iter = |v: u64, iters: u64| v as f64 / iters.max(1) as f64;
+    let current_states = per_iter(scenario.states_expanded, scenario.iterations);
+    let base_states = per_iter(base.states_expanded, base.iterations);
+    let states_limit = base_states * (1.0 + tolerance) + WORK_SLACK_STATES_PER_ITER;
+    if current_states > states_limit {
+        regressions.push(format!(
+            "{}: {:.0} states expanded per iteration exceeds baseline {:.0} \
+             by more than {:.0}% (limit {:.0})",
+            scenario.name,
+            current_states,
+            base_states,
+            tolerance * 100.0,
+            states_limit,
+        ));
+    }
+    let evals_limit = base.energy_evals as f64 * (1.0 + tolerance) + WORK_SLACK_ENERGY_EVALS;
+    if scenario.energy_evals as f64 > evals_limit {
+        regressions.push(format!(
+            "{}: {} energy evaluations exceeds baseline {} by more than {:.0}% \
+             (limit {:.0}) — is the transition memo still engaged?",
+            scenario.name,
+            scenario.energy_evals,
+            base.energy_evals,
+            tolerance * 100.0,
+            evals_limit,
+        ));
+    }
+}
+
+/// Work-only comparison at **zero tolerance**: flags any scenario whose
+/// deterministic work counters exceed the baseline (beyond integer slack),
+/// ignoring wall time entirely. The committed baseline records the
+/// memoized + pruned solver's reduced `states_expanded`, so this pins that
+/// reduction — a change that re-inflates the search fails even on a noisy
+/// shared runner, where the wall-clock gate needs generous tolerance.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] for a baseline with no scenarios.
+pub fn compare_work(current: &BenchReport, baseline: &BenchReport) -> Result<Comparison> {
+    if baseline.scenarios.is_empty() {
+        return Err(Error::invalid_input(
+            "baseline contains no scenarios; refusing to compare against an empty gate",
+        ));
+    }
+    let mut outcome = Comparison::default();
+    for scenario in &current.scenarios {
+        let Some(base) = baseline.scenario(&scenario.name) else {
+            outcome.missing.push(scenario.name.clone());
+            continue;
+        };
+        let before = outcome.regressions.len();
+        work_regressions(scenario, base, 0.0, &mut outcome.regressions);
+        if outcome.regressions.len() == before {
             outcome.passed += 1;
         }
     }
@@ -386,6 +518,50 @@ fn replan_steady_state(ticks: usize) -> Result<ScenarioResult> {
     ScenarioResult::from_samples("replan_steady_state", &samples, &metrics)
 }
 
+/// Times the refresh path alone: every tick drifts far enough (with the
+/// cooldown disabled) that `command` must run a mid-trip re-solve, so the
+/// row is pure replan latency — warm arena, warm transition memo — with
+/// none of the steady-state row's near-free stale-plan ticks diluting the
+/// percentiles.
+fn replan_refresh_only(ticks: usize) -> Result<ScenarioResult> {
+    let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush())?;
+    let corridor = system.config().road.length().value();
+    let config = ReplanConfig {
+        min_interval: Seconds::ZERO,
+        ..ReplanConfig::default()
+    };
+    let mut replanner = Replanner::new(system, config)?;
+    let mut rng = SplitMix64::new(BENCH_SEED ^ 0x5EED);
+    let mut metrics = replanner.plan().metrics;
+    let mut samples = Vec::with_capacity(ticks);
+    for i in 0..ticks {
+        // Sweep the middle of the corridor (the ends are not plannable),
+        // always late enough to force a refresh.
+        let frac = 0.15 + 0.6 * (i as f64 / ticks.max(1) as f64);
+        let position = Meters::new(corridor * frac);
+        let planned = replanner.plan().arrival_time_at(position);
+        let drift = rng.uniform(10.0, 12.0);
+        let speed = MetersPerSecond::new(
+            replanner
+                .plan()
+                .speed_at_position(position)
+                .value()
+                .max(8.0),
+        );
+        let start = Instant::now();
+        replanner.command(position, speed, planned + Seconds::new(drift))?;
+        samples.push(start.elapsed().as_secs_f64());
+        if replanner.replans() != i + 1 {
+            return Err(Error::invalid_input(format!(
+                "replan_refresh tick {i} did not refresh; the scenario would \
+                 be timing stale-plan lookups"
+            )));
+        }
+        metrics.absorb(&replanner.plan().metrics);
+    }
+    ScenarioResult::from_samples("replan_refresh", &samples, &metrics)
+}
+
 /// Runs the whole scenario matrix and collects the report.
 ///
 /// # Errors
@@ -413,6 +589,7 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
             single_trip("single_trip_greedy", greedy, spec.trip_iters)?,
             batch_burst(spec)?,
             replan_steady_state(spec.replan_ticks)?,
+            replan_refresh_only((spec.replan_ticks / 4).max(1))?,
         ],
     })
 }
@@ -436,6 +613,10 @@ mod tests {
             states_pruned: 400,
             arena_reuse_hits: 12,
             arena_allocations: 3,
+            memo_hits: 90,
+            memo_misses: 10,
+            energy_evals: 500,
+            rows_skipped: 20,
         }
     }
 
@@ -477,6 +658,65 @@ mod tests {
         assert_eq!(outcome.regressions.len(), 1);
         assert!(outcome.regressions[0].starts_with("slow:"));
         assert_eq!(outcome.passed, 1);
+    }
+
+    #[test]
+    fn work_counter_regressions_are_flagged() {
+        let baseline = report(&[("s", 0.100)]);
+        // Same wall time, but the solver suddenly expands twice the states
+        // per iteration: a real regression even though the clock is flat.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].states_expanded *= 2;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("states expanded"));
+
+        // A memo that stopped engaging multiplies energy evals far past the
+        // one-cold-build slack.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].energy_evals = 500 * 12;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("energy evaluations"));
+
+        // Fewer states / fewer evals is an improvement, never a regression.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].states_expanded = 1;
+        current.scenarios[0].energy_evals = 0;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.passed, 1);
+    }
+
+    #[test]
+    fn work_only_gate_ignores_wall_time() {
+        let baseline = report(&[("s", 0.100)]);
+        // 10x slower wall clock but identical work: the work gate passes.
+        let current = report(&[("s", 1.000)]);
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.passed, 1);
+        // One extra state per iteration beyond the integer slack fails it.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].states_expanded += 2 * 5;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+    }
+
+    #[test]
+    fn memo_hit_rate_and_optional_fields() {
+        assert!((scenario("s", 0.1).memo_hit_rate() - 0.9).abs() < 1e-12);
+        // A pre-memo report (no memo fields) parses with zero counters and
+        // a vacuous 100% hit rate.
+        let legacy = r#"{"scenarios":[{"name":"s","iterations":5,
+            "wall_seconds":{"min":0.08,"p50":0.1,"p90":0.12,"p99":0.13,"max":0.14},
+            "states_expanded":1000,"states_pruned":400,
+            "arena_reuse_hits":12,"arena_allocations":3}]}"#;
+        let parsed = BenchReport::from_json(legacy).unwrap();
+        let s = &parsed.scenarios[0];
+        assert_eq!(s.memo_hits, 0);
+        assert_eq!(s.energy_evals, 0);
+        assert_eq!(s.memo_hit_rate(), 1.0);
     }
 
     #[test]
@@ -533,16 +773,22 @@ mod tests {
             replan_ticks: 8,
         };
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 5);
+        assert_eq!(report.scenarios.len(), 6);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
             assert!(s.states_expanded > 0, "{}", s.name);
         }
         assert!(report.scenario("batch_2").is_some());
+        assert!(report.scenario("replan_refresh").is_some());
+        // Every scenario runs the memoized solver, so cost tables were
+        // fetched and most fetches hit the shared cache.
+        let seq = report.scenario("single_trip_sequential").unwrap();
+        assert!(seq.memo_misses > 0);
+        assert!(seq.memo_hit_rate() > 0.5, "rate {}", seq.memo_hit_rate());
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression());
-        assert_eq!(outcome.passed, 5);
+        assert_eq!(outcome.passed, 6);
     }
 }

@@ -169,6 +169,10 @@ pub fn encode_profile(profile: &OptimizedProfile, buf: &mut BytesMut) {
     buf.put_f64(m.backtrack_seconds);
     buf.put_u64(m.arena_reuse_hits);
     buf.put_u64(m.arena_allocations);
+    buf.put_u64(m.memo_hits);
+    buf.put_u64(m.memo_misses);
+    buf.put_u64(m.energy_evals);
+    buf.put_u64(m.rows_skipped);
     buf.put_u32(m.threads_used as u32);
 }
 
@@ -201,6 +205,10 @@ pub fn decode_profile(buf: &mut Bytes) -> Result<OptimizedProfile> {
         backtrack_seconds: take_f64(buf)?,
         arena_reuse_hits: take_u64(buf)?,
         arena_allocations: take_u64(buf)?,
+        memo_hits: take_u64(buf)?,
+        memo_misses: take_u64(buf)?,
+        energy_evals: take_u64(buf)?,
+        rows_skipped: take_u64(buf)?,
         threads_used: take_u32(buf)? as usize,
     };
     Ok(OptimizedProfile {

@@ -5,7 +5,9 @@
 //! an embarrassingly parallel workload. [`DpOptimizer::optimize_batch`]
 //! fans the requests out over scoped worker threads, one
 //! [`SolverArena`] per worker so consecutive plans on the same worker
-//! recycle layer buffers, and returns results **in request order**.
+//! recycle layer buffers *and* the transition-cost memo (plans after the
+//! first on a worker typically build zero cost tables — see
+//! [`crate::memo`]), and returns results **in request order**.
 //!
 //! Per-plan layer parallelism is disabled inside a batch (each plan runs
 //! the sequential relaxation) so a batch of N on C cores uses exactly
@@ -210,6 +212,11 @@ mod tests {
         let later = results[2].as_ref().unwrap();
         assert_eq!(later.metrics.arena_allocations, 0);
         assert!(later.metrics.arena_reuse_hits > 0);
+        // Same corridor, same segment classes: the transition memo is warm,
+        // so the later plans build no cost tables and run no energy evals.
+        assert_eq!(later.metrics.memo_misses, 0);
+        assert_eq!(later.metrics.energy_evals, 0);
+        assert!(later.metrics.memo_hits > 0);
     }
 
     #[test]

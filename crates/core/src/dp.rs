@@ -31,24 +31,79 @@
 //! the penalty additively (`cost + M`) instead, which preserves Eq. 12's
 //! intent for all cost signs. (Documented deviation; see DESIGN.md.)
 //!
+//! ## Transition memoization
+//!
+//! Segment energy depends only on `(v_from, v_to, segment length, grade)`,
+//! so per solve there are only as many distinct transition structures as
+//! there are distinct (quantized) `(length, grade)` segment classes — one
+//! on a uniform flat corridor. [`crate::memo`] caches one V×V cost table
+//! per class in the [`SolverArena`]; the relaxation loops read the table
+//! instead of calling the energy model per candidate, and the cache
+//! persists across layers, batch trips and replanning ticks. Costs are
+//! evaluated at the snapped class values whether memoization is on or off
+//! ([`DpConfig::memo`]), so the two paths are bit-identical; see the
+//! [`crate::memo`] docs for the exactness argument.
+//!
+//! ## Reachability pruning and the cost-to-go bound
+//!
+//! Before relaxing, the solver intersects a forward acceleration cone from
+//! the start state with a backward cone from the terminal (both restricted
+//! to `allowed` rows and table-feasible transitions) and skips every
+//! `(station, v)` row outside the intersection
+//! ([`SolverMetrics::rows_skipped`]). A row outside the cone can neither
+//! hold a state nor feed one into a live row, so skipping it leaves the
+//! live rows' contents — and the backtracked profile — bit-identical.
+//!
+//! On top of the masks, Exact mode prunes candidates against a lower bound
+//! on their completion cost: an admissible per-row cost-to-go `B(i, v)`
+//! from a backward Bellman sweep (folding in the unavoidable penalty `M`
+//! at signal stations whose windows the earliest possible arrival already
+//! misses), combined with a window-aware arrival-time bound
+//! (`window_bounds`) that prices window penalties the cost-to-go cannot
+//! see. Every bound term is a pure function of a candidate's DP slot
+//! `(station, v, t-bin)`, so within one slot prunability is monotone in
+//! cost: if any candidate survives, the slot's winner survives, and
+//! pruning can never change a surviving slot's contents.
+//!
+//! The pruning limit comes from an *aspiration ladder* rather than a
+//! single upper bound. The first rungs are optimistic
+//! `B(0, v_start) + time_weight·Δ` guesses (Δ = 6 s, 24 s, …, capped by
+//! the Greedy presolve's achievable-path cost); the ladder ends with the
+//! greedy bound and finally `None` (unbounded). Each rung is *verified*:
+//! the sweep's terminal cost must not exceed the rung, otherwise the rung
+//! undercut the optimum (or time-bin merging legitimately pushed the DP
+//! value past the greedy path cost) and the solver retries with the next,
+//! looser rung. A failing rung costs one heavily pruned — therefore cheap
+//! — sweep; a passing rung certifies that every slot that can reach a
+//! terminal within the limit was relaxed identically to the unbounded
+//! sweep, so the returned profile is bit-identical to the unpruned one
+//! (see DESIGN.md for the full argument). The rung schedule is fixed and
+//! data-independent, so the work counters remain deterministic across
+//! thread counts and memoization settings.
+//!
 //! ## Parallelism and determinism
 //!
-//! Layer relaxation is parallelized across the target-speed rows of the
-//! speed×time-bin grid ([`DpConfig::threads`]). Each worker owns a
-//! disjoint contiguous slice of the layer and visits candidates in the
-//! same order as the sequential loop (source speed ascending, then time
-//! bin ascending), with ties broken by the same strict `<`, so the solved
-//! profile is **bit-identical** for every thread count. See
-//! [`crate::par`] for the scheduling contract.
+//! Layer relaxation is parallelized across contiguous blocks of
+//! target-speed rows of the speed×time-bin grid ([`DpConfig::threads`]),
+//! executed by a persistent worker team ([`crate::par::team_scope`]) that
+//! is spawned once per solve rather than once per layer. Each block is a
+//! disjoint `&mut` slice relaxed by exactly one thread, and within a row
+//! candidates are visited in the same order as the sequential loop (source
+//! speed ascending, then time bin ascending) with ties broken by the same
+//! strict `<`, so the solved profile is **bit-identical** for every thread
+//! count. All pruning decisions (masks, bounds, spans) are computed before
+//! the fan-out and are independent of the chunk geometry, so the state
+//! counters in [`SolverMetrics`] are thread-count-invariant too.
 
 use crate::arena::LayerPool;
+use crate::memo::{ClassKey, CostTable, MemoStats, TransitionTable};
 use crate::metrics::SolverMetrics;
 use crate::par;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use velopt_common::units::{AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Seconds};
 use velopt_common::{Error, Result, TimeSeries};
-use velopt_ev_energy::EnergyModel;
+use velopt_ev_energy::{EnergyModel, GridSpec};
 use velopt_queue::TimeWindow;
 use velopt_road::Road;
 
@@ -102,6 +157,12 @@ pub struct DpConfig {
     /// `1` = sequential. The solved profile is bit-identical for every
     /// value (see the module docs), so this is purely a throughput knob.
     pub threads: usize,
+    /// Whether to reuse transition-cost tables from the arena cache
+    /// (default `true`). With `false` every solve rebuilds its tables from
+    /// the energy model — same results bit-for-bit, no sharing; kept as an
+    /// ablation/verification knob (`SolverMetrics::memo_misses` then counts
+    /// every per-layer build).
+    pub memo: bool,
 }
 
 impl Default for DpConfig {
@@ -118,6 +179,7 @@ impl Default for DpConfig {
             time_weight: 0.003,
             time_handling: TimeHandling::Exact,
             threads: 0,
+            memo: true,
         }
     }
 }
@@ -346,20 +408,23 @@ struct GNode {
     violations: u32,
 }
 
-/// Reusable solver scratch: the DP layer stacks and backtrack buffers.
+/// Reusable solver scratch: the DP layer stacks, backtrack buffers and the
+/// cross-solve transition-cost cache.
 ///
 /// `optimize_from` allocates these afresh on every call; a caller that
 /// solves repeatedly (the [`Replanner`](crate::replan::Replanner) tick
 /// loop, [batch planning](crate::batch)) should hold one arena and use
 /// [`DpOptimizer::optimize_from_with`] so the second and later solves
-/// reuse the first solve's buffers. The resulting profile is identical
-/// either way; only [`SolverMetrics::arena_reuse_hits`] differs.
+/// reuse the first solve's buffers **and** its memoized cost tables. The
+/// resulting profile is identical either way; only the arena and memo
+/// counters in [`SolverMetrics`] differ.
 #[derive(Debug, Clone, Default)]
 pub struct SolverArena {
     exact: LayerPool<Option<Node>>,
     greedy: LayerPool<Option<GNode>>,
     speeds_idx: Vec<usize>,
     times: Vec<f64>,
+    transitions: TransitionTable,
 }
 
 impl SolverArena {
@@ -367,7 +432,105 @@ impl SolverArena {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Number of distinct segment classes currently cached in the
+    /// transition-cost table.
+    pub fn cached_classes(&self) -> usize {
+        self.transitions.classes()
+    }
 }
+
+/// Everything the relaxation loops need, borrowed once per solve.
+struct SolveCtx<'a> {
+    stations: &'a [Meters],
+    /// Per-segment cost table: `tables[i - 1]` covers `stations[i-1] →
+    /// stations[i]`.
+    tables: &'a [&'a CostTable],
+    /// Per-segment snapped lengths (same indexing), used for the
+    /// acceleration bands so memoized and direct solves share every float.
+    layer_ds: &'a [f64],
+    allowed: &'a [Vec<bool>],
+    station_windows: &'a [Option<&'a SignalConstraint>],
+    dwell: &'a [f64],
+    n_speeds: usize,
+    start_vi: usize,
+    start_time: f64,
+}
+
+/// Mixes everything the cached cost tables depend on besides the segment
+/// class itself: the energy physics and the velocity/acceleration lattice.
+fn table_signature(energy: &EnergyModel, config: &DpConfig, n_speeds: usize) -> u64 {
+    let mut h = energy.fingerprint();
+    for bits in [
+        config.dv.value().to_bits(),
+        n_speeds as u64,
+        config.a_min.value().to_bits(),
+        config.a_max.value().to_bits(),
+    ] {
+        h ^= bits;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Forward/backward reachability over `(station, speed)` rows: a row is
+/// *live* iff some acceleration-feasible chain connects the start state to
+/// it **and** it to the terminal rest state. Returns the live mask and the
+/// number of `allowed` rows the masks retired.
+///
+/// Skipping non-live rows is exact: a state can only exist in a
+/// forward-reachable row, and a candidate into a live target from a
+/// backward-dead source is impossible (a feasible transition into a
+/// backward-live row makes the source backward-live by definition), so the
+/// live rows' layer contents are bit-identical to an unmasked sweep.
+fn reachability(ctx: &SolveCtx<'_>) -> (Vec<Vec<bool>>, u64) {
+    let n_stations = ctx.stations.len();
+    let n = ctx.n_speeds;
+    let mut fwd = vec![vec![false; n]; n_stations];
+    fwd[0][ctx.start_vi] = true;
+    for i in 1..n_stations {
+        let table = ctx.tables[i - 1];
+        for u in 0..n {
+            if !ctx.allowed[i][u] {
+                continue;
+            }
+            fwd[i][u] = (0..n).any(|v| fwd[i - 1][v] && table.get(v, u).is_some());
+        }
+    }
+    let mut bwd = vec![vec![false; n]; n_stations];
+    bwd[n_stations - 1][0] = true;
+    for i in (0..n_stations - 1).rev() {
+        let table = ctx.tables[i];
+        for v in 0..n {
+            let gate = if i == 0 {
+                v == ctx.start_vi
+            } else {
+                ctx.allowed[i][v]
+            };
+            if !gate {
+                continue;
+            }
+            bwd[i][v] = (0..n).any(|u| bwd[i + 1][u] && table.get(v, u).is_some());
+        }
+    }
+    let mut live = vec![vec![false; n]; n_stations];
+    let mut skipped = 0u64;
+    for i in 0..n_stations {
+        for v in 0..n {
+            live[i][v] = fwd[i][v] && bwd[i][v];
+            if i > 0 && ctx.allowed[i][v] && !live[i][v] {
+                skipped += 1;
+            }
+        }
+    }
+    (live, skipped)
+}
+
+/// Safety slack on the arrival-time cone: a window is only declared
+/// unreachable if it closes at least this far before the earliest possible
+/// arrival, so float-association differences between the cone sweep and
+/// the DP's own time accumulation can never mislabel a reachable window.
+const CONE_SLACK: f64 = 1e-6;
 
 impl DpOptimizer {
     /// Creates an optimizer.
@@ -419,9 +582,10 @@ impl DpOptimizer {
     }
 
     /// [`optimize_from`](Self::optimize_from) with caller-owned scratch
-    /// storage, for hot loops that solve repeatedly: layer buffers are
-    /// recycled across calls instead of reallocated. The profile is
-    /// identical to the arena-less call; only the arena counters in its
+    /// storage, for hot loops that solve repeatedly: layer buffers **and
+    /// memoized transition-cost tables** are recycled across calls instead
+    /// of reallocated/recomputed. The profile is identical to the
+    /// arena-less call; only the arena and memo counters in its
     /// [`metrics`](OptimizedProfile::metrics) differ.
     ///
     /// # Errors
@@ -533,35 +697,83 @@ impl DpOptimizer {
             })
             .collect();
 
+        // Resolve each segment to its quantized class and fetch (or build)
+        // the shared V×V transition-cost table. The arena cache survives
+        // across solves; `reconcile` drops it if the physics or lattice
+        // changed since it was filled.
+        let SolverArena {
+            exact,
+            greedy,
+            speeds_idx,
+            times,
+            transitions,
+        } = arena;
+        transitions.reconcile(table_signature(&self.energy, &self.config, n_speeds));
+        let mut stats = MemoStats::default();
+        let mut layer_ds = Vec::with_capacity(n_stations - 1);
+        let mut specs = Vec::with_capacity(n_stations - 1);
+        for i in 1..n_stations {
+            let ds = stations[i] - stations[i - 1];
+            let grade = road.grade_at(stations[i - 1] + ds * 0.5);
+            let (key, length, grade) = ClassKey::quantize(ds, grade);
+            layer_ds.push(length.value());
+            specs.push((
+                key,
+                GridSpec {
+                    dv: self.config.dv,
+                    n_speeds,
+                    distance: length,
+                    grade,
+                    a_min: self.config.a_min,
+                    a_max: self.config.a_max,
+                },
+            ));
+        }
+        let owned_tables: Vec<CostTable>;
+        let tables: Vec<&CostTable> = if self.config.memo {
+            let ids: Vec<usize> = specs
+                .iter()
+                .map(|(key, spec)| transitions.class_for(*key, &self.energy, spec, &mut stats))
+                .collect();
+            ids.into_iter().map(|id| transitions.table(id)).collect()
+        } else {
+            owned_tables = specs
+                .iter()
+                .map(|(_, spec)| {
+                    let (table, evals) = CostTable::build(&self.energy, spec);
+                    stats.misses += 1;
+                    stats.energy_evals += evals;
+                    table
+                })
+                .collect();
+            owned_tables.iter().collect()
+        };
+
         let mut metrics = SolverMetrics {
             setup_seconds: setup_started.elapsed().as_secs_f64(),
+            memo_hits: stats.hits,
+            memo_misses: stats.misses,
+            energy_evals: stats.energy_evals,
             ..SolverMetrics::default()
         };
+        let ctx = SolveCtx {
+            stations: &stations,
+            tables: &tables,
+            layer_ds: &layer_ds,
+            allowed: &allowed,
+            station_windows: &station_windows,
+            dwell: &dwell,
+            n_speeds,
+            start_vi,
+            start_time: start.time.value(),
+        };
         let result = match self.config.time_handling {
-            TimeHandling::Exact => self.solve_exact(
-                road,
-                &stations,
-                &allowed,
-                &station_windows,
-                &dwell,
-                n_speeds,
-                start_vi,
-                start.time.value(),
-                arena,
-                &mut metrics,
-            ),
-            TimeHandling::Greedy => self.solve_greedy(
-                road,
-                &stations,
-                &allowed,
-                &station_windows,
-                &dwell,
-                n_speeds,
-                start_vi,
-                start.time.value(),
-                arena,
-                &mut metrics,
-            ),
+            TimeHandling::Exact => {
+                self.solve_exact(&ctx, exact, greedy, speeds_idx, times, &mut metrics)
+            }
+            TimeHandling::Greedy => {
+                self.solve_greedy(&ctx, greedy, speeds_idx, times, &mut metrics)
+            }
         };
         match &result {
             Ok(profile) => profile.metrics.publish(),
@@ -569,303 +781,624 @@ impl DpOptimizer {
         }
         result
     }
+}
 
-    /// Energy and duration of one transition, or `None` if kinematically
-    /// infeasible.
-    fn transition(
+impl DpOptimizer {
+    /// Stations whose every arrival window is provably unreachable: the
+    /// earliest possible arrival (a min-plus sweep of the duration tables
+    /// over live rows) already postdates each window's close, or the window
+    /// opens beyond the horizon. Every surviving path pays `M` there, so
+    /// the cost-to-go bound may charge it unconditionally.
+    fn cone_dead(&self, ctx: &SolveCtx<'_>, live: &[Vec<bool>]) -> Vec<bool> {
+        let n_stations = ctx.stations.len();
+        let n = ctx.n_speeds;
+        let horizon = self.config.horizon.value();
+        let mut dead = vec![false; n_stations];
+        let mut tmin_prev = vec![f64::INFINITY; n];
+        tmin_prev[ctx.start_vi] = ctx.start_time;
+        for i in 1..n_stations {
+            let table = ctx.tables[i - 1];
+            let mut tmin = vec![f64::INFINITY; n];
+            let mut global = f64::INFINITY;
+            for (u, slot) in tmin.iter_mut().enumerate() {
+                if !live[i][u] {
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                for v in 0..n {
+                    if !live[i - 1][v] && i > 1 {
+                        continue;
+                    }
+                    if tmin_prev[v].is_infinite() {
+                        continue;
+                    }
+                    if let Some((_, dur)) = table.get(v, u) {
+                        // Same association as the DP's arrival clock.
+                        let t = (tmin_prev[v] + dur) + ctx.dwell[i];
+                        best = best.min(t);
+                    }
+                }
+                *slot = best;
+                global = global.min(best);
+            }
+            if let Some(sc) = ctx.station_windows[i] {
+                dead[i] = sc
+                    .windows
+                    .iter()
+                    .all(|w| w.end.value() <= global - CONE_SLACK || w.start.value() > horizon);
+            }
+            tmin_prev = tmin;
+        }
+        dead
+    }
+
+    /// Slot-uniform lower bounds on the cost a state still has to pay.
+    ///
+    /// `emin[i][v]` is the energy-only cost-to-go through the transition
+    /// tables (terminating at `v = 0`), and `wait[i][b]` lower-bounds the
+    /// time-weighted remaining travel time *plus the window penalties at
+    /// stations past `i`* for any state whose arrival time falls in time
+    /// bin `b`. The bounded relax prunes a candidate when
+    /// `cost + max(B, emin + wait)` exceeds the current upper bound; the
+    /// `wait` term is what prices future window-induced slowdowns (and
+    /// outright unreachable windows) that the joint cost-to-go `B` cannot
+    /// see.
+    ///
+    /// Every input to `wait` is quantized to whole time bins with a
+    /// conservative one-bin widening, so the combined bound is a pure
+    /// function of a candidate's DP slot `(station, speed, time bin)`:
+    /// all candidates competing for one slot carry the same bound. If any
+    /// of them survives the prune, the cheapest one does too — so pruning
+    /// can never change a surviving slot's winner, which is what keeps
+    /// bounded sweeps bit-identical to the unbounded sweep (see the
+    /// module docs).
+    fn window_bounds(&self, ctx: &SolveCtx<'_>, n_bins: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let n_stations = ctx.stations.len();
+        let n_speeds = ctx.n_speeds;
+        let dt = self.config.dt_bin.value();
+        let tw = self.config.time_weight;
+
+        // Energy-only cost-to-go over the transition tables.
+        let mut emin = vec![vec![f64::INFINITY; n_speeds]; n_stations];
+        emin[n_stations - 1][0] = 0.0;
+        for i in (0..n_stations - 1).rev() {
+            let table = ctx.tables[i];
+            let (rest, done) = emin.split_at_mut(i + 1);
+            let next = &done[0];
+            for (vi, slot) in rest[i].iter_mut().enumerate() {
+                let mut best = f64::INFINITY;
+                for (vj, &e) in next.iter().enumerate() {
+                    if !e.is_finite() {
+                        continue;
+                    }
+                    if let Some((charge, _)) = table.get(vi, vj) {
+                        best = best.min(charge + e);
+                    }
+                }
+                *slot = best;
+            }
+        }
+
+        // Per-segment duration envelope over every transition the table
+        // admits — a superset of the acceleration-feasible ones, so the
+        // time bounds below hold for every real path.
+        let seg: Vec<(f64, f64)> = (0..n_stations - 1)
+            .map(|j| {
+                let table = ctx.tables[j];
+                let mut dmin = f64::INFINITY;
+                let mut dmax = f64::NEG_INFINITY;
+                for v in 0..ctx.n_speeds {
+                    for u in 0..ctx.n_speeds {
+                        if let Some((_, dur)) = table.get(v, u) {
+                            dmin = dmin.min(dur);
+                            dmax = dmax.max(dur);
+                        }
+                    }
+                }
+                (dmin, dmax)
+            })
+            .collect();
+
+        // Backward sweep over (station, arrival-time bin). A bin's value
+        // is the cheapest `tw·duration + penalty` chain over successor
+        // bins, where the duration is bounded below by both the segment
+        // envelope and the bin gap (less one bin of quantization slack),
+        // and a successor bin pays `penalty_m` only when *no* time inside
+        // it is admitted by the station's windows. The successor range is
+        // widened by one bin on each side so it covers every arrival the
+        // exact-time relax can produce from this bin.
+        let mut wait = vec![vec![0.0f64; n_bins]; n_stations];
+        for i in (0..n_stations - 1).rev() {
+            let (dmin, dmax) = seg[i];
+            let dw = ctx.dwell[i + 1];
+            let pen: Vec<f64> = (0..n_bins)
+                .map(|b| match ctx.station_windows[i + 1] {
+                    Some(sc) => {
+                        let lo = b as f64 * dt - 0.5 * dt - CONE_SLACK;
+                        let hi = b as f64 * dt + 0.5 * dt + CONE_SLACK;
+                        let admitted = sc
+                            .windows
+                            .iter()
+                            .any(|w| w.start.value() <= hi && w.end.value() >= lo);
+                        if admitted {
+                            0.0
+                        } else {
+                            self.config.penalty_m
+                        }
+                    }
+                    None => 0.0,
+                })
+                .collect();
+            let (rest, done) = wait.split_at_mut(i + 1);
+            let next = &done[0];
+            let here = &mut rest[i];
+            for (b, slot) in here.iter_mut().enumerate() {
+                let t = b as f64 * dt;
+                let lo = (((t + dmin + dw) / dt) - 1.0).floor().max(0.0) as usize;
+                let hi = ((((t + dmax + dw) / dt) + 1.0).ceil()).min((n_bins - 1) as f64) as usize;
+                let mut best = f64::INFINITY;
+                for b2 in lo..=hi.min(n_bins - 1) {
+                    let w2 = next[b2];
+                    if !w2.is_finite() {
+                        continue;
+                    }
+                    let gap = (b2 as f64 - b as f64 - 1.0) * dt - dw - CONE_SLACK;
+                    let cand = tw * dmin.max(gap) + pen[b2] + w2;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                *slot = best;
+            }
+        }
+        (emin, wait)
+    }
+
+    /// Admissible cost-to-go `B(i, v)`: a backward Bellman sweep over live
+    /// rows of `charge + time_weight·duration` per step, plus `M` for
+    /// steps into cone-dead signal stations. `B` never exceeds any real
+    /// suffix cost (penalties at non-dead stations are bounded below by
+    /// zero), so `prefix + B > upper bound` certifies a candidate cannot
+    /// start the winning suffix.
+    fn cost_to_go(&self, ctx: &SolveCtx<'_>, live: &[Vec<bool>], dead: &[bool]) -> Vec<Vec<f64>> {
+        let n_stations = ctx.stations.len();
+        let n = ctx.n_speeds;
+        let tw = self.config.time_weight;
+        let mut b = vec![vec![f64::INFINITY; n]; n_stations];
+        b[n_stations - 1][0] = 0.0;
+        for i in (0..n_stations - 1).rev() {
+            let table = ctx.tables[i];
+            let step_pen = if dead[i + 1] {
+                self.config.penalty_m
+            } else {
+                0.0
+            };
+            let (rest, done) = b.split_at_mut(i + 1);
+            let b_next = &done[0];
+            let b_here = &mut rest[i];
+            for (v, slot) in b_here.iter_mut().enumerate() {
+                if !live[i][v] {
+                    continue;
+                }
+                let mut best = f64::INFINITY;
+                for (u, &b_u) in b_next.iter().enumerate() {
+                    if !live[i + 1][u] || b_u.is_infinite() {
+                        continue;
+                    }
+                    if let Some((charge, dur)) = table.get(v, u) {
+                        best = best.min(charge + tw * dur + step_pen + b_u);
+                    }
+                }
+                *slot = best;
+            }
+        }
+        b
+    }
+
+    /// Relaxes every greedy layer in place (seeding layer 0 itself) and
+    /// returns `(states_expanded, states_pruned)`. Shared by Greedy-mode
+    /// solves and the Exact solver's upper-bound presolve. The cost/time
+    /// accumulation uses the exact float expressions of the Exact relax,
+    /// so a greedy terminal cost is a *bit-exact* achievable-path cost.
+    fn relax_greedy(
         &self,
-        road: &Road,
-        x0: Meters,
-        ds: Meters,
-        v0: f64,
-        v1: f64,
-    ) -> Option<(f64, f64)> {
-        let d = ds.value();
-        let a = (v1 * v1 - v0 * v0) / (2.0 * d);
-        if a < self.config.a_min.value() - 1e-9 || a > self.config.a_max.value() + 1e-9 {
-            return None;
+        ctx: &SolveCtx<'_>,
+        layers: &mut [Vec<Option<GNode>>],
+        team: &par::Team<'_>,
+    ) -> (u64, u64) {
+        let n_stations = ctx.stations.len();
+        let horizon = self.config.horizon.value();
+        let rows_per_chunk = ctx.n_speeds.div_ceil(team.workers());
+        layers[0][ctx.start_vi] = Some(GNode {
+            cost: 0.0,
+            time: ctx.start_time,
+            prev_v: ctx.start_vi as u32,
+            violations: 0,
+        });
+        let mut expanded_total = 0u64;
+        let mut pruned_total = 0u64;
+        for i in 1..n_stations {
+            let table = ctx.tables[i - 1];
+            let (done, rest) = layers.split_at_mut(i);
+            let prev_layer: &[Option<GNode>] = &done[i - 1];
+            let layer: &mut Vec<Option<GNode>> = &mut rest[0];
+
+            // A block of target-speed rows per chunk; for a fixed slot vj
+            // candidates arrive in source-speed-ascending order exactly as
+            // in the sequential loop (same winners under the strict `<`).
+            let counters =
+                team.map_chunks(layer.as_mut_slice(), rows_per_chunk, |offset, chunk| {
+                    let mut expanded = 0u64;
+                    let mut pruned = 0u64;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        let vj = offset + k;
+                        if !ctx.allowed[i][vj] {
+                            continue;
+                        }
+                        for (vi, prev) in prev_layer.iter().enumerate() {
+                            if i > 1 && !ctx.allowed[i - 1][vi] {
+                                continue;
+                            }
+                            let Some(node) = *prev else {
+                                continue;
+                            };
+                            let Some((charge, dur)) = table.get(vi, vj) else {
+                                pruned += 1;
+                                continue;
+                            };
+                            let t1 = node.time + dur + ctx.dwell[i];
+                            if t1 > horizon {
+                                pruned += 1;
+                                continue;
+                            }
+                            let (penalty, violation) = match ctx.station_windows[i] {
+                                Some(sc) if !sc.admits(Seconds::new(t1)) => {
+                                    (self.config.penalty_m, 1)
+                                }
+                                _ => (0.0, 0),
+                            };
+                            let cand = GNode {
+                                cost: node.cost + charge + self.config.time_weight * dur + penalty,
+                                time: t1,
+                                prev_v: vi as u32,
+                                violations: node.violations + violation,
+                            };
+                            expanded += 1;
+                            if slot.is_none_or(|s| cand.cost < s.cost) {
+                                *slot = Some(cand);
+                            }
+                        }
+                    }
+                    (expanded, pruned)
+                });
+            for (expanded, pruned) in counters {
+                expanded_total += expanded;
+                pruned_total += pruned;
+            }
         }
-        if v0 <= 0.0 && v1 <= 0.0 {
-            return None; // cannot cross a segment without moving
-        }
-        let grade = road.grade_at(x0 + ds * 0.5);
-        let seg = self
-            .energy
-            .segment_energy(
-                MetersPerSecond::new(v0),
-                MetersPerSecondSq::new(a),
-                ds,
-                grade,
-            )
-            .ok()?;
-        Some((seg.charge.value(), seg.duration.value()))
+        (expanded_total, pruned_total)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn solve_exact(
         &self,
-        road: &Road,
-        stations: &[Meters],
-        allowed: &[Vec<bool>],
-        station_windows: &[Option<&SignalConstraint>],
-        dwell: &[f64],
-        n_speeds: usize,
-        start_vi: usize,
-        start_time: f64,
-        arena: &mut SolverArena,
+        ctx: &SolveCtx<'_>,
+        exact_pool: &mut LayerPool<Option<Node>>,
+        greedy_pool: &mut LayerPool<Option<GNode>>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
         metrics: &mut SolverMetrics,
     ) -> Result<OptimizedProfile> {
         let relax_started = Instant::now();
-        let n_stations = stations.len();
+        let n_stations = ctx.stations.len();
+        let n_speeds = ctx.n_speeds;
         let n_bins = (self.config.horizon.value() / self.config.dt_bin.value()).ceil() as usize + 1;
-        let idx = |vi: usize, ti: usize| vi * n_bins + ti;
         let threads = par::effective_threads(self.config.threads);
         metrics.threads_used = threads;
 
-        let (layers, lease) = arena.exact.take_layers(n_stations, n_speeds * n_bins, None);
-        metrics.arena_reuse_hits += lease.reuse_hits;
-        metrics.arena_allocations += lease.allocations;
-
-        let start_ti = ((start_time / self.config.dt_bin.value()).round() as usize).min(n_bins - 1);
-        layers[0][idx(start_vi, start_ti)] = Some(Node {
-            cost: 0.0,
-            time: start_time,
-            prev_v: start_vi as u32,
-            prev_t: start_ti as u32,
-            violations: 0,
-        });
-
-        for i in 1..n_stations {
-            let ds = stations[i] - stations[i - 1];
-            let (done, rest) = layers.split_at_mut(i);
-            let prev_layer: &[Option<Node>] = &done[i - 1];
-            let layer: &mut Vec<Option<Node>> = &mut rest[0];
-
-            // Per-source-speed data shared read-only by every worker: the
-            // feasible target band from the acceleration bounds (the exact
-            // float expressions of the sequential formulation) and whether
-            // the source row holds any state at all.
-            let bands: Vec<(usize, usize, bool, f64)> = (0..n_speeds)
-                .map(|vi| {
-                    let v0 = self.config.dv.value() * vi as f64;
-                    // The start layer is pinned by occupancy, not `allowed`.
-                    let active = (i <= 1 || allowed[i - 1][vi])
-                        && prev_layer[idx(vi, 0)..idx(vi + 1, 0)]
-                            .iter()
-                            .any(Option::is_some);
-                    let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds.value();
-                    let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds.value();
-                    let vj_lo = (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor() as usize;
-                    let vj_hi = ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil() as usize)
-                        .min(n_speeds - 1);
-                    (vj_lo, vj_hi, active, v0)
-                })
-                .collect();
-
-            // Relax the layer one target-speed row per chunk. For a fixed
-            // slot (vj, tj) candidates still arrive in (vi asc, ti asc)
-            // order exactly as in the sequential loop, so the strict `<`
-            // keeps the same winner regardless of the thread count.
-            let counters = par::map_chunks(layer.as_mut_slice(), n_bins, threads, |offset, row| {
-                let vj = offset / n_bins;
-                let mut expanded = 0u64;
-                let mut pruned = 0u64;
-                if !allowed[i][vj] {
-                    return (expanded, pruned);
-                }
-                let v1 = self.config.dv.value() * vj as f64;
-                for vi in 0..n_speeds {
-                    let (vj_lo, vj_hi, active, v0) = bands[vi];
-                    if !active || vj < vj_lo || vj > vj_hi {
-                        continue;
-                    }
-                    let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
-                    else {
-                        pruned += 1;
-                        continue;
-                    };
-                    for ti in 0..n_bins {
-                        let Some(node) = prev_layer[idx(vi, ti)] else {
-                            continue;
-                        };
-                        let t1 = node.time + dur + dwell[i];
-                        if t1 > self.config.horizon.value() {
-                            pruned += 1;
-                            continue;
-                        }
-                        let tj = (t1 / self.config.dt_bin.value()).round() as usize;
-                        if tj >= n_bins {
-                            pruned += 1;
-                            continue;
-                        }
-                        let (penalty, violation) = match station_windows[i] {
-                            Some(sc) if !sc.admits(Seconds::new(t1)) => (self.config.penalty_m, 1),
-                            _ => (0.0, 0),
-                        };
-                        let cand = Node {
-                            cost: node.cost + charge + self.config.time_weight * dur + penalty,
-                            time: t1,
-                            prev_v: vi as u32,
-                            prev_t: ti as u32,
-                            violations: node.violations + violation,
-                        };
-                        expanded += 1;
-                        let slot = &mut row[tj];
-                        if slot.is_none_or(|s| cand.cost < s.cost) {
-                            *slot = Some(cand);
-                        }
-                    }
-                }
-                (expanded, pruned)
-            });
-            for (expanded, pruned) in counters {
-                metrics.states_expanded += expanded;
-                metrics.states_pruned += pruned;
-            }
+        // Reachability masks (exact — see `reachability`). If the start row
+        // cannot reach the terminal at all, no sweep can succeed.
+        let (live, rows_skipped) = reachability(ctx);
+        metrics.rows_skipped = rows_skipped;
+        if !live[0][ctx.start_vi] {
+            return Err(Error::infeasible("no kinematically feasible profile"));
         }
-        metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
+        let dead = self.cone_dead(ctx, &live);
+        let ctg = self.cost_to_go(ctx, &live, &dead);
+        let (emin, wait) = self.window_bounds(ctx, n_bins);
+        let horizon = self.config.horizon.value();
+        let dt_bin = self.config.dt_bin.value();
 
-        // Pick the cheapest terminal state at v = 0.
-        let backtrack_started = Instant::now();
-        let last = &layers[n_stations - 1];
-        let mut best: Option<(usize, Node)> = None;
-        for ti in 0..n_bins {
-            if let Some(node) = last[idx(0, ti)] {
-                if best.is_none_or(|(_, b)| node.cost < b.cost) {
-                    best = Some((ti, node));
+        par::team_scope(threads, |team| -> Result<OptimizedProfile> {
+            // Presolve: the Greedy DP's terminal cost is an achievable-path
+            // cost accumulated with bit-identical float expressions, so it
+            // upper-bounds the candidate costs along *some* complete path.
+            let (glayers, glease) = greedy_pool.take_layers(n_stations, n_speeds, None);
+            metrics.arena_reuse_hits += glease.reuse_hits;
+            metrics.arena_allocations += glease.allocations;
+            let (g_expanded, g_pruned) = self.relax_greedy(ctx, glayers, team);
+            metrics.states_expanded += g_expanded;
+            metrics.states_pruned += g_pruned;
+            // Tiny relative margin so accumulated rounding in the bound
+            // arithmetic can never prune the true winner's path.
+            let greedy_ub =
+                glayers[n_stations - 1][0].map(|node| node.cost + 1e-9 * node.cost.abs().max(1.0));
+
+            // Aspiration ladder: each rung is a candidate pruning limit,
+            // tightest first. The verification below certifies a passing
+            // rung bit-identical to the unbounded sweep *without* needing
+            // the limit to be achievable, so the first rungs can undercut
+            // the greedy path cost — crucial when the greedy presolve pays
+            // a window penalty and its bound degenerates to ~`penalty_m`.
+            // A failing rung costs one (heavily pruned, therefore cheap)
+            // sweep; the ladder always ends in the unbounded `None`.
+            let b0 = ctg[0][ctx.start_vi];
+            let tw = self.config.time_weight;
+            let mut ladder: Vec<Option<f64>> = Vec::new();
+            if b0.is_finite() && tw > 0.0 {
+                for slack_seconds in [6.0, 24.0, 96.0, 384.0] {
+                    let trial = b0 + tw * slack_seconds;
+                    ladder.push(Some(match greedy_ub {
+                        Some(g) => trial.min(g),
+                        None => trial,
+                    }));
                 }
             }
-        }
-        let (mut ti, terminal) =
-            best.ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
+            ladder.push(greedy_ub);
+            ladder.push(None);
+            ladder.dedup();
 
-        // Backtrack.
-        let speeds_idx = &mut arena.speeds_idx;
-        let times = &mut arena.times;
-        speeds_idx.clear();
-        speeds_idx.resize(n_stations, 0);
-        times.clear();
-        times.resize(n_stations, 0.0);
-        let mut vi = 0usize;
-        times[n_stations - 1] = terminal.time;
-        for i in (1..n_stations).rev() {
-            let node = layers[i][idx(vi, ti)].ok_or_else(|| {
-                Error::infeasible("backtrack lost its parent state (inconsistent DP layers)")
-            })?;
-            times[i] = node.time;
-            let pv = node.prev_v as usize;
-            let pt = node.prev_t as usize;
-            speeds_idx[i] = vi;
-            vi = pv;
-            ti = pt;
-        }
-        speeds_idx[0] = start_vi;
-        times[0] = start_time;
-        metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
+            // Bounded sweeps, verified; fall back down the ladder (ending
+            // unbounded) if time-bin merging pushed the DP value past the
+            // rung (rare — see the module docs).
+            for use_bound in ladder {
+                let (layers, lease) = exact_pool.take_layers(n_stations, n_speeds * n_bins, None);
+                metrics.arena_reuse_hits += lease.reuse_hits;
+                metrics.arena_allocations += lease.allocations;
 
-        self.assemble(
-            road,
-            stations,
-            &arena.speeds_idx,
-            &arena.times,
-            terminal.violations as usize,
-            *metrics,
-        )
+                let start_ti = ((ctx.start_time / dt_bin).round() as usize).min(n_bins - 1);
+                layers[0][ctx.start_vi * n_bins + start_ti] = Some(Node {
+                    cost: 0.0,
+                    time: ctx.start_time,
+                    prev_v: ctx.start_vi as u32,
+                    prev_t: start_ti as u32,
+                    violations: 0,
+                });
+                // Occupied time-bin span per source row, maintained layer to
+                // layer so the relax scans only bins that can hold a state.
+                let mut spans_prev: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
+                spans_prev[ctx.start_vi] = Some((start_ti as u32, start_ti as u32));
+
+                let rows_per_chunk = n_speeds.div_ceil(team.workers());
+                let chunk_len = rows_per_chunk * n_bins;
+                for i in 1..n_stations {
+                    let table = ctx.tables[i - 1];
+                    let ds = ctx.layer_ds[i - 1];
+                    let (done, rest) = layers.split_at_mut(i);
+                    let prev_layer: &[Option<Node>] = &done[i - 1];
+                    let layer: &mut Vec<Option<Node>> = &mut rest[0];
+
+                    // Per-source-speed data shared read-only by every
+                    // worker: the feasible target band from the
+                    // acceleration bounds (the same float expressions in
+                    // memoized and direct solves, via the snapped length)
+                    // and the source row's occupied bin span.
+                    let bands: Vec<Option<(usize, usize, usize, usize)>> = (0..n_speeds)
+                        .map(|vi| {
+                            spans_prev[vi].map(|(ti_lo, ti_hi)| {
+                                let v0 = self.config.dv.value() * vi as f64;
+                                let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds;
+                                let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds;
+                                let vj_lo = (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor()
+                                    as usize;
+                                let vj_hi =
+                                    ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil()
+                                        as usize)
+                                        .min(n_speeds - 1);
+                                (vj_lo, vj_hi, ti_lo as usize, ti_hi as usize)
+                            })
+                        })
+                        .collect();
+
+                    // Relax a contiguous block of target-speed rows per
+                    // chunk. For a fixed slot (vj, tj) candidates still
+                    // arrive in (vi asc, ti asc) order exactly as in the
+                    // sequential loop, so the strict `<` keeps the same
+                    // winner regardless of the thread count or geometry.
+                    let counters =
+                        team.map_chunks(layer.as_mut_slice(), chunk_len, |offset, chunk| {
+                            let row0 = offset / n_bins;
+                            let n_rows = chunk.len() / n_bins;
+                            let mut expanded = 0u64;
+                            let mut pruned = 0u64;
+                            let mut spans: Vec<(u32, u32, u32)> = Vec::new();
+                            for r in 0..n_rows {
+                                let vj = row0 + r;
+                                if !live[i][vj] {
+                                    continue;
+                                }
+                                let row = &mut chunk[r * n_bins..(r + 1) * n_bins];
+                                let b_vj = ctg[i][vj];
+                                let e_vj = emin[i][vj];
+                                let wait_i = &wait[i];
+                                let mut span: Option<(u32, u32)> = None;
+                                for vi in 0..n_speeds {
+                                    let Some((vj_lo, vj_hi, ti_lo, ti_hi)) = bands[vi] else {
+                                        continue;
+                                    };
+                                    if vj < vj_lo || vj > vj_hi {
+                                        continue;
+                                    }
+                                    let Some((charge, dur)) = table.get(vi, vj) else {
+                                        pruned += 1;
+                                        continue;
+                                    };
+                                    for ti in ti_lo..=ti_hi {
+                                        let Some(node) = prev_layer[vi * n_bins + ti] else {
+                                            continue;
+                                        };
+                                        let t1 = node.time + dur + ctx.dwell[i];
+                                        if t1 > horizon {
+                                            pruned += 1;
+                                            continue;
+                                        }
+                                        let tj = (t1 / dt_bin).round() as usize;
+                                        if tj >= n_bins {
+                                            pruned += 1;
+                                            continue;
+                                        }
+                                        let (penalty, violation) = match ctx.station_windows[i] {
+                                            Some(sc) if !sc.admits(Seconds::new(t1)) => {
+                                                (self.config.penalty_m, 1)
+                                            }
+                                            _ => (0.0, 0),
+                                        };
+                                        let cost = node.cost
+                                            + charge
+                                            + self.config.time_weight * dur
+                                            + penalty;
+                                        if let Some(limit) = use_bound {
+                                            // Lower bound on the completion
+                                            // cost: the joint cost-to-go, or
+                                            // the energy floor plus the
+                                            // window-aware time bound for this
+                                            // arrival bin — whichever is
+                                            // larger. Both are functions of
+                                            // the slot alone, so pruning never
+                                            // changes a surviving slot's
+                                            // winner (see `window_bounds`).
+                                            let floor = b_vj.max(e_vj + wait_i[tj]);
+                                            if cost + floor > limit {
+                                                pruned += 1;
+                                                continue;
+                                            }
+                                        }
+                                        expanded += 1;
+                                        let slot = &mut row[tj];
+                                        if slot.is_none_or(|s| cost < s.cost) {
+                                            *slot = Some(Node {
+                                                cost,
+                                                time: t1,
+                                                prev_v: vi as u32,
+                                                prev_t: ti as u32,
+                                                violations: node.violations + violation,
+                                            });
+                                            span = Some(match span {
+                                                None => (tj as u32, tj as u32),
+                                                Some((lo, hi)) => {
+                                                    (lo.min(tj as u32), hi.max(tj as u32))
+                                                }
+                                            });
+                                        }
+                                    }
+                                }
+                                if let Some((lo, hi)) = span {
+                                    spans.push((vj as u32, lo, hi));
+                                }
+                            }
+                            (expanded, pruned, spans)
+                        });
+                    let mut spans_next: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
+                    for (expanded, pruned, spans) in counters {
+                        metrics.states_expanded += expanded;
+                        metrics.states_pruned += pruned;
+                        for (vj, lo, hi) in spans {
+                            spans_next[vj as usize] = Some((lo, hi));
+                        }
+                    }
+                    spans_prev = spans_next;
+                }
+
+                // Pick the cheapest terminal state at v = 0.
+                let last = &layers[n_stations - 1];
+                let mut best: Option<(usize, Node)> = None;
+                for (ti, slot) in last[..n_bins].iter().enumerate() {
+                    if let Some(node) = slot {
+                        if best.is_none_or(|(_, b)| node.cost < b.cost) {
+                            best = Some((ti, *node));
+                        }
+                    }
+                }
+                if let Some(limit) = use_bound {
+                    // A rung is only certified when the bounded sweep's
+                    // value stays under it; otherwise the rung undercut
+                    // the optimum (or bin merging pushed the DP value past
+                    // the greedy path cost) and pruning is not provably
+                    // lossless — retry with the next, looser rung. The
+                    // ladder ends in `None`, which always verifies.
+                    if !matches!(best, Some((_, node)) if node.cost <= limit) {
+                        continue;
+                    }
+                }
+                let (mut ti, terminal) =
+                    best.ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
+                metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
+
+                // Backtrack.
+                let backtrack_started = Instant::now();
+                speeds_idx.clear();
+                speeds_idx.resize(n_stations, 0);
+                times.clear();
+                times.resize(n_stations, 0.0);
+                let mut vi = 0usize;
+                times[n_stations - 1] = terminal.time;
+                for i in (1..n_stations).rev() {
+                    let node = layers[i][vi * n_bins + ti].ok_or_else(|| {
+                        Error::infeasible(
+                            "backtrack lost its parent state (inconsistent DP layers)",
+                        )
+                    })?;
+                    times[i] = node.time;
+                    let pv = node.prev_v as usize;
+                    let pt = node.prev_t as usize;
+                    speeds_idx[i] = vi;
+                    vi = pv;
+                    ti = pt;
+                }
+                speeds_idx[0] = ctx.start_vi;
+                times[0] = ctx.start_time;
+                metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
+
+                return self.assemble(
+                    ctx,
+                    speeds_idx,
+                    times,
+                    terminal.violations as usize,
+                    *metrics,
+                );
+            }
+            // The final rung is `None`, whose sweep is unbounded and always
+            // either returns a profile or fails with `infeasible` above.
+            unreachable!("the unbounded ladder rung always returns")
+        })
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn solve_greedy(
         &self,
-        road: &Road,
-        stations: &[Meters],
-        allowed: &[Vec<bool>],
-        station_windows: &[Option<&SignalConstraint>],
-        dwell: &[f64],
-        n_speeds: usize,
-        start_vi: usize,
-        start_time: f64,
-        arena: &mut SolverArena,
+        ctx: &SolveCtx<'_>,
+        greedy_pool: &mut LayerPool<Option<GNode>>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
         metrics: &mut SolverMetrics,
     ) -> Result<OptimizedProfile> {
         let relax_started = Instant::now();
-        let n_stations = stations.len();
+        let n_stations = ctx.stations.len();
         let threads = par::effective_threads(self.config.threads);
         metrics.threads_used = threads;
 
-        let (layers, lease) = arena.greedy.take_layers(n_stations, n_speeds, None);
+        let (layers, lease) = greedy_pool.take_layers(n_stations, ctx.n_speeds, None);
         metrics.arena_reuse_hits += lease.reuse_hits;
         metrics.arena_allocations += lease.allocations;
 
-        layers[0][start_vi] = Some(GNode {
-            cost: 0.0,
-            time: start_time,
-            prev_v: start_vi as u32,
-            violations: 0,
-        });
-
-        for i in 1..n_stations {
-            let ds = stations[i] - stations[i - 1];
-            let (done, rest) = layers.split_at_mut(i);
-            let prev_layer: &[Option<GNode>] = &done[i - 1];
-            let layer: &mut Vec<Option<GNode>> = &mut rest[0];
-
-            // One target speed per chunk; for a fixed slot vj candidates
-            // arrive in source-speed-ascending order exactly as in the
-            // sequential loop (same winners under the strict `<`).
-            let counters = par::map_chunks(layer.as_mut_slice(), 1, threads, |vj, slot| {
-                let mut expanded = 0u64;
-                let mut pruned = 0u64;
-                if !allowed[i][vj] {
-                    return (expanded, pruned);
-                }
-                let v1 = self.config.dv.value() * vj as f64;
-                for vi in 0..n_speeds {
-                    if i > 1 && !allowed[i - 1][vi] {
-                        continue;
-                    }
-                    let Some(node) = prev_layer[vi] else {
-                        continue;
-                    };
-                    let v0 = self.config.dv.value() * vi as f64;
-                    let Some((charge, dur)) = self.transition(road, stations[i - 1], ds, v0, v1)
-                    else {
-                        pruned += 1;
-                        continue;
-                    };
-                    let t1 = node.time + dur + dwell[i];
-                    if t1 > self.config.horizon.value() {
-                        pruned += 1;
-                        continue;
-                    }
-                    let (penalty, violation) = match station_windows[i] {
-                        Some(sc) if !sc.admits(Seconds::new(t1)) => (self.config.penalty_m, 1),
-                        _ => (0.0, 0),
-                    };
-                    let cand = GNode {
-                        cost: node.cost + charge + self.config.time_weight * dur + penalty,
-                        time: t1,
-                        prev_v: vi as u32,
-                        violations: node.violations + violation,
-                    };
-                    expanded += 1;
-                    if slot[0].is_none_or(|s| cand.cost < s.cost) {
-                        slot[0] = Some(cand);
-                    }
-                }
-                (expanded, pruned)
-            });
-            for (expanded, pruned) in counters {
-                metrics.states_expanded += expanded;
-                metrics.states_pruned += pruned;
-            }
-        }
+        let (expanded, pruned) =
+            par::team_scope(threads, |team| self.relax_greedy(ctx, layers, team));
+        metrics.states_expanded += expanded;
+        metrics.states_pruned += pruned;
         metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
 
         let backtrack_started = Instant::now();
         let terminal = layers[n_stations - 1][0]
             .ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
-        let speeds_idx = &mut arena.speeds_idx;
-        let times = &mut arena.times;
         speeds_idx.clear();
         speeds_idx.resize(n_stations, 0);
         times.clear();
@@ -880,15 +1413,14 @@ impl DpOptimizer {
             speeds_idx[i] = vi;
             vi = node.prev_v as usize;
         }
-        speeds_idx[0] = start_vi;
-        times[0] = start_time;
+        speeds_idx[0] = ctx.start_vi;
+        times[0] = ctx.start_time;
         metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
 
         self.assemble(
-            road,
-            stations,
-            &arena.speeds_idx,
-            &arena.times,
+            ctx,
+            speeds_idx,
+            times,
             terminal.violations as usize,
             *metrics,
         )
@@ -905,8 +1437,7 @@ impl DpOptimizer {
 
     fn assemble(
         &self,
-        road: &Road,
-        stations: &[Meters],
+        ctx: &SolveCtx<'_>,
         speeds_idx: &[usize],
         times: &[f64],
         window_violations: usize,
@@ -916,23 +1447,17 @@ impl DpOptimizer {
             .iter()
             .map(|&vi| MetersPerSecond::new(self.config.dv.value() * vi as f64))
             .collect();
-        // Recompute energy cleanly (without penalties) along the chosen path.
+        // Re-read the raw energy (without penalties) along the chosen path
+        // from the same tables the relaxation used.
         let mut total = 0.0;
-        for i in 1..stations.len() {
-            let ds = stations[i] - stations[i - 1];
-            let (charge, _) = self
-                .transition(
-                    road,
-                    stations[i - 1],
-                    ds,
-                    speeds[i - 1].value(),
-                    speeds[i].value(),
-                )
+        for i in 1..ctx.stations.len() {
+            let (charge, _) = ctx.tables[i - 1]
+                .get(speeds_idx[i - 1], speeds_idx[i])
                 .ok_or_else(|| Error::numeric("assembled profile has an infeasible segment"))?;
             total += charge;
         }
         Ok(OptimizedProfile {
-            stations: stations.to_vec(),
+            stations: ctx.stations.to_vec(),
             speeds,
             times: times.iter().map(|&t| Seconds::new(t)).collect(),
             total_energy: AmpereHours::new(total),
@@ -1278,6 +1803,10 @@ mod tests {
                 parallel.metrics.states_pruned,
                 sequential.metrics.states_pruned
             );
+            assert_eq!(
+                parallel.metrics.rows_skipped,
+                sequential.metrics.rows_skipped
+            );
         }
     }
 
@@ -1299,6 +1828,97 @@ mod tests {
                 "greedy profile diverged at {threads} threads"
             );
         }
+    }
+
+    /// The tentpole exactness claim: replacing per-candidate energy-model
+    /// calls with memoized, quantized cost tables must not move a single
+    /// bit of the solution — across thread counts, on a road that
+    /// exercises stop signs, windows and penalties.
+    #[test]
+    fn memoized_and_direct_solves_are_bit_identical() {
+        let road = RoadBuilder::new(Meters::new(1500.0))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .stop_sign(Meters::new(600.0))
+            .build()
+            .unwrap();
+        let free = optimizer().optimize(&road, &[]).unwrap();
+        let t = free.arrival_time_at(Meters::new(1000.0));
+        let constraint = SignalConstraint {
+            position: Meters::new(1000.0),
+            windows: vec![TimeWindow {
+                start: t + Seconds::new(8.0),
+                end: t + Seconds::new(16.0),
+            }],
+        };
+        for threads in [1, 2, 4] {
+            let memo = optimizer_with(DpConfig {
+                threads,
+                ..DpConfig::default()
+            })
+            .optimize(&road, std::slice::from_ref(&constraint))
+            .unwrap();
+            let direct = optimizer_with(DpConfig {
+                threads,
+                memo: false,
+                ..DpConfig::default()
+            })
+            .optimize(&road, std::slice::from_ref(&constraint))
+            .unwrap();
+            assert!(
+                bitwise_equal(&memo, &direct),
+                "memoized profile diverged from direct at {threads} threads"
+            );
+            // Identical search: every counter matches, not just the plan.
+            assert_eq!(memo.metrics.states_expanded, direct.metrics.states_expanded);
+            assert_eq!(memo.metrics.states_pruned, direct.metrics.states_pruned);
+            assert_eq!(memo.metrics.rows_skipped, direct.metrics.rows_skipped);
+            // The uniform corridor collapses to a couple of segment
+            // classes: the cache pays off within a single solve...
+            assert!(memo.metrics.memo_hits > 0);
+            assert!(memo.metrics.memo_misses < memo.metrics.memo_hits);
+            // ...while the direct path rebuilds per segment, never caching.
+            assert_eq!(direct.metrics.memo_hits, 0);
+            assert_eq!(
+                direct.metrics.memo_misses,
+                (road.length().value() / 20.0).round() as u64
+            );
+        }
+    }
+
+    /// The cache lives in the arena: a second solve over the same corridor
+    /// runs entirely on cached tables — zero energy-model evaluations.
+    #[test]
+    fn transition_cache_is_shared_across_solves() {
+        let road = simple_road(800.0);
+        let opt = optimizer();
+        let mut arena = SolverArena::new();
+        let first = opt
+            .optimize_from_with(&road, &[], StartState::default(), &mut arena)
+            .unwrap();
+        assert!(first.metrics.memo_misses > 0);
+        assert!(first.metrics.energy_evals > 0);
+        assert!(arena.cached_classes() > 0);
+        let second = opt
+            .optimize_from_with(&road, &[], StartState::default(), &mut arena)
+            .unwrap();
+        assert_eq!(second.metrics.memo_misses, 0);
+        assert_eq!(second.metrics.energy_evals, 0);
+        assert!(second.metrics.memo_hits > 0);
+        assert_eq!(first, second);
+    }
+
+    /// Reachability masks retire rows the acceleration cones can't connect
+    /// to both endpoints (e.g. high speeds one station after launch).
+    #[test]
+    fn reachability_pruning_skips_rows_and_counts_them() {
+        let road = simple_road(1000.0);
+        let profile = optimizer().optimize(&road, &[]).unwrap();
+        assert!(profile.metrics.rows_skipped > 0);
+        // And the masks must never cut into the feasible plan itself.
+        assert_eq!(profile.window_violations, 0);
     }
 
     #[test]
@@ -1329,6 +1949,8 @@ mod tests {
         assert!(m.threads_used >= 1);
         assert!(m.relax_seconds >= 0.0 && m.total_seconds() >= m.relax_seconds);
         assert!(m.expansion_ratio() > 0.0 && m.expansion_ratio() <= 1.0);
+        assert!(m.memo_misses > 0);
+        assert!(m.energy_evals > 0);
     }
 
     /// With the `telemetry` feature on, every solve publishes its metrics
@@ -1343,6 +1965,8 @@ mod tests {
         let snap = telemetry::snapshot();
         assert!(snap.counter("dp.solves").unwrap() > before);
         assert!(snap.counter("dp.states_expanded").unwrap() >= profile.metrics.states_expanded);
+        assert!(snap.counter("dp.memo.misses").unwrap() >= profile.metrics.memo_misses);
+        assert!(snap.counter("dp.rows_skipped").unwrap() >= profile.metrics.rows_skipped);
         assert!(snap.histogram("dp.relax_seconds").unwrap().count >= 1);
         // The whole-solve span wraps every phase: its histogram fills too.
         assert!(snap.histogram("dp.optimize_seconds").unwrap().count >= 1);

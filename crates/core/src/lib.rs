@@ -54,6 +54,7 @@ pub mod analysis;
 pub mod arena;
 pub mod batch;
 pub mod dp;
+pub mod memo;
 pub mod metrics;
 pub mod par;
 pub mod pipeline;
@@ -68,6 +69,7 @@ pub use dp::{
     DpConfig, DpOptimizer, OptimizedProfile, SignalConstraint, SolverArena, StartState,
     TimeHandling,
 };
+pub use memo::{ClassKey, CostTable, MemoStats, TransitionTable};
 pub use metrics::SolverMetrics;
 pub use pipeline::{SystemConfig, VelocityOptimizationSystem};
 pub use profiles::{DriverProfile, DrivingStyle};

@@ -1,0 +1,347 @@
+//! Transition-cost memoization: the shared `(v_from, v_to)` cost tables.
+//!
+//! Segment energy depends only on `(v_from, v_to, segment_length, grade)`
+//! (see [`EnergyModel::segment_energy_grid`]) and the DP's velocity grid is
+//! fixed, so the whole transition structure of a layer is one V×V matrix
+//! determined by the segment's *class* — its quantized `(length, grade)`
+//! pair. A [`TransitionTable`] caches one [`CostTable`] per class; it lives
+//! in the solver arena, so the matrix computed for the first layer of the
+//! first trip serves every later layer, every trip of a batch, and every
+//! replanning tick that shares the class. On a uniform corridor (every
+//! interior segment is `Δs` long) that collapses millions of energy-model
+//! evaluations per solve into a few hundred per *arena lifetime*.
+//!
+//! ## Quantization, and why results stay bit-identical
+//!
+//! Classes are keyed by [`snap`]ped length and grade. The quanta are powers
+//! of two ([`LENGTH_QUANTUM`] = 2⁻¹⁰ m, [`GRADE_QUANTUM`] = 2⁻²⁰ rad), so
+//! `snap` — a divide, `round`, multiply chain where both scalings are exact
+//! in binary floating point — is *idempotent and exact*: a value already on
+//! the quantum grid (every station spacing of a uniform corridor, a flat
+//! road's zero grade) is a fixed point and snaps to itself bit-for-bit.
+//! The solver evaluates energies **at the snapped values** whether or not
+//! memoization is enabled ([`crate::dp::DpConfig::memo`]), so a memoized
+//! solve and a direct solve see identical costs on every input, and on
+//! on-grid inputs both match the historical unsnapped solver exactly.
+//!
+//! Aliasing is impossible by construction: two segments share a table only
+//! if they snap to the same `(length, grade)`, and the table's costs are a
+//! pure function of the snapped pair.
+
+use std::collections::HashMap;
+use velopt_common::units::{Meters, Radians};
+use velopt_ev_energy::{EnergyModel, GridSpec};
+
+/// Segment-length quantum: 2⁻¹⁰ m (≈ 1 mm). Power of two, so snapping is
+/// exact and on-grid lengths (20 m stations, metre-valued road ends) are
+/// fixed points.
+pub const LENGTH_QUANTUM: f64 = 1.0 / 1024.0;
+
+/// Grade quantum: 2⁻²⁰ rad (≈ 1 µrad ≈ 0.0001% grade). Power of two, so a
+/// flat road's zero grade snaps to itself exactly.
+pub const GRADE_QUANTUM: f64 = 1.0 / 1_048_576.0;
+
+/// Rounds `x` to the nearest multiple of `quantum`.
+///
+/// With a power-of-two quantum both the division and the multiplication
+/// are exact (they only change the exponent), so the result is the true
+/// nearest multiple and on-grid inputs return bit-identically.
+/// A sub-half-quantum negative value rounds to `-0.0`, which is
+/// numerically identical to `+0.0` but has different bits; it is
+/// normalized so both key into the same class.
+#[inline]
+pub fn snap(x: f64, quantum: f64) -> f64 {
+    let snapped = (x / quantum).round() * quantum;
+    if snapped == 0.0 {
+        0.0
+    } else {
+        snapped
+    }
+}
+
+/// The quantized identity of a segment: which cost table it shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    length_bits: u64,
+    grade_bits: u64,
+}
+
+impl ClassKey {
+    /// Quantizes a raw `(length, grade)` pair, returning the key and the
+    /// snapped values the class's costs must be evaluated at.
+    pub fn quantize(length: Meters, grade: Radians) -> (Self, Meters, Radians) {
+        let l = snap(length.value(), LENGTH_QUANTUM);
+        let g = snap(grade.value(), GRADE_QUANTUM);
+        (
+            Self {
+                length_bits: l.to_bits(),
+                grade_bits: g.to_bits(),
+            },
+            Meters::new(l),
+            Radians::new(g),
+        )
+    }
+}
+
+/// One class's precomputed V×V transition-cost matrix: `(charge [Ah],
+/// duration [s])` per `(v_from, v_to)` lattice pair, `None` where the
+/// transition is kinematically infeasible.
+#[derive(Debug, Clone)]
+pub struct CostTable {
+    n_speeds: usize,
+    entries: Vec<Option<(f64, f64)>>,
+}
+
+impl CostTable {
+    /// Evaluates the full lattice for one segment class. Returns the table
+    /// and the number of energy-model evaluations it cost.
+    pub fn build(energy: &EnergyModel, spec: &GridSpec) -> (Self, u64) {
+        let (grid, evals) = energy.segment_energy_grid(spec);
+        let entries = grid
+            .into_iter()
+            .map(|e| e.map(|seg| (seg.charge.value(), seg.duration.value())))
+            .collect();
+        (
+            Self {
+                n_speeds: spec.n_speeds,
+                entries,
+            },
+            evals,
+        )
+    }
+
+    /// Lattice size.
+    pub fn n_speeds(&self) -> usize {
+        self.n_speeds
+    }
+
+    /// The `(charge, duration)` of the `v_from_idx → v_to_idx` transition,
+    /// or `None` if infeasible.
+    #[inline]
+    pub fn get(&self, v_from_idx: usize, v_to_idx: usize) -> Option<(f64, f64)> {
+        self.entries[v_from_idx * self.n_speeds + v_to_idx]
+    }
+
+    /// Whole source row `v_from_idx` (length `n_speeds`).
+    #[inline]
+    pub fn row(&self, v_from_idx: usize) -> &[Option<(f64, f64)>] {
+        &self.entries[v_from_idx * self.n_speeds..(v_from_idx + 1) * self.n_speeds]
+    }
+}
+
+/// Per-solve cache accounting, folded into
+/// [`SolverMetrics`](crate::metrics::SolverMetrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Layer table requests served from the cache.
+    pub hits: u64,
+    /// Layer table requests that had to build a fresh table.
+    pub misses: u64,
+    /// Energy-model evaluations spent building tables.
+    pub energy_evals: u64,
+}
+
+/// The cross-layer, cross-trip, cross-tick transition-cost cache.
+///
+/// Held in [`SolverArena`](crate::dp::SolverArena). The cache is valid for
+/// exactly one solver *signature* (energy-model fingerprint, velocity grid
+/// and acceleration bounds); [`TransitionTable::reconcile`] drops every
+/// table when the signature changes, so an arena can be moved between
+/// optimizers without ever serving stale physics.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionTable {
+    signature: u64,
+    index: HashMap<ClassKey, usize>,
+    tables: Vec<CostTable>,
+}
+
+impl TransitionTable {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct segment classes cached.
+    pub fn classes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Keeps the cache only if it was built under `signature`; otherwise
+    /// clears it and adopts the new signature.
+    pub fn reconcile(&mut self, signature: u64) {
+        if self.signature != signature {
+            self.index.clear();
+            self.tables.clear();
+            self.signature = signature;
+        }
+    }
+
+    /// Returns the class id for a segment, building its cost table on the
+    /// first encounter. `spec.distance`/`spec.grade` must already be the
+    /// snapped values from [`ClassKey::quantize`].
+    pub fn class_for(
+        &mut self,
+        key: ClassKey,
+        energy: &EnergyModel,
+        spec: &GridSpec,
+        stats: &mut MemoStats,
+    ) -> usize {
+        if let Some(&id) = self.index.get(&key) {
+            stats.hits += 1;
+            return id;
+        }
+        let (table, evals) = CostTable::build(energy, spec);
+        stats.misses += 1;
+        stats.energy_evals += evals;
+        let id = self.tables.len();
+        self.tables.push(table);
+        self.index.insert(key, id);
+        id
+    }
+
+    /// The cost table of a class id returned by
+    /// [`class_for`](Self::class_for).
+    #[inline]
+    pub fn table(&self, class: usize) -> &CostTable {
+        &self.tables[class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use velopt_common::units::{MetersPerSecond, MetersPerSecondSq};
+    use velopt_ev_energy::VehicleParams;
+
+    fn spec(distance: f64, grade: f64) -> GridSpec {
+        GridSpec {
+            dv: MetersPerSecond::new(1.0),
+            n_speeds: 12,
+            distance: Meters::new(distance),
+            grade: Radians::new(grade),
+            a_min: MetersPerSecondSq::new(-1.5),
+            a_max: MetersPerSecondSq::new(2.5),
+        }
+    }
+
+    #[test]
+    fn snap_is_exact_on_grid_values() {
+        // Values already on the quantum grid are fixed points, bit-for-bit.
+        for x in [0.0, 20.0, 4200.0, 17.5, -3.25] {
+            assert_eq!(snap(x, LENGTH_QUANTUM).to_bits(), x.to_bits());
+        }
+        assert_eq!(snap(0.0, GRADE_QUANTUM).to_bits(), 0.0_f64.to_bits());
+        // And off-grid values move by at most half a quantum.
+        let snapped = snap(19.9998765, LENGTH_QUANTUM);
+        assert!((snapped - 19.9998765).abs() <= LENGTH_QUANTUM / 2.0);
+        assert_eq!(snap(snapped, LENGTH_QUANTUM).to_bits(), snapped.to_bits());
+    }
+
+    #[test]
+    fn same_class_shares_a_table() {
+        let energy = EnergyModel::new(VehicleParams::spark_ev());
+        let mut cache = TransitionTable::new();
+        let mut stats = MemoStats::default();
+        // Two segments closer than the quanta: same class, one build.
+        let (k1, l1, g1) = ClassKey::quantize(Meters::new(20.0), Radians::new(1e-8));
+        let (k2, l2, g2) = ClassKey::quantize(
+            Meters::new(20.0 + LENGTH_QUANTUM / 8.0),
+            Radians::new(-1e-8),
+        );
+        assert_eq!(k1, k2);
+        assert_eq!(l1.value().to_bits(), l2.value().to_bits());
+        assert_eq!(g1.value().to_bits(), g2.value().to_bits());
+        let s = GridSpec {
+            distance: l1,
+            grade: g1,
+            ..spec(0.0, 0.0)
+        };
+        let a = cache.class_for(k1, &energy, &s, &mut stats);
+        let b = cache.class_for(k2, &energy, &s, &mut stats);
+        assert_eq!(a, b);
+        assert_eq!(cache.classes(), 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.energy_evals > 0);
+    }
+
+    #[test]
+    fn change_beyond_quantum_gets_a_fresh_table() {
+        let energy = EnergyModel::new(VehicleParams::spark_ev());
+        let mut cache = TransitionTable::new();
+        let mut stats = MemoStats::default();
+        // A grade change beyond the quantum must not alias into the flat
+        // class: same length, different table, different costs.
+        let (flat_key, l, flat_g) = ClassKey::quantize(Meters::new(20.0), Radians::ZERO);
+        let (hill_key, _, hill_g) =
+            ClassKey::quantize(Meters::new(20.0), Radians::new(4.0 * GRADE_QUANTUM));
+        assert_ne!(flat_key, hill_key);
+        let flat = cache.class_for(
+            flat_key,
+            &energy,
+            &GridSpec {
+                distance: l,
+                grade: flat_g,
+                ..spec(0.0, 0.0)
+            },
+            &mut stats,
+        );
+        let hill = cache.class_for(
+            hill_key,
+            &energy,
+            &GridSpec {
+                distance: l,
+                grade: hill_g,
+                ..spec(0.0, 0.0)
+            },
+            &mut stats,
+        );
+        assert_ne!(flat, hill);
+        assert_eq!(stats.misses, 2);
+        // Steady 10 → 10 m/s cruising costs more uphill: no silent aliasing.
+        let c_flat = cache.table(flat).get(10, 10).unwrap().0;
+        let c_hill = cache.table(hill).get(10, 10).unwrap().0;
+        assert!(c_hill > c_flat);
+        // Length changes beyond the quantum split classes too.
+        let (other_len, _, _) =
+            ClassKey::quantize(Meters::new(20.0 + 2.0 * LENGTH_QUANTUM), Radians::ZERO);
+        assert_ne!(other_len, flat_key);
+    }
+
+    #[test]
+    fn reconcile_drops_tables_on_signature_change() {
+        let energy = EnergyModel::new(VehicleParams::spark_ev());
+        let mut cache = TransitionTable::new();
+        let mut stats = MemoStats::default();
+        cache.reconcile(42);
+        let (key, l, g) = ClassKey::quantize(Meters::new(20.0), Radians::ZERO);
+        let s = GridSpec {
+            distance: l,
+            grade: g,
+            ..spec(0.0, 0.0)
+        };
+        cache.class_for(key, &energy, &s, &mut stats);
+        assert_eq!(cache.classes(), 1);
+        cache.reconcile(42);
+        assert_eq!(cache.classes(), 1, "same signature keeps the cache");
+        cache.reconcile(7);
+        assert_eq!(cache.classes(), 0, "new signature clears the cache");
+    }
+
+    #[test]
+    fn table_lookup_matches_grid() {
+        let energy = EnergyModel::new(VehicleParams::spark_ev());
+        let s = spec(20.0, 0.0);
+        let (table, _) = CostTable::build(&energy, &s);
+        let (grid, _) = energy.segment_energy_grid(&s);
+        for vi in 0..s.n_speeds {
+            let row = table.row(vi);
+            for vj in 0..s.n_speeds {
+                let want = grid[vi * s.n_speeds + vj]
+                    .map(|seg| (seg.charge.value(), seg.duration.value()));
+                assert_eq!(table.get(vi, vj), want);
+                assert_eq!(row[vj], want);
+            }
+        }
+    }
+}

@@ -34,6 +34,21 @@ pub struct SolverMetrics {
     pub arena_reuse_hits: u64,
     /// Layer buffers that required a fresh allocation.
     pub arena_allocations: u64,
+    /// Transition-cost tables served from the arena's memo cache.
+    #[serde(default)]
+    pub memo_hits: u64,
+    /// Transition-cost tables that had to be built from the energy model.
+    #[serde(default)]
+    pub memo_misses: u64,
+    /// Energy-model segment evaluations spent building cost tables. With a
+    /// warm cache this is zero; without memoization it counts every
+    /// per-layer lattice evaluation.
+    #[serde(default)]
+    pub energy_evals: u64,
+    /// `(station, speed)` rows inside the speed-limit envelope that the
+    /// reachability masks proved unreachable and skipped entirely.
+    #[serde(default)]
+    pub rows_skipped: u64,
     /// Worker threads used for layer relaxation (1 = sequential).
     pub threads_used: usize,
 }
@@ -63,6 +78,10 @@ impl SolverMetrics {
         telemetry::add("dp.states_pruned", self.states_pruned);
         telemetry::add("dp.arena_reuse_hits", self.arena_reuse_hits);
         telemetry::add("dp.arena_allocations", self.arena_allocations);
+        telemetry::add("dp.memo.hits", self.memo_hits);
+        telemetry::add("dp.memo.misses", self.memo_misses);
+        telemetry::add("dp.memo.energy_evals", self.energy_evals);
+        telemetry::add("dp.rows_skipped", self.rows_skipped);
         telemetry::observe("dp.setup_seconds", self.setup_seconds);
         telemetry::observe("dp.relax_seconds", self.relax_seconds);
         telemetry::observe("dp.backtrack_seconds", self.backtrack_seconds);
@@ -80,6 +99,10 @@ impl SolverMetrics {
         self.backtrack_seconds += other.backtrack_seconds;
         self.arena_reuse_hits += other.arena_reuse_hits;
         self.arena_allocations += other.arena_allocations;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.energy_evals += other.energy_evals;
+        self.rows_skipped += other.rows_skipped;
         self.threads_used = self.threads_used.max(other.threads_used);
     }
 }
@@ -98,15 +121,23 @@ mod tests {
             backtrack_seconds: 0.05,
             arena_reuse_hits: 1,
             arena_allocations: 2,
+            memo_hits: 7,
+            memo_misses: 2,
+            energy_evals: 100,
+            rows_skipped: 40,
             threads_used: 1,
         };
         let b = SolverMetrics {
             states_expanded: 3,
+            memo_hits: 5,
+            rows_skipped: 2,
             threads_used: 4,
             ..SolverMetrics::default()
         };
         a.absorb(&b);
         assert_eq!(a.states_expanded, 13);
+        assert_eq!(a.memo_hits, 12);
+        assert_eq!(a.rows_skipped, 42);
         assert_eq!(a.threads_used, 4);
         assert!((a.total_seconds() - 0.35).abs() < 1e-12);
     }

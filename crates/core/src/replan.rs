@@ -65,7 +65,9 @@ pub struct Replanner {
     last_replan_at: Seconds,
     replans: usize,
     /// Solver scratch kept across ticks so every refresh after the first
-    /// reuses the previous refresh's DP layer buffers.
+    /// reuses the previous refresh's DP layer buffers and its memoized
+    /// transition-cost tables (refreshes over the same corridor hit the
+    /// same `(length, grade)` classes and skip the energy model entirely).
     arena: SolverArena,
 }
 
@@ -251,6 +253,12 @@ mod tests {
         assert_eq!(r.replans(), 2);
         assert_eq!(r.plan().metrics.arena_allocations, 0);
         assert!(r.plan().metrics.arena_reuse_hits > 0);
+        // The second refresh's stations are grid-aligned with the first's
+        // (both step the same Δs over the same corridor), so every segment
+        // class is already in the arena's transition memo.
+        assert_eq!(r.plan().metrics.memo_misses, 0);
+        assert_eq!(r.plan().metrics.energy_evals, 0);
+        assert!(r.plan().metrics.memo_hits > 0);
     }
 
     #[test]

@@ -117,6 +117,118 @@ proptest! {
     }
 }
 
+mod memo_equivalence {
+    use super::*;
+    use velopt_core::dp::{SolverArena, StartState, TimeHandling};
+
+    /// A corridor with a random piecewise-linear grade profile, so the
+    /// transition memo sees many distinct `(length, grade)` classes as well
+    /// as repeats.
+    fn graded_road(length: f64, grades: &[f64], sign_frac: Option<f64>) -> Road {
+        let mut b = RoadBuilder::new(Meters::new(length));
+        b.default_limits(
+            KilometersPerHour::new(40.0).to_meters_per_second(),
+            KilometersPerHour::new(70.0).to_meters_per_second(),
+        );
+        let n = grades.len();
+        for (i, &g) in grades.iter().enumerate() {
+            b.grade_knot(Meters::new(length * i as f64 / (n - 1) as f64), g);
+        }
+        if let Some(f) = sign_frac {
+            b.stop_sign(Meters::new((f * length / 20.0).round() * 20.0));
+        }
+        b.build().unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The tentpole's exactness contract: the memoized solver is
+        /// **bit-identical** to the direct (per-solve table) solver on
+        /// random graded corridors, for 1, 2, and 4 threads, in both time
+        /// handlings — same trajectory bits, same work counters.
+        #[test]
+        fn memoized_dp_is_bit_identical_to_direct(
+            length in 700.0f64..1600.0,
+            g1 in -6.0f64..6.0,
+            g2 in -6.0f64..6.0,
+            g3 in -6.0f64..6.0,
+            sign_frac in prop::option::of(0.3f64..0.7),
+            delay in 0.0f64..8.0,
+            greedy in any::<bool>(),
+        ) {
+            let road = graded_road(length, &[0.0, g1, g2, g3], sign_frac);
+            let time_handling = if greedy {
+                TimeHandling::Greedy
+            } else {
+                TimeHandling::Exact
+            };
+            let solve = |memo: bool, threads: usize, signals: &[SignalConstraint]| {
+                let opt = DpOptimizer::new(
+                    EnergyModel::new(VehicleParams::spark_ev()),
+                    DpConfig { memo, threads, time_handling, ..DpConfig::default() },
+                )
+                .unwrap();
+                let mut arena = SolverArena::new();
+                opt.optimize_from_with(&road, signals, StartState::default(), &mut arena)
+                    .unwrap()
+            };
+            // A reachable window mid-corridor keeps the time machinery in
+            // play without making the problem infeasible.
+            let free = solve(false, 1, &[]);
+            let pos = Meters::new((0.5 * length / 20.0).round() * 20.0);
+            let t0 = free.arrival_time_at(pos) + Seconds::new(delay);
+            let constraint = SignalConstraint {
+                position: pos,
+                windows: vec![TimeWindow { start: t0, end: t0 + Seconds::new(10.0) }],
+            };
+            let signals = std::slice::from_ref(&constraint);
+
+            let reference = solve(false, 1, signals);
+            for threads in [1usize, 2, 4] {
+                for memo in [true, false] {
+                    let got = solve(memo, threads, signals);
+                    // Trajectory: bit-for-bit, not approximately.
+                    prop_assert_eq!(&got, &reference);
+                    for i in 0..got.speeds.len() {
+                        prop_assert_eq!(
+                            got.speeds[i].value().to_bits(),
+                            reference.speeds[i].value().to_bits()
+                        );
+                        prop_assert_eq!(
+                            got.times[i].value().to_bits(),
+                            reference.times[i].value().to_bits()
+                        );
+                    }
+                    prop_assert_eq!(
+                        got.total_energy.value().to_bits(),
+                        reference.total_energy.value().to_bits()
+                    );
+                    // Work counters: thread- and memo-invariant.
+                    prop_assert_eq!(
+                        got.metrics.states_expanded,
+                        reference.metrics.states_expanded
+                    );
+                    prop_assert_eq!(
+                        got.metrics.states_pruned,
+                        reference.metrics.states_pruned
+                    );
+                    prop_assert_eq!(
+                        got.metrics.rows_skipped,
+                        reference.metrics.rows_skipped
+                    );
+                    // The memo knob changes only where tables come from.
+                    if memo {
+                        prop_assert!(got.metrics.memo_misses > 0);
+                    } else {
+                        prop_assert_eq!(got.metrics.memo_hits, 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
 mod random_corridors {
     use super::*;
     use velopt_common::units::VehiclesPerHour;

@@ -58,7 +58,7 @@ mod model;
 mod params;
 
 pub use battery::{BatteryPack, PackConfig};
-pub use model::{EnergyModel, RegenPolicy, SegmentEnergy};
+pub use model::{EnergyModel, GridSpec, RegenPolicy, SegmentEnergy};
 pub use params::{VehicleParams, VehicleParamsBuilder};
 
 /// Standard gravity, m/s².

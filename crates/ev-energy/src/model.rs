@@ -38,6 +38,28 @@ pub struct SegmentEnergy {
     pub exit_speed: MetersPerSecond,
 }
 
+/// One velocity-lattice evaluation request: every `(v_from, v_to)` pair of
+/// a uniform speed grid over a single constant-grade segment. This is the
+/// batched entry point the DP's transition-cost cache is built from (see
+/// `velopt-core`'s `memo` module): the cost of a transition depends only on
+/// these six numbers, so one grid evaluation serves every layer, trip and
+/// replan tick that shares the segment class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// Speed-grid resolution; lattice speed `i` is `dv * i`.
+    pub dv: MetersPerSecond,
+    /// Lattice size (speeds `0..n_speeds`).
+    pub n_speeds: usize,
+    /// Segment length.
+    pub distance: Meters,
+    /// Constant grade over the segment.
+    pub grade: Radians,
+    /// Most negative admissible constant acceleration.
+    pub a_min: MetersPerSecondSq,
+    /// Most positive admissible constant acceleration.
+    pub a_max: MetersPerSecondSq,
+}
+
 /// The EV energy-consumption model of §II-A.
 ///
 /// # Examples
@@ -212,6 +234,83 @@ impl EnergyModel {
             duration: Seconds::new(duration),
             exit_speed: MetersPerSecond::new(v1),
         })
+    }
+
+    /// Evaluates [`segment_energy`](Self::segment_energy) over the whole
+    /// `(v_from, v_to)` lattice of `spec` in one call, returning the
+    /// row-major `n_speeds × n_speeds` grid (entry `v_from_idx * n_speeds +
+    /// v_to_idx`) and the number of energy-model evaluations performed.
+    ///
+    /// An entry is `None` when the transition is kinematically infeasible:
+    /// the implied constant acceleration `(v₁² − v₀²) / (2·d)` falls outside
+    /// `[a_min − 1e-9, a_max + 1e-9]` (the DP solver's exact feasibility
+    /// expression, tolerances included, so a cached grid and a direct
+    /// evaluation agree bit-for-bit), or both endpoint speeds are zero (the
+    /// segment would never be covered). Infeasible entries cost no
+    /// evaluation.
+    pub fn segment_energy_grid(&self, spec: &GridSpec) -> (Vec<Option<SegmentEnergy>>, u64) {
+        let d = spec.distance.value();
+        let mut grid = Vec::with_capacity(spec.n_speeds * spec.n_speeds);
+        let mut evals = 0u64;
+        for vi in 0..spec.n_speeds {
+            let v0 = spec.dv.value() * vi as f64;
+            for vj in 0..spec.n_speeds {
+                let v1 = spec.dv.value() * vj as f64;
+                let a = (v1 * v1 - v0 * v0) / (2.0 * d);
+                if a < spec.a_min.value() - 1e-9 || a > spec.a_max.value() + 1e-9 {
+                    grid.push(None);
+                    continue;
+                }
+                if v0 <= 0.0 && v1 <= 0.0 {
+                    grid.push(None);
+                    continue;
+                }
+                evals += 1;
+                grid.push(
+                    self.segment_energy(
+                        MetersPerSecond::new(v0),
+                        MetersPerSecondSq::new(a),
+                        spec.distance,
+                        spec.grade,
+                    )
+                    .ok(),
+                );
+            }
+        }
+        (grid, evals)
+    }
+
+    /// A value that changes whenever this model could produce different
+    /// numbers: all vehicle parameters, the battery voltage, the
+    /// regeneration policy and the quadrature resolution. The DP's
+    /// transition-cost cache keys its validity on this, so a cached grid is
+    /// never served to a solver with a different physics configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let p = &self.params;
+        mix(p.mass_kg().to_bits());
+        mix(p.frontal_area_m2().to_bits());
+        mix(p.drag_coefficient().to_bits());
+        mix(p.rolling_resistance().to_bits());
+        mix(p.air_density().to_bits());
+        mix(p.battery_efficiency().to_bits());
+        mix(p.powertrain_efficiency().to_bits());
+        mix(p.aux_power_w().to_bits());
+        mix(p.battery().voltage().value().to_bits());
+        match self.regen {
+            RegenPolicy::PaperLiteral => mix(1),
+            RegenPolicy::Limited { efficiency, cutoff } => {
+                mix(2);
+                mix(efficiency.to_bits());
+                mix(cutoff.value().to_bits());
+            }
+        }
+        mix(self.quadrature_steps as u64);
+        h
     }
 
     /// Total charge drawn over a velocity profile sampled in time.
@@ -452,6 +551,83 @@ mod tests {
         let profile =
             TimeSeries::from_samples(Seconds::ZERO, Seconds::new(1.0), vec![1.0, -0.5]).unwrap();
         assert!(model().profile_energy(&profile, |_| Radians::ZERO).is_err());
+    }
+
+    fn us25_like_grid() -> GridSpec {
+        GridSpec {
+            dv: MetersPerSecond::new(1.0),
+            n_speeds: 20,
+            distance: Meters::new(20.0),
+            grade: Radians::ZERO,
+            a_min: MetersPerSecondSq::new(-1.5),
+            a_max: MetersPerSecondSq::new(2.5),
+        }
+    }
+
+    #[test]
+    fn grid_matches_direct_segment_energy_bitwise() {
+        let m = model();
+        let spec = us25_like_grid();
+        let (grid, evals) = m.segment_energy_grid(&spec);
+        assert_eq!(grid.len(), spec.n_speeds * spec.n_speeds);
+        assert!(evals > 0);
+        let mut seen = 0u64;
+        for vi in 0..spec.n_speeds {
+            for vj in 0..spec.n_speeds {
+                let v0 = spec.dv.value() * vi as f64;
+                let v1 = spec.dv.value() * vj as f64;
+                let a = (v1 * v1 - v0 * v0) / (2.0 * spec.distance.value());
+                let entry = &grid[vi * spec.n_speeds + vj];
+                if a < spec.a_min.value() - 1e-9
+                    || a > spec.a_max.value() + 1e-9
+                    || (v0 <= 0.0 && v1 <= 0.0)
+                {
+                    assert!(entry.is_none(), "({vi},{vj}) should be infeasible");
+                    continue;
+                }
+                seen += 1;
+                let direct = m
+                    .segment_energy(
+                        MetersPerSecond::new(v0),
+                        MetersPerSecondSq::new(a),
+                        spec.distance,
+                        spec.grade,
+                    )
+                    .unwrap();
+                let cached = entry.expect("feasible pair must be evaluated");
+                assert_eq!(
+                    cached.charge.value().to_bits(),
+                    direct.charge.value().to_bits()
+                );
+                assert_eq!(
+                    cached.duration.value().to_bits(),
+                    direct.duration.value().to_bits()
+                );
+            }
+        }
+        assert_eq!(seen, evals);
+    }
+
+    #[test]
+    fn grid_rest_to_rest_is_infeasible() {
+        let (grid, _) = model().segment_energy_grid(&us25_like_grid());
+        assert!(grid[0].is_none(), "v0 = v1 = 0 cannot cover the segment");
+    }
+
+    #[test]
+    fn fingerprint_tracks_configuration() {
+        let base = model().fingerprint();
+        assert_eq!(base, model().fingerprint(), "fingerprint is deterministic");
+        let heavier = EnergyModel::new(VehicleParams::builder().mass_kg(1500.0).build().unwrap());
+        assert_ne!(base, heavier.fingerprint());
+        let limited = EnergyModel::with_regen(
+            VehicleParams::spark_ev(),
+            RegenPolicy::Limited {
+                efficiency: 0.6,
+                cutoff: MetersPerSecond::new(2.0),
+            },
+        );
+        assert_ne!(base, limited.fingerprint());
     }
 
     #[test]
