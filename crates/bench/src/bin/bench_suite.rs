@@ -10,12 +10,14 @@
 //!     A scenario regresses when its median wall time exceeds the baseline
 //!     median by strictly more than T (default 0.15 = +15%), or when its
 //!     deterministic work counters (states expanded per iteration, energy
-//!     evaluations) exceed the baseline's by more than T.
+//!     evaluations, gemm FLOPs and scratch allocations per iteration)
+//!     exceed the baseline's by more than T.
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
 //!     gate is immune to runner noise. Pins the solver's states-expanded
-//!     reduction against the committed baseline. Combines with --check.
+//!     reduction and the traffic kernels' FLOP count and zero-allocation
+//!     steady state against the committed baseline. Combines with --check.
 //! ```
 //!
 //! Exit codes: `0` success (or regression under `--warn-only`), `1`
@@ -103,17 +105,30 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             std::fs::write(&args.out, report.to_json())
                 .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
             for s in &report.scenarios {
-                eprintln!(
-                    "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  \
-                     reuse {:>6}  evals {:>7}  memo {:>5.1}%",
-                    s.name,
-                    s.wall_seconds.p50,
-                    s.wall_seconds.p90,
-                    s.states_expanded,
-                    s.arena_reuse_hits,
-                    s.energy_evals,
-                    s.memo_hit_rate() * 100.0,
-                );
+                if s.gemm_flops > 0 {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  flops {:>12}  \
+                         reuse {:>6}  allocs {:>5}",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p90,
+                        s.gemm_flops,
+                        s.scratch_reuse_hits,
+                        s.scratch_allocations,
+                    );
+                } else {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  \
+                         reuse {:>6}  evals {:>7}  memo {:>5.1}%",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p90,
+                        s.states_expanded,
+                        s.arena_reuse_hits,
+                        s.energy_evals,
+                        s.memo_hit_rate() * 100.0,
+                    );
+                }
             }
             eprintln!("report written to {}", args.out);
             report

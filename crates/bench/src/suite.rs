@@ -2,11 +2,13 @@
 //!
 //! Criterion answers "how fast is this on my machine, interactively"; this
 //! module answers "did the solver get slower since the committed baseline"
-//! in CI. It runs a fixed, seeded scenario matrix over the DP solver,
-//! summarizes each scenario as wall-time percentiles plus the solver's own
-//! work counters, serializes the report as JSON (`BENCH_dp.json`), and
-//! compares two reports under a relative tolerance so a perf regression
-//! fails the build instead of landing silently.
+//! in CI. It runs a fixed, seeded scenario matrix over the DP solver and
+//! the SAE traffic predictor's mini-batch kernels, summarizes each
+//! scenario as wall-time percentiles plus the component's own work
+//! counters (DP states and memo traffic; gemm FLOPs and scratch
+//! reuse/allocations), serializes the report as JSON (`BENCH_dp.json`),
+//! and compares two reports under a relative tolerance so a perf
+//! regression fails the build instead of landing silently.
 //!
 //! Everything here is deterministic: starts are jittered with a fixed
 //! [`SplitMix64`] seed, so two runs of the same build solve bit-identical
@@ -26,6 +28,11 @@ use velopt_core::replan::{ReplanConfig, Replanner};
 use velopt_core::windows::green_only_constraints;
 use velopt_ev_energy::{EnergyModel, VehicleParams};
 use velopt_road::Road;
+use velopt_traffic::nn::SgdConfig;
+use velopt_traffic::{
+    SaeConfig, SaePredictor, SaePredictorConfig, TrainMetrics, VolumeGenerator, VolumePredictor,
+    VolumeQuery, VolumeScratch,
+};
 
 /// The fixed seed every scenario derives its jitter streams from.
 pub const BENCH_SEED: u64 = 0x9E37_2026;
@@ -41,6 +48,10 @@ pub struct MatrixSpec {
     pub batch_iters: usize,
     /// Replanner control ticks timed.
     pub replan_ticks: usize,
+    /// Full SAE trainings timed.
+    pub sae_train_iters: usize,
+    /// Batched multi-horizon rollouts timed.
+    pub sae_predict_iters: usize,
 }
 
 impl MatrixSpec {
@@ -51,6 +62,8 @@ impl MatrixSpec {
             batch_size: 64,
             batch_iters: 4,
             replan_ticks: 120,
+            sae_train_iters: 10,
+            sae_predict_iters: 16,
         }
     }
 
@@ -61,6 +74,8 @@ impl MatrixSpec {
             batch_size: 16,
             batch_iters: 3,
             replan_ticks: 48,
+            sae_train_iters: 5,
+            sae_predict_iters: 8,
         }
     }
 }
@@ -93,6 +108,14 @@ pub struct ScenarioResult {
     pub energy_evals: u64,
     /// Speed rows the reachability masks proved dead and skipped.
     pub rows_skipped: u64,
+    /// Multiply-add FLOPs through the traffic gemm kernels (SAE scenarios;
+    /// zero for the DP scenarios).
+    pub gemm_flops: u64,
+    /// Training/inference scratch geometries served from existing buffers.
+    pub scratch_reuse_hits: u64,
+    /// Scratch geometries that required fresh allocations (zero in steady
+    /// state for the batched-inference scenario).
+    pub scratch_allocations: u64,
 }
 
 impl ScenarioResult {
@@ -109,6 +132,30 @@ impl ScenarioResult {
             memo_misses: metrics.memo_misses,
             energy_evals: metrics.energy_evals,
             rows_skipped: metrics.rows_skipped,
+            gemm_flops: 0,
+            scratch_reuse_hits: 0,
+            scratch_allocations: 0,
+        })
+    }
+
+    /// Summary for a traffic-predictor scenario: wall percentiles plus the
+    /// trainer's deterministic work counters; the DP counters stay zero.
+    fn from_traffic_samples(name: &str, samples: &[f64], metrics: &TrainMetrics) -> Result<Self> {
+        Ok(Self {
+            name: name.to_string(),
+            iterations: samples.len() as u64,
+            wall_seconds: Percentiles::from_samples(samples)?,
+            states_expanded: 0,
+            states_pruned: 0,
+            arena_reuse_hits: 0,
+            arena_allocations: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            energy_evals: 0,
+            rows_skipped: 0,
+            gemm_flops: metrics.gemm_flops,
+            scratch_reuse_hits: metrics.scratch_reuse_hits,
+            scratch_allocations: metrics.scratch_allocations,
         })
     }
 
@@ -155,6 +202,15 @@ impl ScenarioResult {
             ("memo_hit_rate".into(), Json::Num(self.memo_hit_rate())),
             ("energy_evals".into(), Json::Num(self.energy_evals as f64)),
             ("rows_skipped".into(), Json::Num(self.rows_skipped as f64)),
+            ("gemm_flops".into(), Json::Num(self.gemm_flops as f64)),
+            (
+                "scratch_reuse_hits".into(),
+                Json::Num(self.scratch_reuse_hits as f64),
+            ),
+            (
+                "scratch_allocations".into(),
+                Json::Num(self.scratch_allocations as f64),
+            ),
         ])
     }
 
@@ -197,6 +253,11 @@ impl ScenarioResult {
             memo_misses: optional(value, "memo_misses"),
             energy_evals: optional(value, "energy_evals"),
             rows_skipped: optional(value, "rows_skipped"),
+            // Traffic counters appeared with the SAE scenarios; older
+            // baselines read as zero too.
+            gemm_flops: optional(value, "gemm_flops"),
+            scratch_reuse_hits: optional(value, "scratch_reuse_hits"),
+            scratch_allocations: optional(value, "scratch_allocations"),
         })
     }
 }
@@ -287,6 +348,15 @@ pub const WORK_SLACK_STATES_PER_ITER: f64 = 1.0;
 /// transition-table build (`n_speeds²` lattice points), so a scenario that
 /// legitimately pays one extra cold start does not trip the gate.
 pub const WORK_SLACK_ENERGY_EVALS: f64 = 1024.0;
+
+/// Absolute slack for the per-iteration gemm-FLOP gate: one small batched
+/// forward, absorbing integer rounding when iteration counts differ.
+pub const WORK_SLACK_FLOPS_PER_ITER: f64 = 1024.0;
+
+/// Absolute slack for the per-iteration scratch-allocation gate: one
+/// geometry rebuild, so a legitimate extra cold start does not trip it.
+/// Anything beyond that means buffers stopped being recycled.
+pub const WORK_SLACK_SCRATCH_ALLOCS_PER_ITER: f64 = 1.0;
 
 /// Compares a current report against a baseline: a scenario regresses when
 /// its median wall time exceeds the baseline median by **strictly more**
@@ -382,6 +452,34 @@ fn work_regressions(
             base.energy_evals,
             tolerance * 100.0,
             evals_limit,
+        ));
+    }
+    let current_flops = per_iter(scenario.gemm_flops, scenario.iterations);
+    let base_flops = per_iter(base.gemm_flops, base.iterations);
+    let flops_limit = base_flops * (1.0 + tolerance) + WORK_SLACK_FLOPS_PER_ITER;
+    if current_flops > flops_limit {
+        regressions.push(format!(
+            "{}: {:.0} gemm FLOPs per iteration exceeds baseline {:.0} \
+             by more than {:.0}% (limit {:.0})",
+            scenario.name,
+            current_flops,
+            base_flops,
+            tolerance * 100.0,
+            flops_limit,
+        ));
+    }
+    let current_allocs = per_iter(scenario.scratch_allocations, scenario.iterations);
+    let base_allocs = per_iter(base.scratch_allocations, base.iterations);
+    let allocs_limit = base_allocs * (1.0 + tolerance) + WORK_SLACK_SCRATCH_ALLOCS_PER_ITER;
+    if current_allocs > allocs_limit {
+        regressions.push(format!(
+            "{}: {:.1} scratch allocations per iteration exceeds baseline {:.1} \
+             by more than {:.0}% (limit {:.1}) — are the arenas still recycled?",
+            scenario.name,
+            current_allocs,
+            base_allocs,
+            tolerance * 100.0,
+            allocs_limit,
         ));
     }
 }
@@ -562,6 +660,82 @@ fn replan_refresh_only(ticks: usize) -> Result<ScenarioResult> {
     ScenarioResult::from_samples("replan_refresh", &samples, &metrics)
 }
 
+/// The seeded SAE training workload: the paper's station shape, two weeks
+/// of hourly volumes, and the mini-batch trainer's production-sized recipe.
+fn sae_bench_config() -> SaePredictorConfig {
+    let sgd = |epochs: usize| SgdConfig {
+        epochs,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 64,
+        threads: 1,
+    };
+    SaePredictorConfig {
+        lags: 24,
+        sae: SaeConfig {
+            hidden_layers: vec![24, 12],
+            pretrain: sgd(6),
+            finetune: sgd(40),
+            ..SaeConfig::default()
+        },
+    }
+}
+
+/// Times full SAE trainings (layer-wise pretraining + fine-tune) on the
+/// seeded two-week feed. The work counters — gemm FLOPs, scratch
+/// reuse/allocations — are deterministic per iteration, so `--check-work`
+/// pins both the kernel workload and the arena recycling.
+fn sae_train(iters: usize) -> Result<ScenarioResult> {
+    let feed = VolumeGenerator::us25_station(BENCH_SEED).generate_weeks(2)?;
+    let cfg = sae_bench_config();
+    let mut metrics = TrainMetrics::default();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let predictor = SaePredictor::train(&feed, &cfg)?;
+        samples.push(start.elapsed().as_secs_f64());
+        metrics.absorb(predictor.sae().metrics());
+    }
+    ScenarioResult::from_traffic_samples("sae_train", &samples, &metrics)
+}
+
+/// Times warm batched multi-horizon rollouts: 32 intersections × 24
+/// lookahead hours per call through [`VolumePredictor::predict_batch_with`]
+/// with reused scratch. Counters are deltas across the timed loop only
+/// (after one warm-up call), so the committed baseline records **zero**
+/// steady-state scratch allocations and `--check-work` keeps it that way.
+fn sae_predict_batch(iters: usize) -> Result<ScenarioResult> {
+    let feed = VolumeGenerator::us25_station(BENCH_SEED).generate_weeks(2)?;
+    let cfg = sae_bench_config();
+    let vp = VolumePredictor::train(&feed, &cfg)?;
+    let lags = vp.predictor().lags();
+    let queries: Vec<VolumeQuery> = (0..32)
+        .map(|q| VolumeQuery {
+            history: feed.samples()[q * 3..q * 3 + lags].to_vec(),
+            hour_index: q * 3 + lags,
+        })
+        .collect();
+    let horizons = 24;
+    let mut scratch = VolumeScratch::new();
+    let mut out = Vec::new();
+    vp.predict_batch_with(&queries, horizons, &mut scratch, &mut out)?;
+    let (warm_hits, warm_allocs, warm_flops) =
+        (scratch.reuse_hits(), scratch.allocations(), scratch.flops());
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        vp.predict_batch_with(&queries, horizons, &mut scratch, &mut out)?;
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let metrics = TrainMetrics {
+        gemm_flops: scratch.flops() - warm_flops,
+        scratch_reuse_hits: scratch.reuse_hits() - warm_hits,
+        scratch_allocations: scratch.allocations() - warm_allocs,
+        ..TrainMetrics::default()
+    };
+    ScenarioResult::from_traffic_samples("sae_predict_batch", &samples, &metrics)
+}
+
 /// Runs the whole scenario matrix and collects the report.
 ///
 /// # Errors
@@ -590,6 +764,8 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
             batch_burst(spec)?,
             replan_steady_state(spec.replan_ticks)?,
             replan_refresh_only((spec.replan_ticks / 4).max(1))?,
+            sae_train(spec.sae_train_iters)?,
+            sae_predict_batch(spec.sae_predict_iters)?,
         ],
     })
 }
@@ -617,6 +793,9 @@ mod tests {
             memo_misses: 10,
             energy_evals: 500,
             rows_skipped: 20,
+            gemm_flops: 50_000,
+            scratch_reuse_hits: 40,
+            scratch_allocations: 5,
         }
     }
 
@@ -679,6 +858,21 @@ mod tests {
         assert!(outcome.is_regression());
         assert!(outcome.regressions[0].contains("energy evaluations"));
 
+        // A gemm kernel that started doing redundant work is caught even
+        // with the wall clock flat.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].gemm_flops *= 3;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("gemm FLOPs"));
+
+        // Scratch that stopped being recycled allocates every iteration.
+        let mut current = report(&[("s", 0.100)]);
+        current.scenarios[0].scratch_allocations = 5 * 20;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("scratch allocations"));
+
         // Fewer states / fewer evals is an improvement, never a regression.
         let mut current = report(&[("s", 0.100)]);
         current.scenarios[0].states_expanded = 1;
@@ -717,6 +911,8 @@ mod tests {
         assert_eq!(s.memo_hits, 0);
         assert_eq!(s.energy_evals, 0);
         assert_eq!(s.memo_hit_rate(), 1.0);
+        assert_eq!(s.gemm_flops, 0);
+        assert_eq!(s.scratch_allocations, 0);
     }
 
     #[test]
@@ -771,16 +967,31 @@ mod tests {
             batch_size: 2,
             batch_iters: 1,
             replan_ticks: 8,
+            sae_train_iters: 1,
+            sae_predict_iters: 1,
         };
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 6);
+        assert_eq!(report.scenarios.len(), 8);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
-            assert!(s.states_expanded > 0, "{}", s.name);
+            // Every scenario reports its work: DP states or gemm FLOPs.
+            assert!(s.states_expanded > 0 || s.gemm_flops > 0, "{}", s.name);
         }
         assert!(report.scenario("batch_2").is_some());
         assert!(report.scenario("replan_refresh").is_some());
+        // The SAE rows carry the trainer's counters instead of the DP's,
+        // and the warm rollout scenario must report zero allocations.
+        let train = report.scenario("sae_train").unwrap();
+        assert!(train.gemm_flops > 0);
+        assert!(train.scratch_allocations > 0); // cold arenas, once per run
+        let predict = report.scenario("sae_predict_batch").unwrap();
+        assert!(predict.gemm_flops > 0);
+        assert_eq!(
+            predict.scratch_allocations, 0,
+            "warm batched rollouts must not allocate"
+        );
+        assert!(predict.scratch_reuse_hits > 0);
         // Every scenario runs the memoized solver, so cost tables were
         // fetched and most fetches hit the shared cache.
         let seq = report.scenario("single_trip_sequential").unwrap();
@@ -789,6 +1000,6 @@ mod tests {
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression());
-        assert_eq!(outcome.passed, 6);
+        assert_eq!(outcome.passed, 8);
     }
 }

@@ -1,7 +1,8 @@
 //! The in-vehicle client side of the vehicular cloud.
 
 use crate::protocol::{
-    decode_profile, read_frame, tags, write_frame, BatchPlanRequest, BatchPlanResponse, TripRequest,
+    decode_profile, read_frame, tags, write_frame, BatchPlanRequest, BatchPlanResponse,
+    PredictBatchRequest, PredictBatchResponse, TripRequest,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use velopt_common::{Error, Result};
@@ -78,6 +79,42 @@ impl CloudClient {
                     )));
                 }
                 Ok(response.results)
+            }
+            tags::RESP_ERROR => Err(Error::protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(Error::protocol(format!("unexpected response tag {other}"))),
+        }
+    }
+
+    /// Uploads a volume-forecast batch and waits for the predicted
+    /// volumes: `result[q][s]` is the forecast (vehicles/hour) for query
+    /// `q` at its `hour_index + s`. The cloud trains (and caches) the SAE
+    /// predictor for the requested station on first use, so the first
+    /// call for a station pays the training cost and later calls are
+    /// batched inference only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] carrying the server's message when the
+    /// request is rejected (bad bounds, ragged histories) or the response
+    /// is malformed or wrongly sized, and [`Error::Io`] on transport
+    /// failures.
+    pub fn predict_batch(&mut self, request: &PredictBatchRequest) -> Result<Vec<Vec<f64>>> {
+        write_frame(&mut self.stream, tags::REQ_PREDICT_BATCH, &request.encode())?;
+        let (tag, mut payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        match tag {
+            tags::RESP_PREDICT_BATCH => {
+                let response = PredictBatchResponse::decode(&mut payload)?;
+                if response.volumes.len() != request.queries.len() {
+                    return Err(Error::protocol(format!(
+                        "predict batch answered {} of {} queries",
+                        response.volumes.len(),
+                        request.queries.len()
+                    )));
+                }
+                Ok(response.volumes)
             }
             tags::RESP_ERROR => Err(Error::protocol(
                 String::from_utf8_lossy(&payload).into_owned(),
@@ -247,6 +284,52 @@ mod tests {
         let server = CloudServer::spawn(1).unwrap();
         let mut client = CloudClient::connect(server.addr()).unwrap();
         assert!(client.plan_batch(&[]).unwrap().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn predict_batch_round_trips_over_the_wire() {
+        use crate::protocol::{PredictBatchRequest, PredictQuery};
+        use velopt_traffic::VolumeGenerator;
+        let server = CloudServer::spawn(2).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let feed = VolumeGenerator::us25_station(21).generate_weeks(2).unwrap();
+        let lags = 12;
+        let request = PredictBatchRequest {
+            station_seed: 21,
+            train_weeks: 2,
+            horizons: 4,
+            queries: vec![
+                PredictQuery {
+                    history: feed.samples()[..lags].to_vec(),
+                    hour_index: lags as u64,
+                },
+                PredictQuery {
+                    history: feed.samples()[feed.len() - lags..].to_vec(),
+                    hour_index: feed.len() as u64,
+                },
+            ],
+        };
+        let first = client.predict_batch(&request).unwrap();
+        assert_eq!(first.len(), 2);
+        assert!(first
+            .iter()
+            .all(|row| row.len() == 4 && row.iter().all(|v| v.is_finite() && *v >= 0.0)));
+        // The second call must be answered by the cached predictor,
+        // identically.
+        let second = client.predict_batch(&request).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(server.stats().predictor_cache(), (1, 1));
+        assert_eq!(server.stats().predictions(), 16);
+        assert_eq!(server.stats().frame_counts().predicts, 2);
+
+        // A bad request comes back as an error frame and the connection
+        // survives.
+        let mut bad = request.clone();
+        bad.queries[0].history.pop(); // ragged lag windows
+        let err = client.predict_batch(&bad).unwrap_err();
+        assert!(err.to_string().contains("history"), "{err}");
+        assert!(client.predict_batch(&request).is_ok());
         server.shutdown();
     }
 

@@ -20,6 +20,13 @@
 //! * [`CloudClient`] — the in-vehicle side: connect, upload the trip,
 //!   receive the profile.
 //!
+//! Beyond trip planning, the service forecasts traffic itself:
+//! `REQ_PREDICT_BATCH`/`RESP_PREDICT_BATCH` frames carry a
+//! [`PredictBatchRequest`] — lag windows for N intersections plus a
+//! lookahead horizon count — answered from a shared cache of trained SAE
+//! predictors (`velopt-traffic`), so one training serves every vehicle
+//! asking about the same station.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,5 +47,7 @@ pub mod protocol;
 mod server;
 
 pub use client::CloudClient;
-pub use protocol::{CloudResponse, TripRequest};
+pub use protocol::{
+    CloudResponse, PredictBatchRequest, PredictBatchResponse, PredictQuery, TripRequest,
+};
 pub use server::{CloudServer, ServerStats};

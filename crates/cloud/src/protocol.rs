@@ -36,6 +36,11 @@ pub mod tags {
     /// `{"counters":[],"histograms":[]}` when the server was built without
     /// the `telemetry` feature).
     pub const RESP_TELEMETRY: u8 = 9;
+    /// Vehicle/gateway → cloud: forecast arrival volumes for a batch of
+    /// intersections over several lookahead horizons.
+    pub const REQ_PREDICT_BATCH: u8 = 10;
+    /// Cloud → requester: the forecast volumes, in request order.
+    pub const RESP_PREDICT_BATCH: u8 = 11;
 }
 
 /// A trip uploaded by an EV: corridor geometry plus traffic state.
@@ -319,6 +324,181 @@ impl BatchPlanResponse {
             }
         }
         Ok(Self { results })
+    }
+}
+
+/// One intersection's forecasting state inside a [`PredictBatchRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictQuery {
+    /// The most recent hourly volumes at this intersection, oldest first.
+    /// Every query in a batch must use the same window length (it selects
+    /// the predictor's lag count).
+    pub history: Vec<f64>,
+    /// Global hour index (hour 0 = Monday 00:00) of the first forecast
+    /// hour.
+    pub hour_index: u64,
+}
+
+/// Ceiling on intersections per predict batch.
+pub const MAX_PREDICT_QUERIES: usize = 256;
+/// Ceiling on lag-window length (one week of hourly volumes).
+pub const MAX_PREDICT_LAGS: usize = 168;
+/// Ceiling on lookahead horizons (one week of hourly forecasts).
+pub const MAX_PREDICT_HORIZONS: usize = 168;
+
+/// A batched volume-forecast request: all lookahead horizons for N
+/// intersections in one round trip, served by the cloud's SAE predictor
+/// cache. `station_seed`/`train_weeks` identify the feed the predictor is
+/// trained on (the synthetic station substrate — see `velopt-traffic`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictBatchRequest {
+    /// Seed of the volume station whose predictor should answer.
+    pub station_seed: u64,
+    /// Weeks of history the cloud trains that predictor on.
+    pub train_weeks: u32,
+    /// Consecutive hours to forecast for every query.
+    pub horizons: u32,
+    /// The intersections to forecast.
+    pub queries: Vec<PredictQuery>,
+}
+
+impl PredictBatchRequest {
+    /// Validates bounds and the uniform-lag invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when a ceiling is exceeded, the
+    /// training window is degenerate, or the queries disagree on their
+    /// history length.
+    pub fn validated(&self) -> Result<()> {
+        if self.train_weeks == 0 || self.train_weeks > 52 {
+            return Err(Error::invalid_input("train_weeks must be between 1 and 52"));
+        }
+        if self.horizons as usize > MAX_PREDICT_HORIZONS {
+            return Err(Error::invalid_input(format!(
+                "horizons {} exceeds bound {MAX_PREDICT_HORIZONS}",
+                self.horizons
+            )));
+        }
+        if self.queries.len() > MAX_PREDICT_QUERIES {
+            return Err(Error::invalid_input(format!(
+                "{} queries exceed bound {MAX_PREDICT_QUERIES}",
+                self.queries.len()
+            )));
+        }
+        let lags = self.queries.first().map_or(1, |q| q.history.len());
+        for (i, q) in self.queries.iter().enumerate() {
+            if q.history.is_empty() || q.history.len() > MAX_PREDICT_LAGS {
+                return Err(Error::invalid_input(format!(
+                    "query {i}: history length {} outside 1..={MAX_PREDICT_LAGS}",
+                    q.history.len()
+                )));
+            }
+            if q.history.len() != lags {
+                return Err(Error::invalid_input(format!(
+                    "query {i}: history length {} disagrees with {lags}",
+                    q.history.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the request payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.station_seed);
+        buf.put_u32(self.train_weeks);
+        buf.put_u32(self.horizons);
+        buf.put_u32(self.queries.len() as u32);
+        for q in &self.queries {
+            buf.put_u64(q.hour_index);
+            buf.put_u32(q.history.len() as u32);
+            for &v in &q.history {
+                buf.put_f64(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or implausible counts.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let station_seed = take_u64(buf)?;
+        let train_weeks = take_u32(buf)?;
+        let horizons = take_u32(buf)?;
+        let n = bounded_count(buf, MAX_PREDICT_QUERIES)?;
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let hour_index = take_u64(buf)?;
+            let lags = bounded_count(buf, MAX_PREDICT_LAGS)?;
+            if lags > buf.remaining() / 8 {
+                return Err(Error::protocol("truncated predict history"));
+            }
+            let mut history = Vec::with_capacity(lags);
+            for _ in 0..lags {
+                history.push(take_f64(buf)?);
+            }
+            queries.push(PredictQuery {
+                history,
+                hour_index,
+            });
+        }
+        Ok(Self {
+            station_seed,
+            train_weeks,
+            horizons,
+            queries,
+        })
+    }
+}
+
+/// The cloud's answer to a [`PredictBatchRequest`]: `volumes[q][s]` is the
+/// forecast (vehicles/hour) for query `q` at its `hour_index + s`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PredictBatchResponse {
+    /// One row of `horizons` forecasts per query, in request order.
+    pub volumes: Vec<Vec<f64>>,
+}
+
+impl PredictBatchResponse {
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.volumes.len() as u32);
+        let horizons = self.volumes.first().map_or(0, Vec::len);
+        buf.put_u32(horizons as u32);
+        for row in &self.volumes {
+            for &v in row {
+                buf.put_f64(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or implausible counts.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let n = bounded_count(buf, MAX_PREDICT_QUERIES)?;
+        let horizons = bounded_count(buf, MAX_PREDICT_HORIZONS)?;
+        if n * horizons > buf.remaining() / 8 {
+            return Err(Error::protocol("truncated predict response"));
+        }
+        let mut volumes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(horizons);
+            for _ in 0..horizons {
+                row.push(take_f64(buf)?);
+            }
+            volumes.push(row);
+        }
+        Ok(Self { volumes })
     }
 }
 
@@ -615,6 +795,104 @@ mod tests {
         let back = BatchPlanResponse::decode(&mut bytes).unwrap();
         assert_eq!(back, response);
         assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn predict_batch_round_trip() {
+        let request = PredictBatchRequest {
+            station_seed: 0x9E37,
+            train_weeks: 2,
+            horizons: 4,
+            queries: vec![
+                PredictQuery {
+                    history: vec![120.0, 340.0, 510.0],
+                    hour_index: 168,
+                },
+                PredictQuery {
+                    history: vec![80.0, 95.0, 400.0],
+                    hour_index: 7,
+                },
+            ],
+        };
+        request.validated().unwrap();
+        let mut bytes = request.encode();
+        let back = PredictBatchRequest::decode(&mut bytes).unwrap();
+        assert_eq!(back, request);
+        assert!(bytes.is_empty(), "decoder must consume the whole payload");
+
+        let response = PredictBatchResponse {
+            volumes: vec![
+                vec![101.5, 99.0, 87.25, 412.0],
+                vec![55.0, 56.5, 58.0, 60.0],
+            ],
+        };
+        let mut bytes = response.encode();
+        let back = PredictBatchResponse::decode(&mut bytes).unwrap();
+        assert_eq!(back, response);
+        assert!(bytes.is_empty());
+        // Empty response round-trips too.
+        let mut empty = PredictBatchResponse::default().encode();
+        assert!(PredictBatchResponse::decode(&mut empty)
+            .unwrap()
+            .volumes
+            .is_empty());
+    }
+
+    #[test]
+    fn predict_batch_validation_catches_bad_requests() {
+        let base = PredictBatchRequest {
+            station_seed: 1,
+            train_weeks: 2,
+            horizons: 2,
+            queries: vec![PredictQuery {
+                history: vec![10.0; 4],
+                hour_index: 0,
+            }],
+        };
+        assert!(base.validated().is_ok());
+        let mut r = base.clone();
+        r.train_weeks = 0;
+        assert!(r.validated().is_err());
+        let mut r = base.clone();
+        r.horizons = MAX_PREDICT_HORIZONS as u32 + 1;
+        assert!(r.validated().is_err());
+        let mut r = base.clone();
+        r.queries.push(PredictQuery {
+            history: vec![1.0; 5], // disagreeing lag window
+            hour_index: 3,
+        });
+        assert!(r.validated().is_err());
+        let mut r = base;
+        r.queries[0].history.clear();
+        assert!(r.validated().is_err());
+    }
+
+    #[test]
+    fn hostile_predict_counts_rejected() {
+        // Query count bound.
+        let mut buf = BytesMut::new();
+        buf.put_u64(1);
+        buf.put_u32(2);
+        buf.put_u32(2);
+        buf.put_u32(1_000_000_000);
+        let mut bytes = buf.freeze();
+        assert!(PredictBatchRequest::decode(&mut bytes).is_err());
+        // History length larger than the remaining payload.
+        let mut buf = BytesMut::new();
+        buf.put_u64(1);
+        buf.put_u32(2);
+        buf.put_u32(2);
+        buf.put_u32(1);
+        buf.put_u64(0);
+        buf.put_u32(100); // claims 100 lags, carries none
+        let mut bytes = buf.freeze();
+        assert!(PredictBatchRequest::decode(&mut bytes).is_err());
+        // Response plane larger than the payload.
+        let mut buf = BytesMut::new();
+        buf.put_u32(200);
+        buf.put_u32(100);
+        let mut bytes = buf.freeze();
+        assert!(PredictBatchResponse::decode(&mut bytes).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The cloud service: acceptor + crossbeam worker pool + plan cache.
 
 use crate::protocol::{
-    encode_profile, tags, write_frame, BatchPlanRequest, BatchPlanResponse, TripRequest,
+    encode_profile, tags, write_frame, BatchPlanRequest, BatchPlanResponse, PredictBatchRequest,
+    PredictBatchResponse, TripRequest,
 };
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -16,6 +17,10 @@ use velopt_core::batch::PlanRequest;
 use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint, StartState};
 use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
 use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+use velopt_traffic::nn::SgdConfig;
+use velopt_traffic::{
+    SaeConfig, SaePredictorConfig, VolumeGenerator, VolumePredictor, VolumeQuery,
+};
 
 /// Per-frame-type request counters: how the server's inbound traffic is
 /// split across the protocol. Returned by [`ServerStats::frame_counts`].
@@ -29,6 +34,8 @@ pub struct FrameCounts {
     pub stats: u64,
     /// `REQ_TELEMETRY` frames received.
     pub telemetry: u64,
+    /// `REQ_PREDICT_BATCH` frames received.
+    pub predicts: u64,
     /// Frames carrying an unknown tag.
     pub unknown: u64,
 }
@@ -47,6 +54,10 @@ pub struct ServerStats {
     frames_telemetry: AtomicU64,
     frames_unknown: AtomicU64,
     error_responses: AtomicU64,
+    predict_frames: AtomicU64,
+    predictor_cache_hits: AtomicU64,
+    predictor_trainings: AtomicU64,
+    predictions: AtomicU64,
 }
 
 impl ServerStats {
@@ -84,8 +95,25 @@ impl ServerStats {
             batches: self.batches(),
             stats: self.frames_stats.load(Ordering::Relaxed),
             telemetry: self.frames_telemetry.load(Ordering::Relaxed),
+            predicts: self.predict_frames.load(Ordering::Relaxed),
             unknown: self.frames_unknown.load(Ordering::Relaxed),
         }
+    }
+
+    /// Volume-forecast values served so far (`queries × horizons`, summed
+    /// over every `REQ_PREDICT_BATCH`).
+    pub fn predictions(&self) -> u64 {
+        self.predictions.load(Ordering::Relaxed)
+    }
+
+    /// How the predictor cache behaved: `(cache hits, trainings)`. A
+    /// training is one full SAE fit — the expensive path a warm cache
+    /// avoids.
+    pub fn predictor_cache(&self) -> (u64, u64) {
+        (
+            self.predictor_cache_hits.load(Ordering::Relaxed),
+            self.predictor_trainings.load(Ordering::Relaxed),
+        )
     }
 
     /// Counts one inbound frame by tag, mirrored into the telemetry
@@ -108,6 +136,11 @@ impl ServerStats {
             tags::REQ_TELEMETRY => {
                 self.frames_telemetry.fetch_add(1, Ordering::Relaxed);
                 telemetry::add("cloud.req.telemetry", 1);
+            }
+            tags::REQ_PREDICT_BATCH => {
+                // `predict_frames` itself is counted in
+                // `handle_predict_batch` (unit tests call it directly).
+                telemetry::add("cloud.req.predict_batch", 1);
             }
             _ => {
                 self.frames_unknown.fetch_add(1, Ordering::Relaxed);
@@ -142,6 +175,12 @@ impl ServerStats {
 
 type PlanCache = RwLock<HashMap<Vec<u8>, velopt_core::dp::OptimizedProfile>>;
 
+/// Trained volume predictors keyed by `(station seed, train weeks, lags)`.
+/// Training an SAE is orders of magnitude more expensive than querying it,
+/// so every connection shares one cache of [`Arc`]ed predictors and the
+/// batched inference path runs on a clone of the handle outside the lock.
+type PredictorCache = RwLock<HashMap<(u64, u32, u32), Arc<VolumePredictor>>>;
+
 /// The vehicular-cloud optimization server.
 ///
 /// See the crate-level example.
@@ -171,6 +210,7 @@ impl CloudServer {
         let stats = Arc::new(ServerStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let cache: Arc<PlanCache> = Arc::new(RwLock::new(HashMap::new()));
+        let predictors: Arc<PredictorCache> = Arc::new(RwLock::new(HashMap::new()));
 
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(64);
         let stop_acceptor = Arc::clone(&stop);
@@ -191,10 +231,11 @@ impl CloudServer {
                 let rx = rx.clone();
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
+                let predictors = Arc::clone(&predictors);
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
                     while let Ok(stream) = rx.recv() {
-                        let _ = serve_connection(stream, &stats, &cache, &stop);
+                        let _ = serve_connection(stream, &stats, &cache, &predictors, &stop);
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
@@ -308,6 +349,7 @@ fn serve_connection(
     mut stream: TcpStream,
     stats: &ServerStats,
     cache: &PlanCache,
+    predictors: &PredictorCache,
     stop: &AtomicBool,
 ) -> Result<()> {
     stream.set_nodelay(true).ok();
@@ -348,6 +390,20 @@ fn serve_connection(
                     write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
                 }
             },
+            tags::REQ_PREDICT_BATCH => {
+                match handle_predict_batch(&mut payload, stats, predictors) {
+                    Ok(response) => {
+                        let encode_span = telemetry::span("cloud.encode_seconds");
+                        let encoded = response.encode();
+                        drop(encode_span);
+                        write_frame(&mut stream, tags::RESP_PREDICT_BATCH, &encoded)?;
+                    }
+                    Err(e) => {
+                        stats.record_error_response();
+                        write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
+                    }
+                }
+            }
             tags::REQ_STATS => {
                 let mut buf = BytesMut::new();
                 bytes::BufMut::put_u64(&mut buf, stats.served());
@@ -505,6 +561,97 @@ fn handle_batch(
     })
 }
 
+/// The SAE recipe the service trains cache misses with: mini-batch SGD on
+/// the gemm kernels, sized for serving latency rather than paper-figure
+/// fidelity (the full recipe lives in `SaePredictorConfig::default`).
+fn service_predictor_config(lags: usize) -> SaePredictorConfig {
+    let sgd = |epochs| SgdConfig {
+        epochs,
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 16,
+        threads: 1,
+    };
+    SaePredictorConfig {
+        lags,
+        sae: SaeConfig {
+            hidden_layers: vec![16, 8],
+            pretrain: sgd(6),
+            finetune: sgd(40),
+            ..SaeConfig::default()
+        },
+    }
+}
+
+/// Answers a volume-forecast batch from the shared predictor cache,
+/// training (and caching) a predictor on the first request for a given
+/// `(station seed, train weeks, lags)`. Inference runs outside the cache
+/// lock on a cloned [`Arc`], so a slow training never blocks forecasts
+/// against already-warm predictors.
+fn handle_predict_batch(
+    payload: &mut bytes::Bytes,
+    stats: &ServerStats,
+    predictors: &PredictorCache,
+) -> Result<PredictBatchResponse> {
+    let decode_span = telemetry::span("cloud.decode_seconds");
+    let request = PredictBatchRequest::decode(payload)?;
+    drop(decode_span);
+    stats.predict_frames.fetch_add(1, Ordering::Relaxed);
+    request.validated()?;
+    if request.queries.is_empty() {
+        return Ok(PredictBatchResponse::default());
+    }
+    let lags = request.queries[0].history.len() as u32;
+    let key = (request.station_seed, request.train_weeks, lags);
+    // Look up and drop the read guard before the (possibly training) miss
+    // path: an `if let` on the guard itself would hold it across the
+    // `write()` below and self-deadlock.
+    let cached = predictors.read().get(&key).map(Arc::clone);
+    let predictor = if let Some(hit) = cached {
+        stats.predictor_cache_hits.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.predictor.cache_hits", 1);
+        hit
+    } else {
+        let train_span = telemetry::span("cloud.predictor_train_seconds");
+        let feed = VolumeGenerator::us25_station(request.station_seed)
+            .generate_weeks(request.train_weeks as usize)?;
+        let trained = Arc::new(VolumePredictor::train(
+            &feed,
+            &service_predictor_config(lags as usize),
+        )?);
+        drop(train_span);
+        stats.predictor_trainings.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.predictor.trainings", 1);
+        // A concurrent training of the same key may have won the race;
+        // keep whichever landed first so repeat queries stay consistent.
+        Arc::clone(
+            predictors
+                .write()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&trained)),
+        )
+    };
+    let queries: Vec<VolumeQuery> = request
+        .queries
+        .iter()
+        .map(|q| VolumeQuery {
+            history: q.history.clone(),
+            hour_index: q.hour_index as usize,
+        })
+        .collect();
+    let predict_span = telemetry::span("cloud.predict_seconds");
+    let rows = predictor.predict_batch(&queries, request.horizons as usize)?;
+    drop(predict_span);
+    let volumes: Vec<Vec<f64>> = rows
+        .into_iter()
+        .map(|row| row.into_iter().map(|v| v.value()).collect())
+        .collect();
+    let served = (volumes.len() * request.horizons as usize) as u64;
+    stats.predictions.fetch_add(served, Ordering::Relaxed);
+    telemetry::add("cloud.predictions", served);
+    Ok(PredictBatchResponse { volumes })
+}
+
 // Integration-style tests live with the client (`client.rs`) so they
 // exercise the full wire path; protocol unit tests live in `protocol.rs`.
 #[cfg(test)]
@@ -581,6 +728,65 @@ mod tests {
         assert_eq!(stats.batches(), 1);
         let key = TripRequest::us25_at(60.0).encode().to_vec();
         assert!(cache.read().contains_key(&key));
+    }
+
+    #[test]
+    fn predict_handler_trains_once_then_hits_the_cache() {
+        use crate::protocol::PredictQuery;
+        let stats = ServerStats::default();
+        let predictors: PredictorCache = RwLock::new(HashMap::new());
+        let feed = VolumeGenerator::us25_station(11).generate_weeks(2).unwrap();
+        let lags = 12;
+        let request = PredictBatchRequest {
+            station_seed: 11,
+            train_weeks: 2,
+            horizons: 3,
+            queries: vec![
+                PredictQuery {
+                    history: feed.samples()[..lags].to_vec(),
+                    hour_index: lags as u64,
+                },
+                PredictQuery {
+                    history: feed.samples()[feed.len() - lags..].to_vec(),
+                    hour_index: feed.len() as u64,
+                },
+            ],
+        };
+        let mut payload = request.encode();
+        let first = handle_predict_batch(&mut payload, &stats, &predictors).unwrap();
+        assert_eq!(first.volumes.len(), 2);
+        assert!(first
+            .volumes
+            .iter()
+            .all(|row| row.len() == 3 && row.iter().all(|v| v.is_finite() && *v >= 0.0)));
+        assert_eq!(stats.predictor_cache(), (0, 1));
+        assert_eq!(stats.predictions(), 6);
+
+        let mut payload = request.encode();
+        let second = handle_predict_batch(&mut payload, &stats, &predictors).unwrap();
+        assert_eq!(second, first, "a cached predictor answers identically");
+        assert_eq!(stats.predictor_cache(), (1, 1));
+        assert_eq!(stats.predictions(), 12);
+        assert_eq!(stats.frame_counts().predicts, 2);
+    }
+
+    #[test]
+    fn predict_handler_rejects_invalid_requests() {
+        use crate::protocol::PredictQuery;
+        let stats = ServerStats::default();
+        let predictors: PredictorCache = RwLock::new(HashMap::new());
+        let request = PredictBatchRequest {
+            station_seed: 1,
+            train_weeks: 0, // degenerate training window
+            horizons: 2,
+            queries: vec![PredictQuery {
+                history: vec![10.0; 12],
+                hour_index: 0,
+            }],
+        };
+        let mut payload = request.encode();
+        assert!(handle_predict_batch(&mut payload, &stats, &predictors).is_err());
+        assert!(predictors.read().is_empty(), "nothing trained or cached");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`interp`] — linear interpolation and piecewise-linear curves.
 //! * [`rng`] — a tiny, deterministic SplitMix64 generator so that synthetic
 //!   workloads are reproducible without pulling `rand` into every crate.
+//! * [`par`] — deterministic chunked parallelism (scoped fan-outs and a
+//!   persistent worker [`par::Team`]) shared by the DP solver and the
+//!   traffic predictor's mini-batch trainer.
 //! * [`error`] — the workspace-wide [`Error`] type.
 //!
 //! # Examples
@@ -28,6 +31,7 @@
 
 pub mod error;
 pub mod interp;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;

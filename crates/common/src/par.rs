@@ -1,25 +1,30 @@
-//! Deterministic chunked parallelism for the DP relaxation.
+//! Deterministic chunked parallelism.
 //!
-//! The solver parallelizes each layer by *target-speed row*: the layer
-//! buffer is split into contiguous, disjoint `&mut` chunks (one or more
-//! rows each) and every chunk is relaxed by exactly one thread. Chunk
-//! boundaries depend only on the layer geometry — never on the thread
-//! count or on scheduling — and within a chunk candidates are visited in
-//! the same order as the sequential solver, so the layer contents (and
-//! therefore the backtracked profile) are bit-identical whether the work
-//! runs on one thread or sixteen. Per-chunk results (metric counters) are
-//! returned in chunk order so any fold over them is deterministic too.
+//! Callers parallelize a buffer by splitting it into contiguous, disjoint
+//! `&mut` chunks (one or more elements each); every chunk is processed by
+//! exactly one thread. Chunk boundaries depend only on the data geometry —
+//! never on the thread count or on scheduling — and within a chunk work
+//! runs in the same order as the sequential path, so the buffer contents
+//! are bit-identical whether the work runs on one thread or sixteen.
+//! Per-chunk results (metric counters) are returned in chunk order so any
+//! fold over them is deterministic too.
 //!
-//! Two execution strategies share that contract:
+//! The DP solver leans on this for layer relaxation (each chunk is a band
+//! of target-speed rows) and the traffic predictor for mini-batch gradient
+//! accumulation (each chunk is a band of samples); both advertise
+//! bit-identical output for any thread count on the strength of this
+//! contract.
+//!
+//! Two execution strategies share it:
 //!
 //! * [`map_chunks`] — spawns scoped workers per call. Fine for one-shot
 //!   fan-outs (batch planning spreads whole solves this way).
 //! * [`team_scope`] / [`Team`] — spawns the workers **once** and reuses
 //!   them across many rounds via a barrier protocol. A DP solve relaxes
-//!   hundreds of layers, each only tens of microseconds of work once the
-//!   transition table is cached; per-layer thread spawning would dwarf the
-//!   relaxation itself, so the solver keeps one team alive for the whole
-//!   layer loop.
+//!   hundreds of layers — and an SGD epoch visits dozens of mini-batches —
+//!   each only tens of microseconds of work; per-round thread spawning
+//!   would dwarf the work itself, so callers keep one team alive for the
+//!   whole loop.
 
 use std::cell::UnsafeCell;
 use std::num::NonZeroUsize;
@@ -91,7 +96,7 @@ where
             })
             .collect();
         for handle in handles {
-            for (ci, r) in handle.join().expect("DP worker thread panicked") {
+            for (ci, r) in handle.join().expect("worker thread panicked") {
                 results[ci] = Some(r);
             }
         }
@@ -272,7 +277,7 @@ impl Team<'_> {
         run_stride(&job, shared, 0, self.workers);
         shared.done.wait();
         if shared.poisoned.swap(false, Ordering::AcqRel) {
-            panic!("DP worker thread panicked");
+            panic!("worker thread panicked");
         }
     }
 

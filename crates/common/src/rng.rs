@@ -87,6 +87,31 @@ impl SplitMix64 {
     }
 }
 
+/// Shuffles `items` in place with a Fisher–Yates walk driven by `rng`.
+///
+/// Draws exactly `items.len().saturating_sub(1)` values from the
+/// generator (one per swap position, high to low) regardless of the
+/// element values, so the RNG stream consumed is a pure function of the
+/// slice length — callers interleaving other draws stay reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use velopt_common::rng::{shuffle, SplitMix64};
+///
+/// let mut order: Vec<usize> = (0..10).collect();
+/// shuffle(&mut order, &mut SplitMix64::new(42));
+/// let mut sorted = order.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..10).collect::<Vec<_>>()); // still a permutation
+/// ```
+pub fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..items.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +189,47 @@ mod tests {
     #[should_panic(expected = "exponential rate must be positive")]
     fn exponential_rejects_zero_rate() {
         SplitMix64::new(0).exponential(0.0);
+    }
+
+    #[test]
+    fn shuffle_empty_slice_is_a_no_op() {
+        let mut rng = SplitMix64::new(1);
+        let before = rng.clone();
+        let mut items: [u32; 0] = [];
+        shuffle(&mut items, &mut rng);
+        assert_eq!(rng, before, "empty shuffle must not consume the stream");
+    }
+
+    #[test]
+    fn shuffle_single_element_is_a_no_op() {
+        let mut rng = SplitMix64::new(1);
+        let before = rng.clone();
+        let mut items = [7u32];
+        shuffle(&mut items, &mut rng);
+        assert_eq!(items, [7]);
+        assert_eq!(rng, before, "1-element shuffle must not consume the stream");
+    }
+
+    #[test]
+    fn shuffle_produces_a_permutation() {
+        for seed in 0..20u64 {
+            let mut items: Vec<usize> = (0..57).collect();
+            shuffle(&mut items, &mut SplitMix64::new(seed));
+            let mut sorted = items.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..57).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_given_seed() {
+        let mut a: Vec<u8> = (0..100).collect();
+        let mut b: Vec<u8> = (0..100).collect();
+        shuffle(&mut a, &mut SplitMix64::new(0xDEAD_BEEF));
+        shuffle(&mut b, &mut SplitMix64::new(0xDEAD_BEEF));
+        assert_eq!(a, b);
+        let mut c: Vec<u8> = (0..100).collect();
+        shuffle(&mut c, &mut SplitMix64::new(0xDEAD_BEE5));
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
     }
 }

@@ -56,11 +56,15 @@ pub mod batch;
 pub mod dp;
 pub mod memo;
 pub mod metrics;
-pub mod par;
 pub mod pipeline;
 pub mod profiles;
 pub mod replan;
 pub mod windows;
+
+/// Deterministic chunked parallelism, re-exported from
+/// [`velopt_common::par`] (it moved there so the traffic predictor can
+/// share the same worker-team machinery without a dependency cycle).
+pub use velopt_common::par;
 
 pub use analysis::{ProfileMetrics, TripComparison};
 pub use arena::{LayerPool, LeaseStats};

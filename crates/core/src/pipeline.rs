@@ -14,7 +14,7 @@ use velopt_common::{Error, Result};
 use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
 use velopt_queue::QueueParams;
 use velopt_road::Road;
-use velopt_traffic::SaePredictor;
+use velopt_traffic::{PredictScratch, SaePredictor};
 
 /// Where the per-light arrival rates come from.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,6 +96,8 @@ fn physical_model(vehicle: &VehicleParams) -> EnergyModel {
 pub struct VelocityOptimizationSystem {
     config: SystemConfig,
     optimizer: DpOptimizer,
+    /// Reused across replans so repeated rate predictions allocate nothing.
+    predict_scratch: PredictScratch,
 }
 
 impl VelocityOptimizationSystem {
@@ -116,7 +118,11 @@ impl VelocityOptimizationSystem {
         }
         config.queue.validated()?;
         let optimizer = DpOptimizer::new(physical_model(&config.vehicle), config.dp)?;
-        Ok(Self { config, optimizer })
+        Ok(Self {
+            config,
+            optimizer,
+            predict_scratch: PredictScratch::new(),
+        })
     }
 
     /// The active configuration.
@@ -156,7 +162,7 @@ impl VelocityOptimizationSystem {
         history: &[f64],
         hour_index: usize,
     ) -> Result<()> {
-        let rate = predictor.predict_next(history, hour_index)?;
+        let rate = predictor.predict_next_into(history, hour_index, &mut self.predict_scratch)?;
         let n = self.config.road.traffic_lights().len();
         self.config.rates = ArrivalRates::Fixed(vec![rate; n]);
         Ok(())

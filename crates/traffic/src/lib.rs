@@ -11,12 +11,19 @@
 //!   weekend single-hump profiles, multiplicative noise and occasional
 //!   incident dips (the substitution is documented in `DESIGN.md`),
 //! * [`nn`] — a small, from-scratch dense neural network (sigmoid/linear
-//!   layers, per-sample SGD with momentum),
+//!   layers, mini-batch SGD with momentum) running on the cache-blocked
+//!   [`gemm`] kernels, with deterministic data-parallel training
+//!   ([`nn::SgdConfig::batch_size`] / [`nn::SgdConfig::threads`]) and
+//!   reusable scratch ([`TrainArena`], [`BatchScratch`]),
 //! * [`Sae`] — greedy layer-wise autoencoder pretraining followed by
-//!   supervised fine-tuning, exactly the SAE recipe of \[10\],
+//!   supervised fine-tuning, exactly the SAE recipe of \[10\], with
+//!   [`TrainMetrics`] describing the work done,
 //! * [`SaePredictor`] — windowed lag features + time-of-day/day-of-week
 //!   encodings over an [`HourlyVolume`] feed, with per-day MRE/RMSE
-//!   evaluation (the Fig. 4b metrics).
+//!   evaluation (the Fig. 4b metrics),
+//! * [`VolumePredictor`] — batched multi-horizon forecasting: all
+//!   lookahead horizons for N intersections in one [`gemm`]-backed call
+//!   per step, allocation-free in steady state.
 //!
 //! # Examples
 //!
@@ -33,12 +40,19 @@
 //! # }
 //! ```
 
+mod arena;
 pub mod dataset;
+pub mod gemm;
 pub mod nn;
 mod predictor;
 mod sae;
 mod volume;
+mod volume_predictor;
 
-pub use predictor::{DayMetrics, EvaluationReport, SaePredictor, SaePredictorConfig};
+pub use arena::{BatchScratch, InferenceScratch, TrainArena, TrainMetrics};
+pub use predictor::{
+    DayMetrics, EvaluationReport, PredictScratch, SaePredictor, SaePredictorConfig,
+};
 pub use sae::{Sae, SaeConfig};
 pub use volume::{HourlyVolume, VolumeGenerator, HOURS_PER_DAY, HOURS_PER_WEEK};
+pub use volume_predictor::{VolumePredictor, VolumeQuery, VolumeScratch};

@@ -6,6 +6,7 @@
 //! temporal+spatial framing of §II-B-1. Evaluation reports MRE and RMSE per
 //! weekday, reproducing Fig. 4(b).
 
+use crate::arena::InferenceScratch;
 use crate::sae::{Sae, SaeConfig};
 use crate::volume::{HourlyVolume, HOURS_PER_DAY};
 use serde::{Deserialize, Serialize};
@@ -62,6 +63,24 @@ pub struct Metrics {
     pub mre: f64,
     /// Root mean squared error (vehicles/hour).
     pub rmse: f64,
+}
+
+/// Reusable scratch for [`SaePredictor::predict_next_into`].
+///
+/// Holds the assembled feature vector and the network's ping-pong
+/// activation buffers; once warm, repeated predictions through the same
+/// predictor allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    features: Vec<f64>,
+    inference: InferenceScratch,
+}
+
+impl PredictScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A trained arrival-rate predictor.
@@ -124,6 +143,18 @@ impl SaePredictor {
         self.lags
     }
 
+    /// The trained SAE regressor behind this predictor.
+    pub fn sae(&self) -> &Sae {
+        &self.sae
+    }
+
+    /// Log-space normalization scale (shared with [`VolumePredictor`]).
+    ///
+    /// [`VolumePredictor`]: crate::VolumePredictor
+    pub(crate) fn scale(&self) -> f64 {
+        self.scale
+    }
+
     /// Predicts the volume at global hour index `hour_index` given the
     /// `lags` preceding volumes.
     ///
@@ -131,6 +162,23 @@ impl SaePredictor {
     ///
     /// Returns [`Error::InvalidInput`] if `history.len() != lags`.
     pub fn predict_next(&self, history: &[f64], hour_index: usize) -> Result<VehiclesPerHour> {
+        self.predict_next_into(history, hour_index, &mut PredictScratch::new())
+    }
+
+    /// [`predict_next`] with caller-owned scratch: once the scratch is
+    /// warm, repeated calls allocate nothing. Bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `history.len() != lags`.
+    ///
+    /// [`predict_next`]: SaePredictor::predict_next
+    pub fn predict_next_into(
+        &self,
+        history: &[f64],
+        hour_index: usize,
+        scratch: &mut PredictScratch,
+    ) -> Result<VehiclesPerHour> {
         if history.len() != self.lags {
             return Err(Error::invalid_input(format!(
                 "history must contain exactly {} hours, got {}",
@@ -138,8 +186,11 @@ impl SaePredictor {
                 history.len()
             )));
         }
-        let x = features(history, hour_index, self.scale);
-        let y = decode(self.sae.predict(&x)[0], self.scale);
+        features_into(history, hour_index, self.scale, &mut scratch.features);
+        let out = self
+            .sae
+            .predict_into(&scratch.features, &mut scratch.inference);
+        let y = decode(out[0], self.scale);
         Ok(VehiclesPerHour::new(y.max(0.0)))
     }
 
@@ -156,9 +207,10 @@ impl SaePredictor {
         // Monday 00:00, so week alignment is preserved by using the test
         // feed's own indexing.
         let mut window: Vec<f64> = self.history_tail.clone();
+        let mut scratch = PredictScratch::new();
         let mut predictions = Vec::with_capacity(test.len());
         for (t, &actual) in test.samples().iter().enumerate() {
-            let p = self.predict_next(&window, t)?;
+            let p = self.predict_next_into(&window, t, &mut scratch)?;
             predictions.push(p.value());
             window.rotate_left(1);
             let last = window.len() - 1;
@@ -195,23 +247,33 @@ impl SaePredictor {
     }
 }
 
+/// Extra calendar features appended after the lag window.
+pub(crate) const CALENDAR_FEATURES: usize = 9;
+
 /// Normalized log-volume encoding.
-fn encode(volume: f64, scale: f64) -> f64 {
+pub(crate) fn encode(volume: f64, scale: f64) -> f64 {
     (1.0 + volume.max(0.0)).ln() / scale
 }
 
 /// Inverse of [`encode`].
-fn decode(y: f64, scale: f64) -> f64 {
+pub(crate) fn decode(y: f64, scale: f64) -> f64 {
     (y * scale).exp() - 1.0
 }
 
 /// Builds the feature vector: normalized log lags + calendar encodings.
+fn features(lags: &[f64], hour_index: usize, scale: f64) -> Vec<f64> {
+    let mut x = Vec::with_capacity(lags.len() + CALENDAR_FEATURES);
+    features_into(lags, hour_index, scale, &mut x);
+    x
+}
+
+/// [`features`] into a caller buffer (cleared first; reuses its capacity).
 ///
 /// Hour-of-day uses three sinusoidal harmonics (the daily profile has sharp
 /// commuter peaks that a single harmonic cannot express), day-of-week uses
 /// one harmonic plus an explicit weekend flag.
-fn features(lags: &[f64], hour_index: usize, scale: f64) -> Vec<f64> {
-    let mut x = Vec::with_capacity(lags.len() + 9);
+pub(crate) fn features_into(lags: &[f64], hour_index: usize, scale: f64, x: &mut Vec<f64>) {
+    x.clear();
     x.extend(lags.iter().map(|&v| encode(v, scale)));
     let hod = HourlyVolume::hour_of_day(hour_index) as f64 / HOURS_PER_DAY as f64;
     let dow = HourlyVolume::day_of_week(hour_index);
@@ -222,7 +284,6 @@ fn features(lags: &[f64], hour_index: usize, scale: f64) -> Vec<f64> {
     x.push((std::f64::consts::TAU * dow as f64 / 7.0).sin());
     x.push((std::f64::consts::TAU * dow as f64 / 7.0).cos());
     x.push(if dow >= 5 { 1.0 } else { 0.0 });
-    x
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //!    layer, and fine-tune the whole network on the supervised target with
 //!    backpropagation.
 
+use crate::arena::{BatchScratch, InferenceScratch, TrainArena, TrainMetrics};
 use crate::nn::{Activation, Dense, Network, SgdConfig};
 use serde::{Deserialize, Serialize};
 use velopt_common::rng::SplitMix64;
@@ -38,11 +39,13 @@ impl Default for SaeConfig {
                 epochs: 20,
                 learning_rate: 0.05,
                 momentum: 0.9,
+                ..SgdConfig::default()
             },
             finetune: SgdConfig {
                 epochs: 200,
                 learning_rate: 0.05,
                 momentum: 0.9,
+                ..SgdConfig::default()
             },
             seed: 0x5AE,
         }
@@ -78,6 +81,9 @@ pub struct Sae {
     network: Network,
     pretrain_losses: Vec<f64>,
     finetune_loss: f64,
+    /// Aggregated over every pretraining stage plus the fine-tune.
+    #[serde(default)]
+    metrics: TrainMetrics,
 }
 
 impl Sae {
@@ -102,12 +108,17 @@ impl Sae {
         }
 
         let mut rng = SplitMix64::new(cfg.seed);
+        let mut arena = TrainArena::new();
+        let mut batch_scratch = BatchScratch::new();
+        let mut metrics = TrainMetrics::default();
         let mut encoders: Vec<Dense> = Vec::with_capacity(cfg.hidden_layers.len());
         let mut pretrain_losses = Vec::with_capacity(cfg.hidden_layers.len());
 
-        // Greedy layer-wise pretraining.
+        // Greedy layer-wise pretraining. The arena is shared across every
+        // stage and the fine-tune, so only shape changes reallocate.
         let mut representation: Vec<Vec<f64>> = inputs.iter().map(|x| x.to_vec()).collect();
         let mut cur_dim = in_dim;
+        let mut flat: Vec<f64> = Vec::new();
         for &hidden in &cfg.hidden_layers {
             if hidden == 0 {
                 return Err(Error::invalid_input("hidden layer size must be positive"));
@@ -117,13 +128,25 @@ impl Sae {
                 Dense::random(hidden, cur_dim, Activation::Linear, &mut rng),
             ]);
             let refs: Vec<&[f64]> = representation.iter().map(|r| r.as_slice()).collect();
-            let loss = auto.train(&refs, &refs, &cfg.pretrain, &mut rng)?;
+            let (loss, stage) =
+                auto.train_with(&refs, &refs, &cfg.pretrain, &mut rng, &mut arena)?;
+            metrics.absorb(&stage);
             pretrain_losses.push(loss);
             let mut layers = auto.into_layers();
             let decoder = layers.pop().expect("autoencoder has two layers");
             drop(decoder);
             let encoder = layers.pop().expect("autoencoder has two layers");
-            representation = representation.iter().map(|r| encoder.forward(r)).collect();
+            // Re-encode the representation for the next stage in one
+            // batched forward (bit-identical to per-row scalar forwards).
+            flat.clear();
+            for r in &representation {
+                flat.extend_from_slice(r);
+            }
+            let enc_net = Network::new(vec![encoder]);
+            let encoded =
+                enc_net.forward_batch_into(&flat, representation.len(), &mut batch_scratch);
+            representation = encoded.chunks(hidden).map(|c| c.to_vec()).collect();
+            let encoder = enc_net.into_layers().pop().expect("one encoder layer");
             encoders.push(encoder);
             cur_dim = hidden;
         }
@@ -137,18 +160,56 @@ impl Sae {
             &mut rng,
         ));
         let mut network = Network::new(layers);
-        let finetune_loss = network.train(inputs, targets, &cfg.finetune, &mut rng)?;
+        let (finetune_loss, stage) =
+            network.train_with(inputs, targets, &cfg.finetune, &mut rng, &mut arena)?;
+        metrics.absorb(&stage);
+        metrics.gemm_flops += batch_scratch.flops();
 
         Ok(Self {
             network,
             pretrain_losses,
             finetune_loss,
+            metrics,
         })
     }
 
     /// Runs the regressor on one input.
     pub fn predict(&self, x: &[f64]) -> Vec<f64> {
         self.network.forward(x)
+    }
+
+    /// Runs the regressor on one input using caller scratch; allocates
+    /// nothing once the scratch is warm. Bit-identical to [`predict`].
+    ///
+    /// [`predict`]: Sae::predict
+    pub fn predict_into<'s>(&self, x: &[f64], scratch: &'s mut InferenceScratch) -> &'s [f64] {
+        self.network.forward_into(x, scratch)
+    }
+
+    /// Runs the regressor on a batch of inputs through the gemm kernels.
+    /// Each output row is bit-identical to [`predict`] on that row.
+    ///
+    /// [`predict`]: Sae::predict
+    pub fn predict_batch(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        self.network.forward_batch(xs)
+    }
+
+    /// Batched prediction over `batch` flat row-major samples into caller
+    /// scratch; allocation-free in steady state. Returns the
+    /// `batch × out_dim` output plane.
+    pub fn predict_batch_into<'s>(
+        &self,
+        xs: &[f64],
+        batch: usize,
+        scratch: &'s mut BatchScratch,
+    ) -> &'s [f64] {
+        self.network.forward_batch_into(xs, batch, scratch)
+    }
+
+    /// Work counters and phase timings aggregated over the whole training
+    /// recipe (every pretraining stage plus the fine-tune).
+    pub fn metrics(&self) -> &TrainMetrics {
+        &self.metrics
     }
 
     /// Reconstruction MSE of each pretraining stage.
@@ -228,6 +289,7 @@ mod tests {
                 epochs: 150,
                 learning_rate: 0.05,
                 momentum: 0.9,
+                ..SgdConfig::default()
             },
             ..SaeConfig::default()
         };

@@ -1,0 +1,347 @@
+//! Batched multi-horizon volume forecasting.
+//!
+//! The replanning loop of §II-C needs the arrival rate at *every*
+//! lookahead horizon for every intersection still ahead of the vehicle —
+//! and the cloud service needs the same answer for many vehicles at once.
+//! [`VolumePredictor`] answers those queries in one batched pass per
+//! horizon step: at each step it assembles the feature rows for all N
+//! queries and pushes them through the SAE's gemm-backed
+//! [`Sae::predict_batch_into`] in a single call, then feeds each
+//! prediction back into its query's lag window (recursive rollout).
+//!
+//! With a caller-owned [`VolumeScratch`] the whole rollout is
+//! allocation-free in steady state, and each predicted value is
+//! bit-identical to what [`SaePredictor::predict_next`] would produce by
+//! rolling one query at a time.
+//!
+//! [`Sae::predict_batch_into`]: crate::Sae::predict_batch_into
+
+use crate::arena::BatchScratch;
+use crate::predictor::{
+    decode, features_into, SaePredictor, SaePredictorConfig, CALENDAR_FEATURES,
+};
+use crate::volume::HourlyVolume;
+use serde::{Deserialize, Serialize};
+use velopt_common::units::VehiclesPerHour;
+use velopt_common::{Error, Result};
+
+/// One forecasting request: a lag window of raw hourly volumes and the
+/// global hour index of the *first* hour to predict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolumeQuery {
+    /// The `lags` most recent hourly volumes, oldest first.
+    pub history: Vec<f64>,
+    /// Global hour index (hour 0 = Monday 00:00) of the first forecast
+    /// hour; step `s` of the rollout predicts hour `hour_index + s`.
+    pub hour_index: usize,
+}
+
+/// Reusable scratch for [`VolumePredictor::predict_batch_with`].
+///
+/// Holds the rolling lag windows, the flat feature plane, and the SAE's
+/// [`BatchScratch`]; once warm (same predictor, query count no larger
+/// than the high-water mark), a rollout allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct VolumeScratch {
+    /// Flat `n × lags` rolling windows, one row per query.
+    windows: Vec<f64>,
+    /// Flat `n × (lags + calendar)` feature rows for one horizon step.
+    feats: Vec<f64>,
+    /// One query's feature row (reused; `features_into` clears it).
+    feat_tmp: Vec<f64>,
+    /// The batched-forward scratch shared across steps.
+    batch: BatchScratch,
+}
+
+impl VolumeScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batched-forward geometries served without allocating.
+    pub fn reuse_hits(&self) -> u64 {
+        self.batch.reuse_hits()
+    }
+
+    /// Batched-forward geometries that required fresh allocations.
+    pub fn allocations(&self) -> u64 {
+        self.batch.allocations()
+    }
+
+    /// Multiply-add FLOPs accumulated across all rollouts.
+    pub fn flops(&self) -> u64 {
+        self.batch.flops()
+    }
+}
+
+/// Batched multi-horizon arrival-rate forecaster over a trained
+/// [`SaePredictor`].
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_traffic::{
+///     SaePredictorConfig, VolumeGenerator, VolumePredictor, VolumeQuery,
+/// };
+///
+/// let feed = VolumeGenerator::us25_station(42).generate_weeks(14)?;
+/// let vp = VolumePredictor::train(&feed, &SaePredictorConfig::default())?;
+/// let lags = vp.predictor().lags();
+/// let queries = vec![VolumeQuery {
+///     history: feed.samples()[feed.len() - lags..].to_vec(),
+///     hour_index: feed.len(),
+/// }];
+/// // Volumes for the next 4 hours at this intersection.
+/// let forecast = vp.predict_batch(&queries, 4)?;
+/// assert_eq!(forecast[0].len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VolumePredictor {
+    predictor: SaePredictor,
+}
+
+impl VolumePredictor {
+    /// Wraps an already-trained predictor.
+    pub fn new(predictor: SaePredictor) -> Self {
+        Self { predictor }
+    }
+
+    /// Trains the underlying [`SaePredictor`] on a feed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SaePredictor::train`] failures.
+    pub fn train(feed: &HourlyVolume, cfg: &SaePredictorConfig) -> Result<Self> {
+        Ok(Self::new(SaePredictor::train(feed, cfg)?))
+    }
+
+    /// The wrapped single-query predictor.
+    pub fn predictor(&self) -> &SaePredictor {
+        &self.predictor
+    }
+
+    /// Forecasts `horizons` consecutive hours for every query:
+    /// `result[q][s]` is the predicted volume at `queries[q].hour_index + s`.
+    ///
+    /// Convenience wrapper over [`predict_batch_with`] that allocates its
+    /// own scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any query's history length does
+    /// not equal the predictor's lag count.
+    ///
+    /// [`predict_batch_with`]: VolumePredictor::predict_batch_with
+    pub fn predict_batch(
+        &self,
+        queries: &[VolumeQuery],
+        horizons: usize,
+    ) -> Result<Vec<Vec<VehiclesPerHour>>> {
+        let mut scratch = VolumeScratch::new();
+        let mut flat = Vec::new();
+        self.predict_batch_with(queries, horizons, &mut scratch, &mut flat)?;
+        if horizons == 0 {
+            return Ok(vec![Vec::new(); queries.len()]);
+        }
+        Ok(flat
+            .chunks(horizons)
+            .map(|row| row.iter().copied().map(VehiclesPerHour::new).collect())
+            .collect())
+    }
+
+    /// [`predict_batch`] into caller-owned scratch and output: `out` is
+    /// cleared and filled with `queries.len() × horizons` volumes in
+    /// query-major order (`out[q * horizons + s]`). Once the scratch and
+    /// `out` are warm, the rollout performs no allocations.
+    ///
+    /// Each horizon step runs *one* batched gemm forward over all
+    /// queries; predictions are clamped at zero and fed back into the lag
+    /// windows, so every value is bit-identical to a per-query
+    /// [`SaePredictor::predict_next`] rollout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any query's history length does
+    /// not equal the predictor's lag count.
+    ///
+    /// [`predict_batch`]: VolumePredictor::predict_batch
+    pub fn predict_batch_with(
+        &self,
+        queries: &[VolumeQuery],
+        horizons: usize,
+        scratch: &mut VolumeScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let lags = self.predictor.lags();
+        let n = queries.len();
+        for (q, query) in queries.iter().enumerate() {
+            if query.history.len() != lags {
+                return Err(Error::invalid_input(format!(
+                    "query {q}: history must contain exactly {lags} hours, got {}",
+                    query.history.len()
+                )));
+            }
+        }
+        out.clear();
+        if n == 0 || horizons == 0 {
+            return Ok(());
+        }
+        out.resize(n * horizons, 0.0);
+
+        scratch.windows.clear();
+        for query in queries {
+            scratch.windows.extend_from_slice(&query.history);
+        }
+        let feat_dim = lags + CALENDAR_FEATURES;
+        scratch.feats.clear();
+        scratch.feats.resize(n * feat_dim, 0.0);
+
+        let scale = self.predictor.scale();
+        for step in 0..horizons {
+            for (q, query) in queries.iter().enumerate() {
+                let window = &scratch.windows[q * lags..(q + 1) * lags];
+                features_into(
+                    window,
+                    query.hour_index + step,
+                    scale,
+                    &mut scratch.feat_tmp,
+                );
+                scratch.feats[q * feat_dim..(q + 1) * feat_dim].copy_from_slice(&scratch.feat_tmp);
+            }
+            let plane =
+                self.predictor
+                    .sae()
+                    .predict_batch_into(&scratch.feats, n, &mut scratch.batch);
+            for q in 0..n {
+                let volume = decode(plane[q], scale).max(0.0);
+                out[q * horizons + step] = volume;
+                let window = &mut scratch.windows[q * lags..(q + 1) * lags];
+                window.rotate_left(1);
+                window[lags - 1] = volume;
+            }
+        }
+        telemetry::add("traffic.predict.batch_calls", 1);
+        telemetry::add("traffic.predict.queries", n as u64);
+        telemetry::add("traffic.predict.values", (n * horizons) as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sae::SaeConfig;
+    use crate::volume::VolumeGenerator;
+
+    fn quick_predictor(seed: u64) -> (VolumePredictor, HourlyVolume) {
+        let feed = VolumeGenerator::us25_station(seed)
+            .generate_weeks(2)
+            .unwrap();
+        let cfg = SaePredictorConfig {
+            lags: 12,
+            sae: SaeConfig {
+                hidden_layers: vec![8],
+                ..SaeConfig::default()
+            },
+        };
+        (VolumePredictor::train(&feed, &cfg).unwrap(), feed)
+    }
+
+    fn tail_query(feed: &HourlyVolume, lags: usize) -> VolumeQuery {
+        VolumeQuery {
+            history: feed.samples()[feed.len() - lags..].to_vec(),
+            hour_index: feed.len(),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_history_length() {
+        let (vp, _) = quick_predictor(5);
+        let bad = VolumeQuery {
+            history: vec![10.0; 3],
+            hour_index: 0,
+        };
+        assert!(vp.predict_batch(&[bad], 2).is_err());
+    }
+
+    #[test]
+    fn empty_queries_and_zero_horizons_yield_empty_output() {
+        let (vp, feed) = quick_predictor(6);
+        let lags = vp.predictor().lags();
+        assert!(vp.predict_batch(&[], 3).unwrap().is_empty());
+        let q = tail_query(&feed, lags);
+        let rows = vp.predict_batch(&[q], 0).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].is_empty());
+    }
+
+    #[test]
+    fn batched_rollout_matches_sequential_predict_next_bitwise() {
+        let (vp, feed) = quick_predictor(7);
+        let lags = vp.predictor().lags();
+        let queries = vec![
+            tail_query(&feed, lags),
+            VolumeQuery {
+                history: feed.samples()[..lags].to_vec(),
+                hour_index: lags,
+            },
+            VolumeQuery {
+                history: feed.samples()[40..40 + lags].to_vec(),
+                hour_index: 40 + lags,
+            },
+        ];
+        let horizons = 5;
+        let batched = vp.predict_batch(&queries, horizons).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            let mut window = query.history.clone();
+            for (s, predicted) in batched[q].iter().enumerate() {
+                let single = vp
+                    .predictor()
+                    .predict_next(&window, query.hour_index + s)
+                    .unwrap();
+                assert_eq!(
+                    predicted.value().to_bits(),
+                    single.value().to_bits(),
+                    "query {q} step {s}"
+                );
+                window.rotate_left(1);
+                let last = window.len() - 1;
+                window[last] = single.value();
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_rollouts_are_allocation_free_in_steady_state() {
+        let (vp, feed) = quick_predictor(8);
+        let lags = vp.predictor().lags();
+        let queries: Vec<VolumeQuery> = (0..4)
+            .map(|i| VolumeQuery {
+                history: feed.samples()[i * 7..i * 7 + lags].to_vec(),
+                hour_index: i * 7 + lags,
+            })
+            .collect();
+        let mut scratch = VolumeScratch::new();
+        let mut out = Vec::new();
+        vp.predict_batch_with(&queries, 6, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 24);
+        let warm_allocs = scratch.allocations();
+        assert!(scratch.flops() > 0);
+        for _ in 0..10 {
+            vp.predict_batch_with(&queries, 6, &mut scratch, &mut out)
+                .unwrap();
+        }
+        assert_eq!(
+            scratch.allocations(),
+            warm_allocs,
+            "steady-state rollouts must not allocate batch scratch"
+        );
+        assert!(scratch.reuse_hits() >= 60);
+        assert!(out.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}
