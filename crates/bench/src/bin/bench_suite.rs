@@ -11,7 +11,8 @@
 //!     median by strictly more than T (default 0.15 = +15%), or when its
 //!     deterministic work counters (states expanded per iteration, energy
 //!     evaluations, gemm FLOPs and scratch allocations per iteration)
-//!     exceed the baseline's by more than T.
+//!     exceed the baseline's by more than T, or when the cloud serving
+//!     scenario's steady-state buffer reuse falls below the 90% floor.
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
@@ -105,7 +106,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             std::fs::write(&args.out, report.to_json())
                 .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
             for s in &report.scenarios {
-                if s.gemm_flops > 0 {
+                if s.buf_reuse + s.buf_alloc > 0 {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p95 {:>9.4}s  p99 {:>9.4}s  \
+                         buf reuse {:>5.1}%  encode skipped {:>6}",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p95,
+                        s.wall_seconds.p99,
+                        s.buffer_reuse_rate() * 100.0,
+                        s.plan_encode_skipped,
+                    );
+                } else if s.gemm_flops > 0 {
                     eprintln!(
                         "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  flops {:>12}  \
                          reuse {:>6}  allocs {:>5}",

@@ -12,11 +12,19 @@
 //!   carrying the trip request — corridor geometry, departure time,
 //!   per-light arrival rates, queue parameters — and the optimized profile
 //!   back,
-//! * [`CloudServer`] — a TCP service with a crossbeam worker pool: an
-//!   acceptor thread queues connections, N workers run the DP, and a
-//!   request-keyed **plan cache** (identical trips are common: every EV
-//!   entering the corridor in the same signal cycle with the same demand
-//!   gets the same plan) short-circuits repeated optimizations,
+//! * [`CloudServer`] — an event-driven TCP service: an acceptor deals
+//!   connections round-robin to N epoll-backed **reactor shards** (see
+//!   DESIGN.md §11), each owning a slab of nonblocking per-connection
+//!   state machines that assemble length-prefixed frames incrementally;
+//!   decoded requests run on a separate compute-worker pool and the
+//!   encoded responses flow back to the owning shard through an eventfd
+//!   wake pipe. Responses are encoded once into pooled buffers
+//!   (zero-copy framing), and a request-keyed **plan cache** (identical
+//!   trips are common: every EV entering the corridor in the same signal
+//!   cycle with the same demand gets the same plan) stores the encoded
+//!   frame too, so repeat trips skip both the solve *and* the encode.
+//!   Concurrency scales with file descriptors, not threads; tune it with
+//!   [`ServerConfig`],
 //! * [`CloudClient`] — the in-vehicle side: connect, upload the trip,
 //!   receive the profile.
 //!
@@ -44,10 +52,11 @@
 
 mod client;
 pub mod protocol;
+mod reactor;
 mod server;
 
 pub use client::CloudClient;
 pub use protocol::{
     CloudResponse, PredictBatchRequest, PredictBatchResponse, PredictQuery, TripRequest,
 };
-pub use server::{CloudServer, ServerStats};
+pub use server::{CloudServer, ServerConfig, ServerStats};

@@ -279,12 +279,19 @@ impl BatchPlanResponse {
     /// Encodes the batch-response payload.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the batch-response payload into an existing buffer (the
+    /// reactor's pooled-buffer path; same bytes as [`Self::encode`]).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u32(self.results.len() as u32);
         for result in &self.results {
             match result {
                 Ok(profile) => {
                     buf.put_u8(1);
-                    encode_profile(profile, &mut buf);
+                    encode_profile(profile, buf);
                 }
                 Err(message) => {
                     buf.put_u8(0);
@@ -294,7 +301,6 @@ impl BatchPlanResponse {
                 }
             }
         }
-        buf.freeze()
     }
 
     /// Decodes a batch-response payload.
@@ -468,6 +474,13 @@ impl PredictBatchResponse {
     /// Encodes the response payload.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the response payload into an existing buffer (the reactor's
+    /// pooled-buffer path; same bytes as [`Self::encode`]).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.put_u32(self.volumes.len() as u32);
         let horizons = self.volumes.first().map_or(0, Vec::len);
         buf.put_u32(horizons as u32);
@@ -476,7 +489,6 @@ impl PredictBatchResponse {
                 buf.put_f64(v);
             }
         }
-        buf.freeze()
     }
 
     /// Decodes a response payload.
@@ -500,6 +512,20 @@ impl PredictBatchResponse {
         }
         Ok(Self { volumes })
     }
+}
+
+/// Encodes one complete frame (length prefix, tag, payload) in place at the
+/// end of `buf` — the reactor's zero-copy path. `fill` writes the payload
+/// directly into `buf` and the 4-byte big-endian length is patched in
+/// afterwards, so no intermediate payload buffer is allocated or copied.
+/// The bytes produced are identical to [`write_frame`]'s.
+pub fn encode_frame_into(buf: &mut BytesMut, tag: u8, fill: impl FnOnce(&mut BytesMut)) {
+    let header_at = buf.len();
+    buf.put_u32(0); // length placeholder, patched below
+    buf.put_u8(tag);
+    fill(buf);
+    let frame_len = (buf.len() - header_at - 4) as u32;
+    buf[header_at..header_at + 4].copy_from_slice(&frame_len.to_be_bytes());
 }
 
 /// Writes one frame (`type` + payload) to a blocking writer.
@@ -729,6 +755,29 @@ mod tests {
         assert_eq!(&payload[..], &[1, 2, 3]);
         // Clean EOF at the frame boundary -> None.
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn encode_frame_into_matches_write_frame() {
+        // Same bytes as the blocking writer, for an empty and a non-empty
+        // payload, and appending after existing content patches the right
+        // length slot.
+        for payload in [&[][..], &[9u8, 8, 7, 6, 5][..]] {
+            let mut blocking = Vec::new();
+            write_frame(&mut blocking, tags::RESP_ERROR, payload).unwrap();
+            let mut reactor = BytesMut::new();
+            encode_frame_into(&mut reactor, tags::RESP_ERROR, |b| {
+                b.extend_from_slice(payload)
+            });
+            assert_eq!(&reactor[..], &blocking[..]);
+        }
+        let mut buf = BytesMut::new();
+        encode_frame_into(&mut buf, tags::RESP_STATS, |b| b.put_u64(1));
+        encode_frame_into(&mut buf, tags::RESP_ERROR, |b| b.extend_from_slice(b"x"));
+        let mut expected = Vec::new();
+        write_frame(&mut expected, tags::RESP_STATS, &1u64.to_be_bytes()).unwrap();
+        write_frame(&mut expected, tags::RESP_ERROR, b"x").unwrap();
+        assert_eq!(&buf[..], &expected[..]);
     }
 
     #[test]

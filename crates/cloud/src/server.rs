@@ -1,14 +1,22 @@
-//! The cloud service: acceptor + crossbeam worker pool + plan cache.
+//! The cloud service: sharded nonblocking reactor + compute pool + caches.
+//!
+//! I/O runs on N reactor shards (epoll, nonblocking sockets, per-connection
+//! state machines — see [`crate::reactor`] and DESIGN.md §11); DP solves and
+//! SAE predictions run on a separate compute worker pool. Concurrency
+//! scales with file descriptors, not threads: thousands of idle connections
+//! cost nothing, and `compute_workers` bounds CPU-bound work only.
 
 use crate::protocol::{
-    encode_profile, tags, write_frame, BatchPlanRequest, BatchPlanResponse, PredictBatchRequest,
-    PredictBatchResponse, TripRequest,
+    encode_frame_into, encode_profile, tags, BatchPlanRequest, BatchPlanResponse,
+    PredictBatchRequest, PredictBatchResponse, TripRequest,
 };
-use bytes::BytesMut;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::reactor::{Acceptor, BufferPool, FrameBuf, Job, Shard, ShardHandle, ShardMsg};
+use bytes::{BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::RwLock;
+use polling::{Poller, Waker};
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -49,6 +57,8 @@ pub struct ServerStats {
     solver_states_expanded: AtomicU64,
     solver_states_pruned: AtomicU64,
     connections: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicU64,
     frames_trip: AtomicU64,
     frames_stats: AtomicU64,
     frames_telemetry: AtomicU64,
@@ -58,6 +68,9 @@ pub struct ServerStats {
     predictor_cache_hits: AtomicU64,
     predictor_trainings: AtomicU64,
     predictions: AtomicU64,
+    buf_reuse: AtomicU64,
+    buf_alloc: AtomicU64,
+    plan_encode_skipped: AtomicU64,
 }
 
 impl ServerStats {
@@ -77,13 +90,32 @@ impl ServerStats {
         self.batches.load(Ordering::Relaxed)
     }
 
-    /// Connections accepted and handed to a worker so far.
+    /// Connections accepted and admitted to a reactor shard so far.
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// Alias of [`Self::connections`] under the lifecycle-counter naming:
+    /// accepted = admitted; see also [`Self::rejected`] and
+    /// [`Self::active_connections`].
+    pub fn accepted(&self) -> u64 {
+        self.connections()
+    }
+
+    /// Connections refused at the `max_connections` ceiling (each received
+    /// a `RESP_ERROR` frame instead of silently hanging).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently registered with a reactor shard.
+    pub fn active_connections(&self) -> u64 {
+        self.active.load(Ordering::Relaxed)
+    }
+
     /// Error frames sent back so far (rejected trips, malformed batches,
-    /// unknown tags).
+    /// unknown tags). Capacity refusals count under [`Self::rejected`]
+    /// instead.
     pub fn error_responses(&self) -> u64 {
         self.error_responses.load(Ordering::Relaxed)
     }
@@ -116,9 +148,25 @@ impl ServerStats {
         )
     }
 
+    /// Response-buffer pool behavior: `(reuses, allocations)`. Steady state
+    /// should be nearly all reuses; the allocation count is the pool's
+    /// high-water mark plus burst overflow.
+    pub fn buffer_pool(&self) -> (u64, u64) {
+        (
+            self.buf_reuse.load(Ordering::Relaxed),
+            self.buf_alloc.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Plan responses served by cloning the cached frame encoding — repeat
+    /// trips skip `encode_profile` entirely.
+    pub fn plan_encode_skipped(&self) -> u64 {
+        self.plan_encode_skipped.load(Ordering::Relaxed)
+    }
+
     /// Counts one inbound frame by tag, mirrored into the telemetry
     /// registry's `cloud.req.*` counters.
-    fn record_frame(&self, tag: u8) {
+    pub(crate) fn record_frame(&self, tag: u8) {
         match tag {
             tags::REQ_TRIP => {
                 self.frames_trip.fetch_add(1, Ordering::Relaxed);
@@ -154,6 +202,35 @@ impl ServerStats {
         telemetry::add("cloud.resp.error", 1);
     }
 
+    /// One connection admitted past the capacity check.
+    pub(crate) fn record_admitted(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.connections", 1);
+    }
+
+    /// One connection refused at the `max_connections` ceiling.
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.rejected", 1);
+    }
+
+    /// One admitted connection left (closed, errored, or shed at
+    /// shutdown).
+    pub(crate) fn record_disconnect(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_buf_reuse(&self) {
+        self.buf_reuse.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.buf.reuse", 1);
+    }
+
+    pub(crate) fn record_buf_alloc(&self) {
+        self.buf_alloc.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.buf.alloc", 1);
+    }
+
     /// Aggregated [`SolverMetrics`](velopt_core::metrics::SolverMetrics)
     /// counters over every fresh (non-cached) solve: `(states expanded,
     /// states pruned)`. An operator watching these spot a pruning
@@ -173,13 +250,51 @@ impl ServerStats {
     }
 }
 
-type PlanCache = RwLock<HashMap<Vec<u8>, velopt_core::dp::OptimizedProfile>>;
+/// A cached plan: the decoded profile (for batch responses and handler
+/// callers) plus its complete `RESP_PROFILE` frame encoding — header, tag
+/// and payload — so repeat hits are served by cloning the `Bytes` (an `Arc`
+/// bump) instead of re-encoding the profile per request.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    profile: velopt_core::dp::OptimizedProfile,
+    frame: Bytes,
+}
+
+type PlanCache = RwLock<HashMap<Vec<u8>, CachedPlan>>;
 
 /// Trained volume predictors keyed by `(station seed, train weeks, lags)`.
 /// Training an SAE is orders of magnitude more expensive than querying it,
 /// so every connection shares one cache of [`Arc`]ed predictors and the
 /// batched inference path runs on a clone of the handle outside the lock.
 type PredictorCache = RwLock<HashMap<(u64, u32, u32), Arc<VolumePredictor>>>;
+
+/// Tuning knobs for [`CloudServer::spawn_with`]. `..Default::default()`
+/// fills unspecified fields.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Threads running DP solves and SAE predictions (must be ≥ 1).
+    pub compute_workers: usize,
+    /// Reactor shards (epoll instances). `0` = auto: one per available
+    /// core, capped at 4 — I/O shards saturate long before compute.
+    pub shards: usize,
+    /// Hard ceiling on concurrently admitted connections; connection
+    /// number `max_connections + 1` receives a `RESP_ERROR` frame and is
+    /// closed instead of hanging (must be ≥ 1).
+    pub max_connections: usize,
+    /// Response buffers each shard's pool retains for reuse.
+    pub buffer_pool_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            compute_workers: 4,
+            shards: 0,
+            max_connections: 1024,
+            buffer_pool_capacity: 64,
+        }
+    }
+}
 
 /// The vehicular-cloud optimization server.
 ///
@@ -189,67 +304,145 @@ pub struct CloudServer {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
     stop: Arc<AtomicBool>,
+    accept_waker: Arc<Waker>,
+    shard_wakers: Vec<Arc<Waker>>,
     acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl CloudServer {
-    /// Binds an ephemeral localhost port and spawns `workers` optimization
-    /// workers.
+    /// Binds an ephemeral localhost port and spawns `workers` compute
+    /// workers with default reactor settings — shorthand for
+    /// [`Self::spawn_with`].
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidInput`] for zero workers and [`Error::Io`]
     /// if the port cannot be bound.
     pub fn spawn(workers: usize) -> Result<Self> {
-        if workers == 0 {
+        Self::spawn_with(ServerConfig {
+            compute_workers: workers,
+            ..ServerConfig::default()
+        })
+    }
+
+    /// Binds an ephemeral localhost port and spawns the full serving tier:
+    /// acceptor, reactor shards, and compute workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for zero compute workers or a zero
+    /// connection ceiling, and [`Error::Io`] if the port or the epoll/
+    /// eventfd plumbing cannot be set up.
+    pub fn spawn_with(config: ServerConfig) -> Result<Self> {
+        if config.compute_workers == 0 {
             return Err(Error::invalid_input("need at least one worker"));
         }
+        if config.max_connections == 0 {
+            return Err(Error::invalid_input("need max_connections >= 1"));
+        }
+        let shard_count = if config.shards == 0 {
+            velopt_common::par::effective_threads(0).clamp(1, 4)
+        } else {
+            config.shards
+        };
+
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let cache: Arc<PlanCache> = Arc::new(RwLock::new(HashMap::new()));
         let predictors: Arc<PredictorCache> = Arc::new(RwLock::new(HashMap::new()));
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(64);
-        let stop_acceptor = Arc::clone(&stop);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop_acceptor.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                if tx.send(stream).is_err() {
-                    break;
-                }
-            }
-        });
+        // Compute-pool channel: shards produce decoded frames, workers
+        // consume them. Unbounded so a shard thread can never block on
+        // dispatch (per-connection pending caps bound it to
+        // connections × 1 in practice).
+        let (jobs_tx, jobs_rx) = unbounded::<Job>();
 
-        let worker_handles = (0..workers)
+        // Build every shard's plumbing first so any setup error surfaces
+        // before a single thread is spawned.
+        let mut shard_parts = Vec::with_capacity(shard_count);
+        let mut handles = Vec::with_capacity(shard_count);
+        let mut shard_wakers = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let poller = Poller::new()?;
+            let waker = Arc::new(Waker::new()?);
+            crate::reactor::register_waker(&poller, &waker)?;
+            let pool = Arc::new(BufferPool::new(
+                config.buffer_pool_capacity,
+                Arc::clone(&stats),
+            ));
+            let (tx, rx) = unbounded::<ShardMsg>();
+            handles.push(ShardHandle {
+                tx,
+                waker: Arc::clone(&waker),
+                pool: Arc::clone(&pool),
+            });
+            shard_wakers.push(Arc::clone(&waker));
+            shard_parts.push((poller, waker, rx, pool));
+        }
+        let handles = Arc::new(handles);
+
+        let accept_poller = Poller::new()?;
+        let accept_waker = Arc::new(Waker::new()?);
+        crate::reactor::register_waker(&accept_poller, &accept_waker)?;
+        accept_poller.add(listener.as_raw_fd_compat(), 0, polling::Interest::READ)?;
+
+        let shard_threads: Vec<JoinHandle<()>> = shard_parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, (poller, waker, inbox, pool))| {
+                let shard = Shard {
+                    id,
+                    poller,
+                    waker,
+                    inbox,
+                    jobs: jobs_tx.clone(),
+                    pool,
+                    stats: Arc::clone(&stats),
+                    stop: Arc::clone(&stop),
+                };
+                std::thread::spawn(move || shard.run())
+            })
+            .collect();
+        // Shards hold the only job senders now; once they exit, workers
+        // drain the queue and see disconnect.
+        drop(jobs_tx);
+
+        let worker_threads: Vec<JoinHandle<()>> = (0..config.compute_workers)
             .map(|_| {
-                let rx = rx.clone();
+                let jobs = jobs_rx.clone();
+                let handles = Arc::clone(&handles);
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
                 let predictors = Arc::clone(&predictors);
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        let _ = serve_connection(stream, &stats, &cache, &predictors, &stop);
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                    }
-                })
+                std::thread::spawn(move || run_worker(jobs, &handles, &stats, &cache, &predictors))
             })
             .collect();
+
+        let acceptor = Acceptor {
+            listener,
+            poller: accept_poller,
+            waker: Arc::clone(&accept_waker),
+            shards: handles,
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            max_connections: config.max_connections,
+        };
+        let acceptor = std::thread::spawn(move || acceptor.run());
 
         Ok(Self {
             addr,
             stats,
             stop,
+            accept_waker,
+            shard_wakers,
             acceptor: Some(acceptor),
-            workers: worker_handles,
+            shards: shard_threads,
+            workers: worker_threads,
         })
     }
 
@@ -263,16 +456,33 @@ impl CloudServer {
         &self.stats
     }
 
-    /// Stops accepting, drains the workers, and joins every thread.
+    /// Stops accepting, sheds connections, and joins every thread.
+    /// Idempotent: dropping the server after (or instead of) calling this
+    /// performs the same orderly teardown exactly once.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Wake the acceptor's blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.shutdown_impl();
+    }
+
+    /// The single teardown path, shared by [`Self::shutdown`] and `Drop`.
+    /// Wakes every reactor thread through its eventfd (no TCP self-connect
+    /// involved) and joins; a second call finds the handles already taken
+    /// and does nothing.
+    fn shutdown_impl(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already torn down
+        }
+        let _ = self.accept_waker.wake();
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        // The acceptor owned the only Sender; once it exits, workers drain
-        // the channel and see Err on the next recv.
+        for waker in &self.shard_wakers {
+            let _ = waker.wake();
+        }
+        for h in self.shards.drain(..) {
+            let _ = h.join();
+        }
+        // Shard exits dropped the last job senders; workers drain what is
+        // queued and see the disconnect.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -281,152 +491,122 @@ impl CloudServer {
 
 impl Drop for CloudServer {
     fn drop(&mut self) {
-        // Signal but do not block (C-DTOR-BLOCK); `shutdown()` joins.
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        // Safe to block: every thread is parked on epoll/eventfd or the
+        // jobs channel and wakes immediately; there is no lingering
+        // self-connect and no double teardown after `shutdown()`.
+        self.shutdown_impl();
     }
 }
 
-/// Reads one frame with a polling timeout so an idle connection cannot
-/// wedge server shutdown; returns `None` on EOF or a stop request observed
-/// between frames.
-fn read_frame_stoppable(
-    stream: &mut TcpStream,
-    stop: &AtomicBool,
-) -> Result<Option<(u8, bytes::Bytes)>> {
-    use std::io::Read;
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
-        .ok();
-    // Poll for the 4-byte length header; once any byte has arrived, finish
-    // the frame even if a stop lands mid-read (never desync the stream).
-    let mut header = [0u8; 4];
-    let mut filled = 0usize;
-    while filled < 4 {
-        if filled == 0 && stop.load(Ordering::SeqCst) {
-            return Ok(None);
-        }
-        match stream.read(&mut header[filled..]) {
-            Ok(0) => return Ok(None), // EOF
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let len = u32::from_be_bytes(header) as usize;
-    if len == 0 || len > 64 * 1024 * 1024 {
-        return Err(Error::protocol(format!("implausible frame length {len}")));
-    }
-    let mut body = vec![0u8; len];
-    let mut filled = 0usize;
-    while filled < len {
-        match stream.read(&mut body[filled..]) {
-            Ok(0) => return Err(Error::protocol("truncated frame")),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    let mut bytes = bytes::Bytes::from(body);
-    let tag = bytes[0];
-    bytes::Buf::advance(&mut bytes, 1);
-    Ok(Some((tag, bytes)))
+// `TcpListener::as_raw_fd` lives in a platform-specific trait; this tiny
+// shim keeps the single call site readable.
+trait AsRawFdCompat {
+    fn as_raw_fd_compat(&self) -> std::os::fd::RawFd;
 }
 
-/// Handles every request on one connection until the client disconnects or
-/// the server is stopped.
-fn serve_connection(
-    mut stream: TcpStream,
+impl AsRawFdCompat for TcpListener {
+    fn as_raw_fd_compat(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        self.as_raw_fd()
+    }
+}
+
+/// Compute-worker body: take a decoded frame, produce its encoded response
+/// frame, hand it back to the owning shard.
+fn run_worker(
+    jobs: Receiver<Job>,
+    shards: &[ShardHandle],
     stats: &ServerStats,
     cache: &PlanCache,
     predictors: &PredictorCache,
-    stop: &AtomicBool,
-) -> Result<()> {
-    stream.set_nodelay(true).ok();
-    stats.connections.fetch_add(1, Ordering::Relaxed);
-    telemetry::add("cloud.connections", 1);
-    loop {
-        let Some((tag, mut payload)) = read_frame_stoppable(&mut stream, stop)? else {
-            return Ok(()); // client done (or server stopping)
-        };
-        let _request_span = telemetry::span("cloud.request_seconds");
-        stats.record_frame(tag);
-        match tag {
-            tags::REQ_TRIP => {
-                let key = payload.to_vec();
-                match handle_trip(&mut payload, &key, stats, cache) {
-                    Ok(profile) => {
-                        let encode_span = telemetry::span("cloud.encode_seconds");
-                        let mut buf = BytesMut::new();
-                        encode_profile(&profile, &mut buf);
-                        drop(encode_span);
-                        write_frame(&mut stream, tags::RESP_PROFILE, &buf)?;
-                    }
-                    Err(e) => {
-                        stats.record_error_response();
-                        write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
-                    }
-                }
-            }
-            tags::REQ_BATCH => match handle_batch(&mut payload, stats, cache) {
-                Ok(response) => {
-                    let encode_span = telemetry::span("cloud.encode_seconds");
-                    let encoded = response.encode();
-                    drop(encode_span);
-                    write_frame(&mut stream, tags::RESP_BATCH, &encoded)?;
-                }
-                Err(e) => {
-                    stats.record_error_response();
-                    write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
-                }
-            },
-            tags::REQ_PREDICT_BATCH => {
-                match handle_predict_batch(&mut payload, stats, predictors) {
-                    Ok(response) => {
-                        let encode_span = telemetry::span("cloud.encode_seconds");
-                        let encoded = response.encode();
-                        drop(encode_span);
-                        write_frame(&mut stream, tags::RESP_PREDICT_BATCH, &encoded)?;
-                    }
-                    Err(e) => {
-                        stats.record_error_response();
-                        write_frame(&mut stream, tags::RESP_ERROR, e.to_string().as_bytes())?;
-                    }
-                }
-            }
-            tags::REQ_STATS => {
-                let mut buf = BytesMut::new();
-                bytes::BufMut::put_u64(&mut buf, stats.served());
-                bytes::BufMut::put_u64(&mut buf, stats.cache_hits());
-                write_frame(&mut stream, tags::RESP_STATS, &buf)?;
-            }
-            tags::REQ_TELEMETRY => {
-                write_frame(
-                    &mut stream,
-                    tags::RESP_TELEMETRY,
-                    telemetry::snapshot_json().as_bytes(),
-                )?;
-            }
-            other => {
-                stats.record_error_response();
-                write_frame(
-                    &mut stream,
-                    tags::RESP_ERROR,
-                    format!("unknown request tag {other}").as_bytes(),
-                )?;
+) {
+    while let Ok(job) = jobs.recv() {
+        let shard = &shards[job.shard];
+        let request_span = telemetry::span("cloud.request_seconds");
+        let frame = respond(job.tag, job.payload, stats, cache, predictors, &shard.pool);
+        drop(request_span);
+        let delivered = shard
+            .tx
+            .send(ShardMsg::Response {
+                conn: job.conn,
+                gen: job.gen,
+                frame,
+            })
+            .is_ok();
+        if delivered {
+            let _ = shard.waker.wake();
+        }
+        // If the shard is gone (shutdown), the response is dropped with it.
+    }
+}
+
+/// Builds the complete response frame for one request frame. Every path
+/// returns wire-ready bytes — header, tag, payload — bit-identical to what
+/// the old blocking server produced with `write_frame`.
+fn respond(
+    tag: u8,
+    mut payload: Bytes,
+    stats: &ServerStats,
+    cache: &PlanCache,
+    predictors: &PredictorCache,
+    pool: &BufferPool,
+) -> FrameBuf {
+    match tag {
+        tags::REQ_TRIP => {
+            let key = payload.to_vec();
+            match handle_trip(&mut payload, &key, stats, cache) {
+                Ok(plan) => FrameBuf::Shared(plan.frame),
+                Err(e) => error_frame(stats, pool, &e.to_string()),
             }
         }
+        tags::REQ_BATCH => match handle_batch(&mut payload, stats, cache) {
+            Ok(response) => {
+                let mut buf = pool.acquire();
+                let encode_span = telemetry::span("cloud.encode_seconds");
+                encode_frame_into(&mut buf, tags::RESP_BATCH, |b| response.encode_into(b));
+                drop(encode_span);
+                FrameBuf::Pooled(buf)
+            }
+            Err(e) => error_frame(stats, pool, &e.to_string()),
+        },
+        tags::REQ_PREDICT_BATCH => match handle_predict_batch(&mut payload, stats, predictors) {
+            Ok(response) => {
+                let mut buf = pool.acquire();
+                let encode_span = telemetry::span("cloud.encode_seconds");
+                encode_frame_into(&mut buf, tags::RESP_PREDICT_BATCH, |b| {
+                    response.encode_into(b)
+                });
+                drop(encode_span);
+                FrameBuf::Pooled(buf)
+            }
+            Err(e) => error_frame(stats, pool, &e.to_string()),
+        },
+        tags::REQ_STATS => {
+            let mut buf = pool.acquire();
+            encode_frame_into(&mut buf, tags::RESP_STATS, |b| {
+                b.put_u64(stats.served());
+                b.put_u64(stats.cache_hits());
+            });
+            FrameBuf::Pooled(buf)
+        }
+        tags::REQ_TELEMETRY => {
+            let mut buf = pool.acquire();
+            encode_frame_into(&mut buf, tags::RESP_TELEMETRY, |b| {
+                b.extend_from_slice(telemetry::snapshot_json().as_bytes())
+            });
+            FrameBuf::Pooled(buf)
+        }
+        other => error_frame(stats, pool, &format!("unknown request tag {other}")),
     }
+}
+
+fn error_frame(stats: &ServerStats, pool: &BufferPool, message: &str) -> FrameBuf {
+    stats.record_error_response();
+    let mut buf = pool.acquire();
+    encode_frame_into(&mut buf, tags::RESP_ERROR, |b| {
+        b.extend_from_slice(message.as_bytes())
+    });
+    FrameBuf::Pooled(buf)
 }
 
 /// The optimizer every connection plans with: the same physically-grounded
@@ -452,15 +632,26 @@ fn trip_constraints(trip: &TripRequest, config: &DpConfig) -> Result<Vec<SignalC
     }
 }
 
+/// Encodes a profile's complete `RESP_PROFILE` frame once, for the cache.
+fn plan_frame(profile: &velopt_core::dp::OptimizedProfile) -> Bytes {
+    let encode_span = telemetry::span("cloud.encode_seconds");
+    let mut buf = BytesMut::new();
+    encode_frame_into(&mut buf, tags::RESP_PROFILE, |b| encode_profile(profile, b));
+    drop(encode_span);
+    buf.freeze()
+}
+
 fn handle_trip(
-    payload: &mut bytes::Bytes,
+    payload: &mut Bytes,
     key: &[u8],
     stats: &ServerStats,
     cache: &PlanCache,
-) -> Result<velopt_core::dp::OptimizedProfile> {
+) -> Result<CachedPlan> {
     if let Some(hit) = cache.read().get(key) {
         stats.served.fetch_add(1, Ordering::Relaxed);
         stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        stats.plan_encode_skipped.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.plan.encode_skipped", 1);
         return Ok(hit.clone());
     }
     let decode_span = telemetry::span("cloud.decode_seconds");
@@ -479,9 +670,13 @@ fn handle_trip(
     )?;
     drop(plan_span);
     stats.record_solve(&profile.metrics);
-    cache.write().insert(key.to_vec(), profile.clone());
+    let plan = CachedPlan {
+        frame: plan_frame(&profile),
+        profile,
+    };
+    cache.write().insert(key.to_vec(), plan.clone());
     stats.served.fetch_add(1, Ordering::Relaxed);
-    Ok(profile)
+    Ok(plan)
 }
 
 /// Plans a whole batch in one go: cached trips are answered immediately,
@@ -489,7 +684,7 @@ fn handle_trip(
 /// [`DpOptimizer::optimize_batch`], and per-trip failures come back as
 /// error entries in request order (they never sink the batch).
 fn handle_batch(
-    payload: &mut bytes::Bytes,
+    payload: &mut Bytes,
     stats: &ServerStats,
     cache: &PlanCache,
 ) -> Result<BatchPlanResponse> {
@@ -509,7 +704,7 @@ fn handle_batch(
         for (i, key) in keys.iter().enumerate() {
             if let Some(hit) = cache.get(key) {
                 stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                results[i] = Some(Ok(hit.clone()));
+                results[i] = Some(Ok(hit.profile.clone()));
             }
         }
     }
@@ -546,7 +741,16 @@ fn handle_batch(
         match planned {
             Ok(profile) => {
                 stats.record_solve(&profile.metrics);
-                cache.write().insert(keys[*i].clone(), profile.clone());
+                // Fresh batch members join the plan cache with their frame
+                // encoding, so a later single REQ_TRIP for the same trip is
+                // a zero-encode hit.
+                cache.write().insert(
+                    keys[*i].clone(),
+                    CachedPlan {
+                        frame: plan_frame(&profile),
+                        profile: profile.clone(),
+                    },
+                );
                 results[*i] = Some(Ok(profile));
             }
             Err(e) => results[*i] = Some(Err(e.to_string())),
@@ -589,7 +793,7 @@ fn service_predictor_config(lags: usize) -> SaePredictorConfig {
 /// lock on a cloned [`Arc`], so a slow training never blocks forecasts
 /// against already-warm predictors.
 fn handle_predict_batch(
-    payload: &mut bytes::Bytes,
+    payload: &mut Bytes,
     stats: &ServerStats,
     predictors: &PredictorCache,
 ) -> Result<PredictBatchResponse> {
@@ -652,8 +856,9 @@ fn handle_predict_batch(
     Ok(PredictBatchResponse { volumes })
 }
 
-// Integration-style tests live with the client (`client.rs`) so they
-// exercise the full wire path; protocol unit tests live in `protocol.rs`.
+// Integration-style tests live with the client (`client.rs`) and in
+// `tests/` so they exercise the full wire path; protocol unit tests live in
+// `protocol.rs`.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +866,16 @@ mod tests {
     #[test]
     fn zero_workers_rejected() {
         assert!(CloudServer::spawn(0).is_err());
+        assert!(CloudServer::spawn_with(ServerConfig {
+            compute_workers: 0,
+            ..ServerConfig::default()
+        })
+        .is_err());
+        assert!(CloudServer::spawn_with(ServerConfig {
+            max_connections: 0,
+            ..ServerConfig::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -668,7 +883,19 @@ mod tests {
         let server = CloudServer::spawn(1).unwrap();
         assert_eq!(server.stats().served(), 0);
         assert_eq!(server.stats().cache_hits(), 0);
+        assert_eq!(server.stats().accepted(), 0);
+        assert_eq!(server.stats().rejected(), 0);
+        assert_eq!(server.stats().active_connections(), 0);
+        assert_eq!(server.stats().plan_encode_skipped(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_drop_is_idempotent() {
+        let server = CloudServer::spawn(1).unwrap();
+        server.shutdown(); // consumes; Drop runs right after and must no-op
+        let server = CloudServer::spawn(1).unwrap();
+        drop(server); // never explicitly shut down; Drop joins cleanly
     }
 
     #[test]
@@ -683,15 +910,35 @@ mod tests {
         let first = handle_trip(&mut payload, &key, &stats, &cache).unwrap();
         assert_eq!(stats.served(), 1);
         assert_eq!(stats.cache_hits(), 0);
+        assert_eq!(stats.plan_encode_skipped(), 0);
 
         let mut payload = encoded.clone();
         let second = handle_trip(&mut payload, &key, &stats, &cache).unwrap();
         assert_eq!(stats.served(), 2);
         assert_eq!(stats.cache_hits(), 1);
-        assert_eq!(first, second);
+        assert_eq!(stats.plan_encode_skipped(), 1);
+        assert_eq!(first.profile, second.profile);
+        // The hit serves the exact cached frame bytes (no re-encode).
+        assert_eq!(first.frame, second.frame);
         // Only the fresh solve contributed solver counters.
         let (expanded, _) = stats.solver_states();
-        assert_eq!(expanded, first.metrics.states_expanded);
+        assert_eq!(expanded, first.profile.metrics.states_expanded);
+    }
+
+    #[test]
+    fn cached_frame_is_the_wire_encoding() {
+        // The cached frame must be byte-identical to what `write_frame`
+        // would produce for the same profile — that is the zero-copy hit
+        // path's correctness condition.
+        let stats = ServerStats::default();
+        let cache: PlanCache = RwLock::new(HashMap::new());
+        let encoded = TripRequest::us25_at(0.0).encode();
+        let plan = handle_trip(&mut encoded.clone(), &encoded.to_vec(), &stats, &cache).unwrap();
+        let mut payload = BytesMut::new();
+        encode_profile(&plan.profile, &mut payload);
+        let mut expected = Vec::new();
+        crate::protocol::write_frame(&mut expected, tags::RESP_PROFILE, &payload).unwrap();
+        assert_eq!(&plan.frame[..], &expected[..]);
     }
 
     #[test]
@@ -702,7 +949,7 @@ mod tests {
         // Prime the cache with the t=0 trip through the single-trip path.
         let seed = TripRequest::us25_at(0.0);
         let encoded = seed.encode();
-        let cached_profile =
+        let cached_plan =
             handle_trip(&mut encoded.clone(), &encoded.to_vec(), &stats, &cache).unwrap();
 
         let mut invalid = TripRequest::us25_at(30.0);
@@ -718,16 +965,18 @@ mod tests {
         let response = handle_batch(&mut payload, &stats, &cache).unwrap();
         assert_eq!(response.results.len(), 3);
         // Member 0 came from the cache (same plan, one more hit).
-        assert_eq!(response.results[0].as_ref().unwrap(), &cached_profile);
+        assert_eq!(response.results[0].as_ref().unwrap(), &cached_plan.profile);
         assert_eq!(stats.cache_hits(), 1);
         // Member 1 failed alone.
         assert!(response.results[1].as_ref().unwrap_err().contains("rates"));
-        // Member 2 was solved fresh and is now cached.
+        // Member 2 was solved fresh and is now cached with its frame.
         assert!(response.results[2].is_ok());
         assert_eq!(stats.served(), 1 + 3);
         assert_eq!(stats.batches(), 1);
         let key = TripRequest::us25_at(60.0).encode().to_vec();
-        assert!(cache.read().contains_key(&key));
+        let entry = cache.read().get(&key).cloned().unwrap();
+        assert_eq!(&entry.profile, response.results[2].as_ref().unwrap());
+        assert!(!entry.frame.is_empty());
     }
 
     #[test]
@@ -814,7 +1063,7 @@ mod tests {
         let mut payload = batch.encode();
         let response = handle_batch(&mut payload, &stats, &cache).unwrap();
         for (single, batched) in singles.iter().zip(&response.results) {
-            assert_eq!(batched.as_ref().unwrap(), single);
+            assert_eq!(batched.as_ref().unwrap(), &single.profile);
         }
     }
 }

@@ -143,7 +143,7 @@ pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
     Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }
 
-/// The percentile spread of a sample set: the five numbers the continuous
+/// The percentile spread of a sample set: the numbers the continuous
 /// benchmarks report per scenario.
 ///
 /// # Examples
@@ -165,6 +165,9 @@ pub struct Percentiles {
     pub p50: f64,
     /// 90th percentile (linear-interpolated).
     pub p90: f64,
+    /// 95th percentile (linear-interpolated) — the serving-latency SLO
+    /// point the cloud bench gates on.
+    pub p95: f64,
     /// 99th percentile (linear-interpolated).
     pub p99: f64,
     /// Largest sample.
@@ -182,6 +185,7 @@ impl Percentiles {
             min: percentile(xs, 0.0)?,
             p50: percentile(xs, 0.5)?,
             p90: percentile(xs, 0.9)?,
+            p95: percentile(xs, 0.95)?,
             p99: percentile(xs, 0.99)?,
             max: percentile(xs, 1.0)?,
         })
@@ -331,7 +335,7 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.p50, 2.5);
         assert_eq!(s.max, 4.0);
-        assert!(s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!(s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
         assert!(Percentiles::from_samples(&[]).is_err());
     }
 

@@ -203,6 +203,21 @@ impl BytesMut {
         BytesMut { data: head }
     }
 
+    /// Empties the buffer, keeping its capacity (the buffer-pool reset).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Total capacity (bytes the buffer can hold without reallocating).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Freezes the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -214,6 +229,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

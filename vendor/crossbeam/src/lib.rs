@@ -1,10 +1,10 @@
 //! Offline stand-in for the `crossbeam` facade.
 //!
-//! Only the `channel` module's bounded MPMC channel is provided — the one
-//! piece this workspace uses (the cloud server's worker pool). It is built
-//! on `std::sync::mpsc::sync_channel` with the receiver shared behind a
-//! mutex so it can be cloned across workers, matching crossbeam's
-//! multi-consumer semantics for this use case.
+//! Only the `channel` module's bounded/unbounded MPMC channels are provided
+//! — the pieces this workspace uses (the cloud server's compute pool and
+//! reactor-shard inboxes). They are built on `std::sync::mpsc` with the
+//! receiver shared behind a mutex so it can be cloned across workers,
+//! matching crossbeam's multi-consumer semantics for this use case.
 
 pub mod channel {
     use std::sync::mpsc;
@@ -18,9 +18,32 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
-    /// The sending half of a bounded channel.
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (senders still exist).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
     pub struct Sender<T> {
-        inner: mpsc::SyncSender<T>,
+        inner: Tx<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -32,17 +55,19 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Blocks until the value is enqueued; errors if all receivers are
-        /// gone.
+        /// Enqueues the value — blocking while a bounded channel is full —
+        /// and errors if all receivers are gone. Unbounded sends never
+        /// block.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner
-                .send(value)
-                .map_err(|mpsc::SendError(v)| SendError(v))
+            match &self.inner {
+                Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
         }
     }
 
-    /// The receiving half of a bounded channel; cloneable so multiple
-    /// workers can compete for messages.
+    /// The receiving half of a channel; cloneable so multiple workers can
+    /// compete for messages.
     pub struct Receiver<T> {
         inner: Arc<Mutex<mpsc::Receiver<T>>>,
     }
@@ -62,13 +87,38 @@ pub mod channel {
             let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
             guard.recv().map_err(|_| RecvError)
         }
+
+        /// Returns immediately with a message, [`TryRecvError::Empty`], or
+        /// [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            guard.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
     }
 
     /// Creates a bounded MPMC channel with the given capacity.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
         (
-            Sender { inner: tx },
+            Sender {
+                inner: Tx::Bounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Creates an unbounded MPMC channel (sends never block).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Tx::Unbounded(tx),
+            },
             Receiver {
                 inner: Arc::new(Mutex::new(rx)),
             },
@@ -100,6 +150,24 @@ pub mod channel {
             drop(tx);
             let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
             assert_eq!(total, 55);
+        }
+
+        #[test]
+        fn unbounded_never_blocks_and_try_recv_drains() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            // Far beyond any bounded capacity; must not block the sender.
+            for i in 0..10_000 {
+                tx.send(i).unwrap();
+            }
+            let mut sum = 0u64;
+            while let Ok(v) = rx.try_recv() {
+                sum += u64::from(v);
+            }
+            assert_eq!(sum, (0..10_000u64).sum::<u64>());
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
         }
     }
 }

@@ -1,0 +1,542 @@
+//! Minimal readiness polling for the velopt cloud serving tier.
+//!
+//! First-party vendored stand-in for the `polling` crate: a thin, safe wrapper
+//! around the raw `epoll_*` family (plus `eventfd` for cross-thread wakeups)
+//! declared via direct `extern "C"` bindings — no libc crate, no crates.io.
+//! The API is deliberately tiny: a [`Poller`] owns one epoll instance, file
+//! descriptors are registered with a `u64` key and an [`Interest`] mask,
+//! [`Poller::wait`] fills an [`Events`] buffer, and a [`Waker`] interrupts a
+//! blocked `wait` from another thread.
+//!
+//! Only Linux gets a real implementation; other Unixes compile but every call
+//! returns [`std::io::ErrorKind::Unsupported`] so downstream crates can gate
+//! at runtime instead of failing to build.
+//!
+//! Epoll is used in level-triggered mode: an event keeps firing while the
+//! condition holds, so callers never need to drain sockets to EAGAIN before
+//! sleeping (they still should, for throughput) and a missed event is
+//! re-reported on the next `wait`. That choice trades a few spurious wakeups
+//! for a state machine that is much easier to prove correct.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+#[cfg(not(unix))]
+compile_error!("the vendored `polling` crate supports Unix targets only");
+
+/// Readiness directions a registration subscribes to.
+///
+/// Hangup and error conditions are always reported regardless of the mask, so
+/// an empty interest (`Interest::NONE`) still detects peer disconnects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// A single readiness notification, decoded from the raw epoll bits.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The `u64` key supplied at registration time.
+    pub key: u64,
+    /// Reading will make progress (data, EOF, or a pending error to collect).
+    pub readable: bool,
+    /// Writing will make progress.
+    pub writable: bool,
+    /// `EPOLLHUP`/`EPOLLERR`: the descriptor is in a terminal state.
+    pub closed: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::fs::File;
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    mod ffi {
+        pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+        pub const EPOLL_CTL_ADD: i32 = 1;
+        pub const EPOLL_CTL_DEL: i32 = 2;
+        pub const EPOLL_CTL_MOD: i32 = 3;
+
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        pub const EFD_CLOEXEC: i32 = 0o2000000;
+        pub const EFD_NONBLOCK: i32 = 0o4000;
+
+        /// Mirror of `struct epoll_event`. The kernel ABI packs this struct
+        /// on x86/x86_64 (12 bytes); other architectures use natural layout.
+        #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+        #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+        #[derive(Clone, Copy, Default)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: i32) -> i32;
+            pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+            pub fn epoll_wait(
+                epfd: i32,
+                events: *mut EpollEvent,
+                maxevents: i32,
+                timeout: i32,
+            ) -> i32;
+            pub fn eventfd(initval: u32, flags: i32) -> i32;
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = ffi::EPOLLRDHUP;
+        if interest.readable {
+            bits |= ffi::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= ffi::EPOLLOUT;
+        }
+        bits
+    }
+
+    fn decode(raw: ffi::EpollEvent) -> Event {
+        let bits = raw.events;
+        Event {
+            key: raw.data,
+            // HUP/ERR/RDHUP count as readable so callers observe EOF or the
+            // pending socket error through an ordinary read().
+            readable: bits & (ffi::EPOLLIN | ffi::EPOLLRDHUP | ffi::EPOLLHUP | ffi::EPOLLERR) != 0,
+            writable: bits & (ffi::EPOLLOUT | ffi::EPOLLERR) != 0,
+            closed: bits & (ffi::EPOLLHUP | ffi::EPOLLERR) != 0,
+        }
+    }
+
+    /// Reusable output buffer for [`Poller::wait`].
+    pub struct Events {
+        raw: Vec<ffi::EpollEvent>,
+        count: usize,
+    }
+
+    impl Events {
+        /// A buffer able to receive up to `capacity` events per wait call.
+        pub fn with_capacity(capacity: usize) -> Events {
+            Events {
+                raw: vec![ffi::EpollEvent::default(); capacity.max(1)],
+                count: 0,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.count
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.count == 0
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            self.raw[..self.count].iter().map(|raw| decode(*raw))
+        }
+    }
+
+    /// One epoll instance. Registration and waiting may happen from different
+    /// threads; the velopt reactor dedicates one poller per shard thread.
+    #[derive(Debug)]
+    pub struct Poller {
+        fd: OwnedFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let fd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, event: Option<&mut ffi::EpollEvent>) -> io::Result<()> {
+            let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut ffi::EpollEvent);
+            let rc = unsafe { ffi::epoll_ctl(self.fd.as_raw_fd(), op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` under `key`. The caller must keep `fd` open while it
+        /// is registered and must not register the same fd twice.
+        pub fn add(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut event = ffi::EpollEvent {
+                events: interest_bits(interest),
+                data: key,
+            };
+            self.ctl(ffi::EPOLL_CTL_ADD, fd, Some(&mut event))
+        }
+
+        /// Change the interest mask of an already-registered fd.
+        pub fn modify(&self, fd: RawFd, key: u64, interest: Interest) -> io::Result<()> {
+            let mut event = ffi::EpollEvent {
+                events: interest_bits(interest),
+                data: key,
+            };
+            self.ctl(ffi::EPOLL_CTL_MOD, fd, Some(&mut event))
+        }
+
+        /// Remove a registration. Closing the fd removes it implicitly; this
+        /// exists for callers that keep the fd alive past deregistration.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(ffi::EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Block until at least one event arrives, the timeout elapses
+        /// (`Ok(0)`), or a [`Waker`] registered on this poller fires.
+        /// `None` waits forever. EINTR is retried internally.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => {
+                    // Round up so sub-millisecond timeouts still sleep.
+                    let ms = d
+                        .as_millis()
+                        .max(if d.is_zero() { 0 } else { 1 })
+                        .min(i32::MAX as u128);
+                    ms as i32
+                }
+            };
+            loop {
+                let rc = unsafe {
+                    ffi::epoll_wait(
+                        self.fd.as_raw_fd(),
+                        events.raw.as_mut_ptr(),
+                        events.raw.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    events.count = rc as usize;
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Cross-thread wakeup for a blocked [`Poller::wait`], backed by a
+    /// nonblocking `eventfd`. Register [`Waker::as_raw_fd`] on the poller
+    /// with a sentinel key and readable interest; call [`Waker::wake`] from
+    /// any thread; call [`Waker::drain`] when the sentinel key fires.
+    #[derive(Debug)]
+    pub struct Waker {
+        file: File,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let fd = unsafe { ffi::eventfd(0, ffi::EFD_CLOEXEC | ffi::EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Waker {
+                file: unsafe { File::from_raw_fd(fd) },
+            })
+        }
+
+        pub fn as_raw_fd(&self) -> RawFd {
+            self.file.as_raw_fd()
+        }
+
+        /// Signal the poller. Saturating the eventfd counter (WouldBlock)
+        /// still leaves it readable, so that case is success.
+        pub fn wake(&self) -> io::Result<()> {
+            match (&self.file).write(&1u64.to_ne_bytes()) {
+                Ok(_) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Reset the eventfd counter so the readable condition clears.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            while (&self.file).read(&mut buf).is_ok() {}
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling requires epoll (Linux only)",
+        )
+    }
+
+    pub struct Events;
+
+    impl Events {
+        pub fn with_capacity(_capacity: usize) -> Events {
+            Events
+        }
+
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            std::iter::empty()
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        pub fn add(&self, _fd: RawFd, _key: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn modify(&self, _fd: RawFd, _key: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Waker;
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Err(unsupported())
+        }
+
+        pub fn as_raw_fd(&self) -> RawFd {
+            -1
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub fn drain(&self) {}
+    }
+}
+
+pub use sys::{Events, Poller, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn timeout_returns_zero_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        // Nothing to read yet.
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+        assert!(!ev.closed);
+
+        let mut buf = [0u8; 16];
+        let read = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..read], b"ping");
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let (_client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 3, Interest::READ).unwrap();
+        poller
+            .modify(server.as_raw_fd(), 3, Interest::WRITE)
+            .unwrap();
+
+        // A fresh socket with empty send buffer is immediately writable.
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 3);
+        assert!(ev.writable);
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let (client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 11, Interest::READ).unwrap();
+        drop(client);
+
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 11);
+        // Peer close must surface as readable so a read() observes EOF.
+        assert!(ev.readable);
+        let mut buf = [0u8; 4];
+        assert_eq!((&server).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn waker_interrupts_blocked_wait() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::new(Waker::new().unwrap());
+        poller
+            .add(waker.as_raw_fd(), u64::MAX, Interest::READ)
+            .unwrap();
+
+        let waker2 = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker2.wake().unwrap();
+        });
+
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events.iter().next().unwrap().key, u64::MAX);
+        waker.drain();
+        handle.join().unwrap();
+
+        // Drained: the next wait times out instead of spinning on the waker.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn delete_stops_notifications() {
+        let (mut client, server) = pair();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), 1, Interest::READ).unwrap();
+        poller.delete(server.as_raw_fd()).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn wake_is_saturating_and_drain_resets() {
+        let waker = Waker::new().unwrap();
+        for _ in 0..1000 {
+            waker.wake().unwrap();
+        }
+        waker.drain();
+        let poller = Poller::new().unwrap();
+        poller.add(waker.as_raw_fd(), 0, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+}
