@@ -11,8 +11,10 @@
 //!     median by strictly more than T (default 0.15 = +15%), or when its
 //!     deterministic work counters (states expanded per iteration, energy
 //!     evaluations, gemm FLOPs and scratch allocations per iteration)
-//!     exceed the baseline's by more than T, or when the cloud serving
-//!     scenario's steady-state buffer reuse falls below the 90% floor.
+//!     exceed the baseline's by more than T, when the cloud serving
+//!     scenario's steady-state buffer reuse falls below the 90% floor, or
+//!     when the sharded network steps fewer vehicles per round than the
+//!     baseline (the scenario silently shrank).
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
@@ -106,7 +108,21 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             std::fs::write(&args.out, report.to_json())
                 .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
             for s in &report.scenarios {
-                if s.buf_reuse + s.buf_alloc > 0 {
+                if s.vehicles_stepped > 0 {
+                    // Throughput: vehicle-steps per wall second at the
+                    // median round (each round is one simulated second).
+                    let per_round = s.vehicles_stepped as f64 / s.iterations.max(1) as f64;
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p95 {:>9.4}s  stepped {:>10}  \
+                         handoffs {:>6}  veh-steps/s {:>12.0}",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p95,
+                        s.vehicles_stepped,
+                        s.network_handoffs,
+                        per_round / s.wall_seconds.p50.max(1e-12),
+                    );
+                } else if s.buf_reuse + s.buf_alloc > 0 {
                     eprintln!(
                         "  {:<24} p50 {:>9.4}s  p95 {:>9.4}s  p99 {:>9.4}s  \
                          buf reuse {:>5.1}%  encode skipped {:>6}",

@@ -2,11 +2,12 @@
 //!
 //! Criterion answers "how fast is this on my machine, interactively"; this
 //! module answers "did the solver get slower since the committed baseline"
-//! in CI. It runs a fixed, seeded scenario matrix over the DP solver and
-//! the SAE traffic predictor's mini-batch kernels, summarizes each
-//! scenario as wall-time percentiles plus the component's own work
-//! counters (DP states and memo traffic; gemm FLOPs and scratch
-//! reuse/allocations), serializes the report as JSON (`BENCH_dp.json`),
+//! in CI. It runs a fixed, seeded scenario matrix over the DP solver, the
+//! SAE traffic predictor's mini-batch kernels, the cloud reactor, and the
+//! sharded microsimulation network, summarizes each scenario as wall-time
+//! percentiles plus the component's own work counters (DP states and memo
+//! traffic; gemm FLOPs and scratch reuse/allocations; buffer-pool reuse;
+//! vehicle-steps), serializes the report as JSON (`BENCH_dp.json`),
 //! and compares two reports under a relative tolerance so a perf
 //! regression fails the build instead of landing silently.
 //!
@@ -22,7 +23,7 @@ use velopt_cloud::protocol::{read_frame, tags, write_frame};
 use velopt_cloud::{CloudServer, PredictBatchRequest, PredictQuery, ServerConfig, TripRequest};
 use velopt_common::rng::SplitMix64;
 use velopt_common::stats::Percentiles;
-use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+use velopt_common::units::{Meters, MetersPerSecond, Seconds, VehiclesPerHour};
 use velopt_common::{Error, Result};
 use velopt_core::batch::PlanRequest;
 use velopt_core::dp::{DpConfig, DpOptimizer, SolverArena, StartState, TimeHandling};
@@ -31,7 +32,8 @@ use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
 use velopt_core::replan::{ReplanConfig, Replanner};
 use velopt_core::windows::green_only_constraints;
 use velopt_ev_energy::{EnergyModel, VehicleParams};
-use velopt_road::Road;
+use velopt_microsim::{CorridorSpec, Network, SimConfig};
+use velopt_road::{CorridorTemplate, Road};
 use velopt_traffic::nn::SgdConfig;
 use velopt_traffic::{
     SaeConfig, SaePredictor, SaePredictorConfig, TrainMetrics, VolumeGenerator, VolumePredictor,
@@ -60,6 +62,13 @@ pub struct MatrixSpec {
     pub cloud_clients: usize,
     /// Lockstep request rounds timed across those connections.
     pub cloud_rounds: usize,
+    /// Corridors in the sharded microsimulation network.
+    pub network_corridors: usize,
+    /// Untimed simulated seconds that fill the network with traffic before
+    /// the timed rounds start.
+    pub network_warmup_s: f64,
+    /// Timed rounds, each advancing the network by one simulated second.
+    pub network_rounds: usize,
 }
 
 impl MatrixSpec {
@@ -74,6 +83,9 @@ impl MatrixSpec {
             sae_predict_iters: 16,
             cloud_clients: 256,
             cloud_rounds: 6,
+            network_corridors: 128,
+            network_warmup_s: 600.0,
+            network_rounds: 24,
         }
     }
 
@@ -88,6 +100,9 @@ impl MatrixSpec {
             sae_predict_iters: 8,
             cloud_clients: 64,
             cloud_rounds: 4,
+            network_corridors: 12,
+            network_warmup_s: 120.0,
+            network_rounds: 6,
         }
     }
 }
@@ -137,6 +152,13 @@ pub struct ScenarioResult {
     /// Plan responses that skipped `encode_profile` by cloning the cached
     /// frame bytes.
     pub plan_encode_skipped: u64,
+    /// Vehicle-steps executed by the sharded network during the timed
+    /// rounds (the `microsim_network` scenario; zero elsewhere). The
+    /// network is bit-deterministic across shard counts, so this is
+    /// machine-invariant.
+    pub vehicles_stepped: u64,
+    /// Junction handoffs routed during the timed rounds (zero elsewhere).
+    pub network_handoffs: u64,
 }
 
 impl ScenarioResult {
@@ -159,6 +181,8 @@ impl ScenarioResult {
             buf_reuse: 0,
             buf_alloc: 0,
             plan_encode_skipped: 0,
+            vehicles_stepped: 0,
+            network_handoffs: 0,
         })
     }
 
@@ -183,6 +207,8 @@ impl ScenarioResult {
             buf_reuse: 0,
             buf_alloc: 0,
             plan_encode_skipped: 0,
+            vehicles_stepped: 0,
+            network_handoffs: 0,
         })
     }
 
@@ -214,6 +240,40 @@ impl ScenarioResult {
             buf_reuse,
             buf_alloc,
             plan_encode_skipped,
+            vehicles_stepped: 0,
+            network_handoffs: 0,
+        })
+    }
+
+    /// Summary for the sharded-network scenario: wall percentiles over the
+    /// timed rounds plus the network's deterministic work deltas; every
+    /// other counter stays zero.
+    fn from_network_samples(
+        name: &str,
+        samples: &[f64],
+        vehicles_stepped: u64,
+        network_handoffs: u64,
+    ) -> Result<Self> {
+        Ok(Self {
+            name: name.to_string(),
+            iterations: samples.len() as u64,
+            wall_seconds: Percentiles::from_samples(samples)?,
+            states_expanded: 0,
+            states_pruned: 0,
+            arena_reuse_hits: 0,
+            arena_allocations: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            energy_evals: 0,
+            rows_skipped: 0,
+            gemm_flops: 0,
+            scratch_reuse_hits: 0,
+            scratch_allocations: 0,
+            buf_reuse: 0,
+            buf_alloc: 0,
+            plan_encode_skipped: 0,
+            vehicles_stepped,
+            network_handoffs,
         })
     }
 
@@ -286,6 +346,14 @@ impl ScenarioResult {
                 "plan_encode_skipped".into(),
                 Json::Num(self.plan_encode_skipped as f64),
             ),
+            (
+                "vehicles_stepped".into(),
+                Json::Num(self.vehicles_stepped as f64),
+            ),
+            (
+                "network_handoffs".into(),
+                Json::Num(self.network_handoffs as f64),
+            ),
         ])
     }
 
@@ -342,6 +410,10 @@ impl ScenarioResult {
             buf_reuse: optional(value, "buf_reuse"),
             buf_alloc: optional(value, "buf_alloc"),
             plan_encode_skipped: optional(value, "plan_encode_skipped"),
+            // Network counters appeared with the sharded microsimulation
+            // scenario; older baselines read as zero, disabling the gate.
+            vehicles_stepped: optional(value, "vehicles_stepped"),
+            network_handoffs: optional(value, "network_handoffs"),
         })
     }
 }
@@ -441,6 +513,13 @@ pub const WORK_SLACK_FLOPS_PER_ITER: f64 = 1024.0;
 /// geometry rebuild, so a legitimate extra cold start does not trip it.
 /// Anything beyond that means buffers stopped being recycled.
 pub const WORK_SLACK_SCRATCH_ALLOCS_PER_ITER: f64 = 1.0;
+
+/// Absolute slack for the per-iteration vehicle-steps gate: one vehicle
+/// per iteration absorbs integer rounding when iteration counts differ.
+/// The gate is a **floor** — the sharded network is bit-deterministic, so
+/// a round that suddenly steps fewer vehicles means the scenario silently
+/// shrank and its timing win is fake.
+pub const WORK_SLACK_VEHICLE_STEPS_PER_ITER: f64 = 1.0;
 
 /// Minimum steady-state cloud buffer reuse rate. The `cloud_serve`
 /// scenario's counters are deltas taken after a warm-up round, so nearly
@@ -572,6 +651,25 @@ fn work_regressions(
             base_allocs,
             tolerance * 100.0,
             allocs_limit,
+        ));
+    }
+    // A floor, not a ceiling: the network is deterministic, so stepping
+    // fewer vehicles than the baseline means the scenario lost traffic
+    // (broken arrivals, dropped handoffs) and its wall time is not
+    // comparable. Only applies when the baseline recorded vehicle traffic.
+    let current_stepped = per_iter(scenario.vehicles_stepped, scenario.iterations);
+    let base_stepped = per_iter(base.vehicles_stepped, base.iterations);
+    let stepped_floor =
+        base_stepped * (1.0 - tolerance.min(1.0)) - WORK_SLACK_VEHICLE_STEPS_PER_ITER;
+    if base_stepped > 0.0 && current_stepped < stepped_floor {
+        regressions.push(format!(
+            "{}: {:.0} vehicle-steps per iteration fell below baseline {:.0} \
+             by more than {:.0}% (floor {:.0}) — did the network lose traffic?",
+            scenario.name,
+            current_stepped,
+            base_stepped,
+            tolerance * 100.0,
+            stepped_floor,
         ));
     }
     // Absolute floor, not a relative gate: steady-state serving must keep
@@ -960,6 +1058,58 @@ fn cloud_serve(spec: &MatrixSpec) -> Result<ScenarioResult> {
     result
 }
 
+/// Times the sharded multi-corridor microsimulation: a seeded chain of
+/// `network_corridors` dense arterial corridors (roughly 20 signals each),
+/// every corridor fed by its own arrival process, stepped in lockstep on
+/// all cores. An untimed warm-up fills the network with Krauss traffic;
+/// each timed round then advances one simulated second (ten ticks), so the
+/// percentiles describe how much wall time a simulated second costs and
+/// throughput is `vehicles_stepped / iterations / p50` vehicle-steps per
+/// second. The vehicle-step and handoff counters are deltas across the
+/// timed rounds only and — because the network is bit-identical at any
+/// shard count — machine-invariant, so `--check-work` pins the workload.
+fn microsim_network(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    let template = CorridorTemplate {
+        length: (2500.0, 4500.0),
+        lights: (16, 24),
+        ..CorridorTemplate::default()
+    };
+    let specs = (0..spec.network_corridors)
+        .map(|i| {
+            let road = template.generate(BENCH_SEED ^ (0xC0_0000 + i as u64))?;
+            let mut corridor = if i + 1 < spec.network_corridors {
+                CorridorSpec::through(road, i + 1)
+            } else {
+                CorridorSpec::terminal(road)
+            };
+            corridor.arrival_rate = VehiclesPerHour::new(1000.0);
+            Ok(corridor)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let config = SimConfig {
+        seed: BENCH_SEED ^ 0x2E7,
+        straight_ratio: 0.97,
+        ..SimConfig::default()
+    };
+    let mut net = Network::new(specs, 0, config)?;
+    net.run_until(Seconds::new(spec.network_warmup_s))?;
+    let warm = net.stats();
+    let mut samples = Vec::with_capacity(spec.network_rounds);
+    for round in 0..spec.network_rounds {
+        let target = Seconds::new(spec.network_warmup_s + (round + 1) as f64);
+        let start = Instant::now();
+        net.run_until(target)?;
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let stats = net.stats();
+    ScenarioResult::from_network_samples(
+        &format!("microsim_network_{}", spec.network_corridors),
+        &samples,
+        stats.vehicles_stepped - warm.vehicles_stepped,
+        stats.handoffs - warm.handoffs,
+    )
+}
+
 /// Runs the whole scenario matrix and collects the report.
 ///
 /// # Errors
@@ -991,6 +1141,7 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
             sae_train(spec.sae_train_iters)?,
             sae_predict_batch(spec.sae_predict_iters)?,
             cloud_serve(spec)?,
+            microsim_network(spec)?,
         ],
     })
 }
@@ -1025,6 +1176,8 @@ mod tests {
             buf_reuse: 950,
             buf_alloc: 50,
             plan_encode_skipped: 100,
+            vehicles_stepped: 40_000,
+            network_handoffs: 120,
         }
     }
 
@@ -1112,6 +1265,35 @@ mod tests {
     }
 
     #[test]
+    fn vehicle_step_floor_is_gated() {
+        let baseline = report(&[("net", 0.100)]);
+        // The network silently stepping half the traffic is a regression
+        // even though less work looks like a timing win.
+        let mut current = report(&[("net", 0.100)]);
+        current.scenarios[0].vehicles_stepped /= 2;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("vehicle-steps"));
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+
+        // More traffic than the baseline is never flagged.
+        let mut current = report(&[("net", 0.100)]);
+        current.scenarios[0].vehicles_stepped *= 2;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+
+        // A baseline without network traffic (pre-network) disables the
+        // floor instead of failing every run.
+        let mut old = report(&[("net", 0.100)]);
+        old.scenarios[0].vehicles_stepped = 0;
+        let mut current = report(&[("net", 0.100)]);
+        current.scenarios[0].vehicles_stepped = 0;
+        let outcome = compare_work(&current, &old).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
     fn buffer_reuse_floor_is_gated() {
         let baseline = report(&[("cloud", 0.100)]);
         // Reuse collapsing to 50% fails both gates, tolerance or not.
@@ -1179,6 +1361,9 @@ mod tests {
         assert_eq!(s.buf_reuse, 0);
         assert_eq!(s.buffer_reuse_rate(), 1.0);
         assert_eq!(s.wall_seconds.p95, s.wall_seconds.p90);
+        // Network counters are optional too; zero disables their floor.
+        assert_eq!(s.vehicles_stepped, 0);
+        assert_eq!(s.network_handoffs, 0);
     }
 
     #[test]
@@ -1237,16 +1422,22 @@ mod tests {
             sae_predict_iters: 1,
             cloud_clients: 8,
             cloud_rounds: 2,
+            network_corridors: 3,
+            network_warmup_s: 30.0,
+            network_rounds: 2,
         };
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 9);
+        assert_eq!(report.scenarios.len(), 10);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
-            // Every scenario reports its work: DP states, gemm FLOPs, or
-            // served response buffers.
+            // Every scenario reports its work: DP states, gemm FLOPs,
+            // served response buffers, or stepped vehicles.
             assert!(
-                s.states_expanded > 0 || s.gemm_flops > 0 || s.buf_reuse + s.buf_alloc > 0,
+                s.states_expanded > 0
+                    || s.gemm_flops > 0
+                    || s.buf_reuse + s.buf_alloc > 0
+                    || s.vehicles_stepped > 0,
                 "{}",
                 s.name
             );
@@ -1280,9 +1471,14 @@ mod tests {
             "steady-state reuse {:.2}",
             cloud.buffer_reuse_rate()
         );
+        // The warmed-up network keeps stepping traffic through the timed
+        // rounds, and its counters are deltas (rounds only, not warm-up).
+        let net = report.scenario("microsim_network_3").unwrap();
+        assert!(net.vehicles_stepped > 0);
+        assert_eq!(net.iterations, 2);
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression());
-        assert_eq!(outcome.passed, 9);
+        assert_eq!(outcome.passed, 10);
     }
 }

@@ -11,6 +11,8 @@ pub struct InductionLoop {
     total: u64,
     window_start: Seconds,
     window_count: u64,
+    step_count: u64,
+    last_step_count: u64,
 }
 
 impl InductionLoop {
@@ -21,6 +23,8 @@ impl InductionLoop {
             total: 0,
             window_start: Seconds::ZERO,
             window_count: 0,
+            step_count: 0,
+            last_step_count: 0,
         }
     }
 
@@ -39,6 +43,14 @@ impl InductionLoop {
         self.window_count
     }
 
+    /// Crossings during the last **completed** simulation step — SUMO's
+    /// `LAST_STEP_VEHICLE_NUMBER` semantics. Reading this value never
+    /// mutates the detector, so concurrent pollers (TraCI clients, the SAE
+    /// volume feed) cannot steal each other's counts.
+    pub fn last_step_count(&self) -> u64 {
+        self.last_step_count
+    }
+
     /// Registers a vehicle movement from `from` to `to` (exclusive/inclusive
     /// crossing test, so a vehicle sitting exactly on the loop is counted
     /// only once).
@@ -46,7 +58,16 @@ impl InductionLoop {
         if from < self.position && to >= self.position {
             self.total += 1;
             self.window_count += 1;
+            self.step_count += 1;
         }
+    }
+
+    /// Seals the current step: the crossings observed since the previous
+    /// call become [`last_step_count`](Self::last_step_count). Called by the
+    /// simulation at the end of every step.
+    pub(crate) fn finish_step(&mut self) {
+        self.last_step_count = self.step_count;
+        self.step_count = 0;
     }
 
     /// Returns the flow measured over the window since the last call and
@@ -96,5 +117,22 @@ mod tests {
             loop_.take_window(Seconds::new(100.0)),
             VehiclesPerHour::ZERO
         );
+    }
+
+    #[test]
+    fn last_step_count_is_stable_across_reads() {
+        let mut loop_ = InductionLoop::new(Meters::new(10.0));
+        loop_.observe(Meters::new(9.0), Meters::new(11.0));
+        loop_.observe(Meters::new(8.0), Meters::new(12.0));
+        loop_.finish_step();
+        assert_eq!(loop_.last_step_count(), 2);
+        // Reads are non-destructive: ask twice, same answer, and the window
+        // counter is untouched.
+        assert_eq!(loop_.last_step_count(), 2);
+        assert_eq!(loop_.window_count(), 2);
+        // The next step had no crossings.
+        loop_.finish_step();
+        assert_eq!(loop_.last_step_count(), 0);
+        assert_eq!(loop_.total(), 2);
     }
 }

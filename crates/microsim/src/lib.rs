@@ -21,6 +21,9 @@
 //!   speed, but safety (collision avoidance, red lights) still binds.
 //! * **Measurement** — per-step ego telemetry, stopped-queue probes at each
 //!   light, and induction-loop detectors.
+//! * **Networks** ([`Network`]) — corridors joined at junctions into a
+//!   sharded, deterministically parallel multi-corridor simulation whose
+//!   results are bit-identical at any shard count.
 //!
 //! # Examples
 //!
@@ -41,10 +44,12 @@
 
 mod config;
 mod detector;
+mod network;
 mod sim;
 mod vehicle;
 
 pub use config::{FollowingModel, KraussParams, SimConfig};
 pub use detector::InductionLoop;
-pub use sim::{EgoSnapshot, Simulation, TracePoint};
+pub use network::{CorridorSpec, Network, NetworkStats, NetworkTracePoint};
+pub use sim::{EgoSnapshot, Handoff, Simulation, TracePoint};
 pub use vehicle::{Vehicle, VehicleId, VehicleKind};

@@ -1,0 +1,599 @@
+//! A sharded, deterministic multi-corridor network simulation.
+//!
+//! A [`Network`] joins single-corridor [`Simulation`]s at junctions: a
+//! vehicle whose rear bumper clears the downstream end of corridor `i` is
+//! packaged as a [`Handoff`] boundary message and re-injected at the head of
+//! `downstream(i)` on the next tick (or leaves the network when there is no
+//! downstream corridor). Corridors are partitioned into fixed contiguous
+//! chunks over a thread team ([`velopt_common::par::map_chunks`]) that steps
+//! them in lockstep.
+//!
+//! # Determinism
+//!
+//! An N-shard run is bit-identical to a 1-shard run at any thread count:
+//!
+//! * Within one tick, corridors are **independent** — each cell drains its
+//!   own junction queue and steps its own `Simulation` with its own
+//!   [`SplitMix64`] stream (seeded deterministically from the corridor
+//!   index), so the chunk geometry cannot change any cell's state.
+//! * Boundary messages are routed **after** the parallel phase, on the
+//!   calling thread, in ascending source-corridor order (per-chunk outboxes
+//!   come back in chunk order, and cells are processed in order within a
+//!   chunk), so junction queues receive identical contents in identical
+//!   order regardless of shard count.
+//! * Aggregate statistics fold per-chunk counters in chunk order, and trace
+//!   hashes mix `f64::to_bits` exactly, so even the observability surface is
+//!   reproducible bit-for-bit.
+
+use crate::config::SimConfig;
+use crate::sim::{EgoSnapshot, Handoff, Simulation};
+use crate::vehicle::{VehicleId, VehicleKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use velopt_common::par;
+use velopt_common::rng::SplitMix64;
+use velopt_common::units::{Meters, MetersPerSecond, Seconds, VehiclesPerHour};
+use velopt_common::{Error, Result};
+use velopt_road::Road;
+
+/// One corridor of a [`Network`] and how it connects to the rest.
+#[derive(Debug, Clone)]
+pub struct CorridorSpec {
+    /// The corridor geometry and signals.
+    pub road: Road,
+    /// Index of the corridor that through-traffic continues onto, or `None`
+    /// for a network exit.
+    pub downstream: Option<usize>,
+    /// Poisson arrival rate of fresh background traffic at the corridor
+    /// entrance (zero = junction inflow only).
+    pub arrival_rate: VehiclesPerHour,
+    /// Mid-corridor side-road inflows as `(position, rate)` pairs.
+    pub side_entries: Vec<(Meters, VehiclesPerHour)>,
+    /// Induction-loop detector positions.
+    pub detectors: Vec<Meters>,
+}
+
+impl CorridorSpec {
+    /// A corridor that hands its through-traffic to `downstream`.
+    pub fn through(road: Road, downstream: usize) -> Self {
+        Self {
+            road,
+            downstream: Some(downstream),
+            arrival_rate: VehiclesPerHour::ZERO,
+            side_entries: Vec::new(),
+            detectors: Vec::new(),
+        }
+    }
+
+    /// A corridor whose through-traffic leaves the network at the end.
+    pub fn terminal(road: Road) -> Self {
+        Self {
+            road,
+            downstream: None,
+            arrival_rate: VehiclesPerHour::ZERO,
+            side_entries: Vec::new(),
+            detectors: Vec::new(),
+        }
+    }
+}
+
+/// One sample of the ego's trajectory through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTracePoint {
+    /// Simulation time.
+    pub time: Seconds,
+    /// Corridor the ego is on.
+    pub corridor: usize,
+    /// Front-bumper position within that corridor.
+    pub position: Meters,
+    /// Ego speed.
+    pub speed: MetersPerSecond,
+}
+
+/// Deterministic aggregate statistics over the whole network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Vehicles currently on some corridor.
+    pub vehicles: u64,
+    /// Corridor-end crossings (a vehicle traversing `k` corridors counts
+    /// `k` times).
+    pub corridor_completions: u64,
+    /// Vehicles that left the network at a terminal corridor.
+    pub departed: u64,
+    /// Junction boundary messages routed so far.
+    pub handoffs: u64,
+    /// Hard collision-guard interventions summed over all corridors
+    /// (should stay zero).
+    pub emergency_brakes: u64,
+    /// Total vehicle-steps executed (the bench suite's work counter).
+    pub vehicles_stepped: u64,
+}
+
+/// A corridor cell: its simulation, its junction queue, and where its
+/// through-traffic goes.
+#[derive(Debug, Clone)]
+struct Cell {
+    sim: Simulation,
+    downstream: Option<usize>,
+    /// Handoffs delivered but not yet admitted (head-of-line blocking:
+    /// vehicles enter the new corridor in arrival order).
+    pending: VecDeque<Handoff>,
+}
+
+/// A network of corridors stepping in lockstep on a sharded thread team.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_common::units::{Seconds, VehiclesPerHour};
+/// use velopt_microsim::{CorridorSpec, Network, SimConfig};
+/// use velopt_road::Road;
+///
+/// let mut feeder = CorridorSpec::through(Road::us25(), 1);
+/// feeder.arrival_rate = VehiclesPerHour::new(600.0);
+/// let sink = CorridorSpec::terminal(Road::us25());
+/// let mut net = Network::new(vec![feeder, sink], 2, SimConfig::default())?;
+/// net.run_until(Seconds::new(60.0))?;
+/// assert!(net.stats().vehicles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cells: Vec<Cell>,
+    shards: usize,
+    dt: Seconds,
+    time: Seconds,
+    departed: u64,
+    handoffs: u64,
+    vehicles_stepped: u64,
+    ego_id: Option<VehicleId>,
+    /// The corridor the ego is on (or queued to enter); `None` before spawn
+    /// and after the ego leaves the network.
+    ego_cell: Option<usize>,
+    ego_trace: Vec<NetworkTracePoint>,
+    ego_finished_at: Option<Seconds>,
+}
+
+impl Network {
+    /// Builds a network from corridor specs.
+    ///
+    /// `shards` is the worker-team size stepping the corridors (`0` = one
+    /// per available core). The shard count never changes results — only
+    /// wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if there are no corridors, a
+    /// downstream index is out of range or self-referential, the config
+    /// fails validation, or a side entry/detector lies outside its road.
+    pub fn new(specs: Vec<CorridorSpec>, shards: usize, config: SimConfig) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(Error::invalid_input(
+                "a network needs at least one corridor",
+            ));
+        }
+        let n = specs.len();
+        let config = config.validated()?;
+        // Per-corridor RNG streams are forked from the master seed in
+        // corridor index order, so corridor i's stream depends only on
+        // (seed, i) — never on sharding.
+        let mut seed_root = SplitMix64::new(config.seed);
+        let mut cells = Vec::with_capacity(n);
+        for (i, spec) in specs.into_iter().enumerate() {
+            if let Some(d) = spec.downstream {
+                if d >= n {
+                    return Err(Error::invalid_input(format!(
+                        "corridor {i} hands off to nonexistent corridor {d}"
+                    )));
+                }
+                if d == i {
+                    return Err(Error::invalid_input(format!(
+                        "corridor {i} cannot hand off to itself"
+                    )));
+                }
+            }
+            let cfg = SimConfig {
+                seed: seed_root.next_u64(),
+                ..config
+            };
+            let mut sim = Simulation::new(spec.road, cfg)?;
+            sim.set_id_allocation(i as u64, n as u64);
+            if spec.arrival_rate.value() > 0.0 {
+                sim.set_arrival_rate(spec.arrival_rate);
+            }
+            for (pos, rate) in spec.side_entries {
+                sim.add_entry_point(pos, rate)?;
+            }
+            for pos in spec.detectors {
+                sim.add_detector(pos)?;
+            }
+            cells.push(Cell {
+                sim,
+                downstream: spec.downstream,
+                pending: VecDeque::new(),
+            });
+        }
+        Ok(Self {
+            cells,
+            shards: par::effective_threads(shards),
+            dt: config.dt,
+            time: Seconds::ZERO,
+            departed: 0,
+            handoffs: 0,
+            vehicles_stepped: 0,
+            ego_id: None,
+            ego_cell: None,
+            ego_trace: Vec::new(),
+            ego_finished_at: None,
+        })
+    }
+
+    /// Number of corridors.
+    pub fn corridors(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The worker-team size stepping the corridors.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Read access to one corridor's simulation (signals, detectors,
+    /// vehicles).
+    pub fn corridor(&self, idx: usize) -> Option<&Simulation> {
+        self.cells.get(idx).map(|c| &c.sim)
+    }
+
+    /// Boundary vehicles already routed through a junction and queued to
+    /// enter `corridor` at its next step. Observability surfaces (TraCI)
+    /// report these at position 0 of the destination corridor so a vehicle
+    /// never vanishes for the handoff tick.
+    pub fn pending(&self, idx: usize) -> impl Iterator<Item = &Handoff> + '_ {
+        self.cells
+            .get(idx)
+            .map(|c| c.pending.iter())
+            .into_iter()
+            .flatten()
+    }
+
+    /// Total signal heads over all corridors.
+    pub fn signal_count(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.sim.road().traffic_lights().len() + c.sim.road().stop_signs().len())
+            .sum()
+    }
+
+    /// Deterministic aggregate statistics, folded in corridor order.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = NetworkStats {
+            vehicles: 0,
+            corridor_completions: 0,
+            departed: self.departed,
+            handoffs: self.handoffs,
+            emergency_brakes: 0,
+            vehicles_stepped: self.vehicles_stepped,
+        };
+        for cell in &self.cells {
+            s.vehicles += cell.sim.vehicle_count() as u64 + cell.pending.len() as u64;
+            s.corridor_completions += cell.sim.completed();
+            s.emergency_brakes += cell.sim.emergency_brakes();
+        }
+        s
+    }
+
+    /// Spawns the ego vehicle at the start of `corridor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if an ego already exists, the
+    /// corridor index is out of range, or the entrance is blocked.
+    pub fn spawn_ego(&mut self, corridor: usize, speed: MetersPerSecond) -> Result<VehicleId> {
+        if self.ego_id.is_some() {
+            return Err(Error::invalid_input("an ego vehicle already exists"));
+        }
+        let cell = self
+            .cells
+            .get_mut(corridor)
+            .ok_or_else(|| Error::invalid_input("corridor index out of range"))?;
+        let id = cell.sim.spawn_ego(speed)?;
+        self.ego_id = Some(id);
+        self.ego_cell = Some(corridor);
+        self.ego_trace.push(NetworkTracePoint {
+            time: self.time,
+            corridor,
+            position: Meters::ZERO,
+            speed,
+        });
+        Ok(id)
+    }
+
+    /// The ego's current state, if it is on some corridor (not queued at a
+    /// junction).
+    pub fn ego(&self) -> Option<EgoSnapshot> {
+        self.cells[self.ego_cell?].sim.ego()
+    }
+
+    /// The corridor the ego is on or queued to enter.
+    pub fn ego_corridor(&self) -> Option<usize> {
+        self.ego_cell
+    }
+
+    /// The ego's network-wide vehicle id, if one was spawned.
+    pub fn ego_vehicle_id(&self) -> Option<VehicleId> {
+        self.ego_id
+    }
+
+    /// Sets (or clears) the TraCI commanded-speed cap on the ego, wherever
+    /// in the network it currently is. A command issued while the ego waits
+    /// in a junction queue is applied to the queued boundary message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if no ego is active or the command is
+    /// negative.
+    pub fn set_ego_command(&mut self, command: Option<MetersPerSecond>) -> Result<()> {
+        let Some(cell_idx) = self.ego_cell else {
+            return Err(Error::invalid_input("no ego vehicle active"));
+        };
+        if let Some(c) = command {
+            if c.value() < 0.0 {
+                return Err(Error::invalid_input("commanded speed must be >= 0"));
+            }
+        }
+        let ego_id = self.ego_id;
+        let cell = &mut self.cells[cell_idx];
+        if cell.sim.ego().is_some() {
+            return cell.sim.set_ego_command(command);
+        }
+        for h in cell.pending.iter_mut() {
+            if Some(h.id) == ego_id {
+                h.commanded = command;
+                return Ok(());
+            }
+        }
+        Err(Error::invalid_input("ego has left the network"))
+    }
+
+    /// The recorded ego trajectory through the network (one sample per tick
+    /// the ego spent on a corridor).
+    pub fn ego_trace(&self) -> &[NetworkTracePoint] {
+        &self.ego_trace
+    }
+
+    /// The time at which the ego left the network, if it has.
+    pub fn ego_finished_at(&self) -> Option<Seconds> {
+        self.ego_finished_at
+    }
+
+    /// Advances every corridor by one tick and routes junction boundary
+    /// messages.
+    pub fn step(&mut self) {
+        let n = self.cells.len();
+        let shards = self.shards.min(n).max(1);
+        let chunk_len = n.div_ceil(shards);
+        // Parallel phase: each cell admits queued junction arrivals, steps,
+        // and collects its outgoing boundary messages. Cells share nothing,
+        // so the chunk geometry cannot change any cell's state.
+        let outs = par::map_chunks(&mut self.cells, chunk_len, shards, |_, cells| {
+            let mut messages: Vec<(Option<usize>, Handoff)> = Vec::new();
+            let mut stepped = 0u64;
+            for cell in cells.iter_mut() {
+                while let Some(h) = cell.pending.front() {
+                    if cell.sim.receive(h) {
+                        cell.pending.pop_front();
+                    } else {
+                        break; // head-of-line: keep arrival order at the junction
+                    }
+                }
+                stepped += cell.sim.vehicle_count() as u64;
+                cell.sim.step();
+                let downstream = cell.downstream;
+                messages.extend(cell.sim.take_exits().into_iter().map(|h| (downstream, h)));
+            }
+            (messages, stepped)
+        });
+        self.time += self.dt;
+        // Sequential routing phase, in ascending source-corridor order:
+        // identical queue contents and order at any shard count.
+        for (messages, stepped) in outs {
+            self.vehicles_stepped += stepped;
+            for (dest, h) in messages {
+                match dest {
+                    Some(d) => {
+                        if h.kind == VehicleKind::Ego {
+                            self.ego_cell = Some(d);
+                        }
+                        self.cells[d].pending.push_back(h);
+                        self.handoffs += 1;
+                    }
+                    None => {
+                        self.departed += 1;
+                        if h.kind == VehicleKind::Ego {
+                            self.ego_cell = None;
+                            self.ego_finished_at = Some(self.time);
+                        }
+                    }
+                }
+            }
+        }
+        // Ego telemetry (skipped while the ego waits in a junction queue).
+        if let Some(cell_idx) = self.ego_cell {
+            if let Some(e) = self.cells[cell_idx].sim.ego() {
+                self.ego_trace.push(NetworkTracePoint {
+                    time: self.time,
+                    corridor: cell_idx,
+                    position: e.position,
+                    speed: e.speed,
+                });
+            }
+        }
+    }
+
+    /// Runs until `t` (inclusive of the last partial step boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `t` is more than one step in the
+    /// past.
+    pub fn run_until(&mut self, t: Seconds) -> Result<()> {
+        if t + self.dt < self.time {
+            return Err(Error::invalid_input("cannot run backwards in time"));
+        }
+        while self.time < t {
+            self.step();
+        }
+        Ok(())
+    }
+
+    /// A 64-bit digest of the complete dynamic state (time, every vehicle on
+    /// every corridor, every queued boundary message, aggregate counters),
+    /// mixing `f64::to_bits` exactly. Equal hashes across shard counts are
+    /// the network's bit-identity witness.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = mix64(0x0005_EED0_F2E7, self.time.value().to_bits());
+        for cell in &self.cells {
+            for v in cell.sim.vehicles() {
+                h = mix64(h, v.id().raw());
+                h = mix64(h, v.position().value().to_bits());
+                h = mix64(h, v.speed().value().to_bits());
+                h = mix64(h, v.stops_cleared());
+            }
+            for p in &cell.pending {
+                h = mix64(h, p.id.raw());
+                h = mix64(h, p.speed.value().to_bits());
+                h = mix64(h, p.stops_cleared);
+            }
+            h = mix64(h, cell.sim.completed());
+            h = mix64(h, cell.sim.emergency_brakes());
+            for det in cell.sim.detectors() {
+                h = mix64(h, det.total());
+                h = mix64(h, det.last_step_count());
+            }
+        }
+        let s = self.stats();
+        h = mix64(h, s.departed);
+        h = mix64(h, s.handoffs);
+        h = mix64(h, s.vehicles_stepped);
+        h
+    }
+
+    /// A 64-bit digest of the ego trace (`f64::to_bits` of every sample).
+    pub fn ego_trace_hash(&self) -> u64 {
+        let mut h = 0x000E_6071_2ACE_u64;
+        for p in &self.ego_trace {
+            h = mix64(h, p.time.value().to_bits());
+            h = mix64(h, p.corridor as u64);
+            h = mix64(h, p.position.value().to_bits());
+            h = mix64(h, p.speed.value().to_bits());
+        }
+        h
+    }
+}
+
+/// SplitMix64-style avalanche combiner for the state digests.
+fn mix64(h: u64, x: u64) -> u64 {
+    let mut z = h
+        .rotate_left(23)
+        .wrapping_add(x)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_corridor_net(shards: usize) -> Network {
+        let mut feeder = CorridorSpec::through(Road::us25(), 1);
+        feeder.arrival_rate = VehiclesPerHour::new(700.0);
+        let sink = CorridorSpec::terminal(Road::us25());
+        Network::new(vec![feeder, sink], shards, SimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_topologies() {
+        assert!(Network::new(vec![], 1, SimConfig::default()).is_err());
+        let dangling = CorridorSpec::through(Road::us25(), 5);
+        assert!(Network::new(vec![dangling], 1, SimConfig::default()).is_err());
+        let self_loop = CorridorSpec::through(Road::us25(), 0);
+        assert!(Network::new(vec![self_loop], 1, SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn traffic_flows_across_the_junction() {
+        let mut net = two_corridor_net(1);
+        net.run_until(Seconds::new(900.0)).unwrap();
+        let s = net.stats();
+        assert!(s.handoffs > 0, "through-traffic must cross the junction");
+        assert!(s.departed > 0, "and eventually leave the network");
+        assert_eq!(s.emergency_brakes, 0);
+        assert!(net.corridor(1).unwrap().vehicle_count() > 0);
+        assert!(net.corridor(2).is_none());
+    }
+
+    #[test]
+    fn vehicle_ids_are_unique_network_wide() {
+        let mut net = two_corridor_net(2);
+        net.run_until(Seconds::new(600.0)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..net.corridors() {
+            for v in net.corridor(c).unwrap().vehicles() {
+                assert!(seen.insert(v.id().raw()), "duplicate id {}", v.id());
+            }
+        }
+        assert!(seen.len() > 10);
+    }
+
+    #[test]
+    fn ego_crosses_junctions_and_finishes() {
+        let mut net = two_corridor_net(1);
+        let id = net.spawn_ego(0, MetersPerSecond::new(5.0)).unwrap();
+        assert!(net.spawn_ego(1, MetersPerSecond::ZERO).is_err());
+        net.run_until(Seconds::new(1500.0)).unwrap();
+        assert_eq!(
+            net.ego_finished_at().is_some(),
+            net.ego_corridor().is_none(),
+        );
+        assert!(
+            net.ego_finished_at().is_some(),
+            "ego must clear 2 corridors"
+        );
+        // The trace visits both corridors with the same vehicle identity.
+        let trace = net.ego_trace();
+        assert!(trace.iter().any(|p| p.corridor == 0));
+        assert!(trace.iter().any(|p| p.corridor == 1));
+        let _ = id;
+    }
+
+    #[test]
+    fn ego_commands_apply_across_the_network() {
+        let mut net = two_corridor_net(1);
+        assert!(net.set_ego_command(None).is_err(), "no ego yet");
+        net.spawn_ego(0, MetersPerSecond::new(5.0)).unwrap();
+        net.set_ego_command(Some(MetersPerSecond::new(4.0)))
+            .unwrap();
+        assert!(net
+            .set_ego_command(Some(MetersPerSecond::new(-2.0)))
+            .is_err());
+        net.run_until(Seconds::new(60.0)).unwrap();
+        let ego = net.ego().unwrap();
+        assert!((ego.speed.value() - 4.0).abs() < 0.1, "speed {}", ego.speed);
+    }
+
+    #[test]
+    fn signal_count_sums_all_corridors() {
+        let net = two_corridor_net(1);
+        // us25 has 2 lights + 1 stop sign per corridor.
+        assert_eq!(net.signal_count(), 6);
+    }
+}

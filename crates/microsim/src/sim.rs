@@ -1,6 +1,6 @@
 //! The simulation loop.
 
-use crate::config::SimConfig;
+use crate::config::{FollowingModel, KraussParams, SimConfig};
 use crate::detector::InductionLoop;
 use crate::vehicle::{Vehicle, VehicleId, VehicleKind};
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,28 @@ pub struct EgoSnapshot {
     pub commanded: Option<MetersPerSecond>,
 }
 
+/// A vehicle that crossed the downstream end of a corridor, packaged as a
+/// boundary message for re-injection at the head of the next corridor of a
+/// [`Network`](crate::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Handoff {
+    /// Vehicle id, preserved across the boundary (network-unique when ids
+    /// are allocated with [`Simulation::set_id_allocation`]).
+    pub id: VehicleId,
+    /// Background or ego.
+    pub kind: VehicleKind,
+    /// Speed at the moment the rear bumper cleared the corridor end.
+    pub speed: MetersPerSecond,
+    /// Car-following parameters, preserved across the boundary.
+    pub params: KraussParams,
+    /// Served-sign mask at the moment of exit. Sign indices are
+    /// corridor-local, so the destination corridor starts the vehicle on a
+    /// fresh mask; the exit-time value rides along for observability.
+    pub stops_cleared: u64,
+    /// An active TraCI speed command travels with the vehicle.
+    pub commanded: Option<MetersPerSecond>,
+}
+
 /// One Poisson injection point (the corridor entrance or a side-road inflow
 /// at an intersection).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +77,7 @@ pub struct Simulation {
     config: SimConfig,
     time: Seconds,
     next_id: u64,
+    id_stride: u64,
     /// Sorted by position, descending (front-most first).
     vehicles: Vec<Vehicle>,
     entries: Vec<EntryPoint>,
@@ -65,6 +88,8 @@ pub struct Simulation {
     detectors: Vec<InductionLoop>,
     completed: u64,
     emergency_brakes: u64,
+    /// Vehicles that crossed the downstream end during the latest step.
+    exits: Vec<Handoff>,
 }
 
 impl Simulation {
@@ -76,12 +101,22 @@ impl Simulation {
     /// validation.
     pub fn new(road: Road, config: SimConfig) -> Result<Self> {
         let config = config.validated()?;
+        // `RoadBuilder` already enforces this, but `Road` values can arrive
+        // deserialized over the vehicular-cloud wire; the served-sign mask
+        // is 64 bits wide, so re-check defensively.
+        if road.stop_signs().len() > 64 {
+            return Err(Error::invalid_input(format!(
+                "a corridor supports at most 64 stop signs, got {}",
+                road.stop_signs().len()
+            )));
+        }
         let seed = config.seed;
         Ok(Self {
             road,
             config,
             time: Seconds::ZERO,
             next_id: 0,
+            id_stride: 1,
             vehicles: Vec::new(),
             entries: vec![EntryPoint {
                 position: Meters::ZERO,
@@ -95,6 +130,7 @@ impl Simulation {
             detectors: Vec::new(),
             completed: 0,
             emergency_brakes: 0,
+            exits: Vec::new(),
         })
     }
 
@@ -323,6 +359,7 @@ impl Simulation {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let dt = self.config.dt;
+        self.exits.clear();
         let old: Vec<(Meters, MetersPerSecond)> = self
             .vehicles
             .iter()
@@ -353,7 +390,7 @@ impl Simulation {
             }
             // Un-served stop signs ahead require a full stop at the line.
             for (si, sign) in self.road.stop_signs().iter().enumerate() {
-                if sign.position > v.position && v.stops_cleared & (1 << si) == 0 {
+                if sign.position > v.position && v.stops_cleared & (1u64 << si) == 0 {
                     constraints.push((sign.position - v.position, MetersPerSecond::ZERO));
                     break;
                 }
@@ -413,16 +450,22 @@ impl Simulation {
             v.speed = new_speeds[i];
             v.position += v.speed * dt;
             for (si, sign) in self.road.stop_signs().iter().enumerate() {
-                if v.stops_cleared & (1 << si) == 0
+                if v.stops_cleared & (1u64 << si) == 0
                     && v.speed.value() < 0.1
                     && (sign.position - v.position).value().abs() < 3.0
                 {
-                    v.stops_cleared |= 1 << si;
+                    v.stops_cleared |= 1u64 << si;
                 }
             }
             for det in &mut self.detectors {
                 det.observe(from, v.position);
             }
+        }
+        // Seal the detector step: every movement for this step is observed,
+        // so the per-step counts become the `LAST_STEP_VEHICLE_NUMBER` value
+        // non-destructive readers (TraCI pollers, the SAE feed) see.
+        for det in &mut self.detectors {
+            det.finish_step();
         }
 
         // Phase 2b: hard collision guard (should never trigger with sane
@@ -444,6 +487,7 @@ impl Simulation {
         let ego_id = self.ego_id;
         let mut finished_ego = false;
         let completed = &mut self.completed;
+        let exits = &mut self.exits;
         self.vehicles.retain(|v| {
             if let Some(light_idx) = v.turn_at_light {
                 if v.position >= lights[light_idx].position() {
@@ -452,6 +496,14 @@ impl Simulation {
             }
             if v.rear() > road_len {
                 *completed += 1;
+                exits.push(Handoff {
+                    id: v.id,
+                    kind: v.kind,
+                    speed: v.speed,
+                    params: v.params,
+                    stops_cleared: v.stops_cleared,
+                    commanded: v.commanded,
+                });
                 if Some(v.id) == ego_id {
                     finished_ego = true;
                 }
@@ -498,35 +550,122 @@ impl Simulation {
 
     fn allocate_id(&mut self) -> VehicleId {
         let id = VehicleId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.id_stride;
         id
     }
 
-    fn entrance_blocked(&self) -> bool {
-        self.entry_blocked(Meters::ZERO)
+    /// Configures id allocation as an interleaved stream: the next locally
+    /// allocated id is `first` and subsequent ones step by `stride`
+    /// (minimum 1). A [`Network`](crate::Network) gives corridor `i` of `n`
+    /// the stream `i, i + n, i + 2n, …` so vehicle ids stay unique
+    /// network-wide without cross-shard coordination.
+    pub fn set_id_allocation(&mut self, first: u64, stride: u64) {
+        self.next_id = first;
+        self.id_stride = stride.max(1);
     }
 
-    /// Whether inserting a vehicle with its front bumper at `position` would
-    /// violate spacing with the surrounding traffic.
-    fn entry_blocked(&self, position: Meters) -> bool {
-        let length = self.config.background.length.value();
-        let min_gap = self.config.background.min_gap.value();
+    fn entrance_blocked(&self) -> bool {
+        self.insertion_blocked(Meters::ZERO, &self.config.ego, MetersPerSecond::ZERO)
+    }
+
+    /// Whether inserting a vehicle (front bumper at `position`, driving with
+    /// `params`, entering at `speed`) would violate spacing with the
+    /// surrounding traffic.
+    ///
+    /// Two sides must clear. Ahead: the nearest leader must leave launch
+    /// room (a bounded-deceleration IDM entrant additionally needs its own
+    /// emergency stopping distance, since unlike Krauss it cannot shed
+    /// speed in a single step). Behind: **every** upstream vehicle whose
+    /// speed-dependent safety margin reaches the insertion point blocks it,
+    /// not just a follower within one car length — a fast follower 20 m
+    /// back is exactly the one an insertion would force into an emergency
+    /// brake.
+    fn insertion_blocked(
+        &self,
+        position: Meters,
+        params: &KraussParams,
+        speed: MetersPerSecond,
+    ) -> bool {
+        let length = params.length.value();
+        let dt = self.config.dt.value();
         for v in &self.vehicles {
-            let ahead_gap = (v.rear() - position).value();
-            let behind_gap = (v.position - position).value() + length;
-            // A vehicle ahead must leave launch room; a vehicle behind must
-            // not be forced into an emergency brake by the insertion.
-            if v.position >= position && ahead_gap < min_gap + 5.0 {
-                return true;
-            }
-            if v.position < position && -behind_gap < 0.0 {
+            if v.position >= position {
+                let ahead_gap = (v.rear() - position).value();
+                let launch = match params.model {
+                    FollowingModel::Krauss => 5.0,
+                    FollowingModel::Idm => {
+                        let ve = speed.value();
+                        5.0_f64.max(ve * ve / (4.0 * params.decel.value()))
+                    }
+                };
+                if ahead_gap < params.min_gap.value() + launch {
+                    return true;
+                }
+            } else {
                 let follower_gap = (position - v.position).value() - length;
-                if follower_gap < min_gap + 0.5 * v.speed.value() {
+                let vf = v.speed.value();
+                let needed = v.params.min_gap.value()
+                    + match v.params.model {
+                        FollowingModel::Krauss => 0.5 * vf,
+                        FollowingModel::Idm => {
+                            // Braking is clamped to 2·b per step, so the
+                            // follower needs one reaction step plus its
+                            // emergency stopping distance even if the
+                            // entrant has to stop dead immediately.
+                            (0.5 * vf).max(vf * dt + vf * vf / (4.0 * v.params.decel.value()))
+                        }
+                    };
+                if follower_gap < needed {
                     return true;
                 }
             }
         }
         false
+    }
+
+    /// Attempts to inject a handed-off vehicle at the corridor start (the
+    /// junction inflow of a [`Network`](crate::Network)). Returns `false` —
+    /// leaving the simulation untouched — when the entrance spacing check
+    /// rejects the insertion; the caller keeps the vehicle queued at the
+    /// junction and retries on a later tick.
+    ///
+    /// The vehicle keeps its id, speed, parameters and any active speed
+    /// command; its served-sign mask restarts empty because sign indices
+    /// are corridor-local. Background vehicles draw fresh turn decisions
+    /// for this corridor from the receiving simulation's RNG stream.
+    pub fn receive(&mut self, handoff: &Handoff) -> bool {
+        if self.insertion_blocked(Meters::ZERO, &handoff.params, handoff.speed) {
+            return false;
+        }
+        let mut turn_at_light = None;
+        if handoff.kind == VehicleKind::Background {
+            for i in 0..self.road.traffic_lights().len() {
+                if self.rng.chance(1.0 - self.config.straight_ratio) {
+                    turn_at_light = Some(i);
+                    break;
+                }
+            }
+        }
+        self.insert_vehicle(Vehicle {
+            id: handoff.id,
+            kind: handoff.kind,
+            position: Meters::ZERO,
+            speed: handoff.speed,
+            params: handoff.params,
+            turn_at_light,
+            stops_cleared: 0,
+            commanded: handoff.commanded,
+        });
+        if handoff.kind == VehicleKind::Ego {
+            self.ego_id = Some(handoff.id);
+        }
+        true
+    }
+
+    /// Drains the vehicles that crossed the downstream corridor end during
+    /// the most recent [`step`](Self::step) (junction boundary messages).
+    pub fn take_exits(&mut self) -> Vec<Handoff> {
+        std::mem::take(&mut self.exits)
     }
 
     fn insert_vehicle(&mut self, v: Vehicle) {
@@ -548,7 +687,15 @@ impl Simulation {
             let rate = self.entries[e].rate;
             self.entries[e].next_arrival = self.schedule_next(rate);
             let position = self.entries[e].position;
-            if self.entry_blocked(position) {
+            // Spacing is checked with the background profile (the common
+            // case) *before* any trait draws so a dropped arrival consumes
+            // no extra RNG.
+            let probe_speed = self
+                .road
+                .speed_limits_at(position)
+                .0
+                .min(self.config.background.desired_speed);
+            if self.insertion_blocked(position, &self.config.background, probe_speed) {
                 continue; // drop the arrival: no room at this entry
             }
             // Decide where (if anywhere) this vehicle turns off, among the
@@ -564,10 +711,10 @@ impl Simulation {
                 }
             }
             // Stop signs behind the entry point are already "served".
-            let mut stops_cleared = 0u32;
+            let mut stops_cleared = 0u64;
             for (si, sign) in self.road.stop_signs().iter().enumerate() {
                 if sign.position <= position {
-                    stops_cleared |= 1 << si;
+                    stops_cleared |= 1u64 << si;
                 }
             }
             let params = if self.rng.chance(self.config.truck_fraction) {
@@ -897,5 +1044,121 @@ mod tests {
         for w in sim.vehicles().windows(2) {
             assert!(w[1].position <= w[0].rear() + Meters::new(1e-6));
         }
+    }
+
+    #[test]
+    fn side_entries_never_force_emergency_brakes() {
+        // Regression: the follower-gap check used to apply only to upstream
+        // vehicles within one car length of the insertion point
+        // (`-behind_gap < 0.0`), so a fast follower a few metres further
+        // back was ignored entirely. IDM followers brake at a bounded rate,
+        // so such an insertion forced the collision guard. Every upstream
+        // vehicle whose gap can bind must pass the min_gap + 0.5·v test.
+        let mut sim = Simulation::new(
+            Road::us25(),
+            SimConfig {
+                background: KraussParams::passenger_idm(),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(1000.0));
+        // High side-entry rate in fast traffic: arrivals leaving the stop
+        // sign at 490 m reach ~19 m/s by this merge point.
+        sim.add_entry_point(Meters::new(600.0), VehiclesPerHour::new(900.0))
+            .unwrap();
+        sim.run_until(Seconds::new(400.0)).unwrap();
+        assert!(
+            sim.completed() + sim.vehicle_count() as u64 > 40,
+            "the merge must still admit traffic"
+        );
+        assert_eq!(
+            sim.emergency_brakes(),
+            0,
+            "side entries must respect every binding follower gap"
+        );
+    }
+
+    #[test]
+    fn stop_sign_masks_use_all_64_bits() {
+        // Regression: the served-sign mask was a u32, so `1 << si` for the
+        // 33rd sign overflowed (panic in debug, wraparound in release).
+        let mut b = RoadBuilder::new(Meters::new(10_000.0));
+        for i in 0..40 {
+            b.stop_sign(Meters::new(50.0 + 200.0 * i as f64));
+        }
+        let road = b
+            .default_limits(MetersPerSecond::new(5.0), MetersPerSecond::new(20.0))
+            .build()
+            .unwrap();
+        let mut sim = quick_sim(road);
+        // Entering just past sign 35 marks signs 0..=35 as served — indices
+        // beyond 31 exercise the full width of the mask.
+        sim.add_entry_point(Meters::new(7060.0), VehiclesPerHour::new(700.0))
+            .unwrap();
+        sim.run_until(Seconds::new(120.0)).unwrap();
+        assert!(sim.vehicle_count() > 0);
+        for v in sim.vehicles() {
+            assert_ne!(
+                v.stops_cleared() & (1u64 << 35),
+                0,
+                "signs behind the entry must be marked served"
+            );
+        }
+        assert_eq!(sim.emergency_brakes(), 0);
+    }
+
+    #[test]
+    fn exits_become_handoffs_and_receive_preserves_identity() {
+        let road = RoadBuilder::new(Meters::new(2000.0))
+            .default_limits(MetersPerSecond::new(10.0), MetersPerSecond::new(20.0))
+            .stop_sign(Meters::new(300.0))
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(road, SimConfig::default()).unwrap();
+        sim.set_id_allocation(3, 7);
+        let id = sim.spawn_ego(MetersPerSecond::new(15.0)).unwrap();
+        assert_eq!(id.raw(), 3, "first id comes from the allocation base");
+        sim.set_ego_command(Some(MetersPerSecond::new(12.0)))
+            .unwrap();
+        let mut exited = Vec::new();
+        while exited.is_empty() && sim.time() < Seconds::new(400.0) {
+            sim.step();
+            exited.extend(sim.take_exits());
+        }
+        let h = exited[0];
+        assert_eq!(h.id, id);
+        assert_eq!(h.kind, VehicleKind::Ego);
+        assert_eq!(h.commanded, Some(MetersPerSecond::new(12.0)));
+        assert_eq!(h.stops_cleared, 1, "the served stop sign rides along");
+        assert!(h.speed.value() > 0.0);
+
+        // Re-injection on a downstream corridor keeps id and speed.
+        let mut dst = quick_sim(free_road());
+        assert!(dst.receive(&h));
+        let v = dst.vehicles().iter().find(|v| v.id() == h.id).unwrap();
+        assert_eq!(v.speed(), h.speed);
+        assert_eq!(v.position(), Meters::ZERO);
+        assert_eq!(
+            v.stops_cleared(),
+            0,
+            "served signs do not carry across corridors"
+        );
+        let ego = dst
+            .ego()
+            .expect("ego identity transfers to the new corridor");
+        assert_eq!(ego.speed, h.speed);
+
+        // A blocked entrance refuses the handoff (head-of-line at junctions).
+        let blocked = Handoff {
+            id: VehicleId(99),
+            kind: VehicleKind::Background,
+            speed: MetersPerSecond::new(10.0),
+            params: KraussParams::passenger(),
+            stops_cleared: 0,
+            commanded: None,
+        };
+        assert!(!dst.receive(&blocked), "entrance is occupied by the ego");
+        assert_eq!(dst.vehicle_count(), 1);
     }
 }

@@ -45,8 +45,10 @@ pub struct Vehicle {
     /// Index of the traffic light at which this vehicle turns off the
     /// corridor (`None` = drives straight to the end).
     pub(crate) turn_at_light: Option<usize>,
-    /// Stop signs (by index) already served with a full stop.
-    pub(crate) stops_cleared: u32,
+    /// Stop signs (by index) already served with a full stop. 64 bits wide;
+    /// [`RoadBuilder`](velopt_road::RoadBuilder) rejects corridors with more
+    /// than 64 signs so the mask cannot overflow.
+    pub(crate) stops_cleared: u64,
     /// Commanded (TraCI `setSpeed`) cap; `None` = free driving.
     pub(crate) commanded: Option<MetersPerSecond>,
 }
@@ -90,6 +92,12 @@ impl Vehicle {
     /// The active commanded-speed cap, if any.
     pub fn commanded(&self) -> Option<MetersPerSecond> {
         self.commanded
+    }
+
+    /// Bitmask of stop signs (by corridor index) already served with a full
+    /// stop.
+    pub fn stops_cleared(&self) -> u64 {
+        self.stops_cleared
     }
 }
 

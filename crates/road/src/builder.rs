@@ -6,6 +6,10 @@ use velopt_common::interp::PiecewiseLinear;
 use velopt_common::units::{Meters, MetersPerSecond, Seconds};
 use velopt_common::{Error, Result};
 
+/// The most stop signs one corridor can carry (simulators track served
+/// signs in a 64-bit per-vehicle bitmask).
+pub const MAX_STOP_SIGNS: usize = 64;
+
 /// Incrementally configures a [`Road`].
 ///
 /// # Examples
@@ -120,6 +124,14 @@ impl RoadBuilder {
         }
 
         let mut stop_signs = self.stop_signs.clone();
+        // Simulators track served signs in a per-vehicle 64-bit mask indexed
+        // by sign position order; more signs than bits would overflow it.
+        if stop_signs.len() > MAX_STOP_SIGNS {
+            return Err(Error::invalid_input(format!(
+                "a corridor supports at most {MAX_STOP_SIGNS} stop signs, got {}",
+                stop_signs.len()
+            )));
+        }
         stop_signs.sort_by(|a, b| a.position.value().total_cmp(&b.position.value()));
         for s in &stop_signs {
             if s.position.value() <= 0.0 || s.position >= self.length {
@@ -257,6 +269,20 @@ mod tests {
             .unwrap();
         let theta = road.grade_at(Meters::new(500.0));
         assert!((theta.value() - (0.02f64).atan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_sign_count_boundary() {
+        // Exactly MAX_STOP_SIGNS is fine; one more is rejected with a clear
+        // message (the simulator's served-sign bitmask is 64 bits wide).
+        let mut b = RoadBuilder::new(Meters::new(10_000.0));
+        for i in 0..MAX_STOP_SIGNS {
+            b.stop_sign(Meters::new(10.0 + i as f64 * 100.0));
+        }
+        assert!(b.build().is_ok());
+        b.stop_sign(Meters::new(9999.0));
+        let err = b.build().unwrap_err().to_string();
+        assert!(err.contains("64 stop signs"), "unexpected error: {err}");
     }
 
     #[test]

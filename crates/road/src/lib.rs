@@ -33,7 +33,7 @@ mod generator;
 mod light;
 mod segment;
 
-pub use builder::RoadBuilder;
+pub use builder::{RoadBuilder, MAX_STOP_SIGNS};
 pub use generator::CorridorTemplate;
 pub use light::{Phase, TrafficLight};
 pub use segment::{Road, SpeedZone, StopSign};

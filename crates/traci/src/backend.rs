@@ -1,0 +1,283 @@
+//! Simulation backends the TraCI server can front.
+//!
+//! [`TraciServer`](crate::TraciServer) is generic over a [`TraciBackend`]:
+//! the single-corridor [`Simulation`] (object ids `veh<N>`, `tl<N>`,
+//! `loop<N>`) and the multi-corridor [`Network`] (vehicles keep their
+//! network-unique `veh<N>` names; signals and detectors are corridor-scoped
+//! as `tl<corridor>:<N>` and `loop<corridor>:<N>`).
+
+use velopt_common::units::{Meters, MetersPerSecond, Seconds};
+use velopt_common::{Error, Result};
+use velopt_microsim::{Network, Simulation, VehicleKind};
+use velopt_road::Phase;
+
+/// The slice of vehicle state the TraCI surface reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleView {
+    /// Front-bumper position within the vehicle's corridor.
+    pub position: Meters,
+    /// Current speed.
+    pub speed: MetersPerSecond,
+    /// Corridor index (always 0 for a single-corridor backend). Reported as
+    /// the `y` coordinate of TraCI 2D positions so network clients can tell
+    /// corridors apart.
+    pub corridor: usize,
+}
+
+/// What a simulation must expose to be served over TraCI.
+pub trait TraciBackend: Send + 'static {
+    /// Current simulation time.
+    fn time(&self) -> Seconds;
+    /// Advances exactly one step.
+    fn step_once(&mut self);
+    /// Advances until `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `t` lies in the past.
+    fn advance_to(&mut self, t: Seconds) -> Result<()>;
+    /// All active vehicle object ids.
+    fn vehicle_ids(&self) -> Vec<String>;
+    /// Looks up one vehicle by object id.
+    fn vehicle_state(&self, object: &str) -> Option<VehicleView>;
+    /// Current phase of the traffic light named `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if no such light exists.
+    fn light_phase(&self, object: &str) -> Result<Phase>;
+    /// Crossing count of the loop named `object` during the last completed
+    /// step (SUMO `LAST_STEP_VEHICLE_NUMBER`; reading never mutates the
+    /// detector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if no such loop exists.
+    fn loop_last_step_count(&self, object: &str) -> Result<u64>;
+    /// Applies (or clears, `None`) a TraCI speed command to the vehicle
+    /// named `object`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] if the vehicle is not externally
+    /// controllable (only the ego is).
+    fn command_vehicle_speed(&mut self, object: &str, speed: Option<MetersPerSecond>)
+        -> Result<()>;
+}
+
+/// Parses `"<prefix><index>"` (e.g. `tl1`).
+fn parse_index(object: &str, prefix: &str) -> Result<usize> {
+    object
+        .strip_prefix(prefix)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::protocol(format!("malformed object id '{object}'")))
+}
+
+/// Parses `"<prefix><corridor>:<index>"` (e.g. `tl2:0`).
+fn parse_scoped(object: &str, prefix: &str) -> Result<(usize, usize)> {
+    object
+        .strip_prefix(prefix)
+        .and_then(|s| s.split_once(':'))
+        .and_then(|(c, i)| Some((c.parse().ok()?, i.parse().ok()?)))
+        .ok_or_else(|| Error::protocol(format!("malformed object id '{object}'")))
+}
+
+impl TraciBackend for Simulation {
+    fn time(&self) -> Seconds {
+        Simulation::time(self)
+    }
+
+    fn step_once(&mut self) {
+        self.step();
+    }
+
+    fn advance_to(&mut self, t: Seconds) -> Result<()> {
+        self.run_until(t)
+    }
+
+    fn vehicle_ids(&self) -> Vec<String> {
+        self.vehicles().iter().map(|v| v.id().to_string()).collect()
+    }
+
+    fn vehicle_state(&self, object: &str) -> Option<VehicleView> {
+        self.vehicles()
+            .iter()
+            .find(|v| v.id().to_string() == object)
+            .map(|v| VehicleView {
+                position: v.position(),
+                speed: v.speed(),
+                corridor: 0,
+            })
+    }
+
+    fn light_phase(&self, object: &str) -> Result<Phase> {
+        let idx = parse_index(object, "tl")?;
+        let light = self
+            .road()
+            .traffic_lights()
+            .get(idx)
+            .ok_or_else(|| Error::protocol(format!("no traffic light '{object}'")))?;
+        Ok(light.phase_at(Simulation::time(self)))
+    }
+
+    fn loop_last_step_count(&self, object: &str) -> Result<u64> {
+        let idx = parse_index(object, "loop")?;
+        let det = self
+            .detectors()
+            .get(idx)
+            .ok_or_else(|| Error::protocol(format!("no induction loop '{object}'")))?;
+        Ok(det.last_step_count())
+    }
+
+    fn command_vehicle_speed(
+        &mut self,
+        object: &str,
+        speed: Option<MetersPerSecond>,
+    ) -> Result<()> {
+        let ego_is_target = self.ego().is_some()
+            && self
+                .vehicles()
+                .iter()
+                .any(|v| v.id().to_string() == object && v.kind() == VehicleKind::Ego);
+        if !ego_is_target {
+            return Err(Error::protocol(format!(
+                "vehicle '{object}' is not externally controllable"
+            )));
+        }
+        self.set_ego_command(speed)
+    }
+}
+
+impl TraciBackend for Network {
+    fn time(&self) -> Seconds {
+        Network::time(self)
+    }
+
+    fn step_once(&mut self) {
+        self.step();
+    }
+
+    fn advance_to(&mut self, t: Seconds) -> Result<()> {
+        self.run_until(t)
+    }
+
+    fn vehicle_ids(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in 0..self.corridors() {
+            let sim = self.corridor(c).expect("index in range");
+            out.extend(sim.vehicles().iter().map(|v| v.id().to_string()));
+            // Vehicles mid-handoff stay listed so a polling client never
+            // sees an id flicker out at a junction.
+            out.extend(self.pending(c).map(|h| h.id.to_string()));
+        }
+        out
+    }
+
+    fn vehicle_state(&self, object: &str) -> Option<VehicleView> {
+        for c in 0..self.corridors() {
+            let sim = self.corridor(c).expect("index in range");
+            if let Some(v) = sim.vehicles().iter().find(|v| v.id().to_string() == object) {
+                return Some(VehicleView {
+                    position: v.position(),
+                    speed: v.speed(),
+                    corridor: c,
+                });
+            }
+            // A vehicle queued at the junction is reported at position 0
+            // of its destination corridor, one tick before it inserts.
+            if let Some(h) = self.pending(c).find(|h| h.id.to_string() == object) {
+                return Some(VehicleView {
+                    position: Meters::ZERO,
+                    speed: h.speed,
+                    corridor: c,
+                });
+            }
+        }
+        None
+    }
+
+    fn light_phase(&self, object: &str) -> Result<Phase> {
+        let (c, idx) = parse_scoped(object, "tl")?;
+        let light = self
+            .corridor(c)
+            .and_then(|sim| sim.road().traffic_lights().get(idx))
+            .ok_or_else(|| Error::protocol(format!("no traffic light '{object}'")))?;
+        Ok(light.phase_at(Network::time(self)))
+    }
+
+    fn loop_last_step_count(&self, object: &str) -> Result<u64> {
+        let (c, idx) = parse_scoped(object, "loop")?;
+        let det = self
+            .corridor(c)
+            .and_then(|sim| sim.detectors().get(idx))
+            .ok_or_else(|| Error::protocol(format!("no induction loop '{object}'")))?;
+        Ok(det.last_step_count())
+    }
+
+    fn command_vehicle_speed(
+        &mut self,
+        object: &str,
+        speed: Option<MetersPerSecond>,
+    ) -> Result<()> {
+        let is_ego = self
+            .ego_vehicle_id()
+            .is_some_and(|id| id.to_string() == object);
+        if !is_ego {
+            return Err(Error::protocol(format!(
+                "vehicle '{object}' is not externally controllable"
+            )));
+        }
+        self.set_ego_command(speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_parsing() {
+        assert_eq!(parse_index("tl3", "tl").unwrap(), 3);
+        assert!(parse_index("tl", "tl").is_err());
+        assert!(parse_index("loop1", "tl").is_err());
+        assert_eq!(parse_scoped("tl2:7", "tl").unwrap(), (2, 7));
+        assert_eq!(parse_scoped("loop0:0", "loop").unwrap(), (0, 0));
+        assert!(parse_scoped("tl2", "tl").is_err());
+        assert!(parse_scoped("tl2:", "tl").is_err());
+        assert!(parse_scoped("tl:7", "tl").is_err());
+    }
+
+    /// A vehicle mid-handoff (routed through the junction, queued to
+    /// insert next tick) must stay visible to TraCI — a polling client
+    /// that sees the id flicker out would conclude the trip ended.
+    #[test]
+    fn junction_handoff_vehicles_stay_visible() {
+        use velopt_microsim::{CorridorSpec, Network, SimConfig};
+        use velopt_road::CorridorTemplate;
+
+        let template = CorridorTemplate {
+            length: (500.0, 600.0),
+            ..CorridorTemplate::default()
+        };
+        let specs = vec![
+            CorridorSpec::through(template.generate(5).unwrap(), 1),
+            CorridorSpec::terminal(template.generate(6).unwrap()),
+        ];
+        let mut net = Network::new(specs, 1, SimConfig::default()).unwrap();
+        let ego = net
+            .spawn_ego(0, velopt_common::units::MetersPerSecond::new(15.0))
+            .unwrap()
+            .to_string();
+        for _ in 0..5000 {
+            net.step();
+            if net.pending(1).next().is_some() {
+                let v = net.vehicle_state(&ego).expect("ego visible mid-handoff");
+                assert_eq!(v.corridor, 1);
+                assert_eq!(v.position.value(), 0.0);
+                assert!(net.vehicle_ids().contains(&ego));
+                return;
+            }
+        }
+        panic!("ego never reached the junction");
+    }
+}

@@ -228,7 +228,9 @@ impl TraciClient {
     }
 
     /// Reads the number of vehicles that crossed an induction loop during
-    /// the last simulation step window.
+    /// the last **completed** simulation step (SUMO
+    /// `LAST_STEP_VEHICLE_NUMBER`). Reading is non-destructive: repeated
+    /// reads within the same step return the same count.
     ///
     /// # Errors
     ///

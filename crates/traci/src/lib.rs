@@ -16,9 +16,11 @@
 //!   `set_speed`, traffic-light state, induction-loop counts, simulation
 //!   time, and `close`.
 //! * [`TraciServer`] — serves one client per connection, translating TraCI
-//!   commands into [`velopt_microsim::Simulation`] calls. Vehicles are
-//!   exposed as `veh<N>`, traffic lights as `tl<N>`, induction loops as
-//!   `loop<N>`.
+//!   commands into calls on a [`TraciBackend`]: a single-corridor
+//!   [`velopt_microsim::Simulation`] (vehicles `veh<N>`, traffic lights
+//!   `tl<N>`, induction loops `loop<N>`) or a multi-corridor
+//!   [`velopt_microsim::Network`] (network-unique `veh<N>` plus
+//!   corridor-scoped `tl<corridor>:<N>` and `loop<corridor>:<N>`).
 //!
 //! # Examples
 //!
@@ -40,10 +42,12 @@
 //! # }
 //! ```
 
+mod backend;
 mod client;
 pub mod protocol;
 mod server;
 
+pub use backend::{TraciBackend, VehicleView};
 pub use client::{SubscriptionResult, TraciClient, Version};
 pub use protocol::TraciValue;
 pub use server::TraciServer;

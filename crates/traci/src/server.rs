@@ -1,12 +1,14 @@
-//! The TraCI server fronting a [`velopt_microsim::Simulation`].
+//! The TraCI server fronting a [`TraciBackend`] simulation.
 
+use crate::backend::{TraciBackend, VehicleView};
 use crate::protocol::{
     ids, put_string, read_message, take_f64, take_string, take_u8, write_message, Command, Status,
     TraciValue,
 };
 use bytes::{BufMut, BytesMut};
 use parking_lot::Mutex;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use velopt_common::units::{MetersPerSecond, Seconds};
@@ -17,40 +19,61 @@ use velopt_road::Phase;
 /// TraCI API level this server implements (matches recent SUMO releases).
 pub const API_LEVEL: i32 = 20;
 
-/// A TCP server exposing a microsim [`Simulation`] through the TraCI
-/// protocol.
+/// A TCP server exposing a simulation backend through the TraCI protocol.
 ///
-/// Object naming: vehicles are `veh<N>` (the [`VehicleId`] display form),
-/// traffic lights `tl<N>` by corridor order, induction loops `loop<N>` by
-/// insertion order. See the crate-level example.
+/// Object naming: vehicles are `veh<N>` (the [`VehicleId`] display form).
+/// Fronting a single [`Simulation`], traffic lights are `tl<N>` by corridor
+/// order and induction loops `loop<N>` by insertion order; fronting a
+/// [`Network`](velopt_microsim::Network), they are corridor-scoped as
+/// `tl<corridor>:<N>` and `loop<corridor>:<N>`. See the crate-level example.
+///
+/// The server owns a listener thread. It stops serving when a client sends
+/// `CMD_CLOSE`, when [`shutdown`](Self::shutdown) is called, or when the
+/// handle is dropped — dropping joins the thread and releases the socket, so
+/// a dropped server never leaks its port.
 ///
 /// [`VehicleId`]: velopt_microsim::VehicleId
 #[derive(Debug)]
-pub struct TraciServer {
+pub struct TraciServer<S: TraciBackend = Simulation> {
     addr: SocketAddr,
-    sim: Arc<Mutex<Simulation>>,
+    sim: Arc<Mutex<S>>,
     handle: Option<JoinHandle<()>>,
+    /// Set to request the listener thread to exit at its next check.
+    stop: Arc<AtomicBool>,
+    /// The currently served client connection (a `try_clone` of the stream),
+    /// so shutdown can unblock a thread parked in a read.
+    active: Arc<Mutex<Option<TcpStream>>>,
 }
 
-impl TraciServer {
+impl<S: TraciBackend> TraciServer<S> {
     /// Binds to an ephemeral localhost port and serves clients on a
-    /// background thread (one at a time; the loop ends when a client sends
-    /// `CMD_CLOSE` and no new connection arrives before the listener is
-    /// dropped).
+    /// background thread, one at a time, until a client sends `CMD_CLOSE`
+    /// or the server is shut down.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] if the listener cannot bind.
-    pub fn spawn(sim: Simulation) -> Result<Self> {
+    pub fn spawn(sim: S) -> Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let sim = Arc::new(Mutex::new(sim));
+        let stop = Arc::new(AtomicBool::new(false));
+        let active: Arc<Mutex<Option<TcpStream>>> = Arc::new(Mutex::new(None));
         let sim_for_thread = Arc::clone(&sim);
+        let stop_for_thread = Arc::clone(&stop);
+        let active_for_thread = Arc::clone(&active);
         let handle = std::thread::spawn(move || {
-            // Serve connections until the server handle is dropped; each
-            // accept error (listener closed) terminates the loop.
-            while let Ok((stream, _)) = listener.accept() {
+            while !stop_for_thread.load(Ordering::Acquire) {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                // A shutdown may have connected just to unblock accept.
+                if stop_for_thread.load(Ordering::Acquire) {
+                    break;
+                }
+                *active_for_thread.lock() = stream.try_clone().ok();
                 let keep_going = serve_connection(stream, &sim_for_thread);
+                *active_for_thread.lock() = None;
                 if !keep_going {
                     break;
                 }
@@ -60,6 +83,8 @@ impl TraciServer {
             addr,
             sim,
             handle: Some(handle),
+            stop,
+            active,
         })
     }
 
@@ -70,12 +95,28 @@ impl TraciServer {
 
     /// Shared access to the simulation (for out-of-band inspection in tests
     /// and harnesses — e.g. reading the ego trace after a run).
-    pub fn simulation(&self) -> Arc<Mutex<Simulation>> {
+    pub fn simulation(&self) -> Arc<Mutex<S>> {
         Arc::clone(&self.sim)
     }
 
-    /// Waits for the serving thread to finish (after a client sent
-    /// `CMD_CLOSE`).
+    /// Stops accepting, unblocks any in-flight read, joins the listener
+    /// thread, and releases the socket. Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock a thread parked reading from the active client…
+        if let Some(stream) = self.active.lock().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // …or parked in accept(): a throwaway connection wakes it so it can
+        // observe the stop flag and drop the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Waits for the serving thread to finish on its own (after a client
+    /// sent `CMD_CLOSE`).
     pub fn join(mut self) {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -83,14 +124,12 @@ impl TraciServer {
     }
 }
 
-impl Drop for TraciServer {
+impl<S: TraciBackend> Drop for TraciServer<S> {
     fn drop(&mut self) {
-        // The listener thread exits after the active client closes; we do
-        // not block in drop (C-DTOR-BLOCK): harnesses call `join()` when
-        // they need determinism.
-        if let Some(h) = self.handle.take() {
-            drop(h);
-        }
+        // Regression guard: the old drop leaked the listener thread and its
+        // socket until process exit. Joining here is bounded — shutdown
+        // unblocks both accept() and any in-flight client read.
+        self.shutdown();
     }
 }
 
@@ -105,7 +144,7 @@ struct Subscription {
 
 /// Serves one client; returns `false` when the server should stop accepting
 /// (client requested close).
-fn serve_connection(mut stream: TcpStream, sim: &Arc<Mutex<Simulation>>) -> bool {
+fn serve_connection<S: TraciBackend>(mut stream: TcpStream, sim: &Arc<Mutex<S>>) -> bool {
     stream.set_nodelay(true).ok();
     let mut subscriptions: Vec<Subscription> = Vec::new();
     loop {
@@ -135,9 +174,9 @@ fn serve_connection(mut stream: TcpStream, sim: &Arc<Mutex<Simulation>>) -> bool
 
 /// Executes one command against the simulation, returning the response
 /// commands (status first).
-fn handle_command(
+fn handle_command<S: TraciBackend>(
     cmd: &Command,
-    sim: &Arc<Mutex<Simulation>>,
+    sim: &Arc<Mutex<S>>,
     subscriptions: &mut Vec<Subscription>,
 ) -> Result<Vec<Command>> {
     match cmd.id {
@@ -156,11 +195,11 @@ fn handle_command(
             let results = {
                 let mut sim = sim.lock();
                 if target <= 0.0 {
-                    sim.step();
+                    sim.step_once();
                 } else {
-                    sim.run_until(Seconds::new(target))?;
+                    sim.advance_to(Seconds::new(target))?;
                 }
-                subscription_results(&sim, subscriptions)
+                subscription_results(&*sim, subscriptions)
             };
             // The simstep result carries the subscription-result count, then
             // one RESPONSE_SUBSCRIBE command per live subscription.
@@ -220,16 +259,14 @@ fn handle_command(
             let (var, object, _) = decode_get(cmd)?;
             let sim = sim.lock();
             let value = match var {
-                ids::ID_LIST => TraciValue::StringList(
-                    sim.vehicles().iter().map(|v| v.id().to_string()).collect(),
-                ),
+                ids::ID_LIST => TraciValue::StringList(sim.vehicle_ids()),
                 ids::VAR_SPEED => {
-                    let v = find_vehicle(&sim, &object)?;
-                    TraciValue::Double(v.speed().value())
+                    let v = find_vehicle(&*sim, &object)?;
+                    TraciValue::Double(v.speed.value())
                 }
                 ids::VAR_POSITION => {
-                    let v = find_vehicle(&sim, &object)?;
-                    TraciValue::Position2D(v.position().value(), 0.0)
+                    let v = find_vehicle(&*sim, &object)?;
+                    TraciValue::Position2D(v.position.value(), v.corridor as f64)
                 }
                 other => {
                     return Err(Error::protocol(format!(
@@ -246,13 +283,7 @@ fn handle_command(
                     "unsupported traffic-light variable 0x{var:02x}"
                 )));
             }
-            let sim = sim.lock();
-            let idx = parse_index(&object, "tl")?;
-            let lights = sim.road().traffic_lights();
-            let light = lights
-                .get(idx)
-                .ok_or_else(|| Error::protocol(format!("no traffic light '{object}'")))?;
-            let state = match light.phase_at(sim.time()) {
+            let state = match sim.lock().light_phase(&object)? {
                 Phase::Green => "G",
                 Phase::Red => "r",
             };
@@ -270,14 +301,11 @@ fn handle_command(
                     "unsupported induction-loop variable 0x{var:02x}"
                 )));
             }
-            let mut sim = sim.lock();
-            let now = sim.time();
-            let idx = parse_index(&object, "loop")?;
-            let det = sim
-                .detector_mut(idx)
-                .ok_or_else(|| Error::protocol(format!("no induction loop '{object}'")))?;
-            let count = det.window_count() as i32;
-            let _ = det.take_window(now);
+            // SUMO semantics: the count for the last *completed* step.
+            // Reading is non-destructive — the old implementation drained
+            // the detector's flow window here, so a second poller (or the
+            // SAE volume feed) read zeros after any TraCI read.
+            let count = sim.lock().loop_last_step_count(&object)? as i32;
             Ok(get_response(cmd, var, &object, TraciValue::Integer(count)))
         }
         ids::CMD_SET_VEHICLE_VARIABLE => {
@@ -290,22 +318,12 @@ fn handle_command(
                 )));
             }
             let value = TraciValue::decode(&mut payload)?.as_double()?;
-            let mut sim = sim.lock();
-            let ego_is_target = sim.ego().is_some()
-                && sim.vehicles().iter().any(|v| {
-                    v.id().to_string() == object && v.kind() == velopt_microsim::VehicleKind::Ego
-                });
-            if !ego_is_target {
-                return Err(Error::protocol(format!(
-                    "vehicle '{object}' is not externally controllable"
-                )));
-            }
             let command = if value < 0.0 {
                 None // negative setSpeed returns control to car-following
             } else {
                 Some(MetersPerSecond::new(value))
             };
-            sim.set_ego_command(command)?;
+            sim.lock().command_vehicle_speed(&object, command)?;
             Ok(vec![Status::ok(cmd.id).to_command()])
         }
         other => Ok(vec![Command::new(other, {
@@ -320,7 +338,7 @@ fn handle_command(
 /// Builds the per-step subscription result commands. Subscriptions whose
 /// vehicle has left the simulation (or whose time window is over) produce
 /// no result.
-fn subscription_results(sim: &Simulation, subscriptions: &[Subscription]) -> Vec<Command> {
+fn subscription_results<S: TraciBackend>(sim: &S, subscriptions: &[Subscription]) -> Vec<Command> {
     let now = sim.time().value();
     let mut out = Vec::new();
     for sub in subscriptions {
@@ -337,8 +355,10 @@ fn subscription_results(sim: &Simulation, subscriptions: &[Subscription]) -> Vec
             buf.put_u8(var);
             buf.put_u8(ids::RTYPE_OK);
             let value = match var {
-                ids::VAR_SPEED => TraciValue::Double(vehicle.speed().value()),
-                ids::VAR_POSITION => TraciValue::Position2D(vehicle.position().value(), 0.0),
+                ids::VAR_SPEED => TraciValue::Double(vehicle.speed.value()),
+                ids::VAR_POSITION => {
+                    TraciValue::Position2D(vehicle.position.value(), vehicle.corridor as f64)
+                }
                 _ => unreachable!("variables validated at subscription time"),
             };
             value.encode(&mut buf);
@@ -369,26 +389,18 @@ fn get_response(cmd: &Command, var: u8, object: &str, value: TraciValue) -> Vec<
     ]
 }
 
-fn find_vehicle<'a>(sim: &'a Simulation, object: &str) -> Result<&'a velopt_microsim::Vehicle> {
-    sim.vehicles()
-        .iter()
-        .find(|v| v.id().to_string() == object)
+fn find_vehicle<S: TraciBackend>(sim: &S, object: &str) -> Result<VehicleView> {
+    sim.vehicle_state(object)
         .ok_or_else(|| Error::protocol(format!("no vehicle '{object}'")))
-}
-
-fn parse_index(object: &str, prefix: &str) -> Result<usize> {
-    object
-        .strip_prefix(prefix)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| Error::protocol(format!("malformed object id '{object}'")))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::TraciClient;
+    use std::time::Duration;
     use velopt_common::units::{Meters, VehiclesPerHour};
-    use velopt_microsim::SimConfig;
+    use velopt_microsim::{CorridorSpec, Network, SimConfig};
     use velopt_road::Road;
 
     fn server() -> TraciServer {
@@ -405,6 +417,36 @@ mod tests {
         assert!(v.software.contains("velopt"));
         client.close().unwrap();
         server.join();
+    }
+
+    #[test]
+    fn drop_shuts_down_listener_and_thread() {
+        // Regression: the old drop let the listener thread (and its socket)
+        // live until process exit, so every spawned-then-dropped server
+        // leaked a port and a thread.
+        let server = server();
+        let addr = server.addr();
+        let mut client = TraciClient::connect(addr).unwrap();
+        client.get_version().unwrap();
+        // Drop without CMD_CLOSE while the serving thread is blocked
+        // reading from us — the hardest case for shutdown.
+        drop(server);
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_secs(2));
+        assert!(
+            refused.is_err(),
+            "listener must be gone after drop, but a reconnect succeeded"
+        );
+        // The original client's connection was torn down too.
+        assert!(client.get_version().is_err());
+    }
+
+    #[test]
+    fn explicit_shutdown_is_idempotent() {
+        let mut server = server();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_secs(2)).is_err());
     }
 
     #[test]
@@ -498,12 +540,70 @@ mod tests {
         let server = TraciServer::spawn(sim).unwrap();
         let mut client = TraciClient::connect(server.addr()).unwrap();
         client.simulation_step(120.0).unwrap();
-        let count = client.induction_loop_count("loop0").unwrap();
-        assert!(count > 5, "saw {count} crossings");
-        // The window resets after a read.
-        let again = client.induction_loop_count("loop0").unwrap();
-        assert!(again <= count);
+        // SUMO LAST_STEP_VEHICLE_NUMBER semantics: per-completed-step
+        // counts, and reads never consume anything. Regression: the old
+        // handler drained the detector window on every read, so the second
+        // of two consecutive reads (another TraCI poller, or the SAE volume
+        // feed) always saw zero.
+        let mut total = 0;
+        for _ in 0..600 {
+            client.simulation_step(0.0).unwrap();
+            let count = client.induction_loop_count("loop0").unwrap();
+            let again = client.induction_loop_count("loop0").unwrap();
+            assert_eq!(count, again, "loop reads must be non-destructive");
+            total += count;
+        }
+        assert!(total > 5, "saw {total} crossings in 60 s");
         assert!(client.induction_loop_count("loop7").is_err());
+        client.close().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn network_backend_scopes_object_ids_by_corridor() {
+        let net = {
+            let mut feeder = CorridorSpec::through(Road::us25(), 1);
+            feeder.arrival_rate = VehiclesPerHour::new(700.0);
+            feeder.detectors.push(Meters::new(100.0));
+            let mut sink = CorridorSpec::terminal(Road::us25());
+            sink.detectors.push(Meters::new(100.0));
+            let mut net = Network::new(vec![feeder, sink], 2, SimConfig::default()).unwrap();
+            net.spawn_ego(0, MetersPerSecond::new(5.0)).unwrap();
+            net
+        };
+        let ego_name = net.ego_vehicle_id().unwrap().to_string();
+        let server = TraciServer::spawn(net).unwrap();
+        let mut client = TraciClient::connect(server.addr()).unwrap();
+
+        client.simulation_step(60.0).unwrap();
+        let ids = client.vehicle_ids().unwrap();
+        assert!(ids.contains(&ego_name));
+        // Corridor-scoped signal and detector names resolve per corridor…
+        for object in ["tl0:0", "tl0:1", "tl1:0", "tl1:1"] {
+            client.traffic_light_state(object).unwrap();
+        }
+        let c0 = client.induction_loop_count("loop0:0").unwrap();
+        assert_eq!(c0, client.induction_loop_count("loop0:0").unwrap());
+        client.induction_loop_count("loop1:0").unwrap();
+        // …and single-corridor names or out-of-range scopes are rejected.
+        assert!(client.traffic_light_state("tl0").is_err());
+        assert!(client.traffic_light_state("tl2:0").is_err());
+        assert!(client.induction_loop_count("loop0").is_err());
+        assert!(client.induction_loop_count("loop1:3").is_err());
+
+        // Ego control works through the network backend, and the 2D
+        // position's y channel reports the corridor index.
+        client.set_vehicle_speed(&ego_name, 3.0).unwrap();
+        for _ in 0..50 {
+            client.simulation_step(0.0).unwrap();
+        }
+        let speed = client.vehicle_speed(&ego_name).unwrap();
+        assert!((speed - 3.0).abs() < 0.05, "speed {speed}");
+        let (_, y) = client.vehicle_position(&ego_name).unwrap();
+        assert_eq!(y, 0.0, "ego still on corridor 0");
+        // Background vehicles stay uncontrollable.
+        let background = ids.iter().find(|i| **i != ego_name).unwrap();
+        assert!(client.set_vehicle_speed(background, 5.0).is_err());
         client.close().unwrap();
         server.join();
     }

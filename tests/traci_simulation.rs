@@ -79,8 +79,13 @@ fn traci_detectors_measure_background_flow() {
         .unwrap();
     let server = TraciServer::spawn(sim).unwrap();
     let mut client = TraciClient::connect(server.addr()).unwrap();
-    client.simulation_step(600.0).unwrap();
-    let crossings = client.induction_loop_count("loop0").unwrap();
+    // SUMO LAST_STEP_VEHICLE_NUMBER is a per-step figure: step tick by
+    // tick and accumulate, like a real TraCI detector poller.
+    let mut crossings = 0;
+    for _ in 0..6000 {
+        client.simulation_step(0.0).unwrap();
+        crossings += client.induction_loop_count("loop0").unwrap();
+    }
     // ~800 veh/h for 600 s ≈ 133 expected; allow a wide Poisson/queueing band.
     assert!(
         (60..=200).contains(&crossings),
