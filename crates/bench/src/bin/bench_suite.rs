@@ -12,9 +12,11 @@
 //!     deterministic work counters (states expanded per iteration, energy
 //!     evaluations, gemm FLOPs and scratch allocations per iteration)
 //!     exceed the baseline's by more than T, when the cloud serving
-//!     scenario's steady-state buffer reuse falls below the 90% floor, or
+//!     scenario's steady-state buffer reuse falls below the 90% floor,
 //!     when the sharded network steps fewer vehicles per round than the
-//!     baseline (the scenario silently shrank).
+//!     baseline (the scenario silently shrank), or when the co-simulation
+//!     storm's coalesce hits, batch fill, or 2x speedup over singles
+//!     dispatch fall below their floors (coalescing disengaged).
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
@@ -121,6 +123,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                         s.vehicles_stepped,
                         s.network_handoffs,
                         per_round / s.wall_seconds.p50.max(1e-12),
+                    );
+                } else if s.batch_flushes > 0 {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p95 {:>9.4}s  hits {:>6}  \
+                         flights {:>5}  fill {:>5.1}  speedup {:>5.2}x",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p95,
+                        s.coalesce_hits,
+                        s.coalesce_flights,
+                        s.batch_fill(),
+                        s.storm_speedup,
                     );
                 } else if s.buf_reuse + s.buf_alloc > 0 {
                     eprintln!(

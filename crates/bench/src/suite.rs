@@ -17,7 +17,7 @@
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use telemetry::json::Json;
 use velopt_cloud::protocol::{read_frame, tags, write_frame};
 use velopt_cloud::{CloudServer, PredictBatchRequest, PredictQuery, ServerConfig, TripRequest};
@@ -33,6 +33,7 @@ use velopt_core::replan::{ReplanConfig, Replanner};
 use velopt_core::windows::green_only_constraints;
 use velopt_ev_energy::{EnergyModel, VehicleParams};
 use velopt_microsim::{CorridorSpec, Network, SimConfig};
+use velopt_queue::QueueParams;
 use velopt_road::{CorridorTemplate, Road};
 use velopt_traffic::nn::SgdConfig;
 use velopt_traffic::{
@@ -62,6 +63,14 @@ pub struct MatrixSpec {
     pub cloud_clients: usize,
     /// Lockstep request rounds timed across those connections.
     pub cloud_rounds: usize,
+    /// Vehicles in the co-simulation replan storm (the wave size; the
+    /// coalescing server's `batch_max` is pinned to it so every round is
+    /// exactly one flush).
+    pub cosim_vehicles: usize,
+    /// Distinct trip keys the storm's vehicles share (its corridors).
+    pub cosim_corridors: usize,
+    /// Lockstep storm rounds timed, each with fresh trip keys.
+    pub cosim_rounds: usize,
     /// Corridors in the sharded microsimulation network.
     pub network_corridors: usize,
     /// Untimed simulated seconds that fill the network with traffic before
@@ -83,6 +92,9 @@ impl MatrixSpec {
             sae_predict_iters: 16,
             cloud_clients: 256,
             cloud_rounds: 6,
+            cosim_vehicles: 48,
+            cosim_corridors: 6,
+            cosim_rounds: 5,
             network_corridors: 128,
             network_warmup_s: 600.0,
             network_rounds: 24,
@@ -100,6 +112,9 @@ impl MatrixSpec {
             sae_predict_iters: 8,
             cloud_clients: 64,
             cloud_rounds: 4,
+            cosim_vehicles: 16,
+            cosim_corridors: 4,
+            cosim_rounds: 3,
             network_corridors: 12,
             network_warmup_s: 120.0,
             network_rounds: 6,
@@ -152,6 +167,19 @@ pub struct ScenarioResult {
     /// Plan responses that skipped `encode_profile` by cloning the cached
     /// frame bytes.
     pub plan_encode_skipped: u64,
+    /// Identical in-flight trip requests folded into another waiter's
+    /// solve by the coalescer (the `cloud_cosim` scenario; zero
+    /// elsewhere). The storm is seeded and flushes on an exact waiter
+    /// count, so this is machine-invariant.
+    pub coalesce_hits: u64,
+    /// Fresh DP solves the coalescer dispatched (distinct keys per flush).
+    pub coalesce_flights: u64,
+    /// Coalescing windows flushed to the batch solver.
+    pub batch_flushes: u64,
+    /// Median round time of the same storm served without coalescing,
+    /// divided by the coalesced median — a same-run ratio, so machine
+    /// speed cancels out (zero for non-cosim scenarios).
+    pub storm_speedup: f64,
     /// Vehicle-steps executed by the sharded network during the timed
     /// rounds (the `microsim_network` scenario; zero elsewhere). The
     /// network is bit-deterministic across shard counts, so this is
@@ -181,6 +209,10 @@ impl ScenarioResult {
             buf_reuse: 0,
             buf_alloc: 0,
             plan_encode_skipped: 0,
+            coalesce_hits: 0,
+            coalesce_flights: 0,
+            batch_flushes: 0,
+            storm_speedup: 0.0,
             vehicles_stepped: 0,
             network_handoffs: 0,
         })
@@ -207,6 +239,10 @@ impl ScenarioResult {
             buf_reuse: 0,
             buf_alloc: 0,
             plan_encode_skipped: 0,
+            coalesce_hits: 0,
+            coalesce_flights: 0,
+            batch_flushes: 0,
+            storm_speedup: 0.0,
             vehicles_stepped: 0,
             network_handoffs: 0,
         })
@@ -240,6 +276,49 @@ impl ScenarioResult {
             buf_reuse,
             buf_alloc,
             plan_encode_skipped,
+            coalesce_hits: 0,
+            coalesce_flights: 0,
+            batch_flushes: 0,
+            storm_speedup: 0.0,
+            vehicles_stepped: 0,
+            network_handoffs: 0,
+        })
+    }
+
+    /// Summary for the co-simulation storm scenario: wall percentiles over
+    /// the coalesced lockstep rounds, the coalescer's deterministic
+    /// counters, and the same-run speedup over uncoalesced dispatch; every
+    /// other counter stays zero.
+    fn from_cosim_samples(
+        name: &str,
+        samples: &[f64],
+        coalesce_hits: u64,
+        coalesce_flights: u64,
+        batch_flushes: u64,
+        storm_speedup: f64,
+    ) -> Result<Self> {
+        Ok(Self {
+            name: name.to_string(),
+            iterations: samples.len() as u64,
+            wall_seconds: Percentiles::from_samples(samples)?,
+            states_expanded: 0,
+            states_pruned: 0,
+            arena_reuse_hits: 0,
+            arena_allocations: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            energy_evals: 0,
+            rows_skipped: 0,
+            gemm_flops: 0,
+            scratch_reuse_hits: 0,
+            scratch_allocations: 0,
+            buf_reuse: 0,
+            buf_alloc: 0,
+            plan_encode_skipped: 0,
+            coalesce_hits,
+            coalesce_flights,
+            batch_flushes,
+            storm_speedup,
             vehicles_stepped: 0,
             network_handoffs: 0,
         })
@@ -272,6 +351,10 @@ impl ScenarioResult {
             buf_reuse: 0,
             buf_alloc: 0,
             plan_encode_skipped: 0,
+            coalesce_hits: 0,
+            coalesce_flights: 0,
+            batch_flushes: 0,
+            storm_speedup: 0.0,
             vehicles_stepped,
             network_handoffs,
         })
@@ -295,6 +378,16 @@ impl ScenarioResult {
             return 1.0;
         }
         self.buf_reuse as f64 / total as f64
+    }
+
+    /// Average waiters folded into each coalescing flush (requests per
+    /// window); `0.0` for a scenario with no flushes. Collapsing toward
+    /// `1.0` means every request flushed alone and batching is off.
+    pub fn batch_fill(&self) -> f64 {
+        if self.batch_flushes == 0 {
+            return 0.0;
+        }
+        (self.coalesce_hits + self.coalesce_flights) as f64 / self.batch_flushes as f64
     }
 
     fn to_json(&self) -> Json {
@@ -346,6 +439,13 @@ impl ScenarioResult {
                 "plan_encode_skipped".into(),
                 Json::Num(self.plan_encode_skipped as f64),
             ),
+            ("coalesce_hits".into(), Json::Num(self.coalesce_hits as f64)),
+            (
+                "coalesce_flights".into(),
+                Json::Num(self.coalesce_flights as f64),
+            ),
+            ("batch_flushes".into(), Json::Num(self.batch_flushes as f64)),
+            ("storm_speedup".into(), Json::Num(self.storm_speedup)),
             (
                 "vehicles_stepped".into(),
                 Json::Num(self.vehicles_stepped as f64),
@@ -410,6 +510,16 @@ impl ScenarioResult {
             buf_reuse: optional(value, "buf_reuse"),
             buf_alloc: optional(value, "buf_alloc"),
             plan_encode_skipped: optional(value, "plan_encode_skipped"),
+            // Coalescing counters appeared with the co-simulation storm
+            // scenario; older baselines read as zero, disabling the
+            // coalesce floors.
+            coalesce_hits: optional(value, "coalesce_hits"),
+            coalesce_flights: optional(value, "coalesce_flights"),
+            batch_flushes: optional(value, "batch_flushes"),
+            storm_speedup: value
+                .get("storm_speedup")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             // Network counters appeared with the sharded microsimulation
             // scenario; older baselines read as zero, disabling the gate.
             vehicles_stepped: optional(value, "vehicles_stepped"),
@@ -520,6 +630,27 @@ pub const WORK_SLACK_SCRATCH_ALLOCS_PER_ITER: f64 = 1.0;
 /// a round that suddenly steps fewer vehicles means the scenario silently
 /// shrank and its timing win is fake.
 pub const WORK_SLACK_VEHICLE_STEPS_PER_ITER: f64 = 1.0;
+
+/// Absolute slack for the per-iteration coalesce-hits floor: one folded
+/// request per iteration absorbs integer rounding when iteration counts
+/// differ. The floor catches single-flight dedupe silently disengaging —
+/// the storm is seeded and flushes on an exact waiter count, so the hit
+/// count per round is a constant of the scenario shape.
+pub const WORK_SLACK_COALESCE_HITS_PER_ITER: f64 = 1.0;
+
+/// Absolute slack for the batch-fill floor (average waiters per flush):
+/// one request of headroom, so a single early timeout flush does not trip
+/// the gate. Fill collapsing toward one means every trip dispatched alone
+/// and the batching layer is off.
+pub const WORK_SLACK_BATCH_FILL: f64 = 1.0;
+
+/// Minimum same-run speedup of coalesced+batched storm serving over
+/// uncoalesced dispatch at the same worker count. The ratio divides two
+/// medians measured back-to-back on the same machine, so host speed
+/// cancels out; falling below 2x means the coalescer stopped earning its
+/// keep. The gate only applies when the baseline itself demonstrated the
+/// floor, so reduced local runs never trip it on themselves.
+pub const MIN_STORM_SPEEDUP: f64 = 2.0;
 
 /// Minimum steady-state cloud buffer reuse rate. The `cloud_serve`
 /// scenario's counters are deltas taken after a warm-up round, so nearly
@@ -686,6 +817,48 @@ fn work_regressions(
             MIN_BUF_REUSE_RATE * 100.0,
             scenario.buf_reuse,
             scenario.buf_alloc,
+        ));
+    }
+    // Floors for the co-simulation storm. The scenario is seeded and the
+    // coalescing window flushes on an exact waiter count, so hits per
+    // iteration and waiters per flush are constants of the shape; falling
+    // below the baseline means dedupe or batching silently disengaged.
+    // Each floor only applies when the baseline recorded that traffic.
+    let current_hits = per_iter(scenario.coalesce_hits, scenario.iterations);
+    let base_hits = per_iter(base.coalesce_hits, base.iterations);
+    let hits_floor = base_hits * (1.0 - tolerance.min(1.0)) - WORK_SLACK_COALESCE_HITS_PER_ITER;
+    if base_hits > 0.0 && current_hits < hits_floor {
+        regressions.push(format!(
+            "{}: {:.0} coalesce hits per iteration fell below baseline {:.0} \
+             by more than {:.0}% (floor {:.0}) — is single-flight dedupe still engaged?",
+            scenario.name,
+            current_hits,
+            base_hits,
+            tolerance * 100.0,
+            hits_floor,
+        ));
+    }
+    let fill_floor = base.batch_fill() * (1.0 - tolerance.min(1.0)) - WORK_SLACK_BATCH_FILL;
+    if base.batch_flushes > 0 && scenario.batch_flushes > 0 && scenario.batch_fill() < fill_floor {
+        regressions.push(format!(
+            "{}: batch fill {:.1} waiters per flush fell below baseline {:.1} \
+             by more than {:.0}% (floor {:.1}) — did batching collapse to singles?",
+            scenario.name,
+            scenario.batch_fill(),
+            base.batch_fill(),
+            tolerance * 100.0,
+            fill_floor,
+        ));
+    }
+    // Absolute floor: coalesced serving must stay at least MIN_STORM_SPEEDUP
+    // times faster than uncoalesced dispatch of the same storm. Applies
+    // only when the baseline itself cleared the floor, so a reduced local
+    // matrix never fails against its own report.
+    if base.storm_speedup >= MIN_STORM_SPEEDUP && scenario.storm_speedup < MIN_STORM_SPEEDUP {
+        regressions.push(format!(
+            "{}: storm speedup {:.2}x fell below the {:.1}x floor \
+             (baseline {:.2}x) — coalescing no longer beats singles dispatch",
+            scenario.name, scenario.storm_speedup, MIN_STORM_SPEEDUP, base.storm_speedup,
         ));
     }
 }
@@ -961,6 +1134,7 @@ fn cloud_serve(spec: &MatrixSpec) -> Result<ScenarioResult> {
         // Retain a full round's worth of responses per shard so steady
         // state never allocates.
         buffer_pool_capacity: clients,
+        ..ServerConfig::default()
     })?;
     let addr = server.addr();
 
@@ -1058,6 +1232,127 @@ fn cloud_serve(spec: &MatrixSpec) -> Result<ScenarioResult> {
     result
 }
 
+/// Times the co-simulation replan storm through the coalescing layer: the
+/// traffic pattern the fleet driver produces when a signal epoch flips —
+/// `cosim_vehicles` simultaneous `REQ_TRIP`s sharing `cosim_corridors`
+/// distinct trip keys — replayed in lockstep rounds against two servers at
+/// the same worker count: one dispatching singles (coalescing off), one
+/// coalescing with `batch_max` pinned to the wave size. Each round uses
+/// fresh departures, so nothing is served from the plan cache and the
+/// coalesced counters are exact: per round, one flush, `cosim_corridors`
+/// flights, `cosim_vehicles - cosim_corridors` single-flight hits. The
+/// timed samples are the coalesced rounds; `storm_speedup` is the singles
+/// median over the coalesced median — a same-run ratio, so machine speed
+/// cancels — and `--check` keeps it above [`MIN_STORM_SPEEDUP`].
+fn cloud_cosim(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    let wave = spec.cosim_vehicles.max(1);
+    let keys = spec.cosim_corridors.clamp(1, wave);
+    let rounds = spec.cosim_rounds.max(1);
+
+    // The fleet's corridors: short seeded arterials. Every vehicle on a
+    // corridor shares its canonical TripRequest, exactly as the fleet
+    // driver builds one request per (corridor, signal epoch).
+    let template = CorridorTemplate {
+        length: (600.0, 900.0),
+        ..CorridorTemplate::default()
+    };
+    let roads: Vec<Road> = (0..keys)
+        .map(|i| template.generate(BENCH_SEED ^ (0xC0_5100 + i as u64)))
+        .collect::<Result<_>>()?;
+    let request_frame = |vehicle: usize, round: usize| -> Result<Vec<u8>> {
+        let road = roads[vehicle % keys].clone();
+        let rates = vec![VehiclesPerHour::new(840.0); road.traffic_lights().len()];
+        let trip = TripRequest {
+            road,
+            // Fresh departures per round: a new signal epoch, so every
+            // round misses the plan cache on both servers.
+            departure: Seconds::new(300.0 + 60.0 * round as f64),
+            rates,
+            queue: QueueParams::us25_probe(),
+            queue_aware: true,
+        };
+        let mut out = Vec::new();
+        write_frame(&mut out, tags::REQ_TRIP, &trip.encode())?;
+        Ok(out)
+    };
+
+    // One storm: `wave` persistent connections, each round writes every
+    // request then reads every response back (lockstep, like the fleet
+    // driver's replan wave), one wall sample per round.
+    let storm = |addr: std::net::SocketAddr| -> Result<Vec<f64>> {
+        let streams: Vec<TcpStream> = (0..wave)
+            .map(|_| {
+                let s = TcpStream::connect(addr)?;
+                s.set_nodelay(true).ok();
+                Ok(s)
+            })
+            .collect::<Result<_>>()?;
+        let mut samples = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            let frames: Vec<Vec<u8>> = (0..wave)
+                .map(|v| request_frame(v, round))
+                .collect::<Result<_>>()?;
+            let start = Instant::now();
+            for (mut stream, frame) in streams.iter().zip(&frames) {
+                stream.write_all(frame)?;
+            }
+            for mut stream in &streams {
+                let (tag, payload) = read_frame(&mut stream)?
+                    .ok_or_else(|| Error::invalid_input("cosim bench connection closed"))?;
+                if tag != tags::RESP_PROFILE {
+                    return Err(Error::invalid_input(format!(
+                        "cosim bench request rejected: {}",
+                        String::from_utf8_lossy(&payload)
+                    )));
+                }
+            }
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        Ok(samples)
+    };
+
+    // Singles dispatch first: same compute pool, coalescing disabled, so
+    // the only cross-request reuse is the plan cache racing the herd.
+    let singles = CloudServer::spawn_with(ServerConfig {
+        compute_workers: 4,
+        shards: 2,
+        max_connections: wave + 8,
+        ..ServerConfig::default()
+    })?;
+    let singles_samples = storm(singles.addr())?;
+    singles.shutdown();
+
+    // Then the coalescing server: the window is long and `batch_max` is
+    // the wave size, so every round is exactly one inline flush.
+    let coalesced = CloudServer::spawn_with(ServerConfig {
+        compute_workers: 4,
+        shards: 2,
+        max_connections: wave + 8,
+        coalesce_window: Duration::from_secs(5),
+        batch_max: wave,
+        ..ServerConfig::default()
+    })?;
+    let samples = storm(coalesced.addr())?;
+    let stats = coalesced.stats();
+    let (hits, flights, flushes) = (
+        stats.coalesce_hits(),
+        stats.coalesce_flights(),
+        stats.batch_flushes(),
+    );
+    coalesced.shutdown();
+
+    let singles_p50 = Percentiles::from_samples(&singles_samples)?.p50;
+    let coalesced_p50 = Percentiles::from_samples(&samples)?.p50;
+    ScenarioResult::from_cosim_samples(
+        &format!("cloud_cosim_{wave}x{keys}"),
+        &samples,
+        hits,
+        flights,
+        flushes,
+        singles_p50 / coalesced_p50.max(1e-12),
+    )
+}
+
 /// Times the sharded multi-corridor microsimulation: a seeded chain of
 /// `network_corridors` dense arterial corridors (roughly 20 signals each),
 /// every corridor fed by its own arrival process, stepped in lockstep on
@@ -1141,6 +1436,7 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
             sae_train(spec.sae_train_iters)?,
             sae_predict_batch(spec.sae_predict_iters)?,
             cloud_serve(spec)?,
+            cloud_cosim(spec)?,
             microsim_network(spec)?,
         ],
     })
@@ -1176,6 +1472,10 @@ mod tests {
             buf_reuse: 950,
             buf_alloc: 50,
             plan_encode_skipped: 100,
+            coalesce_hits: 60,
+            coalesce_flights: 20,
+            batch_flushes: 5,
+            storm_speedup: 3.5,
             vehicles_stepped: 40_000,
             network_handoffs: 120,
         }
@@ -1326,6 +1626,57 @@ mod tests {
     }
 
     #[test]
+    fn coalesce_floors_are_gated() {
+        let baseline = report(&[("cosim", 0.100)]);
+        // Dedupe disengaging halves the hit count: a regression even with
+        // the wall clock flat.
+        let mut current = report(&[("cosim", 0.100)]);
+        current.scenarios[0].coalesce_hits /= 2;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("coalesce hits"));
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+
+        // Batching collapsing to singles multiplies the flush count, so
+        // the fill (waiters per flush) craters.
+        let mut current = report(&[("cosim", 0.100)]);
+        current.scenarios[0].batch_flushes = 80;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("batch fill"));
+
+        // The storm speedup falling below the 2x floor fails the gate
+        // when the baseline itself cleared it.
+        let mut current = report(&[("cosim", 0.100)]);
+        current.scenarios[0].storm_speedup = 1.4;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("storm speedup"));
+
+        // More hits, fuller windows, or a faster storm never regress.
+        let mut current = report(&[("cosim", 0.100)]);
+        current.scenarios[0].coalesce_hits *= 2;
+        current.scenarios[0].storm_speedup = 9.0;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+
+        // A baseline without coalescing traffic (pre-coalescer) or below
+        // the speedup floor (a reduced local run) disables the floors
+        // instead of failing every run.
+        let mut old = report(&[("cosim", 0.100)]);
+        old.scenarios[0].coalesce_hits = 0;
+        old.scenarios[0].batch_flushes = 0;
+        old.scenarios[0].storm_speedup = 1.5;
+        let mut current = report(&[("cosim", 0.100)]);
+        current.scenarios[0].coalesce_hits = 0;
+        current.scenarios[0].batch_flushes = 1000;
+        current.scenarios[0].storm_speedup = 0.5;
+        let outcome = compare_work(&current, &old).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
     fn work_only_gate_ignores_wall_time() {
         let baseline = report(&[("s", 0.100)]);
         // 10x slower wall clock but identical work: the work gate passes.
@@ -1361,6 +1712,12 @@ mod tests {
         assert_eq!(s.buf_reuse, 0);
         assert_eq!(s.buffer_reuse_rate(), 1.0);
         assert_eq!(s.wall_seconds.p95, s.wall_seconds.p90);
+        // Coalescing counters are optional too; zero disables the
+        // coalesce floors, and a flush-free scenario has zero fill.
+        assert_eq!(s.coalesce_hits, 0);
+        assert_eq!(s.batch_flushes, 0);
+        assert_eq!(s.batch_fill(), 0.0);
+        assert_eq!(s.storm_speedup, 0.0);
         // Network counters are optional too; zero disables their floor.
         assert_eq!(s.vehicles_stepped, 0);
         assert_eq!(s.network_handoffs, 0);
@@ -1422,12 +1779,15 @@ mod tests {
             sae_predict_iters: 1,
             cloud_clients: 8,
             cloud_rounds: 2,
+            cosim_vehicles: 6,
+            cosim_corridors: 2,
+            cosim_rounds: 2,
             network_corridors: 3,
             network_warmup_s: 30.0,
             network_rounds: 2,
         };
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 10);
+        assert_eq!(report.scenarios.len(), 11);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
@@ -1437,6 +1797,7 @@ mod tests {
                 s.states_expanded > 0
                     || s.gemm_flops > 0
                     || s.buf_reuse + s.buf_alloc > 0
+                    || s.coalesce_flights > 0
                     || s.vehicles_stepped > 0,
                 "{}",
                 s.name
@@ -1471,6 +1832,15 @@ mod tests {
             "steady-state reuse {:.2}",
             cloud.buffer_reuse_rate()
         );
+        // The co-simulation storm's counters are exact: `batch_max` equals
+        // the wave size, so each of the 2 rounds is one flush of 6 waiters
+        // over 2 distinct trip keys.
+        let cosim = report.scenario("cloud_cosim_6x2").unwrap();
+        assert_eq!(cosim.batch_flushes, 2);
+        assert_eq!(cosim.coalesce_flights, 2 * 2);
+        assert_eq!(cosim.coalesce_hits, 2 * (6 - 2));
+        assert!((cosim.batch_fill() - 6.0).abs() < 1e-12);
+        assert!(cosim.storm_speedup > 0.0);
         // The warmed-up network keeps stepping traffic through the timed
         // rounds, and its counters are deltas (rounds only, not warm-up).
         let net = report.scenario("microsim_network_3").unwrap();
@@ -1478,7 +1848,7 @@ mod tests {
         assert_eq!(net.iterations, 2);
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
-        assert!(!outcome.is_regression());
-        assert_eq!(outcome.passed, 10);
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+        assert_eq!(outcome.passed, 11);
     }
 }

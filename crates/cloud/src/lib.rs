@@ -51,6 +51,7 @@
 //! ```
 
 mod client;
+mod coalesce;
 pub mod protocol;
 mod reactor;
 mod server;

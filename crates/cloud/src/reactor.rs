@@ -27,8 +27,9 @@
 //! a response for a connection that died mid-solve is discarded instead of
 //! being delivered to the slot's next tenant.
 
+use crate::protocol::{decode_hello, encode_frame_into, tags};
 use crate::server::ServerStats;
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use polling::{Events, Interest, Poller, Waker};
@@ -124,6 +125,9 @@ pub(crate) struct Job {
     pub shard: usize,
     pub conn: usize,
     pub gen: u64,
+    /// Tenant the connection declared via `REQ_HELLO` (0 until it does),
+    /// so admission/fairness accounting survives the hop to the pool.
+    pub tenant: u32,
     pub tag: u8,
     pub payload: Bytes,
 }
@@ -154,6 +158,9 @@ struct Conn {
     stream: TcpStream,
     /// Generation of the slab slot at admission; stamps dispatched jobs.
     gen: u64,
+    /// Tenant declared via `REQ_HELLO`; 0 (the anonymous tenant) until
+    /// then.
+    tenant: u32,
     /// Raw inbound bytes not yet assembled into frames.
     read_buf: Vec<u8>,
     /// Parsed frames waiting for their turn in the compute pool.
@@ -296,6 +303,7 @@ impl Shard {
         let idx = slab.insert(Conn {
             stream,
             gen: 0, // overwritten by Slab::insert
+            tenant: 0,
             read_buf: Vec::new(),
             pending: VecDeque::new(),
             outbox: VecDeque::new(),
@@ -397,6 +405,29 @@ impl Shard {
         }
     }
 
+    /// Answers a `REQ_HELLO` frame on the shard thread itself: records the
+    /// tenant on the connection and queues the echo. Never touching the
+    /// compute pool keeps strict FIFO with the planning frames around it.
+    fn handle_hello(&self, conn: &mut Conn, payload: &Bytes) {
+        let frame = match decode_hello(payload) {
+            Ok(tenant) => {
+                conn.tenant = tenant;
+                let mut buf = self.pool.acquire();
+                encode_frame_into(&mut buf, tags::RESP_HELLO, |b| b.put_u32(tenant));
+                FrameBuf::Pooled(buf)
+            }
+            Err(e) => {
+                self.stats.record_error_response();
+                let mut buf = self.pool.acquire();
+                encode_frame_into(&mut buf, tags::RESP_ERROR, |b| {
+                    b.extend_from_slice(e.to_string().as_bytes())
+                });
+                FrameBuf::Pooled(buf)
+            }
+        };
+        conn.outbox.push_back((frame, 0));
+    }
+
     /// Dispatch the next pending frame (if allowed), flush the outbox, then
     /// reconcile interest — the single place connection state advances.
     fn process(&self, slab: &mut Slab, idx: usize) {
@@ -406,6 +437,18 @@ impl Shard {
             let Some(conn) = slab.get_mut(idx) else {
                 return;
             };
+            // Session frames first: HELLOs at the queue head are answered
+            // inline (they are cheap and must not occupy the connection's
+            // single compute slot).
+            while !conn.in_flight && conn.outbox.len() < MAX_OUTBOX_FRAMES {
+                match conn.pending.front() {
+                    Some((tags::REQ_HELLO, _)) => {
+                        let (_, payload) = conn.pending.pop_front().expect("front exists");
+                        self.handle_hello(conn, &payload);
+                    }
+                    _ => break,
+                }
+            }
             if !conn.in_flight && conn.outbox.len() < MAX_OUTBOX_FRAMES {
                 conn.pending.pop_front().map(|(tag, payload)| {
                     conn.in_flight = true;
@@ -413,6 +456,7 @@ impl Shard {
                         shard: self.id,
                         conn: idx,
                         gen: conn.gen,
+                        tenant: conn.tenant,
                         tag,
                         payload,
                     }

@@ -44,6 +44,8 @@ pub struct FrameCounts {
     pub telemetry: u64,
     /// `REQ_PREDICT_BATCH` frames received.
     pub predicts: u64,
+    /// `REQ_HELLO` frames received.
+    pub hello: u64,
     /// Frames carrying an unknown tag.
     pub unknown: u64,
 }
@@ -62,6 +64,7 @@ pub struct ServerStats {
     frames_trip: AtomicU64,
     frames_stats: AtomicU64,
     frames_telemetry: AtomicU64,
+    frames_hello: AtomicU64,
     frames_unknown: AtomicU64,
     error_responses: AtomicU64,
     predict_frames: AtomicU64,
@@ -71,6 +74,13 @@ pub struct ServerStats {
     buf_reuse: AtomicU64,
     buf_alloc: AtomicU64,
     plan_encode_skipped: AtomicU64,
+    coalesce_hits: AtomicU64,
+    coalesce_flights: AtomicU64,
+    batch_flushes: AtomicU64,
+    /// Per-tenant `(served, rejected)` buckets, keyed by the tenant id the
+    /// connection declared via `REQ_HELLO` (0 = anonymous). A plain mutex:
+    /// touched once per coalesced response, never on the solver hot path.
+    tenants: std::sync::Mutex<HashMap<u32, (u64, u64)>>,
 }
 
 impl ServerStats {
@@ -128,8 +138,47 @@ impl ServerStats {
             stats: self.frames_stats.load(Ordering::Relaxed),
             telemetry: self.frames_telemetry.load(Ordering::Relaxed),
             predicts: self.predict_frames.load(Ordering::Relaxed),
+            hello: self.frames_hello.load(Ordering::Relaxed),
             unknown: self.frames_unknown.load(Ordering::Relaxed),
         }
+    }
+
+    /// Trips that piggybacked on an identical in-flight request in the
+    /// coalescing window — each hit is a DP solve that never ran.
+    pub fn coalesce_hits(&self) -> u64 {
+        self.coalesce_hits.load(Ordering::Relaxed)
+    }
+
+    /// Distinct single-flight solves the coalescer dispatched (the
+    /// denominator for the dedupe ratio: `hits / (hits + flights)`).
+    pub fn coalesce_flights(&self) -> u64 {
+        self.coalesce_flights.load(Ordering::Relaxed)
+    }
+
+    /// Coalescing windows flushed to the batch solver (by size or timeout).
+    pub fn batch_flushes(&self) -> u64 {
+        self.batch_flushes.load(Ordering::Relaxed)
+    }
+
+    /// Plans served to `tenant` through the coalescing path (cache hits
+    /// and fan-outs both count; a tenant is whatever id the connection
+    /// declared via `REQ_HELLO`, 0 = anonymous).
+    pub fn tenant_served(&self, tenant: u32) -> u64 {
+        self.tenants
+            .lock()
+            .expect("tenant stats lock")
+            .get(&tenant)
+            .map_or(0, |(served, _)| *served)
+    }
+
+    /// Requests refused to `tenant` at its admission ceiling
+    /// (`tenant_max_inflight`).
+    pub fn tenant_rejected(&self, tenant: u32) -> u64 {
+        self.tenants
+            .lock()
+            .expect("tenant stats lock")
+            .get(&tenant)
+            .map_or(0, |(_, rejected)| *rejected)
     }
 
     /// Volume-forecast values served so far (`queries × horizons`, summed
@@ -190,6 +239,10 @@ impl ServerStats {
                 // `handle_predict_batch` (unit tests call it directly).
                 telemetry::add("cloud.req.predict_batch", 1);
             }
+            tags::REQ_HELLO => {
+                self.frames_hello.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.hello", 1);
+            }
             _ => {
                 self.frames_unknown.fetch_add(1, Ordering::Relaxed);
                 telemetry::add("cloud.req.unknown", 1);
@@ -197,7 +250,7 @@ impl ServerStats {
         }
     }
 
-    fn record_error_response(&self) {
+    pub(crate) fn record_error_response(&self) {
         self.error_responses.fetch_add(1, Ordering::Relaxed);
         telemetry::add("cloud.resp.error", 1);
     }
@@ -242,11 +295,58 @@ impl ServerStats {
         )
     }
 
-    fn record_solve(&self, metrics: &velopt_core::metrics::SolverMetrics) {
+    pub(crate) fn record_solve(&self, metrics: &velopt_core::metrics::SolverMetrics) {
         self.solver_states_expanded
             .fetch_add(metrics.states_expanded, Ordering::Relaxed);
         self.solver_states_pruned
             .fetch_add(metrics.states_pruned, Ordering::Relaxed);
+    }
+
+    /// `n` more trips answered with a profile (coalescer fan-out path).
+    pub(crate) fn record_served(&self, n: u64) {
+        self.served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// `n` trips answered by cloning a cached frame (no solve, no encode).
+    pub(crate) fn record_plan_cache_hits(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+        self.plan_encode_skipped.fetch_add(n, Ordering::Relaxed);
+        telemetry::add("cloud.plan.encode_skipped", n);
+    }
+
+    /// One coalescing window flushed: `waiters` requests collapsed onto
+    /// `groups` distinct keys, of which `flights` needed a fresh solve
+    /// (the rest were answered by a late cache hit at flush time).
+    pub(crate) fn record_coalesce_flush(&self, waiters: u64, groups: u64, flights: u64) {
+        self.coalesce_hits
+            .fetch_add(waiters - groups, Ordering::Relaxed);
+        self.coalesce_flights.fetch_add(flights, Ordering::Relaxed);
+        self.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.coalesce.hits", waiters - groups);
+        telemetry::add("cloud.coalesce.flights", flights);
+        telemetry::add("cloud.batch.flushes", 1);
+        telemetry::observe("cloud.batch.size", flights as f64);
+    }
+
+    /// One plan delivered to `tenant` through the coalescing path.
+    pub(crate) fn record_tenant_served(&self, tenant: u32) {
+        self.tenants
+            .lock()
+            .expect("tenant stats lock")
+            .entry(tenant)
+            .or_insert((0, 0))
+            .0 += 1;
+    }
+
+    /// One request refused to `tenant` at its admission ceiling.
+    pub(crate) fn record_tenant_rejected(&self, tenant: u32) {
+        self.tenants
+            .lock()
+            .expect("tenant stats lock")
+            .entry(tenant)
+            .or_insert((0, 0))
+            .1 += 1;
+        telemetry::add("cloud.tenant.rejected", 1);
     }
 }
 
@@ -255,12 +355,12 @@ impl ServerStats {
 /// and payload — so repeat hits are served by cloning the `Bytes` (an `Arc`
 /// bump) instead of re-encoding the profile per request.
 #[derive(Debug, Clone)]
-struct CachedPlan {
-    profile: velopt_core::dp::OptimizedProfile,
-    frame: Bytes,
+pub(crate) struct CachedPlan {
+    pub(crate) profile: velopt_core::dp::OptimizedProfile,
+    pub(crate) frame: Bytes,
 }
 
-type PlanCache = RwLock<HashMap<Vec<u8>, CachedPlan>>;
+pub(crate) type PlanCache = RwLock<HashMap<Vec<u8>, CachedPlan>>;
 
 /// Trained volume predictors keyed by `(station seed, train weeks, lags)`.
 /// Training an SAE is orders of magnitude more expensive than querying it,
@@ -283,6 +383,22 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Response buffers each shard's pool retains for reuse.
     pub buffer_pool_capacity: usize,
+    /// How long a `REQ_TRIP` may wait in the coalescing window for
+    /// identical or near-simultaneous requests before the window is
+    /// flushed to the batch solver. `Duration::ZERO` (the default)
+    /// disables coalescing entirely: every trip dispatches as a single
+    /// solve exactly as before.
+    pub coalesce_window: std::time::Duration,
+    /// Flush the coalescing window as soon as it holds this many waiting
+    /// requests, without waiting out `coalesce_window` (must be ≥ 1 when
+    /// coalescing is enabled).
+    pub batch_max: usize,
+    /// Per-tenant admission ceiling: at most this many of one tenant's
+    /// requests may wait in the coalescing window at once; the next one
+    /// is refused with `RESP_ERROR` so a greedy tenant cannot starve the
+    /// others. `0` = unlimited. Tenants declare themselves via
+    /// `REQ_HELLO`; connections that never do share tenant 0.
+    pub tenant_max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -292,6 +408,9 @@ impl Default for ServerConfig {
             shards: 0,
             max_connections: 1024,
             buffer_pool_capacity: 64,
+            coalesce_window: std::time::Duration::ZERO,
+            batch_max: 16,
+            tenant_max_inflight: 0,
         }
     }
 }
@@ -309,6 +428,8 @@ pub struct CloudServer {
     acceptor: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    coalescer: Option<Arc<crate::coalesce::Coalescer>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl CloudServer {
@@ -341,6 +462,11 @@ impl CloudServer {
         }
         if config.max_connections == 0 {
             return Err(Error::invalid_input("need max_connections >= 1"));
+        }
+        if config.coalesce_window > std::time::Duration::ZERO && config.batch_max == 0 {
+            return Err(Error::invalid_input(
+                "need batch_max >= 1 when coalescing is enabled",
+            ));
         }
         let shard_count = if config.shards == 0 {
             velopt_common::par::effective_threads(0).clamp(1, 4)
@@ -386,6 +512,28 @@ impl CloudServer {
         }
         let handles = Arc::new(handles);
 
+        // The coalescing layer sits between the workers and the DP solver:
+        // workers enqueue `REQ_TRIP` jobs into its window instead of
+        // solving them one at a time, and a dedicated flusher thread
+        // handles timeout-triggered flushes (size-triggered flushes run
+        // inline on the worker that filled the window).
+        let coalescer = if config.coalesce_window > std::time::Duration::ZERO {
+            Some(Arc::new(crate::coalesce::Coalescer::new(
+                config.coalesce_window,
+                config.batch_max,
+                config.tenant_max_inflight,
+                Arc::clone(&handles),
+                Arc::clone(&stats),
+                Arc::clone(&cache),
+            )))
+        } else {
+            None
+        };
+        let flusher = coalescer.as_ref().map(|c| {
+            let c = Arc::clone(c);
+            std::thread::spawn(move || c.run_flusher())
+        });
+
         let accept_poller = Poller::new()?;
         let accept_waker = Arc::new(Waker::new()?);
         crate::reactor::register_waker(&accept_poller, &accept_waker)?;
@@ -419,7 +567,10 @@ impl CloudServer {
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
                 let predictors = Arc::clone(&predictors);
-                std::thread::spawn(move || run_worker(jobs, &handles, &stats, &cache, &predictors))
+                let coalescer = coalescer.clone();
+                std::thread::spawn(move || {
+                    run_worker(jobs, &handles, &stats, &cache, &predictors, coalescer)
+                })
             })
             .collect();
 
@@ -443,6 +594,8 @@ impl CloudServer {
             acceptor: Some(acceptor),
             shards: shard_threads,
             workers: worker_threads,
+            coalescer,
+            flusher,
         })
     }
 
@@ -486,6 +639,15 @@ impl CloudServer {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Workers are gone, so nothing can enqueue into the coalescing
+        // window anymore; stop the flusher last. Still-parked waiters
+        // belong to connections the shards already shed.
+        if let Some(c) = self.coalescer.take() {
+            c.stop();
+        }
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -519,8 +681,18 @@ fn run_worker(
     stats: &ServerStats,
     cache: &PlanCache,
     predictors: &PredictorCache,
+    coalescer: Option<Arc<crate::coalesce::Coalescer>>,
 ) {
     while let Ok(job) = jobs.recv() {
+        if job.tag == tags::REQ_TRIP {
+            // With coalescing enabled, trips route through the window:
+            // the coalescer answers cache hits immediately and fans a
+            // single batch solve out to every waiter otherwise.
+            if let Some(c) = &coalescer {
+                c.submit(job);
+                continue;
+            }
+        }
         let shard = &shards[job.shard];
         let request_span = telemetry::span("cloud.request_seconds");
         let frame = respond(job.tag, job.payload, stats, cache, predictors, &shard.pool);
@@ -600,7 +772,7 @@ fn respond(
     }
 }
 
-fn error_frame(stats: &ServerStats, pool: &BufferPool, message: &str) -> FrameBuf {
+pub(crate) fn error_frame(stats: &ServerStats, pool: &BufferPool, message: &str) -> FrameBuf {
     stats.record_error_response();
     let mut buf = pool.acquire();
     encode_frame_into(&mut buf, tags::RESP_ERROR, |b| {
@@ -611,7 +783,7 @@ fn error_frame(stats: &ServerStats, pool: &BufferPool, message: &str) -> FrameBu
 
 /// The optimizer every connection plans with: the same physically-grounded
 /// model the local pipeline uses.
-fn corridor_optimizer() -> Result<DpOptimizer> {
+pub(crate) fn corridor_optimizer() -> Result<DpOptimizer> {
     let energy = EnergyModel::with_regen(
         VehicleParams::spark_ev(),
         RegenPolicy::Limited {
@@ -623,7 +795,10 @@ fn corridor_optimizer() -> Result<DpOptimizer> {
 }
 
 /// Validates a trip and builds its per-signal arrival windows.
-fn trip_constraints(trip: &TripRequest, config: &DpConfig) -> Result<Vec<SignalConstraint>> {
+pub(crate) fn trip_constraints(
+    trip: &TripRequest,
+    config: &DpConfig,
+) -> Result<Vec<SignalConstraint>> {
     trip.validated()?;
     if trip.queue_aware {
         queue_aware_constraints(&trip.road, &trip.rates, trip.queue, config.horizon)
@@ -633,7 +808,7 @@ fn trip_constraints(trip: &TripRequest, config: &DpConfig) -> Result<Vec<SignalC
 }
 
 /// Encodes a profile's complete `RESP_PROFILE` frame once, for the cache.
-fn plan_frame(profile: &velopt_core::dp::OptimizedProfile) -> Bytes {
+pub(crate) fn plan_frame(profile: &velopt_core::dp::OptimizedProfile) -> Bytes {
     let encode_span = telemetry::span("cloud.encode_seconds");
     let mut buf = BytesMut::new();
     encode_frame_into(&mut buf, tags::RESP_PROFILE, |b| encode_profile(profile, b));

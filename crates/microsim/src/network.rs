@@ -362,6 +362,44 @@ impl Network {
         Err(Error::invalid_input("ego has left the network"))
     }
 
+    /// Sets (or clears) the TraCI commanded-speed cap on any live vehicle,
+    /// wherever in the network it currently is — the fleet co-simulation
+    /// path, where every EV follows a cloud-planned profile. A command
+    /// issued while the vehicle waits in a junction queue is applied to the
+    /// queued boundary message and travels with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the command is negative or no
+    /// vehicle with this id is anywhere in the network.
+    pub fn set_vehicle_command(
+        &mut self,
+        id: VehicleId,
+        command: Option<MetersPerSecond>,
+    ) -> Result<()> {
+        if let Some(c) = command {
+            if c.value() < 0.0 {
+                return Err(Error::invalid_input("commanded speed must be >= 0"));
+            }
+        }
+        for cell in self.cells.iter_mut() {
+            // The negative-speed case is pre-checked, so a cell error here
+            // only ever means "not in this corridor" — keep looking.
+            if cell.sim.set_vehicle_command(id, command).is_ok() {
+                return Ok(());
+            }
+            for h in cell.pending.iter_mut() {
+                if h.id == id {
+                    h.commanded = command;
+                    return Ok(());
+                }
+            }
+        }
+        Err(Error::invalid_input(format!(
+            "vehicle {id} is not in the network"
+        )))
+    }
+
     /// The recorded ego trajectory through the network (one sample per tick
     /// the ego spent on a corridor).
     pub fn ego_trace(&self) -> &[NetworkTracePoint] {

@@ -296,6 +296,34 @@ impl Simulation {
         }
     }
 
+    /// Sets (or clears) the TraCI-style commanded-speed cap on any live
+    /// vehicle — the fleet co-simulation path, where every EV in the
+    /// corridor (not just the ego) follows a cloud-planned profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the command is negative or no
+    /// vehicle with this id is in the corridor.
+    pub fn set_vehicle_command(
+        &mut self,
+        id: VehicleId,
+        command: Option<MetersPerSecond>,
+    ) -> Result<()> {
+        if let Some(c) = command {
+            if c.value() < 0.0 {
+                return Err(Error::invalid_input("commanded speed must be >= 0"));
+            }
+        }
+        if let Some(v) = self.vehicles.iter_mut().find(|v| v.id == id) {
+            v.commanded = command;
+            Ok(())
+        } else {
+            Err(Error::invalid_input(format!(
+                "vehicle {id} is not in the corridor"
+            )))
+        }
+    }
+
     /// The recorded ego trajectory.
     pub fn ego_trace(&self) -> &[TracePoint] {
         &self.ego_trace

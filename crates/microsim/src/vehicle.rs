@@ -15,6 +15,13 @@ impl VehicleId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs an id from its raw value — e.g. parsed back out of the
+    /// TraCI `veh<N>` object string. An id that names no live vehicle is
+    /// harmless: every lookup taking a `VehicleId` fails cleanly for it.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
 }
 
 impl fmt::Display for VehicleId {

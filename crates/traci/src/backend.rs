@@ -8,7 +8,7 @@
 
 use velopt_common::units::{Meters, MetersPerSecond, Seconds};
 use velopt_common::{Error, Result};
-use velopt_microsim::{Network, Simulation, VehicleKind};
+use velopt_microsim::{Network, Simulation, VehicleId};
 use velopt_road::Phase;
 
 /// The slice of vehicle state the TraCI surface reports.
@@ -55,12 +55,15 @@ pub trait TraciBackend: Send + 'static {
     /// Returns [`Error::Protocol`] if no such loop exists.
     fn loop_last_step_count(&self, object: &str) -> Result<u64>;
     /// Applies (or clears, `None`) a TraCI speed command to the vehicle
-    /// named `object`.
+    /// named `object`. Every live vehicle is externally controllable — the
+    /// fleet co-simulation drives background EVs through this, not just
+    /// the ego.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Protocol`] if the vehicle is not externally
-    /// controllable (only the ego is).
+    /// Returns [`Error::Protocol`] for a malformed object id and
+    /// [`Error::InvalidInput`] if no such vehicle is live or the speed is
+    /// negative.
     fn command_vehicle_speed(&mut self, object: &str, speed: Option<MetersPerSecond>)
         -> Result<()>;
 }
@@ -134,17 +137,8 @@ impl TraciBackend for Simulation {
         object: &str,
         speed: Option<MetersPerSecond>,
     ) -> Result<()> {
-        let ego_is_target = self.ego().is_some()
-            && self
-                .vehicles()
-                .iter()
-                .any(|v| v.id().to_string() == object && v.kind() == VehicleKind::Ego);
-        if !ego_is_target {
-            return Err(Error::protocol(format!(
-                "vehicle '{object}' is not externally controllable"
-            )));
-        }
-        self.set_ego_command(speed)
+        let raw = parse_index(object, "veh")? as u64;
+        self.set_vehicle_command(VehicleId::from_raw(raw), speed)
     }
 }
 
@@ -219,15 +213,8 @@ impl TraciBackend for Network {
         object: &str,
         speed: Option<MetersPerSecond>,
     ) -> Result<()> {
-        let is_ego = self
-            .ego_vehicle_id()
-            .is_some_and(|id| id.to_string() == object);
-        if !is_ego {
-            return Err(Error::protocol(format!(
-                "vehicle '{object}' is not externally controllable"
-            )));
-        }
-        self.set_ego_command(speed)
+        let raw = parse_index(object, "veh")? as u64;
+        self.set_vehicle_command(VehicleId::from_raw(raw), speed)
     }
 }
 

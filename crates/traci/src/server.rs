@@ -601,9 +601,13 @@ mod tests {
         assert!((speed - 3.0).abs() < 0.05, "speed {speed}");
         let (_, y) = client.vehicle_position(&ego_name).unwrap();
         assert_eq!(y, 0.0, "ego still on corridor 0");
-        // Background vehicles stay uncontrollable.
+        // Background vehicles are controllable too (the fleet co-simulation
+        // drives every EV), wherever in the network they are; unknown ids
+        // stay rejected.
+        let ids = client.vehicle_ids().unwrap();
         let background = ids.iter().find(|i| **i != ego_name).unwrap();
-        assert!(client.set_vehicle_speed(background, 5.0).is_err());
+        client.set_vehicle_speed(background, 5.0).unwrap();
+        assert!(client.set_vehicle_speed("veh999999", 5.0).is_err());
         client.close().unwrap();
         server.join();
     }
@@ -674,7 +678,7 @@ mod tests {
     }
 
     #[test]
-    fn set_speed_on_background_vehicle_is_rejected() {
+    fn background_vehicles_accept_speed_commands() {
         let sim = {
             let mut sim = Simulation::new(Road::us25(), SimConfig::default()).unwrap();
             sim.set_arrival_rate(VehiclesPerHour::new(1200.0));
@@ -685,7 +689,12 @@ mod tests {
         let background_id = sim.vehicles()[0].id().to_string();
         let server = TraciServer::spawn(sim).unwrap();
         let mut client = TraciClient::connect(server.addr()).unwrap();
-        assert!(client.set_vehicle_speed(&background_id, 5.0).is_err());
+        // Every live vehicle is controllable — the fleet co-simulation
+        // drives background EVs through this path, not just the ego…
+        client.set_vehicle_speed(&background_id, 5.0).unwrap();
+        // …while unknown and malformed ids stay rejected.
+        assert!(client.set_vehicle_speed("veh999999", 5.0).is_err());
+        assert!(client.set_vehicle_speed("car1", 5.0).is_err());
         client.close().unwrap();
         server.join();
     }

@@ -27,6 +27,7 @@
 //! | [`cloud`] | `velopt-cloud` | the vehicular-cloud optimization service |
 //! | [`microsim`] | `velopt-microsim` | Krauss traffic simulator (SUMO substitute) |
 //! | [`traci`] | `velopt-traci` | TraCI wire protocol client + server |
+//! | [`cosim`] | `velopt-cosim` | fleet co-simulation: microsim EVs replanning through the cloud |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use velopt_cloud as cloud;
 pub use velopt_common as common;
 pub use velopt_core as optimizer;
+pub use velopt_cosim as cosim;
 pub use velopt_ev_energy as energy;
 pub use velopt_microsim as microsim;
 pub use velopt_queue as queue;
