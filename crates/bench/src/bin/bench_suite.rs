@@ -14,9 +14,12 @@
 //!     exceed the baseline's by more than T, when the cloud serving
 //!     scenario's steady-state buffer reuse falls below the 90% floor,
 //!     when the sharded network steps fewer vehicles per round than the
-//!     baseline (the scenario silently shrank), or when the co-simulation
+//!     baseline (the scenario silently shrank), when the co-simulation
 //!     storm's coalesce hits, batch fill, or 2x speedup over singles
-//!     dispatch fall below their floors (coalescing disengaged).
+//!     dispatch fall below their floors (coalescing disengaged), or when
+//!     the DP rows' SIMD/repair same-run speedups or the refresh row's
+//!     repair hits per tick fall below their floors (the vectorized
+//!     kernels or incremental repair disengaged).
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
@@ -157,6 +160,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                         s.gemm_flops,
                         s.scratch_reuse_hits,
                         s.scratch_allocations,
+                    );
+                } else if s.simd_speedup > 0.0 || s.repair_speedup > 0.0 {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  expanded {:>10}  \
+                         simd rows {:>10}  repairs {:>4}  speedup {:>5.2}x",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p90,
+                        s.states_expanded,
+                        s.simd_rows,
+                        s.repair_hits,
+                        s.simd_speedup.max(s.repair_speedup),
                     );
                 } else {
                     eprintln!(

@@ -150,6 +150,27 @@ pub struct ScenarioResult {
     pub energy_evals: u64,
     /// Speed rows the reachability masks proved dead and skipped.
     pub rows_skipped: u64,
+    /// Speed rows relaxed through the AVX2 microkernels (DP scenarios;
+    /// zero under forced-scalar dispatch). Chunk-geometry dependent, so
+    /// reported for visibility but never gated.
+    pub simd_rows: u64,
+    /// Window refreshes served by incremental dirty-suffix repair (the
+    /// `replan_refresh` scenario; zero elsewhere). The refresh schedule is
+    /// seeded and the solver deterministic, so the per-iteration count is
+    /// machine-invariant and `--check-work` floors it.
+    pub repair_hits: u64,
+    /// Window refreshes that fell back to a full retention re-solve.
+    pub repair_full_resolves: u64,
+    /// DP layers the repair path retained instead of re-relaxing.
+    pub repair_layers_skipped: u64,
+    /// Median scalar-dispatch wall time divided by the SIMD median for the
+    /// same seeded workload — a same-run ratio, so machine speed cancels
+    /// out (zero for scenarios that time only one dispatch).
+    pub simd_speedup: f64,
+    /// Median from-scratch refresh wall time divided by the repair-enabled
+    /// median over the same window schedule — a same-run ratio (zero for
+    /// non-refresh scenarios).
+    pub repair_speedup: f64,
     /// Multiply-add FLOPs through the traffic gemm kernels (SAE scenarios;
     /// zero for the DP scenarios).
     pub gemm_flops: u64,
@@ -203,6 +224,12 @@ impl ScenarioResult {
             memo_misses: metrics.memo_misses,
             energy_evals: metrics.energy_evals,
             rows_skipped: metrics.rows_skipped,
+            simd_rows: metrics.simd_rows,
+            repair_hits: metrics.repair_hits,
+            repair_full_resolves: metrics.repair_full_resolves,
+            repair_layers_skipped: metrics.repair_layers_skipped,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
             gemm_flops: 0,
             scratch_reuse_hits: 0,
             scratch_allocations: 0,
@@ -233,6 +260,12 @@ impl ScenarioResult {
             memo_misses: 0,
             energy_evals: 0,
             rows_skipped: 0,
+            simd_rows: 0,
+            repair_hits: 0,
+            repair_full_resolves: 0,
+            repair_layers_skipped: 0,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
             gemm_flops: metrics.gemm_flops,
             scratch_reuse_hits: metrics.scratch_reuse_hits,
             scratch_allocations: metrics.scratch_allocations,
@@ -270,6 +303,12 @@ impl ScenarioResult {
             memo_misses: 0,
             energy_evals: 0,
             rows_skipped: 0,
+            simd_rows: 0,
+            repair_hits: 0,
+            repair_full_resolves: 0,
+            repair_layers_skipped: 0,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
             gemm_flops: 0,
             scratch_reuse_hits: 0,
             scratch_allocations: 0,
@@ -309,6 +348,12 @@ impl ScenarioResult {
             memo_misses: 0,
             energy_evals: 0,
             rows_skipped: 0,
+            simd_rows: 0,
+            repair_hits: 0,
+            repair_full_resolves: 0,
+            repair_layers_skipped: 0,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
             gemm_flops: 0,
             scratch_reuse_hits: 0,
             scratch_allocations: 0,
@@ -345,6 +390,12 @@ impl ScenarioResult {
             memo_misses: 0,
             energy_evals: 0,
             rows_skipped: 0,
+            simd_rows: 0,
+            repair_hits: 0,
+            repair_full_resolves: 0,
+            repair_layers_skipped: 0,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
             gemm_flops: 0,
             scratch_reuse_hits: 0,
             scratch_allocations: 0,
@@ -424,6 +475,18 @@ impl ScenarioResult {
             ("memo_hit_rate".into(), Json::Num(self.memo_hit_rate())),
             ("energy_evals".into(), Json::Num(self.energy_evals as f64)),
             ("rows_skipped".into(), Json::Num(self.rows_skipped as f64)),
+            ("simd_rows".into(), Json::Num(self.simd_rows as f64)),
+            ("repair_hits".into(), Json::Num(self.repair_hits as f64)),
+            (
+                "repair_full_resolves".into(),
+                Json::Num(self.repair_full_resolves as f64),
+            ),
+            (
+                "repair_layers_skipped".into(),
+                Json::Num(self.repair_layers_skipped as f64),
+            ),
+            ("simd_speedup".into(), Json::Num(self.simd_speedup)),
+            ("repair_speedup".into(), Json::Num(self.repair_speedup)),
             ("gemm_flops".into(), Json::Num(self.gemm_flops as f64)),
             (
                 "scratch_reuse_hits".into(),
@@ -500,6 +563,20 @@ impl ScenarioResult {
             memo_misses: optional(value, "memo_misses"),
             energy_evals: optional(value, "energy_evals"),
             rows_skipped: optional(value, "rows_skipped"),
+            // SIMD and repair counters appeared with the vectorized relax
+            // kernels; older baselines read as zero, disabling their floors.
+            simd_rows: optional(value, "simd_rows"),
+            repair_hits: optional(value, "repair_hits"),
+            repair_full_resolves: optional(value, "repair_full_resolves"),
+            repair_layers_skipped: optional(value, "repair_layers_skipped"),
+            simd_speedup: value
+                .get("simd_speedup")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            repair_speedup: value
+                .get("repair_speedup")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             // Traffic counters appeared with the SAE scenarios; older
             // baselines read as zero too.
             gemm_flops: optional(value, "gemm_flops"),
@@ -652,6 +729,28 @@ pub const WORK_SLACK_BATCH_FILL: f64 = 1.0;
 /// floor, so reduced local runs never trip it on themselves.
 pub const MIN_STORM_SPEEDUP: f64 = 2.0;
 
+/// Absolute slack for the per-iteration repair-hits floor. The refresh
+/// schedule is seeded and the solver deterministic, so nearly every timed
+/// refresh should be served by dirty-suffix repair; one fallback per eight
+/// ticks of headroom absorbs a legitimately unrepairable shift without
+/// letting repair silently disengage (which would re-run the full DP every
+/// tick and still "pass" on a fast machine).
+pub const WORK_SLACK_REPAIR_HITS_PER_ITER: f64 = 0.125;
+
+/// Minimum same-run speedup of SIMD dispatch over forced-scalar dispatch
+/// on the seeded exact-solve workloads. The ratio divides two medians
+/// measured back-to-back on the same machine, so host speed cancels out;
+/// falling below 2x means the vectorized relax kernels stopped earning
+/// their keep. The gate only applies when the baseline itself demonstrated
+/// the floor, so scalar-only hosts never trip it on themselves.
+pub const MIN_SIMD_SPEEDUP: f64 = 2.0;
+
+/// Minimum same-run speedup of repair-enabled window refreshes over
+/// from-scratch refreshes of the identical window schedule. Same-run
+/// ratio, baseline-armed, like [`MIN_SIMD_SPEEDUP`]; falling below 3x
+/// means incremental repair no longer beats re-solving.
+pub const MIN_REPAIR_SPEEDUP: f64 = 3.0;
+
 /// Minimum steady-state cloud buffer reuse rate. The `cloud_serve`
 /// scenario's counters are deltas taken after a warm-up round, so nearly
 /// every response should come from the pools; below this, response
@@ -801,6 +900,44 @@ fn work_regressions(
             base_stepped,
             tolerance * 100.0,
             stepped_floor,
+        ));
+    }
+    // Floor on incremental-repair engagement: the refresh schedule is
+    // seeded and the solver deterministic, so hits per iteration are a
+    // constant of the scenario shape; falling below the baseline means
+    // refreshes quietly degraded to full re-solves. Only applies when the
+    // baseline recorded repair traffic.
+    let current_repairs = per_iter(scenario.repair_hits, scenario.iterations);
+    let base_repairs = per_iter(base.repair_hits, base.iterations);
+    let repairs_floor = base_repairs * (1.0 - tolerance.min(1.0)) - WORK_SLACK_REPAIR_HITS_PER_ITER;
+    if base_repairs > 0.0 && current_repairs < repairs_floor {
+        regressions.push(format!(
+            "{}: {:.2} repair hits per iteration fell below baseline {:.2} \
+             by more than {:.0}% (floor {:.2}) — are refreshes still repaired \
+             instead of re-solved?",
+            scenario.name,
+            current_repairs,
+            base_repairs,
+            tolerance * 100.0,
+            repairs_floor,
+        ));
+    }
+    // Absolute floors on the same-run speedup ratios, baseline-armed like
+    // the storm gate below: once a baseline demonstrated the SIMD or
+    // repair win on this scenario, losing it is a regression even though
+    // the wall clock alone could hide it on a faster machine.
+    if base.simd_speedup >= MIN_SIMD_SPEEDUP && scenario.simd_speedup < MIN_SIMD_SPEEDUP {
+        regressions.push(format!(
+            "{}: SIMD speedup {:.2}x fell below the {:.1}x floor \
+             (baseline {:.2}x) — vectorized relaxation no longer beats scalar",
+            scenario.name, scenario.simd_speedup, MIN_SIMD_SPEEDUP, base.simd_speedup,
+        ));
+    }
+    if base.repair_speedup >= MIN_REPAIR_SPEEDUP && scenario.repair_speedup < MIN_REPAIR_SPEEDUP {
+        regressions.push(format!(
+            "{}: repair speedup {:.2}x fell below the {:.1}x floor \
+             (baseline {:.2}x) — incremental repair no longer beats re-solving",
+            scenario.name, scenario.repair_speedup, MIN_REPAIR_SPEEDUP, base.repair_speedup,
         ));
     }
     // Absolute floor, not a relative gate: steady-state serving must keep
@@ -995,48 +1132,147 @@ fn replan_steady_state(ticks: usize) -> Result<ScenarioResult> {
     ScenarioResult::from_samples("replan_steady_state", &samples, &metrics)
 }
 
-/// Times the refresh path alone: every tick drifts far enough (with the
-/// cooldown disabled) that `command` must run a mid-trip re-solve, so the
-/// row is pure replan latency — warm arena, warm transition memo — with
-/// none of the steady-state row's near-free stale-plan ticks diluting the
-/// percentiles.
+/// Times the window-refresh path alone: every tick installs a shifted set
+/// of queue-free windows (the downstream signal's epoch slipping — the
+/// common cloud `T_q` push) through [`Replanner::refresh_windows`], so the
+/// row is pure refresh latency — warm arena, warm transition memo. With
+/// repair on, the solver revalidates the retained layer stack and
+/// re-relaxes only the dirty suffix; the identical schedule is first timed
+/// with repair off (full re-solves from the same warm arena), and
+/// `repair_speedup` is the ratio of the two medians — a same-run ratio, so
+/// machine speed cancels out — which `--check` keeps above
+/// [`MIN_REPAIR_SPEEDUP`]. The schedule is deterministic and every tick's
+/// windows differ from the previous tick's, so the repair-hit counters are
+/// machine-invariant and `--check-work` floors them.
 fn replan_refresh_only(ticks: usize) -> Result<ScenarioResult> {
-    let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush())?;
-    let corridor = system.config().road.length().value();
-    let config = ReplanConfig {
-        min_interval: Seconds::ZERO,
-        ..ReplanConfig::default()
-    };
-    let mut replanner = Replanner::new(system, config)?;
-    let mut rng = SplitMix64::new(BENCH_SEED ^ 0x5EED);
-    let mut metrics = replanner.plan().metrics;
-    let mut samples = Vec::with_capacity(ticks);
-    for i in 0..ticks {
-        // Sweep the middle of the corridor (the ends are not plannable),
-        // always late enough to force a refresh.
-        let frac = 0.15 + 0.6 * (i as f64 / ticks.max(1) as f64);
-        let position = Meters::new(corridor * frac);
-        let planned = replanner.plan().arrival_time_at(position);
-        let drift = rng.uniform(10.0, 12.0);
-        let speed = MetersPerSecond::new(
-            replanner
-                .plan()
-                .speed_at_position(position)
-                .value()
-                .max(8.0),
-        );
-        let start = Instant::now();
-        replanner.command(position, speed, planned + Seconds::new(drift))?;
-        samples.push(start.elapsed().as_secs_f64());
-        if replanner.replans() != i + 1 {
-            return Err(Error::invalid_input(format!(
-                "replan_refresh tick {i} did not refresh; the scenario would \
-                 be timing stale-plan lookups"
-            )));
+    let run = |repair: bool| -> Result<(Vec<f64>, SolverMetrics)> {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush())?;
+        let config = ReplanConfig {
+            min_interval: Seconds::ZERO,
+            repair,
+            ..ReplanConfig::default()
+        };
+        let mut replanner = Replanner::new(system, config)?;
+        let base = replanner.windows().to_vec();
+        // One untimed refresh retains the layer stack, so every timed tick
+        // exercises the steady state (repair, or a warm full re-solve).
+        replanner.refresh_windows(base.clone())?;
+        let mut metrics = SolverMetrics::default();
+        let mut samples = Vec::with_capacity(ticks);
+        for i in 0..ticks {
+            let mut windows = base.clone();
+            let last = windows
+                .last_mut()
+                .ok_or_else(|| Error::invalid_input("us25 rush hour has no signals"))?;
+            // Bounded drift of the downstream epoch: consecutive ticks
+            // always differ, and the upstream windows stay put, so repair
+            // only ever has to re-relax the final layers.
+            let shift = Seconds::new(0.25 * ((i % 8) as f64 + 1.0));
+            for w in &mut last.windows {
+                w.start += shift;
+                w.end += shift;
+            }
+            let start = Instant::now();
+            let plan = replanner.refresh_windows(windows)?;
+            samples.push(start.elapsed().as_secs_f64());
+            metrics.absorb(&plan.metrics);
         }
-        metrics.absorb(&replanner.plan().metrics);
-    }
-    ScenarioResult::from_samples("replan_refresh", &samples, &metrics)
+        Ok((samples, metrics))
+    };
+    let (scratch_samples, _) = run(false)?;
+    let (samples, metrics) = run(true)?;
+    let mut result = ScenarioResult::from_samples("replan_refresh", &samples, &metrics)?;
+    result.repair_speedup =
+        Percentiles::from_samples(&scratch_samples)?.p50 / result.wall_seconds.p50.max(1e-12);
+    Ok(result)
+}
+
+/// Times the identical seeded full-corridor exact solve under both
+/// dispatches — forced-scalar first, then SIMD — each through its own warm
+/// arena, and reports the same-run median ratio as `simd_speedup`
+/// (`--check` keeps it above [`MIN_SIMD_SPEEDUP`] once a baseline has
+/// demonstrated it). Single-threaded so the relaxation dominates and the
+/// chunk geometry is fixed.
+fn dp_single_simd(iters: usize) -> Result<ScenarioResult> {
+    let road = Road::us25();
+    let run = |simd: bool| -> Result<(Vec<f64>, SolverMetrics)> {
+        let config = DpConfig {
+            simd,
+            threads: 1,
+            ..DpConfig::default()
+        };
+        let constraints = green_only_constraints(&road, config.horizon);
+        let optimizer = spark_optimizer(config)?;
+        let mut arena = SolverArena::new();
+        let mut metrics = SolverMetrics::default();
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            let profile = optimizer.optimize_from_with(
+                &road,
+                &constraints,
+                StartState::default(),
+                &mut arena,
+            )?;
+            samples.push(start.elapsed().as_secs_f64());
+            metrics.absorb(&profile.metrics);
+        }
+        Ok((samples, metrics))
+    };
+    let (scalar_samples, _) = run(false)?;
+    let (samples, metrics) = run(true)?;
+    let mut result = ScenarioResult::from_samples("dp_single_simd", &samples, &metrics)?;
+    result.simd_speedup =
+        Percentiles::from_samples(&scalar_samples)?.p50 / result.wall_seconds.p50.max(1e-12);
+    Ok(result)
+}
+
+/// The fleet-gateway burst under both dispatches: the same seeded mid-trip
+/// requests as `batch_burst`, solved scalar then SIMD on all cores, with
+/// the same-run median ratio reported as `simd_speedup`.
+fn dp_batch_simd(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    let road = Road::us25();
+    let run = |simd: bool| -> Result<(Vec<f64>, SolverMetrics)> {
+        let config = DpConfig {
+            simd,
+            ..DpConfig::default()
+        };
+        let constraints = green_only_constraints(&road, config.horizon);
+        let optimizer = spark_optimizer(config)?;
+        let mut rng = SplitMix64::new(BENCH_SEED ^ 0xBA7C);
+        let starts: Vec<StartState> = (0..spec.batch_size)
+            .map(|_| StartState {
+                position: Meters::new(rng.uniform(1900.0, 2250.0)),
+                speed: MetersPerSecond::new(rng.uniform(10.0, 15.0)),
+                time: Seconds::new(rng.uniform(120.0, 184.0)),
+            })
+            .collect();
+        let requests: Vec<PlanRequest<'_>> = starts
+            .iter()
+            .map(|&start| PlanRequest {
+                road: &road,
+                signals: &constraints,
+                start,
+            })
+            .collect();
+        let mut metrics = SolverMetrics::default();
+        let mut samples = Vec::with_capacity(spec.batch_iters);
+        for _ in 0..spec.batch_iters {
+            let start = Instant::now();
+            let results = optimizer.optimize_batch(&requests);
+            samples.push(start.elapsed().as_secs_f64());
+            for result in results {
+                metrics.absorb(&result?.metrics);
+            }
+        }
+        Ok((samples, metrics))
+    };
+    let (scalar_samples, _) = run(false)?;
+    let (samples, metrics) = run(true)?;
+    let mut result = ScenarioResult::from_samples("dp_batch_simd", &samples, &metrics)?;
+    result.simd_speedup =
+        Percentiles::from_samples(&scalar_samples)?.p50 / result.wall_seconds.p50.max(1e-12);
+    Ok(result)
 }
 
 /// The seeded SAE training workload: the paper's station shape, two weeks
@@ -1431,6 +1667,8 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
             single_trip("single_trip_parallel", parallel, spec.trip_iters)?,
             single_trip("single_trip_greedy", greedy, spec.trip_iters)?,
             batch_burst(spec)?,
+            dp_single_simd(spec.trip_iters)?,
+            dp_batch_simd(spec)?,
             replan_steady_state(spec.replan_ticks)?,
             replan_refresh_only((spec.replan_ticks / 4).max(1))?,
             sae_train(spec.sae_train_iters)?,
@@ -1466,6 +1704,12 @@ mod tests {
             memo_misses: 10,
             energy_evals: 500,
             rows_skipped: 20,
+            simd_rows: 800,
+            repair_hits: 4 * 5,
+            repair_full_resolves: 1,
+            repair_layers_skipped: 600,
+            simd_speedup: 2.6,
+            repair_speedup: 4.2,
             gemm_flops: 50_000,
             scratch_reuse_hits: 40,
             scratch_allocations: 5,
@@ -1677,6 +1921,57 @@ mod tests {
     }
 
     #[test]
+    fn simd_and_repair_floors_are_gated() {
+        let baseline = report(&[("dp", 0.100)]);
+        // Repair disengaging (every refresh re-solves) craters the hit
+        // count: a regression even with the wall clock flat.
+        let mut current = report(&[("dp", 0.100)]);
+        current.scenarios[0].repair_hits = 5;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("repair hits"));
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+
+        // The SIMD speedup falling below the 2x floor fails when the
+        // baseline itself cleared it.
+        let mut current = report(&[("dp", 0.100)]);
+        current.scenarios[0].simd_speedup = 1.3;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("SIMD speedup"));
+
+        // Likewise the repair speedup below its 3x floor.
+        let mut current = report(&[("dp", 0.100)]);
+        current.scenarios[0].repair_speedup = 2.1;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("repair speedup"));
+
+        // More hits or faster kernels never regress, and `simd_rows` is
+        // geometry-dependent telemetry that is never gated.
+        let mut current = report(&[("dp", 0.100)]);
+        current.scenarios[0].repair_hits *= 2;
+        current.scenarios[0].simd_speedup = 9.0;
+        current.scenarios[0].simd_rows = 0;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+
+        // A baseline without repair traffic or below the speedup floors
+        // (a scalar host, a pre-repair baseline) disables the gates.
+        let mut old = report(&[("dp", 0.100)]);
+        old.scenarios[0].repair_hits = 0;
+        old.scenarios[0].simd_speedup = 1.0;
+        old.scenarios[0].repair_speedup = 0.0;
+        let mut current = report(&[("dp", 0.100)]);
+        current.scenarios[0].repair_hits = 0;
+        current.scenarios[0].simd_speedup = 0.9;
+        current.scenarios[0].repair_speedup = 0.5;
+        let outcome = compare_work(&current, &old).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
     fn work_only_gate_ignores_wall_time() {
         let baseline = report(&[("s", 0.100)]);
         // 10x slower wall clock but identical work: the work gate passes.
@@ -1721,6 +2016,12 @@ mod tests {
         // Network counters are optional too; zero disables their floor.
         assert_eq!(s.vehicles_stepped, 0);
         assert_eq!(s.network_handoffs, 0);
+        // SIMD/repair counters and ratios are optional; zero disables
+        // their floors on pre-vectorization baselines.
+        assert_eq!(s.simd_rows, 0);
+        assert_eq!(s.repair_hits, 0);
+        assert_eq!(s.simd_speedup, 0.0);
+        assert_eq!(s.repair_speedup, 0.0);
     }
 
     #[test]
@@ -1787,7 +2088,7 @@ mod tests {
             network_rounds: 2,
         };
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 11);
+        assert_eq!(report.scenarios.len(), 13);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
@@ -1804,7 +2105,23 @@ mod tests {
             );
         }
         assert!(report.scenario("batch_2").is_some());
-        assert!(report.scenario("replan_refresh").is_some());
+        // The SIMD delta rows ran both dispatches and report the same-run
+        // ratio; the timed (SIMD) half only touches the vector kernels
+        // when the host supports them.
+        let simd = report.scenario("dp_single_simd").unwrap();
+        assert!(simd.simd_speedup > 0.0);
+        assert!(report.scenario("dp_batch_simd").is_some());
+        // Every timed refresh tick shifts only the downstream signal's
+        // windows, so the warm-started solver repairs instead of
+        // re-solving, and the ratio over the scratch schedule is positive.
+        let refresh = report.scenario("replan_refresh").unwrap();
+        assert!(refresh.repair_speedup > 0.0);
+        assert!(
+            refresh.repair_hits > 0,
+            "refresh ticks were not served by repair ({} full re-solves)",
+            refresh.repair_full_resolves
+        );
+        assert!(refresh.repair_layers_skipped > 0);
         // The SAE rows carry the trainer's counters instead of the DP's,
         // and the warm rollout scenario must report zero allocations.
         let train = report.scenario("sae_train").unwrap();
@@ -1849,6 +2166,6 @@ mod tests {
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
-        assert_eq!(outcome.passed, 11);
+        assert_eq!(outcome.passed, 13);
     }
 }

@@ -171,6 +171,11 @@ impl TripRequest {
 }
 
 /// The cloud's answer to a trip request.
+// Responses are transient (decoded, consumed, dropped within one request
+// round-trip); boxing the profile variant would trade one stack copy for
+// a heap allocation on the serving hot path, which the buffer-pooled
+// tier deliberately avoids.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CloudResponse {
     /// The optimized profile.
@@ -205,6 +210,11 @@ pub fn encode_profile(profile: &OptimizedProfile, buf: &mut BytesMut) {
     buf.put_u64(m.memo_misses);
     buf.put_u64(m.energy_evals);
     buf.put_u64(m.rows_skipped);
+    buf.put_u64(m.simd_rows);
+    buf.put_u64(m.scalar_rows);
+    buf.put_u64(m.repair_hits);
+    buf.put_u64(m.repair_full_resolves);
+    buf.put_u64(m.repair_layers_skipped);
     buf.put_u32(m.threads_used as u32);
 }
 
@@ -241,6 +251,11 @@ pub fn decode_profile(buf: &mut Bytes) -> Result<OptimizedProfile> {
         memo_misses: take_u64(buf)?,
         energy_evals: take_u64(buf)?,
         rows_skipped: take_u64(buf)?,
+        simd_rows: take_u64(buf)?,
+        scalar_rows: take_u64(buf)?,
+        repair_hits: take_u64(buf)?,
+        repair_full_resolves: take_u64(buf)?,
+        repair_layers_skipped: take_u64(buf)?,
         threads_used: take_u32(buf)? as usize,
     };
     Ok(OptimizedProfile {

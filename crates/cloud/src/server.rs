@@ -58,6 +58,10 @@ pub struct ServerStats {
     batches: AtomicU64,
     solver_states_expanded: AtomicU64,
     solver_states_pruned: AtomicU64,
+    solver_simd_rows: AtomicU64,
+    solver_scalar_rows: AtomicU64,
+    solver_repair_hits: AtomicU64,
+    solver_repair_full_resolves: AtomicU64,
     connections: AtomicU64,
     rejected: AtomicU64,
     active: AtomicU64,
@@ -300,6 +304,36 @@ impl ServerStats {
             .fetch_add(metrics.states_expanded, Ordering::Relaxed);
         self.solver_states_pruned
             .fetch_add(metrics.states_pruned, Ordering::Relaxed);
+        self.solver_simd_rows
+            .fetch_add(metrics.simd_rows, Ordering::Relaxed);
+        self.solver_scalar_rows
+            .fetch_add(metrics.scalar_rows, Ordering::Relaxed);
+        self.solver_repair_hits
+            .fetch_add(metrics.repair_hits, Ordering::Relaxed);
+        self.solver_repair_full_resolves
+            .fetch_add(metrics.repair_full_resolves, Ordering::Relaxed);
+    }
+
+    /// Relax-kernel dispatch mix over every fresh solve: `(rows through
+    /// the AVX2 microkernels, rows through the scalar kernel)`. An
+    /// all-scalar split on AVX2 hardware means `VELOPT_DP_SIMD` (or
+    /// `DpConfig::simd`) disabled vectorization on the serving path.
+    pub fn dp_simd_rows(&self) -> (u64, u64) {
+        (
+            self.solver_simd_rows.load(Ordering::Relaxed),
+            self.solver_scalar_rows.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Warm-start repair behavior over every fresh solve: `(window
+    /// refreshes served by dirty-suffix repair, refreshes that fell back
+    /// to a full retention re-solve)`. Stateless per-request serving
+    /// reports zeros — repair only engages on arena-retained refreshes.
+    pub fn dp_repair(&self) -> (u64, u64) {
+        (
+            self.solver_repair_hits.load(Ordering::Relaxed),
+            self.solver_repair_full_resolves.load(Ordering::Relaxed),
+        )
     }
 
     /// `n` more trips answered with a profile (coalescer fan-out path).

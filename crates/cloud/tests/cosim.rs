@@ -98,6 +98,16 @@ fn identical_storm_is_single_flighted() {
     assert_eq!(stats.batch_flushes(), 1);
     // Dedupe is not the cache: nothing was answered from a prior plan.
     assert_eq!(stats.cache_hits(), 0);
+    // The one solve that ran reports its relax-kernel dispatch mix: every
+    // row went through exactly one kernel flavor, whichever the host
+    // selected, so the combined row count is positive.
+    let (simd_rows, scalar_rows) = stats.dp_simd_rows();
+    assert!(
+        simd_rows + scalar_rows > 0,
+        "a fresh solve must report its kernel dispatch mix"
+    );
+    // Stateless per-request serving never engages warm-start repair.
+    assert_eq!(stats.dp_repair(), (0, 0));
     server.shutdown();
 }
 

@@ -218,7 +218,12 @@ pub fn team_scope<Ret>(threads: usize, driver: impl FnOnce(&Team<'_>) -> Ret) ->
 /// Raw-pointer newtype so a chunk base pointer can cross the closure's
 /// `Sync` bound; the disjoint-chunk partition makes the aliasing sound.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through the disjoint chunk
+// ranges `map_chunks` hands each worker, so moving it across threads
+// cannot create aliasing access to any `T: Send` element.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — shared references to the wrapper only yield the raw
+// pointer, and every dereference stays within one chunk's disjoint range.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -233,6 +238,9 @@ impl<T> SendPtr<T> {
 /// Result slots written by whichever thread owns the chunk; `Sync` is
 /// sound because distinct chunks write distinct slots exactly once.
 struct SyncSlots<T>(Vec<UnsafeCell<Option<T>>>);
+// SAFETY: slot `i` is written exactly once, by the unique owner of chunk
+// `i` (see `put`), and only read after the round's done barrier — no two
+// threads ever touch the same cell concurrently.
 unsafe impl<T: Send> Sync for SyncSlots<T> {}
 
 impl<T> SyncSlots<T> {
@@ -241,6 +249,8 @@ impl<T> SyncSlots<T> {
     /// Each slot index must be written by at most one thread per round
     /// (here: the unique owner of chunk `i`).
     unsafe fn put(&self, i: usize, value: T) {
+        // SAFETY: the caller guarantees exclusive ownership of slot `i`
+        // this round, so the raw cell write cannot race.
         unsafe { *self.0[i].get() = Some(value) };
     }
 }

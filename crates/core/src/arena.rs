@@ -57,6 +57,27 @@ impl<T: Clone> LayerPool<T> {
         telemetry::add("arena.allocations", stats.allocations);
         (&mut self.buffers[..count], stats)
     }
+
+    /// Whether [`resume_layers`](Self::resume_layers) would succeed for
+    /// this shape, without borrowing the buffers. Callers that choose
+    /// between resuming and a full [`take_layers`](Self::take_layers)
+    /// reset check this first so the decision does not hold the pool
+    /// borrow.
+    pub fn can_resume(&self, count: usize, len: usize) -> bool {
+        self.buffers.len() >= count && self.buffers[..count].iter().all(|b| b.len() == len)
+    }
+
+    /// Returns the first `count` pooled buffers *without* resetting them,
+    /// or `None` if the pool does not hold `count` buffers of exactly
+    /// `len` elements. This is how incremental repair resumes the layer
+    /// stack a previous solve left behind: the caller re-fills only the
+    /// dirty suffix and keeps the retained prefix untouched.
+    pub fn resume_layers(&mut self, count: usize, len: usize) -> Option<&mut [Vec<T>]> {
+        if !self.can_resume(count, len) {
+            return None;
+        }
+        Some(&mut self.buffers[..count])
+    }
 }
 
 impl<T> std::fmt::Debug for LayerPool<T> {
@@ -106,6 +127,20 @@ mod tests {
         // And once grown, everything reuses.
         let (_, stats) = pool.take_layers(4, 16, 0);
         assert_eq!(stats.reuse_hits, 4);
+    }
+
+    #[test]
+    fn resume_returns_unreset_buffers_only_on_shape_match() {
+        let mut pool: LayerPool<Option<u32>> = LayerPool::new();
+        assert!(pool.resume_layers(1, 8).is_none());
+        let (layers, _) = pool.take_layers(3, 8, None);
+        layers[2][5] = Some(42);
+        // Matching shape: same contents, no reset.
+        let resumed = pool.resume_layers(3, 8).unwrap();
+        assert_eq!(resumed[2][5], Some(42));
+        // Shape mismatches refuse rather than resize.
+        assert!(pool.resume_layers(4, 8).is_none());
+        assert!(pool.resume_layers(3, 9).is_none());
     }
 
     #[test]

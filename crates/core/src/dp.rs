@@ -95,10 +95,11 @@
 //! the fan-out and are independent of the chunk geometry, so the state
 //! counters in [`SolverMetrics`] are thread-count-invariant too.
 
-use crate::arena::LayerPool;
+use crate::arena::{LayerPool, LeaseStats};
 use crate::memo::{ClassKey, CostTable, MemoStats, TransitionTable};
 use crate::metrics::SolverMetrics;
 use crate::par;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use velopt_common::units::{AmpereHours, Meters, MetersPerSecond, MetersPerSecondSq, Seconds};
@@ -163,6 +164,19 @@ pub struct DpConfig {
     /// ablation/verification knob (`SolverMetrics::memo_misses` then counts
     /// every per-layer build).
     pub memo: bool,
+    /// Whether the relax loops may use the AVX2 microkernels when the host
+    /// supports them (default `true`). The portable fallback is
+    /// bit-identical (see [`crate::simd`]), so this — like the
+    /// `VELOPT_DP_SIMD` env override that also forces the portable path —
+    /// is purely an A/B benchmarking and CI-coverage knob.
+    #[serde(default = "default_simd")]
+    pub simd: bool,
+}
+
+/// Serde default for [`DpConfig::simd`]: configs serialized before the
+/// knob existed deserialize with SIMD enabled.
+fn default_simd() -> bool {
+    true
 }
 
 impl Default for DpConfig {
@@ -180,6 +194,7 @@ impl Default for DpConfig {
             time_handling: TimeHandling::Exact,
             threads: 0,
             memo: true,
+            simd: default_simd(),
         }
     }
 }
@@ -421,10 +436,166 @@ struct GNode {
 #[derive(Debug, Clone, Default)]
 pub struct SolverArena {
     exact: LayerPool<Option<Node>>,
+    exact_dirty: Option<DirtyLog>,
     greedy: LayerPool<Option<GNode>>,
     speeds_idx: Vec<usize>,
     times: Vec<f64>,
     transitions: TransitionTable,
+    repair: Option<RepairState>,
+}
+
+/// Physical write log for the pooled Exact layer stack: per layer, per
+/// speed row, the inclusive time-bin span of slots that may hold `Some`
+/// since the stack was last fully refilled. An Exact sweep touches ~1% of
+/// the `n_stations × n_speeds × n_bins` stack, so the vectorized solver
+/// path resets a sweep by clearing only the logged spans instead of
+/// rewriting every slot (`reset_exact_layers`) — by far the solver's
+/// largest memory traffic. Both dispatch flavors *maintain* the log (a
+/// span union per relaxed layer, a few hundred words), so scalar and AVX2
+/// solves can interleave on one arena; only the reset strategy differs,
+/// and a shape change or a missing log falls back to the full refill.
+///
+/// Correctness invariant: every slot outside the logged spans is `None`.
+/// Spans are merged into the log as layers are relaxed — before any
+/// infeasible/verification early-return — so the invariant holds even for
+/// failed sweeps.
+/// Inclusive occupied/written time-bin span per `(layer, speed row)`;
+/// `None` = untouched. Shared by the arena's [`DirtyLog`], the retained
+/// [`RepairState::spans`], and the relax sweep's span log.
+type BinSpans = Vec<Vec<Option<(u32, u32)>>>;
+
+#[derive(Debug, Clone)]
+struct DirtyLog {
+    /// `(n_speeds, n_bins)` of every tracked layer. The *layer count* is
+    /// deliberately not part of the shape: replanning mid-trip shrinks and
+    /// grows the station count from solve to solve, and a solve needing
+    /// `n ≤ spans.len()` layers can still sparse-reset the first `n`
+    /// tracked buffers. A solve needing more layers than the log tracks
+    /// falls back to the full refill (pooled buffers beyond the tracked
+    /// set have unknown contents).
+    rows_shape: (usize, usize),
+    /// `spans[layer][row]` — inclusive written-bin span, `None` = clean.
+    spans: BinSpans,
+}
+
+impl DirtyLog {
+    /// A log for a freshly refilled (all-`None`) stack.
+    fn clean(n_stations: usize, n_speeds: usize, n_bins: usize) -> Self {
+        Self {
+            rows_shape: (n_speeds, n_bins),
+            spans: vec![vec![None; n_speeds]; n_stations],
+        }
+    }
+
+    /// Whether the log covers a sparse reset of `n_stations` layers of
+    /// this row shape.
+    fn covers(&self, n_stations: usize, n_speeds: usize, n_bins: usize) -> bool {
+        self.rows_shape == (n_speeds, n_bins) && self.spans.len() >= n_stations
+    }
+
+    /// Widens `spans[layer][row]` to cover `[lo, hi]`.
+    fn merge(&mut self, layer: usize, row: usize, lo: u32, hi: u32) {
+        let slot = &mut self.spans[layer][row];
+        *slot = Some(match *slot {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+
+    /// The safe over-approximation for a stack whose write history is
+    /// unknown: every row fully dirty, so the next sparse clear degrades
+    /// to a full refill instead of missing a stale slot.
+    fn all_dirty(n_stations: usize, n_speeds: usize, n_bins: usize) -> Self {
+        Self {
+            rows_shape: (n_speeds, n_bins),
+            spans: vec![vec![Some((0, (n_bins - 1) as u32)); n_speeds]; n_stations],
+        }
+    }
+}
+
+/// Hands back an all-`None` Exact layer stack. The portable path refills
+/// the whole pool ([`LayerPool::take_layers`]); the vectorized path, when
+/// the dirty log covers the pooled stack's writes, clears only the logged
+/// spans — equivalent by the [`DirtyLog`] invariant, at a small fraction
+/// of the memory traffic. Either way the returned stack is bit-for-bit the
+/// all-`None` stack, and the log is left clean.
+fn reset_exact_layers<'p>(
+    pool: &'p mut LayerPool<Option<Node>>,
+    dirty: &mut Option<DirtyLog>,
+    use_simd: bool,
+    n_stations: usize,
+    n_speeds: usize,
+    n_bins: usize,
+) -> (&'p mut [Vec<Option<Node>>], LeaseStats) {
+    let len = n_speeds * n_bins;
+    let sparse = use_simd
+        && dirty
+            .as_ref()
+            .is_some_and(|log| log.covers(n_stations, n_speeds, n_bins))
+        && pool.can_resume(n_stations, len);
+    if sparse {
+        let layers = pool
+            .resume_layers(n_stations, len)
+            .expect("can_resume verified the shape");
+        let log = dirty.as_mut().expect("the sparse path checked for a log");
+        for (layer, rows) in layers.iter_mut().zip(log.spans[..n_stations].iter_mut()) {
+            for (vi, span) in rows.iter_mut().enumerate() {
+                if let Some((lo, hi)) = span.take() {
+                    layer[vi * n_bins + lo as usize..=vi * n_bins + hi as usize].fill(None);
+                }
+            }
+        }
+        let stats = LeaseStats {
+            reuse_hits: n_stations as u64,
+            allocations: 0,
+        };
+        telemetry::add("arena.reuse_hits", stats.reuse_hits);
+        return (layers, stats);
+    }
+    let (layers, stats) = pool.take_layers(n_stations, len, None);
+    *dirty = Some(DirtyLog::clean(n_stations, n_speeds, n_bins));
+    (layers, stats)
+}
+
+/// Everything a warm-started window refresh needs to reuse the previous
+/// solve ([`DpOptimizer::optimize_windows_refresh`]): the *window-free*
+/// pruning floors, each retained layer's occupied-bin spans, the windows
+/// the retention sweep was solved under, its certified pruning limit, and
+/// the resulting profile. The retained layer contents themselves stay in
+/// the arena's exact [`LayerPool`] (repair resumes them in place), which
+/// is why any direct solve through the same arena invalidates this state.
+#[derive(Debug, Clone)]
+struct RepairState {
+    /// Fingerprint of everything the retained solve depended on *except*
+    /// the windows: physics, lattice, station grid, speed masks, dwell
+    /// times, and the start state. A refresh with a different signature
+    /// cannot reuse the layers.
+    signature: u64,
+    /// Per-station windows of the retained solve (`None` = no signal).
+    /// The diff against a refresh's windows yields the dirty-layer set.
+    windows: Vec<Option<Vec<TimeWindow>>>,
+    /// Reachability mask (window-independent).
+    live: Vec<Vec<bool>>,
+    /// `rows_skipped` of the retained solve (window-independent).
+    rows_skipped: u64,
+    /// Window-free joint cost-to-go (`cost_to_go` with no dead stations).
+    b_free: Vec<Vec<f64>>,
+    /// Energy-only cost-to-go (window-free by construction).
+    emin: Vec<Vec<f64>>,
+    /// Window-free arrival-time bound (`window_bounds` with no windows).
+    wait_free: Vec<Vec<f64>>,
+    /// Occupied time-bin span per `(layer, speed row)` of the retained
+    /// sweep; `spans[d - 1]` seeds a repair that re-relaxes from layer
+    /// `d`.
+    spans: BinSpans,
+    /// The rung the retention sweep was certified under (`None` =
+    /// unbounded). Repairs relax with this same limit and re-verify.
+    limit: Option<f64>,
+    /// The retained solve's profile, returned as-is on a zero-diff
+    /// refresh.
+    profile: OptimizedProfile,
+    /// Time-bin count of the retained layers.
+    n_bins: usize,
 }
 
 impl SolverArena {
@@ -457,6 +628,178 @@ struct SolveCtx<'a> {
     start_time: f64,
 }
 
+/// The road-and-start-dependent solve geometry built by
+/// [`DpOptimizer::prepare`]: validated start indices, the station grid,
+/// speed masks, per-station windows and dwell times, and each segment's
+/// quantized class spec. Everything here is window-signature material for
+/// a refresh; the cost tables themselves are resolved separately (they
+/// depend on the arena's memo cache).
+struct Prepared<'a> {
+    stations: Vec<Meters>,
+    station_windows: Vec<Option<&'a SignalConstraint>>,
+    allowed: Vec<Vec<bool>>,
+    dwell: Vec<f64>,
+    layer_ds: Vec<f64>,
+    specs: Vec<(ClassKey, GridSpec)>,
+    n_speeds: usize,
+    start_vi: usize,
+    start_time: f64,
+}
+
+impl Prepared<'_> {
+    /// Borrows the geometry (plus the caller-resolved cost tables) as the
+    /// relax loops' [`SolveCtx`].
+    fn ctx<'t>(&'t self, tables: &'t [&'t CostTable]) -> SolveCtx<'t> {
+        SolveCtx {
+            stations: &self.stations,
+            tables,
+            layer_ds: &self.layer_ds,
+            allowed: &self.allowed,
+            station_windows: &self.station_windows,
+            dwell: &self.dwell,
+            n_speeds: self.n_speeds,
+            start_vi: self.start_vi,
+            start_time: self.start_time,
+        }
+    }
+}
+
+/// Per-layer read-only inputs shared by every relax tile of one chunk:
+/// the layer's clock/penalty parameters, its live mask, and (Exact mode
+/// only) the slot-uniform lower-bound tables plus the current aspiration
+/// rung. Slices are indexed by *global* target-speed index / time bin.
+struct RelaxEnv<'a> {
+    horizon: f64,
+    dt_bin: f64,
+    dwell: f64,
+    penalty_m: f64,
+    limit: Option<f64>,
+    window: Option<&'a SignalConstraint>,
+    live: &'a [bool],
+    ctg: &'a [f64],
+    emin: &'a [f64],
+    wait: &'a [f64],
+}
+
+/// Per-chunk relax counters, merged into [`SolverMetrics`] by the caller.
+/// The state counters are chunk-geometry-invariant (candidates are counted
+/// per candidate, table-infeasible pairs once per pair); the kernel-row
+/// counters are not (tile fragmentation depends on the chunk boundaries)
+/// and stay observability-only.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChunkCounters {
+    expanded: u64,
+    pruned: u64,
+    simd_rows: u64,
+    scalar_rows: u64,
+}
+
+/// Relaxes one gathered Exact-mode source group — states of a single
+/// source speed `vi`, time bins ascending — over this chunk's share
+/// `[lo, lo + charge_row.len())` of its target band, tile by tile.
+///
+/// The cost/arrival tiles come from [`simd::relax_tile`] (AVX2 or the
+/// bit-identical portable kernel); the winner pass stays scalar and visits
+/// candidates for any fixed slot `(vj, tj)` in exactly the sequential
+/// order (`vi` ascending from the caller's loop, `ti` ascending within
+/// and across groups), so the strict `<` keeps the same winner as the
+/// pre-SIMD loop. Table-infeasible lanes (NaN duration) were counted as
+/// pruned once per `(vi, vj)` pair by the caller and are skipped here
+/// without counting, exactly like the old per-pair `table.get` miss.
+#[allow(clippy::too_many_arguments)]
+fn relax_exact_group(
+    use_simd: bool,
+    tw: f64,
+    vi: u32,
+    charge_row: &[f64],
+    dur_row: &[f64],
+    srcs: &[simd::TileSrc],
+    metas: &[(u32, u32)],
+    lo: usize,
+    row0: usize,
+    n_bins: usize,
+    env: &RelaxEnv<'_>,
+    chunk: &mut [Option<Node>],
+    row_spans: &mut [Option<(u32, u32)>],
+    counters: &mut ChunkCounters,
+) {
+    let n_lanes = charge_row.len();
+    let mut out = simd::TileOut::new();
+    let mut j0 = 0usize;
+    while j0 < n_lanes {
+        let n = simd::NR.min(n_lanes - j0);
+        let went_simd = simd::relax_tile(
+            use_simd,
+            &charge_row[j0..j0 + n],
+            &dur_row[j0..j0 + n],
+            srcs,
+            tw,
+            env.dwell,
+            n,
+            &mut out,
+        );
+        if went_simd {
+            counters.simd_rows += srcs.len() as u64;
+        } else {
+            counters.scalar_rows += srcs.len() as u64;
+        }
+        // Indexed on purpose: the `metas[..].iter().enumerate()` form
+        // measurably deoptimizes this loop (~15-20% on the batch bench).
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..srcs.len() {
+            let (ti, violations) = metas[r];
+            for j in 0..n {
+                let vj = lo + j0 + j;
+                if !env.live[vj] || dur_row[j0 + j].is_nan() {
+                    continue;
+                }
+                let t1 = out.t1[r][j];
+                if t1 > env.horizon {
+                    counters.pruned += 1;
+                    continue;
+                }
+                let tj = (t1 / env.dt_bin).round() as usize;
+                if tj >= n_bins {
+                    counters.pruned += 1;
+                    continue;
+                }
+                let (penalty, violation) = match env.window {
+                    Some(sc) if !sc.admits(Seconds::new(t1)) => (env.penalty_m, 1),
+                    _ => (0.0, 0),
+                };
+                let cost = out.cost[r][j] + penalty;
+                if let Some(limit) = env.limit {
+                    // Slot-uniform completion lower bound — see
+                    // `window_bounds` for why pruning on it can never
+                    // change a surviving slot's winner.
+                    let floor = env.ctg[vj].max(env.emin[vj] + env.wait[tj]);
+                    if cost + floor > limit {
+                        counters.pruned += 1;
+                        continue;
+                    }
+                }
+                counters.expanded += 1;
+                let slot = &mut chunk[(vj - row0) * n_bins + tj];
+                if slot.is_none_or(|s| cost < s.cost) {
+                    *slot = Some(Node {
+                        cost,
+                        time: t1,
+                        prev_v: vi,
+                        prev_t: ti,
+                        violations: violations + violation,
+                    });
+                    let span = &mut row_spans[vj - row0];
+                    *span = Some(match *span {
+                        None => (tj as u32, tj as u32),
+                        Some((s_lo, s_hi)) => (s_lo.min(tj as u32), s_hi.max(tj as u32)),
+                    });
+                }
+            }
+        }
+        j0 += n;
+    }
+}
+
 /// Mixes everything the cached cost tables depend on besides the segment
 /// class itself: the energy physics and the velocity/acceleration lattice.
 fn table_signature(energy: &EnergyModel, config: &DpConfig, n_speeds: usize) -> u64 {
@@ -471,6 +814,93 @@ fn table_signature(energy: &EnergyModel, config: &DpConfig, n_speeds: usize) -> 
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Mixes everything a retained repair stack depends on *except* the
+/// arrival windows: the table signature (physics + lattice), the station
+/// grid, each segment's snapped geometry, the speed masks, dwell times,
+/// the start state, and the clock/penalty parameters. Two refreshes with
+/// equal signatures relax identical DP graphs up to their windows, so the
+/// window diff alone decides which layers a repair must redo. (Knobs that
+/// provably cannot change the solved bits — `threads`, `memo`, `simd` —
+/// are deliberately left out.)
+fn refresh_signature(energy: &EnergyModel, config: &DpConfig, prep: &Prepared<'_>) -> u64 {
+    fn mix(h: &mut u64, bits: u64) {
+        *h ^= bits;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut h = table_signature(energy, config, prep.n_speeds);
+    for s in &prep.stations {
+        mix(&mut h, s.value().to_bits());
+    }
+    for (i, (_, spec)) in prep.specs.iter().enumerate() {
+        mix(&mut h, prep.layer_ds[i].to_bits());
+        mix(&mut h, spec.grade.value().to_bits());
+    }
+    for d in &prep.dwell {
+        mix(&mut h, d.to_bits());
+    }
+    for row in &prep.allowed {
+        for &a in row {
+            mix(&mut h, a as u64 + 1);
+        }
+    }
+    mix(&mut h, prep.start_vi as u64);
+    mix(&mut h, prep.start_time.to_bits());
+    mix(&mut h, config.horizon.value().to_bits());
+    mix(&mut h, config.dt_bin.value().to_bits());
+    mix(&mut h, config.penalty_m.to_bits());
+    mix(&mut h, config.time_weight.to_bits());
+    h
+}
+
+/// The cheapest Exact-mode terminal state: the best occupied `v = 0` time
+/// bin of the last layer, with its bin index.
+fn exact_terminal(last: &[Option<Node>], n_bins: usize) -> Option<(usize, Node)> {
+    let mut best: Option<(usize, Node)> = None;
+    for (ti, slot) in last[..n_bins].iter().enumerate() {
+        if let Some(node) = slot {
+            if best.is_none_or(|(_, b)| node.cost < b.cost) {
+                best = Some((ti, *node));
+            }
+        }
+    }
+    best
+}
+
+/// Walks the winning terminal's parent links back to the start, filling
+/// `speeds_idx`/`times` (station-indexed).
+fn backtrack_exact(
+    ctx: &SolveCtx<'_>,
+    layers: &[Vec<Option<Node>>],
+    n_bins: usize,
+    terminal_ti: usize,
+    terminal: Node,
+    speeds_idx: &mut Vec<usize>,
+    times: &mut Vec<f64>,
+) -> Result<()> {
+    let n_stations = ctx.stations.len();
+    speeds_idx.clear();
+    speeds_idx.resize(n_stations, 0);
+    times.clear();
+    times.resize(n_stations, 0.0);
+    let mut vi = 0usize;
+    let mut ti = terminal_ti;
+    times[n_stations - 1] = terminal.time;
+    for i in (1..n_stations).rev() {
+        let node = layers[i][vi * n_bins + ti].ok_or_else(|| {
+            Error::infeasible("backtrack lost its parent state (inconsistent DP layers)")
+        })?;
+        times[i] = node.time;
+        let pv = node.prev_v as usize;
+        let pt = node.prev_t as usize;
+        speeds_idx[i] = vi;
+        vi = pv;
+        ti = pt;
+    }
+    speeds_idx[0] = ctx.start_vi;
+    times[0] = ctx.start_time;
+    Ok(())
 }
 
 /// Forward/backward reachability over `(station, speed)` rows: a row is
@@ -600,6 +1030,57 @@ impl DpOptimizer {
     ) -> Result<OptimizedProfile> {
         let _solve_span = telemetry::span("dp.optimize_seconds");
         let setup_started = Instant::now();
+        let prep = self.prepare(road, signals, start)?;
+        let SolverArena {
+            exact,
+            exact_dirty,
+            greedy,
+            speeds_idx,
+            times,
+            transitions,
+            repair,
+        } = arena;
+        // A direct solve clobbers the layer pools, so any retained repair
+        // state no longer describes their contents.
+        *repair = None;
+        let (owned_tables, memo_ids, mut metrics) =
+            self.resolve_tables(&prep, transitions, setup_started);
+        let tables: Vec<&CostTable> = if self.config.memo {
+            memo_ids.iter().map(|&id| transitions.table(id)).collect()
+        } else {
+            owned_tables.iter().collect()
+        };
+        let ctx = prep.ctx(&tables);
+        let result = match self.config.time_handling {
+            TimeHandling::Exact => self.solve_exact(
+                &ctx,
+                exact,
+                exact_dirty,
+                greedy,
+                speeds_idx,
+                times,
+                &mut metrics,
+            ),
+            TimeHandling::Greedy => {
+                self.solve_greedy(&ctx, greedy, speeds_idx, times, &mut metrics)
+            }
+        };
+        match &result {
+            Ok(profile) => profile.metrics.publish(),
+            Err(_) => telemetry::add("dp.failed_solves", 1),
+        }
+        result
+    }
+
+    /// Validates the start state and builds the road-and-start-dependent
+    /// solve geometry shared by [`optimize_from_with`](Self::optimize_from_with)
+    /// and [`optimize_windows_refresh`](Self::optimize_windows_refresh).
+    fn prepare<'a>(
+        &self,
+        road: &Road,
+        signals: &'a [SignalConstraint],
+        start: StartState,
+    ) -> Result<Prepared<'a>> {
         if !road.contains(start.position) || start.position >= road.length() {
             return Err(Error::invalid_input(
                 "start position must lie strictly inside the corridor",
@@ -697,19 +1178,9 @@ impl DpOptimizer {
             })
             .collect();
 
-        // Resolve each segment to its quantized class and fetch (or build)
-        // the shared V×V transition-cost table. The arena cache survives
-        // across solves; `reconcile` drops it if the physics or lattice
-        // changed since it was filled.
-        let SolverArena {
-            exact,
-            greedy,
-            speeds_idx,
-            times,
-            transitions,
-        } = arena;
-        transitions.reconcile(table_signature(&self.energy, &self.config, n_speeds));
-        let mut stats = MemoStats::default();
+        // Quantize each segment to its transition class. The table itself
+        // is resolved later, against the arena's memo cache, by
+        // `resolve_tables`.
         let mut layer_ds = Vec::with_capacity(n_stations - 1);
         let mut specs = Vec::with_capacity(n_stations - 1);
         for i in 1..n_stations {
@@ -729,15 +1200,45 @@ impl DpOptimizer {
                 },
             ));
         }
-        let owned_tables: Vec<CostTable>;
-        let tables: Vec<&CostTable> = if self.config.memo {
-            let ids: Vec<usize> = specs
+        Ok(Prepared {
+            stations,
+            station_windows,
+            allowed,
+            dwell,
+            layer_ds,
+            specs,
+            n_speeds,
+            start_vi,
+            start_time: start.time.value(),
+        })
+    }
+
+    /// Resolves every segment's V×V transition-cost table against the
+    /// arena memo cache (or builds them outright when memoization is off)
+    /// and seeds the solve metrics with the setup accounting. Exactly one
+    /// of the returned vectors is non-empty: memo class ids when
+    /// `config.memo`, owned tables otherwise — the caller assembles the
+    /// `&CostTable` slice from whichever applies, keeping the borrows on
+    /// its own stack frame.
+    fn resolve_tables(
+        &self,
+        prep: &Prepared<'_>,
+        transitions: &mut TransitionTable,
+        setup_started: Instant,
+    ) -> (Vec<CostTable>, Vec<usize>, SolverMetrics) {
+        transitions.reconcile(table_signature(&self.energy, &self.config, prep.n_speeds));
+        let mut stats = MemoStats::default();
+        let mut owned_tables = Vec::new();
+        let mut memo_ids = Vec::new();
+        if self.config.memo {
+            memo_ids = prep
+                .specs
                 .iter()
                 .map(|(key, spec)| transitions.class_for(*key, &self.energy, spec, &mut stats))
                 .collect();
-            ids.into_iter().map(|id| transitions.table(id)).collect()
         } else {
-            owned_tables = specs
+            owned_tables = prep
+                .specs
                 .iter()
                 .map(|(_, spec)| {
                     let (table, evals) = CostTable::build(&self.energy, spec);
@@ -746,40 +1247,359 @@ impl DpOptimizer {
                     table
                 })
                 .collect();
-            owned_tables.iter().collect()
-        };
-
-        let mut metrics = SolverMetrics {
+        }
+        let metrics = SolverMetrics {
             setup_seconds: setup_started.elapsed().as_secs_f64(),
             memo_hits: stats.hits,
             memo_misses: stats.misses,
             energy_evals: stats.energy_evals,
             ..SolverMetrics::default()
         };
-        let ctx = SolveCtx {
-            stations: &stations,
-            tables: &tables,
-            layer_ds: &layer_ds,
-            allowed: &allowed,
-            station_windows: &station_windows,
-            dwell: &dwell,
-            n_speeds,
-            start_vi,
-            start_time: start.time.value(),
+        (owned_tables, memo_ids, metrics)
+    }
+
+    /// A window-only re-solve through the arena's retained repair state:
+    /// behaviorally identical to
+    /// [`optimize_from_with`](Self::optimize_from_with) — bit-identical
+    /// profile, same error contract — but when only the arrival windows
+    /// changed since the previous refresh through the same arena, the
+    /// solver keeps the previous layer stack and re-relaxes only the
+    /// layers from the first station whose windows differ
+    /// ([`SolverMetrics::repair_hits`] /
+    /// [`SolverMetrics::repair_layers_skipped`]). Any other change —
+    /// road, start state, physics, lattice — or a failed revalidation
+    /// falls back to a full retention solve
+    /// ([`SolverMetrics::repair_full_resolves`]), which re-arms the
+    /// repair state for the next refresh. Greedy time handling has no
+    /// layer stack worth retaining and delegates to `optimize_from_with`
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`optimize_from`](Self::optimize_from).
+    pub fn optimize_windows_refresh(
+        &self,
+        road: &Road,
+        signals: &[SignalConstraint],
+        start: StartState,
+        arena: &mut SolverArena,
+    ) -> Result<OptimizedProfile> {
+        if self.config.time_handling == TimeHandling::Greedy {
+            return self.optimize_from_with(road, signals, start, arena);
+        }
+        let _solve_span = telemetry::span("dp.optimize_seconds");
+        let setup_started = Instant::now();
+        let prep = self.prepare(road, signals, start)?;
+        let SolverArena {
+            exact,
+            exact_dirty,
+            greedy,
+            speeds_idx,
+            times,
+            transitions,
+            repair,
+        } = arena;
+        let (owned_tables, memo_ids, mut metrics) =
+            self.resolve_tables(&prep, transitions, setup_started);
+        let tables: Vec<&CostTable> = if self.config.memo {
+            memo_ids.iter().map(|&id| transitions.table(id)).collect()
+        } else {
+            owned_tables.iter().collect()
         };
-        let result = match self.config.time_handling {
-            TimeHandling::Exact => {
-                self.solve_exact(&ctx, exact, greedy, speeds_idx, times, &mut metrics)
-            }
-            TimeHandling::Greedy => {
-                self.solve_greedy(&ctx, greedy, speeds_idx, times, &mut metrics)
-            }
-        };
+        let sig = refresh_signature(&self.energy, &self.config, &prep);
+        let ctx = prep.ctx(&tables);
+        let result = self.solve_exact_refresh(
+            &ctx,
+            exact,
+            exact_dirty,
+            greedy,
+            speeds_idx,
+            times,
+            &mut metrics,
+            repair,
+            sig,
+        );
         match &result {
             Ok(profile) => profile.metrics.publish(),
             Err(_) => telemetry::add("dp.failed_solves", 1),
         }
         result
+    }
+
+    /// Exact-mode refresh dispatch: try, in order, a zero-diff cache hit,
+    /// an incremental dirty-suffix repair, and the full retention solve.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_exact_refresh(
+        &self,
+        ctx: &SolveCtx<'_>,
+        exact_pool: &mut LayerPool<Option<Node>>,
+        exact_dirty: &mut Option<DirtyLog>,
+        greedy_pool: &mut LayerPool<Option<GNode>>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
+        metrics: &mut SolverMetrics,
+        repair: &mut Option<RepairState>,
+        sig: u64,
+    ) -> Result<OptimizedProfile> {
+        let n_stations = ctx.stations.len();
+        let n_bins = (self.config.horizon.value() / self.config.dt_bin.value()).ceil() as usize + 1;
+        let new_windows: Vec<Option<Vec<TimeWindow>>> = ctx
+            .station_windows
+            .iter()
+            .map(|o| o.map(|sc| sc.windows.clone()))
+            .collect();
+        if let Some(state) = repair.as_mut() {
+            if state.signature == sig && state.n_bins == n_bins && state.windows.len() == n_stations
+            {
+                match (0..n_stations).find(|&i| state.windows[i] != new_windows[i]) {
+                    None => {
+                        // Nothing moved: the retained profile *is* the
+                        // answer (it was certified bit-identical to a
+                        // from-scratch solve under these exact windows).
+                        metrics.threads_used = par::effective_threads(self.config.threads);
+                        metrics.rows_skipped = state.rows_skipped;
+                        metrics.repair_hits += 1;
+                        metrics.repair_layers_skipped += (n_stations - 1) as u64;
+                        let mut profile = state.profile.clone();
+                        profile.metrics = *metrics;
+                        return Ok(profile);
+                    }
+                    // Station 0 sits behind the start and never carries a
+                    // window, so a dirty index is ≥ 1 in practice — which
+                    // is also what the resume needs (layer 0 is the seed).
+                    Some(d) if d >= 1 => {
+                        if let Some(profile) = self.try_repair(
+                            ctx,
+                            exact_pool,
+                            exact_dirty,
+                            speeds_idx,
+                            times,
+                            metrics,
+                            state,
+                            &new_windows,
+                            d,
+                            n_bins,
+                        ) {
+                            return Ok(profile);
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        metrics.repair_full_resolves += 1;
+        self.solve_exact_retained(
+            ctx,
+            exact_pool,
+            exact_dirty,
+            greedy_pool,
+            speeds_idx,
+            times,
+            metrics,
+            repair,
+            sig,
+            new_windows,
+            n_bins,
+        )
+    }
+
+    /// Attempts the incremental repair: resume the retained layer stack,
+    /// wipe and re-relax layers `d..` under the retained *window-free*
+    /// floors and certified limit, and re-verify the terminal against
+    /// that limit. Layers before `d` are exactly what a from-scratch
+    /// bounded sweep under the new windows would compute — they depend
+    /// only on windows at stations `< d` (unchanged, `d` is the first
+    /// diff) and on the floors/limit (window-independent) — so a passing
+    /// verification certifies the repaired profile bit-identical to a
+    /// from-scratch solve. Returns `None` whenever that proof does not go
+    /// through (resume shape mismatch, terminal over the limit, or no
+    /// terminal at all); the caller then runs the authoritative full
+    /// retention solve.
+    #[allow(clippy::too_many_arguments)]
+    fn try_repair(
+        &self,
+        ctx: &SolveCtx<'_>,
+        exact_pool: &mut LayerPool<Option<Node>>,
+        exact_dirty: &mut Option<DirtyLog>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
+        metrics: &mut SolverMetrics,
+        state: &mut RepairState,
+        new_windows: &[Option<Vec<TimeWindow>>],
+        d: usize,
+        n_bins: usize,
+    ) -> Option<OptimizedProfile> {
+        let relax_started = Instant::now();
+        let n_stations = ctx.stations.len();
+        let use_simd = simd::dispatch(self.config.simd);
+        let layers = exact_pool.resume_layers(n_stations, ctx.n_speeds * n_bins)?;
+        // Wipe the dirty suffix. The vectorized path clears only the
+        // logged spans (see [`DirtyLog`]); a missing or reshaped log
+        // degrades to `all_dirty`, making the sparse clear a full one.
+        if !exact_dirty
+            .as_ref()
+            .is_some_and(|log| log.covers(n_stations, ctx.n_speeds, n_bins))
+        {
+            *exact_dirty = Some(DirtyLog::all_dirty(n_stations, ctx.n_speeds, n_bins));
+        }
+        let dirty_log = exact_dirty.as_mut().expect("installed just above");
+        for (layer, rows) in layers[d..]
+            .iter_mut()
+            .zip(dirty_log.spans[d..n_stations].iter_mut())
+        {
+            if use_simd {
+                for (vi, span) in rows.iter_mut().enumerate() {
+                    if let Some((lo, hi)) = span.take() {
+                        layer[vi * n_bins + lo as usize..=vi * n_bins + hi as usize].fill(None);
+                    }
+                }
+            } else {
+                layer.fill(None);
+                rows.fill(None);
+            }
+        }
+        let threads = par::effective_threads(self.config.threads);
+        metrics.threads_used = threads;
+        metrics.rows_skipped = state.rows_skipped;
+        let mut span_log = state.spans.clone();
+        span_log.truncate(d);
+        let best = par::team_scope(threads, |team| {
+            self.relax_exact_layers(
+                ctx,
+                team,
+                layers,
+                d,
+                state.spans[d - 1].clone(),
+                &state.live,
+                &state.b_free,
+                &state.emin,
+                &state.wait_free,
+                state.limit,
+                n_bins,
+                use_simd,
+                metrics,
+                dirty_log,
+                Some(&mut span_log),
+            );
+            exact_terminal(&layers[n_stations - 1], n_bins)
+        });
+        let (ti, terminal) = best?;
+        if let Some(limit) = state.limit {
+            // Same certification as a ladder rung: the repaired sweep is
+            // provably lossless only while its value stays under the
+            // retained limit.
+            if terminal.cost > limit {
+                return None;
+            }
+        }
+        metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
+        let backtrack_started = Instant::now();
+        backtrack_exact(ctx, layers, n_bins, ti, terminal, speeds_idx, times).ok()?;
+        metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
+        metrics.repair_hits += 1;
+        metrics.repair_layers_skipped += (d - 1) as u64;
+        let profile = match self.assemble(
+            ctx,
+            speeds_idx,
+            times,
+            terminal.violations as usize,
+            *metrics,
+        ) {
+            Ok(profile) => profile,
+            Err(_) => {
+                metrics.repair_hits -= 1;
+                metrics.repair_layers_skipped -= (d - 1) as u64;
+                return None;
+            }
+        };
+        state.windows = new_windows.to_vec();
+        state.spans = span_log;
+        state.profile = profile.clone();
+        Some(profile)
+    }
+
+    /// A full Exact solve that *retains* its layer stack for later window
+    /// repairs: identical result to [`solve_exact`](Self::solve_exact),
+    /// except the pruning floors are computed window-free (`cost_to_go`
+    /// with no cone-dead stations, `window_bounds` against no windows) so
+    /// they stay admissible under any later window shift, the aspiration
+    /// ladder starts at correspondingly looser rungs, and the winning
+    /// rung's layer spans, floors, limit and profile are stored in the
+    /// arena as [`RepairState`].
+    #[allow(clippy::too_many_arguments)]
+    fn solve_exact_retained(
+        &self,
+        ctx: &SolveCtx<'_>,
+        exact_pool: &mut LayerPool<Option<Node>>,
+        exact_dirty: &mut Option<DirtyLog>,
+        greedy_pool: &mut LayerPool<Option<GNode>>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
+        metrics: &mut SolverMetrics,
+        repair: &mut Option<RepairState>,
+        sig: u64,
+        new_windows: Vec<Option<Vec<TimeWindow>>>,
+        n_bins: usize,
+    ) -> Result<OptimizedProfile> {
+        // A failed solve must not leave a stale snapshot behind.
+        *repair = None;
+        let relax_started = Instant::now();
+        let n_stations = ctx.stations.len();
+        let (live, rows_skipped) = reachability(ctx);
+        metrics.rows_skipped = rows_skipped;
+        if !live[0][ctx.start_vi] {
+            return Err(Error::infeasible("no kinematically feasible profile"));
+        }
+        let no_dead = vec![false; n_stations];
+        let b_free = self.cost_to_go(ctx, &live, &no_dead);
+        let none_windows: Vec<Option<&SignalConstraint>> = vec![None; n_stations];
+        let ctx_free = SolveCtx {
+            stations: ctx.stations,
+            tables: ctx.tables,
+            layer_ds: ctx.layer_ds,
+            allowed: ctx.allowed,
+            station_windows: &none_windows,
+            dwell: ctx.dwell,
+            n_speeds: ctx.n_speeds,
+            start_vi: ctx.start_vi,
+            start_time: ctx.start_time,
+        };
+        let (emin, wait_free) =
+            self.window_bounds(&ctx_free, n_bins, simd::dispatch(self.config.simd));
+        let mut span_log: BinSpans = Vec::new();
+        let (profile, limit) = self.solve_exact_core(
+            ctx,
+            exact_pool,
+            exact_dirty,
+            greedy_pool,
+            speeds_idx,
+            times,
+            metrics,
+            &live,
+            &b_free,
+            &emin,
+            &wait_free,
+            // Window-free floors undercut window-forced waiting, so the
+            // tight 6/24 s rungs would rarely certify; start looser.
+            &[96.0, 384.0],
+            n_bins,
+            Some(&mut span_log),
+            relax_started,
+        )?;
+        *repair = Some(RepairState {
+            signature: sig,
+            windows: new_windows,
+            live,
+            rows_skipped,
+            b_free,
+            emin,
+            wait_free,
+            spans: span_log,
+            limit,
+            profile: profile.clone(),
+            n_bins,
+        });
+        Ok(profile)
     }
 }
 
@@ -852,7 +1672,12 @@ impl DpOptimizer {
     /// can never change a surviving slot's winner, which is what keeps
     /// bounded sweeps bit-identical to the unbounded sweep (see the
     /// module docs).
-    fn window_bounds(&self, ctx: &SolveCtx<'_>, n_bins: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    fn window_bounds(
+        &self,
+        ctx: &SolveCtx<'_>,
+        n_bins: usize,
+        use_simd: bool,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
         let n_stations = ctx.stations.len();
         let n_speeds = ctx.n_speeds;
         let dt = self.config.dt_bin.value();
@@ -936,19 +1761,17 @@ impl DpOptimizer {
                 let t = b as f64 * dt;
                 let lo = (((t + dmin + dw) / dt) - 1.0).floor().max(0.0) as usize;
                 let hi = ((((t + dmax + dw) / dt) + 1.0).ceil()).min((n_bins - 1) as f64) as usize;
-                let mut best = f64::INFINITY;
-                for b2 in lo..=hi.min(n_bins - 1) {
-                    let w2 = next[b2];
-                    if !w2.is_finite() {
-                        continue;
-                    }
-                    let gap = (b2 as f64 - b as f64 - 1.0) * dt - dw - CONE_SLACK;
-                    let cand = tw * dmin.max(gap) + pen[b2] + w2;
-                    if cand < best {
-                        best = cand;
-                    }
-                }
-                *slot = best;
+                let hi = hi.min(n_bins - 1);
+                *slot = if lo > hi {
+                    f64::INFINITY
+                } else {
+                    // This stencil fold is the hot loop of the bound
+                    // precompute; the AVX2 flavor is bit-identical (see
+                    // `simd::wait_stencil_min`).
+                    simd::wait_stencil_min(
+                        use_simd, next, &pen, lo, hi, b, dt, dw, CONE_SLACK, tw, dmin,
+                    )
+                };
             }
         }
         (emin, wait)
@@ -996,18 +1819,26 @@ impl DpOptimizer {
     }
 
     /// Relaxes every greedy layer in place (seeding layer 0 itself) and
-    /// returns `(states_expanded, states_pruned)`. Shared by Greedy-mode
-    /// solves and the Exact solver's upper-bound presolve. The cost/time
-    /// accumulation uses the exact float expressions of the Exact relax,
-    /// so a greedy terminal cost is a *bit-exact* achievable-path cost.
+    /// returns the relax counters. Shared by Greedy-mode solves and the
+    /// Exact solver's upper-bound presolve. The cost/time accumulation
+    /// uses the exact float expressions of the Exact relax, so a greedy
+    /// terminal cost is a *bit-exact* achievable-path cost.
+    ///
+    /// The inner loop runs source-speed-outer over SoA cost rows so each
+    /// source state is relaxed over `NR`-lane target tiles
+    /// ([`simd::relax_tile`]); for a fixed slot `vj` candidates still
+    /// arrive in source-speed-ascending order exactly as in the historical
+    /// sequential loop (same winners under the strict `<`).
     fn relax_greedy(
         &self,
         ctx: &SolveCtx<'_>,
         layers: &mut [Vec<Option<GNode>>],
         team: &par::Team<'_>,
-    ) -> (u64, u64) {
+    ) -> ChunkCounters {
         let n_stations = ctx.stations.len();
         let horizon = self.config.horizon.value();
+        let tw = self.config.time_weight;
+        let use_simd = simd::dispatch(self.config.simd);
         let rows_per_chunk = ctx.n_speeds.div_ceil(team.workers());
         layers[0][ctx.start_vi] = Some(GNode {
             cost: 0.0,
@@ -1015,68 +1846,97 @@ impl DpOptimizer {
             prev_v: ctx.start_vi as u32,
             violations: 0,
         });
-        let mut expanded_total = 0u64;
-        let mut pruned_total = 0u64;
+        let mut total = ChunkCounters::default();
         for i in 1..n_stations {
             let table = ctx.tables[i - 1];
             let (done, rest) = layers.split_at_mut(i);
             let prev_layer: &[Option<GNode>] = &done[i - 1];
             let layer: &mut Vec<Option<GNode>> = &mut rest[0];
 
-            // A block of target-speed rows per chunk; for a fixed slot vj
-            // candidates arrive in source-speed-ascending order exactly as
-            // in the sequential loop (same winners under the strict `<`).
+            // A block of target-speed rows per chunk.
             let counters =
                 team.map_chunks(layer.as_mut_slice(), rows_per_chunk, |offset, chunk| {
-                    let mut expanded = 0u64;
-                    let mut pruned = 0u64;
-                    for (k, slot) in chunk.iter_mut().enumerate() {
-                        let vj = offset + k;
-                        if !ctx.allowed[i][vj] {
+                    let n_rows = chunk.len();
+                    let mut c = ChunkCounters::default();
+                    let mut out = simd::TileOut::new();
+                    for (vi, prev) in prev_layer.iter().enumerate() {
+                        if i > 1 && !ctx.allowed[i - 1][vi] {
                             continue;
                         }
-                        for (vi, prev) in prev_layer.iter().enumerate() {
-                            if i > 1 && !ctx.allowed[i - 1][vi] {
-                                continue;
+                        let Some(node) = *prev else {
+                            continue;
+                        };
+                        let charge_row = &table.charges(vi)[offset..offset + n_rows];
+                        let dur_row = &table.durations(vi)[offset..offset + n_rows];
+                        let srcs = [simd::TileSrc {
+                            cost: node.cost,
+                            time: node.time,
+                        }];
+                        let mut j0 = 0usize;
+                        while j0 < n_rows {
+                            let n = simd::NR.min(n_rows - j0);
+                            let went_simd = simd::relax_tile(
+                                use_simd,
+                                &charge_row[j0..j0 + n],
+                                &dur_row[j0..j0 + n],
+                                &srcs,
+                                tw,
+                                ctx.dwell[i],
+                                n,
+                                &mut out,
+                            );
+                            if went_simd {
+                                c.simd_rows += 1;
+                            } else {
+                                c.scalar_rows += 1;
                             }
-                            let Some(node) = *prev else {
-                                continue;
-                            };
-                            let Some((charge, dur)) = table.get(vi, vj) else {
-                                pruned += 1;
-                                continue;
-                            };
-                            let t1 = node.time + dur + ctx.dwell[i];
-                            if t1 > horizon {
-                                pruned += 1;
-                                continue;
-                            }
-                            let (penalty, violation) = match ctx.station_windows[i] {
-                                Some(sc) if !sc.admits(Seconds::new(t1)) => {
-                                    (self.config.penalty_m, 1)
+                            for j in 0..n {
+                                let vj = offset + j0 + j;
+                                if !ctx.allowed[i][vj] {
+                                    continue;
                                 }
-                                _ => (0.0, 0),
-                            };
-                            let cand = GNode {
-                                cost: node.cost + charge + self.config.time_weight * dur + penalty,
-                                time: t1,
-                                prev_v: vi as u32,
-                                violations: node.violations + violation,
-                            };
-                            expanded += 1;
-                            if slot.is_none_or(|s| cand.cost < s.cost) {
-                                *slot = Some(cand);
+                                if dur_row[j0 + j].is_nan() {
+                                    // Table-infeasible pair, like the old
+                                    // per-pair `table.get` miss.
+                                    c.pruned += 1;
+                                    continue;
+                                }
+                                let t1 = out.t1[0][j];
+                                if t1 > horizon {
+                                    c.pruned += 1;
+                                    continue;
+                                }
+                                let (penalty, violation) = match ctx.station_windows[i] {
+                                    Some(sc) if !sc.admits(Seconds::new(t1)) => {
+                                        (self.config.penalty_m, 1)
+                                    }
+                                    _ => (0.0, 0),
+                                };
+                                let cand = GNode {
+                                    cost: out.cost[0][j] + penalty,
+                                    time: t1,
+                                    prev_v: vi as u32,
+                                    violations: node.violations + violation,
+                                };
+                                c.expanded += 1;
+                                let slot = &mut chunk[j0 + j];
+                                if slot.is_none_or(|s| cand.cost < s.cost) {
+                                    *slot = Some(cand);
+                                }
                             }
+                            j0 += n;
                         }
                     }
-                    (expanded, pruned)
+                    c
                 });
-            for (expanded, pruned) in counters {
-                expanded_total += expanded;
-                pruned_total += pruned;
+            for c in counters {
+                total.expanded += c.expanded;
+                total.pruned += c.pruned;
+                total.simd_rows += c.simd_rows;
+                total.scalar_rows += c.scalar_rows;
             }
         }
-        (expanded_total, pruned_total)
+        total
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1084,17 +1944,14 @@ impl DpOptimizer {
         &self,
         ctx: &SolveCtx<'_>,
         exact_pool: &mut LayerPool<Option<Node>>,
+        exact_dirty: &mut Option<DirtyLog>,
         greedy_pool: &mut LayerPool<Option<GNode>>,
         speeds_idx: &mut Vec<usize>,
         times: &mut Vec<f64>,
         metrics: &mut SolverMetrics,
     ) -> Result<OptimizedProfile> {
         let relax_started = Instant::now();
-        let n_stations = ctx.stations.len();
-        let n_speeds = ctx.n_speeds;
         let n_bins = (self.config.horizon.value() / self.config.dt_bin.value()).ceil() as usize + 1;
-        let threads = par::effective_threads(self.config.threads);
-        metrics.threads_used = threads;
 
         // Reachability masks (exact — see `reachability`). If the start row
         // cannot reach the terminal at all, no sweep can succeed.
@@ -1105,20 +1962,73 @@ impl DpOptimizer {
         }
         let dead = self.cone_dead(ctx, &live);
         let ctg = self.cost_to_go(ctx, &live, &dead);
-        let (emin, wait) = self.window_bounds(ctx, n_bins);
-        let horizon = self.config.horizon.value();
-        let dt_bin = self.config.dt_bin.value();
+        let (emin, wait) = self.window_bounds(ctx, n_bins, simd::dispatch(self.config.simd));
+        self.solve_exact_core(
+            ctx,
+            exact_pool,
+            exact_dirty,
+            greedy_pool,
+            speeds_idx,
+            times,
+            metrics,
+            &live,
+            &ctg,
+            &emin,
+            &wait,
+            &[6.0, 24.0, 96.0, 384.0],
+            n_bins,
+            None,
+            relax_started,
+        )
+        .map(|(profile, _)| profile)
+    }
 
-        par::team_scope(threads, |team| -> Result<OptimizedProfile> {
+    /// The ladder-driven Exact sweep over caller-supplied masks and floor
+    /// tables. `slacks` parameterizes the optimistic aspiration rungs (a
+    /// window-refresh retention sweep uses looser ones, so its certified
+    /// limit survives window shifts); when `span_log` is given, the
+    /// *winning* rung's occupied-bin spans are recorded per layer (layer 0
+    /// first) so a later repair can resume relaxation mid-stack. Returns
+    /// the profile together with the rung it was certified under
+    /// (`None` = unbounded).
+    #[allow(clippy::too_many_arguments)]
+    fn solve_exact_core(
+        &self,
+        ctx: &SolveCtx<'_>,
+        exact_pool: &mut LayerPool<Option<Node>>,
+        exact_dirty: &mut Option<DirtyLog>,
+        greedy_pool: &mut LayerPool<Option<GNode>>,
+        speeds_idx: &mut Vec<usize>,
+        times: &mut Vec<f64>,
+        metrics: &mut SolverMetrics,
+        live: &[Vec<bool>],
+        ctg: &[Vec<f64>],
+        emin: &[Vec<f64>],
+        wait: &[Vec<f64>],
+        slacks: &[f64],
+        n_bins: usize,
+        mut span_log: Option<&mut BinSpans>,
+        relax_started: Instant,
+    ) -> Result<(OptimizedProfile, Option<f64>)> {
+        let n_stations = ctx.stations.len();
+        let n_speeds = ctx.n_speeds;
+        let threads = par::effective_threads(self.config.threads);
+        metrics.threads_used = threads;
+        let dt_bin = self.config.dt_bin.value();
+        let use_simd = simd::dispatch(self.config.simd);
+
+        par::team_scope(threads, |team| -> Result<(OptimizedProfile, Option<f64>)> {
             // Presolve: the Greedy DP's terminal cost is an achievable-path
             // cost accumulated with bit-identical float expressions, so it
             // upper-bounds the candidate costs along *some* complete path.
             let (glayers, glease) = greedy_pool.take_layers(n_stations, n_speeds, None);
             metrics.arena_reuse_hits += glease.reuse_hits;
             metrics.arena_allocations += glease.allocations;
-            let (g_expanded, g_pruned) = self.relax_greedy(ctx, glayers, team);
-            metrics.states_expanded += g_expanded;
-            metrics.states_pruned += g_pruned;
+            let g = self.relax_greedy(ctx, glayers, team);
+            metrics.states_expanded += g.expanded;
+            metrics.states_pruned += g.pruned;
+            metrics.simd_rows += g.simd_rows;
+            metrics.scalar_rows += g.scalar_rows;
             // Tiny relative margin so accumulated rounding in the bound
             // arithmetic can never prune the true winner's path.
             let greedy_ub =
@@ -1136,7 +2046,7 @@ impl DpOptimizer {
             let tw = self.config.time_weight;
             let mut ladder: Vec<Option<f64>> = Vec::new();
             if b0.is_finite() && tw > 0.0 {
-                for slack_seconds in [6.0, 24.0, 96.0, 384.0] {
+                for &slack_seconds in slacks {
                     let trial = b0 + tw * slack_seconds;
                     ladder.push(Some(match greedy_ub {
                         Some(g) => trial.min(g),
@@ -1152,9 +2062,19 @@ impl DpOptimizer {
             // unbounded) if time-bin merging pushed the DP value past the
             // rung (rare — see the module docs).
             for use_bound in ladder {
-                let (layers, lease) = exact_pool.take_layers(n_stations, n_speeds * n_bins, None);
+                let (layers, lease) = reset_exact_layers(
+                    exact_pool,
+                    exact_dirty,
+                    use_simd,
+                    n_stations,
+                    n_speeds,
+                    n_bins,
+                );
                 metrics.arena_reuse_hits += lease.reuse_hits;
                 metrics.arena_allocations += lease.allocations;
+                let dirty_log = exact_dirty
+                    .as_mut()
+                    .expect("reset_exact_layers installs a log");
 
                 let start_ti = ((ctx.start_time / dt_bin).round() as usize).min(n_bins - 1);
                 layers[0][ctx.start_vi * n_bins + start_ti] = Some(Node {
@@ -1164,161 +2084,35 @@ impl DpOptimizer {
                     prev_t: start_ti as u32,
                     violations: 0,
                 });
+                dirty_log.merge(0, ctx.start_vi, start_ti as u32, start_ti as u32);
                 // Occupied time-bin span per source row, maintained layer to
                 // layer so the relax scans only bins that can hold a state.
-                let mut spans_prev: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
-                spans_prev[ctx.start_vi] = Some((start_ti as u32, start_ti as u32));
-
-                let rows_per_chunk = n_speeds.div_ceil(team.workers());
-                let chunk_len = rows_per_chunk * n_bins;
-                for i in 1..n_stations {
-                    let table = ctx.tables[i - 1];
-                    let ds = ctx.layer_ds[i - 1];
-                    let (done, rest) = layers.split_at_mut(i);
-                    let prev_layer: &[Option<Node>] = &done[i - 1];
-                    let layer: &mut Vec<Option<Node>> = &mut rest[0];
-
-                    // Per-source-speed data shared read-only by every
-                    // worker: the feasible target band from the
-                    // acceleration bounds (the same float expressions in
-                    // memoized and direct solves, via the snapped length)
-                    // and the source row's occupied bin span.
-                    let bands: Vec<Option<(usize, usize, usize, usize)>> = (0..n_speeds)
-                        .map(|vi| {
-                            spans_prev[vi].map(|(ti_lo, ti_hi)| {
-                                let v0 = self.config.dv.value() * vi as f64;
-                                let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds;
-                                let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds;
-                                let vj_lo = (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor()
-                                    as usize;
-                                let vj_hi =
-                                    ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil()
-                                        as usize)
-                                        .min(n_speeds - 1);
-                                (vj_lo, vj_hi, ti_lo as usize, ti_hi as usize)
-                            })
-                        })
-                        .collect();
-
-                    // Relax a contiguous block of target-speed rows per
-                    // chunk. For a fixed slot (vj, tj) candidates still
-                    // arrive in (vi asc, ti asc) order exactly as in the
-                    // sequential loop, so the strict `<` keeps the same
-                    // winner regardless of the thread count or geometry.
-                    let counters =
-                        team.map_chunks(layer.as_mut_slice(), chunk_len, |offset, chunk| {
-                            let row0 = offset / n_bins;
-                            let n_rows = chunk.len() / n_bins;
-                            let mut expanded = 0u64;
-                            let mut pruned = 0u64;
-                            let mut spans: Vec<(u32, u32, u32)> = Vec::new();
-                            for r in 0..n_rows {
-                                let vj = row0 + r;
-                                if !live[i][vj] {
-                                    continue;
-                                }
-                                let row = &mut chunk[r * n_bins..(r + 1) * n_bins];
-                                let b_vj = ctg[i][vj];
-                                let e_vj = emin[i][vj];
-                                let wait_i = &wait[i];
-                                let mut span: Option<(u32, u32)> = None;
-                                for vi in 0..n_speeds {
-                                    let Some((vj_lo, vj_hi, ti_lo, ti_hi)) = bands[vi] else {
-                                        continue;
-                                    };
-                                    if vj < vj_lo || vj > vj_hi {
-                                        continue;
-                                    }
-                                    let Some((charge, dur)) = table.get(vi, vj) else {
-                                        pruned += 1;
-                                        continue;
-                                    };
-                                    for ti in ti_lo..=ti_hi {
-                                        let Some(node) = prev_layer[vi * n_bins + ti] else {
-                                            continue;
-                                        };
-                                        let t1 = node.time + dur + ctx.dwell[i];
-                                        if t1 > horizon {
-                                            pruned += 1;
-                                            continue;
-                                        }
-                                        let tj = (t1 / dt_bin).round() as usize;
-                                        if tj >= n_bins {
-                                            pruned += 1;
-                                            continue;
-                                        }
-                                        let (penalty, violation) = match ctx.station_windows[i] {
-                                            Some(sc) if !sc.admits(Seconds::new(t1)) => {
-                                                (self.config.penalty_m, 1)
-                                            }
-                                            _ => (0.0, 0),
-                                        };
-                                        let cost = node.cost
-                                            + charge
-                                            + self.config.time_weight * dur
-                                            + penalty;
-                                        if let Some(limit) = use_bound {
-                                            // Lower bound on the completion
-                                            // cost: the joint cost-to-go, or
-                                            // the energy floor plus the
-                                            // window-aware time bound for this
-                                            // arrival bin — whichever is
-                                            // larger. Both are functions of
-                                            // the slot alone, so pruning never
-                                            // changes a surviving slot's
-                                            // winner (see `window_bounds`).
-                                            let floor = b_vj.max(e_vj + wait_i[tj]);
-                                            if cost + floor > limit {
-                                                pruned += 1;
-                                                continue;
-                                            }
-                                        }
-                                        expanded += 1;
-                                        let slot = &mut row[tj];
-                                        if slot.is_none_or(|s| cost < s.cost) {
-                                            *slot = Some(Node {
-                                                cost,
-                                                time: t1,
-                                                prev_v: vi as u32,
-                                                prev_t: ti as u32,
-                                                violations: node.violations + violation,
-                                            });
-                                            span = Some(match span {
-                                                None => (tj as u32, tj as u32),
-                                                Some((lo, hi)) => {
-                                                    (lo.min(tj as u32), hi.max(tj as u32))
-                                                }
-                                            });
-                                        }
-                                    }
-                                }
-                                if let Some((lo, hi)) = span {
-                                    spans.push((vj as u32, lo, hi));
-                                }
-                            }
-                            (expanded, pruned, spans)
-                        });
-                    let mut spans_next: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
-                    for (expanded, pruned, spans) in counters {
-                        metrics.states_expanded += expanded;
-                        metrics.states_pruned += pruned;
-                        for (vj, lo, hi) in spans {
-                            spans_next[vj as usize] = Some((lo, hi));
-                        }
-                    }
-                    spans_prev = spans_next;
+                let mut spans0: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
+                spans0[ctx.start_vi] = Some((start_ti as u32, start_ti as u32));
+                if let Some(log) = span_log.as_deref_mut() {
+                    log.clear();
+                    log.push(spans0.clone());
                 }
+                self.relax_exact_layers(
+                    ctx,
+                    team,
+                    layers,
+                    1,
+                    spans0,
+                    live,
+                    ctg,
+                    emin,
+                    wait,
+                    use_bound,
+                    n_bins,
+                    use_simd,
+                    metrics,
+                    dirty_log,
+                    span_log.as_deref_mut(),
+                );
 
                 // Pick the cheapest terminal state at v = 0.
-                let last = &layers[n_stations - 1];
-                let mut best: Option<(usize, Node)> = None;
-                for (ti, slot) in last[..n_bins].iter().enumerate() {
-                    if let Some(node) = slot {
-                        if best.is_none_or(|(_, b)| node.cost < b.cost) {
-                            best = Some((ti, *node));
-                        }
-                    }
-                }
+                let best = exact_terminal(&layers[n_stations - 1], n_bins);
                 if let Some(limit) = use_bound {
                     // A rung is only certified when the bounded sweep's
                     // value stays under it; otherwise the rung undercut
@@ -1330,47 +2124,210 @@ impl DpOptimizer {
                         continue;
                     }
                 }
-                let (mut ti, terminal) =
+                let (ti, terminal) =
                     best.ok_or_else(|| Error::infeasible("no kinematically feasible profile"))?;
                 metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
 
-                // Backtrack.
                 let backtrack_started = Instant::now();
-                speeds_idx.clear();
-                speeds_idx.resize(n_stations, 0);
-                times.clear();
-                times.resize(n_stations, 0.0);
-                let mut vi = 0usize;
-                times[n_stations - 1] = terminal.time;
-                for i in (1..n_stations).rev() {
-                    let node = layers[i][vi * n_bins + ti].ok_or_else(|| {
-                        Error::infeasible(
-                            "backtrack lost its parent state (inconsistent DP layers)",
-                        )
-                    })?;
-                    times[i] = node.time;
-                    let pv = node.prev_v as usize;
-                    let pt = node.prev_t as usize;
-                    speeds_idx[i] = vi;
-                    vi = pv;
-                    ti = pt;
-                }
-                speeds_idx[0] = ctx.start_vi;
-                times[0] = ctx.start_time;
+                backtrack_exact(ctx, layers, n_bins, ti, terminal, speeds_idx, times)?;
                 metrics.backtrack_seconds = backtrack_started.elapsed().as_secs_f64();
 
-                return self.assemble(
+                let profile = self.assemble(
                     ctx,
                     speeds_idx,
                     times,
                     terminal.violations as usize,
                     *metrics,
-                );
+                )?;
+                return Ok((profile, use_bound));
             }
             // The final rung is `None`, whose sweep is unbounded and always
             // either returns a profile or fails with `infeasible` above.
             unreachable!("the unbounded ladder rung always returns")
         })
+    }
+
+    /// Relaxes Exact-mode layers `first..n_stations` in place, given the
+    /// occupied-bin spans of layer `first - 1`. This is the hot loop shared
+    /// by a full ladder sweep (`first == 1`) and an incremental window
+    /// repair, which resumes at the first dirty layer with the retained
+    /// spans. Appends each relaxed layer's spans to `span_log` when given.
+    #[allow(clippy::too_many_arguments)]
+    fn relax_exact_layers(
+        &self,
+        ctx: &SolveCtx<'_>,
+        team: &par::Team<'_>,
+        layers: &mut [Vec<Option<Node>>],
+        first: usize,
+        spans_first: Vec<Option<(u32, u32)>>,
+        live: &[Vec<bool>],
+        ctg: &[Vec<f64>],
+        emin: &[Vec<f64>],
+        wait: &[Vec<f64>],
+        limit: Option<f64>,
+        n_bins: usize,
+        use_simd: bool,
+        metrics: &mut SolverMetrics,
+        dirty: &mut DirtyLog,
+        mut span_log: Option<&mut BinSpans>,
+    ) {
+        let n_stations = ctx.stations.len();
+        let n_speeds = ctx.n_speeds;
+        let horizon = self.config.horizon.value();
+        let dt_bin = self.config.dt_bin.value();
+        let tw = self.config.time_weight;
+        let rows_per_chunk = n_speeds.div_ceil(team.workers());
+        let chunk_len = rows_per_chunk * n_bins;
+        let mut spans_prev = spans_first;
+        for i in first..n_stations {
+            let table = ctx.tables[i - 1];
+            let ds = ctx.layer_ds[i - 1];
+            let (done, rest) = layers.split_at_mut(i);
+            let prev_layer: &[Option<Node>] = &done[i - 1];
+            let layer: &mut Vec<Option<Node>> = &mut rest[0];
+
+            // Per-source-speed data shared read-only by every
+            // worker: the feasible target band from the
+            // acceleration bounds (the same float expressions in
+            // memoized and direct solves, via the snapped length)
+            // and the source row's occupied bin span.
+            let bands: Vec<Option<(usize, usize, usize, usize)>> = (0..n_speeds)
+                .map(|vi| {
+                    spans_prev[vi].map(|(ti_lo, ti_hi)| {
+                        let v0 = self.config.dv.value() * vi as f64;
+                        let lo_sq = v0 * v0 + 2.0 * self.config.a_min.value() * ds;
+                        let hi_sq = v0 * v0 + 2.0 * self.config.a_max.value() * ds;
+                        let vj_lo =
+                            (lo_sq.max(0.0).sqrt() / self.config.dv.value()).floor() as usize;
+                        let vj_hi = ((hi_sq.max(0.0).sqrt() / self.config.dv.value()).ceil()
+                            as usize)
+                            .min(n_speeds - 1);
+                        (vj_lo, vj_hi, ti_lo as usize, ti_hi as usize)
+                    })
+                })
+                .collect();
+
+            // Relax a contiguous block of target-speed rows per
+            // chunk, source-speed-outer over SoA cost rows: each
+            // group of up to MR source states (one vi, ti
+            // ascending) is relaxed over NR-lane target tiles. For
+            // a fixed slot (vj, tj) candidates still arrive in
+            // (vi asc, ti asc) order exactly as in the sequential
+            // loop, so the strict `<` keeps the same winner
+            // regardless of the thread count, chunk geometry, or
+            // kernel dispatch.
+            let counters = team.map_chunks(layer.as_mut_slice(), chunk_len, |offset, chunk| {
+                let row0 = offset / n_bins;
+                let n_rows = chunk.len() / n_bins;
+                let mut c = ChunkCounters::default();
+                let mut row_spans: Vec<Option<(u32, u32)>> = vec![None; n_rows];
+                let env = RelaxEnv {
+                    horizon,
+                    dt_bin,
+                    dwell: ctx.dwell[i],
+                    penalty_m: self.config.penalty_m,
+                    limit,
+                    window: ctx.station_windows[i],
+                    live: &live[i],
+                    ctg: &ctg[i],
+                    emin: &emin[i],
+                    wait: &wait[i],
+                };
+                let mut srcs = [simd::TileSrc::default(); simd::MR];
+                let mut metas = [(0u32, 0u32); simd::MR];
+                for vi in 0..n_speeds {
+                    let Some((vj_lo, vj_hi, ti_lo, ti_hi)) = bands[vi] else {
+                        continue;
+                    };
+                    // This chunk's share of the target band.
+                    let lo = vj_lo.max(row0);
+                    let hi = vj_hi.min(row0 + n_rows - 1);
+                    if lo > hi {
+                        continue;
+                    }
+                    let charge_row = &table.charges(vi)[lo..=hi];
+                    let dur_row = &table.durations(vi)[lo..=hi];
+                    // Table-infeasible (vi, vj) pairs prune once
+                    // per pair, exactly like the old loop's
+                    // per-pair `table.get` miss.
+                    for (k, d) in dur_row.iter().enumerate() {
+                        if live[i][lo + k] && d.is_nan() {
+                            c.pruned += 1;
+                        }
+                    }
+                    let mut m = 0usize;
+                    for ti in ti_lo..=ti_hi {
+                        let Some(node) = prev_layer[vi * n_bins + ti] else {
+                            continue;
+                        };
+                        srcs[m] = simd::TileSrc {
+                            cost: node.cost,
+                            time: node.time,
+                        };
+                        metas[m] = (ti as u32, node.violations);
+                        m += 1;
+                        if m == simd::MR {
+                            relax_exact_group(
+                                use_simd,
+                                tw,
+                                vi as u32,
+                                charge_row,
+                                dur_row,
+                                &srcs,
+                                &metas,
+                                lo,
+                                row0,
+                                n_bins,
+                                &env,
+                                chunk,
+                                &mut row_spans,
+                                &mut c,
+                            );
+                            m = 0;
+                        }
+                    }
+                    if m > 0 {
+                        relax_exact_group(
+                            use_simd,
+                            tw,
+                            vi as u32,
+                            charge_row,
+                            dur_row,
+                            &srcs[..m],
+                            &metas[..m],
+                            lo,
+                            row0,
+                            n_bins,
+                            &env,
+                            chunk,
+                            &mut row_spans,
+                            &mut c,
+                        );
+                    }
+                }
+                let spans: Vec<(u32, u32, u32)> = row_spans
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, s)| s.map(|(s_lo, s_hi)| ((row0 + r) as u32, s_lo, s_hi)))
+                    .collect();
+                (c, spans)
+            });
+            let mut spans_next: Vec<Option<(u32, u32)>> = vec![None; n_speeds];
+            for (c, spans) in counters {
+                metrics.states_expanded += c.expanded;
+                metrics.states_pruned += c.pruned;
+                metrics.simd_rows += c.simd_rows;
+                metrics.scalar_rows += c.scalar_rows;
+                for (vj, lo, hi) in spans {
+                    spans_next[vj as usize] = Some((lo, hi));
+                    dirty.merge(i, vj as usize, lo, hi);
+                }
+            }
+            spans_prev = spans_next;
+            if let Some(log) = span_log.as_deref_mut() {
+                log.push(spans_prev.clone());
+            }
+        }
     }
 
     fn solve_greedy(
@@ -1390,10 +2347,11 @@ impl DpOptimizer {
         metrics.arena_reuse_hits += lease.reuse_hits;
         metrics.arena_allocations += lease.allocations;
 
-        let (expanded, pruned) =
-            par::team_scope(threads, |team| self.relax_greedy(ctx, layers, team));
-        metrics.states_expanded += expanded;
-        metrics.states_pruned += pruned;
+        let g = par::team_scope(threads, |team| self.relax_greedy(ctx, layers, team));
+        metrics.states_expanded += g.expanded;
+        metrics.states_pruned += g.pruned;
+        metrics.simd_rows += g.simd_rows;
+        metrics.scalar_rows += g.scalar_rows;
         metrics.relax_seconds = relax_started.elapsed().as_secs_f64();
 
         let backtrack_started = Instant::now();
@@ -1828,6 +2786,149 @@ mod tests {
                 "greedy profile diverged at {threads} threads"
             );
         }
+    }
+
+    /// The SIMD exactness claim: the AVX2 relax tiles must not move a
+    /// single bit of the solution relative to the portable kernel — in
+    /// both time handlings, across thread counts, on a road with a stop
+    /// sign and an arrival window — and the search-space counters must
+    /// not depend on the dispatch either.
+    #[test]
+    fn simd_and_scalar_solves_are_bit_identical() {
+        let road = RoadBuilder::new(Meters::new(1400.0))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .stop_sign(Meters::new(500.0))
+            .build()
+            .unwrap();
+        let free = optimizer().optimize(&road, &[]).unwrap();
+        let t = free.arrival_time_at(Meters::new(900.0));
+        let constraint = SignalConstraint {
+            position: Meters::new(900.0),
+            windows: vec![TimeWindow {
+                start: t + Seconds::new(10.0),
+                end: t + Seconds::new(18.0),
+            }],
+        };
+        for time_handling in [TimeHandling::Exact, TimeHandling::Greedy] {
+            for threads in [1, 2] {
+                let mk = |simd| {
+                    optimizer_with(DpConfig {
+                        time_handling,
+                        threads,
+                        simd,
+                        ..DpConfig::default()
+                    })
+                    .optimize(&road, std::slice::from_ref(&constraint))
+                    .unwrap()
+                };
+                let vectorized = mk(true);
+                let scalar = mk(false);
+                assert!(
+                    bitwise_equal(&vectorized, &scalar),
+                    "profile diverged between kernels ({time_handling:?}, {threads} threads)"
+                );
+                assert_eq!(
+                    vectorized.metrics.states_expanded,
+                    scalar.metrics.states_expanded
+                );
+                assert_eq!(
+                    vectorized.metrics.states_pruned,
+                    scalar.metrics.states_pruned
+                );
+                // With the knob off every relax row goes through the
+                // portable kernel; either way rows were counted.
+                assert_eq!(scalar.metrics.simd_rows, 0);
+                assert!(scalar.metrics.scalar_rows > 0);
+                assert!(vectorized.metrics.simd_rows + vectorized.metrics.scalar_rows > 0);
+            }
+        }
+    }
+
+    /// The warm-started refresh ladder: a first `optimize_windows_refresh`
+    /// runs a full retention solve; a refresh whose only change is a
+    /// shifted window repairs just the dirty suffix; a refresh with no
+    /// change returns the retained profile outright — and all three are
+    /// bit-identical to a from-scratch solve under the same windows.
+    #[test]
+    fn window_refresh_repair_is_bit_identical_to_scratch() {
+        let road = RoadBuilder::new(Meters::new(1400.0))
+            .default_limits(
+                KilometersPerHour::new(40.0).to_meters_per_second(),
+                KilometersPerHour::new(70.0).to_meters_per_second(),
+            )
+            .stop_sign(Meters::new(500.0))
+            .build()
+            .unwrap();
+        let free = optimizer().optimize(&road, &[]).unwrap();
+        let t = free.arrival_time_at(Meters::new(900.0));
+        let window_at = |lo: f64, hi: f64| SignalConstraint {
+            position: Meters::new(900.0),
+            windows: vec![TimeWindow {
+                start: t + Seconds::new(lo),
+                end: t + Seconds::new(hi),
+            }],
+        };
+        let opt = optimizer();
+        let mut arena = SolverArena::new();
+        let start = StartState::default();
+
+        let w0 = [window_at(10.0, 18.0)];
+        let first = opt
+            .optimize_windows_refresh(&road, &w0, start, &mut arena)
+            .unwrap();
+        assert_eq!(first.metrics.repair_full_resolves, 1);
+        assert_eq!(first.metrics.repair_hits, 0);
+        assert!(bitwise_equal(&first, &opt.optimize(&road, &w0).unwrap()));
+
+        // Shift the window: only layers from the signal's station onward
+        // re-relax, and the repaired plan matches from-scratch bit for bit.
+        let w1 = [window_at(12.0, 20.0)];
+        let repaired = opt
+            .optimize_windows_refresh(&road, &w1, start, &mut arena)
+            .unwrap();
+        assert_eq!(repaired.metrics.repair_hits, 1);
+        assert_eq!(repaired.metrics.repair_full_resolves, 0);
+        assert!(repaired.metrics.repair_layers_skipped > 0);
+        assert!(bitwise_equal(&repaired, &opt.optimize(&road, &w1).unwrap()));
+
+        // No change at all: the retained profile comes straight back, with
+        // every non-terminal layer skipped.
+        let cached = opt
+            .optimize_windows_refresh(&road, &w1, start, &mut arena)
+            .unwrap();
+        assert_eq!(cached.metrics.repair_hits, 1);
+        assert_eq!(cached.metrics.repair_full_resolves, 0);
+        assert_eq!(
+            cached.metrics.repair_layers_skipped as usize,
+            cached.stations.len() - 1
+        );
+        assert!(bitwise_equal(&cached, &repaired));
+    }
+
+    /// A direct solve through the same arena clobbers the layer pools, so
+    /// the next refresh must fall back to a full retention solve rather
+    /// than repairing against foreign layer contents.
+    #[test]
+    fn direct_solve_invalidates_retained_repair_state() {
+        let road = simple_road(1000.0);
+        let opt = optimizer();
+        let mut arena = SolverArena::new();
+        let start = StartState::default();
+        let first = opt
+            .optimize_windows_refresh(&road, &[], start, &mut arena)
+            .unwrap();
+        assert_eq!(first.metrics.repair_full_resolves, 1);
+        opt.optimize_from_with(&road, &[], start, &mut arena)
+            .unwrap();
+        let after = opt
+            .optimize_windows_refresh(&road, &[], start, &mut arena)
+            .unwrap();
+        assert_eq!(after.metrics.repair_full_resolves, 1);
+        assert_eq!(after.metrics.repair_hits, 0);
+        assert!(bitwise_equal(&first, &after));
     }
 
     /// The tentpole exactness claim: replacing per-candidate energy-model

@@ -59,6 +59,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod profiles;
 pub mod replan;
+pub(crate) mod simd;
 pub mod windows;
 
 /// Deterministic chunked parallelism, re-exported from

@@ -86,10 +86,20 @@ impl ClassKey {
 /// One class's precomputed V×V transition-cost matrix: `(charge [Ah],
 /// duration [s])` per `(v_from, v_to)` lattice pair, `None` where the
 /// transition is kinematically infeasible.
+///
+/// Alongside the option-typed entries the table keeps a structure-of-arrays
+/// mirror — one contiguous charge row and one duration row per source
+/// speed, with `NaN` marking infeasible targets — so the SIMD relax
+/// kernels ([`crate::simd`]) can stream a whole target-speed band with
+/// unit-stride loads instead of unpacking an `Option<(f64, f64)>` per
+/// candidate. Both views are filled from the same grid evaluation, so
+/// they can never disagree.
 #[derive(Debug, Clone)]
 pub struct CostTable {
     n_speeds: usize,
     entries: Vec<Option<(f64, f64)>>,
+    charges: Vec<f64>,
+    durations: Vec<f64>,
 }
 
 impl CostTable {
@@ -97,14 +107,24 @@ impl CostTable {
     /// and the number of energy-model evaluations it cost.
     pub fn build(energy: &EnergyModel, spec: &GridSpec) -> (Self, u64) {
         let (grid, evals) = energy.segment_energy_grid(spec);
-        let entries = grid
+        let entries: Vec<Option<(f64, f64)>> = grid
             .into_iter()
             .map(|e| e.map(|seg| (seg.charge.value(), seg.duration.value())))
+            .collect();
+        let charges = entries
+            .iter()
+            .map(|e| e.map_or(f64::NAN, |(c, _)| c))
+            .collect();
+        let durations = entries
+            .iter()
+            .map(|e| e.map_or(f64::NAN, |(_, d)| d))
             .collect();
         (
             Self {
                 n_speeds: spec.n_speeds,
                 entries,
+                charges,
+                durations,
             },
             evals,
         )
@@ -126,6 +146,20 @@ impl CostTable {
     #[inline]
     pub fn row(&self, v_from_idx: usize) -> &[Option<(f64, f64)>] {
         &self.entries[v_from_idx * self.n_speeds..(v_from_idx + 1) * self.n_speeds]
+    }
+
+    /// Contiguous charge row for source speed `v_from_idx` (length
+    /// `n_speeds`, `NaN` = infeasible transition).
+    #[inline]
+    pub fn charges(&self, v_from_idx: usize) -> &[f64] {
+        &self.charges[v_from_idx * self.n_speeds..(v_from_idx + 1) * self.n_speeds]
+    }
+
+    /// Contiguous duration row for source speed `v_from_idx` (length
+    /// `n_speeds`, `NaN` = infeasible transition).
+    #[inline]
+    pub fn durations(&self, v_from_idx: usize) -> &[f64] {
+        &self.durations[v_from_idx * self.n_speeds..(v_from_idx + 1) * self.n_speeds]
     }
 }
 
@@ -336,11 +370,24 @@ mod tests {
         let (grid, _) = energy.segment_energy_grid(&s);
         for vi in 0..s.n_speeds {
             let row = table.row(vi);
+            let charges = table.charges(vi);
+            let durations = table.durations(vi);
             for vj in 0..s.n_speeds {
                 let want = grid[vi * s.n_speeds + vj]
                     .map(|seg| (seg.charge.value(), seg.duration.value()));
                 assert_eq!(table.get(vi, vj), want);
                 assert_eq!(row[vj], want);
+                // The SoA mirror carries the same bits, NaN for infeasible.
+                match want {
+                    Some((c, d)) => {
+                        assert_eq!(charges[vj].to_bits(), c.to_bits());
+                        assert_eq!(durations[vj].to_bits(), d.to_bits());
+                    }
+                    None => {
+                        assert!(charges[vj].is_nan());
+                        assert!(durations[vj].is_nan());
+                    }
+                }
             }
         }
     }

@@ -49,6 +49,29 @@ pub struct SolverMetrics {
     /// reachability masks proved unreachable and skipped entirely.
     #[serde(default)]
     pub rows_skipped: u64,
+    /// Source rows whose cost/arrival tiles went through the AVX2 relax
+    /// microkernels. Unlike the state counters this depends on the host
+    /// (AVX2 or not), the dispatch override and the chunk geometry, so it
+    /// is observability only — never part of a bit-identity contract.
+    #[serde(default)]
+    pub simd_rows: u64,
+    /// Source rows relaxed through the portable scalar kernel (non-AVX2
+    /// hosts, forced-scalar dispatch, and bands narrower than one tile).
+    #[serde(default)]
+    pub scalar_rows: u64,
+    /// Window refreshes answered by warm-started repair: the retained
+    /// prefix layers were reused and only the dirty suffix was re-relaxed
+    /// (or nothing at all, when the window diff was empty).
+    #[serde(default)]
+    pub repair_hits: u64,
+    /// Window refreshes that fell back to a full retention sweep: no valid
+    /// retained state, or the repaired terminal cost failed its
+    /// certification limit.
+    #[serde(default)]
+    pub repair_full_resolves: u64,
+    /// DP layers a successful repair did not have to re-relax.
+    #[serde(default)]
+    pub repair_layers_skipped: u64,
     /// Worker threads used for layer relaxation (1 = sequential).
     pub threads_used: usize,
 }
@@ -82,6 +105,11 @@ impl SolverMetrics {
         telemetry::add("dp.memo.misses", self.memo_misses);
         telemetry::add("dp.memo.energy_evals", self.energy_evals);
         telemetry::add("dp.rows_skipped", self.rows_skipped);
+        telemetry::add("dp.simd.rows", self.simd_rows);
+        telemetry::add("dp.simd.scalar_rows", self.scalar_rows);
+        telemetry::add("dp.repair.hits", self.repair_hits);
+        telemetry::add("dp.repair.full_resolves", self.repair_full_resolves);
+        telemetry::add("dp.repair.layers_skipped", self.repair_layers_skipped);
         telemetry::observe("dp.setup_seconds", self.setup_seconds);
         telemetry::observe("dp.relax_seconds", self.relax_seconds);
         telemetry::observe("dp.backtrack_seconds", self.backtrack_seconds);
@@ -103,6 +131,11 @@ impl SolverMetrics {
         self.memo_misses += other.memo_misses;
         self.energy_evals += other.energy_evals;
         self.rows_skipped += other.rows_skipped;
+        self.simd_rows += other.simd_rows;
+        self.scalar_rows += other.scalar_rows;
+        self.repair_hits += other.repair_hits;
+        self.repair_full_resolves += other.repair_full_resolves;
+        self.repair_layers_skipped += other.repair_layers_skipped;
         self.threads_used = self.threads_used.max(other.threads_used);
     }
 }
@@ -125,12 +158,20 @@ mod tests {
             memo_misses: 2,
             energy_evals: 100,
             rows_skipped: 40,
+            simd_rows: 8,
+            scalar_rows: 3,
+            repair_hits: 1,
+            repair_full_resolves: 1,
+            repair_layers_skipped: 50,
             threads_used: 1,
         };
         let b = SolverMetrics {
             states_expanded: 3,
             memo_hits: 5,
             rows_skipped: 2,
+            simd_rows: 2,
+            repair_hits: 1,
+            repair_layers_skipped: 25,
             threads_used: 4,
             ..SolverMetrics::default()
         };
@@ -138,6 +179,11 @@ mod tests {
         assert_eq!(a.states_expanded, 13);
         assert_eq!(a.memo_hits, 12);
         assert_eq!(a.rows_skipped, 42);
+        assert_eq!(a.simd_rows, 10);
+        assert_eq!(a.scalar_rows, 3);
+        assert_eq!(a.repair_hits, 2);
+        assert_eq!(a.repair_full_resolves, 1);
+        assert_eq!(a.repair_layers_skipped, 75);
         assert_eq!(a.threads_used, 4);
         assert!((a.total_seconds() - 0.35).abs() < 1e-12);
     }

@@ -22,6 +22,19 @@ pub struct ReplanConfig {
     pub drift_threshold: Seconds,
     /// Never replan more often than this (planning is not free).
     pub min_interval: Seconds,
+    /// Route [`refresh_windows`](Replanner::refresh_windows) through the
+    /// warm-started incremental repair
+    /// ([`DpOptimizer::optimize_windows_refresh`](crate::dp::DpOptimizer::optimize_windows_refresh))
+    /// instead of a from-scratch solve. The plan is bit-identical either
+    /// way; off exists for A/B benchmarking.
+    #[serde(default = "default_repair")]
+    pub repair: bool,
+}
+
+/// Configs serialized before the repair knob existed deserialize with it
+/// enabled.
+fn default_repair() -> bool {
+    true
 }
 
 impl Default for ReplanConfig {
@@ -29,6 +42,7 @@ impl Default for ReplanConfig {
         Self {
             drift_threshold: Seconds::new(3.0),
             min_interval: Seconds::new(5.0),
+            repair: default_repair(),
         }
     }
 }
@@ -104,10 +118,50 @@ impl Replanner {
         self.replans
     }
 
+    /// The queue-free windows the active plan was optimized against.
+    pub fn windows(&self) -> &[SignalConstraint] {
+        &self.windows
+    }
+
     /// Time drift of the live state against the active plan (positive =
     /// running late).
     pub fn drift(&self, position: Meters, time: Seconds) -> Seconds {
         time - self.plan.arrival_time_at(position)
+    }
+
+    /// Installs an updated set of queue-free windows (e.g. a fresh `T_q`
+    /// push from the cloud predictor) and re-solves the plan from its
+    /// current origin state. With [`ReplanConfig::repair`] on, the solve
+    /// goes through
+    /// [`DpOptimizer::optimize_windows_refresh`](crate::dp::DpOptimizer::optimize_windows_refresh):
+    /// when only the windows moved since the previous refresh through this
+    /// replanner, the solver revalidates its retained DP layer stack and
+    /// re-relaxes only the dirty suffix instead of re-running the full DP.
+    /// The resulting plan is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimization failures; the previous plan and windows
+    /// stay active when the refresh fails.
+    pub fn refresh_windows(&mut self, windows: Vec<SignalConstraint>) -> Result<&OptimizedProfile> {
+        let _refresh_span = telemetry::span("replan.window_refresh_seconds");
+        let start = StartState {
+            position: self.plan.stations[0],
+            speed: self.plan.speeds[0],
+            time: self.plan.times[0],
+        };
+        let optimizer = self.system.optimizer();
+        let road = &self.system.config().road;
+        let plan = if self.config.repair {
+            optimizer.optimize_windows_refresh(road, &windows, start, &mut self.arena)?
+        } else {
+            optimizer.optimize_from_with(road, &windows, start, &mut self.arena)?
+        };
+        self.windows = windows;
+        self.plan = plan;
+        self.replans += 1;
+        telemetry::add("replan.window_refreshes", 1);
+        Ok(&self.plan)
     }
 
     /// Returns the speed to command for the live state, replanning first if
@@ -168,6 +222,7 @@ impl Replanner {
 mod tests {
     use super::*;
     use crate::pipeline::SystemConfig;
+    use velopt_queue::TimeWindow;
 
     fn replanner() -> Replanner {
         let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush()).unwrap();
@@ -259,6 +314,70 @@ mod tests {
         assert_eq!(r.plan().metrics.memo_misses, 0);
         assert_eq!(r.plan().metrics.energy_evals, 0);
         assert!(r.plan().metrics.memo_hits > 0);
+    }
+
+    #[test]
+    fn window_refresh_repairs_through_the_arena() {
+        let mut r = replanner();
+        let w = r.windows.clone();
+        // First push does the retention solve; an identical push is a
+        // zero-diff repair hit.
+        let first = r.refresh_windows(w.clone()).unwrap().metrics;
+        assert_eq!(first.repair_full_resolves, 1);
+        assert_eq!(first.repair_hits, 0);
+        let second = r.refresh_windows(w.clone()).unwrap().metrics;
+        assert_eq!(second.repair_hits, 1);
+        assert_eq!(second.repair_full_resolves, 0);
+
+        // Shift every window by 2 s: a dirty-suffix repair (or, if the
+        // retained limit no longer certifies, a full fallback) — either
+        // way the plan must match a from-scratch solve exactly.
+        let shifted: Vec<SignalConstraint> = w
+            .iter()
+            .map(|sc| SignalConstraint {
+                position: sc.position,
+                windows: sc
+                    .windows
+                    .iter()
+                    .map(|tw| TimeWindow {
+                        start: tw.start + Seconds::new(2.0),
+                        end: tw.end + Seconds::new(2.0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let repaired = r.refresh_windows(shifted.clone()).unwrap().clone();
+        assert_eq!(
+            repaired.metrics.repair_hits + repaired.metrics.repair_full_resolves,
+            1
+        );
+        let scratch = r
+            .system
+            .optimizer()
+            .optimize(&r.system.config().road, &shifted)
+            .unwrap();
+        assert_eq!(repaired, scratch);
+        assert_eq!(r.replans(), 3);
+    }
+
+    #[test]
+    fn repair_knob_off_solves_from_scratch() {
+        let system = VelocityOptimizationSystem::new(SystemConfig::us25_rush()).unwrap();
+        let mut r = Replanner::new(
+            system,
+            ReplanConfig {
+                repair: false,
+                ..ReplanConfig::default()
+            },
+        )
+        .unwrap();
+        let w = r.windows.clone();
+        let with_repair = replanner().refresh_windows(w.clone()).unwrap().clone();
+        let metrics = r.refresh_windows(w).unwrap().metrics;
+        assert_eq!(metrics.repair_hits, 0);
+        assert_eq!(metrics.repair_full_resolves, 0);
+        // Same plan either way — the repair path only changes the work.
+        assert_eq!(*r.plan(), with_repair);
     }
 
     #[test]

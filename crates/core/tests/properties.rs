@@ -117,28 +117,28 @@ proptest! {
     }
 }
 
+/// A corridor with a random piecewise-linear grade profile, so the
+/// transition memo sees many distinct `(length, grade)` classes as well
+/// as repeats.
+fn graded_road(length: f64, grades: &[f64], sign_frac: Option<f64>) -> Road {
+    let mut b = RoadBuilder::new(Meters::new(length));
+    b.default_limits(
+        KilometersPerHour::new(40.0).to_meters_per_second(),
+        KilometersPerHour::new(70.0).to_meters_per_second(),
+    );
+    let n = grades.len();
+    for (i, &g) in grades.iter().enumerate() {
+        b.grade_knot(Meters::new(length * i as f64 / (n - 1) as f64), g);
+    }
+    if let Some(f) = sign_frac {
+        b.stop_sign(Meters::new((f * length / 20.0).round() * 20.0));
+    }
+    b.build().unwrap()
+}
+
 mod memo_equivalence {
     use super::*;
     use velopt_core::dp::{SolverArena, StartState, TimeHandling};
-
-    /// A corridor with a random piecewise-linear grade profile, so the
-    /// transition memo sees many distinct `(length, grade)` classes as well
-    /// as repeats.
-    fn graded_road(length: f64, grades: &[f64], sign_frac: Option<f64>) -> Road {
-        let mut b = RoadBuilder::new(Meters::new(length));
-        b.default_limits(
-            KilometersPerHour::new(40.0).to_meters_per_second(),
-            KilometersPerHour::new(70.0).to_meters_per_second(),
-        );
-        let n = grades.len();
-        for (i, &g) in grades.iter().enumerate() {
-            b.grade_knot(Meters::new(length * i as f64 / (n - 1) as f64), g);
-        }
-        if let Some(f) = sign_frac {
-            b.stop_sign(Meters::new((f * length / 20.0).round() * 20.0));
-        }
-        b.build().unwrap()
-    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(6))]
@@ -224,6 +224,238 @@ mod memo_equivalence {
                         prop_assert_eq!(got.metrics.memo_hits, 0);
                     }
                 }
+            }
+        }
+    }
+}
+
+mod simd_and_repair_equivalence {
+    use super::*;
+    use velopt_core::dp::{SolverArena, StartState, TimeHandling};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Tentpole #1 contract: the AVX2 relax microkernels never move a
+        /// bit relative to the portable scalar kernel — random graded
+        /// corridors, a random reachable window, 1/2/4 threads, both time
+        /// handlings — and the search-space counters are
+        /// dispatch-invariant.
+        #[test]
+        fn simd_dp_is_bit_identical_to_scalar(
+            length in 700.0f64..1500.0,
+            g1 in -6.0f64..6.0,
+            g2 in -6.0f64..6.0,
+            sign_frac in prop::option::of(0.3f64..0.7),
+            delay in 0.0f64..8.0,
+            greedy in any::<bool>(),
+        ) {
+            let road = graded_road(length, &[0.0, g1, g2], sign_frac);
+            let time_handling = if greedy {
+                TimeHandling::Greedy
+            } else {
+                TimeHandling::Exact
+            };
+            let solve = |simd: bool, threads: usize, signals: &[SignalConstraint]| {
+                DpOptimizer::new(
+                    EnergyModel::new(VehicleParams::spark_ev()),
+                    DpConfig { simd, threads, time_handling, ..DpConfig::default() },
+                )
+                .unwrap()
+                .optimize(&road, signals)
+                .unwrap()
+            };
+            let free = solve(false, 1, &[]);
+            let pos = Meters::new((0.5 * length / 20.0).round() * 20.0);
+            let t0 = free.arrival_time_at(pos) + Seconds::new(delay);
+            let constraint = SignalConstraint {
+                position: pos,
+                windows: vec![TimeWindow { start: t0, end: t0 + Seconds::new(10.0) }],
+            };
+            let signals = std::slice::from_ref(&constraint);
+
+            let reference = solve(false, 1, signals);
+            for threads in [1usize, 2, 4] {
+                let vectorized = solve(true, threads, signals);
+                let scalar = solve(false, threads, signals);
+                for got in [&vectorized, &scalar] {
+                    prop_assert!(*got == reference, "profile differs from reference");
+                    for i in 0..got.speeds.len() {
+                        prop_assert_eq!(
+                            got.speeds[i].value().to_bits(),
+                            reference.speeds[i].value().to_bits()
+                        );
+                        prop_assert_eq!(
+                            got.times[i].value().to_bits(),
+                            reference.times[i].value().to_bits()
+                        );
+                        prop_assert_eq!(
+                            got.stations[i].value().to_bits(),
+                            reference.stations[i].value().to_bits()
+                        );
+                    }
+                    prop_assert_eq!(
+                        got.total_energy.value().to_bits(),
+                        reference.total_energy.value().to_bits()
+                    );
+                    // Work counters never depend on dispatch or threads.
+                    prop_assert_eq!(
+                        got.metrics.states_expanded,
+                        reference.metrics.states_expanded
+                    );
+                    prop_assert_eq!(got.metrics.states_pruned, reference.metrics.states_pruned);
+                    prop_assert_eq!(got.metrics.rows_skipped, reference.metrics.rows_skipped);
+                }
+                // The scalar config truly ran the scalar path.
+                prop_assert_eq!(scalar.metrics.simd_rows, 0);
+            }
+        }
+
+        /// Sparse-reset contract: one arena reused across a *sequence* of
+        /// vectorized solves — same corridor twice (dirty-log reuse),
+        /// a different corridor (shape change → full refill), then the
+        /// first corridor again — always matches fresh-arena scalar
+        /// solves bit-for-bit. This is the cross-solve path the other
+        /// tests never hit: every solve after the first resets the
+        /// pooled layer stack from the previous solve's dirty log.
+        #[test]
+        fn arena_reuse_across_solves_is_bit_identical(
+            length_a in 700.0f64..1200.0,
+            length_b in 1250.0f64..1500.0,
+            g1 in -6.0f64..6.0,
+            g2 in -6.0f64..6.0,
+            sign_frac in prop::option::of(0.3f64..0.7),
+            delay in 0.0f64..8.0,
+        ) {
+            let road_a = graded_road(length_a, &[0.0, g1, g2], sign_frac);
+            let road_b = graded_road(length_b, &[0.0, g2, g1], None);
+            let opt = |simd: bool| {
+                DpOptimizer::new(
+                    EnergyModel::new(VehicleParams::spark_ev()),
+                    DpConfig { simd, ..DpConfig::default() },
+                )
+                .unwrap()
+            };
+            let free = opt(false).optimize(&road_a, &[]).unwrap();
+            let pos = Meters::new((0.5 * length_a / 20.0).round() * 20.0);
+            let t0 = free.arrival_time_at(pos) + Seconds::new(delay);
+            let constraint = SignalConstraint {
+                position: pos,
+                windows: vec![TimeWindow { start: t0, end: t0 + Seconds::new(10.0) }],
+            };
+            let trips: [(&Road, &[SignalConstraint]); 4] = [
+                (&road_a, std::slice::from_ref(&constraint)),
+                (&road_a, &[]),
+                (&road_b, &[]),
+                (&road_a, std::slice::from_ref(&constraint)),
+            ];
+            let vec_opt = opt(true);
+            let scalar_opt = opt(false);
+            let mut warm = SolverArena::new();
+            for (road, signals) in trips {
+                let got = vec_opt
+                    .optimize_from_with(road, signals, StartState::default(), &mut warm)
+                    .unwrap();
+                // Reference: same trip through a cold arena, scalar kernels.
+                let reference = scalar_opt.optimize(road, signals).unwrap();
+                prop_assert!(got == reference, "warm vectorized solve differs");
+                for i in 0..got.speeds.len() {
+                    prop_assert_eq!(
+                        got.speeds[i].value().to_bits(),
+                        reference.speeds[i].value().to_bits()
+                    );
+                    prop_assert_eq!(
+                        got.times[i].value().to_bits(),
+                        reference.times[i].value().to_bits()
+                    );
+                }
+                prop_assert_eq!(
+                    got.total_energy.value().to_bits(),
+                    reference.total_energy.value().to_bits()
+                );
+                prop_assert_eq!(got.metrics.states_expanded, reference.metrics.states_expanded);
+                prop_assert_eq!(got.metrics.states_pruned, reference.metrics.states_pruned);
+            }
+        }
+
+        /// Tentpole #2 contract: a warm-started window refresh (retention
+        /// solve, then an incremental repair after a random window shift,
+        /// then a zero-diff re-push) returns plans **bit-identical** to
+        /// from-scratch solves at every step, for 1/2/4 threads.
+        #[test]
+        fn window_refresh_repair_matches_scratch(
+            length in 700.0f64..1500.0,
+            g1 in -6.0f64..6.0,
+            g2 in -6.0f64..6.0,
+            sign_frac in prop::option::of(0.3f64..0.7),
+            frac in 0.35f64..0.75,
+            delay in 0.0f64..8.0,
+            width in 6.0f64..16.0,
+            shift in -6.0f64..6.0,
+        ) {
+            let road = graded_road(length, &[0.0, g1, g2], sign_frac);
+            for threads in [1usize, 2, 4] {
+                let opt = DpOptimizer::new(
+                    EnergyModel::new(VehicleParams::spark_ev()),
+                    DpConfig { threads, ..DpConfig::default() },
+                )
+                .unwrap();
+                let free = opt.optimize(&road, &[]).unwrap();
+                let pos = Meters::new((frac * length / 20.0).round() * 20.0);
+                let t0 = free.arrival_time_at(pos) + Seconds::new(delay);
+                let window_at = |s: f64| SignalConstraint {
+                    position: pos,
+                    windows: vec![TimeWindow {
+                        start: t0 + Seconds::new(s),
+                        end: t0 + Seconds::new(s + width),
+                    }],
+                };
+                let w0 = [window_at(0.0)];
+                let w1 = [window_at(shift)];
+                let mut arena = SolverArena::new();
+
+                // First refresh has nothing retained: full retention solve.
+                let first = opt
+                    .optimize_windows_refresh(&road, &w0, StartState::default(), &mut arena)
+                    .unwrap();
+                prop_assert_eq!(first.metrics.repair_full_resolves, 1);
+                let scratch0 = opt.optimize(&road, &w0).unwrap();
+                prop_assert_eq!(&first, &scratch0);
+
+                // Shifted windows: repaired (or re-solved) plan is
+                // bit-identical to solving w1 from scratch.
+                let repaired = opt
+                    .optimize_windows_refresh(&road, &w1, StartState::default(), &mut arena)
+                    .unwrap();
+                let scratch1 = opt.optimize(&road, &w1).unwrap();
+                prop_assert_eq!(&repaired, &scratch1);
+                for i in 0..repaired.speeds.len() {
+                    prop_assert_eq!(
+                        repaired.speeds[i].value().to_bits(),
+                        scratch1.speeds[i].value().to_bits()
+                    );
+                    prop_assert_eq!(
+                        repaired.times[i].value().to_bits(),
+                        scratch1.times[i].value().to_bits()
+                    );
+                }
+                prop_assert_eq!(
+                    repaired.total_energy.value().to_bits(),
+                    scratch1.total_energy.value().to_bits()
+                );
+                // Exactly one of {repair hit, full re-solve} happened.
+                prop_assert_eq!(
+                    repaired.metrics.repair_hits + repaired.metrics.repair_full_resolves,
+                    1
+                );
+
+                // Re-pushing identical windows is a zero-diff cache hit.
+                let cached = opt
+                    .optimize_windows_refresh(&road, &w1, StartState::default(), &mut arena)
+                    .unwrap();
+                prop_assert_eq!(cached.metrics.repair_hits, 1);
+                prop_assert_eq!(cached.metrics.repair_full_resolves, 0);
+                prop_assert_eq!(&cached, &scratch1);
             }
         }
     }
