@@ -2,8 +2,11 @@
 //! gate (see [`velopt_bench::suite`]).
 //!
 //! ```text
-//! bench-suite [--quick] [--out PATH]
+//! bench-suite [--quick] [--scenario NAME] [--out PATH]
 //!     Run the scenario matrix and write the report (default BENCH_dp.json).
+//!     --scenario NAME runs only the scenario families whose name stem
+//!     contains NAME (e.g. "route_plan", "cloud", "sae"); an unknown name
+//!     is an error listing the known stems.
 //!
 //! bench-suite --check BASELINE [--current PATH] [--tolerance T] [--warn-only]
 //!     Compare a report (a fresh run, or --current PATH) against BASELINE.
@@ -19,7 +22,10 @@
 //!     dispatch fall below their floors (coalescing disengaged), or when
 //!     the DP rows' SIMD/repair same-run speedups or the refresh row's
 //!     repair hits per tick fall below their floors (the vectorized
-//!     kernels or incremental repair disengaged).
+//!     kernels or incremental repair disengaged), or when the routing
+//!     row's oracle calls grow past the baseline or its same-run oracle
+//!     ratio over featureless Dijkstra falls below the 5x floor (the
+//!     certified emin bounds or plan memo disengaged).
 //!
 //! bench-suite --check-work BASELINE [--current PATH] [--warn-only]
 //!     Work counters only, at zero tolerance: wall time is ignored, so the
@@ -32,10 +38,13 @@
 //! regression, `2` usage or I/O errors.
 
 use std::process::ExitCode;
-use velopt_bench::suite::{compare, compare_work, run_matrix, BenchReport, Comparison, MatrixSpec};
+use velopt_bench::suite::{
+    compare, compare_work, run_scenarios, BenchReport, Comparison, MatrixSpec,
+};
 
 struct Args {
     quick: bool,
+    scenario: Option<String>,
     out: String,
     check: Option<String>,
     check_work: Option<String>,
@@ -44,13 +53,14 @@ struct Args {
     warn_only: bool,
 }
 
-const USAGE: &str = "usage: bench-suite [--quick] [--out PATH] \
+const USAGE: &str = "usage: bench-suite [--quick] [--scenario NAME] [--out PATH] \
      [--check BASELINE] [--check-work BASELINE] \
      [--current PATH] [--tolerance T] [--warn-only]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         quick: false,
+        scenario: None,
         out: "BENCH_dp.json".to_string(),
         check: None,
         check_work: None,
@@ -68,6 +78,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--quick" => args.quick = true,
             "--warn-only" => args.warn_only = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
             "--out" => args.out = value("--out")?,
             "--check" => args.check = Some(value("--check")?),
             "--check-work" => args.check_work = Some(value("--check-work")?),
@@ -85,6 +96,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.current.is_some() && args.check.is_none() && args.check_work.is_none() {
         return Err(format!(
             "--current only makes sense with --check/--check-work\n{USAGE}"
+        ));
+    }
+    if args.scenario.is_some() && args.current.is_some() {
+        return Err(format!(
+            "--scenario filters a matrix run, not a loaded report\n{USAGE}"
         ));
     }
     Ok(args)
@@ -105,11 +121,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             } else {
                 MatrixSpec::full()
             };
-            eprintln!(
-                "running {} scenario matrix...",
-                if args.quick { "quick" } else { "full" }
-            );
-            let report = run_matrix(&spec).map_err(|e| format!("matrix failed: {e}"))?;
+            match &args.scenario {
+                Some(name) => eprintln!(
+                    "running {} scenario matrix (filtered to {name:?})...",
+                    if args.quick { "quick" } else { "full" }
+                ),
+                None => eprintln!(
+                    "running {} scenario matrix...",
+                    if args.quick { "quick" } else { "full" }
+                ),
+            }
+            let report = run_scenarios(&spec, args.scenario.as_deref())
+                .map_err(|e| format!("matrix failed: {e}"))?;
             std::fs::write(&args.out, report.to_json())
                 .map_err(|e| format!("cannot write {:?}: {e}", args.out))?;
             for s in &report.scenarios {
@@ -160,6 +183,18 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                         s.gemm_flops,
                         s.scratch_reuse_hits,
                         s.scratch_allocations,
+                    );
+                } else if s.route_oracle_calls > 0 {
+                    eprintln!(
+                        "  {:<24} p50 {:>9.4}s  p90 {:>9.4}s  oracle {:>7}  \
+                         pruned {:>7}  memo hits {:>6}  ratio {:>5.2}x",
+                        s.name,
+                        s.wall_seconds.p50,
+                        s.wall_seconds.p90,
+                        s.route_oracle_calls,
+                        s.route_edges_pruned,
+                        s.route_plan_memo_hits,
+                        s.route_oracle_ratio,
                     );
                 } else if s.simd_speedup > 0.0 || s.repair_speedup > 0.0 {
                     eprintln!(

@@ -30,11 +30,12 @@ use velopt_core::dp::{DpConfig, DpOptimizer, SolverArena, StartState, TimeHandli
 use velopt_core::metrics::SolverMetrics;
 use velopt_core::pipeline::{SystemConfig, VelocityOptimizationSystem};
 use velopt_core::replan::{ReplanConfig, Replanner};
+use velopt_core::route::{RouteConfig, RouteMetrics, RouteQuery, Router};
 use velopt_core::windows::green_only_constraints;
 use velopt_ev_energy::{EnergyModel, VehicleParams};
 use velopt_microsim::{CorridorSpec, Network, SimConfig};
 use velopt_queue::QueueParams;
-use velopt_road::{CorridorTemplate, Road};
+use velopt_road::{CorridorTemplate, NetworkTemplate, Road};
 use velopt_traffic::nn::SgdConfig;
 use velopt_traffic::{
     SaeConfig, SaePredictor, SaePredictorConfig, TrainMetrics, VolumeGenerator, VolumePredictor,
@@ -71,6 +72,11 @@ pub struct MatrixSpec {
     pub cosim_corridors: usize,
     /// Lockstep storm rounds timed, each with fresh trip keys.
     pub cosim_rounds: usize,
+    /// Grid side of the seeded routing network (`route_grid²` junctions).
+    pub route_grid: usize,
+    /// Timed routing iterations; each runs the seeded query set against a
+    /// cold router, so the work counters are per-iteration invariant.
+    pub route_iters: usize,
     /// Corridors in the sharded microsimulation network.
     pub network_corridors: usize,
     /// Untimed simulated seconds that fill the network with traffic before
@@ -95,6 +101,8 @@ impl MatrixSpec {
             cosim_vehicles: 48,
             cosim_corridors: 6,
             cosim_rounds: 5,
+            route_grid: 8,
+            route_iters: 4,
             network_corridors: 128,
             network_warmup_s: 600.0,
             network_rounds: 24,
@@ -115,6 +123,8 @@ impl MatrixSpec {
             cosim_vehicles: 16,
             cosim_corridors: 4,
             cosim_rounds: 3,
+            route_grid: 8,
+            route_iters: 2,
             network_corridors: 12,
             network_warmup_s: 120.0,
             network_rounds: 6,
@@ -208,6 +218,22 @@ pub struct ScenarioResult {
     pub vehicles_stepped: u64,
     /// Junction handoffs routed during the timed rounds (zero elsewhere).
     pub network_handoffs: u64,
+    /// Full DP solves the router requested from its edge-cost oracle (the
+    /// `route_plan` scenario; zero elsewhere). The network and query set
+    /// are seeded and the search deterministic, so the per-iteration count
+    /// is machine-invariant and `--check-work` ceilings it.
+    pub route_oracle_calls: u64,
+    /// Edge traversals the router discarded on their certified `emin`
+    /// lower bound alone, before any oracle evaluation.
+    pub route_edges_pruned: u64,
+    /// Edge traversals priced from the (corridor class, departure bin)
+    /// plan memo without touching the oracle.
+    pub route_plan_memo_hits: u64,
+    /// Oracle calls of the featureless Dijkstra sweep (lower bounds, plan
+    /// memo, and batching all off) divided by the full router's, over the
+    /// identical seeded query set — a same-run work ratio, so it is
+    /// machine-invariant (zero for non-routing scenarios).
+    pub route_oracle_ratio: f64,
 }
 
 impl ScenarioResult {
@@ -242,6 +268,10 @@ impl ScenarioResult {
             storm_speedup: 0.0,
             vehicles_stepped: 0,
             network_handoffs: 0,
+            route_oracle_calls: 0,
+            route_edges_pruned: 0,
+            route_plan_memo_hits: 0,
+            route_oracle_ratio: 0.0,
         })
     }
 
@@ -278,6 +308,10 @@ impl ScenarioResult {
             storm_speedup: 0.0,
             vehicles_stepped: 0,
             network_handoffs: 0,
+            route_oracle_calls: 0,
+            route_edges_pruned: 0,
+            route_plan_memo_hits: 0,
+            route_oracle_ratio: 0.0,
         })
     }
 
@@ -321,6 +355,10 @@ impl ScenarioResult {
             storm_speedup: 0.0,
             vehicles_stepped: 0,
             network_handoffs: 0,
+            route_oracle_calls: 0,
+            route_edges_pruned: 0,
+            route_plan_memo_hits: 0,
+            route_oracle_ratio: 0.0,
         })
     }
 
@@ -366,6 +404,10 @@ impl ScenarioResult {
             storm_speedup,
             vehicles_stepped: 0,
             network_handoffs: 0,
+            route_oracle_calls: 0,
+            route_edges_pruned: 0,
+            route_plan_memo_hits: 0,
+            route_oracle_ratio: 0.0,
         })
     }
 
@@ -408,6 +450,57 @@ impl ScenarioResult {
             storm_speedup: 0.0,
             vehicles_stepped,
             network_handoffs,
+            route_oracle_calls: 0,
+            route_edges_pruned: 0,
+            route_plan_memo_hits: 0,
+            route_oracle_ratio: 0.0,
+        })
+    }
+
+    /// Summary for the routing scenario: wall percentiles over the cold
+    /// searches, the router's deterministic work counters, and the same-run
+    /// oracle-call ratio over featureless Dijkstra; every other counter
+    /// stays zero.
+    fn from_route_samples(
+        name: &str,
+        samples: &[f64],
+        metrics: &RouteMetrics,
+        route_oracle_ratio: f64,
+    ) -> Result<Self> {
+        Ok(Self {
+            name: name.to_string(),
+            iterations: samples.len() as u64,
+            wall_seconds: Percentiles::from_samples(samples)?,
+            states_expanded: 0,
+            states_pruned: 0,
+            arena_reuse_hits: 0,
+            arena_allocations: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            energy_evals: 0,
+            rows_skipped: 0,
+            simd_rows: 0,
+            repair_hits: 0,
+            repair_full_resolves: 0,
+            repair_layers_skipped: 0,
+            simd_speedup: 0.0,
+            repair_speedup: 0.0,
+            gemm_flops: 0,
+            scratch_reuse_hits: 0,
+            scratch_allocations: 0,
+            buf_reuse: 0,
+            buf_alloc: 0,
+            plan_encode_skipped: 0,
+            coalesce_hits: 0,
+            coalesce_flights: 0,
+            batch_flushes: 0,
+            storm_speedup: 0.0,
+            vehicles_stepped: 0,
+            network_handoffs: 0,
+            route_oracle_calls: metrics.oracle_calls,
+            route_edges_pruned: metrics.edges_pruned,
+            route_plan_memo_hits: metrics.plan_memo_hits,
+            route_oracle_ratio,
         })
     }
 
@@ -517,6 +610,22 @@ impl ScenarioResult {
                 "network_handoffs".into(),
                 Json::Num(self.network_handoffs as f64),
             ),
+            (
+                "route_oracle_calls".into(),
+                Json::Num(self.route_oracle_calls as f64),
+            ),
+            (
+                "route_edges_pruned".into(),
+                Json::Num(self.route_edges_pruned as f64),
+            ),
+            (
+                "route_plan_memo_hits".into(),
+                Json::Num(self.route_plan_memo_hits as f64),
+            ),
+            (
+                "route_oracle_ratio".into(),
+                Json::Num(self.route_oracle_ratio),
+            ),
         ])
     }
 
@@ -601,6 +710,15 @@ impl ScenarioResult {
             // scenario; older baselines read as zero, disabling the gate.
             vehicles_stepped: optional(value, "vehicles_stepped"),
             network_handoffs: optional(value, "network_handoffs"),
+            // Routing counters appeared with the graph-routing scenario;
+            // older baselines read as zero, disabling the route floors.
+            route_oracle_calls: optional(value, "route_oracle_calls"),
+            route_edges_pruned: optional(value, "route_edges_pruned"),
+            route_plan_memo_hits: optional(value, "route_plan_memo_hits"),
+            route_oracle_ratio: value
+                .get("route_oracle_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -750,6 +868,23 @@ pub const MIN_SIMD_SPEEDUP: f64 = 2.0;
 /// ratio, baseline-armed, like [`MIN_SIMD_SPEEDUP`]; falling below 3x
 /// means incremental repair no longer beats re-solving.
 pub const MIN_REPAIR_SPEEDUP: f64 = 3.0;
+
+/// Absolute slack for the per-iteration route-oracle-call ceiling: one
+/// solve per iteration absorbs integer rounding when iteration counts
+/// differ between the baseline refresh and the CI run. The routing network
+/// and query set are seeded and the search deterministic, so beyond that
+/// slack a higher count means a pruning layer disengaged.
+pub const WORK_SLACK_ROUTE_ORACLE_CALLS_PER_ITER: f64 = 1.0;
+
+/// Minimum same-run ratio of featureless-Dijkstra oracle calls over the
+/// full router's on the seeded routing network: the certified `emin`
+/// lower bounds, the shared-segment plan memo, and batched frontier
+/// evaluation together must keep at least 5x of the edge DP solves off
+/// the oracle. The ratio divides two deterministic counters from the same
+/// run, so host speed is irrelevant; the gate only applies when the
+/// baseline itself cleared the floor, so reduced local matrices never
+/// trip it on themselves.
+pub const MIN_ROUTE_ORACLE_RATIO: f64 = 5.0;
 
 /// Minimum steady-state cloud buffer reuse rate. The `cloud_serve`
 /// scenario's counters are deltas taken after a warm-up round, so nearly
@@ -938,6 +1073,41 @@ fn work_regressions(
             "{}: repair speedup {:.2}x fell below the {:.1}x floor \
              (baseline {:.2}x) — incremental repair no longer beats re-solving",
             scenario.name, scenario.repair_speedup, MIN_REPAIR_SPEEDUP, base.repair_speedup,
+        ));
+    }
+    // Ceiling on the router's oracle traffic: the routing network and its
+    // query set are seeded, so the per-iteration solve count is a constant
+    // of the build; growing past the baseline means the lower bounds, the
+    // plan memo, or batched evaluation stopped deduplicating work.
+    let current_oracle = per_iter(scenario.route_oracle_calls, scenario.iterations);
+    let base_oracle = per_iter(base.route_oracle_calls, base.iterations);
+    let oracle_limit = base_oracle * (1.0 + tolerance) + WORK_SLACK_ROUTE_ORACLE_CALLS_PER_ITER;
+    if current_oracle > oracle_limit {
+        regressions.push(format!(
+            "{}: {:.0} route oracle calls per iteration exceeds baseline {:.0} \
+             by more than {:.0}% (limit {:.0}) — are the emin bounds and plan \
+             memo still engaged?",
+            scenario.name,
+            current_oracle,
+            base_oracle,
+            tolerance * 100.0,
+            oracle_limit,
+        ));
+    }
+    // Absolute floor on the same-run oracle-call ratio, baseline-armed
+    // like the speedup gates: once a baseline demonstrated the router
+    // doing 5x less oracle work than featureless Dijkstra, losing that
+    // is a regression even though the wall clock could hide it.
+    if base.route_oracle_ratio >= MIN_ROUTE_ORACLE_RATIO
+        && scenario.route_oracle_ratio < MIN_ROUTE_ORACLE_RATIO
+    {
+        regressions.push(format!(
+            "{}: route oracle ratio {:.2}x fell below the {:.1}x floor \
+             (baseline {:.2}x) — certified pruning no longer beats Dijkstra",
+            scenario.name,
+            scenario.route_oracle_ratio,
+            MIN_ROUTE_ORACLE_RATIO,
+            base.route_oracle_ratio,
         ));
     }
     // Absolute floor, not a relative gate: steady-state serving must keep
@@ -1641,13 +1811,115 @@ fn microsim_network(spec: &MatrixSpec) -> Result<ScenarioResult> {
     )
 }
 
-/// Runs the whole scenario matrix and collects the report.
+/// Times energy-optimal routing over a seeded grid network: each iteration
+/// runs a fixed query set (corner-to-corner and cross-grid sweeps) against
+/// a cold router, so the oracle-call, pruning, and memo counters are
+/// per-iteration invariant. Like `dp_single_simd`, the scenario is a
+/// same-run comparison: the featureless sweep — lower bounds, plan memo,
+/// and batched frontier evaluation all off, i.e. plain Dijkstra paying one
+/// DP solve per (edge, departure bin) — runs first over the identical
+/// queries, and `route_oracle_ratio` divides its oracle calls by the full
+/// router's. Both counts are deterministic, so the ratio is
+/// machine-invariant and `--check-work` keeps it above
+/// [`MIN_ROUTE_ORACLE_RATIO`].
+fn route_plan(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    let side = spec.route_grid.max(2);
+    let template = NetworkTemplate {
+        rows: side,
+        cols: side,
+        corridor: CorridorTemplate {
+            length: (200.0, 400.0),
+            lights: (0, 1),
+            phase: (15.0, 25.0),
+            stop_sign_probability: 0.3,
+            max_grade_percent: 0.0,
+            limits_kmh: (30.0, 50.0),
+        },
+        corridor_pool: 4,
+    };
+    let graph = template.generate(BENCH_SEED ^ 0x207E)?;
+    let corner = side - 1;
+    let queries = [
+        (
+            template.node_at(0, 0),
+            template.node_at(corner, corner),
+            0.0,
+        ),
+        (
+            template.node_at(0, corner),
+            template.node_at(corner, 0),
+            45.0,
+        ),
+        (
+            template.node_at(corner, 0),
+            template.node_at(0, corner),
+            90.0,
+        ),
+        (
+            template.node_at(side / 2, 0),
+            template.node_at(side / 2, corner),
+            150.0,
+        ),
+    ];
+    let run = |config: RouteConfig, iters: usize| -> Result<(Vec<f64>, RouteMetrics)> {
+        let mut metrics = RouteMetrics::default();
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let optimizer = spark_optimizer(DpConfig {
+                horizon: Seconds::new(300.0),
+                ..DpConfig::default()
+            })?;
+            let mut router = Router::new(optimizer, config)?;
+            let start = Instant::now();
+            for &(origin, dest, depart) in &queries {
+                let plan = router.plan(
+                    &graph,
+                    RouteQuery {
+                        origin,
+                        dest,
+                        depart: Seconds::new(depart),
+                    },
+                )?;
+                metrics.absorb(&plan.metrics);
+            }
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        Ok((samples, metrics))
+    };
+    let dijkstra = RouteConfig {
+        heuristic: false,
+        memo: false,
+        batch_frontier: false,
+        ..RouteConfig::default()
+    };
+    // One reference iteration is enough: the sweep is deterministic, so
+    // its per-iteration oracle count never moves, and repeating the (much
+    // slower) featureless search would only burn matrix time.
+    let (_, dijkstra_metrics) = run(dijkstra, 1)?;
+    let iters = spec.route_iters.max(1);
+    let (samples, metrics) = run(RouteConfig::default(), iters)?;
+    let ratio = dijkstra_metrics.oracle_calls as f64
+        / (metrics.oracle_calls as f64 / iters as f64).max(1.0);
+    ScenarioResult::from_route_samples(
+        &format!("route_plan_{}", side * side),
+        &samples,
+        &metrics,
+        ratio,
+    )
+}
+
+/// Runs the scenario matrix — optionally filtered — and collects the
+/// report. `filter` is matched as a substring of each scenario family's
+/// stable name stem (`"route_plan"`, `"cloud"`, `"sae"`, …); passing a
+/// filter that selects nothing is an error, so a typo cannot silently
+/// produce an empty report.
 ///
 /// # Errors
 ///
 /// Propagates solver failures — the matrix is seeded, so a scenario that
 /// solves once solves always, and an error here means the build is broken.
-pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
+/// Returns [`Error::InvalidInput`] for a filter no scenario stem contains.
+pub fn run_scenarios(spec: &MatrixSpec, filter: Option<&str>) -> Result<BenchReport> {
     let sequential = DpConfig {
         threads: 1,
         ..DpConfig::default()
@@ -1661,23 +1933,74 @@ pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
         threads: 1,
         ..DpConfig::default()
     };
-    Ok(BenchReport {
-        scenarios: vec![
-            single_trip("single_trip_sequential", sequential, spec.trip_iters)?,
-            single_trip("single_trip_parallel", parallel, spec.trip_iters)?,
-            single_trip("single_trip_greedy", greedy, spec.trip_iters)?,
-            batch_burst(spec)?,
-            dp_single_simd(spec.trip_iters)?,
-            dp_batch_simd(spec)?,
-            replan_steady_state(spec.replan_ticks)?,
-            replan_refresh_only((spec.replan_ticks / 4).max(1))?,
-            sae_train(spec.sae_train_iters)?,
-            sae_predict_batch(spec.sae_predict_iters)?,
-            cloud_serve(spec)?,
-            cloud_cosim(spec)?,
-            microsim_network(spec)?,
-        ],
-    })
+    type Scenario<'a> = (
+        &'static str,
+        Box<dyn FnOnce() -> Result<ScenarioResult> + 'a>,
+    );
+    let entries: Vec<Scenario<'_>> = vec![
+        (
+            "single_trip_sequential",
+            Box::new(move || single_trip("single_trip_sequential", sequential, spec.trip_iters)),
+        ),
+        (
+            "single_trip_parallel",
+            Box::new(move || single_trip("single_trip_parallel", parallel, spec.trip_iters)),
+        ),
+        (
+            "single_trip_greedy",
+            Box::new(move || single_trip("single_trip_greedy", greedy, spec.trip_iters)),
+        ),
+        ("batch", Box::new(|| batch_burst(spec))),
+        (
+            "dp_single_simd",
+            Box::new(|| dp_single_simd(spec.trip_iters)),
+        ),
+        ("dp_batch_simd", Box::new(|| dp_batch_simd(spec))),
+        (
+            "replan_steady_state",
+            Box::new(|| replan_steady_state(spec.replan_ticks)),
+        ),
+        (
+            "replan_refresh",
+            Box::new(|| replan_refresh_only((spec.replan_ticks / 4).max(1))),
+        ),
+        ("sae_train", Box::new(|| sae_train(spec.sae_train_iters))),
+        (
+            "sae_predict_batch",
+            Box::new(|| sae_predict_batch(spec.sae_predict_iters)),
+        ),
+        ("cloud_serve", Box::new(|| cloud_serve(spec))),
+        ("cloud_cosim", Box::new(|| cloud_cosim(spec))),
+        ("microsim_network", Box::new(|| microsim_network(spec))),
+        ("route_plan", Box::new(|| route_plan(spec))),
+    ];
+    if let Some(needle) = filter {
+        if !entries.iter().any(|(stem, _)| stem.contains(needle)) {
+            let known: Vec<&str> = entries.iter().map(|(stem, _)| *stem).collect();
+            return Err(Error::invalid_input(format!(
+                "--scenario {needle:?} matches no scenario; known stems: {}",
+                known.join(", ")
+            )));
+        }
+    }
+    let mut scenarios = Vec::new();
+    for (stem, entry) in entries {
+        if filter.is_some_and(|needle| !stem.contains(needle)) {
+            continue;
+        }
+        scenarios.push(entry()?);
+    }
+    Ok(BenchReport { scenarios })
+}
+
+/// Runs the whole scenario matrix and collects the report.
+///
+/// # Errors
+///
+/// Propagates solver failures — the matrix is seeded, so a scenario that
+/// solves once solves always, and an error here means the build is broken.
+pub fn run_matrix(spec: &MatrixSpec) -> Result<BenchReport> {
+    run_scenarios(spec, None)
 }
 
 #[cfg(test)]
@@ -1722,6 +2045,10 @@ mod tests {
             storm_speedup: 3.5,
             vehicles_stepped: 40_000,
             network_handoffs: 120,
+            route_oracle_calls: 400,
+            route_edges_pruned: 150,
+            route_plan_memo_hits: 60,
+            route_oracle_ratio: 6.5,
         }
     }
 
@@ -1921,6 +2248,50 @@ mod tests {
     }
 
     #[test]
+    fn route_floors_are_gated() {
+        let baseline = report(&[("route", 0.100)]);
+        // The router suddenly solving twice the edge DPs per iteration is
+        // a regression even with the wall clock flat.
+        let mut current = report(&[("route", 0.100)]);
+        current.scenarios[0].route_oracle_calls *= 2;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("route oracle calls"));
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+
+        // The same-run ratio falling below the 5x floor fails when the
+        // baseline itself cleared it.
+        let mut current = report(&[("route", 0.100)]);
+        current.scenarios[0].route_oracle_ratio = 3.0;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("route oracle ratio"));
+
+        // Fewer solves or a stronger ratio never regress, and the pruning
+        // and memo counters are visibility-only, never gated.
+        let mut current = report(&[("route", 0.100)]);
+        current.scenarios[0].route_oracle_calls /= 2;
+        current.scenarios[0].route_oracle_ratio = 20.0;
+        current.scenarios[0].route_edges_pruned = 0;
+        current.scenarios[0].route_plan_memo_hits = 0;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+
+        // A baseline without route traffic (pre-router) or below the
+        // ratio floor (a reduced local run) disables the floors instead of
+        // failing every run.
+        let mut old = report(&[("route", 0.100)]);
+        old.scenarios[0].route_oracle_calls = 0;
+        old.scenarios[0].route_oracle_ratio = 2.0;
+        let mut current = report(&[("route", 0.100)]);
+        current.scenarios[0].route_oracle_calls = 4; // within per-iter slack
+        current.scenarios[0].route_oracle_ratio = 1.0;
+        let outcome = compare_work(&current, &old).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
     fn simd_and_repair_floors_are_gated() {
         let baseline = report(&[("dp", 0.100)]);
         // Repair disengaging (every refresh re-solves) craters the hit
@@ -2022,6 +2393,11 @@ mod tests {
         assert_eq!(s.repair_hits, 0);
         assert_eq!(s.simd_speedup, 0.0);
         assert_eq!(s.repair_speedup, 0.0);
+        // Routing counters are optional too; zero disables the route
+        // floors on pre-router baselines.
+        assert_eq!(s.route_oracle_calls, 0);
+        assert_eq!(s.route_plan_memo_hits, 0);
+        assert_eq!(s.route_oracle_ratio, 0.0);
     }
 
     #[test]
@@ -2069,9 +2445,8 @@ mod tests {
         assert!(compare(&r, &r, f64::NAN).is_err());
     }
 
-    #[test]
-    fn tiny_matrix_produces_a_complete_report() {
-        let spec = MatrixSpec {
+    fn tiny_spec() -> MatrixSpec {
+        MatrixSpec {
             trip_iters: 1,
             batch_size: 2,
             batch_iters: 1,
@@ -2083,12 +2458,30 @@ mod tests {
             cosim_vehicles: 6,
             cosim_corridors: 2,
             cosim_rounds: 2,
+            route_grid: 4,
+            route_iters: 1,
             network_corridors: 3,
             network_warmup_s: 30.0,
             network_rounds: 2,
-        };
+        }
+    }
+
+    #[test]
+    fn scenario_filter_selects_by_stem_and_rejects_typos() {
+        let spec = tiny_spec();
+        let report = run_scenarios(&spec, Some("route_plan")).unwrap();
+        assert_eq!(report.scenarios.len(), 1);
+        assert_eq!(report.scenarios[0].name, "route_plan_16");
+        let err = run_scenarios(&spec, Some("no_such_scenario")).unwrap_err();
+        assert!(err.to_string().contains("matches no scenario"), "{err}");
+        assert!(err.to_string().contains("route_plan"), "{err}");
+    }
+
+    #[test]
+    fn tiny_matrix_produces_a_complete_report() {
+        let spec = tiny_spec();
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 13);
+        assert_eq!(report.scenarios.len(), 14);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
@@ -2099,7 +2492,8 @@ mod tests {
                     || s.gemm_flops > 0
                     || s.buf_reuse + s.buf_alloc > 0
                     || s.coalesce_flights > 0
-                    || s.vehicles_stepped > 0,
+                    || s.vehicles_stepped > 0
+                    || s.route_oracle_calls > 0,
                 "{}",
                 s.name
             );
@@ -2163,9 +2557,22 @@ mod tests {
         let net = report.scenario("microsim_network_3").unwrap();
         assert!(net.vehicles_stepped > 0);
         assert_eq!(net.iterations, 2);
+        // The router solved edge DPs, pruned on certified bounds, shared
+        // plans through the memo, and beat featureless Dijkstra on oracle
+        // work — the same-run ratio is deterministic and above one even on
+        // the tiny grid.
+        let route = report.scenario("route_plan_16").unwrap();
+        assert!(route.route_oracle_calls > 0);
+        assert!(route.route_edges_pruned > 0);
+        assert!(route.route_plan_memo_hits > 0);
+        assert!(
+            route.route_oracle_ratio > 1.0,
+            "ratio {}",
+            route.route_oracle_ratio
+        );
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
-        assert_eq!(outcome.passed, 13);
+        assert_eq!(outcome.passed, 14);
     }
 }

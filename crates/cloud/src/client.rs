@@ -2,7 +2,8 @@
 
 use crate::protocol::{
     decode_hello, decode_profile, encode_hello, read_frame, tags, write_frame, BatchPlanRequest,
-    BatchPlanResponse, PredictBatchRequest, PredictBatchResponse, TripRequest,
+    BatchPlanResponse, PredictBatchRequest, PredictBatchResponse, RouteNetRequest,
+    RouteNetResponse, TripRequest,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use velopt_common::{Error, Result};
@@ -64,6 +65,29 @@ impl CloudClient {
             .ok_or_else(|| Error::protocol("server closed the connection"))?;
         match tag {
             tags::RESP_PROFILE => decode_profile(&mut payload),
+            tags::RESP_ERROR => Err(Error::protocol(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            other => Err(Error::protocol(format!("unexpected response tag {other}"))),
+        }
+    }
+
+    /// Uploads a road graph plus an `origin → dest` query and waits for
+    /// the energy-optimal route: the chosen edge sequence and the stitched
+    /// velocity profile along it. Repeat queries for the same graph and
+    /// departure bin are answered from the cloud's route caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] carrying the server's message when the
+    /// request is rejected (malformed graph, unreachable destination), and
+    /// [`Error::Io`] on transport failures.
+    pub fn route(&mut self, request: &RouteNetRequest) -> Result<RouteNetResponse> {
+        write_frame(&mut self.stream, tags::REQ_ROUTE, &request.encode())?;
+        let (tag, mut payload) = read_frame(&mut self.stream)?
+            .ok_or_else(|| Error::protocol("server closed the connection"))?;
+        match tag {
+            tags::RESP_ROUTE => RouteNetResponse::decode(&mut payload),
             tags::RESP_ERROR => Err(Error::protocol(
                 String::from_utf8_lossy(&payload).into_owned(),
             )),
@@ -404,6 +428,90 @@ mod tests {
             assert!(snapshot.counter("cloud.req.trip").unwrap() >= 1);
             let plan = snapshot.histogram("cloud.plan_seconds");
             assert!(plan.is_some_and(|h| h.count >= 1));
+        } else {
+            assert!(snapshot.is_empty());
+        }
+        server.shutdown();
+    }
+
+    fn demo_route_request(depart: f64) -> RouteNetRequest {
+        use velopt_road::{CorridorTemplate, NodeId, RoadGraph};
+        let template = CorridorTemplate {
+            length: (200.0, 400.0),
+            lights: (0, 1),
+            phase: (15.0, 25.0),
+            stop_sign_probability: 0.3,
+            max_grade_percent: 0.0,
+            limits_kmh: (30.0, 50.0),
+        };
+        let mut graph = RoadGraph::new(4).unwrap();
+        let hops = [(0u32, 1u32), (1, 2), (2, 3), (0, 2), (1, 3)];
+        for (i, &(from, to)) in hops.iter().enumerate() {
+            graph
+                .add_edge(
+                    NodeId(from),
+                    NodeId(to),
+                    template.generate(i as u64 % 3).unwrap(),
+                )
+                .unwrap();
+        }
+        RouteNetRequest::from_graph(&graph, NodeId(0), NodeId(3), Seconds::new(depart))
+    }
+
+    #[test]
+    fn route_round_trip_and_frame_cache() {
+        let server = CloudServer::spawn(2).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        let request = demo_route_request(10.0);
+        let first = client.route(&request).unwrap();
+        assert!(!first.edges.is_empty());
+        assert_eq!(first.depart, Seconds::new(10.0));
+        assert!(first.arrival > first.depart);
+        assert!(first.total_energy.value().is_finite());
+        // The stitched profile starts at the origin at the departure time
+        // and walks a monotone clock.
+        assert!((first.times[0] - first.depart).abs().value() < 1e-9);
+        assert!(first.times.windows(2).all(|w| w[1] >= w[0]));
+
+        // The fresh search spent oracle calls and is visible in the
+        // aggregate route counters.
+        let fresh = server.stats().route_search();
+        assert!(fresh.oracle_calls > 0);
+
+        // The identical repeat query is a pure frame-cache hit.
+        let second = client.route(&request).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(server.stats().routes(), 2);
+        assert_eq!(server.stats().route_cache_hits(), 1);
+        assert_eq!(server.stats().route_search(), fresh);
+        assert_eq!(server.stats().frame_counts().routes, 2);
+
+        // A malformed query gets an error frame and the connection
+        // survives.
+        let mut bad = request.clone();
+        bad.dest = bad.origin;
+        let err = client.route(&bad).unwrap_err();
+        assert!(err.to_string().contains("coincide"), "{err}");
+        assert!(client.route(&request).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn route_telemetry_reaches_the_operator() {
+        let server = CloudServer::spawn(1).unwrap();
+        let mut client = CloudClient::connect(server.addr()).unwrap();
+        client.route(&demo_route_request(0.0)).unwrap();
+        let json = client.telemetry_json().unwrap();
+        let snapshot = telemetry::Snapshot::from_json(&json).unwrap();
+        if cfg!(feature = "telemetry") {
+            // The router publishes its own route.* work counters; the
+            // server adds the frame-mix counter. Other tests share the
+            // process-global registry, so only lower bounds hold.
+            assert!(snapshot.counter("cloud.req.route").unwrap() >= 1);
+            assert!(snapshot.counter("route.oracle_calls").unwrap() >= 1);
+            assert!(snapshot.counter("route.states_settled").unwrap() >= 1);
+            let span = snapshot.histogram("cloud.route_seconds");
+            assert!(span.is_some_and(|h| h.count >= 1));
         } else {
             assert!(snapshot.is_empty());
         }

@@ -35,6 +35,15 @@
 //! predictors (`velopt-traffic`), so one training serves every vehicle
 //! asking about the same station.
 //!
+//! It also routes across whole road graphs: `REQ_ROUTE`/`RESP_ROUTE`
+//! frames carry a [`RouteNetRequest`] — junctions, directed corridor
+//! edges, and an `origin → dest` query — answered by the certified-A\*
+//! router of `velopt-core::route` running on one shared process-wide
+//! instance, so its edge-plan memo and `emin` lower-bound cache persist
+//! across every query (fleet vehicles sharing corridor classes share
+//! solved plans), with a byte-keyed `RESP_ROUTE` frame cache on top for
+//! repeat queries.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,6 +67,7 @@ mod server;
 
 pub use client::CloudClient;
 pub use protocol::{
-    CloudResponse, PredictBatchRequest, PredictBatchResponse, PredictQuery, TripRequest,
+    CloudResponse, PredictBatchRequest, PredictBatchResponse, PredictQuery, RouteNetRequest,
+    RouteNetResponse, TripRequest,
 };
 pub use server::{CloudServer, ServerConfig, ServerStats};

@@ -11,8 +11,9 @@ use velopt_common::units::{Meters, MetersPerSecond, MetersPerSecondSq, Seconds, 
 use velopt_common::{Error, Result};
 use velopt_core::dp::OptimizedProfile;
 use velopt_core::metrics::SolverMetrics;
+use velopt_core::route::RoutePlan;
 use velopt_queue::QueueParams;
-use velopt_road::{Road, RoadBuilder, SpeedZone};
+use velopt_road::{EdgeId, NodeId, Road, RoadBuilder, RoadGraph, SpeedZone};
 
 /// Message type tags.
 pub mod tags {
@@ -50,6 +51,12 @@ pub mod tags {
     /// Cloud → vehicle: the tenant id echoed back, confirming admission
     /// accounting is now attributed to it.
     pub const RESP_HELLO: u8 = 13;
+    /// Vehicle → cloud: plan an energy-optimal route across a road graph
+    /// (origin junction → destination junction), not just one corridor.
+    pub const REQ_ROUTE: u8 = 14;
+    /// Cloud → vehicle: the routed plan — the edge sequence plus the
+    /// stitched velocity profile along it.
+    pub const RESP_ROUTE: u8 = 15;
 }
 
 /// Encodes a `REQ_HELLO`/`RESP_HELLO` payload (a 4-byte big-endian tenant
@@ -556,6 +563,267 @@ impl PredictBatchResponse {
     }
 }
 
+/// Ceiling on route-graph junction counts (keeps a hostile node count from
+/// allocating adjacency storage).
+pub const MAX_ROUTE_NODES: usize = 4096;
+
+/// Ceiling on route-graph edge counts.
+pub const MAX_ROUTE_EDGES: usize = 16_384;
+
+/// A routing query uploaded by an EV: the road graph (junctions plus
+/// directed corridor edges) and the `origin → dest` trip to plan across it.
+///
+/// Like [`TripRequest`], the departure time is on the network's shared
+/// signal clock, so two EVs asking for the same trip in the same signal
+/// cycle produce byte-identical requests — which is what makes the cloud's
+/// route-frame cache effective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteNetRequest {
+    /// Junction count; edge endpoints index `0..nodes`.
+    pub nodes: u32,
+    /// Directed corridor edges as `(from, to, road)`.
+    pub edges: Vec<(u32, u32, Road)>,
+    /// Start junction.
+    pub origin: u32,
+    /// Goal junction.
+    pub dest: u32,
+    /// Departure time on the signal clock.
+    pub depart: Seconds,
+}
+
+impl RouteNetRequest {
+    /// Captures a whole [`RoadGraph`] plus a query against it.
+    pub fn from_graph(graph: &RoadGraph, origin: NodeId, dest: NodeId, depart: Seconds) -> Self {
+        Self {
+            nodes: graph.node_count() as u32,
+            edges: graph
+                .edges()
+                .iter()
+                .map(|e| (e.from().0, e.to().0, e.road().clone()))
+                .collect(),
+            origin: origin.0,
+            dest: dest.0,
+            depart,
+        }
+    }
+
+    /// Validates the graph shape and query endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when counts exceed the protocol
+    /// ceilings, an edge endpoint or query junction is out of range,
+    /// `origin == dest`, or the departure is negative.
+    pub fn validated(&self) -> Result<()> {
+        if self.nodes < 2 || self.nodes as usize > MAX_ROUTE_NODES {
+            return Err(Error::invalid_input(format!(
+                "route graph needs 2..={MAX_ROUTE_NODES} junctions, got {}",
+                self.nodes
+            )));
+        }
+        if self.edges.len() > MAX_ROUTE_EDGES {
+            return Err(Error::invalid_input(format!(
+                "{} edges exceed bound {MAX_ROUTE_EDGES}",
+                self.edges.len()
+            )));
+        }
+        for (i, &(from, to, _)) in self.edges.iter().enumerate() {
+            if from >= self.nodes || to >= self.nodes {
+                return Err(Error::invalid_input(format!(
+                    "edge {i} endpoint ({from} -> {to}) outside 0..{}",
+                    self.nodes
+                )));
+            }
+        }
+        if self.origin >= self.nodes || self.dest >= self.nodes {
+            return Err(Error::invalid_input("query junction outside the graph"));
+        }
+        if self.origin == self.dest {
+            return Err(Error::invalid_input("origin and destination coincide"));
+        }
+        if self.depart.value() < 0.0 {
+            return Err(Error::invalid_input("departure must be non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Validates and rebuilds the [`RoadGraph`] this request describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] from [`Self::validated`] or graph
+    /// construction (e.g. a self-loop edge).
+    pub fn to_graph(&self) -> Result<RoadGraph> {
+        self.validated()?;
+        let mut graph = RoadGraph::new(self.nodes as usize)?;
+        for &(from, to, ref road) in &self.edges {
+            graph.add_edge(NodeId(from), NodeId(to), road.clone())?;
+        }
+        Ok(graph)
+    }
+
+    /// Encodes the request payload (without the frame header).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.nodes);
+        buf.put_u32(self.origin);
+        buf.put_u32(self.dest);
+        buf.put_f64(self.depart.value());
+        buf.put_u32(self.edges.len() as u32);
+        for &(from, to, ref road) in &self.edges {
+            buf.put_u32(from);
+            buf.put_u32(to);
+            encode_road(road, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation, implausible counts, or
+    /// malformed corridor geometry.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let nodes = take_u32(buf)?;
+        let origin = take_u32(buf)?;
+        let dest = take_u32(buf)?;
+        let depart = Seconds::new(take_f64(buf)?);
+        let n = bounded_count(buf, MAX_ROUTE_EDGES)?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from = take_u32(buf)?;
+            let to = take_u32(buf)?;
+            edges.push((from, to, decode_road(buf)?));
+        }
+        Ok(Self {
+            nodes,
+            edges,
+            origin,
+            dest,
+            depart,
+        })
+    }
+}
+
+/// The cloud's answer to a route query: the chosen edge sequence and the
+/// stitched velocity profile along it, on the absolute signal clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteNetResponse {
+    /// Edge ids of the chosen route, in driving order.
+    pub edges: Vec<u32>,
+    /// The blended objective the route minimizes.
+    pub cost: f64,
+    /// Battery charge drawn over the whole route.
+    pub total_energy: velopt_common::units::AmpereHours,
+    /// Departure time (echoed from the query).
+    pub depart: Seconds,
+    /// Arrival time at the destination.
+    pub arrival: Seconds,
+    /// Queue-window violations summed over the route.
+    pub window_violations: u32,
+    /// Cumulative station samples from origin to destination.
+    pub stations: Vec<Meters>,
+    /// Speed at each station sample.
+    pub speeds: Vec<MetersPerSecond>,
+    /// Clock time at each station sample.
+    pub times: Vec<Seconds>,
+}
+
+impl RouteNetResponse {
+    /// Captures a routed plan for the wire (the search metrics stay on the
+    /// server, aggregated into its `route.*` counters).
+    pub fn from_plan(plan: &RoutePlan) -> Self {
+        Self {
+            edges: plan.edges.iter().map(|e| e.0).collect(),
+            cost: plan.cost,
+            total_energy: plan.total_energy,
+            depart: plan.depart,
+            arrival: plan.arrival,
+            window_violations: plan.window_violations as u32,
+            stations: plan.stations.clone(),
+            speeds: plan.speeds.clone(),
+            times: plan.times.clone(),
+        }
+    }
+
+    /// The edge ids as typed [`EdgeId`]s.
+    pub fn edge_ids(&self) -> Vec<EdgeId> {
+        self.edges.iter().map(|&e| EdgeId(e)).collect()
+    }
+
+    /// Encodes the response payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the response payload directly into `buf` (the server's
+    /// zero-copy framing path).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.edges.len() as u32);
+        for &e in &self.edges {
+            buf.put_u32(e);
+        }
+        buf.put_f64(self.cost);
+        buf.put_f64(self.total_energy.value());
+        buf.put_f64(self.depart.value());
+        buf.put_f64(self.arrival.value());
+        buf.put_u32(self.window_violations);
+        buf.put_u32(self.stations.len() as u32);
+        for i in 0..self.stations.len() {
+            buf.put_f64(self.stations[i].value());
+            buf.put_f64(self.speeds[i].value());
+            buf.put_f64(self.times[i].value());
+        }
+    }
+
+    /// Decodes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] on truncation or implausible counts.
+    pub fn decode(buf: &mut Bytes) -> Result<Self> {
+        let n = bounded_count(buf, MAX_ROUTE_EDGES)?;
+        if n == 0 || n > buf.remaining() / 4 {
+            return Err(Error::protocol("implausible route edge count"));
+        }
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            edges.push(take_u32(buf)?);
+        }
+        let cost = take_f64(buf)?;
+        let total_energy = velopt_common::units::AmpereHours::new(take_f64(buf)?);
+        let depart = Seconds::new(take_f64(buf)?);
+        let arrival = Seconds::new(take_f64(buf)?);
+        let window_violations = take_u32(buf)?;
+        let samples = take_u32(buf)? as usize;
+        if samples == 0 || samples > buf.remaining() / 24 + 1 {
+            return Err(Error::protocol("implausible route sample count"));
+        }
+        let mut stations = Vec::with_capacity(samples);
+        let mut speeds = Vec::with_capacity(samples);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            stations.push(Meters::new(take_f64(buf)?));
+            speeds.push(MetersPerSecond::new(take_f64(buf)?));
+            times.push(Seconds::new(take_f64(buf)?));
+        }
+        Ok(Self {
+            edges,
+            cost,
+            total_energy,
+            depart,
+            arrival,
+            window_violations,
+            stations,
+            speeds,
+            times,
+        })
+    }
+}
+
 /// Encodes one complete frame (length prefix, tag, payload) in place at the
 /// end of `buf` — the reactor's zero-copy path. `fill` writes the payload
 /// directly into `buf` and the 4-byte big-endian length is patched in
@@ -1007,5 +1275,119 @@ mod tests {
         buf.put_u8(9); // unknown entry marker
         let mut bytes = buf.freeze();
         assert!(BatchPlanResponse::decode(&mut bytes).is_err());
+    }
+
+    fn demo_route_request() -> RouteNetRequest {
+        let template = CorridorTemplate {
+            length: (200.0, 400.0),
+            lights: (0, 1),
+            phase: (15.0, 25.0),
+            stop_sign_probability: 0.3,
+            max_grade_percent: 0.0,
+            limits_kmh: (30.0, 50.0),
+        };
+        let mut graph = RoadGraph::new(3).unwrap();
+        graph
+            .add_edge(NodeId(0), NodeId(1), template.generate(1).unwrap())
+            .unwrap();
+        graph
+            .add_edge(NodeId(1), NodeId(2), template.generate(2).unwrap())
+            .unwrap();
+        graph
+            .add_edge(NodeId(0), NodeId(2), template.generate(3).unwrap())
+            .unwrap();
+        RouteNetRequest::from_graph(&graph, NodeId(0), NodeId(2), Seconds::new(12.0))
+    }
+
+    #[test]
+    fn route_request_round_trip() {
+        let request = demo_route_request();
+        request.validated().unwrap();
+        let mut encoded = Bytes::from(request.encode().to_vec());
+        let decoded = RouteNetRequest::decode(&mut encoded).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(encoded.remaining(), 0, "payload fully consumed");
+        // The rebuilt graph matches the captured one edge-for-edge.
+        let graph = decoded.to_graph().unwrap();
+        assert_eq!(graph.node_count(), 3);
+        assert_eq!(graph.edge_count(), 3);
+        assert_eq!(graph.edge(EdgeId(1)).road(), &request.edges[1].2);
+    }
+
+    #[test]
+    fn route_request_validation_rejects_bad_shapes() {
+        let mut r = demo_route_request();
+        r.origin = 2;
+        assert!(r.validated().unwrap_err().to_string().contains("coincide"));
+        let mut r = demo_route_request();
+        r.dest = 9;
+        assert!(r.validated().is_err());
+        let mut r = demo_route_request();
+        r.nodes = 1;
+        assert!(r.validated().is_err()); // edge endpoints now out of range too
+        let mut r = demo_route_request();
+        r.depart = Seconds::new(-1.0);
+        assert!(r.validated().is_err());
+        let mut r = demo_route_request();
+        r.nodes = MAX_ROUTE_NODES as u32 + 1;
+        assert!(r.validated().unwrap_err().to_string().contains("junction"));
+    }
+
+    #[test]
+    fn route_response_round_trip() {
+        let response = RouteNetResponse {
+            edges: vec![0, 2, 5],
+            cost: 3.75,
+            total_energy: velopt_common::units::AmpereHours::new(0.42),
+            depart: Seconds::new(12.0),
+            arrival: Seconds::new(97.5),
+            window_violations: 1,
+            stations: vec![Meters::ZERO, Meters::new(150.0), Meters::new(300.0)],
+            speeds: vec![
+                MetersPerSecond::ZERO,
+                MetersPerSecond::new(9.5),
+                MetersPerSecond::ZERO,
+            ],
+            times: vec![Seconds::new(12.0), Seconds::new(40.0), Seconds::new(97.5)],
+        };
+        let mut encoded = Bytes::from(response.encode().to_vec());
+        let decoded = RouteNetResponse::decode(&mut encoded).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(encoded.remaining(), 0);
+        assert_eq!(decoded.edge_ids(), vec![EdgeId(0), EdgeId(2), EdgeId(5)]);
+    }
+
+    #[test]
+    fn hostile_route_counts_rejected() {
+        // Edge count past the ceiling.
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_u32(0);
+        buf.put_u32(2);
+        buf.put_f64(0.0);
+        buf.put_u32(1_000_000_000);
+        let mut bytes = buf.freeze();
+        assert!(RouteNetRequest::decode(&mut bytes).is_err());
+        // Response claiming more edges than the payload carries.
+        let mut buf = BytesMut::new();
+        buf.put_u32(10_000);
+        buf.put_u32(7);
+        let mut bytes = buf.freeze();
+        assert!(RouteNetResponse::decode(&mut bytes).is_err());
+        // Response claiming more samples than the payload carries.
+        let ok = RouteNetResponse {
+            edges: vec![0],
+            cost: 0.0,
+            total_energy: velopt_common::units::AmpereHours::new(0.0),
+            depart: Seconds::ZERO,
+            arrival: Seconds::ZERO,
+            window_violations: 0,
+            stations: vec![Meters::ZERO],
+            speeds: vec![MetersPerSecond::ZERO],
+            times: vec![Seconds::ZERO],
+        };
+        let full = ok.encode().to_vec();
+        let mut truncated = Bytes::from(full[..full.len() - 8].to_vec());
+        assert!(RouteNetResponse::decode(&mut truncated).is_err());
     }
 }

@@ -8,12 +8,12 @@
 
 use crate::protocol::{
     encode_frame_into, encode_profile, tags, BatchPlanRequest, BatchPlanResponse,
-    PredictBatchRequest, PredictBatchResponse, TripRequest,
+    PredictBatchRequest, PredictBatchResponse, RouteNetRequest, RouteNetResponse, TripRequest,
 };
 use crate::reactor::{Acceptor, BufferPool, FrameBuf, Job, Shard, ShardHandle, ShardMsg};
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use polling::{Poller, Waker};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -23,8 +23,10 @@ use std::thread::JoinHandle;
 use velopt_common::{Error, Result};
 use velopt_core::batch::PlanRequest;
 use velopt_core::dp::{DpConfig, DpOptimizer, SignalConstraint, StartState};
+use velopt_core::route::{RouteConfig, RouteMetrics, RouteQuery, Router};
 use velopt_core::windows::{green_only_constraints, queue_aware_constraints};
 use velopt_ev_energy::{EnergyModel, RegenPolicy, VehicleParams};
+use velopt_road::NodeId;
 use velopt_traffic::nn::SgdConfig;
 use velopt_traffic::{
     SaeConfig, SaePredictorConfig, VolumeGenerator, VolumePredictor, VolumeQuery,
@@ -44,6 +46,8 @@ pub struct FrameCounts {
     pub telemetry: u64,
     /// `REQ_PREDICT_BATCH` frames received.
     pub predicts: u64,
+    /// `REQ_ROUTE` frames received.
+    pub routes: u64,
     /// `REQ_HELLO` frames received.
     pub hello: u64,
     /// Frames carrying an unknown tag.
@@ -72,6 +76,16 @@ pub struct ServerStats {
     frames_unknown: AtomicU64,
     error_responses: AtomicU64,
     predict_frames: AtomicU64,
+    frames_route: AtomicU64,
+    routes_served: AtomicU64,
+    route_cache_hits: AtomicU64,
+    route_states_settled: AtomicU64,
+    route_edges_expanded: AtomicU64,
+    route_edges_pruned: AtomicU64,
+    route_oracle_calls: AtomicU64,
+    route_plan_memo_hits: AtomicU64,
+    route_lb_cache_hits: AtomicU64,
+    route_lb_cache_misses: AtomicU64,
     predictor_cache_hits: AtomicU64,
     predictor_trainings: AtomicU64,
     predictions: AtomicU64,
@@ -142,9 +156,58 @@ impl ServerStats {
             stats: self.frames_stats.load(Ordering::Relaxed),
             telemetry: self.frames_telemetry.load(Ordering::Relaxed),
             predicts: self.predict_frames.load(Ordering::Relaxed),
+            routes: self.frames_route.load(Ordering::Relaxed),
             hello: self.frames_hello.load(Ordering::Relaxed),
             unknown: self.frames_unknown.load(Ordering::Relaxed),
         }
+    }
+
+    /// Route queries answered with a plan so far.
+    pub fn routes(&self) -> u64 {
+        self.routes_served.load(Ordering::Relaxed)
+    }
+
+    /// How many of those came straight from the route-frame cache (no
+    /// search, no encode — the cached `RESP_ROUTE` bytes are cloned).
+    pub fn route_cache_hits(&self) -> u64 {
+        self.route_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated [`RouteMetrics`] counters over every fresh (non-cached)
+    /// route search: settled states, expanded/pruned edges, oracle calls,
+    /// and the plan-memo / lower-bound-cache hit counters. An operator
+    /// watching `oracle_calls` against `edges_expanded` spots a pruning or
+    /// memoization regression without attaching a profiler.
+    pub fn route_search(&self) -> RouteMetrics {
+        RouteMetrics {
+            states_settled: self.route_states_settled.load(Ordering::Relaxed),
+            edges_expanded: self.route_edges_expanded.load(Ordering::Relaxed),
+            edges_pruned: self.route_edges_pruned.load(Ordering::Relaxed),
+            oracle_calls: self.route_oracle_calls.load(Ordering::Relaxed),
+            plan_memo_hits: self.route_plan_memo_hits.load(Ordering::Relaxed),
+            lb_cache_hits: self.route_lb_cache_hits.load(Ordering::Relaxed),
+            lb_cache_misses: self.route_lb_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one fresh route search's counters into the aggregate. The
+    /// per-query `route.*` telemetry counters are published by the router
+    /// itself; this keeps the `REQ_STATS`-style aggregate in lockstep.
+    pub(crate) fn record_route(&self, metrics: &RouteMetrics) {
+        self.route_states_settled
+            .fetch_add(metrics.states_settled, Ordering::Relaxed);
+        self.route_edges_expanded
+            .fetch_add(metrics.edges_expanded, Ordering::Relaxed);
+        self.route_edges_pruned
+            .fetch_add(metrics.edges_pruned, Ordering::Relaxed);
+        self.route_oracle_calls
+            .fetch_add(metrics.oracle_calls, Ordering::Relaxed);
+        self.route_plan_memo_hits
+            .fetch_add(metrics.plan_memo_hits, Ordering::Relaxed);
+        self.route_lb_cache_hits
+            .fetch_add(metrics.lb_cache_hits, Ordering::Relaxed);
+        self.route_lb_cache_misses
+            .fetch_add(metrics.lb_cache_misses, Ordering::Relaxed);
     }
 
     /// Trips that piggybacked on an identical in-flight request in the
@@ -242,6 +305,10 @@ impl ServerStats {
                 // `predict_frames` itself is counted in
                 // `handle_predict_batch` (unit tests call it directly).
                 telemetry::add("cloud.req.predict_batch", 1);
+            }
+            tags::REQ_ROUTE => {
+                self.frames_route.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("cloud.req.route", 1);
             }
             tags::REQ_HELLO => {
                 self.frames_hello.fetch_add(1, Ordering::Relaxed);
@@ -396,6 +463,31 @@ pub(crate) struct CachedPlan {
 
 pub(crate) type PlanCache = RwLock<HashMap<Vec<u8>, CachedPlan>>;
 
+/// The shared routing tier. One process-wide [`Router`] serves every
+/// `REQ_ROUTE`: its edge-plan memo and certified lower-bound cache are
+/// keyed on `(corridor signature, departure bin)`, so two fleet queries
+/// that share a corridor class share its solved plans even across
+/// different graphs. On top of that sits a byte-keyed frame cache
+/// mirroring the trip [`PlanCache`]: a repeat query (identical request
+/// bytes) is answered by cloning the cached `RESP_ROUTE` frame — no
+/// search, no encode.
+pub(crate) struct RouteService {
+    /// The router, serialized behind a mutex: route searches share warm
+    /// caches rather than racing cold ones, and the per-edge DP solves
+    /// inside one search already fan out over the compute cores.
+    router: Mutex<Router>,
+    frames: RwLock<HashMap<Vec<u8>, Bytes>>,
+}
+
+impl RouteService {
+    pub(crate) fn new() -> Result<Self> {
+        Ok(Self {
+            router: Mutex::new(Router::new(corridor_optimizer()?, RouteConfig::default())?),
+            frames: RwLock::new(HashMap::new()),
+        })
+    }
+}
+
 /// Trained volume predictors keyed by `(station seed, train weeks, lags)`.
 /// Training an SAE is orders of magnitude more expensive than querying it,
 /// so every connection shares one cache of [`Arc`]ed predictors and the
@@ -515,6 +607,7 @@ impl CloudServer {
         let stop = Arc::new(AtomicBool::new(false));
         let cache: Arc<PlanCache> = Arc::new(RwLock::new(HashMap::new()));
         let predictors: Arc<PredictorCache> = Arc::new(RwLock::new(HashMap::new()));
+        let routes = Arc::new(RouteService::new()?);
 
         // Compute-pool channel: shards produce decoded frames, workers
         // consume them. Unbounded so a shard thread can never block on
@@ -601,9 +694,18 @@ impl CloudServer {
                 let stats = Arc::clone(&stats);
                 let cache = Arc::clone(&cache);
                 let predictors = Arc::clone(&predictors);
+                let routes = Arc::clone(&routes);
                 let coalescer = coalescer.clone();
                 std::thread::spawn(move || {
-                    run_worker(jobs, &handles, &stats, &cache, &predictors, coalescer)
+                    run_worker(
+                        jobs,
+                        &handles,
+                        &stats,
+                        &cache,
+                        &predictors,
+                        &routes,
+                        coalescer,
+                    )
                 })
             })
             .collect();
@@ -709,12 +811,14 @@ impl AsRawFdCompat for TcpListener {
 
 /// Compute-worker body: take a decoded frame, produce its encoded response
 /// frame, hand it back to the owning shard.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     jobs: Receiver<Job>,
     shards: &[ShardHandle],
     stats: &ServerStats,
     cache: &PlanCache,
     predictors: &PredictorCache,
+    routes: &RouteService,
     coalescer: Option<Arc<crate::coalesce::Coalescer>>,
 ) {
     while let Ok(job) = jobs.recv() {
@@ -729,7 +833,15 @@ fn run_worker(
         }
         let shard = &shards[job.shard];
         let request_span = telemetry::span("cloud.request_seconds");
-        let frame = respond(job.tag, job.payload, stats, cache, predictors, &shard.pool);
+        let frame = respond(
+            job.tag,
+            job.payload,
+            stats,
+            cache,
+            predictors,
+            routes,
+            &shard.pool,
+        );
         drop(request_span);
         let delivered = shard
             .tx
@@ -755,6 +867,7 @@ fn respond(
     stats: &ServerStats,
     cache: &PlanCache,
     predictors: &PredictorCache,
+    routes: &RouteService,
     pool: &BufferPool,
 ) -> FrameBuf {
     match tag {
@@ -762,6 +875,13 @@ fn respond(
             let key = payload.to_vec();
             match handle_trip(&mut payload, &key, stats, cache) {
                 Ok(plan) => FrameBuf::Shared(plan.frame),
+                Err(e) => error_frame(stats, pool, &e.to_string()),
+            }
+        }
+        tags::REQ_ROUTE => {
+            let key = payload.to_vec();
+            match handle_route(&mut payload, &key, stats, routes) {
+                Ok(frame) => FrameBuf::Shared(frame),
                 Err(e) => error_frame(stats, pool, &e.to_string()),
             }
         }
@@ -886,6 +1006,47 @@ fn handle_trip(
     cache.write().insert(key.to_vec(), plan.clone());
     stats.served.fetch_add(1, Ordering::Relaxed);
     Ok(plan)
+}
+
+/// Answers one `REQ_ROUTE`. Repeat queries (byte-identical requests) are
+/// served by cloning the cached `RESP_ROUTE` frame; fresh queries rebuild
+/// the graph, run the A* search on the shared router — whose edge-plan
+/// memo and lower-bound cache persist across every query the server has
+/// seen — and join the frame cache on the way out.
+fn handle_route(
+    payload: &mut Bytes,
+    key: &[u8],
+    stats: &ServerStats,
+    routes: &RouteService,
+) -> Result<Bytes> {
+    if let Some(hit) = routes.frames.read().get(key) {
+        stats.routes_served.fetch_add(1, Ordering::Relaxed);
+        stats.route_cache_hits.fetch_add(1, Ordering::Relaxed);
+        telemetry::add("cloud.route.cache_hits", 1);
+        return Ok(hit.clone());
+    }
+    let decode_span = telemetry::span("cloud.decode_seconds");
+    let request = RouteNetRequest::decode(payload)?;
+    drop(decode_span);
+    let graph = request.to_graph()?;
+    let query = RouteQuery {
+        origin: NodeId(request.origin),
+        dest: NodeId(request.dest),
+        depart: request.depart,
+    };
+    let plan_span = telemetry::span("cloud.route_seconds");
+    let plan = routes.router.lock().plan(&graph, query)?;
+    drop(plan_span);
+    stats.record_route(&plan.metrics);
+    let response = RouteNetResponse::from_plan(&plan);
+    let encode_span = telemetry::span("cloud.encode_seconds");
+    let mut buf = BytesMut::new();
+    encode_frame_into(&mut buf, tags::RESP_ROUTE, |b| response.encode_into(b));
+    drop(encode_span);
+    let frame = buf.freeze();
+    routes.frames.write().insert(key.to_vec(), frame.clone());
+    stats.routes_served.fetch_add(1, Ordering::Relaxed);
+    Ok(frame)
 }
 
 /// Plans a whole batch in one go: cached trips are answered immediately,
@@ -1274,5 +1435,117 @@ mod tests {
         for (single, batched) in singles.iter().zip(&response.results) {
             assert_eq!(batched.as_ref().unwrap(), &single.profile);
         }
+    }
+
+    /// A 3-junction diamond whose corridors come from a small class pool,
+    /// so distinct edges share plans through the router's memo.
+    fn demo_route_graph(extra_nodes: usize) -> velopt_road::RoadGraph {
+        use velopt_road::CorridorTemplate;
+        let template = CorridorTemplate {
+            length: (200.0, 400.0),
+            lights: (0, 1),
+            phase: (15.0, 25.0),
+            stop_sign_probability: 0.3,
+            max_grade_percent: 0.0,
+            limits_kmh: (30.0, 50.0),
+        };
+        let mut graph = velopt_road::RoadGraph::new(3 + extra_nodes).unwrap();
+        graph
+            .add_edge(NodeId(0), NodeId(1), template.generate(1).unwrap())
+            .unwrap();
+        graph
+            .add_edge(NodeId(1), NodeId(2), template.generate(2).unwrap())
+            .unwrap();
+        graph
+            .add_edge(NodeId(0), NodeId(2), template.generate(3).unwrap())
+            .unwrap();
+        graph
+    }
+
+    #[test]
+    fn route_handler_caches_by_request_bytes() {
+        use velopt_common::units::Seconds;
+        let stats = ServerStats::default();
+        let routes = RouteService::new().unwrap();
+        let request = RouteNetRequest::from_graph(
+            &demo_route_graph(0),
+            NodeId(0),
+            NodeId(2),
+            Seconds::new(10.0),
+        );
+        let encoded = request.encode();
+        let key = encoded.to_vec();
+
+        let first = handle_route(&mut encoded.clone(), &key, &stats, &routes).unwrap();
+        assert_eq!(stats.routes(), 1);
+        assert_eq!(stats.route_cache_hits(), 0);
+        let fresh = stats.route_search();
+        assert!(fresh.oracle_calls > 0);
+        assert!(fresh.states_settled > 0);
+
+        // The frame is the wire encoding: header, RESP_ROUTE tag, payload.
+        assert_eq!(first[4], tags::RESP_ROUTE);
+        let mut payload = Bytes::copy_from_slice(&first[5..]);
+        let response = RouteNetResponse::decode(&mut payload).unwrap();
+        assert!(!response.edges.is_empty());
+        assert_eq!(response.depart, Seconds::new(10.0));
+        assert!(response.arrival > response.depart);
+        assert!(response
+            .times
+            .windows(2)
+            .all(|w| w[1].value() >= w[0].value()));
+
+        // The repeat query clones the cached frame: no search ran.
+        let second = handle_route(&mut encoded.clone(), &key, &stats, &routes).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(stats.routes(), 2);
+        assert_eq!(stats.route_cache_hits(), 1);
+        assert_eq!(stats.route_search(), fresh);
+    }
+
+    #[test]
+    fn shared_router_memoizes_edge_plans_across_requests() {
+        use velopt_common::units::Seconds;
+        let stats = ServerStats::default();
+        let routes = RouteService::new().unwrap();
+        let depart = Seconds::new(10.0);
+        let warm = RouteNetRequest::from_graph(&demo_route_graph(0), NodeId(0), NodeId(2), depart);
+        let encoded = warm.encode();
+        handle_route(&mut encoded.clone(), &encoded.to_vec(), &stats, &routes).unwrap();
+        let after_warm = stats.route_search();
+        assert!(after_warm.oracle_calls > 0);
+
+        // Same corridors, same query, but one extra (isolated) junction:
+        // byte-different request, so the frame cache misses and the search
+        // re-runs — yet every edge plan comes from the shared memo, so not
+        // a single new oracle call is spent.
+        let padded =
+            RouteNetRequest::from_graph(&demo_route_graph(1), NodeId(0), NodeId(2), depart);
+        let encoded = padded.encode();
+        handle_route(&mut encoded.clone(), &encoded.to_vec(), &stats, &routes).unwrap();
+        assert_eq!(stats.route_cache_hits(), 0, "distinct bytes, fresh search");
+        let after_padded = stats.route_search();
+        assert_eq!(after_padded.oracle_calls, after_warm.oracle_calls);
+        assert!(after_padded.plan_memo_hits > after_warm.plan_memo_hits);
+    }
+
+    #[test]
+    fn route_handler_rejects_malformed_queries() {
+        use velopt_common::units::Seconds;
+        let stats = ServerStats::default();
+        let routes = RouteService::new().unwrap();
+        let mut request = RouteNetRequest::from_graph(
+            &demo_route_graph(0),
+            NodeId(0),
+            NodeId(2),
+            Seconds::new(0.0),
+        );
+        request.dest = 0; // origin == dest
+        let encoded = request.encode();
+        let err =
+            handle_route(&mut encoded.clone(), &encoded.to_vec(), &stats, &routes).unwrap_err();
+        assert!(err.to_string().contains("coincide"), "{err}");
+        assert_eq!(stats.routes(), 0);
+        assert!(routes.frames.read().is_empty(), "errors are not cached");
     }
 }

@@ -49,16 +49,44 @@ impl DpOptimizer {
     /// order. Individual infeasible trips surface as `Err` entries without
     /// failing the rest of the batch.
     pub fn optimize_batch(&self, requests: &[PlanRequest<'_>]) -> Vec<Result<OptimizedProfile>> {
+        let threads = par::effective_threads(self.config().threads).min(requests.len().max(1));
+        let mut arenas: Vec<SolverArena> = (0..threads).map(|_| SolverArena::new()).collect();
+        self.optimize_batch_with(requests, &mut arenas)
+    }
+
+    /// Like [`DpOptimizer::optimize_batch`], but reusing caller-owned
+    /// arenas so warm layer buffers and transition-cost memos survive
+    /// *across* batches — the router's batched frontier flushes many small
+    /// batches and would otherwise rebuild every cost table each flush.
+    ///
+    /// Up to `arenas.len()` workers run; worker `w` owns `arenas[w]` and
+    /// plans requests `w, w + workers, …`, so with a fixed arena count the
+    /// request → arena assignment (and therefore every profile) is
+    /// deterministic.
+    pub fn optimize_batch_with(
+        &self,
+        requests: &[PlanRequest<'_>],
+        arenas: &mut [SolverArena],
+    ) -> Vec<Result<OptimizedProfile>> {
         let _batch_span = telemetry::span("dp.batch_seconds");
         telemetry::add("dp.batch.calls", 1);
         telemetry::add("dp.batch.trips", requests.len() as u64);
-        let threads = par::effective_threads(self.config().threads).min(requests.len().max(1));
+        let threads = par::effective_threads(self.config().threads)
+            .min(requests.len().max(1))
+            .min(arenas.len().max(1));
         let solo = self.single_threaded();
         if threads <= 1 || requests.len() <= 1 {
-            let mut arena = SolverArena::new();
+            let mut fallback;
+            let arena = match arenas.first_mut() {
+                Some(a) => a,
+                None => {
+                    fallback = SolverArena::new();
+                    &mut fallback
+                }
+            };
             return requests
                 .iter()
-                .map(|r| solo.optimize_from_with(r.road, r.signals, r.start, &mut arena))
+                .map(|r| solo.optimize_from_with(r.road, r.signals, r.start, arena))
                 .collect();
         }
 
@@ -68,10 +96,11 @@ impl DpOptimizer {
             (0..requests.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let solo = &solo;
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
+            let handles: Vec<_> = arenas[..threads]
+                .iter_mut()
+                .enumerate()
+                .map(|(w, arena)| {
                     scope.spawn(move || {
-                        let mut arena = SolverArena::new();
                         requests
                             .iter()
                             .enumerate()
@@ -80,7 +109,7 @@ impl DpOptimizer {
                             .map(|(i, r)| {
                                 (
                                     i,
-                                    solo.optimize_from_with(r.road, r.signals, r.start, &mut arena),
+                                    solo.optimize_from_with(r.road, r.signals, r.start, arena),
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -222,6 +251,43 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(optimizer(0).optimize_batch(&[]).is_empty());
+        assert!(optimizer(0).optimize_batch_with(&[], &mut []).is_empty());
+    }
+
+    #[test]
+    fn batch_with_keeps_arenas_warm_across_calls() {
+        let road = simple_road(700.0);
+        let opt = optimizer(1);
+        let requests = [PlanRequest::fresh(&road, &[])];
+        let mut arenas = vec![SolverArena::new()];
+        let first = opt.optimize_batch_with(&requests, &mut arenas);
+        let second = opt.optimize_batch_with(&requests, &mut arenas);
+        let p = second[0].as_ref().unwrap();
+        // The second call reuses the first call's layers and memo tables.
+        assert_eq!(p.metrics.arena_allocations, 0);
+        assert_eq!(p.metrics.memo_misses, 0);
+        assert_eq!(p.metrics.energy_evals, 0);
+        // ...and stays bit-identical to the cold-arena plan.
+        assert_eq!(p, first[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn batch_with_matches_batch() {
+        let roads: Vec<_> = [600.0, 900.0, 1100.0]
+            .iter()
+            .map(|&l| simple_road(l))
+            .collect();
+        let requests: Vec<PlanRequest<'_>> = roads
+            .iter()
+            .map(|road| PlanRequest::fresh(road, &[]))
+            .collect();
+        let opt = optimizer(2);
+        let plain = opt.optimize_batch(&requests);
+        let mut arenas = vec![SolverArena::new(), SolverArena::new()];
+        let with = opt.optimize_batch_with(&requests, &mut arenas);
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
     }
 
     #[test]

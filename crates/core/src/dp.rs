@@ -166,7 +166,7 @@ pub struct DpConfig {
     pub memo: bool,
     /// Whether the relax loops may use the AVX2 microkernels when the host
     /// supports them (default `true`). The portable fallback is
-    /// bit-identical (see [`crate::simd`]), so this — like the
+    /// bit-identical (see the crate-private `simd` module), so this — like the
     /// `VELOPT_DP_SIMD` env override that also forces the portable path —
     /// is purely an A/B benchmarking and CI-coverage knob.
     #[serde(default = "default_simd")]
@@ -391,6 +391,29 @@ fn nearest_index(stations: &[Meters], x: Meters) -> usize {
         hi
     } else {
         lo
+    }
+}
+
+/// Certified lower bounds on a full corridor traversal, from
+/// [`DpOptimizer::edge_bound`]. Both floors are admissible for any
+/// departure time and signal windows: no feasible profile over the
+/// corridor can consume less charge or arrive sooner. Infinite floors mean
+/// no table-admissible speed chain exists at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeBound {
+    /// Floor on the battery charge consumed (can be negative on net
+    /// regenerative corridors).
+    pub energy_floor: AmpereHours,
+    /// Floor on the traversal duration, including mandatory stop dwells.
+    pub duration_floor: Seconds,
+}
+
+impl EdgeBound {
+    /// The floor on the solver's blended objective
+    /// `charge + time_weight · duration` (window penalties are bounded
+    /// below by zero and excluded).
+    pub fn cost_floor(&self, time_weight: f64) -> f64 {
+        self.energy_floor.value() + time_weight * self.duration_floor.value()
     }
 }
 
@@ -1324,6 +1347,105 @@ impl DpOptimizer {
             Err(_) => telemetry::add("dp.failed_solves", 1),
         }
         result
+    }
+
+    /// Certified lower bounds on any full traversal of `road` from the
+    /// origin at rest: a floor on the battery charge and a floor on the
+    /// travel duration (including mandatory stop dwells), without running
+    /// the full time-expanded DP.
+    ///
+    /// The energy floor is the solver's `emin` cost-to-go evaluated at the
+    /// start state — the minimum charge over every chain of
+    /// table-admissible transitions, a superset of the
+    /// acceleration-feasible paths, so no real profile can consume less.
+    /// The duration floor sums each segment's minimum table duration plus
+    /// the interior stop dwells; window penalties are bounded below by
+    /// zero. Both floors therefore stay admissible for *any* departure
+    /// time and any signal windows, which is what lets the router prune
+    /// with them before committing to a full solve (see
+    /// [`crate::route`]).
+    ///
+    /// Cost: one V×V table per distinct segment class — resolved from the
+    /// arena's transition memo, so bounding many edges that share corridor
+    /// classes builds each table once — plus two `O(stations · V²)`
+    /// sweeps. No layer buffers are touched; the arena's retained repair
+    /// state survives.
+    ///
+    /// An edge with no table-admissible chain (e.g. a corridor whose
+    /// limits make every transition infeasible) reports infinite floors
+    /// rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the corridor itself is
+    /// degenerate (same validation as [`optimize`](Self::optimize)).
+    pub fn edge_bound_with(&self, road: &Road, arena: &mut SolverArena) -> Result<EdgeBound> {
+        let setup_started = Instant::now();
+        let prep = self.prepare(road, &[], StartState::default())?;
+        let (owned_tables, memo_ids, _metrics) =
+            self.resolve_tables(&prep, &mut arena.transitions, setup_started);
+        let tables: Vec<&CostTable> = if self.config.memo {
+            memo_ids
+                .iter()
+                .map(|&id| arena.transitions.table(id))
+                .collect()
+        } else {
+            owned_tables.iter().collect()
+        };
+        let n_stations = prep.stations.len();
+        let n_speeds = prep.n_speeds;
+
+        // Energy-only cost-to-go, exactly as `window_bounds` computes it —
+        // the profile must terminate at rest (`v = 0`).
+        let mut emin_next = vec![f64::INFINITY; n_speeds];
+        let mut emin_here = vec![f64::INFINITY; n_speeds];
+        emin_next[0] = 0.0;
+        for i in (0..n_stations - 1).rev() {
+            let table = tables[i];
+            for (vi, slot) in emin_here.iter_mut().enumerate() {
+                let mut best = f64::INFINITY;
+                for (vj, &e) in emin_next.iter().enumerate() {
+                    if !e.is_finite() {
+                        continue;
+                    }
+                    if let Some((charge, _)) = table.get(vi, vj) {
+                        best = best.min(charge + e);
+                    }
+                }
+                *slot = best;
+            }
+            std::mem::swap(&mut emin_next, &mut emin_here);
+        }
+        let energy_floor = emin_next[prep.start_vi];
+
+        // Minimum traversal duration: per-segment duration envelope over
+        // every admitted transition, plus interior stop dwells.
+        let mut duration_floor: f64 = prep.dwell.iter().sum();
+        for table in &tables {
+            let mut dmin = f64::INFINITY;
+            for v in 0..n_speeds {
+                for u in 0..n_speeds {
+                    if let Some((_, dur)) = table.get(v, u) {
+                        dmin = dmin.min(dur);
+                    }
+                }
+            }
+            duration_floor += dmin;
+        }
+        Ok(EdgeBound {
+            energy_floor: AmpereHours::new(energy_floor),
+            duration_floor: Seconds::new(duration_floor),
+        })
+    }
+
+    /// [`edge_bound_with`](Self::edge_bound_with) with a throwaway arena.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`edge_bound_with`](Self::edge_bound_with).
+    pub fn edge_bound(&self, road: &Road) -> Result<EdgeBound> {
+        let mut arena = SolverArena::new();
+        self.edge_bound_with(road, &mut arena)
     }
 
     /// Exact-mode refresh dispatch: try, in order, a zero-diff cache hit,

@@ -59,6 +59,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod profiles;
 pub mod replan;
+pub mod route;
 pub(crate) mod simd;
 pub mod windows;
 
@@ -71,7 +72,7 @@ pub use analysis::{ProfileMetrics, TripComparison};
 pub use arena::{LayerPool, LeaseStats};
 pub use batch::PlanRequest;
 pub use dp::{
-    DpConfig, DpOptimizer, OptimizedProfile, SignalConstraint, SolverArena, StartState,
+    DpConfig, DpOptimizer, EdgeBound, OptimizedProfile, SignalConstraint, SolverArena, StartState,
     TimeHandling,
 };
 pub use memo::{ClassKey, CostTable, MemoStats, TransitionTable};
@@ -79,3 +80,4 @@ pub use metrics::SolverMetrics;
 pub use pipeline::{SystemConfig, VelocityOptimizationSystem};
 pub use profiles::{DriverProfile, DrivingStyle};
 pub use replan::{ReplanConfig, Replanner};
+pub use route::{RouteConfig, RouteMetrics, RoutePlan, RouteQuery, Router};

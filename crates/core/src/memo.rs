@@ -90,7 +90,7 @@ impl ClassKey {
 /// Alongside the option-typed entries the table keeps a structure-of-arrays
 /// mirror — one contiguous charge row and one duration row per source
 /// speed, with `NaN` marking infeasible targets — so the SIMD relax
-/// kernels ([`crate::simd`]) can stream a whole target-speed band with
+/// kernels (the crate-private `simd` module) can stream a whole target-speed band with
 /// unit-stride loads instead of unpacking an `Option<(f64, f64)>` per
 /// candidate. Both views are filled from the same grid evaluation, so
 /// they can never disagree.

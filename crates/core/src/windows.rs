@@ -94,15 +94,20 @@ pub fn queue_aware_constraints(
 /// assert_eq!(constraints[0].windows[0].start, Seconds::new(12.0));
 /// ```
 pub fn green_only_constraints(road: &Road, horizon: Seconds) -> Vec<SignalConstraint> {
+    // One scratch buffer shared across lights: `green_windows_into` keeps
+    // the steady-state replanning path free of per-light allocations.
+    let mut scratch = Vec::new();
     road.traffic_lights()
         .iter()
-        .map(|light| SignalConstraint {
-            position: light.position(),
-            windows: light
-                .green_windows(Seconds::ZERO, horizon)
-                .into_iter()
-                .map(|(start, end)| TimeWindow { start, end })
-                .collect(),
+        .map(|light| {
+            light.green_windows_into(Seconds::ZERO, horizon, &mut scratch);
+            SignalConstraint {
+                position: light.position(),
+                windows: scratch
+                    .iter()
+                    .map(|&(start, end)| TimeWindow { start, end })
+                    .collect(),
+            }
         })
         .collect()
 }

@@ -99,7 +99,8 @@ impl RoadBuilder {
     ///
     /// Returns [`Error::InvalidInput`] if the length is non-positive, any
     /// feature lies outside the corridor, speed zones overlap, default
-    /// limits are inverted, or grade knots are not strictly increasing.
+    /// limits are inverted, grade knots are not strictly increasing, or a
+    /// grade knot lies outside `[0, length]`.
     pub fn build(&self) -> Result<Road> {
         if self.length.value() <= 0.0 {
             return Err(Error::invalid_input("road length must be positive"));
@@ -152,6 +153,18 @@ impl RoadBuilder {
         }
         lights.sort_by(|a, b| a.position().value().total_cmp(&b.position().value()));
 
+        // A knot computed as `length * i / n` can land an ulp past the
+        // endpoint; tolerate rounding noise, reject genuine out-of-range
+        // positions.
+        let tol = 1e-9 * self.length.value().max(1.0);
+        for &(x, _) in &self.grade_knots {
+            if x < -tol || x > self.length.value() + tol {
+                return Err(Error::invalid_input(format!(
+                    "grade knot at {x} m lies outside the corridor [0, {}]",
+                    self.length.value()
+                )));
+            }
+        }
         let grade_percent = if self.grade_knots.is_empty() {
             PiecewiseLinear::constant(0.0)
         } else {
@@ -283,6 +296,26 @@ mod tests {
         b.stop_sign(Meters::new(9999.0));
         let err = b.build().unwrap_err().to_string();
         assert!(err.contains("64 stop signs"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn rejects_grade_knots_outside_corridor() {
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.grade_knot(Meters::ZERO, 0.0);
+        b.grade_knot(Meters::new(150.0), 2.0);
+        let err = b.build().unwrap_err().to_string();
+        assert!(err.contains("grade knot"), "unexpected error: {err}");
+
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.grade_knot(Meters::new(-10.0), 1.0);
+        b.grade_knot(Meters::new(100.0), 0.0);
+        assert!(b.build().is_err());
+
+        // Knots exactly at the endpoints are fine.
+        let mut b = RoadBuilder::new(Meters::new(100.0));
+        b.grade_knot(Meters::ZERO, 0.0);
+        b.grade_knot(Meters::new(100.0), 3.0);
+        assert!(b.build().is_ok());
     }
 
     #[test]

@@ -186,6 +186,108 @@ mod tests {
         assert_ne!(a, c);
     }
 
+    /// Every `f64` reachable through the public accessors, as raw bits, so
+    /// equality means bit-identical rather than merely `==` (which would
+    /// conflate `0.0` and `-0.0`).
+    fn road_bits(road: &Road) -> Vec<u64> {
+        let mut bits = vec![road.length().value().to_bits()];
+        for z in road.speed_zones() {
+            bits.extend([
+                z.start.value().to_bits(),
+                z.end.value().to_bits(),
+                z.min.value().to_bits(),
+                z.max.value().to_bits(),
+            ]);
+        }
+        for s in road.stop_signs() {
+            bits.push(s.position.value().to_bits());
+        }
+        for l in road.traffic_lights() {
+            bits.extend([
+                l.position().value().to_bits(),
+                l.red().value().to_bits(),
+                l.green().value().to_bits(),
+                l.offset().value().to_bits(),
+            ]);
+        }
+        let step = road.length().value() / 64.0;
+        for k in 0..=64 {
+            bits.push(
+                road.grade_at(Meters::new(k as f64 * step))
+                    .value()
+                    .to_bits(),
+            );
+        }
+        bits
+    }
+
+    #[test]
+    fn generation_is_bit_identical_across_threads() {
+        let t = CorridorTemplate::default();
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            let reference = road_bits(&t.generate(seed).unwrap());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| scope.spawn(|| t.generate(seed).unwrap()))
+                    .collect();
+                for h in handles {
+                    let road = h.join().unwrap();
+                    assert_eq!(
+                        road_bits(&road),
+                        reference,
+                        "seed {seed} diverged across threads"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn zero_light_template_generates() {
+        let t = CorridorTemplate {
+            lights: (0, 0),
+            stop_sign_probability: 0.0,
+            ..CorridorTemplate::default()
+        };
+        for seed in 0..8 {
+            let road = t.generate(seed).unwrap();
+            assert!(road.traffic_lights().is_empty());
+            assert!(road.stop_signs().is_empty());
+        }
+    }
+
+    #[test]
+    fn certain_stop_sign_template_generates() {
+        let t = CorridorTemplate {
+            stop_sign_probability: 1.0,
+            ..CorridorTemplate::default()
+        };
+        for seed in 0..8 {
+            let road = t.generate(seed).unwrap();
+            assert_eq!(road.stop_signs().len(), 1);
+            let pos = road.stop_signs()[0].position;
+            assert!(pos.value() > 0.0 && pos < road.length());
+        }
+    }
+
+    #[test]
+    fn short_corridor_template_generates() {
+        // The router proptests draw tiny corridors; make sure the generator
+        // stays valid down at the scale they use.
+        let t = CorridorTemplate {
+            length: (60.0, 160.0),
+            lights: (0, 1),
+            phase: (10.0, 20.0),
+            stop_sign_probability: 0.5,
+            max_grade_percent: 3.0,
+            limits_kmh: (30.0, 50.0),
+        };
+        for seed in 0..32 {
+            let road = t.generate(seed).unwrap();
+            assert!(road.length().value() >= 60.0);
+        }
+    }
+
     #[test]
     fn generated_roads_respect_template_bounds() {
         let t = CorridorTemplate::default();

@@ -1,0 +1,358 @@
+//! Directed road graph of junctions and arterial edges.
+//!
+//! The paper plans a velocity profile over one fixed corridor; the routing
+//! layer (see `velopt-core::route`) chooses *which* corridors to drive. A
+//! [`RoadGraph`] is a set of junction nodes connected by directed edges,
+//! each carrying a full [`Road`] corridor (grades, speed zones, signals), so
+//! the DP velocity optimizer can price any edge exactly. A seeded
+//! [`NetworkTemplate`] generates grid-shaped arterial networks whose edges
+//! are drawn from a small pool of corridor classes — deliberately so, since
+//! routes sharing segment classes reuse memoized plans and transition
+//! tables.
+
+use crate::generator::CorridorTemplate;
+use crate::segment::Road;
+use serde::{Deserialize, Serialize};
+use velopt_common::rng::SplitMix64;
+use velopt_common::{Error, Result};
+
+/// Identifies a junction in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into the graph's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a directed edge in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge's index into the graph's edge table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed arterial edge: a full corridor from one junction to another.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoadEdge {
+    from: NodeId,
+    to: NodeId,
+    road: Road,
+}
+
+impl RoadEdge {
+    /// Junction the edge leaves.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Junction the edge enters.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The corridor driven along this edge.
+    pub fn road(&self) -> &Road {
+        &self.road
+    }
+}
+
+/// A directed road graph: junctions plus corridor-carrying edges.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> velopt_common::Result<()> {
+/// use velopt_road::{NodeId, Road, RoadGraph};
+///
+/// let mut g = RoadGraph::new(2)?;
+/// let e = g.add_edge(NodeId(0), NodeId(1), Road::us25())?;
+/// assert_eq!(g.out_edges(NodeId(0)), &[e]);
+/// assert_eq!(g.edge(e).road().length(), Road::us25().length());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RoadGraph {
+    n_nodes: usize,
+    edges: Vec<RoadEdge>,
+    /// Out-adjacency: `out[node] = edge ids leaving node`, in insertion order.
+    out: Vec<Vec<EdgeId>>,
+}
+
+impl RoadGraph {
+    /// Creates an empty graph with `n_nodes` junctions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `n_nodes` is zero or exceeds
+    /// `u32::MAX`.
+    pub fn new(n_nodes: usize) -> Result<Self> {
+        if n_nodes == 0 {
+            return Err(Error::invalid_input("a road graph needs at least one node"));
+        }
+        if n_nodes > u32::MAX as usize {
+            return Err(Error::invalid_input("node count exceeds u32 id space"));
+        }
+        Ok(Self {
+            n_nodes,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n_nodes],
+        })
+    }
+
+    /// Adds a directed edge carrying `road` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if either endpoint is out of range or
+    /// the edge is a self-loop (a corridor must connect distinct junctions).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, road: Road) -> Result<EdgeId> {
+        if from.index() >= self.n_nodes || to.index() >= self.n_nodes {
+            return Err(Error::invalid_input(format!(
+                "edge endpoint out of range: {} -> {} with {} nodes",
+                from.0, to.0, self.n_nodes
+            )));
+        }
+        if from == to {
+            return Err(Error::invalid_input("self-loop edges are not allowed"));
+        }
+        if self.edges.len() >= u32::MAX as usize {
+            return Err(Error::invalid_input("edge count exceeds u32 id space"));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(RoadEdge { from, to, road });
+        self.out[from.index()].push(id);
+        Ok(id)
+    }
+
+    /// Number of junctions.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids come from this graph's
+    /// [`RoadGraph::add_edge`], so a miss is a logic error).
+    pub fn edge(&self, id: EdgeId) -> &RoadEdge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[RoadEdge] {
+        &self.edges
+    }
+
+    /// Ids of the edges leaving `node`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out[node.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes as u32).map(NodeId)
+    }
+}
+
+/// Seeded generator for grid-shaped arterial networks.
+///
+/// Junctions form a `rows × cols` grid; every pair of grid-adjacent
+/// junctions is connected by one directed edge in each direction. Edge
+/// corridors are drawn from a pool of `corridor_pool` pre-generated roads so
+/// that many edges share a corridor class — the sharing the router's plan
+/// memo and transition-table reuse are built to exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTemplate {
+    /// Grid rows (≥ 1).
+    pub rows: usize,
+    /// Grid columns (≥ 1; `rows × cols ≥ 2`).
+    pub cols: usize,
+    /// Distribution the corridor pool is drawn from.
+    pub corridor: CorridorTemplate,
+    /// Number of distinct corridors in the pool (≥ 1).
+    pub corridor_pool: usize,
+}
+
+impl Default for NetworkTemplate {
+    fn default() -> Self {
+        Self {
+            rows: 3,
+            cols: 3,
+            corridor: CorridorTemplate::default(),
+            corridor_pool: 4,
+        }
+    }
+}
+
+impl NetworkTemplate {
+    /// Validates the template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] on a degenerate grid, an empty
+    /// corridor pool, or an invalid corridor distribution.
+    pub fn validated(self) -> Result<Self> {
+        if self.rows == 0 || self.cols == 0 || self.rows * self.cols < 2 {
+            return Err(Error::invalid_input(
+                "network grid needs at least two junctions",
+            ));
+        }
+        if self.corridor_pool == 0 {
+            return Err(Error::invalid_input("corridor pool must be non-empty"));
+        }
+        self.corridor.validated()?;
+        Ok(self)
+    }
+
+    /// The node id of the junction at `(row, col)`.
+    pub fn node_at(&self, row: usize, col: usize) -> NodeId {
+        NodeId((row * self.cols + col) as u32)
+    }
+
+    /// Generates one network from the template with the given seed.
+    ///
+    /// Deterministic: the same seed yields a bit-identical graph regardless
+    /// of call site or thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the template is invalid.
+    pub fn generate(&self, seed: u64) -> Result<RoadGraph> {
+        let t = self.validated()?;
+        let mut rng = SplitMix64::new(seed);
+        let pool: Vec<Road> = (0..t.corridor_pool)
+            .map(|_| t.corridor.generate(rng.next_u64()))
+            .collect::<Result<_>>()?;
+        let mut graph = RoadGraph::new(t.rows * t.cols)?;
+        let draw = |rng: &mut SplitMix64| pool[(rng.next_u64() as usize) % pool.len()].clone();
+        for r in 0..t.rows {
+            for c in 0..t.cols {
+                let here = t.node_at(r, c);
+                if c + 1 < t.cols {
+                    let right = t.node_at(r, c + 1);
+                    let road = draw(&mut rng);
+                    graph.add_edge(here, right, road)?;
+                    graph.add_edge(right, here, draw(&mut rng))?;
+                }
+                if r + 1 < t.rows {
+                    let down = t.node_at(r + 1, c);
+                    graph.add_edge(here, down, draw(&mut rng))?;
+                    graph.add_edge(down, here, draw(&mut rng))?;
+                }
+            }
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_validation() {
+        assert!(RoadGraph::new(0).is_err());
+        let mut g = RoadGraph::new(2).unwrap();
+        assert!(g.add_edge(NodeId(0), NodeId(0), Road::us25()).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(2), Road::us25()).is_err());
+        assert!(g.add_edge(NodeId(2), NodeId(1), Road::us25()).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(1), Road::us25()).is_ok());
+    }
+
+    #[test]
+    fn adjacency_tracks_insertion_order() {
+        let mut g = RoadGraph::new(3).unwrap();
+        let a = g.add_edge(NodeId(0), NodeId(1), Road::us25()).unwrap();
+        let b = g.add_edge(NodeId(0), NodeId(2), Road::us25()).unwrap();
+        let c = g.add_edge(NodeId(1), NodeId(2), Road::us25()).unwrap();
+        assert_eq!(g.out_edges(NodeId(0)), &[a, b]);
+        assert_eq!(g.out_edges(NodeId(1)), &[c]);
+        assert!(g.out_edges(NodeId(2)).is_empty());
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(b).to(), NodeId(2));
+    }
+
+    #[test]
+    fn template_validation() {
+        assert!(NetworkTemplate::default().validated().is_ok());
+        assert!(NetworkTemplate {
+            rows: 1,
+            cols: 1,
+            ..NetworkTemplate::default()
+        }
+        .validated()
+        .is_err());
+        assert!(NetworkTemplate {
+            corridor_pool: 0,
+            ..NetworkTemplate::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn grid_shape_and_edge_count() {
+        let t = NetworkTemplate {
+            rows: 3,
+            cols: 4,
+            ..NetworkTemplate::default()
+        };
+        let g = t.generate(11).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Each of the (rows-1)*cols vertical and rows*(cols-1) horizontal
+        // adjacencies contributes two directed edges.
+        assert_eq!(g.edge_count(), 2 * (2 * 4 + 3 * 3));
+        // Interior node (1,1) has degree 4 out.
+        assert_eq!(g.out_edges(t.node_at(1, 1)).len(), 4);
+        // Corner (0,0) has degree 2 out.
+        assert_eq!(g.out_edges(t.node_at(0, 0)).len(), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let t = NetworkTemplate::default();
+        assert_eq!(t.generate(5).unwrap(), t.generate(5).unwrap());
+        assert_ne!(t.generate(5).unwrap(), t.generate(6).unwrap());
+    }
+
+    #[test]
+    fn edges_share_the_corridor_pool() {
+        let t = NetworkTemplate {
+            rows: 4,
+            cols: 4,
+            corridor_pool: 2,
+            ..NetworkTemplate::default()
+        };
+        let g = t.generate(3).unwrap();
+        let mut lengths: Vec<f64> = g
+            .edges()
+            .iter()
+            .map(|e| e.road().length().value())
+            .collect();
+        lengths.sort_by(f64::total_cmp);
+        lengths.dedup();
+        assert!(
+            lengths.len() <= 2,
+            "expected ≤2 distinct corridors, got {}",
+            lengths.len()
+        );
+    }
+}

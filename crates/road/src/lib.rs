@@ -30,10 +30,12 @@
 
 mod builder;
 mod generator;
+mod graph;
 mod light;
 mod segment;
 
 pub use builder::{RoadBuilder, MAX_STOP_SIGNS};
 pub use generator::CorridorTemplate;
+pub use graph::{EdgeId, NetworkTemplate, NodeId, RoadEdge, RoadGraph};
 pub use light::{Phase, TrafficLight};
 pub use segment::{Road, SpeedZone, StopSign};

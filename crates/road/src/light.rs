@@ -154,8 +154,22 @@ impl TrafficLight {
     /// # }
     /// ```
     pub fn green_windows(&self, from: Seconds, horizon: Seconds) -> Vec<(Seconds, Seconds)> {
-        let end = from + horizon;
         let mut windows = Vec::new();
+        self.green_windows_into(from, horizon, &mut windows);
+        windows
+    }
+
+    /// Like [`TrafficLight::green_windows`], but clears and fills a
+    /// caller-owned buffer so steady-state replanning and router signature
+    /// hashing stay allocation-free once the buffer has grown to capacity.
+    pub fn green_windows_into(
+        &self,
+        from: Seconds,
+        horizon: Seconds,
+        windows: &mut Vec<(Seconds, Seconds)>,
+    ) {
+        windows.clear();
+        let end = from + horizon;
         // Start scanning from the cycle containing `from`.
         let mut cycle_start = self.cycle_start_at(from);
         while cycle_start < end {
@@ -167,7 +181,6 @@ impl TrafficLight {
             }
             cycle_start += self.cycle();
         }
-        windows
     }
 }
 
@@ -262,6 +275,17 @@ mod tests {
     fn green_windows_empty_horizon() {
         let l = light(0.0);
         assert!(l.green_windows(Seconds::ZERO, Seconds::ZERO).is_empty());
+    }
+
+    #[test]
+    fn green_windows_into_reuses_dirty_buffer() {
+        let l = light(0.0);
+        let mut buf = vec![(Seconds::new(-1.0), Seconds::new(-2.0)); 7];
+        l.green_windows_into(Seconds::new(45.0), Seconds::new(60.0), &mut buf);
+        assert_eq!(buf, l.green_windows(Seconds::new(45.0), Seconds::new(60.0)));
+        // An empty horizon clears the buffer instead of appending.
+        l.green_windows_into(Seconds::ZERO, Seconds::ZERO, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]
