@@ -33,9 +33,11 @@ use velopt_core::replan::{ReplanConfig, Replanner};
 use velopt_core::route::{RouteConfig, RouteMetrics, RouteQuery, Router};
 use velopt_core::windows::green_only_constraints;
 use velopt_ev_energy::{EnergyModel, VehicleParams};
-use velopt_microsim::{CorridorSpec, Network, SimConfig};
+use velopt_microsim::{
+    CorridorSpec, KraussParams, Network, SimConfig, Simulation, StepMetrics, VehicleMix,
+};
 use velopt_queue::QueueParams;
-use velopt_road::{CorridorTemplate, NetworkTemplate, Road};
+use velopt_road::{CorridorTemplate, NetworkTemplate, Road, RoadBuilder};
 use velopt_traffic::nn::SgdConfig;
 use velopt_traffic::{
     SaeConfig, SaePredictor, SaePredictorConfig, TrainMetrics, VolumeGenerator, VolumePredictor,
@@ -84,6 +86,15 @@ pub struct MatrixSpec {
     pub network_warmup_s: f64,
     /// Timed rounds, each advancing the network by one simulated second.
     pub network_rounds: usize,
+    /// Untimed simulated seconds that fill the single-corridor step-engine
+    /// scenario with traffic before its timed rounds.
+    pub step_warmup_s: f64,
+    /// Timed rounds of the step-engine scenario, alternating between the
+    /// forced-scalar and auto-dispatch twin simulations.
+    pub step_rounds: usize,
+    /// Simulated seconds each step-engine round advances (ten ticks per
+    /// second); long enough that a round is far above timer noise.
+    pub step_round_s: usize,
 }
 
 impl MatrixSpec {
@@ -106,6 +117,9 @@ impl MatrixSpec {
             network_corridors: 128,
             network_warmup_s: 600.0,
             network_rounds: 24,
+            step_warmup_s: 2700.0,
+            step_rounds: 24,
+            step_round_s: 5,
         }
     }
 
@@ -128,6 +142,9 @@ impl MatrixSpec {
             network_corridors: 12,
             network_warmup_s: 120.0,
             network_rounds: 6,
+            step_warmup_s: 900.0,
+            step_rounds: 8,
+            step_round_s: 5,
         }
     }
 }
@@ -234,6 +251,27 @@ pub struct ScenarioResult {
     /// identical seeded query set — a same-run work ratio, so it is
     /// machine-invariant (zero for non-routing scenarios).
     pub route_oracle_ratio: f64,
+    /// Vehicle lanes the microsim step engine evaluated through the AVX2
+    /// Krauss kernel during the timed rounds (the microsim scenarios; zero
+    /// elsewhere). Dispatch-dependent — zero on scalar hosts or under
+    /// `VELOPT_MICROSIM_SIMD=off` — so reported for visibility but never
+    /// gated; the gated quantity is the dispatch-invariant lane total.
+    pub sim_simd_lanes: u64,
+    /// Vehicle lanes evaluated through the portable Krauss kernel (lane 0,
+    /// ragged tails, forced-scalar runs). `sim_simd_lanes +
+    /// sim_scalar_lanes` is the dispatch-invariant vehicle-step total the
+    /// work gate floors alongside `vehicles_stepped`.
+    pub sim_scalar_lanes: u64,
+    /// Steps that grew the microsim's pooled scratch during the timed
+    /// rounds. The timed rounds run after warm-up, so this is the step
+    /// engine's zero-steady-state-allocation pin: `--check-work` ceilings
+    /// it at the baseline.
+    pub sim_arena_grows: u64,
+    /// Median forced-scalar wall time of the identical seeded microsim
+    /// workload divided by the auto-dispatch median — a same-run ratio
+    /// measured back-to-back, so machine speed cancels out (zero for
+    /// non-microsim scenarios).
+    pub microsim_simd_speedup: f64,
 }
 
 impl ScenarioResult {
@@ -272,6 +310,10 @@ impl ScenarioResult {
             route_edges_pruned: 0,
             route_plan_memo_hits: 0,
             route_oracle_ratio: 0.0,
+            sim_simd_lanes: 0,
+            sim_scalar_lanes: 0,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 0.0,
         })
     }
 
@@ -312,6 +354,10 @@ impl ScenarioResult {
             route_edges_pruned: 0,
             route_plan_memo_hits: 0,
             route_oracle_ratio: 0.0,
+            sim_simd_lanes: 0,
+            sim_scalar_lanes: 0,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 0.0,
         })
     }
 
@@ -359,6 +405,10 @@ impl ScenarioResult {
             route_edges_pruned: 0,
             route_plan_memo_hits: 0,
             route_oracle_ratio: 0.0,
+            sim_simd_lanes: 0,
+            sim_scalar_lanes: 0,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 0.0,
         })
     }
 
@@ -408,17 +458,24 @@ impl ScenarioResult {
             route_edges_pruned: 0,
             route_plan_memo_hits: 0,
             route_oracle_ratio: 0.0,
+            sim_simd_lanes: 0,
+            sim_scalar_lanes: 0,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 0.0,
         })
     }
 
-    /// Summary for the sharded-network scenario: wall percentiles over the
-    /// timed rounds plus the network's deterministic work deltas; every
-    /// other counter stays zero.
+    /// Summary for the microsimulation scenarios: wall percentiles over the
+    /// timed rounds, the simulator's deterministic work deltas, the step
+    /// engine's kernel-lane split and pooled-scratch counters, and the
+    /// same-run forced-scalar/auto speedup; every other counter stays zero.
     fn from_network_samples(
         name: &str,
         samples: &[f64],
         vehicles_stepped: u64,
         network_handoffs: u64,
+        step_metrics: velopt_microsim::StepMetrics,
+        microsim_simd_speedup: f64,
     ) -> Result<Self> {
         Ok(Self {
             name: name.to_string(),
@@ -454,6 +511,10 @@ impl ScenarioResult {
             route_edges_pruned: 0,
             route_plan_memo_hits: 0,
             route_oracle_ratio: 0.0,
+            sim_simd_lanes: step_metrics.simd_lanes,
+            sim_scalar_lanes: step_metrics.scalar_lanes,
+            sim_arena_grows: step_metrics.arena_grows,
+            microsim_simd_speedup,
         })
     }
 
@@ -501,6 +562,10 @@ impl ScenarioResult {
             route_edges_pruned: metrics.edges_pruned,
             route_plan_memo_hits: metrics.plan_memo_hits,
             route_oracle_ratio,
+            sim_simd_lanes: 0,
+            sim_scalar_lanes: 0,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 0.0,
         })
     }
 
@@ -626,6 +691,22 @@ impl ScenarioResult {
                 "route_oracle_ratio".into(),
                 Json::Num(self.route_oracle_ratio),
             ),
+            (
+                "sim_simd_lanes".into(),
+                Json::Num(self.sim_simd_lanes as f64),
+            ),
+            (
+                "sim_scalar_lanes".into(),
+                Json::Num(self.sim_scalar_lanes as f64),
+            ),
+            (
+                "sim_arena_grows".into(),
+                Json::Num(self.sim_arena_grows as f64),
+            ),
+            (
+                "microsim_simd_speedup".into(),
+                Json::Num(self.microsim_simd_speedup),
+            ),
         ])
     }
 
@@ -717,6 +798,16 @@ impl ScenarioResult {
             route_plan_memo_hits: optional(value, "route_plan_memo_hits"),
             route_oracle_ratio: value
                 .get("route_oracle_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            // Step-engine counters appeared with the SoA microsim rewrite;
+            // older baselines read as zero, disabling the lane floor, the
+            // arena-grow ceiling, and the microsim speedup gate.
+            sim_simd_lanes: optional(value, "sim_simd_lanes"),
+            sim_scalar_lanes: optional(value, "sim_scalar_lanes"),
+            sim_arena_grows: optional(value, "sim_arena_grows"),
+            microsim_simd_speedup: value
+                .get("microsim_simd_speedup")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
         })
@@ -886,6 +977,36 @@ pub const WORK_SLACK_ROUTE_ORACLE_CALLS_PER_ITER: f64 = 1.0;
 /// trip it on themselves.
 pub const MIN_ROUTE_ORACLE_RATIO: f64 = 5.0;
 
+/// Minimum same-run speedup of the microsim step engine's auto dispatch
+/// over forced-scalar (`simd: false`) on the identical seeded traffic. The
+/// ratio divides two per-round medians measured interleaved on the same
+/// machine, so host speed and drift cancel out. The floor is deliberately
+/// far below the lane kernels' isolated gain (the AVX2 Krauss lanes
+/// microbenchmark at roughly 3x over scalar): Amdahl caps the whole-step
+/// ratio because the constraint sweep, the RNG-ordered dawdle pass, the
+/// collision guard, and the AoS write-back are dispatch-invariant scalar
+/// work shared by both flavors, leaving a measured whole-step ratio near
+/// 1.4x on the bench host. Falling below the floor therefore does not mean
+/// "a bit slower" — it means the vectorized kernels stopped contributing
+/// at all (dispatch regressed to scalar, or a kernel change destroyed the
+/// win). Baseline-armed like [`MIN_SIMD_SPEEDUP`], so scalar-only hosts
+/// never trip it on themselves.
+pub const MIN_MICROSIM_SIMD_SPEEDUP: f64 = 1.15;
+
+/// Absolute slack for the microsim pooled-scratch ceiling: one growth
+/// across the timed rounds absorbs a legitimate high-water bump (a traffic
+/// burst past the warm-up's maximum). Beyond that, the step arena stopped
+/// reusing its capacity and per-tick allocation crept back into the hot
+/// loop. Only applies when the baseline recorded step-engine lane traffic.
+pub const WORK_SLACK_ARENA_GROWS: f64 = 1.0;
+
+/// Absolute slack for the per-iteration kernel-lane floor: one lane per
+/// iteration absorbs integer rounding when iteration counts differ. The
+/// lane total (`sim_simd_lanes + sim_scalar_lanes`) is dispatch-invariant
+/// and equals the vehicle-steps the engine executed, so a floor on it
+/// catches the step engine silently dropping work.
+pub const WORK_SLACK_SIM_LANES_PER_ITER: f64 = 1.0;
+
 /// Minimum steady-state cloud buffer reuse rate. The `cloud_serve`
 /// scenario's counters are deltas taken after a warm-up round, so nearly
 /// every response should come from the pools; below this, response
@@ -1035,6 +1156,53 @@ fn work_regressions(
             base_stepped,
             tolerance * 100.0,
             stepped_floor,
+        ));
+    }
+    // Floor on the step engine's dispatch-invariant lane total, and a
+    // ceiling on its pooled-scratch growths, both only when the baseline
+    // recorded step-engine traffic (pre-SoA baselines read zero). The lane
+    // split itself (simd vs scalar) is host-dependent and never gated.
+    let lane_total = |s: &ScenarioResult| s.sim_simd_lanes + s.sim_scalar_lanes;
+    let current_lanes = per_iter(lane_total(scenario), scenario.iterations);
+    let base_lanes = per_iter(lane_total(base), base.iterations);
+    let lanes_floor = base_lanes * (1.0 - tolerance.min(1.0)) - WORK_SLACK_SIM_LANES_PER_ITER;
+    if base_lanes > 0.0 && current_lanes < lanes_floor {
+        regressions.push(format!(
+            "{}: {:.0} kernel lanes per iteration fell below baseline {:.0} \
+             by more than {:.0}% (floor {:.0}) — did the step engine lose traffic?",
+            scenario.name,
+            current_lanes,
+            base_lanes,
+            tolerance * 100.0,
+            lanes_floor,
+        ));
+    }
+    let grows_limit = base.sim_arena_grows as f64 * (1.0 + tolerance) + WORK_SLACK_ARENA_GROWS;
+    if base_lanes > 0.0 && scenario.sim_arena_grows as f64 > grows_limit {
+        regressions.push(format!(
+            "{}: {} step-arena growths exceeds baseline {} by more than {:.0}% \
+             (limit {:.0}) — is the pooled step scratch still reused?",
+            scenario.name,
+            scenario.sim_arena_grows,
+            base.sim_arena_grows,
+            tolerance * 100.0,
+            grows_limit,
+        ));
+    }
+    // Absolute floor on the microsim same-run speedup, baseline-armed like
+    // the DP SIMD gate: once a baseline demonstrated the lane kernels
+    // beating forced-scalar on this scenario, losing that is a regression
+    // even though the wall clock alone could hide it.
+    if base.microsim_simd_speedup >= MIN_MICROSIM_SIMD_SPEEDUP
+        && scenario.microsim_simd_speedup < MIN_MICROSIM_SIMD_SPEEDUP
+    {
+        regressions.push(format!(
+            "{}: microsim SIMD speedup {:.2}x fell below the {:.1}x floor \
+             (baseline {:.2}x) — the lane kernels no longer beat scalar",
+            scenario.name,
+            scenario.microsim_simd_speedup,
+            MIN_MICROSIM_SIMD_SPEEDUP,
+            base.microsim_simd_speedup,
         ));
     }
     // Floor on incremental-repair engagement: the refresh schedule is
@@ -1759,55 +1927,177 @@ fn cloud_cosim(spec: &MatrixSpec) -> Result<ScenarioResult> {
     )
 }
 
+/// Per-field delta of two cumulative step-metric snapshots (`after` taken
+/// later in the same run than `before`).
+fn step_metrics_delta(after: StepMetrics, before: StepMetrics) -> StepMetrics {
+    StepMetrics {
+        simd_lanes: after.simd_lanes - before.simd_lanes,
+        scalar_lanes: after.scalar_lanes - before.scalar_lanes,
+        sweep_advances: after.sweep_advances - before.sweep_advances,
+        sign_window_checks: after.sign_window_checks - before.sign_window_checks,
+        arena_grows: after.arena_grows - before.arena_grows,
+        arena_reuses: after.arena_reuses - before.arena_reuses,
+    }
+}
+
 /// Times the sharded multi-corridor microsimulation: a seeded chain of
 /// `network_corridors` dense arterial corridors (roughly 20 signals each),
-/// every corridor fed by its own arrival process, stepped in lockstep on
-/// all cores. An untimed warm-up fills the network with Krauss traffic;
-/// each timed round then advances one simulated second (ten ticks), so the
-/// percentiles describe how much wall time a simulated second costs and
-/// throughput is `vehicles_stepped / iterations / p50` vehicle-steps per
-/// second. The vehicle-step and handoff counters are deltas across the
-/// timed rounds only and — because the network is bit-identical at any
-/// shard count — machine-invariant, so `--check-work` pins the workload.
+/// every corridor fed by its own arrival process and carrying its own
+/// seeded [`VehicleMix`] (truck and IDM shares vary corridor to corridor),
+/// stepped in lockstep on all cores. An untimed warm-up fills the network
+/// with traffic; each timed round then advances one simulated second (ten
+/// ticks), so the percentiles describe how much wall time a simulated
+/// second costs and throughput is `vehicles_stepped / iterations / p50`
+/// vehicle-steps per second. The vehicle-step, handoff, and kernel-lane
+/// counters are deltas across the timed rounds only and — because the
+/// network is bit-identical at any shard count and under either dispatch —
+/// machine-invariant, so `--check-work` pins the workload and the pooled
+/// scratch's zero-steady-state-allocation property. Two bit-identical
+/// networks — one forced scalar, one auto-dispatch — advance in
+/// interleaved one-second rounds so host drift hits both flavors equally,
+/// and `microsim_simd_speedup` is the ratio of the per-round medians
+/// (diluted below the step-engine ratio by the dispatch-invariant shard
+/// scheduling, junction routing, and injection scans this scenario
+/// deliberately includes).
 fn microsim_network(spec: &MatrixSpec) -> Result<ScenarioResult> {
     let template = CorridorTemplate {
         length: (2500.0, 4500.0),
         lights: (16, 24),
         ..CorridorTemplate::default()
     };
-    let specs = (0..spec.network_corridors)
-        .map(|i| {
-            let road = template.generate(BENCH_SEED ^ (0xC0_0000 + i as u64))?;
-            let mut corridor = if i + 1 < spec.network_corridors {
-                CorridorSpec::through(road, i + 1)
-            } else {
-                CorridorSpec::terminal(road)
-            };
-            corridor.arrival_rate = VehiclesPerHour::new(1000.0);
-            Ok(corridor)
-        })
-        .collect::<Result<Vec<_>>>()?;
-    let config = SimConfig {
-        seed: BENCH_SEED ^ 0x2E7,
-        straight_ratio: 0.97,
-        ..SimConfig::default()
+    let build = |simd: bool| -> Result<Network> {
+        let mut mix_rng = SplitMix64::new(BENCH_SEED ^ 0x317A);
+        let specs = (0..spec.network_corridors)
+            .map(|i| {
+                let road = template.generate(BENCH_SEED ^ (0xC0_0000 + i as u64))?;
+                let mut corridor = if i + 1 < spec.network_corridors {
+                    CorridorSpec::through(road, i + 1)
+                } else {
+                    CorridorSpec::terminal(road)
+                };
+                corridor.arrival_rate = VehiclesPerHour::new(1000.0);
+                corridor.mix = Some(VehicleMix {
+                    truck_fraction: mix_rng.uniform(0.0, 0.25),
+                    idm_fraction: mix_rng.uniform(0.0, 0.35),
+                });
+                Ok(corridor)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let config = SimConfig {
+            seed: BENCH_SEED ^ 0x2E7,
+            straight_ratio: 0.97,
+            simd,
+            ..SimConfig::default()
+        };
+        let mut net = Network::new(specs, 0, config)?;
+        net.run_until(Seconds::new(spec.network_warmup_s))?;
+        Ok(net)
     };
-    let mut net = Network::new(specs, 0, config)?;
-    net.run_until(Seconds::new(spec.network_warmup_s))?;
-    let warm = net.stats();
+    let mut scalar = build(false)?;
+    let mut auto = build(true)?;
+    let warm = auto.stats();
+    let warm_metrics = auto.step_metrics();
+    let mut scalar_samples = Vec::with_capacity(spec.network_rounds);
     let mut samples = Vec::with_capacity(spec.network_rounds);
     for round in 0..spec.network_rounds {
         let target = Seconds::new(spec.network_warmup_s + (round + 1) as f64);
         let start = Instant::now();
-        net.run_until(target)?;
+        scalar.run_until(target)?;
+        scalar_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        auto.run_until(target)?;
         samples.push(start.elapsed().as_secs_f64());
     }
-    let stats = net.stats();
+    let stats = auto.stats();
+    let metrics = step_metrics_delta(auto.step_metrics(), warm_metrics);
+    let speedup = Percentiles::from_samples(&scalar_samples)?.p50
+        / Percentiles::from_samples(&samples)?.p50.max(1e-12);
     ScenarioResult::from_network_samples(
         &format!("microsim_network_{}", spec.network_corridors),
         &samples,
         stats.vehicles_stepped - warm.vehicles_stepped,
         stats.handoffs - warm.handoffs,
+        metrics,
+        speedup,
+    )
+}
+
+/// Times the single-corridor step engine on a dense signalized platoon: a
+/// 30 km arterial with 36 offset fixed-time lights, no stop signs, no
+/// speed zones, no detectors, and a non-dawdling (`σ = 0`) Krauss
+/// population, filled by an untimed saturating warm-up and then *frozen*
+/// (arrivals shut off) so the timed rounds measure pure stepping of a
+/// ~500-vehicle queue-discharge workload with no O(V) injection scans
+/// diluting the kernel share. Two bit-identical simulations — one forced
+/// scalar, one auto-dispatch — advance in interleaved 50-tick rounds (five
+/// simulated seconds each), so clock-frequency and cache drift hit both
+/// flavors equally, and `microsim_simd_speedup` is the ratio of the
+/// per-round medians. `--check` keeps it above
+/// [`MIN_MICROSIM_SIMD_SPEEDUP`] once a baseline demonstrated it; the lane
+/// and arena counters are deltas across the auto run's timed rounds (the
+/// lane total floors the workload, the arena-grow ceiling pins zero
+/// steady-state allocation).
+fn microsim_step(spec: &MatrixSpec) -> Result<ScenarioResult> {
+    const LIGHTS: usize = 36;
+    let length = 30_000.0;
+    let mut builder = RoadBuilder::new(Meters::new(length));
+    for i in 0..LIGHTS {
+        builder.traffic_light(
+            Meters::new(length / (LIGHTS + 1) as f64 * (i + 1) as f64),
+            Seconds::new(25.0),
+            Seconds::new(35.0),
+            Seconds::new(7.0 * i as f64),
+        );
+    }
+    let road = builder.build()?;
+    let build = |simd: bool| -> Result<Simulation> {
+        let config = SimConfig {
+            seed: BENCH_SEED ^ 0x57E9,
+            // No dawdle: the scalar post-kernel pass is empty, so the
+            // timed work is the lane kernels, the sweep, and integration.
+            background: KraussParams {
+                sigma: 0.0,
+                ..KraussParams::passenger()
+            },
+            straight_ratio: 1.0,
+            simd,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(road.clone(), config)?;
+        sim.set_arrival_rate(VehiclesPerHour::new(2600.0));
+        sim.run_until(Seconds::new(spec.step_warmup_s))?;
+        // Freeze the platoon: the timed rounds step a fixed population.
+        sim.set_arrival_rate(VehiclesPerHour::new(0.0));
+        Ok(sim)
+    };
+    let mut scalar = build(false)?;
+    let mut auto = build(true)?;
+    let warm = auto.step_metrics();
+    let ticks = 10 * spec.step_round_s;
+    let mut scalar_samples = Vec::with_capacity(spec.step_rounds);
+    let mut samples = Vec::with_capacity(spec.step_rounds);
+    for _ in 0..spec.step_rounds {
+        let start = Instant::now();
+        for _ in 0..ticks {
+            scalar.step();
+        }
+        scalar_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..ticks {
+            auto.step();
+        }
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    let metrics = step_metrics_delta(auto.step_metrics(), warm);
+    let speedup = Percentiles::from_samples(&scalar_samples)?.p50
+        / Percentiles::from_samples(&samples)?.p50.max(1e-12);
+    ScenarioResult::from_network_samples(
+        "microsim_step",
+        &samples,
+        metrics.total_lanes(),
+        0,
+        metrics,
+        speedup,
     )
 }
 
@@ -1972,6 +2262,7 @@ pub fn run_scenarios(spec: &MatrixSpec, filter: Option<&str>) -> Result<BenchRep
         ("cloud_serve", Box::new(|| cloud_serve(spec))),
         ("cloud_cosim", Box::new(|| cloud_cosim(spec))),
         ("microsim_network", Box::new(|| microsim_network(spec))),
+        ("microsim_step", Box::new(|| microsim_step(spec))),
         ("route_plan", Box::new(|| route_plan(spec))),
     ];
     if let Some(needle) = filter {
@@ -2049,6 +2340,10 @@ mod tests {
             route_edges_pruned: 150,
             route_plan_memo_hits: 60,
             route_oracle_ratio: 6.5,
+            sim_simd_lanes: 30_000,
+            sim_scalar_lanes: 10_000,
+            sim_arena_grows: 0,
+            microsim_simd_speedup: 2.8,
         }
     }
 
@@ -2160,6 +2455,61 @@ mod tests {
         old.scenarios[0].vehicles_stepped = 0;
         let mut current = report(&[("net", 0.100)]);
         current.scenarios[0].vehicles_stepped = 0;
+        let outcome = compare_work(&current, &old).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+    }
+
+    #[test]
+    fn step_engine_floors_are_gated() {
+        let baseline = report(&[("sim", 0.100)]);
+        // The step engine silently evaluating half the lanes is a
+        // regression even though less work looks like a timing win. The
+        // floor is on the dispatch-invariant total, so a host that shifts
+        // lanes from SIMD to scalar (or vice versa) never trips it.
+        let mut current = report(&[("sim", 0.100)]);
+        current.scenarios[0].sim_simd_lanes = 0;
+        current.scenarios[0].sim_scalar_lanes = 20_000;
+        let outcome = compare(&current, &baseline, 0.15).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("kernel lanes"));
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+
+        // A host that dispatches everything scalar but does the same total
+        // work passes.
+        let mut current = report(&[("sim", 0.100)]);
+        current.scenarios[0].sim_simd_lanes = 0;
+        current.scenarios[0].sim_scalar_lanes = 40_000;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
+
+        // Per-tick allocation creeping back into the step loop blows the
+        // arena-grow ceiling.
+        let mut current = report(&[("sim", 0.100)]);
+        current.scenarios[0].sim_arena_grows = 50;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("step-arena growths"));
+
+        // The microsim speedup collapsing below the floor fails when the
+        // baseline itself cleared it.
+        let mut current = report(&[("sim", 0.100)]);
+        current.scenarios[0].microsim_simd_speedup = 1.0;
+        let outcome = compare_work(&current, &baseline).unwrap();
+        assert!(outcome.is_regression());
+        assert!(outcome.regressions[0].contains("microsim SIMD speedup"));
+
+        // A pre-SoA baseline (no lane traffic) disables all three gates
+        // instead of failing every run.
+        let mut old = report(&[("sim", 0.100)]);
+        old.scenarios[0].sim_simd_lanes = 0;
+        old.scenarios[0].sim_scalar_lanes = 0;
+        old.scenarios[0].microsim_simd_speedup = 0.0;
+        let mut current = report(&[("sim", 0.100)]);
+        current.scenarios[0].sim_simd_lanes = 0;
+        current.scenarios[0].sim_scalar_lanes = 0;
+        current.scenarios[0].sim_arena_grows = 500;
+        current.scenarios[0].microsim_simd_speedup = 0.5;
         let outcome = compare_work(&current, &old).unwrap();
         assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
     }
@@ -2463,6 +2813,9 @@ mod tests {
             network_corridors: 3,
             network_warmup_s: 30.0,
             network_rounds: 2,
+            step_warmup_s: 20.0,
+            step_rounds: 2,
+            step_round_s: 1,
         }
     }
 
@@ -2481,7 +2834,7 @@ mod tests {
     fn tiny_matrix_produces_a_complete_report() {
         let spec = tiny_spec();
         let report = run_matrix(&spec).unwrap();
-        assert_eq!(report.scenarios.len(), 14);
+        assert_eq!(report.scenarios.len(), 15);
         for s in &report.scenarios {
             assert!(s.iterations > 0, "{}", s.name);
             assert!(s.wall_seconds.p50 > 0.0, "{}", s.name);
@@ -2557,6 +2910,23 @@ mod tests {
         let net = report.scenario("microsim_network_3").unwrap();
         assert!(net.vehicles_stepped > 0);
         assert_eq!(net.iterations, 2);
+        // The network ran both dispatches and reports the step engine's
+        // dispatch-invariant lane total alongside the same-run ratio.
+        assert!(net.microsim_simd_speedup > 0.0);
+        assert_eq!(
+            net.sim_simd_lanes + net.sim_scalar_lanes,
+            net.vehicles_stepped,
+            "lane total must equal the vehicle-steps the network executed"
+        );
+        // The step-engine scenario's warm rounds reuse the pooled scratch
+        // (zero growths) and keep every vehicle in the lane counters.
+        let step = report.scenario("microsim_step").unwrap();
+        assert!(step.vehicles_stepped > 0);
+        assert!(step.microsim_simd_speedup > 0.0);
+        assert_eq!(
+            step.sim_arena_grows, 0,
+            "timed step rounds must not grow the pooled scratch"
+        );
         // The router solved edge DPs, pruned on certified bounds, shared
         // plans through the memo, and beat featureless Dijkstra on oracle
         // work — the same-run ratio is deterministic and above one even on
@@ -2573,6 +2943,6 @@ mod tests {
         // A matrix run is comparable against itself at any tolerance.
         let outcome = compare(&report, &report, 0.0).unwrap();
         assert!(!outcome.is_regression(), "{:?}", outcome.regressions);
-        assert_eq!(outcome.passed, 14);
+        assert_eq!(outcome.passed, 15);
     }
 }

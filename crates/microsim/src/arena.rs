@@ -1,0 +1,200 @@
+//! Structure-of-arrays vehicle state and pooled step scratch.
+//!
+//! The hot per-vehicle state of a [`Simulation`](crate::Simulation) lives in
+//! [`Lanes`] — contiguous `f64` lanes kept in index lockstep with the cold
+//! AoS `Vec<Vehicle>` (id, kind, turn decision, served-sign mask, command
+//! metadata). The lane layout is what lets the step engine evaluate the
+//! Krauss rule as AVX2 blocks ([`crate::kernel`]) and integrate positions
+//! with one vectorized pass. Derived parameter lanes (`bt`, `btsq`, `twob`,
+//! `accel_dt`, `sigma_accel_dt`) are computed once at insertion with the
+//! exact associations of [`KraussParams::safe_speed`]
+//! (crate::KraussParams::safe_speed), so the kernels never touch the AoS.
+//!
+//! [`StepArena`] pools the per-tick scratch (`free`, `stop_gap`, `next`,
+//! signal `red` flags) that the historical step loop re-allocated every
+//! tick; once warm, `Simulation::step` performs zero steady-state heap
+//! allocations, which [`StepMetrics::arena_grows`] lets the bench suite pin.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FollowingModel;
+use crate::vehicle::{Vehicle, VehicleKind};
+
+/// Scalar post-kernel pass: nothing to do (plain Krauss, no dawdle).
+pub(crate) const PASS_PLAIN: u8 = 0;
+/// Scalar post-kernel pass: Krauss dawdle draw (background, `σ > 0`).
+pub(crate) const PASS_DAWDLE: u8 = 1;
+/// Scalar post-kernel pass: full IDM evaluation replaces the Krauss lane.
+pub(crate) const PASS_IDM: u8 = 2;
+
+/// The hot vehicle state as parallel lanes, index-lockstep with the AoS
+/// vehicle list (front-most first). Positions/speeds here are the source of
+/// truth during a step; they are written back to the AoS before removal,
+/// injection, and observability run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Lanes {
+    /// Front-bumper positions.
+    pub pos: Vec<f64>,
+    /// Speeds.
+    pub spd: Vec<f64>,
+    /// Vehicle lengths.
+    pub length: Vec<f64>,
+    /// Standstill gaps.
+    pub min_gap: Vec<f64>,
+    /// `accel · dt`.
+    pub accel_dt: Vec<f64>,
+    /// `b · τ`.
+    pub bt: Vec<f64>,
+    /// `b · b · τ · τ` (left-associated, matching `safe_speed`).
+    pub btsq: Vec<f64>,
+    /// `2 · b`.
+    pub twob: Vec<f64>,
+    /// Desired free-flow speed.
+    pub desired: Vec<f64>,
+    /// Commanded-speed cap (`+∞` when no TraCI command is active).
+    pub cmd: Vec<f64>,
+    /// `σ · accel · dt` (left-associated dawdle magnitude).
+    pub sigma_accel_dt: Vec<f64>,
+    /// Which scalar post-kernel pass the vehicle needs ([`PASS_PLAIN`],
+    /// [`PASS_DAWDLE`], [`PASS_IDM`]).
+    pub pass: Vec<u8>,
+}
+
+impl Lanes {
+    pub(crate) fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Inserts the lane image of `v` at `idx`, shifting later lanes.
+    pub(crate) fn insert(&mut self, idx: usize, v: &Vehicle, dt: f64) {
+        let p = &v.params;
+        let b = p.decel.value();
+        let tau = p.reaction.value();
+        let pass = match p.model {
+            FollowingModel::Idm => PASS_IDM,
+            FollowingModel::Krauss if v.kind == VehicleKind::Background && p.sigma > 0.0 => {
+                PASS_DAWDLE
+            }
+            FollowingModel::Krauss => PASS_PLAIN,
+        };
+        self.pos.insert(idx, v.position.value());
+        self.spd.insert(idx, v.speed.value());
+        self.length.insert(idx, p.length.value());
+        self.min_gap.insert(idx, p.min_gap.value());
+        self.accel_dt.insert(idx, p.accel.value() * dt);
+        self.bt.insert(idx, b * tau);
+        self.btsq.insert(idx, b * b * tau * tau);
+        self.twob.insert(idx, 2.0 * b);
+        self.desired.insert(idx, p.desired_speed.value());
+        self.cmd
+            .insert(idx, v.commanded.map_or(f64::INFINITY, |c| c.value()));
+        self.sigma_accel_dt
+            .insert(idx, p.sigma * p.accel.value() * dt);
+        self.pass.insert(idx, pass);
+    }
+
+    /// Copies lane `src` over lane `dst` (the compaction move; `src > dst`).
+    pub(crate) fn copy(&mut self, src: usize, dst: usize) {
+        self.pos[dst] = self.pos[src];
+        self.spd[dst] = self.spd[src];
+        self.length[dst] = self.length[src];
+        self.min_gap[dst] = self.min_gap[src];
+        self.accel_dt[dst] = self.accel_dt[src];
+        self.bt[dst] = self.bt[src];
+        self.btsq[dst] = self.btsq[src];
+        self.twob[dst] = self.twob[src];
+        self.desired[dst] = self.desired[src];
+        self.cmd[dst] = self.cmd[src];
+        self.sigma_accel_dt[dst] = self.sigma_accel_dt[src];
+        self.pass[dst] = self.pass[src];
+    }
+
+    /// Truncates every lane to `len` (the compaction tail drop).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.pos.truncate(len);
+        self.spd.truncate(len);
+        self.length.truncate(len);
+        self.min_gap.truncate(len);
+        self.accel_dt.truncate(len);
+        self.bt.truncate(len);
+        self.btsq.truncate(len);
+        self.twob.truncate(len);
+        self.desired.truncate(len);
+        self.cmd.truncate(len);
+        self.sigma_accel_dt.truncate(len);
+        self.pass.truncate(len);
+    }
+}
+
+/// Pooled per-tick scratch. Grows to the high-water vehicle/signal count
+/// once, then every later tick reuses the capacity.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StepArena {
+    /// Free-flow target per vehicle (desired ∧ limit ∧ command).
+    pub free: Vec<f64>,
+    /// Binding red-light/unserved-sign gap per vehicle (`+∞` = none).
+    pub stop_gap: Vec<f64>,
+    /// Next-step speed per vehicle (the kernel output).
+    pub next: Vec<f64>,
+    /// Per-light red flag for the current tick.
+    pub red: Vec<bool>,
+}
+
+impl StepArena {
+    /// Whether sizing for `vehicles`/`lights` would have to allocate.
+    pub(crate) fn would_grow(&self, vehicles: usize, lights: usize) -> bool {
+        self.free.capacity() < vehicles
+            || self.stop_gap.capacity() < vehicles
+            || self.next.capacity() < vehicles
+            || self.red.capacity() < lights
+    }
+}
+
+/// Cumulative step-engine work counters.
+///
+/// The SIMD/scalar lane split is *dispatch-dependent* (host features, the
+/// `VELOPT_MICROSIM_SIMD` override, [`SimConfig::simd`](crate::SimConfig)),
+/// so these counters are deliberately kept out of
+/// [`NetworkStats`](crate::NetworkStats) and the network state hash — a
+/// forced-scalar run must stay bit-identical to an auto-dispatch run on
+/// every simulated observable. The *total* lane count
+/// ([`StepMetrics::total_lanes`]) is dispatch-invariant and is what the
+/// bench suite's work gate pins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// Vehicle lanes evaluated by the AVX2 Krauss kernel.
+    pub simd_lanes: u64,
+    /// Vehicle lanes evaluated by the portable Krauss kernel (forced-scalar
+    /// runs, lane 0, ragged tails, sub-block populations).
+    pub scalar_lanes: u64,
+    /// Cursor advances across the position-sorted light/sign/detector
+    /// sweeps (total sweep work; O(V + K) per tick by construction).
+    pub sweep_advances: u64,
+    /// Stop signs examined by the windowed serving scan (only near-stopped
+    /// vehicles ever open a window).
+    pub sign_window_checks: u64,
+    /// Steps that had to grow the pooled scratch (capacity misses; ~0 in
+    /// steady state — the bench suite's zero-allocation pin).
+    pub arena_grows: u64,
+    /// Steps served entirely from pooled capacity.
+    pub arena_reuses: u64,
+}
+
+impl StepMetrics {
+    /// Total vehicle lanes evaluated by either kernel flavor. Equals the
+    /// number of vehicle-steps executed, regardless of dispatch.
+    pub fn total_lanes(&self) -> u64 {
+        self.simd_lanes + self.scalar_lanes
+    }
+
+    /// Folds another counter set into this one (corridor-order network
+    /// aggregation).
+    pub fn merge(&mut self, other: StepMetrics) {
+        self.simd_lanes += other.simd_lanes;
+        self.scalar_lanes += other.scalar_lanes;
+        self.sweep_advances += other.sweep_advances;
+        self.sign_window_checks += other.sign_window_checks;
+        self.arena_grows += other.arena_grows;
+        self.arena_reuses += other.arena_reuses;
+    }
+}

@@ -193,6 +193,25 @@ pub struct SimConfig {
     pub truck: KraussParams,
     /// Fraction of background arrivals that are trucks, in `[0, 1]`.
     pub truck_fraction: f64,
+    /// Parameters for the IDM-driven share of the background mix.
+    #[serde(default = "KraussParams::passenger_idm")]
+    pub idm_background: KraussParams,
+    /// Fraction of (non-truck) background arrivals driving with the IDM
+    /// parameter set, in `[0, 1]`. Zero replays historical seeds exactly
+    /// (the mix draw is skipped entirely).
+    #[serde(default)]
+    pub idm_fraction: f64,
+    /// Whether the step engine may use the AVX2 lane kernels. Results are
+    /// bit-identical either way (see [`crate::StepMetrics`]); the knob
+    /// exists for same-run speedup measurement. The
+    /// `VELOPT_MICROSIM_SIMD=off` environment override forces the portable
+    /// kernels regardless.
+    #[serde(default = "default_true")]
+    pub simd: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl Default for SimConfig {
@@ -205,6 +224,9 @@ impl Default for SimConfig {
             straight_ratio: 0.7636,
             truck: KraussParams::truck(),
             truck_fraction: 0.0,
+            idm_background: KraussParams::passenger_idm(),
+            idm_fraction: 0.0,
+            simd: default_true(),
         }
     }
 }
@@ -223,11 +245,15 @@ impl SimConfig {
         self.background.validated()?;
         self.ego.validated()?;
         self.truck.validated()?;
+        self.idm_background.validated()?;
         if !(self.straight_ratio > 0.0 && self.straight_ratio <= 1.0) {
             return Err(Error::invalid_input("straight ratio must be in (0, 1]"));
         }
         if !(0.0..=1.0).contains(&self.truck_fraction) {
             return Err(Error::invalid_input("truck fraction must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.idm_fraction) {
+            return Err(Error::invalid_input("IDM fraction must be in [0, 1]"));
         }
         Ok(self)
     }
@@ -246,6 +272,21 @@ mod tests {
         assert!(SimConfig::default().validated().is_ok());
         assert!(SimConfig {
             truck_fraction: 1.5,
+            ..SimConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(SimConfig {
+            idm_fraction: -0.1,
+            ..SimConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(SimConfig {
+            idm_background: KraussParams {
+                accel: MetersPerSecondSq::ZERO,
+                ..KraussParams::passenger_idm()
+            },
             ..SimConfig::default()
         }
         .validated()

@@ -42,14 +42,17 @@
 //! # }
 //! ```
 
+mod arena;
 mod config;
 mod detector;
+mod kernel;
 mod network;
 mod sim;
 mod vehicle;
 
+pub use arena::StepMetrics;
 pub use config::{FollowingModel, KraussParams, SimConfig};
 pub use detector::InductionLoop;
-pub use network::{CorridorSpec, Network, NetworkStats, NetworkTracePoint};
+pub use network::{CorridorSpec, Network, NetworkStats, NetworkTracePoint, VehicleMix};
 pub use sim::{EgoSnapshot, Handoff, Simulation, TracePoint};
 pub use vehicle::{Vehicle, VehicleId, VehicleKind};

@@ -25,6 +25,7 @@
 //!   hashes mix `f64::to_bits` exactly, so even the observability surface is
 //!   reproducible bit-for-bit.
 
+use crate::arena::StepMetrics;
 use crate::config::SimConfig;
 use crate::sim::{EgoSnapshot, Handoff, Simulation};
 use crate::vehicle::{VehicleId, VehicleKind};
@@ -35,6 +36,20 @@ use velopt_common::rng::SplitMix64;
 use velopt_common::units::{Meters, MetersPerSecond, Seconds, VehiclesPerHour};
 use velopt_common::{Error, Result};
 use velopt_road::Road;
+
+/// Per-corridor background-traffic population shares. Overrides the
+/// network-wide [`SimConfig`] fractions for one corridor, so a network can
+/// mix (say) a truck-heavy arterial feeding a passenger-only downtown grid.
+/// The mix only biases which preset each Poisson arrival draws — the draw
+/// order itself is unchanged, so two corridors with different mixes still
+/// consume their RNG streams identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleMix {
+    /// Fraction of arrivals drawn as trucks (`[0, 1]`).
+    pub truck_fraction: f64,
+    /// Fraction of non-truck arrivals drawn as IDM followers (`[0, 1]`).
+    pub idm_fraction: f64,
+}
 
 /// One corridor of a [`Network`] and how it connects to the rest.
 #[derive(Debug, Clone)]
@@ -51,6 +66,9 @@ pub struct CorridorSpec {
     pub side_entries: Vec<(Meters, VehiclesPerHour)>,
     /// Induction-loop detector positions.
     pub detectors: Vec<Meters>,
+    /// Per-corridor traffic-population override (`None` = use the
+    /// network-wide [`SimConfig`] fractions).
+    pub mix: Option<VehicleMix>,
 }
 
 impl CorridorSpec {
@@ -62,6 +80,7 @@ impl CorridorSpec {
             arrival_rate: VehiclesPerHour::ZERO,
             side_entries: Vec::new(),
             detectors: Vec::new(),
+            mix: None,
         }
     }
 
@@ -73,6 +92,7 @@ impl CorridorSpec {
             arrival_rate: VehiclesPerHour::ZERO,
             side_entries: Vec::new(),
             detectors: Vec::new(),
+            mix: None,
         }
     }
 }
@@ -118,6 +138,13 @@ struct Cell {
     /// Handoffs delivered but not yet admitted (head-of-line blocking:
     /// vehicles enter the new corridor in arrival order).
     pending: VecDeque<Handoff>,
+    /// This tick's outgoing boundary messages, staged by the parallel phase
+    /// for the sequential router. Drained every tick; the `Vec` capacity is
+    /// the reused outbox buffer (no per-tick message allocation).
+    staged: Vec<Handoff>,
+    /// Vehicle count this cell stepped on the last tick (folded into
+    /// `vehicles_stepped` by the sequential phase).
+    stepped_last_tick: u64,
 }
 
 /// A network of corridors stepping in lockstep on a sharded thread team.
@@ -194,10 +221,19 @@ impl Network {
                     )));
                 }
             }
-            let cfg = SimConfig {
+            let mut cfg = SimConfig {
                 seed: seed_root.next_u64(),
                 ..config
             };
+            if let Some(mix) = spec.mix {
+                cfg.truck_fraction = mix.truck_fraction;
+                cfg.idm_fraction = mix.idm_fraction;
+                // Re-validate: the per-corridor override may be out of range
+                // even when the network-wide config was fine.
+                cfg = cfg
+                    .validated()
+                    .map_err(|e| Error::invalid_input(format!("corridor {i} vehicle mix: {e}")))?;
+            }
             let mut sim = Simulation::new(spec.road, cfg)?;
             sim.set_id_allocation(i as u64, n as u64);
             if spec.arrival_rate.value() > 0.0 {
@@ -213,6 +249,8 @@ impl Network {
                 sim,
                 downstream: spec.downstream,
                 pending: VecDeque::new(),
+                staged: Vec::new(),
+                stepped_last_tick: 0,
             });
         }
         Ok(Self {
@@ -287,6 +325,19 @@ impl Network {
             s.emergency_brakes += cell.sim.emergency_brakes();
         }
         s
+    }
+
+    /// Cumulative step-engine work counters, folded in corridor order.
+    ///
+    /// The SIMD/scalar split is dispatch-dependent and therefore *not* part
+    /// of [`NetworkStats`] or [`Network::state_hash`]; use
+    /// [`StepMetrics::total_lanes`] for dispatch-invariant work accounting.
+    pub fn step_metrics(&self) -> StepMetrics {
+        let mut m = StepMetrics::default();
+        for cell in &self.cells {
+            m.merge(cell.sim.step_metrics());
+        }
+        m
     }
 
     /// Spawns the ego vehicle at the start of `corridor`.
@@ -418,11 +469,11 @@ impl Network {
         let shards = self.shards.min(n).max(1);
         let chunk_len = n.div_ceil(shards);
         // Parallel phase: each cell admits queued junction arrivals, steps,
-        // and collects its outgoing boundary messages. Cells share nothing,
-        // so the chunk geometry cannot change any cell's state.
-        let outs = par::map_chunks(&mut self.cells, chunk_len, shards, |_, cells| {
-            let mut messages: Vec<(Option<usize>, Handoff)> = Vec::new();
-            let mut stepped = 0u64;
+        // and stages its outgoing boundary messages into its own pooled
+        // outbox. Cells share nothing, so the chunk geometry cannot change
+        // any cell's state, and the buffers' capacities carry across ticks
+        // (no per-tick message allocation once warm).
+        par::map_chunks(&mut self.cells, chunk_len, shards, |_, cells| {
             for cell in cells.iter_mut() {
                 while let Some(h) = cell.pending.front() {
                     if cell.sim.receive(h) {
@@ -431,19 +482,21 @@ impl Network {
                         break; // head-of-line: keep arrival order at the junction
                     }
                 }
-                stepped += cell.sim.vehicle_count() as u64;
+                cell.stepped_last_tick = cell.sim.vehicle_count() as u64;
                 cell.sim.step();
-                let downstream = cell.downstream;
-                messages.extend(cell.sim.take_exits().into_iter().map(|h| (downstream, h)));
+                cell.sim.drain_exits_into(&mut cell.staged);
             }
-            (messages, stepped)
         });
         self.time += self.dt;
-        // Sequential routing phase, in ascending source-corridor order:
+        // Sequential routing phase, in ascending source-corridor order.
+        // Chunks partition the cells contiguously and in order, so this is
+        // exactly the order the per-chunk outboxes used to be folded in:
         // identical queue contents and order at any shard count.
-        for (messages, stepped) in outs {
-            self.vehicles_stepped += stepped;
-            for (dest, h) in messages {
+        for ci in 0..n {
+            self.vehicles_stepped += self.cells[ci].stepped_last_tick;
+            let mut staged = std::mem::take(&mut self.cells[ci].staged);
+            let dest = self.cells[ci].downstream;
+            for h in staged.drain(..) {
                 match dest {
                     Some(d) => {
                         if h.kind == VehicleKind::Ego {
@@ -461,6 +514,8 @@ impl Network {
                     }
                 }
             }
+            // Hand the (now empty) outbox back so its capacity is reused.
+            self.cells[ci].staged = staged;
         }
         // Ego telemetry (skipped while the ego waits in a junction queue).
         if let Some(cell_idx) = self.ego_cell {
@@ -633,5 +688,60 @@ mod tests {
         let net = two_corridor_net(1);
         // us25 has 2 lights + 1 stop sign per corridor.
         assert_eq!(net.signal_count(), 6);
+    }
+
+    #[test]
+    fn per_corridor_mix_materializes_and_is_shard_invariant() {
+        use crate::vehicle::VehicleKind;
+        let build = |shards: usize| {
+            let mut feeder = CorridorSpec::through(Road::us25(), 1);
+            feeder.arrival_rate = VehiclesPerHour::new(900.0);
+            feeder.mix = Some(VehicleMix {
+                truck_fraction: 0.5,
+                idm_fraction: 0.4,
+            });
+            let mut sink = CorridorSpec::terminal(Road::us25());
+            sink.arrival_rate = VehiclesPerHour::new(400.0);
+            // Sink keeps the network-wide default mix (no trucks, no IDM).
+            Network::new(vec![feeder, sink], shards, SimConfig::default()).unwrap()
+        };
+        let mut a = build(1);
+        a.run_until(Seconds::new(600.0)).unwrap();
+        let trucks = a
+            .corridor(0)
+            .unwrap()
+            .vehicles()
+            .iter()
+            .filter(|v| v.kind() == VehicleKind::Background && v.params().length.value() > 10.0)
+            .count();
+        assert!(trucks > 0, "a 50% truck mix must put trucks on corridor 0");
+        let mut b = build(4);
+        b.run_until(Seconds::new(600.0)).unwrap();
+        assert_eq!(
+            a.state_hash(),
+            b.state_hash(),
+            "mix must stay shard-invariant"
+        );
+        assert_eq!(a.stats(), b.stats());
+
+        let mut bad = CorridorSpec::terminal(Road::us25());
+        bad.mix = Some(VehicleMix {
+            truck_fraction: 1.5,
+            idm_fraction: 0.0,
+        });
+        assert!(Network::new(vec![bad], 1, SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn step_metrics_fold_over_corridors() {
+        let mut net = two_corridor_net(2);
+        net.run_until(Seconds::new(300.0)).unwrap();
+        let m = net.step_metrics();
+        let per_cell: u64 = (0..net.corridors())
+            .map(|c| net.corridor(c).unwrap().step_metrics().total_lanes())
+            .sum();
+        assert_eq!(m.total_lanes(), per_cell);
+        assert!(m.total_lanes() > 0);
+        assert!(m.sweep_advances > 0);
     }
 }

@@ -1,7 +1,17 @@
 //! The simulation loop.
+//!
+//! The hot per-vehicle state lives in a structure-of-arrays
+//! ([`crate::arena::Lanes`]) kept in index lockstep with the cold AoS
+//! `Vec<Vehicle>`; the Krauss update is evaluated by the runtime-dispatched
+//! lane kernels in [`crate::kernel`], and the per-tick light/sign/detector
+//! work is done by monotone cursor sweeps over the position-sorted signal
+//! arrays instead of per-vehicle scans. See `DESIGN.md` §16 for the layout
+//! and the bit-identity argument.
 
+use crate::arena::{Lanes, StepArena, StepMetrics, PASS_DAWDLE, PASS_IDM};
 use crate::config::{FollowingModel, KraussParams, SimConfig};
 use crate::detector::InductionLoop;
+use crate::kernel;
 use crate::vehicle::{Vehicle, VehicleId, VehicleKind};
 use serde::{Deserialize, Serialize};
 use velopt_common::rng::SplitMix64;
@@ -80,14 +90,28 @@ pub struct Simulation {
     id_stride: u64,
     /// Sorted by position, descending (front-most first).
     vehicles: Vec<Vehicle>,
+    /// Hot SoA state, index-lockstep with `vehicles`.
+    lanes: Lanes,
+    /// Pooled per-tick scratch.
+    arena: StepArena,
     entries: Vec<EntryPoint>,
     rng: SplitMix64,
     ego_id: Option<VehicleId>,
+    /// Cached index of the ego in `vehicles`/`lanes`; `None` once the ego
+    /// has left the corridor. Maintained by insertion and compaction.
+    ego_idx: Option<usize>,
+    /// How many live vehicles hold a pending `turn_at_light`. When zero and
+    /// the front bumper is still on the road, the removal compaction is a
+    /// provable no-op and phase 3 skips its vehicle scan entirely.
+    turners: usize,
     ego_trace: Vec<TracePoint>,
     ego_finished_at: Option<Seconds>,
     detectors: Vec<InductionLoop>,
+    /// Detector indices sorted by position (the integration-sweep order).
+    det_order: Vec<usize>,
     completed: u64,
     emergency_brakes: u64,
+    metrics: StepMetrics,
     /// Vehicles that crossed the downstream end during the latest step.
     exits: Vec<Handoff>,
 }
@@ -118,6 +142,8 @@ impl Simulation {
             next_id: 0,
             id_stride: 1,
             vehicles: Vec::new(),
+            lanes: Lanes::default(),
+            arena: StepArena::default(),
             entries: vec![EntryPoint {
                 position: Meters::ZERO,
                 rate: VehiclesPerHour::ZERO,
@@ -125,11 +151,15 @@ impl Simulation {
             }],
             rng: SplitMix64::new(seed),
             ego_id: None,
+            ego_idx: None,
+            turners: 0,
             ego_trace: Vec::new(),
             ego_finished_at: None,
             detectors: Vec::new(),
+            det_order: Vec::new(),
             completed: 0,
             emergency_brakes: 0,
+            metrics: StepMetrics::default(),
             exits: Vec::new(),
         })
     }
@@ -168,6 +198,13 @@ impl Simulation {
     /// count indicates a car-following parameterization problem).
     pub fn emergency_brakes(&self) -> u64 {
         self.emergency_brakes
+    }
+
+    /// Cumulative step-engine work counters (lane kernel split, sweep work,
+    /// scratch reuse). Dispatch-dependent counters are deliberately not part
+    /// of any determinism-checked state.
+    pub fn step_metrics(&self) -> StepMetrics {
+        self.metrics
     }
 
     /// Sets the Poisson arrival rate of background traffic at the corridor
@@ -215,6 +252,17 @@ impl Simulation {
             return Err(Error::out_of_domain("detector outside the corridor"));
         }
         self.detectors.push(InductionLoop::new(position));
+        // Keep the sweep order position-sorted (stable on ties so equal
+        // positions count in insertion order, like the historical scan).
+        let mut order: Vec<usize> = (0..self.detectors.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.detectors[a]
+                .position()
+                .value()
+                .total_cmp(&self.detectors[b].position().value())
+                .then(a.cmp(&b))
+        });
+        self.det_order = order;
         Ok(self.detectors.len() - 1)
     }
 
@@ -252,8 +300,9 @@ impl Simulation {
             stops_cleared: 0,
             commanded: None,
         };
-        self.insert_vehicle(vehicle);
+        let idx = self.insert_vehicle(vehicle);
         self.ego_id = Some(id);
+        self.ego_idx = Some(idx);
         self.ego_trace.push(TracePoint {
             time: self.time,
             position: Meters::ZERO,
@@ -262,10 +311,13 @@ impl Simulation {
         Ok(id)
     }
 
-    /// The ego's current state, if it is on the corridor.
+    /// The ego's current state, if it is on the corridor (O(1) via the
+    /// cached index).
     pub fn ego(&self) -> Option<EgoSnapshot> {
-        let id = self.ego_id?;
-        let v = self.vehicles.iter().find(|v| v.id == id)?;
+        self.ego_id?;
+        let idx = self.ego_idx?;
+        let v = &self.vehicles[idx];
+        debug_assert_eq!(Some(v.id), self.ego_id, "stale ego index");
         Some(EgoSnapshot {
             position: v.position,
             speed: v.speed,
@@ -285,15 +337,14 @@ impl Simulation {
                 return Err(Error::invalid_input("commanded speed must be >= 0"));
             }
         }
-        let id = self
-            .ego_id
+        self.ego_id
             .ok_or_else(|| Error::invalid_input("no ego vehicle active"))?;
-        if let Some(v) = self.vehicles.iter_mut().find(|v| v.id == id) {
-            v.commanded = command;
-            Ok(())
-        } else {
-            Err(Error::invalid_input("ego has left the corridor"))
-        }
+        let idx = self
+            .ego_idx
+            .ok_or_else(|| Error::invalid_input("ego has left the corridor"))?;
+        self.vehicles[idx].commanded = command;
+        self.lanes.cmd[idx] = command.map_or(f64::INFINITY, |c| c.value());
+        Ok(())
     }
 
     /// Sets (or clears) the TraCI-style commanded-speed cap on any live
@@ -314,8 +365,9 @@ impl Simulation {
                 return Err(Error::invalid_input("commanded speed must be >= 0"));
             }
         }
-        if let Some(v) = self.vehicles.iter_mut().find(|v| v.id == id) {
-            v.commanded = command;
+        if let Some(idx) = self.vehicles.iter().position(|v| v.id == id) {
+            self.vehicles[idx].commanded = command;
+            self.lanes.cmd[idx] = command.map_or(f64::INFINITY, |c| c.value());
             Ok(())
         } else {
             Err(Error::invalid_input(format!(
@@ -387,106 +439,212 @@ impl Simulation {
     /// Advances the simulation by one step.
     pub fn step(&mut self) {
         let dt = self.config.dt;
+        let dtv = dt.value();
         self.exits.clear();
-        let old: Vec<(Meters, MetersPerSecond)> = self
-            .vehicles
-            .iter()
-            .map(|v| (v.position, v.speed))
-            .collect();
+        let n = self.vehicles.len();
+        debug_assert_eq!(self.lanes.len(), n, "lane/AoS lockstep broken");
+        let use_simd = kernel::dispatch(self.config.simd);
+        let mut arena = std::mem::take(&mut self.arena);
+        let lights = self.road.traffic_lights();
+        let signs = self.road.stop_signs();
+        let nl = lights.len();
+        let ns = signs.len();
 
-        // Phase 1: compute new speeds from the previous step's state.
-        let mut new_speeds = Vec::with_capacity(self.vehicles.len());
-        for (i, v) in self.vehicles.iter().enumerate() {
-            // The constraints a vehicle must respect, as (gap-to-obstacle,
-            // obstacle speed) pairs measured from the front bumper.
-            let mut constraints: Vec<(Meters, MetersPerSecond)> = Vec::with_capacity(3);
+        if arena.would_grow(n, nl) {
+            self.metrics.arena_grows += 1;
+            telemetry::add("microsim.arena_grows", 1);
+        } else {
+            self.metrics.arena_reuses += 1;
+        }
 
-            // Leader constraint.
-            if i > 0 {
-                let (lead_pos, lead_speed) = old[i - 1];
-                let lead_rear = lead_pos - self.vehicles[i - 1].params.length;
-                constraints.push((lead_rear - v.position - v.params.min_gap, lead_speed));
+        // Signal phases once per tick, not once per vehicle.
+        arena.red.clear();
+        arena
+            .red
+            .extend(lights.iter().map(|l| l.phase_at(self.time) == Phase::Red));
+
+        // Phase 1a: position sweep. Vehicles are front-most first and the
+        // lights/signs arrays are position-sorted ascending, so two monotone
+        // cursors (only ever moving backward as positions descend) find each
+        // vehicle's nearest light/first unserved sign ahead — O(V + K) per
+        // tick where the historical per-vehicle scans were O(V × K).
+        arena.free.clear();
+        arena.stop_gap.clear();
+        let uniform_limit = if self.road.speed_zones().is_empty() {
+            // The common corridor has no explicit zones; hoist the limit.
+            // (Zones are first-match ordered, so a zoned road must keep the
+            // historical per-vehicle lookup.)
+            Some(self.road.default_limits().1.value())
+        } else {
+            None
+        };
+        let mut sweep_advances = 0u64;
+        let mut sign_window_checks = 0u64;
+        let mut lc = nl; // index of the first light strictly ahead
+        let mut sc = ns; // index of the first sign strictly ahead
+        for i in 0..n {
+            let p = self.lanes.pos[i];
+            while lc > 0 && lights[lc - 1].position().value() > p {
+                lc -= 1;
+                sweep_advances += 1;
             }
-            // Red traffic lights ahead act as stopped virtual leaders.
-            for light in self.road.traffic_lights() {
-                if light.position() > v.position {
-                    if light.phase_at(self.time) == Phase::Red {
-                        constraints.push((light.position() - v.position, MetersPerSecond::ZERO));
-                    }
-                    break; // only the nearest light ahead can bind
+            while sc > 0 && signs[sc - 1].position.value() > p {
+                sc -= 1;
+                sweep_advances += 1;
+            }
+            // Only the nearest light ahead can bind, and only while red.
+            let light_gap = if lc < nl && arena.red[lc] {
+                lights[lc].position().value() - p
+            } else {
+                f64::INFINITY
+            };
+            // First unserved sign ahead: sign indices are position-ordered,
+            // so it is the lowest set bit of the not-served mask at or above
+            // the cursor.
+            let sign_gap = if sc < ns {
+                let unserved = !self.vehicles[i].stops_cleared >> sc;
+                let si = sc + unserved.trailing_zeros() as usize;
+                if si < ns {
+                    signs[si].position.value() - p
+                } else {
+                    f64::INFINITY
                 }
-            }
-            // Un-served stop signs ahead require a full stop at the line.
-            for (si, sign) in self.road.stop_signs().iter().enumerate() {
-                if sign.position > v.position && v.stops_cleared & (1u64 << si) == 0 {
-                    constraints.push((sign.position - v.position, MetersPerSecond::ZERO));
-                    break;
-                }
-            }
+            } else {
+                f64::INFINITY
+            };
+            // Both obstacles are stationary, and the stopped-obstacle safe
+            // speed is weakly monotone in the gap, so one merged lane is
+            // bit-identical to constraining on each separately.
+            arena.stop_gap.push(light_gap.min(sign_gap));
+            let limit = match uniform_limit {
+                Some(l) => l,
+                None => self.road.speed_limits_at(Meters::new(p)).1.value(),
+            };
+            arena
+                .free
+                .push(self.lanes.desired[i].min(limit).min(self.lanes.cmd[i]));
+        }
 
-            // Free-flow target: vehicle preference, road limit, and any
-            // TraCI command.
-            let mut free = v
-                .params
-                .desired_speed
-                .min(self.road.speed_limits_at(v.position).1);
-            if let Some(cmd) = v.commanded {
-                free = free.min(cmd);
-            }
+        // Phase 1b: the Krauss lane kernel (AVX2 when dispatched).
+        arena.next.clear();
+        arena.next.resize(n, 0.0);
+        let (simd_lanes, scalar_lanes) = kernel::lane_speeds(
+            use_simd,
+            &kernel::KraussIn {
+                pos: &self.lanes.pos,
+                spd: &self.lanes.spd,
+                length: &self.lanes.length,
+                min_gap: &self.lanes.min_gap,
+                accel_dt: &self.lanes.accel_dt,
+                bt: &self.lanes.bt,
+                btsq: &self.lanes.btsq,
+                twob: &self.lanes.twob,
+                free: &arena.free,
+                stop_gap: &arena.stop_gap,
+            },
+            &mut arena.next,
+        );
 
-            let mut next = match v.params.model {
-                crate::config::FollowingModel::Krauss => {
-                    let mut desired = free.min(v.speed + v.params.accel * dt);
-                    for &(gap, obstacle_speed) in &constraints {
-                        desired = desired.min(v.params.safe_speed(gap, obstacle_speed));
-                    }
-                    desired.max(MetersPerSecond::ZERO)
+        // Phase 1c: scalar pass in vehicle order — Krauss dawdle draws and
+        // IDM vehicles. Running this in index order keeps the SplitMix64
+        // draw sequence identical to the historical per-vehicle loop.
+        for i in 0..n {
+            match self.lanes.pass[i] {
+                PASS_DAWDLE => {
+                    let dawdle = self.lanes.sigma_accel_dt[i] * self.rng.next_f64();
+                    arena.next[i] = (arena.next[i] - dawdle).max(0.0);
                 }
-                crate::config::FollowingModel::Idm => {
-                    // IDM reacts to the most restrictive constraint (the
-                    // smallest-gap obstacle); accelerations from multiple
-                    // obstacles would double-count.
-                    let binding = constraints
-                        .iter()
-                        .copied()
-                        .min_by(|a, b| a.0.value().total_cmp(&b.0.value()));
-                    let a = v.params.idm_acceleration(v.speed, free, binding);
+                PASS_IDM => {
+                    let spd = self.lanes.spd[i];
+                    let sg = arena.stop_gap[i];
+                    // Reconstruct the binding (smallest-gap) constraint the
+                    // historical `min_by` fold chose; `min_by` keeps the
+                    // *last* of equal minima, so a stop line at exactly the
+                    // leader gap wins the tie.
+                    let binding = if i > 0 {
+                        let lg = ((self.lanes.pos[i - 1] - self.lanes.length[i - 1])
+                            - self.lanes.pos[i])
+                            - self.lanes.min_gap[i];
+                        if sg <= lg {
+                            Some((Meters::new(sg), MetersPerSecond::ZERO))
+                        } else {
+                            Some((Meters::new(lg), MetersPerSecond::new(self.lanes.spd[i - 1])))
+                        }
+                    } else if sg < f64::INFINITY {
+                        Some((Meters::new(sg), MetersPerSecond::ZERO))
+                    } else {
+                        None
+                    };
+                    let params = &self.vehicles[i].params;
+                    let a = params.idm_acceleration(
+                        MetersPerSecond::new(spd),
+                        MetersPerSecond::new(arena.free[i]),
+                        binding,
+                    );
                     // Limit braking to a hard emergency bound so a single
                     // step cannot produce absurd decelerations.
                     let a = a
                         .value()
-                        .clamp(-2.0 * v.params.decel.value(), v.params.accel.value());
-                    MetersPerSecond::new((v.speed.value() + a * dt.value()).max(0.0))
+                        .clamp(-2.0 * params.decel.value(), params.accel.value());
+                    arena.next[i] = (spd + a * dtv).max(0.0);
                 }
-            };
-
-            // Background dawdling (Krauss sigma; IDM is deterministic).
-            if v.kind == VehicleKind::Background
-                && v.params.sigma > 0.0
-                && v.params.model == crate::config::FollowingModel::Krauss
-            {
-                let dawdle =
-                    v.params.sigma * v.params.accel.value() * dt.value() * self.rng.next_f64();
-                next = MetersPerSecond::new((next.value() - dawdle).max(0.0));
+                _ => {}
             }
-            new_speeds.push(next);
         }
 
-        // Phase 2: integrate positions, serve stop signs, update detectors.
-        for (i, v) in self.vehicles.iter_mut().enumerate() {
-            let from = v.position;
-            v.speed = new_speeds[i];
-            v.position += v.speed * dt;
-            for (si, sign) in self.road.stop_signs().iter().enumerate() {
-                if v.stops_cleared & (1u64 << si) == 0
-                    && v.speed.value() < 0.1
-                    && (sign.position - v.position).value().abs() < 3.0
-                {
-                    v.stops_cleared |= 1u64 << si;
+        // Phase 2: integrate positions. With no signs and no detectors this
+        // is one vectorized lane pass; otherwise a scalar loop folds the
+        // detector-crossing sweep and stop-sign serving into the same pass
+        // (the historical code rescanned every detector and sign per
+        // vehicle).
+        if ns == 0 && self.detectors.is_empty() {
+            kernel::integrate(use_simd, &mut self.lanes.pos, &arena.next, dtv);
+            // Double-buffer: `next` *becomes* the speed lane (the old speeds
+            // become next tick's scratch) instead of copying element-wise.
+            std::mem::swap(&mut self.lanes.spd, &mut arena.next);
+        } else {
+            let nd = self.det_order.len();
+            let mut dc = nd; // index of the first detector strictly ahead
+            for i in 0..n {
+                let from = self.lanes.pos[i];
+                let next = arena.next[i];
+                let to = from + next * dtv;
+                while dc > 0 && self.detectors[self.det_order[dc - 1]].position().value() > from {
+                    dc -= 1;
+                    sweep_advances += 1;
                 }
-            }
-            for det in &mut self.detectors {
-                det.observe(from, v.position);
+                // Every detector in (from, to] is a crossing; `observe`
+                // re-checks the exact exclusive/inclusive predicate.
+                let mut j = dc;
+                while j < nd {
+                    let det = &mut self.detectors[self.det_order[j]];
+                    if det.position().value() > to {
+                        break;
+                    }
+                    det.observe(Meters::new(from), Meters::new(to));
+                    j += 1;
+                }
+                // Serve stop signs: only a (near-)stopped vehicle can serve,
+                // and only signs within ±3 m of its new position. The ±4 m
+                // scan window over-covers the float rounding of `to - 4.0`;
+                // the exact |sign − to| < 3 recheck inside decides every
+                // boundary with the historical expression.
+                if ns > 0 && next < 0.1 {
+                    let lo = signs.partition_point(|s| s.position.value() <= to - 4.0);
+                    let mask = &mut self.vehicles[i].stops_cleared;
+                    for (si, sign) in signs.iter().enumerate().skip(lo) {
+                        let sp = sign.position.value();
+                        if sp >= to + 4.0 {
+                            break;
+                        }
+                        sign_window_checks += 1;
+                        if *mask & (1u64 << si) == 0 && (sp - to).abs() < 3.0 {
+                            *mask |= 1u64 << si;
+                        }
+                    }
+                }
+                self.lanes.pos[i] = to;
+                self.lanes.spd[i] = next;
             }
         }
         // Seal the detector step: every movement for this step is observed,
@@ -497,58 +655,90 @@ impl Simulation {
         }
 
         // Phase 2b: hard collision guard (should never trigger with sane
-        // parameters; counted so tests can assert on it).
-        for i in 1..self.vehicles.len() {
-            let lead_rear = self.vehicles[i - 1].rear();
-            if self.vehicles[i].position > lead_rear {
-                self.vehicles[i].position = lead_rear;
-                self.vehicles[i].speed = MetersPerSecond::ZERO;
-                self.emergency_brakes += 1;
+        // parameters; counted so tests can assert on it), fused with the
+        // AoS write-back. Sequential on purpose: a guarded leader's
+        // corrected position binds its follower within the same pass, and
+        // the write-back reads the corrected lanes.
+        for i in 0..n {
+            if i > 0 {
+                let lead_rear = self.lanes.pos[i - 1] - self.lanes.length[i - 1];
+                if self.lanes.pos[i] > lead_rear {
+                    self.lanes.pos[i] = lead_rear;
+                    self.lanes.spd[i] = 0.0;
+                    self.emergency_brakes += 1;
+                }
             }
+            self.vehicles[i].position = Meters::new(self.lanes.pos[i]);
+            self.vehicles[i].speed = MetersPerSecond::new(self.lanes.spd[i]);
         }
 
         self.time += dt;
 
-        // Phase 3: remove turners (at green lights) and finished vehicles.
-        let road_len = self.road.length();
-        let lights = self.road.traffic_lights().to_vec();
-        let ego_id = self.ego_id;
-        let mut finished_ego = false;
-        let completed = &mut self.completed;
-        let exits = &mut self.exits;
-        self.vehicles.retain(|v| {
-            if let Some(light_idx) = v.turn_at_light {
-                if v.position >= lights[light_idx].position() {
-                    return false; // turned off the corridor
+        // Phase 3: remove turners (at green lights) and finished vehicles —
+        // one in-place compaction over both the AoS and the lanes, tracking
+        // the ego index through the moves.
+        let road_len = self.road.length().value();
+        // Vehicles only ever leave by turning (needs a pending turner) or by
+        // crossing the downstream end (the front-most rear bumper is the
+        // earliest candidate); when neither is possible the compaction is a
+        // no-op and the scan — the only thing it could do is count `w` up —
+        // is skipped wholesale.
+        let can_shed =
+            self.turners > 0 || (n > 0 && self.lanes.pos[0] - self.lanes.length[0] > road_len);
+        if can_shed {
+            let old_ego = self.ego_idx;
+            self.ego_idx = None;
+            let mut finished_ego = false;
+            let mut w = 0usize;
+            for r in 0..n {
+                if let Some(light_idx) = self.vehicles[r].turn_at_light {
+                    if self.lanes.pos[r] >= lights[light_idx].position().value() {
+                        self.turners -= 1;
+                        continue; // turned off the corridor
+                    }
                 }
-            }
-            if v.rear() > road_len {
-                *completed += 1;
-                exits.push(Handoff {
-                    id: v.id,
-                    kind: v.kind,
-                    speed: v.speed,
-                    params: v.params,
-                    stops_cleared: v.stops_cleared,
-                    commanded: v.commanded,
-                });
-                if Some(v.id) == ego_id {
-                    finished_ego = true;
+                if self.lanes.pos[r] - self.lanes.length[r] > road_len {
+                    self.completed += 1;
+                    let v = &self.vehicles[r];
+                    if v.turn_at_light.is_some() {
+                        self.turners -= 1;
+                    }
+                    self.exits.push(Handoff {
+                        id: v.id,
+                        kind: v.kind,
+                        speed: v.speed,
+                        params: v.params,
+                        stops_cleared: v.stops_cleared,
+                        commanded: v.commanded,
+                    });
+                    if old_ego == Some(r) {
+                        finished_ego = true;
+                    }
+                    continue;
                 }
-                return false;
+                if r != w {
+                    self.vehicles.swap(w, r);
+                    self.lanes.copy(r, w);
+                }
+                if old_ego == Some(r) {
+                    self.ego_idx = Some(w);
+                }
+                w += 1;
             }
-            true
-        });
-        if finished_ego {
-            self.ego_finished_at = Some(self.time);
+            self.vehicles.truncate(w);
+            self.lanes.truncate(w);
+            if finished_ego {
+                self.ego_finished_at = Some(self.time);
+            }
         }
 
         // Phase 4: Poisson arrivals at the entrance.
         self.inject_arrivals();
 
-        // Phase 5: ego telemetry.
-        if let Some(id) = self.ego_id {
-            if let Some(v) = self.vehicles.iter().find(|v| v.id == id) {
+        // Phase 5: ego telemetry (O(1) via the cached index).
+        if self.ego_id.is_some() {
+            if let Some(idx) = self.ego_idx {
+                let v = &self.vehicles[idx];
                 self.ego_trace.push(TracePoint {
                     time: self.time,
                     position: v.position,
@@ -556,6 +746,17 @@ impl Simulation {
                 });
             }
         }
+
+        self.metrics.simd_lanes += simd_lanes;
+        self.metrics.scalar_lanes += scalar_lanes;
+        self.metrics.sweep_advances += sweep_advances;
+        self.metrics.sign_window_checks += sign_window_checks;
+        telemetry::add("microsim.steps", 1);
+        telemetry::add("microsim.simd_lanes", simd_lanes);
+        telemetry::add("microsim.scalar_lanes", scalar_lanes);
+        telemetry::add("microsim.sweep_advances", sweep_advances);
+        telemetry::add("microsim.sign_window_checks", sign_window_checks);
+        self.arena = arena;
     }
 
     /// Runs until `t` (inclusive of the last partial step boundary).
@@ -616,9 +817,14 @@ impl Simulation {
     ) -> bool {
         let length = params.length.value();
         let dt = self.config.dt.value();
-        for v in &self.vehicles {
-            if v.position >= position {
-                let ahead_gap = (v.rear() - position).value();
+        // The scan walks the contiguous position/speed lanes (identical to
+        // the AoS values outside a step) and touches the cold AoS only for
+        // the per-class parameters.
+        for (i, v) in self.vehicles.iter().enumerate() {
+            let vpos = self.lanes.pos[i];
+            let vspd = self.lanes.spd[i];
+            if vpos >= position.value() {
+                let ahead_gap = (vpos - self.lanes.length[i]) - position.value();
                 let launch = match params.model {
                     FollowingModel::Krauss => 5.0,
                     FollowingModel::Idm => {
@@ -630,8 +836,8 @@ impl Simulation {
                     return true;
                 }
             } else {
-                let follower_gap = (position - v.position).value() - length;
-                let vf = v.speed.value();
+                let follower_gap = (position.value() - vpos) - length;
+                let vf = vspd;
                 let needed = v.params.min_gap.value()
                     + match v.params.model {
                         FollowingModel::Krauss => 0.5 * vf,
@@ -674,7 +880,7 @@ impl Simulation {
                 }
             }
         }
-        self.insert_vehicle(Vehicle {
+        let idx = self.insert_vehicle(Vehicle {
             id: handoff.id,
             kind: handoff.kind,
             position: Meters::ZERO,
@@ -686,6 +892,7 @@ impl Simulation {
         });
         if handoff.kind == VehicleKind::Ego {
             self.ego_id = Some(handoff.id);
+            self.ego_idx = Some(idx);
         }
         true
     }
@@ -696,11 +903,30 @@ impl Simulation {
         std::mem::take(&mut self.exits)
     }
 
-    fn insert_vehicle(&mut self, v: Vehicle) {
+    /// Appends the latest step's exits to a caller-provided buffer instead
+    /// of allocating a fresh `Vec` — the sharded network loop keeps one
+    /// staging buffer per cell and allocates nothing in steady state.
+    pub fn drain_exits_into(&mut self, out: &mut Vec<Handoff>) {
+        out.append(&mut self.exits);
+    }
+
+    /// Inserts `v` into both the AoS and the lanes, returning its index and
+    /// keeping the cached ego index valid.
+    fn insert_vehicle(&mut self, v: Vehicle) -> usize {
         // Vehicles are sorted front-most first; new arrivals enter at the
         // back (position 0).
         let idx = self.vehicles.partition_point(|u| u.position >= v.position);
+        if v.turn_at_light.is_some() {
+            self.turners += 1;
+        }
+        self.lanes.insert(idx, &v, self.config.dt.value());
         self.vehicles.insert(idx, v);
+        if let Some(e) = self.ego_idx {
+            if idx <= e {
+                self.ego_idx = Some(e + 1);
+            }
+        }
+        idx
     }
 
     fn inject_arrivals(&mut self) {
@@ -745,8 +971,14 @@ impl Simulation {
                     stops_cleared |= 1u64 << si;
                 }
             }
+            // Population draws: trucks first (the historical draw order,
+            // so `idm_fraction = 0` replays existing seeds exactly), then
+            // the IDM share among the remainder. The IDM draw is gated on a
+            // positive fraction because `chance` always consumes a draw.
             let params = if self.rng.chance(self.config.truck_fraction) {
                 self.config.truck
+            } else if self.config.idm_fraction > 0.0 && self.rng.chance(self.config.idm_fraction) {
+                self.config.idm_background
             } else {
                 self.config.background
             };
@@ -1188,5 +1420,329 @@ mod tests {
         };
         assert!(!dst.receive(&blocked), "entrance is occupied by the ego");
         assert_eq!(dst.vehicle_count(), 1);
+    }
+
+    /// Replays the historical per-vehicle scan algorithm (pre-SoA) over the
+    /// public state: constraints gathered by scanning every light and sign
+    /// per vehicle, the Krauss/IDM fold, integration, and the sequential
+    /// collision guard. Returns `id → (speed_bits, pos_bits)` predictions
+    /// for every vehicle present before the step. Dawdle draws are not
+    /// replayed, so callers must use `σ = 0` backgrounds.
+    fn scan_oracle(sim: &Simulation) -> std::collections::HashMap<u64, (u64, u64)> {
+        let dt = sim.config().dt;
+        let road = sim.road();
+        let vehicles = sim.vehicles();
+        let mut new_speeds: Vec<MetersPerSecond> = Vec::with_capacity(vehicles.len());
+        for (i, v) in vehicles.iter().enumerate() {
+            let mut constraints: Vec<(Meters, MetersPerSecond)> = Vec::with_capacity(3);
+            if i > 0 {
+                let lead = &vehicles[i - 1];
+                constraints.push((lead.rear() - v.position - v.params.min_gap, lead.speed));
+            }
+            for light in road.traffic_lights() {
+                if light.position() > v.position {
+                    if light.phase_at(sim.time()) == Phase::Red {
+                        constraints.push((light.position() - v.position, MetersPerSecond::ZERO));
+                    }
+                    break;
+                }
+            }
+            for (si, sign) in road.stop_signs().iter().enumerate() {
+                if sign.position > v.position && v.stops_cleared & (1u64 << si) == 0 {
+                    constraints.push((sign.position - v.position, MetersPerSecond::ZERO));
+                    break;
+                }
+            }
+            let mut free = v
+                .params
+                .desired_speed
+                .min(road.speed_limits_at(v.position).1);
+            if let Some(cmd) = v.commanded {
+                free = free.min(cmd);
+            }
+            let next = match v.params.model {
+                FollowingModel::Krauss => {
+                    let mut desired = free.min(v.speed + v.params.accel * dt);
+                    for &(gap, obstacle_speed) in &constraints {
+                        desired = desired.min(v.params.safe_speed(gap, obstacle_speed));
+                    }
+                    desired.max(MetersPerSecond::ZERO)
+                }
+                FollowingModel::Idm => {
+                    let binding = constraints
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| a.0.value().total_cmp(&b.0.value()));
+                    let a = v.params.idm_acceleration(v.speed, free, binding);
+                    let a = a
+                        .value()
+                        .clamp(-2.0 * v.params.decel.value(), v.params.accel.value());
+                    MetersPerSecond::new((v.speed.value() + a * dt.value()).max(0.0))
+                }
+            };
+            new_speeds.push(next);
+        }
+        let mut pos: Vec<Meters> = vehicles.iter().map(|v| v.position).collect();
+        for i in 0..vehicles.len() {
+            pos[i] += new_speeds[i] * dt;
+        }
+        for i in 1..vehicles.len() {
+            let lead_rear = pos[i - 1] - vehicles[i - 1].params.length;
+            if pos[i] > lead_rear {
+                pos[i] = lead_rear;
+                new_speeds[i] = MetersPerSecond::ZERO;
+            }
+        }
+        vehicles
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                (
+                    v.id.raw(),
+                    (new_speeds[i].value().to_bits(), pos[i].value().to_bits()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn step_matches_per_vehicle_scan_oracle_bitwise() {
+        // Adversarial layout: a light and a sign sharing a stop line, a
+        // near-co-located pair, a side entry exactly at a signal, and a
+        // mixed Krauss/IDM population. Every step of the sweeping engine
+        // must reproduce the historical per-vehicle scan bit-for-bit.
+        let road = RoadBuilder::new(Meters::new(2000.0))
+            .default_limits(MetersPerSecond::new(8.0), MetersPerSecond::new(20.0))
+            .traffic_light(
+                Meters::new(400.0),
+                Seconds::new(30.0),
+                Seconds::new(20.0),
+                Seconds::ZERO,
+            )
+            .stop_sign(Meters::new(400.0)) // co-located with the light
+            .stop_sign(Meters::new(897.0)) // near-co-located pair
+            .traffic_light(
+                Meters::new(900.0),
+                Seconds::new(25.0),
+                Seconds::new(25.0),
+                Seconds::new(13.0),
+            )
+            .build()
+            .unwrap();
+        let mut sim = Simulation::new(
+            road,
+            SimConfig {
+                background: KraussParams {
+                    sigma: 0.0, // the oracle cannot replay dawdle draws
+                    ..KraussParams::passenger()
+                },
+                idm_fraction: 0.35,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+        sim.add_entry_point(Meters::new(400.0), VehiclesPerHour::new(300.0))
+            .unwrap();
+        sim.spawn_ego(MetersPerSecond::new(10.0)).unwrap();
+        sim.set_ego_command(Some(MetersPerSecond::new(12.0)))
+            .unwrap();
+        for _ in 0..2500 {
+            let want = scan_oracle(&sim);
+            sim.step();
+            for v in sim.vehicles() {
+                if let Some(&(sbits, pbits)) = want.get(&v.id.raw()) {
+                    assert_eq!(
+                        v.speed.value().to_bits(),
+                        sbits,
+                        "speed of {} diverged at t = {}",
+                        v.id,
+                        sim.time()
+                    );
+                    assert_eq!(
+                        v.position.value().to_bits(),
+                        pbits,
+                        "position of {} diverged at t = {}",
+                        v.id,
+                        sim.time()
+                    );
+                }
+            }
+        }
+        assert_eq!(sim.emergency_brakes(), 0);
+        assert!(sim.completed() > 0, "traffic must flow through the layout");
+    }
+
+    #[test]
+    fn entry_exactly_at_signal_lines_is_not_held() {
+        // A vehicle injected exactly at a stop line binds on neither the
+        // (always-red) light nor the sign there — both use strictly-ahead
+        // semantics, and the sweep must reproduce that boundary.
+        let road = RoadBuilder::new(Meters::new(1500.0))
+            .default_limits(MetersPerSecond::new(8.0), MetersPerSecond::new(20.0))
+            .traffic_light(
+                Meters::new(600.0),
+                Seconds::new(10_000.0),
+                Seconds::new(1.0),
+                Seconds::ZERO,
+            )
+            .stop_sign(Meters::new(600.0))
+            .build()
+            .unwrap();
+        let mut sim = quick_sim(road);
+        sim.add_entry_point(Meters::new(600.0), VehiclesPerHour::new(300.0))
+            .unwrap();
+        sim.run_until(Seconds::new(300.0)).unwrap();
+        assert!(sim.completed() > 0, "entrants at the line drive on");
+        assert_eq!(sim.emergency_brakes(), 0);
+        for v in sim.vehicles() {
+            assert!(v.position().value() >= 600.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn co_located_light_and_sign_both_bind() {
+        let road = RoadBuilder::new(Meters::new(1000.0))
+            .default_limits(MetersPerSecond::new(8.0), MetersPerSecond::new(20.0))
+            .traffic_light(
+                Meters::new(500.0),
+                Seconds::new(40.0),
+                Seconds::new(40.0),
+                Seconds::ZERO,
+            )
+            .stop_sign(Meters::new(500.0))
+            .build()
+            .unwrap();
+        let mut sim = quick_sim(road);
+        sim.spawn_ego(MetersPerSecond::new(15.0)).unwrap();
+        let mut stopped_at_line = false;
+        while sim.time() < Seconds::new(120.0) && sim.ego_finished_at().is_none() {
+            sim.step();
+            if let Some(e) = sim.ego() {
+                if e.speed.value() < 0.1 && (e.position.value() - 500.0).abs() < 5.0 {
+                    stopped_at_line = true;
+                    assert!(
+                        e.position.value() <= 500.0,
+                        "the merged stop lane must hold the ego at the line"
+                    );
+                }
+            }
+        }
+        assert!(stopped_at_line, "the co-located pair must halt the ego");
+        assert!(
+            sim.ego_finished_at().is_some(),
+            "a served sign and a green light release the ego"
+        );
+        assert_eq!(sim.emergency_brakes(), 0);
+    }
+
+    #[test]
+    fn config_simd_off_is_bit_identical() {
+        let run = |simd: bool| {
+            let mut sim = Simulation::new(
+                Road::us25(),
+                SimConfig {
+                    simd,
+                    truck_fraction: 0.2,
+                    idm_fraction: 0.15,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+            sim.spawn_ego(MetersPerSecond::new(5.0)).unwrap();
+            for _ in 0..1200 {
+                sim.step();
+            }
+            sim
+        };
+        let auto = run(true);
+        let forced = run(false);
+        assert_eq!(forced.step_metrics().simd_lanes, 0);
+        assert_eq!(
+            auto.step_metrics().total_lanes(),
+            forced.step_metrics().total_lanes(),
+            "the lane split moves with dispatch, the total work does not"
+        );
+        assert_eq!(auto.completed(), forced.completed());
+        assert_eq!(auto.emergency_brakes(), forced.emergency_brakes());
+        assert_eq!(auto.vehicle_count(), forced.vehicle_count());
+        for (a, f) in auto.vehicles().iter().zip(forced.vehicles()) {
+            assert_eq!(a.id, f.id);
+            assert_eq!(a.position.value().to_bits(), f.position.value().to_bits());
+            assert_eq!(a.speed.value().to_bits(), f.speed.value().to_bits());
+            assert_eq!(a.stops_cleared, f.stops_cleared);
+        }
+        assert_eq!(auto.ego_trace().len(), forced.ego_trace().len());
+        for (a, f) in auto.ego_trace().iter().zip(forced.ego_trace()) {
+            assert_eq!(a.position.value().to_bits(), f.position.value().to_bits());
+            assert_eq!(a.speed.value().to_bits(), f.speed.value().to_bits());
+        }
+
+        // Also pin the detector-free road, which takes the vectorized
+        // integration path.
+        let free = |simd: bool| {
+            let mut sim = Simulation::new(
+                free_road(),
+                SimConfig {
+                    simd,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            sim.set_arrival_rate(VehiclesPerHour::new(1100.0));
+            for _ in 0..800 {
+                sim.step();
+            }
+            sim
+        };
+        let fa = free(true);
+        let fs = free(false);
+        assert_eq!(fa.completed(), fs.completed());
+        for (a, f) in fa.vehicles().iter().zip(fs.vehicles()) {
+            assert_eq!(a.position.value().to_bits(), f.position.value().to_bits());
+            assert_eq!(a.speed.value().to_bits(), f.speed.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn step_arena_reuses_capacity_in_steady_state() {
+        let mut sim = quick_sim(Road::us25());
+        sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+        let mut lanes_expected = 0u64;
+        for _ in 0..3000 {
+            lanes_expected += sim.vehicle_count() as u64;
+            sim.step();
+        }
+        let m = sim.step_metrics();
+        assert_eq!(
+            m.total_lanes(),
+            lanes_expected,
+            "every vehicle-step is exactly one kernel lane"
+        );
+        assert_eq!(m.arena_grows + m.arena_reuses, 3000);
+        assert!(
+            m.arena_grows < 64,
+            "scratch growth must cap out, got {}",
+            m.arena_grows
+        );
+        assert!(m.arena_reuses > 2900);
+        assert!(m.sweep_advances > 0, "the cursor sweeps must do the work");
+    }
+
+    #[test]
+    fn drain_exits_into_reuses_the_buffer() {
+        let mut sim = quick_sim(free_road());
+        sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+        let mut buf = Vec::new();
+        let mut drained = 0u64;
+        for _ in 0..6000 {
+            sim.step();
+            sim.drain_exits_into(&mut buf);
+            drained += buf.len() as u64;
+            buf.clear();
+        }
+        assert_eq!(drained, sim.completed());
+        assert!(sim.take_exits().is_empty(), "drain leaves nothing behind");
     }
 }

@@ -1,0 +1,103 @@
+//! Per-corridor [`VehicleMix`] overrides: materialization and determinism.
+//!
+//! A corridor's mix override biases which parameter preset each Poisson
+//! arrival draws without touching the draw *order*, so mixed networks keep
+//! the bit-identity guarantees of the uniform ones.
+
+use proptest::prelude::*;
+use velopt_common::units::{MetersPerSecond, Seconds, VehiclesPerHour};
+use velopt_microsim::{CorridorSpec, Network, SimConfig, VehicleMix};
+use velopt_road::CorridorTemplate;
+
+/// A three-corridor chain with a different population on every corridor:
+/// truck-heavy feeder, IDM-heavy middle, default-passenger sink.
+fn mixed_chain(seed: u64, rate: f64) -> Vec<CorridorSpec> {
+    let template = CorridorTemplate {
+        length: (1500.0, 2500.0),
+        ..CorridorTemplate::default()
+    };
+    let road = |i: u64| template.generate(seed ^ (0x3141_0000 + i)).unwrap();
+    let mut feeder = CorridorSpec::through(road(0), 1);
+    feeder.arrival_rate = VehiclesPerHour::new(rate);
+    feeder.mix = Some(VehicleMix {
+        truck_fraction: 0.4,
+        idm_fraction: 0.1,
+    });
+    let mut middle = CorridorSpec::through(road(1), 2);
+    middle.arrival_rate = VehiclesPerHour::new(rate / 2.0);
+    middle.mix = Some(VehicleMix {
+        truck_fraction: 0.0,
+        idm_fraction: 0.6,
+    });
+    let sink = CorridorSpec::terminal(road(2));
+    vec![feeder, middle, sink]
+}
+
+fn run(seed: u64, rate: f64, shards: usize) -> (u64, u64) {
+    let config = SimConfig {
+        seed,
+        straight_ratio: 0.9,
+        ..SimConfig::default()
+    };
+    let mut net = Network::new(mixed_chain(seed, rate), shards, config).unwrap();
+    net.spawn_ego(0, MetersPerSecond::new(5.0)).unwrap();
+    net.run_until(Seconds::new(300.0)).unwrap();
+    (net.ego_trace_hash(), net.state_hash())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Heterogeneous per-corridor mixes never break shard-count
+    /// bit-identity.
+    #[test]
+    fn mixed_populations_are_shard_invariant(
+        seed in any::<u64>(),
+        rate in 400.0f64..900.0,
+    ) {
+        let one = run(seed, rate, 1);
+        for shards in [2usize, 4] {
+            prop_assert_eq!(one, run(seed, rate, shards), "diverged at {} shards", shards);
+        }
+    }
+}
+
+/// The overrides actually materialize: trucks on the truck corridor, none
+/// on the truck-free one.
+#[test]
+fn mix_overrides_shape_each_corridor() {
+    let config = SimConfig {
+        seed: 0x0CA5_CADE,
+        straight_ratio: 0.95,
+        ..SimConfig::default()
+    };
+    let mut net = Network::new(mixed_chain(0x0CA5_CADE, 900.0), 2, config).unwrap();
+    net.run_until(Seconds::new(900.0)).unwrap();
+    let truck_count = |c: usize| {
+        net.corridor(c)
+            .unwrap()
+            .vehicles()
+            .iter()
+            .filter(|v| v.params().length.value() > 10.0)
+            .count()
+    };
+    assert!(
+        truck_count(0) > 0,
+        "40% truck fraction must put trucks on the feeder"
+    );
+    // The middle corridor spawns no trucks of its own; any trucks there
+    // arrived over the junction from the feeder, which is fine — check the
+    // *fresh* population instead: middle-corridor IDM share shows up as
+    // vehicles whose params match the IDM preset.
+    let idm_like = net
+        .corridor(1)
+        .unwrap()
+        .vehicles()
+        .iter()
+        .filter(|v| v.params().model == velopt_microsim::FollowingModel::Idm)
+        .count();
+    assert!(
+        idm_like > 0,
+        "60% IDM fraction must materialize on corridor 1"
+    );
+}

@@ -1,0 +1,63 @@
+//! The `VELOPT_MICROSIM_SIMD=off` environment override.
+//!
+//! This lives in its own test binary because the override is latched by a
+//! `OnceLock` on first kernel dispatch: the variable must be set before any
+//! simulation steps in the process, and stays in force for the process
+//! lifetime. Everything here runs with the override active and checks that
+//! (a) no SIMD lanes are ever reported even though the config asks for
+//! them, and (b) the forced-scalar results are bit-identical to an
+//! explicitly scalar (`simd: false`) run.
+
+use velopt_common::units::{MetersPerSecond, Seconds, VehiclesPerHour};
+use velopt_microsim::{SimConfig, Simulation};
+use velopt_road::Road;
+
+fn run(simd: bool) -> Simulation {
+    // Latch the override before the first dispatch. Tests in this binary
+    // may run concurrently, but they all set the same value, so the latch
+    // order does not matter.
+    std::env::set_var("VELOPT_MICROSIM_SIMD", "off");
+    let config = SimConfig {
+        truck_fraction: 0.2,
+        idm_fraction: 0.2,
+        simd,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(Road::us25(), config).unwrap();
+    sim.set_arrival_rate(VehiclesPerHour::new(900.0));
+    sim.spawn_ego(MetersPerSecond::new(5.0)).unwrap();
+    sim.run_until(Seconds::new(120.0)).unwrap();
+    sim
+}
+
+#[test]
+fn env_override_forces_the_scalar_kernel() {
+    let sim = run(true);
+    let m = sim.step_metrics();
+    assert_eq!(
+        m.simd_lanes, 0,
+        "VELOPT_MICROSIM_SIMD=off must defeat `simd: true`"
+    );
+    assert!(m.total_lanes() > 0, "the run must still do work");
+}
+
+#[test]
+fn env_override_is_bit_identical_to_config_scalar() {
+    let forced = run(true);
+    let scalar = run(false);
+    assert_eq!(forced.vehicle_count(), scalar.vehicle_count());
+    assert_eq!(forced.completed(), scalar.completed());
+    for (a, b) in forced.vehicles().iter().zip(scalar.vehicles()) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(
+            a.position().value().to_bits(),
+            b.position().value().to_bits()
+        );
+        assert_eq!(a.speed().value().to_bits(), b.speed().value().to_bits());
+    }
+    let (ta, tb) = (forced.ego_trace(), scalar.ego_trace());
+    assert_eq!(ta.len(), tb.len());
+    for (a, b) in ta.iter().zip(tb) {
+        assert_eq!(a.speed.value().to_bits(), b.speed.value().to_bits());
+    }
+}
